@@ -1,0 +1,144 @@
+//! Minimal grayscale image container used by both case studies.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major grayscale image with `u16` pixels (the dynamic range of the
+/// wavefront-sensor cameras the paper's first case study targets; the ORB
+/// front-end uses only the low byte).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    data: Vec<u16>,
+}
+
+impl Image {
+    /// Creates a zeroed image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Image {
+            width,
+            height,
+            data: vec![0; width as usize * height as usize],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total pixel count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the image has zero pixels (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the pixel buffer in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<u16>()) as u64
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> u16 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, value: u16) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y as usize * self.width as usize + x as usize] = value;
+    }
+
+    /// Saturating add into a pixel.
+    #[inline]
+    pub fn add(&mut self, x: u32, y: u32, value: u16) {
+        let v = self.get(x, y).saturating_add(value);
+        self.set(x, y, v);
+    }
+
+    /// Raw pixel slice.
+    pub fn pixels(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Byte offset of pixel `(x, y)` inside the buffer (used when mapping
+    /// pixel accesses onto the simulated shared allocation).
+    #[inline]
+    pub fn byte_offset(&self, x: u32, y: u32) -> u64 {
+        (y as u64 * self.width as u64 + x as u64) * 2
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&p| p as f64).sum::<f64>() / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = Image::new(4, 3);
+        assert_eq!(img.len(), 12);
+        assert_eq!(img.size_bytes(), 24);
+        img.set(3, 2, 1000);
+        assert_eq!(img.get(3, 2), 1000);
+        assert_eq!(img.byte_offset(3, 2), (2 * 4 + 3) * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        let img = Image::new(4, 3);
+        let _ = img.get(4, 0);
+    }
+
+    #[test]
+    fn saturating_add() {
+        let mut img = Image::new(2, 2);
+        img.set(0, 0, u16::MAX - 1);
+        img.add(0, 0, 10);
+        assert_eq!(img.get(0, 0), u16::MAX);
+    }
+
+    #[test]
+    fn mean_of_uniform_image() {
+        let mut img = Image::new(2, 2);
+        for x in 0..2 {
+            for y in 0..2 {
+                img.set(x, y, 100);
+            }
+        }
+        assert!((img.mean() - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,13 @@
+//! The lane-detection case study (camera ADAS pipeline).
+//!
+//! Not one of the paper's two evaluated applications, but the application
+//! class its introduction motivates the framework with (convoy tracking
+//! and lane detection on embedded GPUs [1], [2]).
+
+pub mod detect;
+pub mod scene;
+pub mod workload;
+
+pub use detect::{extract_lanes, hough_vote, sobel_edges, HoughLine, LaneDetectorConfig, LanePair};
+pub use scene::{generate_road, RoadConfig};
+pub use workload::LaneApp;

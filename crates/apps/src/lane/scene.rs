@@ -1,0 +1,161 @@
+//! Synthetic road scenes for the lane-detection case study.
+//!
+//! The paper motivates its framework with camera-based ADAS pipelines
+//! (convoy tracking, lane detection) in which the CPU streams frames to
+//! the iGPU. This generator renders a straight road under perspective:
+//! a dark asphalt trapezoid with two bright lane markings converging
+//! toward a vanishing point, plus uniform sensor noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::image::Image;
+
+/// Road-scene parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoadConfig {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Lane half-width at the bottom of the frame, in pixels.
+    pub lane_half_width: f64,
+    /// Horizontal position of the vanishing point as a fraction of the
+    /// width.
+    pub vanishing_x_frac: f64,
+    /// Vertical position of the vanishing point (horizon) as a fraction
+    /// of the height.
+    pub horizon_frac: f64,
+    /// Brightness of the lane markings.
+    pub marking_brightness: u16,
+    /// Brightness of the asphalt.
+    pub road_brightness: u16,
+    /// Marking stroke width in pixels (at the bottom; tapers upward).
+    pub marking_px: u32,
+    /// Uniform noise amplitude.
+    pub noise_amplitude: u16,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RoadConfig {
+    fn default() -> Self {
+        RoadConfig {
+            width: 640,
+            height: 360,
+            lane_half_width: 180.0,
+            vanishing_x_frac: 0.5,
+            horizon_frac: 0.35,
+            marking_brightness: 220,
+            road_brightness: 60,
+            marking_px: 6,
+            noise_amplitude: 6,
+            seed: 0x1a2e,
+        }
+    }
+}
+
+impl RoadConfig {
+    /// The horizon row.
+    pub fn horizon_y(&self) -> u32 {
+        (self.height as f64 * self.horizon_frac) as u32
+    }
+
+    /// The x position of the left (`side = -1`) or right (`side = +1`)
+    /// lane marking at row `y`, or `None` above the horizon.
+    pub fn lane_x_at(&self, side: f64, y: u32) -> Option<f64> {
+        let horizon = self.horizon_y();
+        if y <= horizon {
+            return None;
+        }
+        let vx = self.width as f64 * self.vanishing_x_frac;
+        // Linear interpolation from the vanishing point to the bottom.
+        let t = (y - horizon) as f64 / (self.height - 1 - horizon).max(1) as f64;
+        Some(vx + side * self.lane_half_width * t)
+    }
+}
+
+/// Renders the road scene; returns the image and, for validation, the
+/// ground-truth lane-marking x positions at the bottom row (left, right).
+pub fn generate_road(config: &RoadConfig) -> (Image, (f64, f64)) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut image = Image::new(config.width, config.height);
+    let horizon = config.horizon_y();
+    for y in 0..config.height {
+        for x in 0..config.width {
+            let mut v = if y > horizon {
+                config.road_brightness
+            } else {
+                config.road_brightness / 2 // sky/backdrop
+            };
+            if y > horizon {
+                // Marking stroke tapers with distance.
+                let t = (y - horizon) as f64 / (config.height - 1 - horizon).max(1) as f64;
+                let stroke = (config.marking_px as f64 * t).max(1.5);
+                for side in [-1.0, 1.0] {
+                    if let Some(lx) = config.lane_x_at(side, y) {
+                        if (x as f64 - lx).abs() <= stroke / 2.0 {
+                            v = config.marking_brightness;
+                        }
+                    }
+                }
+            }
+            let noise = if config.noise_amplitude > 0 {
+                rng.gen_range(0..=config.noise_amplitude)
+            } else {
+                0
+            };
+            image.set(x, y, v.saturating_add(noise));
+        }
+    }
+    let bottom = config.height - 1;
+    let left = config.lane_x_at(-1.0, bottom).expect("below horizon");
+    let right = config.lane_x_at(1.0, bottom).expect("below horizon");
+    (image, (left, right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scene_is_deterministic() {
+        let cfg = RoadConfig::default();
+        assert_eq!(generate_road(&cfg).0, generate_road(&cfg).0);
+    }
+
+    #[test]
+    fn markings_are_bright_at_truth_positions() {
+        let cfg = RoadConfig {
+            noise_amplitude: 0,
+            ..RoadConfig::default()
+        };
+        let (img, (left, right)) = generate_road(&cfg);
+        let y = cfg.height - 1;
+        assert!(img.get(left as u32, y) >= cfg.marking_brightness);
+        assert!(img.get(right as u32, y) >= cfg.marking_brightness);
+        // Road between the lanes is dark.
+        let mid = ((left + right) / 2.0) as u32;
+        assert!(img.get(mid, y) < cfg.road_brightness + cfg.noise_amplitude + 5);
+    }
+
+    #[test]
+    fn lanes_converge_toward_vanishing_point() {
+        let cfg = RoadConfig::default();
+        let near_bottom = cfg.height - 1;
+        let near_horizon = cfg.horizon_y() + 2;
+        let width_bottom =
+            cfg.lane_x_at(1.0, near_bottom).unwrap() - cfg.lane_x_at(-1.0, near_bottom).unwrap();
+        let width_top =
+            cfg.lane_x_at(1.0, near_horizon).unwrap() - cfg.lane_x_at(-1.0, near_horizon).unwrap();
+        assert!(width_bottom > 5.0 * width_top);
+    }
+
+    #[test]
+    fn no_lane_above_horizon() {
+        let cfg = RoadConfig::default();
+        assert!(cfg.lane_x_at(-1.0, 0).is_none());
+        assert!(cfg.lane_x_at(1.0, cfg.horizon_y()).is_none());
+    }
+}

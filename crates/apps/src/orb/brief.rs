@@ -1,0 +1,244 @@
+//! Orientation assignment and rotated-BRIEF (rBRIEF) descriptors.
+//!
+//! ORB augments FAST corners with an intensity-centroid orientation and a
+//! 256-bit binary descriptor built from pairwise intensity comparisons on
+//! a 31×31 patch, with the comparison pattern rotated by the keypoint
+//! orientation so the descriptor is rotation-invariant.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::image::Image;
+use crate::orb::fast::Keypoint;
+
+/// Patch radius used for orientation and description.
+pub const PATCH_RADIUS: i32 = 15;
+
+/// Number of descriptor bits.
+pub const DESCRIPTOR_BITS: usize = 256;
+
+/// A 256-bit binary descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Descriptor(pub [u32; 8]);
+
+impl Descriptor {
+    /// Hamming distance to another descriptor.
+    pub fn distance(&self, other: &Descriptor) -> u32 {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+}
+
+/// A described keypoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrientedKeypoint {
+    /// The underlying corner.
+    pub keypoint: Keypoint,
+    /// Orientation in radians.
+    pub angle: f64,
+    /// The rBRIEF descriptor.
+    pub descriptor: Descriptor,
+}
+
+/// One comparison of the BRIEF test pattern: a pair of patch-relative
+/// points.
+pub type TestPair = ((i32, i32), (i32, i32));
+
+/// The fixed comparison pattern: point pairs within the patch, generated
+/// deterministically (a Gaussian-ish distribution truncated to the patch).
+pub fn test_pattern(seed: u64) -> Vec<TestPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pattern = Vec::with_capacity(DESCRIPTOR_BITS);
+    let r = PATCH_RADIUS - 2; // leave room for rotation
+    for _ in 0..DESCRIPTOR_BITS {
+        let mut point = || {
+            // Sum of two uniforms approximates a triangular distribution
+            // centred on the keypoint.
+            let a = rng.gen_range(-r..=r);
+            let b = rng.gen_range(-r..=r);
+            ((a + b) / 2).clamp(-r, r)
+        };
+        pattern.push(((point(), point()), (point(), point())));
+    }
+    pattern
+}
+
+/// Intensity-centroid orientation of the patch around a keypoint.
+///
+/// Returns `atan2(m01, m10)` over the circular patch, the ORB moment
+/// definition.
+///
+/// # Panics
+///
+/// Panics if the keypoint is too close to the image border for a full
+/// patch (callers filter keypoints first).
+pub fn orientation(image: &Image, kp: &Keypoint) -> f64 {
+    let mut m10 = 0.0f64;
+    let mut m01 = 0.0f64;
+    for dy in -PATCH_RADIUS..=PATCH_RADIUS {
+        for dx in -PATCH_RADIUS..=PATCH_RADIUS {
+            if dx * dx + dy * dy > PATCH_RADIUS * PATCH_RADIUS {
+                continue;
+            }
+            let x = (kp.x as i32 + dx) as u32;
+            let y = (kp.y as i32 + dy) as u32;
+            let v = image.get(x, y) as f64;
+            m10 += dx as f64 * v;
+            m01 += dy as f64 * v;
+        }
+    }
+    m01.atan2(m10)
+}
+
+/// Whether a keypoint has a full patch inside the image.
+pub fn has_full_patch(image: &Image, kp: &Keypoint) -> bool {
+    let r = PATCH_RADIUS;
+    kp.x as i32 >= r
+        && kp.y as i32 >= r
+        && (kp.x as i32) < image.width() as i32 - r
+        && (kp.y as i32) < image.height() as i32 - r
+}
+
+/// Computes the rotated-BRIEF descriptor of a keypoint.
+///
+/// # Panics
+///
+/// Panics if the patch does not fit in the image (see
+/// [`has_full_patch`]).
+pub fn describe(image: &Image, kp: &Keypoint, pattern: &[TestPair]) -> OrientedKeypoint {
+    assert!(has_full_patch(image, kp), "patch out of bounds");
+    let angle = orientation(image, kp);
+    let (sin, cos) = angle.sin_cos();
+    let rotate = |(px, py): (i32, i32)| {
+        let rx = (px as f64 * cos - py as f64 * sin).round() as i32;
+        let ry = (px as f64 * sin + py as f64 * cos).round() as i32;
+        (
+            (kp.x as i32 + rx.clamp(-PATCH_RADIUS, PATCH_RADIUS)) as u32,
+            (kp.y as i32 + ry.clamp(-PATCH_RADIUS, PATCH_RADIUS)) as u32,
+        )
+    };
+    let mut words = [0u32; 8];
+    for (bit, &(a, b)) in pattern.iter().enumerate() {
+        let (ax, ay) = rotate(a);
+        let (bx, by) = rotate(b);
+        if image.get(ax, ay) < image.get(bx, by) {
+            words[bit / 32] |= 1 << (bit % 32);
+        }
+    }
+    OrientedKeypoint {
+        keypoint: *kp,
+        angle,
+        descriptor: Descriptor(words),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_image() -> Image {
+        // Brightness increasing along +x: orientation must be ~0.
+        let mut img = Image::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                img.set(x, y, (x * 3) as u16);
+            }
+        }
+        img
+    }
+
+    fn kp(x: u32, y: u32) -> Keypoint {
+        Keypoint { x, y, score: 1.0 }
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_in_patch() {
+        let a = test_pattern(7);
+        let b = test_pattern(7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), DESCRIPTOR_BITS);
+        for &((ax, ay), (bx, by)) in &a {
+            for v in [ax, ay, bx, by] {
+                assert!(v.abs() <= PATCH_RADIUS);
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_follows_gradient() {
+        let img = gradient_image();
+        let angle = orientation(&img, &kp(32, 32));
+        assert!(
+            angle.abs() < 0.1,
+            "gradient along +x should give ~0, got {angle}"
+        );
+    }
+
+    #[test]
+    fn orientation_flips_with_gradient() {
+        let mut img = Image::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                img.set(x, y, ((63 - x) * 3) as u16);
+            }
+        }
+        let angle = orientation(&img, &kp(32, 32));
+        assert!(
+            (angle.abs() - std::f64::consts::PI).abs() < 0.1,
+            "gradient along -x should give ~pi, got {angle}"
+        );
+    }
+
+    #[test]
+    fn descriptor_is_stable() {
+        let img = gradient_image();
+        let pattern = test_pattern(7);
+        let a = describe(&img, &kp(32, 32), &pattern);
+        let b = describe(&img, &kp(32, 32), &pattern);
+        assert_eq!(a.descriptor, b.descriptor);
+        assert_eq!(a.descriptor.distance(&b.descriptor), 0);
+    }
+
+    #[test]
+    fn different_patches_differ() {
+        let mut img = gradient_image();
+        // Perturb a second patch heavily.
+        for y in 10..40 {
+            for x in 30..60 {
+                img.set(x, y, if (x + y) % 2 == 0 { 0 } else { 250 });
+            }
+        }
+        let pattern = test_pattern(7);
+        let a = describe(&img, &kp(16, 48), &pattern);
+        let b = describe(&img, &kp(45, 25), &pattern);
+        assert!(a.descriptor.distance(&b.descriptor) > 20);
+    }
+
+    #[test]
+    fn hamming_distance_bounds() {
+        let zero = Descriptor([0; 8]);
+        let ones = Descriptor([u32::MAX; 8]);
+        assert_eq!(zero.distance(&ones), 256);
+        assert_eq!(zero.distance(&zero), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "patch out of bounds")]
+    fn describe_rejects_border_keypoints() {
+        let img = gradient_image();
+        let pattern = test_pattern(7);
+        let _ = describe(&img, &kp(2, 2), &pattern);
+    }
+
+    #[test]
+    fn full_patch_predicate() {
+        let img = gradient_image();
+        assert!(has_full_patch(&img, &kp(32, 32)));
+        assert!(!has_full_patch(&img, &kp(5, 32)));
+        assert!(!has_full_patch(&img, &kp(32, 60)));
+    }
+}

@@ -1,0 +1,229 @@
+//! FAST-9 corner detection with non-maximum suppression.
+//!
+//! The segment-test detector of Rosten & Drummond, as used by ORB-SLAM's
+//! front end: a pixel is a corner when at least 9 contiguous pixels of the
+//! 16-pixel Bresenham circle of radius 3 are all brighter than the centre
+//! plus a threshold, or all darker than the centre minus it. Corner
+//! strength is the sum of absolute differences over the contiguous arc,
+//! and a 3×3 non-maximum suppression keeps local maxima only.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_soc::hierarchy::MemSpace;
+use icomm_trace::Tracer;
+
+use crate::image::Image;
+
+/// The 16 circle offsets (dx, dy) of radius 3, in clockwise order.
+pub const CIRCLE: [(i32, i32); 16] = [
+    (0, -3),
+    (1, -3),
+    (2, -2),
+    (3, -1),
+    (3, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (0, 3),
+    (-1, 3),
+    (-2, 2),
+    (-3, 1),
+    (-3, 0),
+    (-3, -1),
+    (-2, -2),
+    (-1, -3),
+];
+
+/// Minimum contiguous arc length for FAST-9.
+pub const ARC: usize = 9;
+
+/// A detected corner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Keypoint {
+    /// x position in pixels.
+    pub x: u32,
+    /// y position in pixels.
+    pub y: u32,
+    /// Corner strength (SAD over the qualifying arc).
+    pub score: f64,
+}
+
+fn corner_score(image: &Image, x: u32, y: u32, threshold: u16) -> Option<f64> {
+    let centre = image.get(x, y) as i32;
+    let t = threshold as i32;
+    // Classify every circle pixel: +1 brighter, -1 darker, 0 similar.
+    let mut class = [0i8; 16];
+    let mut diff = [0i32; 16];
+    for (i, &(dx, dy)) in CIRCLE.iter().enumerate() {
+        let px = (x as i32 + dx) as u32;
+        let py = (y as i32 + dy) as u32;
+        let v = image.get(px, py) as i32;
+        diff[i] = (v - centre).abs();
+        class[i] = if v > centre + t {
+            1
+        } else if v < centre - t {
+            -1
+        } else {
+            0
+        };
+    }
+    // Longest contiguous run (circularly) of same non-zero class.
+    for target in [1i8, -1] {
+        let mut best_run = 0usize;
+        let mut best_sum = 0i32;
+        let mut run = 0usize;
+        let mut sum = 0i32;
+        // Walk twice around the circle to handle wrap-around runs.
+        for i in 0..32 {
+            let idx = i % 16;
+            if class[idx] == target {
+                run += 1;
+                sum += diff[idx];
+                if run > best_run {
+                    best_run = run;
+                    best_sum = sum;
+                }
+                if run >= 16 {
+                    break;
+                }
+            } else {
+                run = 0;
+                sum = 0;
+            }
+        }
+        if best_run >= ARC {
+            return Some(best_sum as f64);
+        }
+    }
+    None
+}
+
+/// Detects FAST-9 corners with 3×3 non-maximum suppression.
+///
+/// Circle-pixel reads are traced in `space` (one small read per probed
+/// pixel, the sliding-window access pattern that makes the ORB kernel
+/// GPU-cache dependent).
+pub fn detect(
+    image: &Image,
+    threshold: u16,
+    tracer: &mut impl Tracer,
+    space: MemSpace,
+) -> Vec<Keypoint> {
+    let w = image.width();
+    let h = image.height();
+    let mut scores = vec![0.0f64; (w * h) as usize];
+    let mut candidates = Vec::new();
+    for y in 3..h - 3 {
+        for x in 3..w - 3 {
+            // The detector reads the centre and its circle; trace it as one
+            // window read (the 7x7 neighbourhood line the GPU fetches).
+            tracer.read(image.byte_offset(x - 3, y), 8, space);
+            if let Some(score) = corner_score(image, x, y, threshold) {
+                scores[(y * w + x) as usize] = score;
+                candidates.push((x, y, score));
+            }
+        }
+    }
+    // 3x3 non-maximum suppression.
+    let mut keypoints = Vec::new();
+    'cand: for &(x, y, score) in &candidates {
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = (x as i32 + dx) as u32;
+                let ny = (y as i32 + dy) as u32;
+                if nx < w && ny < h {
+                    let other = scores[(ny * w + nx) as usize];
+                    if other > score || (other == score && (ny, nx) < (y, x)) {
+                        continue 'cand;
+                    }
+                }
+            }
+        }
+        keypoints.push(Keypoint { x, y, score });
+    }
+    keypoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_trace::NullTracer;
+
+    fn bright_square_image() -> Image {
+        let mut img = Image::new(64, 64);
+        for y in 20..44 {
+            for x in 20..44 {
+                img.set(x, y, 200);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn detects_square_corners() {
+        let img = bright_square_image();
+        let kps = detect(&img, 30, &mut NullTracer, MemSpace::Cached);
+        assert!(!kps.is_empty(), "square corners must be detected");
+        // Every keypoint should be near one of the four square corners.
+        let corners = [(20u32, 20u32), (43, 20), (20, 43), (43, 43)];
+        for kp in &kps {
+            let near = corners.iter().any(|&(cx, cy)| {
+                (kp.x as i32 - cx as i32).abs() <= 3 && (kp.y as i32 - cy as i32).abs() <= 3
+            });
+            assert!(near, "keypoint ({}, {}) far from any corner", kp.x, kp.y);
+        }
+    }
+
+    #[test]
+    fn flat_image_has_no_corners() {
+        let mut img = Image::new(64, 64);
+        for y in 0..64 {
+            for x in 0..64 {
+                img.set(x, y, 100);
+            }
+        }
+        let kps = detect(&img, 20, &mut NullTracer, MemSpace::Cached);
+        assert!(kps.is_empty());
+    }
+
+    #[test]
+    fn straight_edge_is_not_a_corner() {
+        // A vertical edge: circle arcs are at most ~half bright, below 9.
+        let mut img = Image::new(64, 64);
+        for y in 0..64 {
+            for x in 32..64 {
+                img.set(x, y, 200);
+            }
+        }
+        let kps = detect(&img, 30, &mut NullTracer, MemSpace::Cached);
+        assert!(kps.is_empty(), "edges must not fire FAST-9: {kps:?}");
+    }
+
+    #[test]
+    fn nms_keeps_local_maxima_only() {
+        let img = bright_square_image();
+        let kps = detect(&img, 30, &mut NullTracer, MemSpace::Cached);
+        // No two keypoints within the 3x3 suppression window.
+        for (i, a) in kps.iter().enumerate() {
+            for b in kps.iter().skip(i + 1) {
+                let close =
+                    (a.x as i32 - b.x as i32).abs() <= 1 && (a.y as i32 - b.y as i32).abs() <= 1;
+                assert!(!close, "NMS failed: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_threshold_fewer_corners() {
+        let mut img = bright_square_image();
+        // Add small bumps that a low threshold picks up.
+        img.set(10, 10, 40);
+        img.set(50, 12, 40);
+        let low = detect(&img, 10, &mut NullTracer, MemSpace::Cached).len();
+        let high = detect(&img, 60, &mut NullTracer, MemSpace::Cached).len();
+        assert!(high <= low);
+    }
+}

@@ -1,0 +1,213 @@
+//! Brute-force descriptor matching with Lowe's ratio test.
+//!
+//! The tracker side of the ORB pipeline: every query descriptor is
+//! compared against all reference descriptors by Hamming distance and
+//! accepted only when the best match is sufficiently better than the
+//! runner-up. These comparisons are exactly the small random reads the
+//! [`crate::orb::workload::OrbApp`] descriptor models — the traffic that
+//! collapses zero copy on non-I/O-coherent devices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::orb::brief::OrientedKeypoint;
+
+/// One accepted correspondence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Match {
+    /// Index into the query set.
+    pub query: usize,
+    /// Index into the reference set.
+    pub reference: usize,
+    /// Hamming distance of the accepted pair.
+    pub distance: u32,
+}
+
+/// Matcher parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatcherConfig {
+    /// Reject matches whose distance exceeds this.
+    pub max_distance: u32,
+    /// Lowe ratio: best must be below `ratio * second_best`.
+    pub ratio: f64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            max_distance: 64,
+            ratio: 0.8,
+        }
+    }
+}
+
+/// Matches `query` descriptors against `reference` descriptors.
+pub fn match_descriptors(
+    query: &[OrientedKeypoint],
+    reference: &[OrientedKeypoint],
+    config: &MatcherConfig,
+) -> Vec<Match> {
+    let mut matches = Vec::new();
+    for (qi, q) in query.iter().enumerate() {
+        let mut best_index = usize::MAX;
+        let mut best = u32::MAX;
+        let mut second = u32::MAX;
+        for (ri, r) in reference.iter().enumerate() {
+            let d = q.descriptor.distance(&r.descriptor);
+            if d < best {
+                second = best;
+                best = d;
+                best_index = ri;
+            } else if d < second {
+                second = d;
+            }
+        }
+        if best_index == usize::MAX {
+            continue;
+        }
+        let passes_ratio = second == u32::MAX || (best as f64) < config.ratio * second as f64;
+        if best <= config.max_distance && passes_ratio {
+            matches.push(Match {
+                query: qi,
+                reference: best_index,
+                distance: best,
+            });
+        }
+    }
+    matches
+}
+
+/// Fraction of matches whose spatial displacement agrees with the modal
+/// displacement (a cheap inlier test for pure-translation scenes).
+pub fn translation_consistency(
+    matches: &[Match],
+    query: &[OrientedKeypoint],
+    reference: &[OrientedKeypoint],
+    tolerance_px: f64,
+) -> f64 {
+    if matches.is_empty() {
+        return 0.0;
+    }
+    let displacements: Vec<(f64, f64)> = matches
+        .iter()
+        .map(|m| {
+            let q = &query[m.query].keypoint;
+            let r = &reference[m.reference].keypoint;
+            (q.x as f64 - r.x as f64, q.y as f64 - r.y as f64)
+        })
+        .collect();
+    // Use the median displacement as the model.
+    let mut xs: Vec<f64> = displacements.iter().map(|d| d.0).collect();
+    let mut ys: Vec<f64> = displacements.iter().map(|d| d.1).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let (mx, my) = (xs[xs.len() / 2], ys[ys.len() / 2]);
+    let inliers = displacements
+        .iter()
+        .filter(|(dx, dy)| (dx - mx).abs() <= tolerance_px && (dy - my).abs() <= tolerance_px)
+        .count();
+    inliers as f64 / matches.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+    use crate::orb::brief::{describe, has_full_patch, test_pattern};
+    use crate::orb::fast::detect;
+    use crate::orb::scene::{generate_scene, SceneConfig};
+    use icomm_soc::hierarchy::MemSpace;
+    use icomm_trace::NullTracer;
+
+    fn features(image: &Image) -> Vec<OrientedKeypoint> {
+        let pattern = test_pattern(7);
+        detect(image, 24, &mut NullTracer, MemSpace::Cached)
+            .iter()
+            .filter(|kp| has_full_patch(image, kp))
+            .map(|kp| describe(image, kp, &pattern))
+            .collect()
+    }
+
+    fn shift_image(image: &Image, dx: u32) -> Image {
+        let mut out = Image::new(image.width(), image.height());
+        for y in 0..image.height() {
+            for x in 0..image.width() - dx {
+                out.set(x + dx, y, image.get(x, y));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn self_matching_is_perfect() {
+        let (scene, _) = generate_scene(&SceneConfig {
+            width: 256,
+            height: 192,
+            rectangles: 10,
+            ..SceneConfig::default()
+        });
+        let f = features(&scene);
+        assert!(f.len() >= 8, "need features, got {}", f.len());
+        let matches = match_descriptors(&f, &f, &MatcherConfig::default());
+        // Every feature matches itself at distance 0.
+        assert_eq!(matches.len(), f.len());
+        for m in &matches {
+            assert_eq!(m.query, m.reference);
+            assert_eq!(m.distance, 0);
+        }
+    }
+
+    #[test]
+    fn matches_survive_translation() {
+        let (scene, _) = generate_scene(&SceneConfig {
+            width: 256,
+            height: 192,
+            rectangles: 10,
+            noise_amplitude: 0,
+            ..SceneConfig::default()
+        });
+        let shifted = shift_image(&scene, 7);
+        let q = features(&shifted);
+        let r = features(&scene);
+        let matches = match_descriptors(&q, &r, &MatcherConfig::default());
+        assert!(
+            matches.len() >= r.len() / 3,
+            "too few matches: {} of {}",
+            matches.len(),
+            r.len()
+        );
+        let consistency = translation_consistency(&matches, &q, &r, 2.0);
+        assert!(
+            consistency > 0.6,
+            "inlier fraction {consistency:.2} too low"
+        );
+    }
+
+    #[test]
+    fn ratio_test_rejects_ambiguous_matches() {
+        let (scene, _) = generate_scene(&SceneConfig {
+            width: 256,
+            height: 192,
+            rectangles: 10,
+            ..SceneConfig::default()
+        });
+        let f = features(&scene);
+        let strict = MatcherConfig {
+            ratio: 0.1,
+            ..MatcherConfig::default()
+        };
+        let loose = MatcherConfig {
+            ratio: 0.99,
+            ..MatcherConfig::default()
+        };
+        let n_strict = match_descriptors(&f, &f, &strict).len();
+        let n_loose = match_descriptors(&f, &f, &loose).len();
+        assert!(n_strict <= n_loose);
+    }
+
+    #[test]
+    fn empty_inputs_produce_no_matches() {
+        let matches = match_descriptors(&[], &[], &MatcherConfig::default());
+        assert!(matches.is_empty());
+        assert_eq!(translation_consistency(&matches, &[], &[], 2.0), 0.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! The ORB feature-extraction front-end case study (visual SLAM).
+
+pub mod brief;
+pub mod fast;
+pub mod matcher;
+pub mod pyramid;
+pub mod scene;
+pub mod workload;
+
+pub use brief::{
+    describe, has_full_patch, orientation, test_pattern, Descriptor, OrientedKeypoint,
+};
+pub use fast::{detect, Keypoint};
+pub use matcher::{match_descriptors, translation_consistency, Match, MatcherConfig};
+pub use pyramid::{downsample, Pyramid};
+pub use scene::{generate_scene, SceneConfig};
+pub use workload::OrbApp;

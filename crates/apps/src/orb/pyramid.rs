@@ -1,0 +1,148 @@
+//! Image pyramids for multi-scale feature detection.
+//!
+//! ORB detects features at several scales by running FAST on successively
+//! downsampled copies of the frame. The pyramid here uses a 2×2 box
+//! filter per octave — the same cheap scheme embedded front-ends use —
+//! and is what the tracker-side workload reads when matching patches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::image::Image;
+
+/// A multi-scale image pyramid (level 0 is the full-resolution frame).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pyramid {
+    levels: Vec<Image>,
+}
+
+impl Pyramid {
+    /// Builds a pyramid with `levels` levels (each half the linear size
+    /// of the previous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is zero or if the image halves below 2×2 before
+    /// the requested level count is reached.
+    pub fn build(base: &Image, levels: u32) -> Self {
+        assert!(levels > 0, "a pyramid needs at least one level");
+        let mut all = Vec::with_capacity(levels as usize);
+        all.push(base.clone());
+        for _ in 1..levels {
+            let prev = all.last().expect("non-empty");
+            assert!(
+                prev.width() >= 4 && prev.height() >= 4,
+                "image too small for the requested pyramid depth"
+            );
+            all.push(downsample(prev));
+        }
+        Pyramid { levels: all }
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the pyramid is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The image at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn level(&self, level: usize) -> &Image {
+        &self.levels[level]
+    }
+
+    /// Total pixel-buffer bytes across all levels.
+    pub fn total_bytes(&self) -> u64 {
+        self.levels.iter().map(Image::size_bytes).sum()
+    }
+
+    /// The linear scale factor of `level` relative to level 0.
+    pub fn scale(&self, level: usize) -> f64 {
+        2f64.powi(level as i32)
+    }
+}
+
+/// 2×2 box-filter downsampling.
+pub fn downsample(image: &Image) -> Image {
+    let w = image.width() / 2;
+    let h = image.height() / 2;
+    let mut out = Image::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let sum = image.get(2 * x, 2 * y) as u32
+                + image.get(2 * x + 1, 2 * y) as u32
+                + image.get(2 * x, 2 * y + 1) as u32
+                + image.get(2 * x + 1, 2 * y + 1) as u32;
+            out.set(x, y, (sum / 4) as u16);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: u32, h: u32) -> Image {
+        let mut img = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, (x + y) as u16);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn pyramid_halves_each_level() {
+        let p = Pyramid::build(&gradient(64, 48), 3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.level(0).width(), 64);
+        assert_eq!(p.level(1).width(), 32);
+        assert_eq!(p.level(2).width(), 16);
+        assert_eq!(p.level(2).height(), 12);
+    }
+
+    #[test]
+    fn downsampling_preserves_mean() {
+        let img = gradient(64, 64);
+        let down = downsample(&img);
+        assert!((img.mean() - down.mean()).abs() < 1.5);
+    }
+
+    #[test]
+    fn box_filter_averages_quads() {
+        let mut img = Image::new(4, 2);
+        for (i, v) in [10u16, 20, 30, 40, 50, 60, 70, 80].iter().enumerate() {
+            img.set((i % 4) as u32, (i / 4) as u32, *v);
+        }
+        let down = downsample(&img);
+        assert_eq!(down.get(0, 0), (10 + 20 + 50 + 60) / 4);
+        assert_eq!(down.get(1, 0), (30 + 40 + 70 + 80) / 4);
+    }
+
+    #[test]
+    fn total_bytes_sums_levels() {
+        let p = Pyramid::build(&gradient(64, 64), 3);
+        assert_eq!(p.total_bytes(), (64 * 64 + 32 * 32 + 16 * 16) * 2);
+    }
+
+    #[test]
+    fn scale_is_power_of_two() {
+        let p = Pyramid::build(&gradient(64, 64), 3);
+        assert_eq!(p.scale(0), 1.0);
+        assert_eq!(p.scale(2), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_excessive_depth() {
+        let _ = Pyramid::build(&gradient(8, 8), 4);
+    }
+}

@@ -1,0 +1,248 @@
+//! Mapping the ORB-SLAM front-end onto an `icomm` workload.
+//!
+//! Per camera frame:
+//!
+//! 1. **GPU kernel**: FAST detection + orientation + rBRIEF description
+//!    over the image. The detector slides overlapping windows across every
+//!    pixel, re-reading each pixel many times — the reuse that makes the
+//!    kernel *GPU-cache dependent* (the paper profiles 25.3 % / 20.1 %
+//!    GPU cache usage on TX2 / Xavier).
+//! 2. **CPU (tracker)**: pose tracking and map matching — heavy host
+//!    arithmetic plus a large number of small random reads of the image
+//!    pyramid and descriptors in the shared buffer (patch comparisons).
+//!    Under zero copy on a non-I/O-coherent device those little reads go
+//!    uncached, which is what collapses ORB-SLAM on the TX2 (−744 % in
+//!    the paper's Table V).
+//!
+//! The GPU traffic multiplier is sized from the traced real detector: the
+//! number of window reads per pixel is measured, not guessed.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_models::{CpuPhase, GpuPhase, Workload};
+use icomm_soc::cache::AccessKind;
+use icomm_soc::cpu::{CpuOpClass, OpCount};
+use icomm_soc::hierarchy::MemSpace;
+use icomm_soc::units::ByteSize;
+use icomm_trace::{CountingTracer, Pattern};
+
+use crate::orb::brief::{describe, has_full_patch, test_pattern};
+use crate::orb::fast::detect;
+use crate::orb::scene::{generate_scene, SceneConfig};
+
+/// Application-level parameters of the ORB case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrbApp {
+    /// Scene/camera configuration.
+    pub scene: SceneConfig,
+    /// FAST detection threshold.
+    pub fast_threshold: u16,
+    /// GPU instruction-cycles per pixel (segment test + orientation +
+    /// descriptor amortized over the image).
+    pub cycles_per_pixel: u64,
+    /// Host tracking arithmetic per frame.
+    pub host_ops: u64,
+    /// Small random pyramid/descriptor reads the tracker performs per
+    /// frame (patch comparisons against the local map).
+    pub matching_reads: u64,
+    /// Pyramid scale levels kept in the shared buffer.
+    pub pyramid_levels: u32,
+    /// Frames to simulate.
+    pub iterations: u32,
+}
+
+impl Default for OrbApp {
+    fn default() -> Self {
+        OrbApp {
+            scene: SceneConfig::default(),
+            fast_threshold: 24,
+            cycles_per_pixel: 220,
+            host_ops: 60_000_000,
+            matching_reads: 1_000_000,
+            pyramid_levels: 4,
+            iterations: 2,
+        }
+    }
+}
+
+impl OrbApp {
+    /// Image size in bytes (8-bit pixels).
+    pub fn image_bytes(&self) -> u64 {
+        self.scene.width as u64 * self.scene.height as u64
+    }
+
+    /// Pyramid size in bytes: levels scaled by 1/2 area each.
+    pub fn pyramid_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        let mut level = self.image_bytes();
+        for _ in 0..self.pyramid_levels {
+            total += level;
+            level /= 2;
+        }
+        total
+    }
+
+    /// Runs the real front-end once (traced) and builds the workload.
+    ///
+    /// The traced detector tells us how many window reads per pixel the
+    /// sliding-window detection performs; the workload reproduces that
+    /// traffic as repeated passes over the image region.
+    pub fn workload(&self) -> Workload {
+        let (image, _) = generate_scene(&self.scene);
+        let mut trace = CountingTracer::new();
+        let keypoints = detect(&image, self.fast_threshold, &mut trace, MemSpace::Cached);
+        let pattern = test_pattern(7);
+        let described = keypoints
+            .iter()
+            .filter(|kp| has_full_patch(&image, kp))
+            .map(|kp| describe(&image, kp, &pattern))
+            .collect::<Vec<_>>()
+            .len();
+
+        let image_bytes = self.image_bytes();
+        let pyramid_bytes = self.pyramid_bytes();
+        let descriptor_bytes = (described.max(1) as u64) * 32;
+        // Reuse factor: traced window-read bytes over the image size,
+        // rounded to full passes (at least 2: detection + description).
+        let passes = (trace.bytes / image_bytes).clamp(2, 16) as u32;
+
+        let gpu_shared = Pattern::Sequence(vec![
+            // Detection + description sweeps with window reuse.
+            Pattern::Repeat {
+                body: Box::new(Pattern::Linear {
+                    start: 0,
+                    bytes: image_bytes,
+                    txn_bytes: 64,
+                    kind: AccessKind::Read,
+                }),
+                times: passes,
+            },
+            // Pyramid construction writes.
+            Pattern::Linear {
+                start: image_bytes,
+                bytes: pyramid_bytes - image_bytes,
+                txn_bytes: 64,
+                kind: AccessKind::Write,
+            },
+            // Descriptor output.
+            Pattern::Linear {
+                start: pyramid_bytes,
+                bytes: descriptor_bytes,
+                txn_bytes: 32,
+                kind: AccessKind::Write,
+            },
+        ]);
+
+        // CPU tracker: random small patch reads over the pyramid +
+        // descriptor reads.
+        let cpu_shared = Pattern::Sequence(vec![
+            Pattern::SparseUniform {
+                start: 0,
+                region_bytes: pyramid_bytes,
+                count: self.matching_reads,
+                txn_bytes: 8,
+                seed: self.scene.seed ^ 0xfeed,
+                kind: AccessKind::Read,
+            },
+            Pattern::Linear {
+                start: pyramid_bytes,
+                bytes: descriptor_bytes,
+                txn_bytes: 32,
+                kind: AccessKind::Read,
+            },
+        ]);
+
+        Workload::builder(format!(
+            "orb/{}x{} ({} kp)",
+            self.scene.width, self.scene.height, described
+        ))
+        .bytes_to_gpu(ByteSize(image_bytes))
+        .bytes_from_gpu(ByteSize(pyramid_bytes - image_bytes + descriptor_bytes))
+        .cpu(CpuPhase {
+            ops: vec![OpCount::new(CpuOpClass::FpMulAdd, self.host_ops)],
+            shared_accesses: cpu_shared,
+            private_accesses: None,
+        })
+        .gpu(GpuPhase {
+            compute_work: self.image_bytes() * self.cycles_per_pixel,
+            shared_accesses: gpu_shared,
+            private_accesses: None,
+        })
+        // Tracking consumes the freshly described features; within a
+        // frame the phases serialize.
+        .overlappable(false)
+        .iterations(self.iterations)
+        .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_models::{run_model, CommModelKind};
+    use icomm_soc::DeviceProfile;
+
+    fn quick_app() -> OrbApp {
+        OrbApp {
+            scene: SceneConfig {
+                width: 320,
+                height: 240,
+                rectangles: 15,
+                ..SceneConfig::default()
+            },
+            matching_reads: 200_000,
+            host_ops: 12_000_000,
+            iterations: 1,
+            ..OrbApp::default()
+        }
+    }
+
+    #[test]
+    fn workload_reflects_traced_reuse() {
+        let app = quick_app();
+        let w = app.workload();
+        // The GPU must read the image several times (window overlap).
+        let gpu_bytes = w.gpu.shared_accesses.bytes();
+        assert!(
+            gpu_bytes >= 3 * app.image_bytes(),
+            "gpu traffic {gpu_bytes} should show window reuse"
+        );
+    }
+
+    #[test]
+    fn tx2_zc_collapses() {
+        let app = quick_app();
+        let w = app.workload();
+        let device = DeviceProfile::jetson_tx2();
+        let sc = run_model(CommModelKind::StandardCopy, &device, &w);
+        let zc = run_model(CommModelKind::ZeroCopy, &device, &w);
+        let slowdown = zc.total_time.as_picos() as f64 / sc.total_time.as_picos() as f64;
+        // Paper Table V: 521 ms vs 70 ms (7.4x).
+        assert!(slowdown > 3.0, "TX2 ZC slowdown {slowdown:.1}x");
+    }
+
+    #[test]
+    fn xavier_zc_roughly_neutral() {
+        let app = quick_app();
+        let w = app.workload();
+        let device = DeviceProfile::jetson_agx_xavier();
+        let sc = run_model(CommModelKind::StandardCopy, &device, &w);
+        let zc = run_model(CommModelKind::ZeroCopy, &device, &w);
+        let delta = zc.speedup_vs_percent(&sc);
+        // Paper Table V: 0 % on Xavier.
+        assert!(delta.abs() < 15.0, "Xavier ZC delta {delta:.1}%");
+    }
+
+    #[test]
+    fn tx2_zc_kernel_order_of_magnitude_slower() {
+        let app = quick_app();
+        let w = app.workload();
+        let device = DeviceProfile::jetson_tx2();
+        let sc = run_model(CommModelKind::StandardCopy, &device, &w);
+        let zc = run_model(CommModelKind::ZeroCopy, &device, &w);
+        let ratio = zc.kernel_time_per_iteration().as_picos() as f64
+            / sc.kernel_time_per_iteration().as_picos() as f64;
+        // Paper: 824 us vs 93.6 us (8.8x).
+        assert!(ratio > 4.0, "TX2 ZC kernel ratio {ratio:.1}x");
+    }
+}

@@ -1,0 +1,258 @@
+//! Centroid extraction and slope computation for Shack–Hartmann frames.
+//!
+//! The GPU kernel of the paper's first case study [Kong et al., Applied
+//! Optics 2017] computes, per subaperture, the thresholded centre of
+//! gravity of the spot — a 2D reduction over the subaperture window. The
+//! CPU routine converts centroid displacements into wavefront slopes
+//! against the reference positions.
+//!
+//! Both routines are real implementations (they produce validated
+//! numbers) and are instrumented with a [`Tracer`] so the shared-buffer
+//! traffic they actually perform can be replayed on the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_soc::hierarchy::MemSpace;
+use icomm_trace::Tracer;
+
+use crate::image::Image;
+use crate::shwfs::frame::ShwfsConfig;
+
+/// One extracted spot centroid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Centroid {
+    /// Spot centre x in frame coordinates.
+    pub x: f64,
+    /// Spot centre y in frame coordinates.
+    pub y: f64,
+    /// Total (thresholded) intensity of the spot.
+    pub intensity: f64,
+}
+
+/// One wavefront slope sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slope {
+    /// Slope along x (pixels of displacement).
+    pub sx: f64,
+    /// Slope along y.
+    pub sy: f64,
+}
+
+/// Extracts the centre-of-gravity centroid of every subaperture.
+///
+/// `threshold` is subtracted from each pixel before accumulation (clamped
+/// at zero), the standard Shack–Hartmann background-rejection step.
+/// Frame reads are reported to `tracer` in `space` so the caller can
+/// replay them against the simulated shared buffer.
+pub fn extract_centroids(
+    image: &Image,
+    config: &ShwfsConfig,
+    threshold: u16,
+    tracer: &mut impl Tracer,
+    space: MemSpace,
+) -> Vec<Centroid> {
+    let sub = config.subaperture_px;
+    let mut out = Vec::with_capacity(config.subaperture_count() as usize);
+    for sy in 0..config.grid_y {
+        for sx in 0..config.grid_x {
+            let x0 = sx * sub;
+            let y0 = sy * sub;
+            let mut sum = 0.0f64;
+            let mut sum_x = 0.0f64;
+            let mut sum_y = 0.0f64;
+            for py in y0..y0 + sub {
+                // One coalesced read per subaperture row.
+                tracer.read(
+                    config.pixel_offset(x0, py),
+                    sub * config.bytes_per_pixel,
+                    space,
+                );
+                for px in x0..x0 + sub {
+                    let raw = image.get(px, py);
+                    let v = raw.saturating_sub(threshold) as f64;
+                    sum += v;
+                    sum_x += v * (px as f64 + 0.5);
+                    sum_y += v * (py as f64 + 0.5);
+                }
+            }
+            let centroid = if sum > 0.0 {
+                Centroid {
+                    x: sum_x / sum,
+                    y: sum_y / sum,
+                    intensity: sum,
+                }
+            } else {
+                // Dead subaperture: report its geometric centre.
+                Centroid {
+                    x: (x0 + sub / 2) as f64,
+                    y: (y0 + sub / 2) as f64,
+                    intensity: 0.0,
+                }
+            };
+            // Result write: x, y, intensity as 3 x f32 = 12 bytes, padded
+            // to one 16-byte store.
+            let idx = (sy * config.grid_x + sx) as u64;
+            tracer.write(centroid_buffer_offset(config) + idx * 16, 16, space);
+            out.push(centroid);
+        }
+    }
+    out
+}
+
+/// Byte offset of the centroid output array inside the shared buffer
+/// (right after the frame pixels).
+pub fn centroid_buffer_offset(config: &ShwfsConfig) -> u64 {
+    config.frame_bytes()
+}
+
+/// Total shared-buffer size for a configuration: frame + centroid array.
+pub fn shared_buffer_bytes(config: &ShwfsConfig) -> u64 {
+    centroid_buffer_offset(config) + config.subaperture_count() as u64 * 16
+}
+
+/// Converts centroids into wavefront slopes against the reference (the
+/// undisplaced subaperture centres). This is the CPU routine; centroid
+/// reads are traced in `space`.
+pub fn compute_slopes(
+    centroids: &[Centroid],
+    config: &ShwfsConfig,
+    tracer: &mut impl Tracer,
+    space: MemSpace,
+) -> Vec<Slope> {
+    let sub = config.subaperture_px as f64;
+    let mut slopes = Vec::with_capacity(centroids.len());
+    for (i, c) in centroids.iter().enumerate() {
+        tracer.read(centroid_buffer_offset(config) + i as u64 * 16, 16, space);
+        let sx_idx = (i as u32 % config.grid_x) as f64;
+        let sy_idx = (i as u32 / config.grid_x) as f64;
+        let ref_x = sx_idx * sub + sub / 2.0;
+        let ref_y = sy_idx * sub + sub / 2.0;
+        slopes.push(Slope {
+            sx: c.x - ref_x,
+            sy: c.y - ref_y,
+        });
+    }
+    slopes
+}
+
+/// Root-mean-square centroid error against the ground-truth spot centres.
+pub fn rms_error(centroids: &[Centroid], truth: &[(f64, f64)]) -> f64 {
+    assert_eq!(centroids.len(), truth.len(), "length mismatch");
+    if centroids.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = centroids
+        .iter()
+        .zip(truth)
+        .map(|(c, &(tx, ty))| (c.x - tx).powi(2) + (c.y - ty).powi(2))
+        .sum();
+    (sum_sq / centroids.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shwfs::frame::generate_frame;
+    use icomm_trace::{CountingTracer, NullTracer};
+
+    fn config() -> ShwfsConfig {
+        ShwfsConfig {
+            grid_x: 6,
+            grid_y: 5,
+            noise_amplitude: 0,
+            ..ShwfsConfig::default()
+        }
+    }
+
+    #[test]
+    fn centroids_match_truth_noise_free() {
+        let cfg = config();
+        let (img, truth) = generate_frame(&cfg);
+        let centroids = extract_centroids(&img, &cfg, 0, &mut NullTracer, MemSpace::Cached);
+        let err = rms_error(&centroids, &truth);
+        assert!(err < 0.05, "rms centroid error {err:.4} px");
+    }
+
+    #[test]
+    fn centroids_robust_to_noise_with_threshold() {
+        let cfg = ShwfsConfig {
+            noise_amplitude: 12,
+            ..config()
+        };
+        let (img, truth) = generate_frame(&cfg);
+        let centroids = extract_centroids(&img, &cfg, 16, &mut NullTracer, MemSpace::Cached);
+        let err = rms_error(&centroids, &truth);
+        assert!(err < 0.15, "rms centroid error under noise {err:.4} px");
+    }
+
+    #[test]
+    fn threshold_matters_under_noise() {
+        let cfg = ShwfsConfig {
+            noise_amplitude: 30,
+            ..config()
+        };
+        let (img, truth) = generate_frame(&cfg);
+        let with = extract_centroids(&img, &cfg, 40, &mut NullTracer, MemSpace::Cached);
+        let without = extract_centroids(&img, &cfg, 0, &mut NullTracer, MemSpace::Cached);
+        assert!(rms_error(&with, &truth) < rms_error(&without, &truth));
+    }
+
+    #[test]
+    fn traced_traffic_matches_geometry() {
+        let cfg = config();
+        let (img, _) = generate_frame(&cfg);
+        let mut tracer = CountingTracer::new();
+        let _ = extract_centroids(&img, &cfg, 0, &mut tracer, MemSpace::Cached);
+        let subs = cfg.subaperture_count() as u64;
+        // One read per subaperture row + one result write per subaperture.
+        assert_eq!(tracer.reads, subs * cfg.subaperture_px as u64);
+        assert_eq!(tracer.writes, subs);
+        assert_eq!(tracer.bytes, cfg.frame_bytes() + subs * 16);
+    }
+
+    #[test]
+    fn slopes_recover_tilt() {
+        let cfg = ShwfsConfig {
+            defocus: 0.0,
+            tilt: (1.5, -0.75),
+            noise_amplitude: 0,
+            ..config()
+        };
+        let (img, _) = generate_frame(&cfg);
+        let centroids = extract_centroids(&img, &cfg, 0, &mut NullTracer, MemSpace::Cached);
+        let slopes = compute_slopes(&centroids, &cfg, &mut NullTracer, MemSpace::Cached);
+        let mean_sx: f64 = slopes.iter().map(|s| s.sx).sum::<f64>() / slopes.len() as f64;
+        let mean_sy: f64 = slopes.iter().map(|s| s.sy).sum::<f64>() / slopes.len() as f64;
+        assert!((mean_sx - 1.5).abs() < 0.05, "mean sx {mean_sx:.3}");
+        assert!((mean_sy + 0.75).abs() < 0.05, "mean sy {mean_sy:.3}");
+    }
+
+    #[test]
+    fn defocus_produces_radial_slopes() {
+        let cfg = ShwfsConfig {
+            defocus: 2.0,
+            tilt: (0.0, 0.0),
+            noise_amplitude: 0,
+            ..config()
+        };
+        let (img, _) = generate_frame(&cfg);
+        let centroids = extract_centroids(&img, &cfg, 0, &mut NullTracer, MemSpace::Cached);
+        let slopes = compute_slopes(&centroids, &cfg, &mut NullTracer, MemSpace::Cached);
+        // Left half slopes point left, right half point right.
+        let left = slopes[0].sx;
+        let right = slopes[(cfg.grid_x - 1) as usize].sx;
+        assert!(
+            left < 0.0 && right > 0.0,
+            "left {left:.2}, right {right:.2}"
+        );
+    }
+
+    #[test]
+    fn dead_subaperture_reports_geometric_centre() {
+        let cfg = config();
+        let img = Image::new(cfg.frame_width(), cfg.frame_height()); // all dark
+        let centroids = extract_centroids(&img, &cfg, 0, &mut NullTracer, MemSpace::Cached);
+        assert_eq!(centroids[0].intensity, 0.0);
+        assert_eq!(centroids[0].x, (cfg.subaperture_px / 2) as f64);
+    }
+}

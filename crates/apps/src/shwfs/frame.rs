@@ -1,0 +1,212 @@
+//! Synthetic Shack–Hartmann wavefront-sensor frames.
+//!
+//! A Shack–Hartmann sensor images a lenslet array: each lenslet focuses a
+//! spot onto its subaperture of the camera, and the spot's displacement
+//! from the subaperture centre encodes the local wavefront slope. The
+//! generator renders one Gaussian spot per subaperture, displaced by a
+//! configurable low-order aberration (tilt + defocus) plus optional photon
+//! noise — a faithful stand-in for the camera frames the paper's first
+//! case study processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::image::Image;
+
+/// Sensor geometry and scene parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShwfsConfig {
+    /// Subapertures along x.
+    pub grid_x: u32,
+    /// Subapertures along y.
+    pub grid_y: u32,
+    /// Subaperture size in pixels (square).
+    pub subaperture_px: u32,
+    /// Gaussian spot standard deviation in pixels.
+    pub spot_sigma: f64,
+    /// Peak spot intensity (per pixel, before noise).
+    pub spot_peak: u16,
+    /// Wavefront tilt in pixels of displacement across the full aperture.
+    pub tilt: (f64, f64),
+    /// Defocus coefficient: radial displacement in pixels at the aperture
+    /// edge.
+    pub defocus: f64,
+    /// Uniform background noise amplitude (0 disables noise).
+    pub noise_amplitude: u16,
+    /// Bytes per pixel as transferred/stored in the shared buffer (the
+    /// paper's cameras are 8-bit; the numeric pipeline still computes in
+    /// full precision).
+    pub bytes_per_pixel: u32,
+    /// RNG seed for the noise.
+    pub seed: u64,
+}
+
+impl Default for ShwfsConfig {
+    fn default() -> Self {
+        ShwfsConfig {
+            grid_x: 47,
+            grid_y: 30,
+            subaperture_px: 16,
+            spot_sigma: 1.6,
+            spot_peak: 200,
+            tilt: (0.8, -0.5),
+            defocus: 1.2,
+            noise_amplitude: 6,
+            bytes_per_pixel: 1,
+            seed: 0x5311,
+        }
+    }
+}
+
+impl ShwfsConfig {
+    /// Frame width in pixels.
+    pub fn frame_width(&self) -> u32 {
+        self.grid_x * self.subaperture_px
+    }
+
+    /// Frame height in pixels.
+    pub fn frame_height(&self) -> u32 {
+        self.grid_y * self.subaperture_px
+    }
+
+    /// Number of subapertures.
+    pub fn subaperture_count(&self) -> u32 {
+        self.grid_x * self.grid_y
+    }
+
+    /// Frame size in bytes as stored in the shared buffer.
+    pub fn frame_bytes(&self) -> u64 {
+        self.frame_width() as u64 * self.frame_height() as u64 * self.bytes_per_pixel as u64
+    }
+
+    /// Byte offset of pixel `(x, y)` inside the shared frame buffer.
+    pub fn pixel_offset(&self, x: u32, y: u32) -> u64 {
+        (y as u64 * self.frame_width() as u64 + x as u64) * self.bytes_per_pixel as u64
+    }
+
+    /// The true (noise-free) spot centre of subaperture `(sx, sy)` in
+    /// frame coordinates, as displaced by the configured aberrations.
+    pub fn true_spot_centre(&self, sx: u32, sy: u32) -> (f64, f64) {
+        let sub = self.subaperture_px as f64;
+        let cx = sx as f64 * sub + sub / 2.0;
+        let cy = sy as f64 * sub + sub / 2.0;
+        // Normalized pupil coordinates in [-1, 1].
+        let u = (sx as f64 + 0.5) / self.grid_x as f64 * 2.0 - 1.0;
+        let v = (sy as f64 + 0.5) / self.grid_y as f64 * 2.0 - 1.0;
+        let dx = self.tilt.0 + self.defocus * u;
+        let dy = self.tilt.1 + self.defocus * v;
+        (cx + dx, cy + dy)
+    }
+}
+
+/// Renders one frame; returns the image and the per-subaperture true spot
+/// centres (ground truth for validating the centroid extractor).
+pub fn generate_frame(config: &ShwfsConfig) -> (Image, Vec<(f64, f64)>) {
+    let mut image = Image::new(config.frame_width(), config.frame_height());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut truth = Vec::with_capacity(config.subaperture_count() as usize);
+    let sub = config.subaperture_px;
+    let two_sigma_sq = 2.0 * config.spot_sigma * config.spot_sigma;
+    for sy in 0..config.grid_y {
+        for sx in 0..config.grid_x {
+            let (cx, cy) = config.true_spot_centre(sx, sy);
+            truth.push((cx, cy));
+            let x0 = sx * sub;
+            let y0 = sy * sub;
+            for py in y0..y0 + sub {
+                for px in x0..x0 + sub {
+                    let dx = px as f64 + 0.5 - cx;
+                    let dy = py as f64 + 0.5 - cy;
+                    let g = (-(dx * dx + dy * dy) / two_sigma_sq).exp();
+                    let spot = (config.spot_peak as f64 * g) as u16;
+                    let noise = if config.noise_amplitude > 0 {
+                        rng.gen_range(0..=config.noise_amplitude)
+                    } else {
+                        0
+                    };
+                    image.set(px, py, spot.saturating_add(noise));
+                }
+            }
+        }
+    }
+    (image, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ShwfsConfig {
+        ShwfsConfig {
+            grid_x: 4,
+            grid_y: 3,
+            subaperture_px: 16,
+            noise_amplitude: 0,
+            ..ShwfsConfig::default()
+        }
+    }
+
+    #[test]
+    fn frame_dimensions_follow_grid() {
+        let cfg = small();
+        let (img, truth) = generate_frame(&cfg);
+        assert_eq!(img.width(), 64);
+        assert_eq!(img.height(), 48);
+        assert_eq!(truth.len(), 12);
+    }
+
+    #[test]
+    fn spots_are_bright_at_true_centres() {
+        let cfg = small();
+        let (img, truth) = generate_frame(&cfg);
+        for &(cx, cy) in &truth {
+            let v = img.get(cx as u32, cy as u32);
+            assert!(v > cfg.spot_peak / 2, "dim spot at ({cx:.1},{cy:.1}): {v}");
+        }
+    }
+
+    #[test]
+    fn frame_bytes_follow_bpp() {
+        let mut cfg = small();
+        cfg.bytes_per_pixel = 1;
+        assert_eq!(cfg.frame_bytes(), 64 * 48);
+        cfg.bytes_per_pixel = 2;
+        assert_eq!(cfg.frame_bytes(), 64 * 48 * 2);
+        assert_eq!(cfg.pixel_offset(1, 1), (64 + 1) * 2);
+    }
+
+    #[test]
+    fn noise_free_background_is_dark() {
+        let cfg = small();
+        let (img, _) = generate_frame(&cfg);
+        // A corner far from any spot centre should be near zero.
+        assert!(img.get(0, 0) < cfg.spot_peak / 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ShwfsConfig {
+            noise_amplitude: 50,
+            ..small()
+        };
+        let (a, _) = generate_frame(&cfg);
+        let (b, _) = generate_frame(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tilt_moves_all_spots_uniformly() {
+        let mut cfg = small();
+        cfg.defocus = 0.0;
+        cfg.tilt = (2.0, 0.0);
+        let sub = cfg.subaperture_px as f64;
+        for sy in 0..cfg.grid_y {
+            for sx in 0..cfg.grid_x {
+                let (cx, _) = cfg.true_spot_centre(sx, sy);
+                let nominal = sx as f64 * sub + sub / 2.0;
+                assert!((cx - nominal - 2.0).abs() < 1e-12);
+            }
+        }
+    }
+}

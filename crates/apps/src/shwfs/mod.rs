@@ -1,0 +1,12 @@
+//! The Shack–Hartmann wavefront-sensor case study (adaptive optics).
+
+pub mod centroid;
+pub mod frame;
+pub mod workload;
+
+pub use centroid::{
+    centroid_buffer_offset, compute_slopes, extract_centroids, rms_error, shared_buffer_bytes,
+    Centroid, Slope,
+};
+pub use frame::{generate_frame, ShwfsConfig};
+pub use workload::ShwfsApp;

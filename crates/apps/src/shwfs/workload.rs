@@ -1,0 +1,256 @@
+//! Mapping the Shack–Hartmann application onto an `icomm` workload.
+//!
+//! Pipeline per camera frame:
+//!
+//! 1. **CPU (producer)**: acquires/unpacks the camera frame into the shared
+//!    buffer, reads back the previous frame's centroids, and computes
+//!    wavefront slopes plus the host-side control work (lookup tables and
+//!    a hot working set).
+//! 2. **GPU kernel**: per-subaperture thresholded centre-of-gravity (a 2D
+//!    reduction), reading the frame and writing the centroid array.
+//!
+//! The shared-buffer traffic is sized from the *traced real
+//! implementation* ([`crate::shwfs::centroid`]); arithmetic costs come
+//! from per-pixel/per-subaperture operation counts. Within one frame the
+//! slope computation depends on the kernel's output, so the phases do not
+//! overlap (`overlappable = false`), matching the paper's serialized
+//! SH-WFS timings.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_models::{CpuPhase, GpuPhase, Workload};
+use icomm_soc::cache::AccessKind;
+use icomm_soc::cpu::{CpuOpClass, OpCount};
+use icomm_soc::hierarchy::MemSpace;
+use icomm_soc::units::ByteSize;
+use icomm_trace::{CountingTracer, Pattern};
+
+use crate::shwfs::centroid::{centroid_buffer_offset, extract_centroids};
+use crate::shwfs::frame::{generate_frame, ShwfsConfig};
+
+/// Application-level parameters of the SH-WFS case study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShwfsApp {
+    /// Sensor/scene configuration.
+    pub sensor: ShwfsConfig,
+    /// Background-rejection threshold.
+    pub threshold: u16,
+    /// GPU instruction-cycles per pixel (load, threshold, three
+    /// multiply-accumulates, reduction bookkeeping).
+    pub cycles_per_pixel: u64,
+    /// Host-side control arithmetic per frame (acquisition, unpacking,
+    /// reconstruction bookkeeping).
+    pub host_ops: u64,
+    /// Hot (L1-resident) CPU accesses per frame.
+    pub hot_accesses: u64,
+    /// CPU lookup/calibration table size (private, cacheable).
+    pub table_bytes: u64,
+    /// Frames to simulate.
+    pub iterations: u32,
+}
+
+impl Default for ShwfsApp {
+    fn default() -> Self {
+        ShwfsApp {
+            sensor: ShwfsConfig::default(),
+            threshold: 12,
+            cycles_per_pixel: 80,
+            host_ops: 120_000,
+            hot_accesses: 30_000,
+            table_bytes: 192 * 1024,
+            iterations: 4,
+        }
+    }
+}
+
+impl ShwfsApp {
+    /// Runs the real algorithm once (traced) and builds the workload whose
+    /// shared-buffer traffic matches the traced transaction counts.
+    pub fn workload(&self) -> Workload {
+        let cfg = &self.sensor;
+        let (image, _) = generate_frame(cfg);
+        let mut kernel_trace = CountingTracer::new();
+        let centroids = extract_centroids(
+            &image,
+            cfg,
+            self.threshold,
+            &mut kernel_trace,
+            MemSpace::Cached,
+        );
+        let frame_bytes = cfg.frame_bytes();
+        let centroid_bytes = centroids.len() as u64 * 16;
+        let pixels = cfg.frame_width() as u64 * cfg.frame_height() as u64;
+        let subs = cfg.subaperture_count() as u64;
+
+        // GPU: the traced per-subaperture row reads coalesce into 64 B
+        // warp transactions over the contiguous frame, plus the traced
+        // centroid writes.
+        let gpu_shared = Pattern::Sequence(vec![
+            Pattern::Linear {
+                start: 0,
+                bytes: frame_bytes,
+                txn_bytes: 64,
+                kind: AccessKind::Read,
+            },
+            Pattern::Linear {
+                start: centroid_buffer_offset(cfg),
+                bytes: centroid_bytes,
+                txn_bytes: 16,
+                kind: AccessKind::Write,
+            },
+        ]);
+        debug_assert_eq!(kernel_trace.bytes, frame_bytes + centroid_bytes);
+
+        // CPU: write the acquired frame into the shared buffer, then read
+        // the centroid results back for the slope computation. The
+        // read-back is a bulk (cache-line coalesced) copy into local
+        // arrays — reading 16-byte records individually over an uncached
+        // pinned mapping would be ruinous, and no sane implementation
+        // does that.
+        let cpu_shared = Pattern::Sequence(vec![
+            Pattern::Linear {
+                start: 0,
+                bytes: frame_bytes,
+                txn_bytes: 64,
+                kind: AccessKind::Write,
+            },
+            Pattern::Linear {
+                start: centroid_buffer_offset(cfg),
+                bytes: centroid_bytes,
+                txn_bytes: 64,
+                kind: AccessKind::Read,
+            },
+        ]);
+        // Private host-side traffic: calibration-table walks (LLC
+        // resident, L1-hostile stride) plus a hot L1 working set.
+        let cpu_private = Pattern::Sequence(vec![
+            Pattern::Strided {
+                start: 0,
+                count: self.table_bytes / 256,
+                stride: 256,
+                txn_bytes: 8,
+                kind: AccessKind::Read,
+            },
+            Pattern::SingleAddress {
+                addr: self.table_bytes,
+                count: self.hot_accesses,
+                txn_bytes: 8,
+                kind: AccessKind::Read,
+            },
+        ]);
+
+        // Arithmetic: slopes need two subtractions and a magnitude per
+        // subaperture; the kernel does `cycles_per_pixel` per pixel.
+        let cpu_ops = vec![
+            OpCount::new(CpuOpClass::FpMulAdd, self.host_ops + subs * 2),
+            OpCount::new(CpuOpClass::FpSqrt, subs),
+            OpCount::new(CpuOpClass::FpDiv, subs),
+        ];
+
+        Workload::builder(format!(
+            "shwfs/{}x{}x{}px",
+            cfg.grid_x, cfg.grid_y, cfg.subaperture_px
+        ))
+        .bytes_to_gpu(ByteSize(frame_bytes))
+        .bytes_from_gpu(ByteSize(centroid_bytes))
+        .cpu(CpuPhase {
+            ops: cpu_ops,
+            shared_accesses: cpu_shared,
+            private_accesses: Some(cpu_private),
+        })
+        .gpu(GpuPhase {
+            compute_work: pixels * self.cycles_per_pixel,
+            shared_accesses: gpu_shared,
+            private_accesses: None,
+        })
+        .overlappable(false)
+        .iterations(self.iterations)
+        .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_models::{run_model, CommModelKind};
+    use icomm_soc::DeviceProfile;
+
+    #[test]
+    fn workload_payloads_match_sensor() {
+        let app = ShwfsApp::default();
+        let w = app.workload();
+        assert_eq!(w.bytes_to_gpu.as_u64(), app.sensor.frame_bytes());
+        assert_eq!(
+            w.bytes_from_gpu.as_u64(),
+            app.sensor.subaperture_count() as u64 * 16
+        );
+        assert!(!w.overlappable);
+    }
+
+    #[test]
+    fn xavier_zc_beats_sc() {
+        let app = ShwfsApp {
+            iterations: 2,
+            ..ShwfsApp::default()
+        };
+        let w = app.workload();
+        let device = DeviceProfile::jetson_agx_xavier();
+        let sc = run_model(CommModelKind::StandardCopy, &device, &w);
+        let zc = run_model(CommModelKind::ZeroCopy, &device, &w);
+        let gain = zc.speedup_vs_percent(&sc);
+        // Paper Table III: +38 % on Xavier.
+        assert!(gain > 10.0, "Xavier ZC gain {gain:.0}% should be positive");
+    }
+
+    #[test]
+    fn nano_and_tx2_zc_lose() {
+        let app = ShwfsApp {
+            iterations: 2,
+            ..ShwfsApp::default()
+        };
+        let w = app.workload();
+        for device in [DeviceProfile::jetson_nano(), DeviceProfile::jetson_tx2()] {
+            let sc = run_model(CommModelKind::StandardCopy, &device, &w);
+            let zc = run_model(CommModelKind::ZeroCopy, &device, &w);
+            let gain = zc.speedup_vs_percent(&sc);
+            assert!(
+                gain < -10.0,
+                "{} ZC gain {gain:.0}% should be negative",
+                device.name
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_times_ordered_by_device() {
+        let app = ShwfsApp {
+            iterations: 2,
+            ..ShwfsApp::default()
+        };
+        let w = app.workload();
+        let kt = |d: &DeviceProfile| {
+            run_model(CommModelKind::StandardCopy, d, &w).kernel_time_per_iteration()
+        };
+        let nano = kt(&DeviceProfile::jetson_nano());
+        let tx2 = kt(&DeviceProfile::jetson_tx2());
+        let xavier = kt(&DeviceProfile::jetson_agx_xavier());
+        // Paper Table III: 453.5 / 175.2 / 41.2 us.
+        assert!(nano > tx2 && tx2 > xavier, "{nano} > {tx2} > {xavier}");
+    }
+
+    #[test]
+    fn xavier_zc_kernel_penalty_small() {
+        let app = ShwfsApp {
+            iterations: 2,
+            ..ShwfsApp::default()
+        };
+        let w = app.workload();
+        let device = DeviceProfile::jetson_agx_xavier();
+        let sc = run_model(CommModelKind::StandardCopy, &device, &w);
+        let zc = run_model(CommModelKind::ZeroCopy, &device, &w);
+        let penalty = zc.kernel_time_per_iteration().as_picos() as f64
+            / sc.kernel_time_per_iteration().as_picos() as f64;
+        // Paper: -14 % kernel on Xavier.
+        assert!(penalty < 1.4, "Xavier ZC kernel penalty {penalty:.2}x");
+    }
+}

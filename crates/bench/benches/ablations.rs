@@ -1,0 +1,23 @@
+//! Ablation studies: I/O coherence, tiling parameters, pinned-path MLP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icomm_bench::ablation;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ablation::ablation_io_coherence().render());
+    println!("{}", ablation::ablation_tiling().render());
+    println!("{}", ablation::ablation_pinned_mlp().render());
+    println!("{}", ablation::ablation_um_chunk().render());
+    println!("{}", ablation::ablation_async_copy().render());
+    println!("{}", ablation::ablation_power_modes().render());
+    c.bench_function("ablation/io_coherence_report", |b| {
+        b.iter(ablation::ablation_io_coherence)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 3: the MB2 threshold sweep on the AGX Xavier, and
+//! benchmarks the cost of one sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icomm_bench::experiments;
+use icomm_microbench::mb2::ThresholdSweep;
+use icomm_models::{run_model, CommModelKind};
+use icomm_soc::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig3_xavier().render());
+    let device = DeviceProfile::jetson_agx_xavier();
+    let sweep = ThresholdSweep::new();
+    let workload = sweep.gpu_workload(&device, 64);
+    c.bench_function("fig3/sweep_point_sc", |b| {
+        b.iter(|| run_model(CommModelKind::StandardCopy, &device, &workload))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 5: MB1 execution times per communication model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icomm_bench::experiments;
+use icomm_microbench::PeakCacheThroughput;
+use icomm_soc::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig5_and_table1().render());
+    let device = DeviceProfile::jetson_agx_xavier();
+    c.bench_function("fig5/mb1_xavier", |b| {
+        b.iter(|| PeakCacheThroughput::new().run(&device))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

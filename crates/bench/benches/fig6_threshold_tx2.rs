@@ -1,0 +1,24 @@
+//! Regenerates Fig. 6: the MB2 threshold sweep on the TX2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icomm_bench::experiments;
+use icomm_microbench::mb2::ThresholdSweep;
+use icomm_models::{run_model, CommModelKind};
+use icomm_soc::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig6_tx2().render());
+    let device = DeviceProfile::jetson_tx2();
+    let sweep = ThresholdSweep::new();
+    let workload = sweep.gpu_workload(&device, 64);
+    c.bench_function("fig6/sweep_point_zc", |b| {
+        b.iter(|| run_model(CommModelKind::ZeroCopy, &device, &workload))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

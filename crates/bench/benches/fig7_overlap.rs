@@ -1,0 +1,24 @@
+//! Regenerates Fig. 7: the MB3 overlap probe at the paper's data-set size
+//! (2^27 floats = 512 MB).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icomm_bench::experiments;
+use icomm_microbench::mb3::{Mb3Config, OverlapProbe};
+use icomm_soc::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig7(1 << 27).render());
+    let device = DeviceProfile::jetson_agx_xavier();
+    let probe = OverlapProbe::with_config(Mb3Config {
+        array_bytes: 1 << 22,
+        ..Mb3Config::default()
+    });
+    c.bench_function("fig7/mb3_small_probe", |b| b.iter(|| probe.run(&device)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

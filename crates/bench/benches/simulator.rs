@@ -1,0 +1,50 @@
+//! Microbenchmarks of the simulator substrate itself: how fast the cache
+//! model, the GPU path and a full communication-model run execute on the
+//! host.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icomm_soc::cache::{AccessKind, Cache, CacheGeometry};
+use icomm_soc::hierarchy::MemSpace;
+use icomm_soc::request::MemRequest;
+use icomm_soc::units::ByteSize;
+use icomm_soc::{DeviceProfile, Soc};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+
+    let n: u64 = 100_000;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("cache_accesses", |b| {
+        let geo = CacheGeometry::new(ByteSize::kib(512), 64, 16);
+        b.iter(|| {
+            let mut cache = Cache::new(geo);
+            for i in 0..n {
+                cache.access(i * 64 % (1 << 22), AccessKind::Read);
+            }
+            cache.stats().hits
+        })
+    });
+
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("gpu_kernel_requests", |b| {
+        let device = DeviceProfile::jetson_tx2();
+        b.iter(|| {
+            let mut soc = Soc::new(device.clone());
+            let reqs = (0..n).map(|i| MemRequest::read(i * 64, 64, MemSpace::Cached));
+            soc.run_kernel(0, reqs).transactions
+        })
+    });
+
+    group.throughput(Throughput::Bytes(1 << 20));
+    group.bench_function("dma_copy_1mib", |b| {
+        let device = DeviceProfile::jetson_agx_xavier();
+        let mut soc = Soc::new(device.clone());
+        b.iter(|| soc.copy(ByteSize::mib(1)).time)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Table I: maximum GPU cache throughput per model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icomm_bench::experiments;
+use icomm_microbench::PeakCacheThroughput;
+use icomm_soc::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig5_and_table1().render());
+    let device = DeviceProfile::jetson_tx2();
+    c.bench_function("table1/mb1_tx2", |b| {
+        b.iter(|| PeakCacheThroughput::new().run(&device))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Table II: SH-WFS profiling results and framework
+//! predictions on all three boards.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icomm_apps::ShwfsApp;
+use icomm_bench::experiments::{self, CharacterizationSet};
+use icomm_models::CommModelKind;
+use icomm_profile::Profiler;
+use icomm_soc::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    let chars = CharacterizationSet::measure();
+    println!("{}", experiments::table2_shwfs(&chars).render());
+    println!("{}", experiments::validation_summary(&chars).render());
+    let workload = ShwfsApp::default().workload();
+    let profiler = Profiler::new(DeviceProfile::jetson_agx_xavier());
+    c.bench_function("table2/profile_shwfs_xavier", |b| {
+        b.iter(|| profiler.profile(&workload, CommModelKind::StandardCopy))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates Table III: SH-WFS performance under SC/UM/ZC on all
+//! three boards.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icomm_apps::ShwfsApp;
+use icomm_bench::experiments;
+use icomm_models::{run_model, CommModelKind};
+use icomm_soc::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::table3_shwfs().render());
+    let workload = ShwfsApp::default().workload();
+    let device = DeviceProfile::jetson_tx2();
+    c.bench_function("table3/shwfs_sc_tx2", |b| {
+        b.iter(|| run_model(CommModelKind::StandardCopy, &device, &workload))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Table IV: ORB profiling results and framework verdicts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icomm_apps::OrbApp;
+use icomm_bench::experiments::{self, CharacterizationSet};
+
+fn bench(c: &mut Criterion) {
+    let chars = CharacterizationSet::measure();
+    println!("{}", experiments::table4_orb(&chars).render());
+    c.bench_function("table4/orb_workload_build", |b| {
+        b.iter(|| OrbApp::default().workload())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates Table V: ORB performance under SC and ZC on TX2 and
+//! Xavier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icomm_apps::OrbApp;
+use icomm_bench::experiments;
+use icomm_models::{run_model, CommModelKind};
+use icomm_soc::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::table5_orb().render());
+    // Keep the timing loop light.
+    let app = OrbApp {
+        matching_reads: 100_000,
+        iterations: 1,
+        ..OrbApp::default()
+    };
+    let workload = app.workload();
+    let device = DeviceProfile::jetson_agx_xavier();
+    c.bench_function("table5/orb_sc_xavier", |b| {
+        b.iter(|| run_model(CommModelKind::StandardCopy, &device, &workload))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+use icomm_bench::ablation;
+use icomm_bench::experiments::{self, CharacterizationSet};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    println!("{}", experiments::fig5_and_table1().render());
+    println!("{}", experiments::fig3_xavier().render());
+    println!("{}", experiments::fig6_tx2().render());
+    let fig7_bytes = if quick { 1 << 24 } else { 1 << 27 };
+    println!("{}", experiments::fig7(fig7_bytes).render());
+    let chars = CharacterizationSet::measure();
+    println!("{}", experiments::table2_shwfs(&chars).render());
+    println!("{}", experiments::table3_shwfs().render());
+    println!("{}", experiments::table4_orb(&chars).render());
+    println!("{}", experiments::table5_orb().render());
+    println!("{}", experiments::validation_summary(&chars).render());
+    println!("{}", ablation::ablation_io_coherence().render());
+    println!("{}", ablation::ablation_tiling().render());
+    println!("{}", ablation::ablation_pinned_mlp().render());
+    println!("{}", ablation::ablation_um_chunk().render());
+    println!("{}", ablation::ablation_async_copy().render());
+    println!("{}", ablation::ablation_power_modes().render());
+    println!("{}", experiments::crossover_sweep().render());
+    println!("{}", experiments::realtime_orb().render());
+}

@@ -1,0 +1,181 @@
+//! Minimal ASCII charts for the figure experiments.
+//!
+//! The paper's Figs. 3 and 6 are throughput/runtime curves over the
+//! access-fraction sweep; rendering them as text keeps the "regenerate
+//! every figure" promise self-contained (no plotting dependencies).
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Plot glyph.
+    pub glyph: char,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, glyph: char, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            glyph,
+            points,
+        }
+    }
+}
+
+/// Renders series into a fixed-size ASCII chart.
+///
+/// `log_x` plots x on a log10 axis (the paper's access-fraction sweeps
+/// span four decades). Points with non-positive coordinates are skipped
+/// on log axes. Returns an empty string if there is nothing to plot.
+pub fn render(
+    title: &str,
+    y_label: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+) -> String {
+    let transform = |v: f64, log: bool| if log { v.log10() } else { v };
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for s in series {
+        for &(x, y) in &s.points {
+            if (log_x && x <= 0.0) || (log_y && y <= 0.0) {
+                continue;
+            }
+            xs.push(transform(x, log_x));
+            ys.push(transform(y, log_y));
+        }
+    }
+    if xs.is_empty() {
+        return String::new();
+    }
+    let (x_min, x_max) = bounds(&xs);
+    let (y_min, y_max) = bounds(&ys);
+    let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+    let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            if (log_x && x <= 0.0) || (log_y && y <= 0.0) {
+                continue;
+            }
+            let fx = (transform(x, log_x) - x_min) / x_span;
+            let fy = (transform(y, log_y) - y_min) / y_span;
+            let col = ((fx * (width - 1) as f64).round() as usize).min(width - 1);
+            let row = height - 1 - ((fy * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[row][col] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_axis = |v: f64, log: bool| {
+        let raw = if log { 10f64.powf(v) } else { v };
+        if raw.abs() >= 1000.0 || (raw != 0.0 && raw.abs() < 0.01) {
+            format!("{raw:.2e}")
+        } else {
+            format!("{raw:.2}")
+        }
+    };
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{:>10} |", fmt_axis(y_max, log_y))
+        } else if i == height - 1 {
+            format!("{:>10} |", fmt_axis(y_min, log_y))
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10}  {}{}{}\n",
+        y_label,
+        fmt_axis(x_min, log_x),
+        " ".repeat(width.saturating_sub(16)),
+        fmt_axis(x_max, log_x),
+    ));
+    for s in series {
+        out.push_str(&format!("{:>12}: {}\n", s.glyph, s.label));
+    }
+    out
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series::new(
+                "linear",
+                '*',
+                (1..=10).map(|i| (i as f64, i as f64)).collect(),
+            ),
+            Series::new("flat", 'o', (1..=10).map(|i| (i as f64, 5.0)).collect()),
+        ]
+    }
+
+    #[test]
+    fn renders_title_legend_and_grid() {
+        let text = render("demo", "y", &sample(), 40, 10, false, false);
+        assert!(text.starts_with("demo"));
+        assert!(text.contains("*: linear"));
+        assert!(text.contains("o: flat"));
+        assert!(text.contains('|'));
+        assert!(text.contains('+'));
+    }
+
+    #[test]
+    fn increasing_series_touches_top_right() {
+        let text = render("demo", "y", &sample(), 40, 10, false, false);
+        let lines: Vec<&str> = text.lines().collect();
+        // First grid row (top) must contain the '*' of the max point.
+        assert!(lines[1].contains('*'), "{text}");
+    }
+
+    #[test]
+    fn log_axes_skip_nonpositive_points() {
+        let s = vec![Series::new(
+            "mixed",
+            '#',
+            vec![(0.0, 1.0), (0.001, 1.0), (1.0, 10.0)],
+        )];
+        let text = render("log", "y", &s, 30, 8, true, true);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn empty_input_renders_nothing() {
+        assert_eq!(render("t", "y", &[], 30, 8, false, false), "");
+        let all_skipped = vec![Series::new("neg", 'x', vec![(-1.0, -1.0)])];
+        assert_eq!(render("t", "y", &all_skipped, 30, 8, true, true), "");
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let s = vec![Series::new("dot", '.', vec![(2.0, 3.0)])];
+        let text = render("p", "y", &s, 20, 6, false, false);
+        assert!(text.contains('.'));
+    }
+}

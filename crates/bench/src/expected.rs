@@ -1,0 +1,249 @@
+//! The paper's published numbers, for paper-vs-measured reporting.
+//!
+//! Absolute values are not expected to match (the substrate is a
+//! simulator, not the authors' testbed); the *shape* — who wins, by
+//! roughly what factor, where thresholds fall — is the reproduction
+//! target. Each experiment report prints these next to the measured
+//! values.
+
+/// Table I: maximum GPU cache throughput, GB/s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Board name.
+    pub board: &'static str,
+    /// Zero-copy path throughput.
+    pub zc_gbps: f64,
+    /// Standard-copy (cached) throughput.
+    pub sc_gbps: f64,
+    /// Unified-memory throughput.
+    pub um_gbps: f64,
+}
+
+/// Table I as published.
+pub const TABLE1: [Table1Row; 2] = [
+    Table1Row {
+        board: "Jetson TX2",
+        zc_gbps: 1.28,
+        sc_gbps: 97.34,
+        um_gbps: 104.15,
+    },
+    Table1Row {
+        board: "Jetson AGX Xavier",
+        zc_gbps: 32.29,
+        sc_gbps: 214.64,
+        um_gbps: 231.14,
+    },
+];
+
+/// Fig. 3 / Fig. 6: GPU cache thresholds (percent).
+pub const GPU_THRESHOLD_TX2_PCT: f64 = 2.7;
+/// Xavier threshold (zone-1/zone-2 boundary).
+pub const GPU_THRESHOLD_XAVIER_PCT: f64 = 16.2;
+/// Xavier zone-2/zone-3 boundary.
+pub const GPU_ZONE2_XAVIER_PCT: f64 = 57.1;
+/// CPU cache threshold on Nano/TX2.
+pub const CPU_THRESHOLD_TX2_PCT: f64 = 15.6;
+
+/// Fig. 7: ZC advantage over SC (percent, "up to").
+pub const MB3_ZC_VS_SC_PCT: f64 = 152.0;
+/// Fig. 7: ZC advantage over UM (percent, "up to").
+pub const MB3_ZC_VS_UM_PCT: f64 = 164.0;
+
+/// Table II: SH-WFS profiling results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Board name.
+    pub board: &'static str,
+    /// CPU cache usage (Eqn. 1), percent.
+    pub cpu_usage_pct: f64,
+    /// CPU cache threshold, percent.
+    pub cpu_threshold_pct: f64,
+    /// GPU cache usage (Eqn. 2), percent.
+    pub gpu_usage_pct: f64,
+    /// Kernel time, microseconds.
+    pub kernel_us: f64,
+    /// Copy time per kernel, microseconds.
+    pub copy_us: f64,
+    /// Predicted SC->ZC speedup, percent (None = not recommended).
+    pub predicted_speedup_pct: Option<f64>,
+}
+
+/// Table II as published.
+pub const TABLE2: [Table2Row; 3] = [
+    Table2Row {
+        board: "Jetson Nano",
+        cpu_usage_pct: 19.8,
+        cpu_threshold_pct: 15.6,
+        gpu_usage_pct: 1.7,
+        kernel_us: 453.5,
+        copy_us: 44.8,
+        predicted_speedup_pct: None,
+    },
+    Table2Row {
+        board: "Jetson TX2",
+        cpu_usage_pct: 19.8,
+        cpu_threshold_pct: 15.6,
+        gpu_usage_pct: 3.7,
+        kernel_us: 175.2,
+        copy_us: 22.4,
+        predicted_speedup_pct: None,
+    },
+    Table2Row {
+        board: "Jetson AGX Xavier",
+        cpu_usage_pct: 6.1,
+        cpu_threshold_pct: 100.0,
+        gpu_usage_pct: 7.0,
+        kernel_us: 41.2,
+        copy_us: 16.88,
+        predicted_speedup_pct: Some(69.3),
+    },
+];
+
+/// Table III: SH-WFS measured performance (microseconds / percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Board name.
+    pub board: &'static str,
+    /// SC total time, microseconds.
+    pub sc_us: f64,
+    /// SC kernel time, microseconds.
+    pub sc_kernel_us: f64,
+    /// ZC total time, microseconds.
+    pub zc_us: f64,
+    /// ZC kernel time, microseconds.
+    pub zc_kernel_us: f64,
+    /// Measured ZC-vs-SC speedup, percent (negative = slower).
+    pub zc_speedup_pct: f64,
+}
+
+/// Table III as published (SC and ZC columns).
+pub const TABLE3: [Table3Row; 3] = [
+    Table3Row {
+        board: "Jetson Nano",
+        sc_us: 1070.1,
+        sc_kernel_us: 453.54,
+        zc_us: 1796.1,
+        zc_kernel_us: 467.21,
+        zc_speedup_pct: -67.0,
+    },
+    Table3Row {
+        board: "Jetson TX2",
+        sc_us: 765.04,
+        sc_kernel_us: 175.18,
+        zc_us: 801.24,
+        zc_kernel_us: 244.17,
+        zc_speedup_pct: -5.0,
+    },
+    Table3Row {
+        board: "Jetson AGX Xavier",
+        sc_us: 304.57,
+        sc_kernel_us: 41.24,
+        zc_us: 220.15,
+        zc_kernel_us: 47.14,
+        zc_speedup_pct: 38.0,
+    },
+];
+
+/// Table IV: ORB profiling results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table4Row {
+    /// Board name.
+    pub board: &'static str,
+    /// CPU cache usage, percent.
+    pub cpu_usage_pct: f64,
+    /// GPU cache usage, percent.
+    pub gpu_usage_pct: f64,
+    /// Kernel time, microseconds.
+    pub kernel_us: f64,
+    /// Copy time per kernel, microseconds.
+    pub copy_us: f64,
+}
+
+/// Table IV as published.
+pub const TABLE4: [Table4Row; 2] = [
+    Table4Row {
+        board: "Jetson TX2",
+        cpu_usage_pct: 0.0,
+        gpu_usage_pct: 25.3,
+        kernel_us: 93.56,
+        copy_us: 1.57,
+    },
+    Table4Row {
+        board: "Jetson AGX Xavier",
+        cpu_usage_pct: 0.0,
+        gpu_usage_pct: 20.1,
+        kernel_us: 24.22,
+        copy_us: 1.35,
+    },
+];
+
+/// Table V: ORB measured performance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table5Row {
+    /// Board name.
+    pub board: &'static str,
+    /// SC total time, milliseconds.
+    pub sc_ms: f64,
+    /// SC kernel time, microseconds.
+    pub sc_kernel_us: f64,
+    /// ZC total time, milliseconds.
+    pub zc_ms: f64,
+    /// ZC kernel time, microseconds.
+    pub zc_kernel_us: f64,
+    /// Measured ZC-vs-SC speedup, percent.
+    pub zc_speedup_pct: f64,
+}
+
+/// Table V as published.
+pub const TABLE5: [Table5Row; 2] = [
+    Table5Row {
+        board: "Jetson TX2",
+        sc_ms: 70.0,
+        sc_kernel_us: 93.56,
+        zc_ms: 521.0,
+        zc_kernel_us: 824.20,
+        zc_speedup_pct: -744.0,
+    },
+    Table5Row {
+        board: "Jetson AGX Xavier",
+        sc_ms: 30.0,
+        sc_kernel_us: 24.22,
+        zc_ms: 30.0,
+        zc_kernel_us: 26.99,
+        zc_speedup_pct: 0.0,
+    },
+];
+
+/// Relative comparison of a measured value against the paper's: the ratio
+/// `measured / paper` (1.0 = exact).
+pub fn ratio(measured: f64, paper: f64) -> f64 {
+    if paper == 0.0 {
+        if measured == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        measured / paper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_gap_constants() {
+        let tx2 = &TABLE1[0];
+        assert!((tx2.sc_gbps / tx2.zc_gbps - 76.0).abs() < 1.0);
+        let xavier = &TABLE1[1];
+        assert!((xavier.sc_gbps / xavier.zc_gbps - 6.6).abs() < 0.2);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert!(ratio(1.0, 0.0).is_infinite());
+        assert!((ratio(2.0, 4.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # icomm-bench — experiment harness and benchmarks
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! against the `icomm` simulator:
+//!
+//! | Target | Paper artefact |
+//! |--------|----------------|
+//! | [`experiments::fig5_and_table1`] | Fig. 5 + Table I (MB1) |
+//! | [`experiments::fig3_xavier`] | Fig. 3 (MB2 on Xavier) |
+//! | [`experiments::fig6_tx2`] | Fig. 6 (MB2 on TX2) |
+//! | [`experiments::fig7`] | Fig. 7 (MB3) |
+//! | [`experiments::table2_shwfs`] | Table II |
+//! | [`experiments::table3_shwfs`] | Table III |
+//! | [`experiments::table4_orb`] | Table IV |
+//! | [`experiments::table5_orb`] | Table V |
+//! | [`ablation`] | design-choice ablations |
+//!
+//! The Criterion bench targets under `benches/` print these reports and
+//! measure the wall-clock cost of the underlying simulations, so
+//! `cargo bench -p icomm-bench` reproduces the whole evaluation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod chart;
+pub mod expected;
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{CharacterizationSet, ExperimentReport};

@@ -1,0 +1,324 @@
+//! Argument parsing for the `icomm` CLI (std-only, no clap).
+
+use icomm_models::CommModelKind;
+use icomm_soc::DeviceProfile;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `icomm boards` — list the built-in device profiles.
+    Boards,
+    /// `icomm characterize <board> [--save <file>]` — run the three
+    /// micro-benchmarks, optionally caching the result as JSON.
+    Characterize {
+        /// Board name.
+        board: String,
+        /// Where to save the characterization.
+        save: Option<String>,
+    },
+    /// `icomm tune <board> <app> [--current <model>]` — profile an
+    /// application and print the framework's verdict.
+    Tune {
+        /// Board name.
+        board: String,
+        /// Application name (`shwfs`, `orb`, `lane`).
+        app: String,
+        /// The model the application currently uses.
+        current: CommModelKind,
+        /// A cached characterization file (skips the micro-benchmarks).
+        characterization: Option<String>,
+    },
+    /// `icomm compare <board> <app>` — run the application under every
+    /// model (including the SC+ extension) and print the comparison.
+    Compare {
+        /// Board name.
+        board: String,
+        /// Application name.
+        app: String,
+    },
+    /// `icomm experiments` — regenerate every table/figure of the paper.
+    Experiments,
+    /// `icomm help` / no arguments.
+    Help,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl std::fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+/// Resolves a board name (case-insensitive, several aliases).
+pub fn board_by_name(name: &str) -> Option<DeviceProfile> {
+    match name.to_ascii_lowercase().as_str() {
+        "nano" | "jetson-nano" => Some(DeviceProfile::jetson_nano()),
+        "tx2" | "jetson-tx2" => Some(DeviceProfile::jetson_tx2()),
+        "xavier" | "agx-xavier" | "jetson-agx-xavier" => Some(DeviceProfile::jetson_agx_xavier()),
+        "orin" | "orin-like" => Some(DeviceProfile::orin_like()),
+        _ => None,
+    }
+}
+
+/// The board names `board_by_name` accepts (canonical forms).
+pub const BOARD_NAMES: [&str; 4] = ["nano", "tx2", "xavier", "orin-like"];
+
+/// The application names the CLI knows.
+pub const APP_NAMES: [&str; 3] = ["shwfs", "orb", "lane"];
+
+fn model_by_name(name: &str) -> Option<CommModelKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "sc" | "standard-copy" => Some(CommModelKind::StandardCopy),
+        "um" | "unified-memory" => Some(CommModelKind::UnifiedMemory),
+        "zc" | "zero-copy" => Some(CommModelKind::ZeroCopy),
+        "sc+" | "sc-async" | "double-buffered" => Some(CommModelKind::StandardCopyAsync),
+        _ => None,
+    }
+}
+
+/// Parses the argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a message suitable for printing when the arguments do not form
+/// a valid command.
+pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "boards" => Ok(Command::Boards),
+        "characterize" => {
+            let board = it
+                .next()
+                .ok_or_else(|| ParseArgsError("characterize needs a board name".into()))?;
+            ensure_board(board)?;
+            let mut save = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--save" => {
+                        save = Some(
+                            it.next()
+                                .ok_or_else(|| ParseArgsError("--save needs a file path".into()))?
+                                .clone(),
+                        );
+                    }
+                    other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Characterize {
+                board: board.clone(),
+                save,
+            })
+        }
+        "tune" => {
+            let board = it
+                .next()
+                .ok_or_else(|| ParseArgsError("tune needs a board name".into()))?;
+            ensure_board(board)?;
+            let app = it
+                .next()
+                .ok_or_else(|| ParseArgsError("tune needs an app name".into()))?;
+            ensure_app(app)?;
+            let mut current = CommModelKind::StandardCopy;
+            let mut characterization = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--current" => {
+                        let value = it.next().ok_or_else(|| {
+                            ParseArgsError("--current needs a model (sc|um|zc)".into())
+                        })?;
+                        current = model_by_name(value).ok_or_else(|| {
+                            ParseArgsError(format!("unknown model '{value}' (sc|um|zc|sc+)"))
+                        })?;
+                    }
+                    "--characterization" => {
+                        characterization = Some(
+                            it.next()
+                                .ok_or_else(|| {
+                                    ParseArgsError("--characterization needs a file path".into())
+                                })?
+                                .clone(),
+                        );
+                    }
+                    other => {
+                        return Err(ParseArgsError(format!("unknown flag '{other}'")));
+                    }
+                }
+            }
+            Ok(Command::Tune {
+                board: board.clone(),
+                app: app.clone(),
+                current,
+                characterization,
+            })
+        }
+        "compare" => {
+            let board = it
+                .next()
+                .ok_or_else(|| ParseArgsError("compare needs a board name".into()))?;
+            ensure_board(board)?;
+            let app = it
+                .next()
+                .ok_or_else(|| ParseArgsError("compare needs an app name".into()))?;
+            ensure_app(app)?;
+            Ok(Command::Compare {
+                board: board.clone(),
+                app: app.clone(),
+            })
+        }
+        "experiments" => Ok(Command::Experiments),
+        other => Err(ParseArgsError(format!(
+            "unknown command '{other}' (try `icomm help`)"
+        ))),
+    }
+}
+
+fn ensure_board(name: &str) -> Result<(), ParseArgsError> {
+    if board_by_name(name).is_some() {
+        Ok(())
+    } else {
+        Err(ParseArgsError(format!(
+            "unknown board '{name}' (known: {})",
+            BOARD_NAMES.join(", ")
+        )))
+    }
+}
+
+fn ensure_app(name: &str) -> Result<(), ParseArgsError> {
+    if APP_NAMES.contains(&name.to_ascii_lowercase().as_str()) {
+        Ok(())
+    } else {
+        Err(ParseArgsError(format!(
+            "unknown app '{name}' (known: {})",
+            APP_NAMES.join(", ")
+        )))
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+icomm — tune CPU-iGPU communication on embedded platforms
+
+USAGE:
+    icomm boards
+    icomm characterize <board> [--save <file>]
+    icomm tune <board> <app> [--current sc|um|zc]
+                             [--characterization <file>]
+    icomm compare <board> <app>
+    icomm experiments
+    icomm help
+
+BOARDS:  nano, tx2, xavier, orin-like
+APPS:    shwfs (Shack-Hartmann wavefront sensing)
+         orb   (ORB feature-extraction front-end)
+         lane  (ADAS lane detection)
+
+`characterize` runs the paper's three micro-benchmarks on the simulated
+board. `tune` profiles the chosen application and prints the framework's
+communication-model verdict; `compare` measures every model as ground
+truth. `experiments` regenerates every table and figure of the paper.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn boards_command() {
+        assert_eq!(parse(&v(&["boards"])).unwrap(), Command::Boards);
+    }
+
+    #[test]
+    fn characterize_parses_board() {
+        let c = parse(&v(&["characterize", "tx2"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Characterize {
+                board: "tx2".into(),
+                save: None,
+            }
+        );
+        let c = parse(&v(&["characterize", "tx2", "--save", "c.json"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Characterize {
+                board: "tx2".into(),
+                save: Some("c.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn characterize_rejects_unknown_board() {
+        assert!(parse(&v(&["characterize", "pi5"])).is_err());
+        assert!(parse(&v(&["characterize"])).is_err());
+    }
+
+    #[test]
+    fn tune_defaults_to_sc() {
+        let c = parse(&v(&["tune", "xavier", "shwfs"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Tune {
+                board: "xavier".into(),
+                app: "shwfs".into(),
+                current: CommModelKind::StandardCopy,
+                characterization: None,
+            }
+        );
+    }
+
+    #[test]
+    fn tune_accepts_current_model() {
+        let c = parse(&v(&["tune", "tx2", "orb", "--current", "zc"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Tune {
+                board: "tx2".into(),
+                app: "orb".into(),
+                current: CommModelKind::ZeroCopy,
+                characterization: None,
+            }
+        );
+    }
+
+    #[test]
+    fn tune_rejects_bad_model_and_flags() {
+        assert!(parse(&v(&["tune", "tx2", "orb", "--current", "xyz"])).is_err());
+        assert!(parse(&v(&["tune", "tx2", "orb", "--wat"])).is_err());
+        assert!(parse(&v(&["tune", "tx2", "nosuchapp"])).is_err());
+    }
+
+    #[test]
+    fn board_aliases_resolve() {
+        assert!(board_by_name("Xavier").is_some());
+        assert!(board_by_name("jetson-agx-xavier").is_some());
+        assert!(board_by_name("ORIN").is_some());
+        assert!(board_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = parse(&v(&["frobnicate"])).unwrap_err();
+        assert!(err.0.contains("unknown command"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # icomm-cli — command-line front end
+//!
+//! A small std-only CLI over the `icomm` framework:
+//!
+//! ```sh
+//! icomm boards                        # list built-in device profiles
+//! icomm characterize xavier           # run the three micro-benchmarks
+//! icomm tune tx2 orb --current zc     # profile + verdict + validation
+//! icomm compare xavier lane           # ground truth under every model
+//! icomm experiments                   # regenerate the paper's tables
+//! ```
+//!
+//! The binary lives in `src/main.rs`; [`args`] parses, [`run`] executes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod run;

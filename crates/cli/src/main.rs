@@ -1,0 +1,21 @@
+//! `icomm` — command-line front end for the CPU-iGPU communication
+//! tuning framework. See `icomm help`.
+
+use std::process::ExitCode;
+
+use icomm_cli::args::parse;
+use icomm_cli::run::execute;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(command) => {
+            print!("{}", execute(&command));
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

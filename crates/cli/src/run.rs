@@ -1,0 +1,236 @@
+//! Command implementations for the `icomm` CLI.
+
+use std::fmt::Write as _;
+
+use icomm_apps::{LaneApp, OrbApp, ShwfsApp};
+use icomm_bench::experiments::{self, CharacterizationSet};
+use icomm_bench::{ablation, ExperimentReport};
+use icomm_core::Tuner;
+use icomm_microbench::{characterize_device, DeviceCharacterization};
+use icomm_models::{run_model, CommModelKind, Workload};
+
+use crate::args::{board_by_name, Command, BOARD_NAMES, HELP};
+
+/// Builds the workload for an application name.
+///
+/// # Panics
+///
+/// Panics on unknown names (the parser validates them first).
+pub fn workload_by_name(app: &str) -> Workload {
+    match app.to_ascii_lowercase().as_str() {
+        "shwfs" => ShwfsApp::default().workload(),
+        "orb" => OrbApp::default().workload(),
+        "lane" => LaneApp::default().workload(),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Executes a parsed command and returns the text to print.
+pub fn execute(command: &Command) -> String {
+    match command {
+        Command::Help => HELP.to_string(),
+        Command::Boards => boards(),
+        Command::Characterize { board, save } => characterize(board, save.as_deref()),
+        Command::Tune {
+            board,
+            app,
+            current,
+            characterization,
+        } => tune(board, app, *current, characterization.as_deref()),
+        Command::Compare { board, app } => compare(board, app),
+        Command::Experiments => run_experiments(),
+    }
+}
+
+fn boards() -> String {
+    let mut out = String::from("built-in boards:\n");
+    for name in BOARD_NAMES {
+        let device = board_by_name(name).expect("listed boards resolve");
+        let _ = writeln!(
+            out,
+            "  {:<10} {} — {} SMs @ {}, DRAM {}, {}",
+            name,
+            device.name,
+            device.gpu.sm_count,
+            device.gpu.freq,
+            device.dram.peak_bandwidth,
+            if device.is_io_coherent() {
+                "HW I/O coherent"
+            } else {
+                "no I/O coherence (ZC bypasses CPU+GPU caches)"
+            },
+        );
+    }
+    out
+}
+
+fn characterize(board: &str, save: Option<&str>) -> String {
+    let device = board_by_name(board).expect("validated by the parser");
+    let c = characterize_device(&device);
+    let mut out = format!("characterization of {}:\n", device.name);
+    let _ = writeln!(
+        out,
+        "  peak GPU cache throughput : {:>9.2} GB/s",
+        c.gpu_cache_max_throughput / 1e9
+    );
+    let _ = writeln!(
+        out,
+        "  zero-copy path throughput : {:>9.2} GB/s ({:.1}x below peak)",
+        c.gpu_zc_throughput / 1e9,
+        c.gpu_cache_max_throughput / c.gpu_zc_throughput
+    );
+    let _ = writeln!(
+        out,
+        "  GPU cache threshold       : {:>8.1} %",
+        c.gpu_cache_threshold_pct
+    );
+    let _ = writeln!(
+        out,
+        "  GPU zone-2 limit          : {:>8}",
+        c.gpu_cache_zone2_pct
+            .map(|v| format!("{v:.1} %"))
+            .unwrap_or_else(|| "n/a".into())
+    );
+    let _ = writeln!(
+        out,
+        "  CPU cache threshold       : {:>8.1} %",
+        c.cpu_cache_threshold_pct
+    );
+    let _ = writeln!(
+        out,
+        "  max SC->ZC speedup        : {:>8.2} x{}",
+        c.sc_zc_max_speedup,
+        if c.zc_viable() {
+            ""
+        } else {
+            "  (zero copy never pays off here)"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  max ZC->SC speedup        : {:>8.2} x",
+        c.zc_sc_max_speedup
+    );
+    if let Some(path) = save {
+        match icomm_persist::to_string(&c) {
+            Ok(json) => match std::fs::write(path, json) {
+                Ok(()) => {
+                    let _ = writeln!(out, "saved to {path}");
+                }
+                Err(err) => {
+                    let _ = writeln!(out, "FAILED to write {path}: {err}");
+                }
+            },
+            Err(err) => {
+                let _ = writeln!(out, "FAILED to serialize: {err}");
+            }
+        }
+    }
+    out
+}
+
+fn tune(board: &str, app: &str, current: CommModelKind, characterization: Option<&str>) -> String {
+    let device = board_by_name(board).expect("validated by the parser");
+    let workload = workload_by_name(app);
+    let tuner = match characterization {
+        Some(path) => match load_characterization(path) {
+            Ok(c) => Tuner::with_characterization(device, c),
+            Err(err) => return format!("error: {err}\n"),
+        },
+        None => Tuner::new(device),
+    };
+    let validation = tuner.validate(&workload, current);
+    format!(
+        "{}\n\nvalidated against ground truth: {}\n",
+        validation.recommendation,
+        validation.summary()
+    )
+}
+
+fn compare(board: &str, app: &str) -> String {
+    let device = board_by_name(board).expect("validated by the parser");
+    let workload = workload_by_name(app);
+    let sc = run_model(CommModelKind::StandardCopy, &device, &workload);
+    let mut out = format!("{} on {} (per frame):\n", workload.name, device.name);
+    for kind in CommModelKind::EXTENDED {
+        let run = run_model(kind, &device, &workload);
+        let delta = if kind == CommModelKind::StandardCopy {
+            "      -".to_string()
+        } else {
+            format!("{:+6.0}%", run.speedup_vs_percent(&sc))
+        };
+        let _ = writeln!(
+            out,
+            "  {:>3}: {:>10.2} us (cpu {:>9.2}, kernel {:>9.2}, copies {:>8.2}) {delta} vs SC, {:>6.2} mJ",
+            kind.abbrev(),
+            run.time_per_iteration().as_micros_f64(),
+            run.cpu_time_per_iteration().as_micros_f64(),
+            run.kernel_time_per_iteration().as_micros_f64(),
+            run.copy_time_per_iteration().as_micros_f64(),
+            run.energy.as_joules() * 1e3 / run.iterations as f64,
+        );
+    }
+    out
+}
+
+/// Loads a cached characterization from a JSON file.
+fn load_characterization(path: &str) -> Result<DeviceCharacterization, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    icomm_persist::from_str(&text).map_err(|err| format!("cannot parse {path}: {err}"))
+}
+
+fn run_experiments() -> String {
+    let mut reports: Vec<ExperimentReport> = vec![
+        experiments::fig5_and_table1(),
+        experiments::fig3_xavier(),
+        experiments::fig6_tx2(),
+        experiments::fig7(1 << 26),
+    ];
+    let chars = CharacterizationSet::measure();
+    reports.push(experiments::table2_shwfs(&chars));
+    reports.push(experiments::table3_shwfs());
+    reports.push(experiments::table4_orb(&chars));
+    reports.push(experiments::table5_orb());
+    reports.push(experiments::validation_summary(&chars));
+    reports.push(ablation::ablation_io_coherence());
+    reports.push(experiments::crossover_sweep());
+    reports
+        .iter()
+        .map(ExperimentReport::render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boards_lists_all() {
+        let text = boards();
+        for name in BOARD_NAMES {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("I/O coherent"));
+    }
+
+    #[test]
+    fn workloads_resolve() {
+        assert!(workload_by_name("shwfs").name.contains("shwfs"));
+        assert!(workload_by_name("orb").name.contains("orb"));
+        assert!(workload_by_name("lane").name.contains("lane"));
+    }
+
+    #[test]
+    fn compare_renders_all_models() {
+        let text = compare("xavier", "lane");
+        for abbrev in ["SC", "UM", "ZC", "SC+"] {
+            assert!(text.contains(abbrev), "missing {abbrev}");
+        }
+    }
+
+    #[test]
+    fn execute_help() {
+        assert!(execute(&Command::Help).contains("USAGE"));
+    }
+}

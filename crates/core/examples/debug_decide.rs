@@ -1,0 +1,64 @@
+use icomm_core::Tuner;
+use icomm_microbench::mb2::{Mb2Config, ThresholdSweep};
+use icomm_microbench::mb3::{Mb3Config, OverlapProbe};
+use icomm_microbench::{DeviceCharacterization, PeakCacheThroughput};
+use icomm_models::{CommModelKind, CpuPhase, GpuPhase, Workload};
+use icomm_soc::cache::AccessKind;
+use icomm_soc::units::ByteSize;
+use icomm_soc::DeviceProfile;
+use icomm_trace::Pattern;
+
+fn main() {
+    let device = DeviceProfile::jetson_agx_xavier();
+    let mb1 = PeakCacheThroughput::new().run(&device);
+    let mb2 = ThresholdSweep::with_config(Mb2Config {
+        denominators: vec![4096, 512, 64, 32, 24, 16, 8, 2],
+        ..Mb2Config::default()
+    })
+    .run(&device);
+    let mb3 = OverlapProbe::with_config(Mb3Config {
+        array_bytes: 1 << 25,
+        ..Default::default()
+    })
+    .run(&device);
+    let c = DeviceCharacterization::from_results(&mb1, &mb2, &mb3);
+    println!("{c:#?}");
+    let bytes = 1u64 << 20;
+    let w = Workload::builder("stream")
+        .bytes_to_gpu(ByteSize(bytes))
+        .bytes_from_gpu(ByteSize(bytes / 16))
+        .cpu(CpuPhase {
+            ops: vec![],
+            shared_accesses: Pattern::Linear {
+                start: 0,
+                bytes: bytes / 4,
+                txn_bytes: 64,
+                kind: AccessKind::Write,
+            },
+            private_accesses: None,
+        })
+        .gpu(GpuPhase {
+            compute_work: 1 << 26,
+            shared_accesses: Pattern::Linear {
+                start: 0,
+                bytes,
+                txn_bytes: 64,
+                kind: AccessKind::Read,
+            },
+            private_accesses: None,
+        })
+        .overlappable(true)
+        .iterations(2)
+        .build();
+    let tuner = Tuner::with_characterization(device, c);
+    let o = tuner.recommend(&w, CommModelKind::StandardCopy);
+    println!(
+        "profile: kernel {} cpu {} copy {} total {} ll_tp {:.1} GB/s",
+        o.profile.kernel_time,
+        o.profile.cpu_time,
+        o.profile.copy_time,
+        o.profile.total_time,
+        o.profile.gpu_ll_throughput() / 1e9
+    );
+    println!("{:#?}", o.recommendation);
+}

@@ -1,0 +1,366 @@
+//! The decision flow of Fig. 2: classify the application by its cache
+//! usage against the device thresholds and recommend a communication
+//! model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use icomm_microbench::DeviceCharacterization;
+use icomm_models::CommModelKind;
+use icomm_profile::ProfileReport;
+use icomm_soc::units::Picos;
+
+use crate::speedup::{sc_to_zc, zc_to_sc, SpeedupEstimate};
+use crate::usage::{cpu_usage_of, gpu_usage_of};
+
+/// Where the application's GPU cache usage falls relative to the device's
+/// zone boundaries (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheZone {
+    /// Usage below the threshold: ZC costs nothing on the GPU side.
+    Free,
+    /// Usage between the threshold and the zone-2 limit: ZC degrades the
+    /// kernel, but overlap and copy elimination may still compensate.
+    Maybe,
+    /// Usage beyond the zone-2 limit (>200 % kernel degradation): ZC is
+    /// ruled out.
+    RuledOut,
+}
+
+impl fmt::Display for CacheZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CacheZone::Free => "zone 1 (ZC free)",
+            CacheZone::Maybe => "zone 2 (ZC maybe)",
+            CacheZone::RuledOut => "zone 3 (ZC ruled out)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The framework's verdict for one application on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Model the application currently uses.
+    pub current: CommModelKind,
+    /// Model the framework recommends.
+    pub recommended: CommModelKind,
+    /// Predicted speedup of switching, when a switch is recommended.
+    pub estimated_speedup: Option<SpeedupEstimate>,
+    /// Measured CPU LLC usage (Eqn. 1), percent.
+    pub cpu_usage_pct: f64,
+    /// Measured GPU LLC usage (Eqn. 2), percent.
+    pub gpu_usage_pct: f64,
+    /// Device CPU threshold, percent.
+    pub cpu_threshold_pct: f64,
+    /// Device GPU threshold, percent.
+    pub gpu_threshold_pct: f64,
+    /// Zone classification of the GPU usage.
+    pub zone: CacheZone,
+    /// Whether the CPU side is classified cache-dependent.
+    pub cpu_cache_dependent: bool,
+    /// Whether the GPU side is classified cache-dependent.
+    pub gpu_cache_dependent: bool,
+    /// Human-readable explanation of the verdict.
+    pub rationale: String,
+}
+
+impl Recommendation {
+    /// Whether the framework proposes changing the communication model.
+    pub fn suggests_switch(&self) -> bool {
+        self.recommended != self.current
+    }
+}
+
+/// Runs the Fig. 2 decision flow.
+///
+/// Cache usage can only be observed with the caches *enabled*, so
+/// `usage_profile` must come from a run under SC or UM (the "standard
+/// profiling tool" step of Fig. 2) — even when the application's shipping
+/// implementation is zero copy. `current_profile` is measured under the
+/// model the application actually uses (`current`) and supplies the
+/// runtime decomposition for the speedup estimators.
+///
+/// `copy_time_estimate` is the per-iteration copy time SC would pay; it is
+/// required when the current model is ZC (where no copy exists to
+/// measure). [`crate::tuner::Tuner`] computes it from the workload payload
+/// and the device copy bandwidth.
+pub fn recommend(
+    usage_profile: &ProfileReport,
+    current_profile: &ProfileReport,
+    current: CommModelKind,
+    device: &DeviceCharacterization,
+    copy_time_estimate: Picos,
+) -> Recommendation {
+    let profile = current_profile;
+    let cpu_usage = cpu_usage_of(usage_profile);
+    let gpu_usage = gpu_usage_of(usage_profile, device);
+    let cpu_dependent = cpu_usage > device.cpu_cache_threshold_pct;
+    let gpu_dependent = gpu_usage > device.gpu_cache_threshold_pct;
+    let zone = if !gpu_dependent {
+        CacheZone::Free
+    } else {
+        match device.gpu_cache_zone2_pct {
+            Some(limit) if gpu_usage <= limit => CacheZone::Maybe,
+            Some(_) => CacheZone::RuledOut,
+            // Without a measured zone-2 boundary, any usage above the
+            // threshold is treated as ruled out (the conservative choice
+            // the paper makes for non-I/O-coherent devices).
+            None => CacheZone::RuledOut,
+        }
+    };
+
+    let base = |recommended: CommModelKind, est, rationale: String| Recommendation {
+        current,
+        recommended,
+        estimated_speedup: est,
+        cpu_usage_pct: cpu_usage,
+        gpu_usage_pct: gpu_usage,
+        cpu_threshold_pct: device.cpu_cache_threshold_pct,
+        gpu_threshold_pct: device.gpu_cache_threshold_pct,
+        zone,
+        cpu_cache_dependent: cpu_dependent,
+        gpu_cache_dependent: gpu_dependent,
+        rationale,
+    };
+
+    let is_zc = current == CommModelKind::ZeroCopy;
+
+    // GPU cache-dependent branch.
+    if gpu_dependent {
+        if zone == CacheZone::Maybe && is_zc {
+            return base(
+                CommModelKind::ZeroCopy,
+                None,
+                format!(
+                    "GPU cache usage {gpu_usage:.1}% exceeds the threshold \
+                     ({:.1}%) but stays inside zone 2 ({:.1}%): the kernel \
+                     degradation can be compensated by copy elimination and \
+                     task overlapping, so ZC is kept.",
+                    device.gpu_cache_threshold_pct,
+                    device.gpu_cache_zone2_pct.unwrap_or(100.0),
+                ),
+            );
+        }
+        if is_zc {
+            let est = zc_to_sc(profile, copy_time_estimate, device);
+            return base(
+                CommModelKind::StandardCopy,
+                Some(est),
+                format!(
+                    "GPU cache usage {gpu_usage:.1}% is deep in zone 3: the \
+                     disabled GPU cache bottlenecks the kernel; switching to \
+                     SC can recover up to {:.1}x.",
+                    est.max_bound
+                ),
+            );
+        }
+        return base(
+            current,
+            None,
+            format!(
+                "GPU cache usage {gpu_usage:.1}% exceeds the device \
+                 threshold ({:.1}%): the application is cache-dependent and \
+                 already uses {current}, so no change is suggested.",
+                device.gpu_cache_threshold_pct
+            ),
+        );
+    }
+
+    // GPU usage low; CPU cache-dependent branch.
+    if cpu_dependent {
+        // Note: on I/O-coherent devices the CPU threshold is 100 %, so
+        // this branch is unreachable there — matching the paper's flow
+        // where an efficient coherence implementation keeps ZC viable.
+        if is_zc {
+            let est = zc_to_sc(profile, copy_time_estimate, device);
+            return base(
+                CommModelKind::StandardCopy,
+                Some(est),
+                format!(
+                    "CPU cache usage {cpu_usage:.1}% exceeds the threshold \
+                     ({:.1}%) and the device disables the CPU cache on \
+                     pinned buffers: SC/UM will serve the CPU task from its \
+                     caches.",
+                    device.cpu_cache_threshold_pct
+                ),
+            );
+        }
+        return base(
+            current,
+            None,
+            format!(
+                "CPU cache usage {cpu_usage:.1}% exceeds the threshold \
+                 ({:.1}%): the CPU task depends on caches the device would \
+                 bypass under ZC, so {current} is kept.",
+                device.cpu_cache_threshold_pct
+            ),
+        );
+    }
+
+    // Both usages low: ZC preferred when the device's zero-copy path can
+    // actually sustain it.
+    if is_zc {
+        return base(
+            CommModelKind::ZeroCopy,
+            None,
+            "cache usage is low on both sides and the application already \
+             uses zero copy; no change needed."
+                .to_string(),
+        );
+    }
+    if device.zc_viable() {
+        let est = sc_to_zc(profile, device);
+        base(
+            CommModelKind::ZeroCopy,
+            Some(est),
+            format!(
+                "cache usage is low on both sides (CPU {cpu_usage:.1}%, GPU \
+                 {gpu_usage:.1}%): zero copy eliminates the copies and \
+                 overlaps the tasks, for an estimated {:.0}% speedup (and \
+                 lower energy).",
+                est.as_percent()
+            ),
+        )
+    } else {
+        base(
+            current,
+            None,
+            format!(
+                "cache usage is low, but this device's zero-copy path is too \
+                 slow to ever pay off (SC/ZC max speedup {:.2} < 1); \
+                 {current} is kept.",
+                device.sc_zc_max_speedup
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device(io_coherent: bool) -> DeviceCharacterization {
+        DeviceCharacterization {
+            device: "test".into(),
+            gpu_cache_max_throughput: 100e9,
+            gpu_zc_throughput: if io_coherent { 30e9 } else { 1e9 },
+            gpu_um_throughput: 100e9,
+            gpu_cache_threshold_pct: 10.0,
+            gpu_cache_zone2_pct: if io_coherent { Some(50.0) } else { None },
+            cpu_cache_threshold_pct: if io_coherent { 100.0 } else { 15.0 },
+            sc_zc_max_speedup: if io_coherent { 2.4 } else { 0.2 },
+            zc_sc_max_speedup: if io_coherent { 3.7 } else { 70.0 },
+        }
+    }
+
+    fn profile(
+        model: CommModelKind,
+        gpu_ll_gbps: f64,
+        cpu_l1_miss: f64,
+        cpu_ll_miss: f64,
+    ) -> ProfileReport {
+        // kernel_time 100us; transactions sized to hit the target LL rate.
+        let kernel = Picos::from_micros(100);
+        let bytes = gpu_ll_gbps * 1e9 * 100e-6;
+        ProfileReport {
+            workload: "t".into(),
+            model,
+            miss_rate_l1_cpu: cpu_l1_miss,
+            miss_rate_ll_cpu: cpu_ll_miss,
+            hit_rate_l1_gpu: 0.0,
+            gpu_transactions: (bytes / 64.0) as u64,
+            gpu_transaction_bytes: 64.0,
+            kernel_time: kernel,
+            cpu_time: Picos::from_micros(80),
+            copy_time: Picos::from_micros(30),
+            total_time: Picos::from_micros(210),
+        }
+    }
+
+    #[test]
+    fn low_low_on_viable_device_recommends_zc() {
+        let p = profile(CommModelKind::StandardCopy, 2.0, 0.05, 0.9);
+        let r = recommend(&p, &p, p.model, &device(true), Picos::from_micros(30));
+        assert_eq!(r.recommended, CommModelKind::ZeroCopy);
+        assert!(r.suggests_switch());
+        assert_eq!(r.zone, CacheZone::Free);
+        assert!(r.estimated_speedup.unwrap().estimated > 1.0);
+    }
+
+    #[test]
+    fn low_low_on_slow_zc_device_keeps_sc() {
+        let p = profile(CommModelKind::StandardCopy, 2.0, 0.05, 0.9);
+        let r = recommend(&p, &p, p.model, &device(false), Picos::from_micros(30));
+        assert_eq!(r.recommended, CommModelKind::StandardCopy);
+        assert!(!r.suggests_switch());
+    }
+
+    #[test]
+    fn gpu_dependent_zc_app_switches_to_sc() {
+        let p = profile(CommModelKind::ZeroCopy, 60.0, 0.05, 0.9);
+        let r = recommend(&p, &p, p.model, &device(false), Picos::from_micros(30));
+        assert_eq!(r.recommended, CommModelKind::StandardCopy);
+        assert!(r.gpu_cache_dependent);
+        assert!(r.estimated_speedup.is_some());
+    }
+
+    #[test]
+    fn gpu_dependent_sc_app_keeps_sc_no_estimate() {
+        // Paper: "if an application is cache dependent and originally
+        // implemented with SC, the framework does not suggest any change".
+        let p = profile(CommModelKind::StandardCopy, 60.0, 0.05, 0.9);
+        let r = recommend(&p, &p, p.model, &device(false), Picos::from_micros(30));
+        assert_eq!(r.recommended, CommModelKind::StandardCopy);
+        assert!(r.estimated_speedup.is_none());
+    }
+
+    #[test]
+    fn zone2_zc_app_keeps_zc_on_io_coherent_device() {
+        // Usage 20% on a device with threshold 10% and zone-2 limit 50%:
+        // exactly the ORB-SLAM-on-Xavier situation.
+        let p = profile(CommModelKind::ZeroCopy, 20.0, 0.05, 0.9);
+        let r = recommend(&p, &p, p.model, &device(true), Picos::from_micros(2));
+        assert_eq!(r.zone, CacheZone::Maybe);
+        assert_eq!(r.recommended, CommModelKind::ZeroCopy);
+    }
+
+    #[test]
+    fn zone3_detected_beyond_zone2_limit() {
+        let p = profile(CommModelKind::ZeroCopy, 80.0, 0.05, 0.9);
+        let r = recommend(&p, &p, p.model, &device(true), Picos::from_micros(2));
+        assert_eq!(r.zone, CacheZone::RuledOut);
+        assert_eq!(r.recommended, CommModelKind::StandardCopy);
+    }
+
+    #[test]
+    fn cpu_dependent_on_non_coherent_device_keeps_sc() {
+        // CPU usage: 0.4 * (1 - 0.2) = 32% > 15% threshold.
+        let p = profile(CommModelKind::StandardCopy, 2.0, 0.4, 0.2);
+        let r = recommend(&p, &p, p.model, &device(false), Picos::from_micros(30));
+        assert!(r.cpu_cache_dependent);
+        assert_eq!(r.recommended, CommModelKind::StandardCopy);
+    }
+
+    #[test]
+    fn cpu_dependency_irrelevant_on_io_coherent_device() {
+        let p = profile(CommModelKind::StandardCopy, 2.0, 0.4, 0.2);
+        let r = recommend(&p, &p, p.model, &device(true), Picos::from_micros(30));
+        assert!(!r.cpu_cache_dependent, "threshold is 100% on Xavier-class");
+        assert_eq!(r.recommended, CommModelKind::ZeroCopy);
+    }
+
+    #[test]
+    fn rationale_is_never_empty() {
+        for model in CommModelKind::ALL {
+            for ll in [1.0, 20.0, 80.0] {
+                let p = profile(model, ll, 0.3, 0.3);
+                for dev in [device(true), device(false)] {
+                    let r = recommend(&p, &p, p.model, &dev, Picos::from_micros(10));
+                    assert!(!r.rationale.is_empty());
+                }
+            }
+        }
+    }
+}

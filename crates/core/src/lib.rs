@@ -1,0 +1,34 @@
+//! # icomm-core — the CPU-iGPU communication tuning framework
+//!
+//! The paper's decision framework (Fig. 2) assembled from its parts:
+//!
+//! - [`usage`] — the cache-usage metrics (Eqns. 1–2) computed from
+//!   profiler counters.
+//! - [`speedup`] — the potential-speedup estimators (Eqns. 3–4), clamped
+//!   by the device maxima the micro-benchmarks measure.
+//! - [`decision`] — the classification flow: compare usage against the
+//!   device thresholds, pick a zone, recommend SC/UM or ZC with an
+//!   estimated speedup and a rationale.
+//! - [`tuner`] — the one-stop API: [`Tuner`] characterizes a device once
+//!   (or loads a cached [`icomm_microbench::DeviceCharacterization`]),
+//!   then profiles applications and validates recommendations against
+//!   ground-truth runs.
+//!
+//! The crate's headline reproduction: profiled under its original model,
+//! each of the paper's applications gets the same verdict the paper
+//! reports — SH-WFS switches to ZC on Xavier (+38 % measured there) but
+//! stays on SC for Nano/TX2; ORB keeps ZC on Xavier (zone 2) and is sent
+//! back to SC on TX2.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod decision;
+pub mod speedup;
+pub mod summary;
+pub mod tuner;
+pub mod usage;
+
+pub use decision::{recommend, CacheZone, Recommendation};
+pub use speedup::{sc_to_zc, zc_to_sc, SpeedupEstimate};
+pub use tuner::{Tuner, TuningOutcome, Validation};

@@ -1,0 +1,226 @@
+//! Potential-speedup estimators — Eqns. 3 and 4 of the paper.
+//!
+//! Both estimators predict the runtime of the *other* communication model
+//! from the current model's timing decomposition, then clamp the resulting
+//! speedup by the device's application-independent maxima (measured by the
+//! micro-benchmarks):
+//!
+//! - **Eqn. 3** (SC → ZC, for applications classified *not*
+//!   cache-dependent): remove the copy time and credit full CPU/GPU
+//!   overlap. The predicted ZC runtime is
+//!   `(SC_runtime − copy_time) / (1 + CPU_time/GPU_time)`, i.e. the GPU
+//!   task alone when the phases pipeline perfectly.
+//! - **Eqn. 4** (ZC → SC, for cache-dependent applications): serialize the
+//!   phases and add the copies back:
+//!   `SC_pred = ZC_runtime × (1 + CPU_time/GPU_time) + copy_time`. The
+//!   expression is the *structural* floor; the cache recovery can push
+//!   the real gain up to `ZC/SC_Max_speedup`, which is why every estimate
+//!   carries the device bound alongside the point value.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_microbench::DeviceCharacterization;
+use icomm_profile::ProfileReport;
+use icomm_soc::units::Picos;
+
+/// A predicted speedup with its device bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupEstimate {
+    /// Predicted speedup ratio (>1 means the switch should pay off),
+    /// already clamped to the device bound.
+    pub estimated: f64,
+    /// The unclamped model prediction.
+    pub raw: f64,
+    /// Device bound (`SC/ZC_Max_speedup` or `ZC/SC_Max_speedup`).
+    pub max_bound: f64,
+}
+
+impl SpeedupEstimate {
+    /// The predicted improvement in the paper's percent convention
+    /// (`38` means 38 % faster; negative means slower).
+    pub fn as_percent(&self) -> f64 {
+        (self.estimated - 1.0) * 100.0
+    }
+}
+
+fn time_ratio(cpu: Picos, gpu: Picos) -> f64 {
+    if gpu.is_zero() {
+        0.0
+    } else {
+        cpu.as_picos() as f64 / gpu.as_picos() as f64
+    }
+}
+
+/// Eqn. 3: potential speedup of switching a non-cache-dependent
+/// application from standard copy (or unified memory) to zero copy.
+///
+/// `profile` must come from a run under SC or UM (it needs a measured
+/// `copy_time`).
+pub fn sc_to_zc(profile: &ProfileReport, device: &DeviceCharacterization) -> SpeedupEstimate {
+    let sc_runtime = profile.total_time.as_picos() as f64;
+    let compute = profile
+        .total_time
+        .saturating_sub(profile.copy_time)
+        .as_picos() as f64;
+    let overlap = 1.0 + time_ratio(profile.cpu_time, profile.kernel_time);
+    let predicted_zc = if overlap > 0.0 {
+        compute / overlap
+    } else {
+        compute
+    };
+    let raw = if predicted_zc > 0.0 {
+        sc_runtime / predicted_zc
+    } else {
+        1.0
+    };
+    let max_bound = device.sc_zc_max_speedup.max(0.0);
+    SpeedupEstimate {
+        estimated: raw.min(max_bound),
+        raw,
+        max_bound,
+    }
+}
+
+/// Eqn. 4: potential speedup of switching a cache-dependent application
+/// from zero copy to standard copy.
+///
+/// Under ZC no copies exist, so the copy time SC *would* pay must be
+/// estimated by the caller (payload bytes over the device's effective copy
+/// bandwidth; [`crate::tuner::Tuner`] does this from the workload).
+pub fn zc_to_sc(
+    profile: &ProfileReport,
+    copy_time_estimate: Picos,
+    device: &DeviceCharacterization,
+) -> SpeedupEstimate {
+    let zc_runtime = profile.total_time.as_picos() as f64;
+    // Eqn. 4 denominator: `ZC_runtime / [1/(1 + CPU/GPU)] + copy_time` —
+    // the overlapped ZC wall time un-overlapped back into serial phases,
+    // plus the explicit copies SC would pay. This is the *structural*
+    // cost of SC; the cache recovery (kernel and CPU-task speedups of up
+    // to `ZC/SC_Max_speedup`) is what actually makes the switch
+    // profitable, which is why the estimate is reported together with the
+    // device bound.
+    let serialization = 1.0 + time_ratio(profile.cpu_time, profile.kernel_time);
+    let predicted_sc = zc_runtime * serialization + copy_time_estimate.as_picos() as f64;
+    let raw = if predicted_sc > 0.0 {
+        zc_runtime / predicted_sc
+    } else {
+        1.0
+    };
+    let max_bound = device.zc_sc_max_speedup.max(0.0);
+    SpeedupEstimate {
+        estimated: raw.min(max_bound),
+        raw,
+        max_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_models::CommModelKind;
+
+    fn device() -> DeviceCharacterization {
+        DeviceCharacterization {
+            device: "test".into(),
+            gpu_cache_max_throughput: 100e9,
+            gpu_zc_throughput: 10e9,
+            gpu_um_throughput: 100e9,
+            gpu_cache_threshold_pct: 10.0,
+            gpu_cache_zone2_pct: Some(50.0),
+            cpu_cache_threshold_pct: 15.0,
+            sc_zc_max_speedup: 2.5,
+            zc_sc_max_speedup: 70.0,
+        }
+    }
+
+    fn profile(total_us: u64, copy_us: u64, cpu_us: u64, gpu_us: u64) -> ProfileReport {
+        ProfileReport {
+            workload: "t".into(),
+            model: CommModelKind::StandardCopy,
+            miss_rate_l1_cpu: 0.2,
+            miss_rate_ll_cpu: 0.5,
+            hit_rate_l1_gpu: 0.5,
+            gpu_transactions: 1000,
+            gpu_transaction_bytes: 64.0,
+            kernel_time: Picos::from_micros(gpu_us),
+            cpu_time: Picos::from_micros(cpu_us),
+            copy_time: Picos::from_micros(copy_us),
+            total_time: Picos::from_micros(total_us),
+        }
+    }
+
+    #[test]
+    fn eqn3_hand_value() {
+        // SC = 100us, copy = 20us, cpu = gpu = 40us.
+        // Predicted ZC = 80 / (1 + 1) = 40us -> speedup 2.5.
+        let est = sc_to_zc(&profile(100, 20, 40, 40), &device());
+        assert!((est.raw - 2.5).abs() < 1e-9, "raw {}", est.raw);
+        assert!((est.estimated - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eqn3_clamped_by_device_bound() {
+        // Huge copy fraction would predict 5x, but the device caps at 2.5.
+        let est = sc_to_zc(&profile(100, 60, 20, 20), &device());
+        assert!(est.raw > 2.5);
+        assert!((est.estimated - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eqn3_zero_gpu_time_degrades_gracefully() {
+        let est = sc_to_zc(&profile(100, 10, 50, 0), &device());
+        assert!(est.estimated.is_finite());
+        assert!(est.estimated >= 1.0);
+    }
+
+    #[test]
+    fn eqn4_hand_value() {
+        // ZC = 100us overlapped wall, cpu = gpu = 50us. Un-overlapped:
+        // 100 * (1 + 1) = 200us, plus copy 10 -> predicted SC floor of
+        // 210us, i.e. a structural ratio of 100/210 ~ 0.476 before any
+        // cache recovery.
+        let mut p = profile(100, 0, 50, 50);
+        p.model = CommModelKind::ZeroCopy;
+        let est = zc_to_sc(&p, Picos::from_micros(10), &device());
+        assert!((est.raw - 100.0 / 210.0).abs() < 1e-9, "raw {}", est.raw);
+        assert!(est.estimated <= est.max_bound);
+    }
+
+    #[test]
+    fn eqn4_capped_at_zc_sc_bound() {
+        let mut p = profile(1000, 0, 1, 999);
+        p.model = CommModelKind::ZeroCopy;
+        let est = zc_to_sc(&p, Picos::ZERO, &device());
+        assert!(est.estimated <= 70.0);
+    }
+
+    #[test]
+    fn percent_convention() {
+        let e = SpeedupEstimate {
+            estimated: 1.38,
+            raw: 1.38,
+            max_bound: 2.0,
+        };
+        assert!((e.as_percent() - 38.0).abs() < 1e-9);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_estimates_bounded_and_finite(
+            total in 1u64..1_000_000,
+            copy in 0u64..500_000,
+            cpu in 0u64..500_000,
+            gpu in 0u64..500_000,
+        ) {
+            let copy = copy.min(total);
+            let p = profile(total, copy, cpu, gpu);
+            let e3 = sc_to_zc(&p, &device());
+            proptest::prop_assert!(e3.estimated.is_finite());
+            proptest::prop_assert!(e3.estimated <= e3.max_bound + 1e-9);
+            let e4 = zc_to_sc(&p, Picos::from_micros(copy), &device());
+            proptest::prop_assert!(e4.estimated.is_finite());
+            proptest::prop_assert!(e4.estimated <= e4.max_bound + 1e-9);
+        }
+    }
+}

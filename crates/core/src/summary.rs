@@ -1,0 +1,134 @@
+//! Human-readable rendering of tuning results.
+
+use std::fmt;
+
+use crate::decision::Recommendation;
+use crate::tuner::{TuningOutcome, Validation};
+
+impl fmt::Display for Recommendation {
+    /// Renders the verdict the way the CLI examples print it: verdict
+    /// first, then the usage-vs-threshold classification, then the
+    /// rationale.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verdict: use {} (currently {})",
+            self.recommended, self.current
+        )?;
+        writeln!(
+            f,
+            "cpu cache usage {:.1}% vs threshold {:.1}% ({})",
+            self.cpu_usage_pct,
+            self.cpu_threshold_pct,
+            if self.cpu_cache_dependent {
+                "cache-dependent"
+            } else {
+                "independent"
+            }
+        )?;
+        writeln!(
+            f,
+            "gpu cache usage {:.1}% vs threshold {:.1}% ({})",
+            self.gpu_usage_pct, self.gpu_threshold_pct, self.zone
+        )?;
+        if let Some(est) = self.estimated_speedup {
+            if self.recommended == icomm_models::CommModelKind::StandardCopy {
+                // Eqn. 4 gives a structural floor; the cache recovery is
+                // what pays, so lead with the device bound.
+                writeln!(
+                    f,
+                    "estimated speedup: up to {:.1}x (Eqn. 4 structural floor {:+.0}%)",
+                    est.max_bound,
+                    est.as_percent()
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "estimated speedup: {:+.0}% (device bound {:.2}x)",
+                    est.as_percent(),
+                    est.max_bound
+                )?;
+            }
+        }
+        write!(f, "rationale: {}", self.rationale)
+    }
+}
+
+impl TuningOutcome {
+    /// One-line summary: `"shwfs/...: SC -> ZC (+97% est.)"`.
+    pub fn summary(&self) -> String {
+        let est = self
+            .recommendation
+            .estimated_speedup
+            .map(|e| format!(" ({:+.0}% est.)", e.as_percent()))
+            .unwrap_or_default();
+        format!(
+            "{}: {} -> {}{}",
+            self.profile.workload,
+            self.recommendation.current.abbrev(),
+            self.recommendation.recommended.abbrev(),
+            est
+        )
+    }
+}
+
+impl Validation {
+    /// One-line summary: `"shwfs/...: SC -> ZC, actual +32% (sound)"`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} -> {}, actual {:+.0}% ({})",
+            self.current_run.workload,
+            self.recommendation.current.abbrev(),
+            self.recommendation.recommended.abbrev(),
+            (self.actual_speedup - 1.0) * 100.0,
+            if self.recommendation_sound(0.05) {
+                "sound"
+            } else {
+                "UNSOUND"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use icomm_models::CommModelKind;
+
+    use crate::decision::{CacheZone, Recommendation};
+
+    fn recommendation() -> Recommendation {
+        Recommendation {
+            current: CommModelKind::StandardCopy,
+            recommended: CommModelKind::ZeroCopy,
+            estimated_speedup: Some(crate::speedup::SpeedupEstimate {
+                estimated: 1.4,
+                raw: 1.6,
+                max_bound: 2.0,
+            }),
+            cpu_usage_pct: 5.0,
+            gpu_usage_pct: 3.0,
+            cpu_threshold_pct: 100.0,
+            gpu_threshold_pct: 7.0,
+            zone: CacheZone::Free,
+            cpu_cache_dependent: false,
+            gpu_cache_dependent: false,
+            rationale: "cache usage is low".into(),
+        }
+    }
+
+    #[test]
+    fn display_contains_verdict_and_numbers() {
+        let text = recommendation().to_string();
+        assert!(text.contains("use zero copy"));
+        assert!(text.contains("5.0%"));
+        assert!(text.contains("+40%"));
+        assert!(text.contains("rationale"));
+    }
+
+    #[test]
+    fn display_omits_estimate_when_absent() {
+        let mut r = recommendation();
+        r.estimated_speedup = None;
+        assert!(!r.to_string().contains("estimated speedup"));
+    }
+}

@@ -1,0 +1,344 @@
+//! The one-stop tuning API: characterize once, then profile and recommend
+//! per application.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_microbench::{characterize_device, DeviceCharacterization};
+use icomm_models::{model_for, CommModelKind, RunReport, Workload};
+use icomm_profile::{ProfileReport, Profiler};
+use icomm_soc::units::{Bandwidth, Picos};
+use icomm_soc::{DeviceProfile, Soc};
+
+use crate::decision::{recommend, Recommendation};
+
+/// Outcome of one tuning pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningOutcome {
+    /// Profile collected with caches enabled (under standard copy) — the
+    /// cache-usage measurement of Fig. 2.
+    pub profile: ProfileReport,
+    /// Profile collected under the application's current model (equal to
+    /// `profile` when the application already uses standard copy).
+    pub current_profile: ProfileReport,
+    /// The framework's verdict.
+    pub recommendation: Recommendation,
+}
+
+/// Prediction-vs-reality check for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Validation {
+    /// The verdict that was evaluated.
+    pub recommendation: Recommendation,
+    /// Measured run under the current model.
+    pub current_run: RunReport,
+    /// Measured run under the recommended model (same as `current_run`
+    /// when no switch was suggested).
+    pub recommended_run: RunReport,
+    /// Measured speedup of following the recommendation (ratio; > 1 means
+    /// the switch paid off).
+    pub actual_speedup: f64,
+}
+
+impl Validation {
+    /// Whether following the recommendation did not hurt (within `tol`
+    /// relative slack, e.g. `0.05`).
+    pub fn recommendation_sound(&self, tol: f64) -> bool {
+        if self.recommendation.suggests_switch() {
+            self.actual_speedup >= 1.0 - tol
+        } else {
+            true
+        }
+    }
+}
+
+/// The tuning framework of Fig. 2, bound to one device.
+///
+/// # Examples
+///
+/// ```no_run
+/// use icomm_core::Tuner;
+/// use icomm_models::{CommModelKind, GpuPhase, Workload};
+/// use icomm_soc::cache::AccessKind;
+/// use icomm_soc::DeviceProfile;
+/// use icomm_trace::Pattern;
+///
+/// let tuner = Tuner::new(DeviceProfile::jetson_agx_xavier());
+/// let w = Workload::builder("stream")
+///     .gpu(GpuPhase {
+///         compute_work: 1 << 20,
+///         shared_accesses: Pattern::Linear {
+///             start: 0,
+///             bytes: 1 << 20,
+///             txn_bytes: 64,
+///             kind: AccessKind::Read,
+///         },
+///         private_accesses: None,
+///     })
+///     .build();
+/// let outcome = tuner.recommend(&w, CommModelKind::StandardCopy);
+/// println!("{}", outcome.recommendation.rationale);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    device: DeviceProfile,
+    characterization: DeviceCharacterization,
+}
+
+impl Tuner {
+    /// Creates a tuner, running the full micro-benchmark characterization
+    /// (the expensive once-per-board step).
+    pub fn new(device: DeviceProfile) -> Self {
+        let characterization = characterize_device(&device);
+        Tuner {
+            device,
+            characterization,
+        }
+    }
+
+    /// Creates a tuner from a cached characterization.
+    pub fn with_characterization(
+        device: DeviceProfile,
+        characterization: DeviceCharacterization,
+    ) -> Self {
+        Tuner {
+            device,
+            characterization,
+        }
+    }
+
+    /// The device this tuner targets.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.device
+    }
+
+    /// The characterization in use.
+    pub fn characterization(&self) -> &DeviceCharacterization {
+        &self.characterization
+    }
+
+    /// Estimated per-iteration SC copy time for a workload (setup plus
+    /// payload over the effective copy bandwidth), used by Eqn. 4 when the
+    /// application currently runs zero copy.
+    pub fn copy_time_estimate(&self, workload: &Workload) -> Picos {
+        let dram_half = self.device.dram.peak_bandwidth.as_bytes_per_sec() / 2;
+        let effective = Bandwidth(
+            self.device
+                .copy_engine
+                .bandwidth
+                .as_bytes_per_sec()
+                .min(dram_half),
+        );
+        let mut t = Picos::ZERO;
+        if workload.bytes_to_gpu.as_u64() > 0 {
+            t += self.device.copy_engine.setup + effective.transfer_time(workload.bytes_to_gpu);
+        }
+        if workload.bytes_from_gpu.as_u64() > 0 {
+            t += self.device.copy_engine.setup + effective.transfer_time(workload.bytes_from_gpu);
+        }
+        t
+    }
+
+    /// Profiles `workload` and runs the decision flow for an application
+    /// currently implemented with `current`.
+    ///
+    /// Cache usage is always measured under standard copy (caches must be
+    /// enabled to observe them — the "standard profiling tool" step of
+    /// Fig. 2); the runtime decomposition for the speedup estimators comes
+    /// from a run under `current`.
+    pub fn recommend(&self, workload: &Workload, current: CommModelKind) -> TuningOutcome {
+        let profiler = Profiler::new(self.device.clone());
+        let profile = profiler.profile(workload, CommModelKind::StandardCopy);
+        let current_profile = if current == CommModelKind::StandardCopy {
+            profile.clone()
+        } else {
+            profiler.profile(workload, current)
+        };
+        let copy_estimate = self.copy_time_estimate(workload);
+        let recommendation = recommend(
+            &profile,
+            &current_profile,
+            current,
+            &self.characterization,
+            copy_estimate,
+        );
+        TuningOutcome {
+            profile,
+            current_profile,
+            recommendation,
+        }
+    }
+
+    /// Ground truth: runs the workload under every model on fresh SoCs.
+    pub fn evaluate_all(&self, workload: &Workload) -> Vec<RunReport> {
+        CommModelKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut soc = Soc::new(self.device.clone());
+                model_for(kind).run(&mut soc, workload)
+            })
+            .collect()
+    }
+
+    /// Recommends, then measures both the current and the recommended
+    /// model to validate the prediction.
+    pub fn validate(&self, workload: &Workload, current: CommModelKind) -> Validation {
+        let outcome = self.recommend(workload, current);
+        let run = |kind: CommModelKind| {
+            let mut soc = Soc::new(self.device.clone());
+            model_for(kind).run(&mut soc, workload)
+        };
+        let current_run = run(current);
+        let recommended_run = if outcome.recommendation.suggests_switch() {
+            run(outcome.recommendation.recommended)
+        } else {
+            current_run.clone()
+        };
+        let actual_speedup = if recommended_run.total_time.is_zero() {
+            1.0
+        } else {
+            current_run.total_time.as_picos() as f64 / recommended_run.total_time.as_picos() as f64
+        };
+        Validation {
+            recommendation: outcome.recommendation,
+            current_run,
+            recommended_run,
+            actual_speedup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_models::{CpuPhase, GpuPhase};
+    use icomm_soc::cache::AccessKind;
+    use icomm_soc::units::ByteSize;
+    use icomm_trace::Pattern;
+
+    fn characterization(device: &DeviceProfile) -> DeviceCharacterization {
+        // Keep tests fast: trimmed micro-benchmark sweep.
+        use icomm_microbench::mb2::{Mb2Config, ThresholdSweep};
+        use icomm_microbench::mb3::{Mb3Config, OverlapProbe};
+        use icomm_microbench::PeakCacheThroughput;
+        let mb1 = PeakCacheThroughput::new().run(device);
+        let mb2 = ThresholdSweep::with_config(Mb2Config {
+            denominators: vec![4096, 512, 64, 32, 24, 16, 8, 2],
+            ..Mb2Config::default()
+        })
+        .run(device);
+        let mb3 = OverlapProbe::with_config(Mb3Config {
+            array_bytes: 1 << 25,
+            ..Mb3Config::default()
+        })
+        .run(device);
+        DeviceCharacterization::from_results(&mb1, &mb2, &mb3)
+    }
+
+    fn streaming_workload() -> Workload {
+        // Compute-dominated kernel over a modest linear stream, no reuse:
+        // the LL-L1 rate stays low, so the app classifies as not
+        // cache-dependent (like the paper's sensor pipelines).
+        let bytes = 1u64 << 20;
+        Workload::builder("stream")
+            .bytes_to_gpu(ByteSize(bytes))
+            .bytes_from_gpu(ByteSize(bytes / 16))
+            .cpu(CpuPhase {
+                ops: vec![],
+                shared_accesses: Pattern::Linear {
+                    start: 0,
+                    bytes: bytes / 4,
+                    txn_bytes: 64,
+                    kind: AccessKind::Write,
+                },
+                private_accesses: None,
+            })
+            .gpu(GpuPhase {
+                compute_work: 1 << 26,
+                shared_accesses: Pattern::Linear {
+                    start: 0,
+                    bytes,
+                    txn_bytes: 64,
+                    kind: AccessKind::Read,
+                },
+                private_accesses: None,
+            })
+            .overlappable(true)
+            .iterations(2)
+            .build()
+    }
+
+    fn cache_hungry_workload() -> Workload {
+        // Repeated passes over an LLC-resident footprint.
+        let bytes = 1u64 << 18;
+        Workload::builder("hot")
+            .bytes_to_gpu(ByteSize(bytes))
+            .gpu(GpuPhase {
+                compute_work: 1 << 16,
+                shared_accesses: Pattern::Repeat {
+                    body: Box::new(Pattern::Linear {
+                        start: 0,
+                        bytes,
+                        txn_bytes: 64,
+                        kind: AccessKind::Read,
+                    }),
+                    times: 16,
+                },
+                private_accesses: None,
+            })
+            .iterations(2)
+            .build()
+    }
+
+    #[test]
+    fn xavier_recommends_zc_for_streaming_and_it_pays_off() {
+        let device = DeviceProfile::jetson_agx_xavier();
+        let tuner = Tuner::with_characterization(device.clone(), characterization(&device));
+        let v = tuner.validate(&streaming_workload(), CommModelKind::StandardCopy);
+        assert_eq!(v.recommendation.recommended, CommModelKind::ZeroCopy);
+        assert!(
+            v.actual_speedup > 1.0,
+            "switch should pay off, got {:.2}",
+            v.actual_speedup
+        );
+    }
+
+    #[test]
+    fn tx2_zc_cache_hungry_app_sent_back_to_sc() {
+        let device = DeviceProfile::jetson_tx2();
+        let tuner = Tuner::with_characterization(device.clone(), characterization(&device));
+        let v = tuner.validate(&cache_hungry_workload(), CommModelKind::ZeroCopy);
+        assert_eq!(v.recommendation.recommended, CommModelKind::StandardCopy);
+        assert!(
+            v.actual_speedup > 2.0,
+            "cache recovery should be large, got {:.2}",
+            v.actual_speedup
+        );
+    }
+
+    #[test]
+    fn sc_cache_hungry_app_left_alone() {
+        let device = DeviceProfile::jetson_tx2();
+        let tuner = Tuner::with_characterization(device.clone(), characterization(&device));
+        let outcome = tuner.recommend(&cache_hungry_workload(), CommModelKind::StandardCopy);
+        assert!(!outcome.recommendation.suggests_switch());
+    }
+
+    #[test]
+    fn copy_time_estimate_scales_with_payload() {
+        let device = DeviceProfile::jetson_tx2();
+        let tuner = Tuner::with_characterization(device.clone(), characterization(&device));
+        let small = tuner.copy_time_estimate(&cache_hungry_workload());
+        let big = tuner.copy_time_estimate(&streaming_workload());
+        assert!(big > small);
+    }
+
+    #[test]
+    fn evaluate_all_returns_three_reports() {
+        let device = DeviceProfile::jetson_nano();
+        let tuner = Tuner::with_characterization(device.clone(), characterization(&device));
+        let runs = tuner.evaluate_all(&cache_hungry_workload());
+        assert_eq!(runs.len(), 3);
+        let kinds: Vec<_> = runs.iter().map(|r| r.model).collect();
+        assert_eq!(kinds, CommModelKind::ALL.to_vec());
+    }
+}

@@ -1,0 +1,91 @@
+//! Cache-usage metrics — Eqns. 1 and 2 of the paper.
+//!
+//! Both metrics quantify, in percent, how much an application leans on the
+//! last-level cache it would lose (or cripple) under zero copy:
+//!
+//! - **Eqn. 1** (CPU): `miss_rate_L1 × (1 − miss_rate_LL)` — the fraction
+//!   of CPU accesses served by the LLC (they escaped L1 but hit the LLC).
+//! - **Eqn. 2** (GPU): `t_n × t_size × (1 − hit_rate_L1) / kernel_runtime /
+//!   GPU_Cache^max_throughput` — the LL-L1 traffic rate as a fraction of
+//!   the device's peak, measured by the first micro-benchmark.
+
+use icomm_microbench::DeviceCharacterization;
+use icomm_profile::ProfileReport;
+
+/// CPU LLC usage in percent (Eqn. 1).
+///
+/// # Examples
+///
+/// ```
+/// # use icomm_core::usage::cpu_cache_usage_pct;
+/// // 40% of accesses miss L1; 3/4 of those hit the LLC.
+/// assert!((cpu_cache_usage_pct(0.4, 0.25) - 30.0).abs() < 1e-9);
+/// ```
+pub fn cpu_cache_usage_pct(miss_rate_l1: f64, miss_rate_ll: f64) -> f64 {
+    (miss_rate_l1.clamp(0.0, 1.0) * (1.0 - miss_rate_ll.clamp(0.0, 1.0))) * 100.0
+}
+
+/// CPU LLC usage of a profiled run, in percent.
+pub fn cpu_usage_of(profile: &ProfileReport) -> f64 {
+    cpu_cache_usage_pct(profile.miss_rate_l1_cpu, profile.miss_rate_ll_cpu)
+}
+
+/// GPU LLC usage in percent (Eqn. 2): observed LL-L1 throughput over the
+/// device's peak.
+///
+/// Returns 0 when the device characterization reports no usable peak.
+pub fn gpu_cache_usage_pct(ll_throughput: f64, max_throughput: f64) -> f64 {
+    if max_throughput <= 0.0 {
+        0.0
+    } else {
+        (ll_throughput / max_throughput * 100.0).max(0.0)
+    }
+}
+
+/// GPU LLC usage of a profiled run against a device characterization, in
+/// percent.
+pub fn gpu_usage_of(profile: &ProfileReport, device: &DeviceCharacterization) -> f64 {
+    gpu_cache_usage_pct(profile.gpu_ll_throughput(), device.gpu_cache_max_throughput)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eqn1_hand_values() {
+        // All L1 hits: LLC unused.
+        assert_eq!(cpu_cache_usage_pct(0.0, 0.0), 0.0);
+        // Everything misses L1 and hits LLC: full usage.
+        assert_eq!(cpu_cache_usage_pct(1.0, 0.0), 100.0);
+        // Everything misses both: DRAM-bound, LLC unused.
+        assert_eq!(cpu_cache_usage_pct(1.0, 1.0), 0.0);
+        assert!((cpu_cache_usage_pct(0.5, 0.5) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eqn1_clamps_bad_rates() {
+        assert_eq!(cpu_cache_usage_pct(2.0, -1.0), 100.0);
+    }
+
+    #[test]
+    fn eqn2_hand_values() {
+        assert!((gpu_cache_usage_pct(20e9, 100e9) - 20.0).abs() < 1e-12);
+        assert_eq!(gpu_cache_usage_pct(20e9, 0.0), 0.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_eqn1_bounded(l1 in 0.0f64..1.0, ll in 0.0f64..1.0) {
+            let u = cpu_cache_usage_pct(l1, ll);
+            proptest::prop_assert!((0.0..=100.0).contains(&u));
+        }
+
+        #[test]
+        fn prop_eqn1_monotone_in_l1_miss(l1a in 0.0f64..0.5, delta in 0.0f64..0.5, ll in 0.0f64..1.0) {
+            let lo = cpu_cache_usage_pct(l1a, ll);
+            let hi = cpu_cache_usage_pct(l1a + delta, ll);
+            proptest::prop_assert!(hi >= lo);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+use icomm_microbench::mb2::ThresholdSweep;
+use icomm_soc::DeviceProfile;
+
+fn main() {
+    for dev in [
+        DeviceProfile::jetson_agx_xavier(),
+        DeviceProfile::jetson_tx2(),
+    ] {
+        let r = ThresholdSweep::new().run_gpu(&dev);
+        println!(
+            "== {} (threshold {:.1}%, zone2 {:?}) ==",
+            dev.name, r.threshold_pct, r.zone2_limit_pct
+        );
+        for p in &r.points {
+            println!(
+                "1/{:<6.0} sc {:>10} zc {:>10} slow {:>7.2} sc_tp {:>7.2} GB/s usage {:>6.2}%",
+                1.0 / p.fraction,
+                p.sc_time.to_string(),
+                p.zc_time.to_string(),
+                p.zc_slowdown(),
+                p.sc_ll_throughput / 1e9,
+                p.sc_usage_pct
+            );
+        }
+    }
+}

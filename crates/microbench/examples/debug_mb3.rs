@@ -1,0 +1,34 @@
+use icomm_microbench::mb3::{Mb3Config, OverlapProbe};
+use icomm_models::CommModelKind;
+use icomm_soc::DeviceProfile;
+
+fn main() {
+    for dev in [
+        DeviceProfile::jetson_agx_xavier(),
+        DeviceProfile::jetson_tx2(),
+    ] {
+        let probe = OverlapProbe::with_config(Mb3Config {
+            array_bytes: 1 << 26,
+            ..Default::default()
+        });
+        let r = probe.run(&dev);
+        println!("== {} ==", dev.name);
+        for run in &r.runs {
+            println!(
+                "{:>3}: total {:>10} cpu {:>10} kernel {:>10} copy {:>10} sync {:>9} saved {:>9}",
+                run.model.abbrev(),
+                run.total_time.to_string(),
+                run.cpu_time.to_string(),
+                run.kernel_time.to_string(),
+                run.copy_time.to_string(),
+                run.sync_time.to_string(),
+                run.overlap_saved.to_string(),
+            );
+        }
+        println!(
+            "SC/ZC = {:.2}, vs UM = {:.0}%",
+            r.sc_zc_max_speedup(),
+            r.zc_advantage_pct(CommModelKind::UnifiedMemory)
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Device characterization: the per-device summary the decision framework
+//! consumes.
+//!
+//! Running the three micro-benchmarks once per device produces a
+//! [`DeviceCharacterization`] capturing everything the performance model
+//! needs that is *application-independent*: peak cache throughputs, cache
+//! thresholds, and the maximum attainable speedups in both switching
+//! directions. The struct is serializable so a characterization can be
+//! computed once per board and cached.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_models::CommModelKind;
+use icomm_soc::DeviceProfile;
+
+use crate::mb1::{Mb1Result, PeakCacheThroughput};
+use crate::mb2::{Mb2Result, ThresholdSweep};
+use crate::mb3::{Mb3Result, OverlapProbe};
+
+/// Application-independent characterization of one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceCharacterization {
+    /// Board name.
+    pub device: String,
+    /// Peak GPU LL-L1 throughput on the cached (SC) path, bytes/second
+    /// (`GPU_Cache^max_throughput`).
+    pub gpu_cache_max_throughput: f64,
+    /// GPU path throughput under zero copy, bytes/second.
+    pub gpu_zc_throughput: f64,
+    /// GPU path throughput under unified memory, bytes/second.
+    pub gpu_um_throughput: f64,
+    /// GPU cache-usage threshold in percent: below it, ZC matches SC.
+    pub gpu_cache_threshold_pct: f64,
+    /// Usage bound of the "maybe" zone (zone 2); beyond it ZC degrades by
+    /// more than 200 % and is ruled out. `None` when the sweep never
+    /// crossed it.
+    pub gpu_cache_zone2_pct: Option<f64>,
+    /// CPU cache-usage threshold in percent (100 on devices whose CPU
+    /// cache stays enabled under zero copy).
+    pub cpu_cache_threshold_pct: f64,
+    /// `SC/ZC_Max_speedup`: most a cache-independent app gains switching
+    /// SC→ZC on this device (ratio; < 1 means ZC always loses).
+    pub sc_zc_max_speedup: f64,
+    /// `ZC/SC_Max_speedup`: most a fully cache-dependent app gains
+    /// switching ZC→SC on this device (ratio).
+    pub zc_sc_max_speedup: f64,
+}
+
+impl DeviceCharacterization {
+    /// Assembles the characterization from the three micro-benchmark
+    /// results.
+    pub fn from_results(mb1: &Mb1Result, mb2: &Mb2Result, mb3: &Mb3Result) -> Self {
+        DeviceCharacterization {
+            device: mb1.device.clone(),
+            gpu_cache_max_throughput: mb1.max_throughput(),
+            gpu_zc_throughput: mb1.model(CommModelKind::ZeroCopy).ll_throughput,
+            gpu_um_throughput: mb1.model(CommModelKind::UnifiedMemory).ll_throughput,
+            gpu_cache_threshold_pct: mb2.gpu.threshold_pct,
+            gpu_cache_zone2_pct: mb2.gpu.zone2_limit_pct,
+            cpu_cache_threshold_pct: mb2.cpu.threshold_pct,
+            sc_zc_max_speedup: mb3.sc_zc_max_speedup(),
+            zc_sc_max_speedup: mb1.zc_sc_max_speedup(),
+        }
+    }
+
+    /// Whether zero copy can ever win on this device for
+    /// cache-independent work.
+    pub fn zc_viable(&self) -> bool {
+        self.sc_zc_max_speedup > 1.0
+    }
+}
+
+/// Runs all three micro-benchmarks and assembles the characterization.
+///
+/// This is the expensive, run-once-per-board step of the framework.
+///
+/// # Examples
+///
+/// ```no_run
+/// use icomm_microbench::characterize_device;
+/// use icomm_soc::DeviceProfile;
+///
+/// let c = characterize_device(&DeviceProfile::jetson_tx2());
+/// assert!(c.zc_sc_max_speedup > 1.0);
+/// ```
+pub fn characterize_device(device: &DeviceProfile) -> DeviceCharacterization {
+    let mb1 = PeakCacheThroughput::new().run(device);
+    let mb2 = ThresholdSweep::new().run(device);
+    let mb3 = OverlapProbe::new().run(device);
+    DeviceCharacterization::from_results(&mb1, &mb2, &mb3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mb2::Mb2Config;
+    use crate::mb3::Mb3Config;
+
+    /// A trimmed characterization to keep tests fast.
+    pub fn quick(device: &DeviceProfile) -> DeviceCharacterization {
+        let mb1 = PeakCacheThroughput::new().run(device);
+        let mb2 = ThresholdSweep::with_config(Mb2Config {
+            denominators: vec![4096, 512, 64, 32, 24, 16, 8, 2],
+            ..Mb2Config::default()
+        })
+        .run(device);
+        let mb3 = OverlapProbe::with_config(Mb3Config {
+            array_bytes: 1 << 25,
+            ..Mb3Config::default()
+        })
+        .run(device);
+        DeviceCharacterization::from_results(&mb1, &mb2, &mb3)
+    }
+
+    #[test]
+    fn tx2_characterization_shape() {
+        let c = quick(&DeviceProfile::jetson_tx2());
+        assert!(
+            c.zc_sc_max_speedup > 30.0,
+            "TX2 zc/sc {:.1}",
+            c.zc_sc_max_speedup
+        );
+        assert!(!c.zc_viable(), "ZC should not be viable on TX2 streams");
+        assert!(c.cpu_cache_threshold_pct < 100.0);
+    }
+
+    #[test]
+    fn xavier_characterization_shape() {
+        let c = quick(&DeviceProfile::jetson_agx_xavier());
+        assert!(c.zc_sc_max_speedup < 15.0);
+        assert!(c.zc_viable(), "ZC must be viable on Xavier");
+        assert_eq!(c.cpu_cache_threshold_pct, 100.0);
+        assert!(c.gpu_cache_threshold_pct > 2.0);
+    }
+
+    #[test]
+    fn table1_throughput_ratios() {
+        let c = quick(&DeviceProfile::jetson_tx2());
+        let gap = c.gpu_cache_max_throughput / c.gpu_zc_throughput;
+        // Paper: 97.34 / 1.28 = 76x.
+        assert!(
+            gap > 40.0 && gap < 150.0,
+            "TX2 SC/ZC throughput gap {gap:.0}"
+        );
+        let cx = quick(&DeviceProfile::jetson_agx_xavier());
+        let gapx = cx.gpu_cache_max_throughput / cx.gpu_zc_throughput;
+        // Paper: 214.64 / 32.29 = 6.6x.
+        assert!(
+            gapx > 3.0 && gapx < 15.0,
+            "Xavier SC/ZC throughput gap {gapx:.1}"
+        );
+        assert!(gap > 4.0 * gapx, "TX2 gap must dwarf Xavier's");
+    }
+}

@@ -1,0 +1,30 @@
+//! # icomm-microbench — device-characterization micro-benchmarks
+//!
+//! The three micro-benchmarks of the paper (Section III-B), implemented
+//! against the `icomm-soc` simulator:
+//!
+//! 1. [`mb1::PeakCacheThroughput`] — peak GPU LL-L1 cache throughput per
+//!    communication model (Table I, Fig. 5) and the `ZC/SC_Max_speedup`
+//!    bound for cache-dependent applications.
+//! 2. [`mb2::ThresholdSweep`] — cache-usage thresholds separating the
+//!    "ZC is free" / "ZC maybe" / "ZC ruled out" zones (Figs. 3 and 6),
+//!    for both the GPU and the CPU caches.
+//! 3. [`mb3::OverlapProbe`] — maximum communication speedup attainable by
+//!    switching a cache-independent, overlappable workload to zero copy
+//!    (`SC/ZC_Max_speedup`, Fig. 7).
+//!
+//! [`characterize_device`] runs all three and assembles the
+//! [`DeviceCharacterization`] the decision framework consumes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod characterization;
+pub mod mb1;
+pub mod mb2;
+pub mod mb3;
+
+pub use characterization::{characterize_device, DeviceCharacterization};
+pub use mb1::PeakCacheThroughput;
+pub use mb2::ThresholdSweep;
+pub use mb3::OverlapProbe;

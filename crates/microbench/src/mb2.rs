@@ -1,0 +1,414 @@
+//! **Micro-benchmark 2**: cache-usage thresholds.
+//!
+//! Extensive GPU computation with varying levels of linear memory access:
+//! the kernel executes a fixed amount of arithmetic (`fma.rn` on locally
+//! computed values) while touching only a *section* of a fixed-size array
+//! (single `ld.global` + `st.global` per element), sweeping the section
+//! from `1/16384` to `1/2` of the array. Comparing the ZC and SC curves
+//! yields (Figs. 3 and 6):
+//!
+//! - `GPU_Cache_Threshold`: the cache-usage level (Eqn. 2, as a percentage
+//!   of the peak LL-L1 throughput) below which ZC matches SC, and
+//! - the *zone 2* limit: the usage level beyond which ZC degrades by more
+//!   than 200 % and should be ruled out.
+//!
+//! A CPU-side analogue sweep yields `CPU_Cache_Threshold` (Eqn. 1). On
+//! I/O-coherent devices the CPU cache stays enabled under ZC, so the CPU
+//! threshold is 100 % by construction — exactly what the paper reports for
+//! the AGX Xavier.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_models::model::{CommModel, CommModelKind};
+use icomm_models::zero_copy::ZeroCopy;
+use icomm_models::{model_for, CpuPhase, GpuPhase, Workload};
+use icomm_profile::ProfileReport;
+use icomm_soc::cache::AccessKind;
+use icomm_soc::cpu::{CpuOpClass, OpCount};
+use icomm_soc::units::{ByteSize, Picos};
+use icomm_soc::{DeviceProfile, Soc};
+use icomm_trace::Pattern;
+
+/// Configuration of the threshold sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mb2Config {
+    /// Fixed array size the sections are taken from. Defaults to four
+    /// times the GPU LLC so the sweep reaches both zone boundaries.
+    pub array_bytes: Option<u64>,
+    /// Passes over the section per GPU kernel. The paper's kernel touches
+    /// each element once (single `ld.global`/`st.global`), so the default
+    /// is 1; cross-kernel reuse through the LLC still occurs.
+    pub gpu_passes: u32,
+    /// Passes over the section per CPU task (the CPU-side sweep needs
+    /// reuse for Eqn. 1's LLC-usage metric to be meaningful).
+    pub cpu_passes: u32,
+    /// Fixed GPU arithmetic per kernel (instruction-cycles). `None`
+    /// derives it from the device so the compute phase lasts the same
+    /// wall time (~4.4 us) on every GPU width — a fixed instruction count
+    /// would make the sweep launch-overhead-bound on wide GPUs.
+    pub gpu_compute_work: Option<u64>,
+    /// Fixed CPU arithmetic for the CPU-side sweep (operation count).
+    pub cpu_fp_ops: u64,
+    /// Hot (L1-resident) accesses in the CPU-side sweep; dilutes the
+    /// LLC-usage metric the way real register/stack traffic does.
+    pub cpu_hot_accesses: u64,
+    /// Section fractions to sweep (denominators, e.g. 16384 for 1/16384).
+    pub denominators: Vec<u64>,
+    /// Relative runtime difference below which ZC and SC count as
+    /// "comparable" (threshold detection). The default is deliberately
+    /// permissive (50 %): a moderate kernel degradation is still paid back
+    /// by copy elimination and overlap, which is what the paper's
+    /// threshold semantics capture.
+    pub comparable_tolerance: f64,
+    /// Relative runtime difference marking the zone-2/zone-3 boundary
+    /// (the paper uses 200 %).
+    pub zone2_limit: f64,
+}
+
+impl Default for Mb2Config {
+    fn default() -> Self {
+        Mb2Config {
+            array_bytes: None,
+            gpu_passes: 1,
+            cpu_passes: 4,
+            gpu_compute_work: None,
+            cpu_fp_ops: 14_000_000,
+            cpu_hot_accesses: 50_000,
+            denominators: vec![
+                16384, 12288, 8192, 6144, 4096, 3072, 2048, 1536, 1024, 768, 512, 384, 256, 192,
+                128, 96, 64, 48, 32, 24, 16, 12, 8, 6, 4, 3, 2,
+            ],
+            comparable_tolerance: 0.50,
+            zone2_limit: 2.0,
+        }
+    }
+}
+
+/// One point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Section fraction of the array (e.g. `1/2048`).
+    pub fraction: f64,
+    /// SC kernel (or CPU-task) time.
+    pub sc_time: Picos,
+    /// ZC kernel (or CPU-task) time.
+    pub zc_time: Picos,
+    /// LL-L1 throughput measured under SC, bytes/second.
+    pub sc_ll_throughput: f64,
+    /// LL-L1 path throughput measured under ZC, bytes/second.
+    pub zc_ll_throughput: f64,
+    /// Cache usage under SC as a percentage of the device's peak
+    /// (Eqn. 2 for the GPU sweep, Eqn. 1 for the CPU sweep).
+    pub sc_usage_pct: f64,
+}
+
+impl SweepPoint {
+    /// Relative ZC slowdown at this point (`zc/sc - 1`).
+    pub fn zc_slowdown(&self) -> f64 {
+        if self.sc_time.is_zero() {
+            0.0
+        } else {
+            self.zc_time.as_picos() as f64 / self.sc_time.as_picos() as f64 - 1.0
+        }
+    }
+}
+
+/// Result of one (GPU or CPU) threshold sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Board name.
+    pub device: String,
+    /// Sweep points in increasing fraction order.
+    pub points: Vec<SweepPoint>,
+    /// The detected cache-usage threshold in percent: the usage at the
+    /// last point where ZC and SC are comparable.
+    pub threshold_pct: f64,
+    /// Usage at the zone-2/zone-3 boundary (ZC slowdown crossing 200 %),
+    /// when the sweep reaches it.
+    pub zone2_limit_pct: Option<f64>,
+}
+
+/// Result of the second micro-benchmark: the GPU sweep plus the CPU-side
+/// analogue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mb2Result {
+    /// GPU threshold sweep (Figs. 3 and 6).
+    pub gpu: SweepResult,
+    /// CPU threshold sweep.
+    pub cpu: SweepResult,
+}
+
+/// The second micro-benchmark.
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdSweep {
+    config: Mb2Config,
+}
+
+impl ThresholdSweep {
+    /// Creates the sweep with default configuration.
+    pub fn new() -> Self {
+        ThresholdSweep {
+            config: Mb2Config::default(),
+        }
+    }
+
+    /// Creates the sweep with an explicit configuration.
+    pub fn with_config(config: Mb2Config) -> Self {
+        ThresholdSweep { config }
+    }
+
+    fn array_bytes(&self, device: &DeviceProfile) -> u64 {
+        self.config
+            .array_bytes
+            .unwrap_or(4 * device.layout.gpu_llc.size.as_u64())
+    }
+
+    fn gpu_compute_work(&self, device: &DeviceProfile) -> u64 {
+        self.config.gpu_compute_work.unwrap_or_else(|| {
+            // ~4.4 us of SM-array time regardless of GPU width (matches
+            // the constant the sweep was calibrated with on the Xavier).
+            let throughput = device.gpu.sm_count as u64
+                * device.gpu.issue_per_cycle as u64
+                * device.gpu.freq.as_hz();
+            (throughput as f64 * 4.4e-6) as u64
+        })
+    }
+
+    /// The GPU workload at one section fraction.
+    pub fn gpu_workload(&self, device: &DeviceProfile, denominator: u64) -> Workload {
+        let array = self.array_bytes(device);
+        let section = (array / denominator).max(4);
+        let sweep = Pattern::Repeat {
+            body: Box::new(Pattern::LinearRmw {
+                start: 0,
+                bytes: section,
+                txn_bytes: 64,
+            }),
+            times: self.config.gpu_passes,
+        };
+        Workload::builder(format!("mb2-gpu/{}/1_{}", device.name, denominator))
+            .bytes_to_gpu(ByteSize(array))
+            .cpu(CpuPhase::idle())
+            .gpu(GpuPhase {
+                compute_work: self.gpu_compute_work(device),
+                shared_accesses: sweep,
+                private_accesses: None,
+            })
+            .iterations(2)
+            .build()
+    }
+
+    /// The CPU workload at one section fraction.
+    pub fn cpu_workload(&self, device: &DeviceProfile, denominator: u64) -> Workload {
+        let array = self.array_bytes(device);
+        let section = (array / denominator).max(4);
+        let sweep = Pattern::Repeat {
+            body: Box::new(Pattern::LinearRmw {
+                start: 0,
+                bytes: section,
+                txn_bytes: 64,
+            }),
+            times: self.config.cpu_passes,
+        };
+        Workload::builder(format!("mb2-cpu/{}/1_{}", device.name, denominator))
+            .bytes_to_gpu(ByteSize(array))
+            .cpu(CpuPhase {
+                ops: vec![OpCount::new(CpuOpClass::FpMulAdd, self.config.cpu_fp_ops)],
+                shared_accesses: sweep,
+                private_accesses: Some(Pattern::SingleAddress {
+                    addr: 0,
+                    count: self.config.cpu_hot_accesses,
+                    txn_bytes: 8,
+                    kind: AccessKind::Read,
+                }),
+            })
+            // A token kernel: the CPU sweep needs a GPU phase to form a
+            // valid workload, but its cost is launch overhead only.
+            .gpu(GpuPhase {
+                compute_work: 0,
+                shared_accesses: Pattern::Sequence(Vec::new()),
+                private_accesses: None,
+            })
+            .iterations(2)
+            .build()
+    }
+
+    fn detect(&self, device: &DeviceProfile, points: Vec<SweepPoint>) -> SweepResult {
+        let tol = self.config.comparable_tolerance;
+        let mut threshold_pct: f64 = 0.0;
+        for p in &points {
+            if p.zc_slowdown() <= tol {
+                threshold_pct = threshold_pct.max(p.sc_usage_pct);
+            }
+        }
+        let mut zone2_limit_pct = None;
+        for pair in points.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if a.zc_slowdown() <= self.config.zone2_limit
+                && b.zc_slowdown() > self.config.zone2_limit
+            {
+                // Report the usage at the last point still inside zone 2.
+                zone2_limit_pct = Some(a.sc_usage_pct);
+            }
+        }
+        // If the sweep never crossed the boundary because ZC never
+        // degrades that much on this device, zone 2 extends to any usage
+        // level. (Leaving `None` means the opposite — the device was past
+        // the boundary from the start — which only non-crossing sweeps
+        // that *end* degraded should report.)
+        if zone2_limit_pct.is_none()
+            && points
+                .last()
+                .map(|p| p.zc_slowdown() <= self.config.zone2_limit)
+                .unwrap_or(false)
+        {
+            zone2_limit_pct = Some(100.0);
+        }
+        SweepResult {
+            device: device.name.clone(),
+            points,
+            threshold_pct,
+            zone2_limit_pct,
+        }
+    }
+
+    /// Runs the GPU sweep on a device.
+    pub fn run_gpu(&self, device: &DeviceProfile) -> SweepResult {
+        let max_throughput = device.latencies.gpu_llc_bandwidth.as_bytes_per_sec() as f64;
+        let mut points = Vec::new();
+        let mut denominators = self.config.denominators.clone();
+        denominators.sort_unstable_by(|a, b| b.cmp(a)); // small fractions first
+        for &den in &denominators {
+            let w = self.gpu_workload(device, den);
+            let sc_run = {
+                let mut soc = Soc::new(device.clone());
+                model_for(CommModelKind::StandardCopy).run(&mut soc, &w)
+            };
+            let zc_run = {
+                let mut soc = Soc::new(device.clone());
+                ZeroCopy::serialized().run(&mut soc, &w)
+            };
+            let sc_profile = ProfileReport::from_run(&sc_run);
+            let zc_profile = ProfileReport::from_run(&zc_run);
+            points.push(SweepPoint {
+                fraction: 1.0 / den as f64,
+                sc_time: sc_run.kernel_time_per_iteration(),
+                zc_time: zc_run.kernel_time_per_iteration(),
+                sc_ll_throughput: sc_profile.gpu_ll_throughput(),
+                zc_ll_throughput: zc_profile.gpu_ll_throughput(),
+                sc_usage_pct: 100.0 * sc_profile.gpu_ll_throughput() / max_throughput,
+            });
+        }
+        self.detect(device, points)
+    }
+
+    /// Runs the CPU sweep on a device. On I/O-coherent devices the CPU
+    /// cache is never disabled under ZC, so the threshold is 100 %.
+    pub fn run_cpu(&self, device: &DeviceProfile) -> SweepResult {
+        if device.zc_rules.cpu_caches_pinned {
+            return SweepResult {
+                device: device.name.clone(),
+                points: Vec::new(),
+                threshold_pct: 100.0,
+                zone2_limit_pct: None,
+            };
+        }
+        let mut points = Vec::new();
+        let mut denominators = self.config.denominators.clone();
+        denominators.sort_unstable_by(|a, b| b.cmp(a));
+        for &den in &denominators {
+            let w = self.cpu_workload(device, den);
+            let sc_run = {
+                let mut soc = Soc::new(device.clone());
+                model_for(CommModelKind::StandardCopy).run(&mut soc, &w)
+            };
+            let zc_run = {
+                let mut soc = Soc::new(device.clone());
+                ZeroCopy::serialized().run(&mut soc, &w)
+            };
+            // Eqn. 1: usage = miss_rate_L1 * (1 - miss_rate_LL).
+            let sc_profile = ProfileReport::from_run(&sc_run);
+            let usage = 100.0 * sc_profile.miss_rate_l1_cpu * (1.0 - sc_profile.miss_rate_ll_cpu);
+            points.push(SweepPoint {
+                fraction: 1.0 / den as f64,
+                sc_time: sc_run.cpu_time_per_iteration(),
+                zc_time: zc_run.cpu_time_per_iteration(),
+                sc_ll_throughput: 0.0,
+                zc_ll_throughput: 0.0,
+                sc_usage_pct: usage,
+            });
+        }
+        self.detect(device, points)
+    }
+
+    /// Runs both sweeps.
+    pub fn run(&self, device: &DeviceProfile) -> Mb2Result {
+        Mb2Result {
+            gpu: self.run_gpu(device),
+            cpu: self.run_cpu(device),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> Mb2Config {
+        Mb2Config {
+            denominators: vec![4096, 1024, 256, 64, 16, 4],
+            ..Mb2Config::default()
+        }
+    }
+
+    #[test]
+    fn zc_slowdown_grows_with_fraction() {
+        let sweep = ThresholdSweep::with_config(quick_config());
+        let r = sweep.run_gpu(&DeviceProfile::jetson_tx2());
+        let first = r.points.first().unwrap().zc_slowdown();
+        let last = r.points.last().unwrap().zc_slowdown();
+        assert!(last > first, "slowdown should grow: {first} -> {last}");
+        assert!(last > 2.0, "TX2 must end deep in zone 3 ({last:.2})");
+    }
+
+    #[test]
+    fn xavier_threshold_much_higher_than_tx2() {
+        let sweep = ThresholdSweep::with_config(quick_config());
+        let tx2 = sweep.run_gpu(&DeviceProfile::jetson_tx2());
+        let xavier = sweep.run_gpu(&DeviceProfile::jetson_agx_xavier());
+        assert!(
+            xavier.threshold_pct > 2.0 * tx2.threshold_pct,
+            "xavier {:.1}% vs tx2 {:.1}%",
+            xavier.threshold_pct,
+            tx2.threshold_pct
+        );
+    }
+
+    #[test]
+    fn xavier_cpu_threshold_is_100() {
+        let sweep = ThresholdSweep::with_config(quick_config());
+        let r = sweep.run_cpu(&DeviceProfile::jetson_agx_xavier());
+        assert_eq!(r.threshold_pct, 100.0);
+        assert!(r.points.is_empty());
+    }
+
+    #[test]
+    fn tx2_cpu_threshold_detected() {
+        let sweep = ThresholdSweep::with_config(quick_config());
+        let r = sweep.run_cpu(&DeviceProfile::jetson_tx2());
+        assert!(r.threshold_pct < 100.0);
+        assert!(!r.points.is_empty());
+    }
+
+    #[test]
+    fn usage_monotone_nondecreasing_on_gpu_sweep() {
+        let sweep = ThresholdSweep::with_config(quick_config());
+        let r = sweep.run_gpu(&DeviceProfile::jetson_agx_xavier());
+        for pair in r.points.windows(2) {
+            assert!(
+                pair[1].sc_usage_pct >= pair[0].sc_usage_pct * 0.8,
+                "usage should grow with the section fraction"
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Address-space layout used by the communication models.
+//!
+//! Workload patterns address the shared buffer by offset. Each model maps
+//! those offsets into the physical regions it allocates:
+//!
+//! - **Standard copy** keeps two partitions (CPU-side and GPU-side) and
+//!   copies between them, so producer and consumer touch *different*
+//!   addresses.
+//! - **Unified memory** exposes one region to both agents; the driver
+//!   migrates pages between the logical halves, which the simulator models
+//!   as cost rather than address changes.
+//! - **Zero copy** exposes one *pinned* region to both agents.
+//!
+//! The bases are spaced far apart so partitions never alias in the caches.
+
+use icomm_soc::request::MemRequest;
+
+/// Base address of the CPU-side partition (standard copy).
+pub const CPU_PARTITION_BASE: u64 = 0x1000_0000;
+/// Base address of the GPU-side partition (standard copy).
+pub const GPU_PARTITION_BASE: u64 = 0x5000_0000;
+/// Base address of the unified (managed) region.
+pub const UNIFIED_BASE: u64 = 0x9000_0000;
+/// Base address of the pinned zero-copy region.
+pub const PINNED_BASE: u64 = 0xD000_0000;
+/// Base address of CPU-private scratch data.
+pub const CPU_PRIVATE_BASE: u64 = 0x2_0000_0000;
+/// Base address of GPU-private scratch data.
+pub const GPU_PRIVATE_BASE: u64 = 0x3_0000_0000;
+
+/// Rebases a request stream by adding `base` to every address.
+pub fn rebase(
+    iter: impl Iterator<Item = MemRequest>,
+    base: u64,
+) -> impl Iterator<Item = MemRequest> {
+    iter.map(move |mut r| {
+        r.addr += base;
+        r
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_soc::hierarchy::MemSpace;
+
+    #[test]
+    fn rebase_shifts_addresses() {
+        let reqs = vec![
+            MemRequest::read(0, 64, MemSpace::Cached),
+            MemRequest::write(128, 64, MemSpace::Cached),
+        ];
+        let shifted: Vec<_> = rebase(reqs.into_iter(), 0x1000).collect();
+        assert_eq!(shifted[0].addr, 0x1000);
+        assert_eq!(shifted[1].addr, 0x1080);
+    }
+
+    #[test]
+    fn bases_are_disjoint() {
+        let bases = [
+            CPU_PARTITION_BASE,
+            GPU_PARTITION_BASE,
+            UNIFIED_BASE,
+            PINNED_BASE,
+        ];
+        for w in bases.windows(2) {
+            // At least 1 GiB of room for each region.
+            assert!(w[1] - w[0] >= 0x4000_0000);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! # icomm-models — CPU-iGPU communication models
+//!
+//! Executable models of the three communication schemes the paper compares,
+//! driven against the `icomm-soc` simulator:
+//!
+//! - [`standard_copy::StandardCopy`] (SC): explicit copies between CPU and
+//!   GPU partitions, caches fully enabled, coherence by flushing.
+//! - [`unified_memory::UnifiedMemory`] (UM): one managed space with
+//!   on-demand page migration; performs within a few percent of SC.
+//! - [`zero_copy::ZeroCopy`] (ZC): one pinned allocation accessed
+//!   concurrently, no copies, caches bypassed per the device's zero-copy
+//!   rules; optionally overlapped with the paper's tiled communication
+//!   pattern ([`tiling`]).
+//!
+//! A [`workload::Workload`] describes *what* an application does; a
+//! [`model::CommModel`] decides *how* its data moves, and returns a
+//! [`report::RunReport`] with the timing decomposition the performance
+//! model consumes.
+//!
+//! Extensions beyond the paper: [`async_copy::DoubleBufferedCopy`] (SC
+//! with double buffering), [`tiled_exec`] (phase-by-phase execution of
+//! the Fig. 4 pattern), and [`stream`] (real-time frame streams with
+//! deadline accounting).
+//!
+//! # Example
+//!
+//! ```
+//! use icomm_models::model::{run_model, CommModelKind};
+//! use icomm_models::workload::{CpuPhase, GpuPhase, Workload};
+//! use icomm_soc::cache::AccessKind;
+//! use icomm_soc::units::ByteSize;
+//! use icomm_soc::DeviceProfile;
+//! use icomm_trace::Pattern;
+//!
+//! let w = Workload::builder("stream")
+//!     .bytes_to_gpu(ByteSize::kib(256))
+//!     .gpu(GpuPhase {
+//!         compute_work: 1 << 16,
+//!         shared_accesses: Pattern::Linear {
+//!             start: 0,
+//!             bytes: 256 * 1024,
+//!             txn_bytes: 64,
+//!             kind: AccessKind::Read,
+//!         },
+//!         private_accesses: None,
+//!     })
+//!     .build();
+//! let device = DeviceProfile::jetson_tx2();
+//! let sc = run_model(CommModelKind::StandardCopy, &device, &w);
+//! let zc = run_model(CommModelKind::ZeroCopy, &device, &w);
+//! assert!(zc.copy_time < sc.copy_time);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod async_copy;
+pub mod layout;
+pub mod model;
+pub mod overlap;
+pub mod report;
+pub mod standard_copy;
+pub mod stream;
+pub mod tiled_exec;
+pub mod tiling;
+pub mod unified_memory;
+pub mod workload;
+pub mod zero_copy;
+
+pub use model::{model_for, run_model, CommModel, CommModelKind};
+pub use report::RunReport;
+pub use workload::{CpuPhase, GpuPhase, Workload};

@@ -1,0 +1,134 @@
+//! The [`CommModel`] trait and the model registry.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use icomm_soc::Soc;
+
+use crate::async_copy::DoubleBufferedCopy;
+use crate::report::RunReport;
+use crate::standard_copy::StandardCopy;
+use crate::unified_memory::UnifiedMemory;
+use crate::workload::Workload;
+use crate::zero_copy::ZeroCopy;
+
+/// The three CPU-iGPU communication models of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommModelKind {
+    /// Explicit copies between CPU and GPU partitions; caches enabled,
+    /// coherence by flushing around kernels.
+    StandardCopy,
+    /// One managed virtual space; the driver migrates pages on demand.
+    UnifiedMemory,
+    /// Pinned shared buffer accessed concurrently; GPU caches (and, on
+    /// non-I/O-coherent devices, CPU caches) are bypassed.
+    ZeroCopy,
+    /// Extension (not in the paper's evaluation): standard copy with
+    /// double buffering and an asynchronous DMA, hiding the copies behind
+    /// the kernel.
+    StandardCopyAsync,
+}
+
+impl CommModelKind {
+    /// The paper's three models, in its order.
+    pub const ALL: [CommModelKind; 3] = [
+        CommModelKind::StandardCopy,
+        CommModelKind::UnifiedMemory,
+        CommModelKind::ZeroCopy,
+    ];
+
+    /// The paper's models plus this library's extensions.
+    pub const EXTENDED: [CommModelKind; 4] = [
+        CommModelKind::StandardCopy,
+        CommModelKind::UnifiedMemory,
+        CommModelKind::ZeroCopy,
+        CommModelKind::StandardCopyAsync,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            CommModelKind::StandardCopy => "SC",
+            CommModelKind::UnifiedMemory => "UM",
+            CommModelKind::ZeroCopy => "ZC",
+            CommModelKind::StandardCopyAsync => "SC+",
+        }
+    }
+}
+
+impl fmt::Display for CommModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CommModelKind::StandardCopy => "standard copy",
+            CommModelKind::UnifiedMemory => "unified memory",
+            CommModelKind::ZeroCopy => "zero copy",
+            CommModelKind::StandardCopyAsync => "double-buffered standard copy",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A communication model: a strategy for moving data between the CPU task
+/// and the GPU kernel of a [`Workload`] and sequencing their execution.
+pub trait CommModel {
+    /// Which model this is.
+    fn kind(&self) -> CommModelKind;
+
+    /// Runs the workload on the SoC under this model and reports the
+    /// timing decomposition.
+    fn run(&self, soc: &mut Soc, workload: &Workload) -> RunReport;
+}
+
+/// Instantiates the default-configured model of a kind.
+pub fn model_for(kind: CommModelKind) -> Box<dyn CommModel> {
+    match kind {
+        CommModelKind::StandardCopy => Box::new(StandardCopy::new()),
+        CommModelKind::UnifiedMemory => Box::new(UnifiedMemory::new()),
+        CommModelKind::ZeroCopy => Box::new(ZeroCopy::new()),
+        CommModelKind::StandardCopyAsync => Box::new(DoubleBufferedCopy::new()),
+    }
+}
+
+/// Convenience: runs `workload` on a *fresh* SoC for `device` under `kind`.
+///
+/// Each model run starts from cold caches so model comparisons are fair.
+pub fn run_model(
+    kind: CommModelKind,
+    device: &icomm_soc::DeviceProfile,
+    workload: &Workload,
+) -> RunReport {
+    let mut soc = Soc::new(device.clone());
+    model_for(kind).run(&mut soc, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbrevs() {
+        assert_eq!(CommModelKind::StandardCopy.abbrev(), "SC");
+        assert_eq!(CommModelKind::UnifiedMemory.abbrev(), "UM");
+        assert_eq!(CommModelKind::ZeroCopy.abbrev(), "ZC");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CommModelKind::ZeroCopy.to_string(), "zero copy");
+    }
+
+    #[test]
+    fn registry_returns_matching_kind() {
+        for kind in CommModelKind::EXTENDED {
+            assert_eq!(model_for(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn extended_superset_of_all() {
+        for kind in CommModelKind::ALL {
+            assert!(CommModelKind::EXTENDED.contains(&kind));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Overlapped-execution timing for the tiled zero-copy pipeline.
+//!
+//! Given the standalone times of the CPU and GPU halves of an iteration,
+//! the pipeline's wall time is bounded below by three quantities:
+//!
+//! 1. the slower agent (perfect overlap cannot beat `max(t_cpu, t_gpu)`),
+//! 2. the phase barriers (each hand-off costs a synchronization),
+//! 3. DRAM contention: the agents share one memory channel, so the wall
+//!    time can never be shorter than their combined channel occupancy.
+//!
+//! The model takes the maximum of the three, which matches the behaviour
+//! the paper exploits in its third micro-benchmark: balanced CPU/GPU tasks
+//! overlap almost perfectly until the DRAM channel saturates.
+
+use icomm_soc::units::Picos;
+
+/// Inputs to the overlap computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapInputs {
+    /// Standalone CPU-half time.
+    pub cpu_time: Picos,
+    /// Standalone GPU-half time.
+    pub gpu_time: Picos,
+    /// DRAM channel occupancy of the CPU half.
+    pub cpu_dram_occupancy: Picos,
+    /// DRAM channel occupancy of the GPU half.
+    pub gpu_dram_occupancy: Picos,
+    /// Phases per iteration.
+    pub phases: u32,
+    /// Cost per phase barrier.
+    pub barrier_cost: Picos,
+}
+
+/// Result of the overlap computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapOutcome {
+    /// Pipelined wall time of the iteration.
+    pub wall: Picos,
+    /// Wall time saved versus serial execution.
+    pub saved: Picos,
+    /// Total barrier cost included in `wall`.
+    pub barrier_total: Picos,
+    /// Whether DRAM contention (rather than the slower agent) set the wall
+    /// time.
+    pub contention_bound: bool,
+}
+
+/// Computes the pipelined wall time of one iteration.
+///
+/// # Examples
+///
+/// ```
+/// use icomm_models::overlap::{overlapped_wall, OverlapInputs};
+/// use icomm_soc::units::Picos;
+///
+/// let out = overlapped_wall(OverlapInputs {
+///     cpu_time: Picos::from_micros(100),
+///     gpu_time: Picos::from_micros(100),
+///     cpu_dram_occupancy: Picos::from_micros(10),
+///     gpu_dram_occupancy: Picos::from_micros(10),
+///     phases: 2,
+///     barrier_cost: Picos::from_micros(1),
+/// });
+/// // Balanced halves overlap almost perfectly.
+/// assert_eq!(out.wall, Picos::from_micros(102));
+/// assert_eq!(out.saved, Picos::from_micros(98));
+/// ```
+pub fn overlapped_wall(inputs: OverlapInputs) -> OverlapOutcome {
+    let serial = inputs.cpu_time + inputs.gpu_time;
+    let barrier_total = inputs.barrier_cost * inputs.phases as u64;
+    let ideal = inputs.cpu_time.max(inputs.gpu_time) + barrier_total;
+    let contention_floor = inputs.cpu_dram_occupancy + inputs.gpu_dram_occupancy;
+    let wall = ideal.max(contention_floor);
+    // Overlapping never takes longer than running serially with barriers.
+    let wall = wall.min(serial + barrier_total);
+    OverlapOutcome {
+        wall,
+        saved: serial.saturating_sub(wall),
+        barrier_total,
+        contention_bound: contention_floor > ideal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Picos {
+        Picos::from_micros(n)
+    }
+
+    fn inputs(cpu: u64, gpu: u64) -> OverlapInputs {
+        OverlapInputs {
+            cpu_time: us(cpu),
+            gpu_time: us(gpu),
+            cpu_dram_occupancy: Picos::ZERO,
+            gpu_dram_occupancy: Picos::ZERO,
+            phases: 2,
+            barrier_cost: us(1),
+        }
+    }
+
+    #[test]
+    fn balanced_halves_overlap_fully() {
+        let out = overlapped_wall(inputs(50, 50));
+        assert_eq!(out.wall, us(52));
+        assert_eq!(out.saved, us(48));
+        assert!(!out.contention_bound);
+    }
+
+    #[test]
+    fn imbalanced_halves_bound_by_slower() {
+        let out = overlapped_wall(inputs(10, 90));
+        assert_eq!(out.wall, us(92));
+        assert_eq!(out.saved, us(8));
+    }
+
+    #[test]
+    fn contention_floor_applies() {
+        let mut i = inputs(50, 50);
+        i.cpu_dram_occupancy = us(80);
+        i.gpu_dram_occupancy = us(80);
+        let out = overlapped_wall(i);
+        // Contention floor (160) exceeds serial + barriers (102), so the
+        // cap applies.
+        assert_eq!(out.wall, us(102));
+        assert!(out.contention_bound);
+    }
+
+    #[test]
+    fn contention_never_exceeds_serial() {
+        let mut i = inputs(10, 10);
+        i.cpu_dram_occupancy = us(500);
+        i.gpu_dram_occupancy = us(500);
+        let out = overlapped_wall(i);
+        // Serial execution already paid the occupancy inside cpu/gpu times;
+        // the pipeline cannot be slower than serial + barriers.
+        assert_eq!(out.wall, us(22));
+    }
+
+    #[test]
+    fn zero_work_costs_barriers_only() {
+        let out = overlapped_wall(inputs(0, 0));
+        assert_eq!(out.wall, us(2));
+        assert_eq!(out.saved, Picos::ZERO);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_wall_bounds(
+            cpu in 0u64..1_000_000,
+            gpu in 0u64..1_000_000,
+            occ_c in 0u64..1_000_000,
+            occ_g in 0u64..1_000_000,
+        ) {
+            let i = OverlapInputs {
+                cpu_time: Picos(cpu),
+                gpu_time: Picos(gpu),
+                cpu_dram_occupancy: Picos(occ_c),
+                gpu_dram_occupancy: Picos(occ_g),
+                phases: 2,
+                barrier_cost: Picos(100),
+            };
+            let out = overlapped_wall(i);
+            let serial = Picos(cpu + gpu);
+            // Never faster than the slower agent, never slower than serial
+            // plus barriers.
+            proptest::prop_assert!(out.wall >= Picos(cpu.max(gpu)));
+            proptest::prop_assert!(out.wall <= serial + out.barrier_total);
+            proptest::prop_assert_eq!(out.saved, serial.saturating_sub(out.wall));
+        }
+    }
+}

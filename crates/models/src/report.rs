@@ -1,0 +1,125 @@
+//! Run reports: the timing decomposition a communication-model run
+//! produces.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_soc::stats::SocSnapshot;
+use icomm_soc::units::{Energy, Picos};
+
+use crate::model::CommModelKind;
+
+/// Timing and counter summary of running a workload under one
+/// communication model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Which model produced this report.
+    pub model: CommModelKind,
+    /// Workload name.
+    pub workload: String,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// End-to-end wall time over all iterations.
+    pub total_time: Picos,
+    /// Time spent in CPU-iGPU data movement (copies, page migrations, and
+    /// the cache flushes that make them coherent). Zero for zero-copy.
+    pub copy_time: Picos,
+    /// Total GPU kernel time.
+    pub kernel_time: Picos,
+    /// Total CPU task time.
+    pub cpu_time: Picos,
+    /// Synchronization / phase-barrier overhead.
+    pub sync_time: Picos,
+    /// Wall time hidden by CPU/GPU overlap (zero when phases serialize).
+    pub overlap_saved: Picos,
+    /// Energy consumed over all iterations.
+    pub energy: Energy,
+    /// Counter delta for the whole run.
+    pub counters: SocSnapshot,
+}
+
+impl RunReport {
+    /// Average wall time per iteration.
+    pub fn time_per_iteration(&self) -> Picos {
+        self.total_time / self.iterations.max(1) as u64
+    }
+
+    /// Average kernel time per iteration.
+    pub fn kernel_time_per_iteration(&self) -> Picos {
+        self.kernel_time / self.iterations.max(1) as u64
+    }
+
+    /// Average CPU task time per iteration.
+    pub fn cpu_time_per_iteration(&self) -> Picos {
+        self.cpu_time / self.iterations.max(1) as u64
+    }
+
+    /// Average communication time per iteration.
+    pub fn copy_time_per_iteration(&self) -> Picos {
+        self.copy_time / self.iterations.max(1) as u64
+    }
+
+    /// Average energy per second of simulated execution, in joules.
+    pub fn power_watts(&self) -> f64 {
+        let secs = self.total_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.energy.as_joules() / secs
+        }
+    }
+
+    /// Speedup of `self` relative to `other` as a percentage, following the
+    /// paper's convention: positive means `self` is faster
+    /// (`(t_other / t_self - 1) * 100`).
+    pub fn speedup_vs_percent(&self, other: &RunReport) -> f64 {
+        let own = self.time_per_iteration().as_picos() as f64;
+        let theirs = other.time_per_iteration().as_picos() as f64;
+        if own == 0.0 {
+            0.0
+        } else {
+            (theirs / own - 1.0) * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(model: CommModelKind, total_us: u64, iterations: u32) -> RunReport {
+        RunReport {
+            model,
+            workload: "t".into(),
+            iterations,
+            total_time: Picos::from_micros(total_us),
+            copy_time: Picos::ZERO,
+            kernel_time: Picos::from_micros(total_us / 2),
+            cpu_time: Picos::from_micros(total_us / 4),
+            sync_time: Picos::ZERO,
+            overlap_saved: Picos::ZERO,
+            energy: Energy::from_joules(0.001),
+            counters: SocSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn per_iteration_averages() {
+        let r = report(CommModelKind::StandardCopy, 1000, 10);
+        assert_eq!(r.time_per_iteration(), Picos::from_micros(100));
+        assert_eq!(r.kernel_time_per_iteration(), Picos::from_micros(50));
+    }
+
+    #[test]
+    fn speedup_sign_convention() {
+        let fast = report(CommModelKind::ZeroCopy, 500, 10);
+        let slow = report(CommModelKind::StandardCopy, 1000, 10);
+        assert!((fast.speedup_vs_percent(&slow) - 100.0).abs() < 1e-9);
+        assert!((slow.speedup_vs_percent(&fast) + 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_is_energy_over_time() {
+        let r = report(CommModelKind::UnifiedMemory, 1_000_000, 1); // 1 s
+        assert!((r.power_watts() - 0.001).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,273 @@
+//! Phase-by-phase execution of the tiled zero-copy pipeline.
+//!
+//! The [`crate::overlap`] module computes the pipeline's wall time
+//! *analytically* from whole-task measurements. This module actually
+//! *executes* the schedule: the shared request streams of both agents are
+//! partitioned by tile ownership, each phase runs its CPU and GPU slices
+//! against the simulator, and the wall time is the sum of per-phase
+//! `max(cpu, gpu)` plus barriers. It is slower but makes no overlap
+//! assumptions — the test-suite uses it to validate the analytic model,
+//! and callers can select it via
+//! [`crate::zero_copy::ZeroCopy::with_simulated_overlap`].
+
+use icomm_soc::request::MemRequest;
+use icomm_soc::units::Picos;
+use icomm_soc::Soc;
+
+use crate::tiling::{PhaseSchedule, TileOwner, TiledBuffer, TilingConfig};
+use crate::workload::Workload;
+
+/// Timing of one pipeline phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// CPU slice time.
+    pub cpu: Picos,
+    /// GPU slice time.
+    pub gpu: Picos,
+    /// Phase wall time: `max(cpu, gpu) + barrier`.
+    pub wall: Picos,
+}
+
+/// Result of executing one iteration through the tiled pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TiledRun {
+    /// Per-phase timings.
+    pub phases: Vec<PhaseTiming>,
+    /// Total iteration wall time (sum of phase walls).
+    pub wall: Picos,
+    /// Sum of standalone CPU slice times (what serial execution would
+    /// spend on the CPU side).
+    pub cpu_total: Picos,
+    /// Sum of standalone GPU slice times.
+    pub gpu_total: Picos,
+}
+
+impl TiledRun {
+    /// Wall time saved versus serializing the executed slices.
+    pub fn saved(&self) -> Picos {
+        (self.cpu_total + self.gpu_total).saturating_sub(self.wall)
+    }
+}
+
+fn tile_of(req: &MemRequest, base: u64, tile_bytes: u32) -> u64 {
+    req.addr.saturating_sub(base) / tile_bytes as u64
+}
+
+/// Executes one iteration of `workload` through the tiled zero-copy
+/// pipeline on `soc`.
+///
+/// The shared streams are already rebased/pinned by the caller (the same
+/// closures the zero-copy model uses); `shared_base` is the address the
+/// tile index is computed from. Requests on tiles the schedule assigns to
+/// the *other* agent in a phase are deferred to the next phase, so both
+/// agents touch every one of their tiles exactly once per iteration and
+/// never the same tile in the same phase.
+pub fn run_tiled_iteration(
+    soc: &mut Soc,
+    workload: &Workload,
+    tiling: TilingConfig,
+    shared_base: u64,
+    cpu_requests: Vec<MemRequest>,
+    gpu_requests: Vec<MemRequest>,
+) -> TiledRun {
+    let buffer_bytes = workload
+        .bytes_exchanged()
+        .as_u64()
+        .max(tiling.tile_bytes as u64);
+    let buffer = TiledBuffer::new(buffer_bytes, tiling.tile_bytes);
+    let schedule = PhaseSchedule::new(buffer, tiling.phases);
+    let tile_count = buffer.tile_count();
+
+    let phases = tiling.phases;
+    let mut timings = Vec::with_capacity(phases as usize);
+    let mut cpu_total = Picos::ZERO;
+    let mut gpu_total = Picos::ZERO;
+
+    // Split compute evenly across phases (each phase handles its share of
+    // tiles and the matching share of arithmetic).
+    let cpu_ops_per_phase: Vec<_> = workload
+        .cpu
+        .ops
+        .iter()
+        .map(|op| icomm_soc::cpu::OpCount::new(op.class, op.count / phases as u64))
+        .collect();
+    let gpu_work_per_phase = workload.gpu.compute_work / phases as u64;
+
+    for phase in 0..phases {
+        // An agent owns a tile in exactly `phases/2` of the phases; to
+        // touch each tile once per iteration, an agent handles tile `t`
+        // in the *first* phase that assigns it.
+        let first_ownership = |owner: TileOwner, t: u64| -> u32 {
+            (0..phases)
+                .find(|&p| schedule.owner(p, t) == owner)
+                .expect("alternating schedule assigns every tile")
+        };
+        let cpu_slice = cpu_requests.iter().copied().filter(|r| {
+            let t = tile_of(r, shared_base, tiling.tile_bytes).min(tile_count - 1);
+            first_ownership(TileOwner::Cpu, t) == phase
+        });
+        let gpu_slice = gpu_requests.iter().copied().filter(|r| {
+            let t = tile_of(r, shared_base, tiling.tile_bytes).min(tile_count - 1);
+            first_ownership(TileOwner::Gpu, t) == phase
+        });
+        let cpu_r = soc.run_cpu_task(&cpu_ops_per_phase, cpu_slice);
+        let gpu_r = soc.run_kernel(gpu_work_per_phase, gpu_slice);
+        let wall = cpu_r.time.max(gpu_r.time) + tiling.barrier_cost;
+        timings.push(PhaseTiming {
+            cpu: cpu_r.time,
+            gpu: gpu_r.time,
+            wall,
+        });
+        cpu_total += cpu_r.time;
+        gpu_total += gpu_r.time;
+    }
+
+    TiledRun {
+        wall: timings.iter().map(|p| p.wall).sum(),
+        phases: timings,
+        cpu_total,
+        gpu_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_soc::cache::AccessKind;
+    use icomm_soc::hierarchy::MemSpace;
+    use icomm_soc::units::ByteSize;
+    use icomm_soc::DeviceProfile;
+    use icomm_trace::Pattern;
+
+    use crate::layout::{rebase, PINNED_BASE};
+    use crate::overlap::{overlapped_wall, OverlapInputs};
+    use crate::workload::{CpuPhase, GpuPhase};
+
+    fn balanced_workload(bytes: u64) -> Workload {
+        Workload::builder("tiled-exec")
+            .bytes_to_gpu(ByteSize(bytes))
+            .cpu(CpuPhase {
+                ops: vec![icomm_soc::cpu::OpCount::new(
+                    icomm_soc::cpu::CpuOpClass::FpMulAdd,
+                    200_000,
+                )],
+                shared_accesses: Pattern::Linear {
+                    start: 0,
+                    bytes,
+                    txn_bytes: 64,
+                    kind: AccessKind::Write,
+                },
+                private_accesses: None,
+            })
+            .gpu(GpuPhase {
+                compute_work: 1 << 22,
+                shared_accesses: Pattern::Linear {
+                    start: 0,
+                    bytes,
+                    txn_bytes: 64,
+                    kind: AccessKind::Read,
+                },
+                private_accesses: None,
+            })
+            .overlappable(true)
+            .build()
+    }
+
+    fn pinned_requests(w: &Workload) -> (Vec<MemRequest>, Vec<MemRequest>) {
+        let cpu = rebase(
+            w.cpu.shared_accesses.requests(MemSpace::Pinned),
+            PINNED_BASE,
+        )
+        .collect();
+        let gpu = rebase(
+            w.gpu.shared_accesses.requests(MemSpace::Pinned),
+            PINNED_BASE,
+        )
+        .collect();
+        (cpu, gpu)
+    }
+
+    #[test]
+    fn every_request_is_executed_exactly_once() {
+        let w = balanced_workload(1 << 16);
+        let (cpu, gpu) = pinned_requests(&w);
+        let mut soc = Soc::new(DeviceProfile::jetson_agx_xavier());
+        let before = soc.snapshot();
+        let run = run_tiled_iteration(
+            &mut soc,
+            &w,
+            TilingConfig::default(),
+            PINNED_BASE,
+            cpu.clone(),
+            gpu.clone(),
+        );
+        let delta = soc.snapshot().delta(&before);
+        assert_eq!(delta.cpu.mem_transactions, cpu.len() as u64);
+        assert_eq!(delta.gpu.mem_transactions, gpu.len() as u64);
+        assert_eq!(run.phases.len(), 2);
+    }
+
+    #[test]
+    fn phases_split_work_roughly_evenly() {
+        let w = balanced_workload(1 << 18);
+        let (cpu, gpu) = pinned_requests(&w);
+        let mut soc = Soc::new(DeviceProfile::jetson_agx_xavier());
+        let run = run_tiled_iteration(&mut soc, &w, TilingConfig::default(), PINNED_BASE, cpu, gpu);
+        let p0 = &run.phases[0];
+        let p1 = &run.phases[1];
+        let ratio = p0.gpu.as_picos() as f64 / p1.gpu.as_picos().max(1) as f64;
+        assert!((0.5..2.0).contains(&ratio), "phase imbalance {ratio:.2}");
+    }
+
+    #[test]
+    fn executed_wall_close_to_analytic_model() {
+        // The analytic overlap model should predict the executed pipeline
+        // within a modest tolerance for a balanced workload.
+        let w = balanced_workload(1 << 18);
+        let (cpu, gpu) = pinned_requests(&w);
+        let tiling = TilingConfig::default();
+        let device = DeviceProfile::jetson_agx_xavier();
+
+        // Standalone measurements for the analytic model.
+        let mut soc_a = Soc::new(device.clone());
+        let cpu_alone = soc_a.run_cpu_task(&w.cpu.ops, cpu.iter().copied());
+        let gpu_alone = soc_a.run_kernel(w.gpu.compute_work, gpu.iter().copied());
+        let analytic = overlapped_wall(OverlapInputs {
+            cpu_time: cpu_alone.time,
+            gpu_time: gpu_alone.time,
+            cpu_dram_occupancy: cpu_alone.dram_occupancy,
+            gpu_dram_occupancy: gpu_alone.dram_occupancy,
+            phases: tiling.phases,
+            barrier_cost: tiling.barrier_cost,
+        });
+
+        let mut soc_b = Soc::new(device);
+        let executed = run_tiled_iteration(&mut soc_b, &w, tiling, PINNED_BASE, cpu, gpu);
+
+        let rel = (executed.wall.as_picos() as f64 - analytic.wall.as_picos() as f64).abs()
+            / analytic.wall.as_picos() as f64;
+        assert!(
+            rel < 0.25,
+            "executed {} vs analytic {} ({:.0}% apart)",
+            executed.wall,
+            analytic.wall,
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn more_phases_mean_more_barrier_overhead() {
+        let w = balanced_workload(1 << 16);
+        let (cpu, gpu) = pinned_requests(&w);
+        let wall_at = |phases: u32| {
+            let tiling = TilingConfig {
+                phases,
+                ..TilingConfig::default()
+            };
+            let mut soc = Soc::new(DeviceProfile::jetson_agx_xavier());
+            run_tiled_iteration(&mut soc, &w, tiling, PINNED_BASE, cpu.clone(), gpu.clone()).wall
+        };
+        // With a fixed per-phase barrier, more phases cost more.
+        assert!(wall_at(8) > wall_at(2));
+    }
+}

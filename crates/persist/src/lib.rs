@@ -1,0 +1,52 @@
+//! # icomm-persist — minimal self-contained JSON for icomm data
+//!
+//! Device characterizations are expensive to measure (they run three
+//! micro-benchmarks) and worth caching to disk; run reports are worth
+//! archiving next to experiment logs. All `icomm` data types derive
+//! serde's traits, but `serde_json` is not part of this workspace's
+//! pinned dependency set — so this crate provides the small JSON backend
+//! the framework needs, written from scratch:
+//!
+//! - [`ser::to_string`] — a `serde::Serializer` emitting compact JSON,
+//! - [`value::parse`] — a recursive-descent JSON parser into a
+//!   [`value::Value`] tree,
+//! - [`de::from_str`] / [`de::from_value`] — a `serde::Deserializer` over
+//!   that tree.
+//!
+//! It supports the full default serde data model (externally tagged
+//! enums, options, maps with string keys, lossless `u64`/`i64`/`f64`),
+//! which round-trips every type in the workspace — see the integration
+//! tests for `DeviceProfile`, `DeviceCharacterization`, `Workload` and
+//! `RunReport` round-trips.
+//!
+//! # Example
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Debug, PartialEq, Serialize, Deserialize)]
+//! struct Point {
+//!     x: i32,
+//!     y: i32,
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = Point { x: 1, y: -2 };
+//! let text = icomm_persist::to_string(&p)?;
+//! assert_eq!(text, r#"{"x":1,"y":-2}"#);
+//! let back: Point = icomm_persist::from_str(&text)?;
+//! assert_eq!(back, p);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{from_str, from_value, DeserializeJsonError};
+pub use ser::{to_string, SerializeJsonError};
+pub use value::{parse, Number, ParseJsonError, Value};

@@ -1,0 +1,478 @@
+//! A `serde::Serializer` that writes JSON text.
+//!
+//! Covers everything the `icomm` data types use (and the rest of the
+//! serde data model for completeness): all primitives, options, units,
+//! newtypes, sequences, tuples, maps, structs, and externally tagged
+//! enums — the representations `#[derive(Serialize)]` emits by default.
+
+use std::fmt;
+
+use serde::ser::{self, Serialize};
+
+/// Error raised while serializing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializeJsonError(pub String);
+
+impl fmt::Display for SerializeJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialize error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SerializeJsonError {}
+
+impl ser::Error for SerializeJsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerializeJsonError(msg.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Returns an error for non-finite floats and for map keys that are not
+/// strings (JSON cannot represent either).
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, SerializeJsonError> {
+    let mut out = String::new();
+    value.serialize(&mut Serializer { out: &mut out })?;
+    Ok(out)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Serializer<'a> {
+    out: &'a mut String,
+}
+
+/// Compound-serialization state shared by seq/tuple/map/struct variants.
+struct Compound<'a> {
+    out: &'a mut String,
+    first: bool,
+    closer: &'static str,
+}
+
+impl Compound<'_> {
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer<'_> {
+    type Ok = ();
+    type Error = SerializeJsonError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Self::Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), Self::Error> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), Self::Error> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), Self::Error> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), Self::Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), Self::Error> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), Self::Error> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), Self::Error> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), Self::Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), Self::Error> {
+        self.serialize_f64(v as f64)
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Self::Error> {
+        if !v.is_finite() {
+            return Err(SerializeJsonError(
+                "JSON cannot represent non-finite floats".into(),
+            ));
+        }
+        // `{:?}` keeps enough digits for an exact f64 round-trip.
+        self.out.push_str(&format!("{v:?}"));
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), Self::Error> {
+        write_escaped(self.out, &v.to_string());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Self::Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Self::Error> {
+        use serde::ser::SerializeSeq;
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for byte in v {
+            seq.serialize_element(byte)?;
+        }
+        seq.end()
+    }
+
+    fn serialize_none(self) -> Result<(), Self::Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Self::Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), Self::Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Self::Error> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), Self::Error> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        value.serialize(&mut Serializer { out: self.out })?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error> {
+        self.out.push('[');
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            closer: "]",
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            closer: "]}",
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, Self::Error> {
+        self.out.push('{');
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            closer: "}",
+        })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error> {
+        self.serialize_map(None)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error> {
+        self.out.push('{');
+        write_escaped(self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            closer: "}}",
+        })
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = SerializeJsonError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error> {
+        self.comma();
+        value.serialize(&mut Serializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Self::Error> {
+        self.out.push_str(self.closer);
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = SerializeJsonError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), Self::Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = SerializeJsonError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), Self::Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = SerializeJsonError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), Self::Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = SerializeJsonError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error> {
+        self.comma();
+        // JSON keys must be strings: serialize into a scratch buffer and
+        // reject anything that is not a string literal.
+        let mut scratch = String::new();
+        key.serialize(&mut Serializer { out: &mut scratch })?;
+        if !scratch.starts_with('"') {
+            return Err(SerializeJsonError(
+                "JSON object keys must be strings".into(),
+            ));
+        }
+        self.out.push_str(&scratch);
+        self.out.push(':');
+        Ok(())
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error> {
+        value.serialize(&mut Serializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Self::Error> {
+        self.out.push_str(self.closer);
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = SerializeJsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        self.comma();
+        write_escaped(self.out, key);
+        self.out.push(':');
+        value.serialize(&mut Serializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Self::Error> {
+        self.out.push_str(self.closer);
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = SerializeJsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<(), Self::Error> {
+        self.out.push_str(self.closer);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize)]
+    struct Demo {
+        name: String,
+        count: u64,
+        ratio: f64,
+        flag: bool,
+        maybe: Option<i32>,
+        list: Vec<u8>,
+    }
+
+    #[test]
+    fn struct_serializes_to_object() {
+        let d = Demo {
+            name: "x\"y".into(),
+            count: 3,
+            ratio: 1.5,
+            flag: true,
+            maybe: None,
+            list: vec![1, 2],
+        };
+        let s = to_string(&d).unwrap();
+        assert_eq!(
+            s,
+            r#"{"name":"x\"y","count":3,"ratio":1.5,"flag":true,"maybe":null,"list":[1,2]}"#
+        );
+    }
+
+    #[derive(Serialize)]
+    enum E {
+        Unit,
+        Newtype(u32),
+        Tuple(u32, u32),
+        Struct { a: bool },
+    }
+
+    #[test]
+    fn enum_representations() {
+        assert_eq!(to_string(&E::Unit).unwrap(), r#""Unit""#);
+        assert_eq!(to_string(&E::Newtype(7)).unwrap(), r#"{"Newtype":7}"#);
+        assert_eq!(to_string(&E::Tuple(1, 2)).unwrap(), r#"{"Tuple":[1,2]}"#);
+        assert_eq!(
+            to_string(&E::Struct { a: false }).unwrap(),
+            r#"{"Struct":{"a":false}}"#
+        );
+    }
+
+    #[test]
+    fn maps_require_string_keys() {
+        let mut good: BTreeMap<String, u32> = BTreeMap::new();
+        good.insert("k".into(), 1);
+        assert_eq!(to_string(&good).unwrap(), r#"{"k":1}"#);
+        let mut bad: BTreeMap<u32, u32> = BTreeMap::new();
+        bad.insert(1, 1);
+        assert!(to_string(&bad).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_rejected() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        let v = 0.1f64 + 0.2;
+        let s = to_string(&v).unwrap();
+        assert_eq!(s.parse::<f64>().unwrap(), v);
+    }
+
+    #[test]
+    fn control_characters_escaped() {
+        let s = to_string(&"\u{1}").unwrap();
+        assert_eq!(s, r#""\u0001""#);
+    }
+}

@@ -1,0 +1,447 @@
+//! The JSON value tree and its text parser.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number, kept in its widest lossless representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy for very large integers).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+
+    /// The value as `u64` when exactly representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U64(v) => Some(v),
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `i64` when exactly representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::I64(v) => Some(v),
+            Number::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; keys are kept sorted for deterministic output.
+    Object(BTreeMap<String, Value>),
+}
+
+/// Error raised while parsing JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseJsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseJsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseJsonError> {
+        Err(ParseJsonError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseJsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.error(format!(
+                "expected '{}', found {:?}",
+                byte as char,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str) -> Result<(), ParseJsonError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            self.error(format!("expected literal '{literal}'"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseJsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.expect_literal("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_literal("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => self.error(format!("unexpected {:?}", other.map(|b| b as char))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseJsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return self.error("unterminated string"),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let code = self.parse_hex4()?;
+                        // Surrogate pairs for characters beyond the BMP.
+                        let ch = if (0xD800..=0xDBFF).contains(&code) {
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return self.error("invalid low surrogate");
+                            }
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(combined)
+                        } else {
+                            char::from_u32(code)
+                        };
+                        match ch {
+                            Some(c) => out.push(c),
+                            None => return self.error("invalid unicode escape"),
+                        }
+                    }
+                    other => {
+                        return self.error(format!("invalid escape {:?}", other.map(|b| b as char)))
+                    }
+                },
+                Some(byte) if byte < 0x20 => return self.error("control character in string"),
+                Some(byte) => {
+                    // Re-assemble UTF-8 multibyte sequences.
+                    let len = utf8_len(byte);
+                    if len == 1 {
+                        out.push(byte as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let end = start + len;
+                        if end > self.bytes.len() {
+                            return self.error("truncated utf-8 sequence");
+                        }
+                        match std::str::from_utf8(&self.bytes[start..end]) {
+                            Ok(s) => {
+                                out.push_str(s);
+                                self.pos = end;
+                            }
+                            Err(_) => return self.error("invalid utf-8 in string"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseJsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.bump() else {
+                return self.error("truncated unicode escape");
+            };
+            let digit = (b as char).to_digit(16).ok_or(ParseJsonError {
+                offset: self.pos,
+                message: "invalid hex digit".into(),
+            })?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseJsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(v)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Value::Number(Number::F64(v))),
+            Err(_) => self.error(format!("invalid number '{text}'")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseJsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                other => {
+                    return self.error(format!(
+                        "expected ',' or ']', found {:?}",
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseJsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                other => {
+                    return self.error(format!(
+                        "expected ',' or '}}', found {:?}",
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns the byte offset and message of the first syntax error,
+/// including trailing garbage after the document.
+pub fn parse(text: &str) -> Result<Value, ParseJsonError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.error("trailing characters after document");
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Number(Number::U64(42)));
+        assert_eq!(parse("-7").unwrap(), Value::Number(Number::I64(-7)));
+        assert_eq!(parse("2.5").unwrap(), Value::Number(Number::F64(2.5)));
+        assert_eq!(parse("1e3").unwrap(), Value::Number(Number::F64(1000.0)));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            parse(r#""a\nb\t\"c\" \\""#).unwrap(),
+            Value::String("a\nb\t\"c\" \\".into())
+        );
+        assert_eq!(parse(r#""é""#).unwrap(), Value::String("é".into()));
+        // Surrogate pair (emoji).
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::String("😀".into()));
+        // Raw multibyte UTF-8 passes through.
+        assert_eq!(parse("\"héllo\"").unwrap(), Value::String("héllo".into()));
+    }
+
+    #[test]
+    fn arrays_and_objects() {
+        let v = parse(r#"[1, "two", null, {"a": true}]"#).unwrap();
+        let Value::Array(items) = v else { panic!() };
+        assert_eq!(items.len(), 4);
+        let Value::Object(map) = &items[3] else {
+            panic!()
+        };
+        assert_eq!(map.get("a"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn nested_structures() {
+        let text = r#"{"outer": {"inner": [[1,2],[3,4]], "x": -1.5e-3}}"#;
+        let v = parse(text).unwrap();
+        let Value::Object(map) = v else { panic!() };
+        assert!(map.contains_key("outer"));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Object(BTreeMap::new()));
+    }
+
+    #[test]
+    fn error_positions() {
+        assert!(parse("").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("nulls").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn big_u64_roundtrip() {
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v, Value::Number(Number::U64(u64::MAX)));
+        assert_eq!(Number::U64(u64::MAX).as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn number_conversions() {
+        assert_eq!(Number::F64(2.0).as_u64(), Some(2));
+        assert_eq!(Number::F64(2.5).as_u64(), None);
+        assert_eq!(Number::F64(-2.0).as_i64(), Some(-2));
+        assert_eq!(Number::U64(5).as_i64(), Some(5));
+        assert_eq!(Number::I64(-5).as_u64(), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! Round-trip tests for the real workspace data types: everything the
+//! framework wants to persist must survive serialize → parse →
+//! deserialize unchanged.
+
+use icomm_microbench::DeviceCharacterization;
+use icomm_models::{CommModelKind, CpuPhase, GpuPhase, RunReport, Workload};
+use icomm_persist::{from_str, to_string};
+use icomm_soc::cache::AccessKind;
+use icomm_soc::stats::SocSnapshot;
+use icomm_soc::units::{ByteSize, Energy, Picos};
+use icomm_soc::DeviceProfile;
+use icomm_trace::Pattern;
+
+#[test]
+fn device_profiles_round_trip() {
+    for device in [
+        DeviceProfile::jetson_nano(),
+        DeviceProfile::jetson_tx2(),
+        DeviceProfile::jetson_agx_xavier(),
+        DeviceProfile::orin_like(),
+    ] {
+        let text = to_string(&device).expect("serialize");
+        let back: DeviceProfile = from_str(&text).expect("deserialize");
+        assert_eq!(back, device, "{} must round-trip", device.name);
+    }
+}
+
+#[test]
+fn characterization_round_trips() {
+    let c = DeviceCharacterization {
+        device: "Jetson TX2".into(),
+        gpu_cache_max_throughput: 96.0e9,
+        gpu_zc_throughput: 1.28e9,
+        gpu_um_throughput: 96.0e9,
+        gpu_cache_threshold_pct: 0.7,
+        gpu_cache_zone2_pct: None,
+        cpu_cache_threshold_pct: 13.3,
+        sc_zc_max_speedup: 0.13,
+        zc_sc_max_speedup: 75.2,
+    };
+    let text = to_string(&c).expect("serialize");
+    let back: DeviceCharacterization = from_str(&text).expect("deserialize");
+    assert_eq!(back, c);
+
+    // And the Some(zone2) shape.
+    let with_zone = DeviceCharacterization {
+        gpu_cache_zone2_pct: Some(14.1),
+        ..c
+    };
+    let text = to_string(&with_zone).expect("serialize");
+    let back: DeviceCharacterization = from_str(&text).expect("deserialize");
+    assert_eq!(back, with_zone);
+}
+
+#[test]
+fn workloads_with_recursive_patterns_round_trip() {
+    let workload = Workload::builder("round-trip")
+        .bytes_to_gpu(ByteSize::mib(1))
+        .bytes_from_gpu(ByteSize::kib(16))
+        .cpu(CpuPhase {
+            ops: vec![icomm_soc::cpu::OpCount::new(
+                icomm_soc::cpu::CpuOpClass::FpSqrt,
+                123,
+            )],
+            shared_accesses: Pattern::Repeat {
+                body: Box::new(Pattern::Sequence(vec![
+                    Pattern::LinearRmw {
+                        start: 0,
+                        bytes: 4096,
+                        txn_bytes: 64,
+                    },
+                    Pattern::SparseUniform {
+                        start: 0,
+                        region_bytes: 1 << 20,
+                        count: 99,
+                        txn_bytes: 8,
+                        seed: 42,
+                        kind: AccessKind::Read,
+                    },
+                ])),
+                times: 3,
+            },
+            private_accesses: Some(Pattern::SingleAddress {
+                addr: 7,
+                count: 11,
+                txn_bytes: 4,
+                kind: AccessKind::Write,
+            }),
+        })
+        .gpu(GpuPhase {
+            compute_work: 1 << 20,
+            shared_accesses: Pattern::Linear {
+                start: 0,
+                bytes: 1 << 20,
+                txn_bytes: 64,
+                kind: AccessKind::Read,
+            },
+            private_accesses: None,
+        })
+        .overlappable(true)
+        .iterations(5)
+        .build();
+    let text = to_string(&workload).expect("serialize");
+    let back: Workload = from_str(&text).expect("deserialize");
+    assert_eq!(back, workload);
+}
+
+#[test]
+fn run_reports_round_trip() {
+    let report = RunReport {
+        model: CommModelKind::ZeroCopy,
+        workload: "sample".into(),
+        iterations: 4,
+        total_time: Picos::from_micros(123),
+        copy_time: Picos::ZERO,
+        kernel_time: Picos::from_nanos(456_789),
+        cpu_time: Picos(987_654_321),
+        sync_time: Picos::from_micros(2),
+        overlap_saved: Picos::from_micros(40),
+        energy: Energy::from_nanojoules(55_555),
+        counters: SocSnapshot::default(),
+    };
+    let text = to_string(&report).expect("serialize");
+    let back: RunReport = from_str(&text).expect("deserialize");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn comm_model_kinds_round_trip_as_strings() {
+    for kind in CommModelKind::EXTENDED {
+        let text = to_string(&kind).expect("serialize");
+        assert!(text.starts_with('"'), "unit variants serialize as strings");
+        let back: CommModelKind = from_str(&text).expect("deserialize");
+        assert_eq!(back, kind);
+    }
+}
+
+#[test]
+fn picos_u64_precision_is_preserved() {
+    // The whole point of Number::U64: picosecond timestamps near u64::MAX
+    // must not pass through f64.
+    let t = Picos(u64::MAX - 1);
+    let text = to_string(&t).expect("serialize");
+    let back: Picos = from_str(&text).expect("deserialize");
+    assert_eq!(back, t);
+}

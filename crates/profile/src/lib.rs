@@ -1,0 +1,19 @@
+//! # icomm-profile — profiler emulation
+//!
+//! The decision framework consumes standard profiler counters (CPU L1/LLC
+//! miss rates, GPU L1 hit rate, transaction counts, runtime decomposition).
+//! On real hardware these come from `nvprof`/`perf`; this crate projects
+//! them from the `icomm-soc` simulator counters, giving the exact inputs of
+//! the paper's Eqns. 1–2.
+//!
+//! See [`Profiler`] for the entry point and [`ProfileReport`] for the
+//! collected quantities.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod profiler;
+pub mod report;
+
+pub use profiler::Profiler;
+pub use report::ProfileReport;

@@ -1,0 +1,158 @@
+//! The profile report: what a standard profiling tool reports about one
+//! application run.
+//!
+//! The paper's performance model (Section III-A) consumes exactly these
+//! quantities: CPU L1/LLC miss rates, GPU L1 hit rate, the number and size
+//! of GPU memory transactions, and the runtime decomposition (kernel time,
+//! CPU-task time, copy time). On real hardware they come from
+//! `nvprof`/`perf`; here they are projected from the simulator's counters.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_models::{CommModelKind, RunReport};
+use icomm_soc::units::Picos;
+
+/// Profiler output for one application under one communication model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Application name.
+    pub workload: String,
+    /// The communication model the application currently uses.
+    pub model: CommModelKind,
+    /// CPU L1 data-cache miss rate in `[0, 1]`.
+    pub miss_rate_l1_cpu: f64,
+    /// CPU LLC miss rate in `[0, 1]`.
+    pub miss_rate_ll_cpu: f64,
+    /// GPU L1 hit rate in `[0, 1]`.
+    pub hit_rate_l1_gpu: f64,
+    /// GPU memory transactions per iteration (`t_n` in Eqn. 2).
+    pub gpu_transactions: u64,
+    /// Mean GPU transaction size in bytes (`t_size` in Eqn. 2).
+    pub gpu_transaction_bytes: f64,
+    /// Kernel runtime per iteration.
+    pub kernel_time: Picos,
+    /// CPU task time per iteration.
+    pub cpu_time: Picos,
+    /// Communication (copy/migration) time per iteration.
+    pub copy_time: Picos,
+    /// End-to-end time per iteration.
+    pub total_time: Picos,
+}
+
+impl ProfileReport {
+    /// Projects a profile out of a model run.
+    ///
+    /// GPU cache rates are taken from the GPU L1 counters; when the L1 was
+    /// bypassed for every access (the zero-copy case) the hit rate is zero
+    /// by definition — the profiler on real hardware observes the same.
+    pub fn from_run(run: &RunReport) -> Self {
+        let iterations = run.iterations.max(1) as u64;
+        let c = &run.counters;
+        let gpu_txn = c.gpu.mem_transactions;
+        ProfileReport {
+            workload: run.workload.clone(),
+            model: run.model,
+            miss_rate_l1_cpu: c.cpu_l1.miss_rate(),
+            miss_rate_ll_cpu: c.cpu_llc.miss_rate(),
+            hit_rate_l1_gpu: c.gpu_l1.hit_rate(),
+            gpu_transactions: gpu_txn / iterations,
+            gpu_transaction_bytes: if gpu_txn == 0 {
+                0.0
+            } else {
+                c.gpu.mem_bytes as f64 / gpu_txn as f64
+            },
+            kernel_time: run.kernel_time_per_iteration(),
+            cpu_time: run.cpu_time_per_iteration(),
+            copy_time: run.copy_time_per_iteration(),
+            total_time: run.time_per_iteration(),
+        }
+    }
+
+    /// Bytes the GPU fetched from beyond its L1 per iteration — the
+    /// numerator of Eqn. 2 (`t_n * t_size * (1 - hit_rate_L1_GPU)`).
+    pub fn gpu_ll_bytes(&self) -> f64 {
+        self.gpu_transactions as f64 * self.gpu_transaction_bytes * (1.0 - self.hit_rate_l1_gpu)
+    }
+
+    /// Observed LL-to-L1 throughput of the GPU in bytes/second.
+    pub fn gpu_ll_throughput(&self) -> f64 {
+        let secs = self.kernel_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.gpu_ll_bytes() / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_soc::stats::SocSnapshot;
+    use icomm_soc::units::Energy;
+
+    fn run_with_counters() -> RunReport {
+        let mut counters = SocSnapshot::default();
+        counters.cpu_l1.hits = 90;
+        counters.cpu_l1.misses = 10;
+        counters.cpu_llc.hits = 5;
+        counters.cpu_llc.misses = 5;
+        counters.gpu_l1.hits = 60;
+        counters.gpu_l1.misses = 40;
+        counters.gpu.mem_transactions = 200;
+        counters.gpu.mem_bytes = 200 * 64;
+        RunReport {
+            model: CommModelKind::StandardCopy,
+            workload: "t".into(),
+            iterations: 2,
+            total_time: Picos::from_micros(200),
+            copy_time: Picos::from_micros(40),
+            kernel_time: Picos::from_micros(100),
+            cpu_time: Picos::from_micros(60),
+            sync_time: Picos::ZERO,
+            overlap_saved: Picos::ZERO,
+            energy: Energy::ZERO,
+            counters,
+        }
+    }
+
+    #[test]
+    fn rates_projected_from_counters() {
+        let p = ProfileReport::from_run(&run_with_counters());
+        assert!((p.miss_rate_l1_cpu - 0.1).abs() < 1e-12);
+        assert!((p.miss_rate_ll_cpu - 0.5).abs() < 1e-12);
+        assert!((p.hit_rate_l1_gpu - 0.6).abs() < 1e-12);
+        assert_eq!(p.gpu_transactions, 100);
+        assert!((p.gpu_transaction_bytes - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_iteration_times() {
+        let p = ProfileReport::from_run(&run_with_counters());
+        assert_eq!(p.kernel_time, Picos::from_micros(50));
+        assert_eq!(p.cpu_time, Picos::from_micros(30));
+        assert_eq!(p.copy_time, Picos::from_micros(20));
+        assert_eq!(p.total_time, Picos::from_micros(100));
+    }
+
+    #[test]
+    fn gpu_ll_bytes_formula() {
+        let p = ProfileReport::from_run(&run_with_counters());
+        // 100 txns * 64 B * (1 - 0.6) = 2560 B per iteration.
+        assert!((p.gpu_ll_bytes() - 2560.0).abs() < 1e-9);
+        // 2560 B over 50 us.
+        let expected = 2560.0 / 50e-6;
+        assert!((p.gpu_ll_throughput() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let mut run = run_with_counters();
+        run.counters = SocSnapshot::default();
+        run.kernel_time = Picos::ZERO;
+        let p = ProfileReport::from_run(&run);
+        assert_eq!(p.hit_rate_l1_gpu, 0.0);
+        assert_eq!(p.gpu_transaction_bytes, 0.0);
+        assert_eq!(p.gpu_ll_throughput(), 0.0);
+    }
+}

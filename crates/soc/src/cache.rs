@@ -1,0 +1,465 @@
+//! Set-associative cache model with true-LRU replacement.
+//!
+//! The cache is a *functional* model: it tracks which lines are resident and
+//! dirty so that hit/miss counters, writeback traffic and flush costs are
+//! exact for a given access stream. Timing is attributed by the memory
+//! hierarchy (see [`crate::hierarchy`]), not by the cache itself.
+//!
+//! Two features exist specifically for the CPU-iGPU communication models:
+//!
+//! - [`Cache::flush_dirty`] / [`Cache::invalidate_all`] implement the
+//!   flush-based coherence that the *standard copy* model performs around
+//!   every kernel launch.
+//! - [`Cache::set_enabled`] models devices that disable a cache for pinned
+//!   *zero-copy* allocations (e.g. the GPU LLC on every Jetson, and the CPU
+//!   LLC on Nano/TX2-class parts).
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::CacheStats;
+use crate::units::ByteSize;
+
+/// Geometry of a set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use icomm_soc::cache::CacheGeometry;
+/// use icomm_soc::units::ByteSize;
+///
+/// let geo = CacheGeometry::new(ByteSize::kib(512), 64, 8);
+/// assert_eq!(geo.num_sets(), 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size: ByteSize,
+    /// Line (block) size in bytes; must be a power of two.
+    pub line_bytes: u32,
+    /// Number of ways per set.
+    pub associativity: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a new geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, if `line_bytes` is not a power of
+    /// two, or if the capacity is not divisible into an integer number of
+    /// sets.
+    pub fn new(size: ByteSize, line_bytes: u32, associativity: u32) -> Self {
+        assert!(size.as_u64() > 0, "cache size must be non-zero");
+        assert!(
+            line_bytes > 0 && line_bytes.is_power_of_two(),
+            "line size must be a non-zero power of two"
+        );
+        assert!(associativity > 0, "associativity must be non-zero");
+        let way_bytes = line_bytes as u64 * associativity as u64;
+        assert!(
+            size.as_u64().is_multiple_of(way_bytes),
+            "capacity {} not divisible by line_bytes * associativity = {}",
+            size.as_u64(),
+            way_bytes
+        );
+        CacheGeometry {
+            size,
+            line_bytes,
+            associativity,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> u64 {
+        self.size.as_u64() / (self.line_bytes as u64 * self.associativity as u64)
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn num_lines(&self) -> u64 {
+        self.size.as_u64() / self.line_bytes as u64
+    }
+
+    /// Maps an address to its line-aligned tag address.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes as u64 - 1)
+    }
+}
+
+/// Whether an access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Result of presenting one access to a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was resident.
+    Hit,
+    /// The line was not resident; it has been filled. `victim_writeback`
+    /// reports whether a dirty victim had to be written back to the next
+    /// level.
+    Miss {
+        /// A dirty line was evicted and must be written downstream.
+        victim_writeback: bool,
+    },
+    /// The cache is disabled; the access passes through untouched.
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// Whether this outcome is a hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+
+    /// Whether this outcome is a miss.
+    pub fn is_miss(self) -> bool {
+        matches!(self, CacheOutcome::Miss { .. })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// Monotonic LRU stamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with true LRU.
+///
+/// # Examples
+///
+/// ```
+/// use icomm_soc::cache::{AccessKind, Cache, CacheGeometry};
+/// use icomm_soc::units::ByteSize;
+///
+/// let mut c = Cache::new(CacheGeometry::new(ByteSize::kib(32), 64, 4));
+/// assert!(c.access(0x1000, AccessKind::Read).is_miss());
+/// assert!(c.access(0x1000, AccessKind::Read).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Option<Line>>>,
+    next_stamp: u64,
+    enabled: bool,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty, enabled cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = vec![vec![None; geometry.associativity as usize]; geometry.num_sets() as usize];
+        Cache {
+            geometry,
+            sets,
+            next_stamp: 0,
+            enabled: true,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Whether the cache currently services accesses.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the cache. A disabled cache answers every access
+    /// with [`CacheOutcome::Bypass`] and retains its contents (real devices
+    /// flush before disabling; callers model that cost explicitly via
+    /// [`Cache::flush_dirty`]).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Accumulated hit/miss/writeback counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        ((line_addr / self.geometry.line_bytes as u64) % self.geometry.num_sets()) as usize
+    }
+
+    /// Presents a single access (of any size up to a line) at `addr`.
+    ///
+    /// Accesses larger than one line must be split by the caller; the memory
+    /// hierarchy does this when translating transactions.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> CacheOutcome {
+        if !self.enabled {
+            self.stats.bypasses += 1;
+            return CacheOutcome::Bypass;
+        }
+        let line_addr = self.geometry.line_addr(addr);
+        let set_idx = self.set_index(line_addr);
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        let set = &mut self.sets[set_idx];
+
+        // Hit path.
+        if let Some(way) = set.iter_mut().flatten().find(|line| line.tag == line_addr) {
+            way.stamp = stamp;
+            if kind == AccessKind::Write {
+                way.dirty = true;
+            }
+            self.stats.hits += 1;
+            return CacheOutcome::Hit;
+        }
+
+        // Miss: fill, evicting LRU if needed (write-allocate for stores).
+        self.stats.misses += 1;
+        self.stats.fills += 1;
+        let new_line = Line {
+            tag: line_addr,
+            dirty: kind == AccessKind::Write,
+            stamp,
+        };
+        if let Some(slot) = set.iter_mut().find(|slot| slot.is_none()) {
+            *slot = Some(new_line);
+            return CacheOutcome::Miss {
+                victim_writeback: false,
+            };
+        }
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, slot)| slot.as_ref().map(|l| l.stamp).unwrap_or(0))
+            .map(|(i, _)| i)
+            .expect("non-empty set");
+        let victim = set[victim_idx].replace(new_line).expect("occupied way");
+        let victim_writeback = victim.dirty;
+        if victim_writeback {
+            self.stats.writebacks += 1;
+        }
+        CacheOutcome::Miss { victim_writeback }
+    }
+
+    /// Returns whether the line containing `addr` is resident (no counter or
+    /// LRU side effects). Useful for snoop modelling.
+    pub fn probe(&self, addr: u64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let line_addr = self.geometry.line_addr(addr);
+        let set_idx = self.set_index(line_addr);
+        self.sets[set_idx]
+            .iter()
+            .flatten()
+            .any(|line| line.tag == line_addr)
+    }
+
+    /// Writes back every dirty line (marking it clean) and returns the
+    /// number of lines written back. Lines stay resident. This is the
+    /// pre-kernel `flush` of the standard-copy coherence protocol.
+    pub fn flush_dirty(&mut self) -> u64 {
+        let mut written = 0;
+        for set in &mut self.sets {
+            for line in set.iter_mut().flatten() {
+                if line.dirty {
+                    line.dirty = false;
+                    written += 1;
+                }
+            }
+        }
+        self.stats.writebacks += written;
+        self.stats.flushes += 1;
+        written
+    }
+
+    /// Invalidates every line, writing back dirty ones first; returns the
+    /// number of dirty lines written back. This is the post-kernel
+    /// `flush + invalidate` of the standard-copy coherence protocol.
+    pub fn invalidate_all(&mut self) -> u64 {
+        let mut written = 0;
+        for set in &mut self.sets {
+            for slot in set.iter_mut() {
+                if let Some(line) = slot.take() {
+                    if line.dirty {
+                        written += 1;
+                    }
+                }
+            }
+        }
+        self.stats.writebacks += written;
+        self.stats.flushes += 1;
+        written
+    }
+
+    /// Number of currently resident lines.
+    pub fn resident_lines(&self) -> u64 {
+        self.sets
+            .iter()
+            .map(|set| set.iter().flatten().count() as u64)
+            .sum()
+    }
+
+    /// Number of currently dirty lines.
+    pub fn dirty_lines(&self) -> u64 {
+        self.sets
+            .iter()
+            .map(|set| set.iter().flatten().filter(|l| l.dirty).count() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 4 sets x 2 ways x 64 B lines = 512 B.
+        Cache::new(CacheGeometry::new(ByteSize(512), 64, 2))
+    }
+
+    #[test]
+    fn geometry_derived_quantities() {
+        let geo = CacheGeometry::new(ByteSize::kib(32), 64, 4);
+        assert_eq!(geo.num_sets(), 128);
+        assert_eq!(geo.num_lines(), 512);
+        assert_eq!(geo.line_addr(0x12345), 0x12340);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_non_pow2_line() {
+        let _ = CacheGeometry::new(ByteSize::kib(32), 48, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn geometry_rejects_non_divisible_capacity() {
+        let _ = CacheGeometry::new(ByteSize(1000), 64, 4);
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut c = small_cache();
+        assert!(c.access(0x0, AccessKind::Read).is_miss());
+        assert!(c.access(0x3f, AccessKind::Read).is_hit()); // same line
+        assert!(c.access(0x40, AccessKind::Read).is_miss()); // next line
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache();
+        // Set 0 holds lines whose (addr/64) % 4 == 0: 0x000, 0x400, 0x800...
+        c.access(0x000, AccessKind::Read);
+        c.access(0x100, AccessKind::Read); // set 0? 0x100/64=4, 4%4=0 -> set 0
+                                           // Touch 0x000 so that 0x100 is LRU.
+        c.access(0x000, AccessKind::Read);
+        // Fill a third line in set 0: evicts 0x100.
+        c.access(0x200, AccessKind::Read);
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x100));
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn dirty_victim_triggers_writeback() {
+        let mut c = small_cache();
+        c.access(0x000, AccessKind::Write);
+        c.access(0x100, AccessKind::Read);
+        // Evict 0x000 (LRU, dirty) by filling two more lines in set 0.
+        let out = c.access(0x200, AccessKind::Read);
+        assert_eq!(
+            out,
+            CacheOutcome::Miss {
+                victim_writeback: true
+            }
+        );
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_victim_no_writeback() {
+        let mut c = small_cache();
+        c.access(0x000, AccessKind::Read);
+        c.access(0x100, AccessKind::Read);
+        let out = c.access(0x200, AccessKind::Read);
+        assert_eq!(
+            out,
+            CacheOutcome::Miss {
+                victim_writeback: false
+            }
+        );
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn disabled_cache_bypasses() {
+        let mut c = small_cache();
+        c.access(0x0, AccessKind::Read);
+        c.set_enabled(false);
+        assert_eq!(c.access(0x0, AccessKind::Read), CacheOutcome::Bypass);
+        assert!(!c.probe(0x0));
+        assert_eq!(c.stats().bypasses, 1);
+        c.set_enabled(true);
+        // Contents survive the disable window.
+        assert!(c.access(0x0, AccessKind::Read).is_hit());
+    }
+
+    #[test]
+    fn flush_dirty_writes_back_and_keeps_lines() {
+        let mut c = small_cache();
+        c.access(0x000, AccessKind::Write);
+        c.access(0x040, AccessKind::Write);
+        c.access(0x080, AccessKind::Read);
+        assert_eq!(c.dirty_lines(), 2);
+        assert_eq!(c.flush_dirty(), 2);
+        assert_eq!(c.dirty_lines(), 0);
+        assert_eq!(c.resident_lines(), 3);
+        // Second flush has nothing to do.
+        assert_eq!(c.flush_dirty(), 0);
+    }
+
+    #[test]
+    fn invalidate_all_empties_cache() {
+        let mut c = small_cache();
+        c.access(0x000, AccessKind::Write);
+        c.access(0x040, AccessKind::Read);
+        assert_eq!(c.invalidate_all(), 1);
+        assert_eq!(c.resident_lines(), 0);
+        assert!(c.access(0x000, AccessKind::Read).is_miss());
+    }
+
+    #[test]
+    fn write_allocates_dirty_line() {
+        let mut c = small_cache();
+        c.access(0x000, AccessKind::Write);
+        assert_eq!(c.dirty_lines(), 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = small_cache();
+        for i in 0..1000u64 {
+            c.access(i * 64, AccessKind::Write);
+        }
+        assert!(c.resident_lines() <= c.geometry().num_lines());
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut c = small_cache();
+        c.access(0x0, AccessKind::Read);
+        c.reset_stats();
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+    }
+}

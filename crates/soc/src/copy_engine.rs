@@ -1,0 +1,133 @@
+//! DMA copy-engine model.
+//!
+//! Standard-copy transfers on a shared-memory SoC are memory-to-memory DMA:
+//! every copied byte is read from and written back to the same DRAM, so the
+//! effective copy bandwidth is bounded by *half* the DRAM peak (and by the
+//! engine's own limit). A fixed setup cost models the `cudaMemcpy` driver
+//! overhead, which dominates small transfers on Jetson-class devices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hierarchy::MemorySystem;
+use crate::units::{Bandwidth, ByteSize, Picos};
+
+/// Static configuration of the copy engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyEngineConfig {
+    /// The engine's own peak bandwidth (before the DRAM bound).
+    pub bandwidth: Bandwidth,
+    /// Per-invocation setup/driver overhead.
+    pub setup: Picos,
+}
+
+impl Default for CopyEngineConfig {
+    fn default() -> Self {
+        CopyEngineConfig {
+            bandwidth: Bandwidth::gib_per_sec(50),
+            setup: Picos::from_micros(8),
+        }
+    }
+}
+
+/// Outcome of one copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CopyResult {
+    /// End-to-end copy time (setup + transfer).
+    pub time: Picos,
+    /// Bytes copied (payload, not counting the write-back pass).
+    pub bytes: u64,
+    /// DRAM channel occupancy generated (2x payload).
+    pub dram_occupancy: Picos,
+}
+
+/// Performs a memory-to-memory copy of `bytes`, charging traffic to DRAM.
+///
+/// # Examples
+///
+/// ```
+/// use icomm_soc::copy_engine::{run_copy, CopyEngineConfig};
+/// use icomm_soc::device::DeviceProfile;
+/// use icomm_soc::units::ByteSize;
+///
+/// let device = DeviceProfile::jetson_tx2();
+/// let mut mem = device.build_memory_system();
+/// let r = run_copy(&mut mem, &device.copy_engine, ByteSize::mib(1));
+/// assert!(r.time > device.copy_engine.setup);
+/// ```
+pub fn run_copy(mem: &mut MemorySystem, config: &CopyEngineConfig, bytes: ByteSize) -> CopyResult {
+    if bytes.as_u64() == 0 {
+        return CopyResult {
+            time: config.setup,
+            bytes: 0,
+            dram_occupancy: Picos::ZERO,
+        };
+    }
+    let dram_peak = mem.dram().config().peak_bandwidth;
+    let effective = Bandwidth(
+        config
+            .bandwidth
+            .as_bytes_per_sec()
+            .min(dram_peak.as_bytes_per_sec() / 2),
+    );
+    let transfer = effective.transfer_time(bytes);
+    // Account the traffic: each payload byte is read once and written once.
+    let read = mem.dram_mut().read(bytes);
+    let write = mem.dram_mut().write(bytes);
+    CopyResult {
+        time: config.setup + transfer,
+        bytes: bytes.as_u64(),
+        dram_occupancy: read.occupancy + write.occupancy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+
+    #[test]
+    fn copy_time_bounded_by_half_dram_bandwidth() {
+        let device = DeviceProfile::jetson_nano();
+        let mut mem = device.build_memory_system();
+        let payload = ByteSize::mib(64);
+        let r = run_copy(&mut mem, &device.copy_engine, payload);
+        let dram_bw = mem.dram().config().peak_bandwidth.as_bytes_per_sec() as f64;
+        let transfer_secs = (r.time - device.copy_engine.setup).as_secs_f64();
+        let seen = payload.as_u64() as f64 / transfer_secs;
+        assert!(
+            seen <= dram_bw / 2.0 * 1.001,
+            "copy exceeded half-DRAM bound"
+        );
+    }
+
+    #[test]
+    fn copy_accounts_double_traffic() {
+        let device = DeviceProfile::jetson_tx2();
+        let mut mem = device.build_memory_system();
+        run_copy(&mut mem, &device.copy_engine, ByteSize::mib(1));
+        let stats = mem.dram().stats();
+        assert_eq!(stats.bytes_read, ByteSize::mib(1).as_u64());
+        assert_eq!(stats.bytes_written, ByteSize::mib(1).as_u64());
+    }
+
+    #[test]
+    fn zero_byte_copy_costs_setup_only() {
+        let device = DeviceProfile::jetson_tx2();
+        let mut mem = device.build_memory_system();
+        let r = run_copy(&mut mem, &device.copy_engine, ByteSize::ZERO);
+        assert_eq!(r.time, device.copy_engine.setup);
+        assert_eq!(mem.dram().stats().transactions, 0);
+    }
+
+    #[test]
+    fn faster_device_copies_faster() {
+        let nano = DeviceProfile::jetson_nano();
+        let xavier = DeviceProfile::jetson_agx_xavier();
+        let payload = ByteSize::mib(4);
+        let mut m1 = nano.build_memory_system();
+        let mut m2 = xavier.build_memory_system();
+        let t1 = run_copy(&mut m1, &nano.copy_engine, payload).time;
+        let t2 = run_copy(&mut m2, &xavier.copy_engine, payload).time;
+        assert!(t2 < t1);
+    }
+}

@@ -1,0 +1,79 @@
+//! First-order energy model.
+//!
+//! The paper's energy observation is structural: zero-copy eliminates the
+//! DRAM traffic of explicit copies, so it saves the energy of moving those
+//! bytes. The model therefore charges (a) a per-byte cost for every byte
+//! that crosses the DRAM channel and (b) a busy-power cost per agent-second,
+//! which is sufficient to reproduce the sign and rough magnitude of the
+//! paper's joules-per-second comparisons.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Energy, Picos};
+
+/// Energy coefficients of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Picojoules per byte crossing the DRAM channel.
+    pub dram_pj_per_byte: u64,
+    /// CPU cluster busy power in milliwatts.
+    pub cpu_busy_mw: u64,
+    /// GPU busy power in milliwatts.
+    pub gpu_busy_mw: u64,
+    /// Copy-engine busy power in milliwatts.
+    pub copy_busy_mw: u64,
+}
+
+impl EnergyModel {
+    /// Energy for `bytes` of DRAM traffic.
+    pub fn dram_energy(&self, bytes: u64) -> Energy {
+        // pJ -> nJ
+        Energy((bytes as u128 * self.dram_pj_per_byte as u128 / 1_000) as u64)
+    }
+
+    /// Energy for an agent with `busy_mw` busy power running for `busy`.
+    ///
+    /// `1 mW * 1 ps = 1e-15 J = 1e-6 nJ`, so `nJ = mW * ps / 1e6`.
+    pub fn busy_energy(&self, busy_mw: u64, busy: Picos) -> Energy {
+        Energy((busy_mw as u128 * busy.as_picos() as u128 / 1_000_000) as u64)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            dram_pj_per_byte: 60,
+            cpu_busy_mw: 2_000,
+            gpu_busy_mw: 4_000,
+            copy_busy_mw: 800,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_energy_scales_with_bytes() {
+        let m = EnergyModel::default();
+        // 1 GB at 60 pJ/B = 0.06 J
+        let e = m.dram_energy(1_000_000_000);
+        assert!((e.as_joules() - 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_energy_matches_power_times_time() {
+        let m = EnergyModel::default();
+        // 2 W for 1 ms = 2 mJ
+        let e = m.busy_energy(2_000, Picos::from_millis(1));
+        assert!((e.as_joules() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_inputs_zero_energy() {
+        let m = EnergyModel::default();
+        assert_eq!(m.dram_energy(0), Energy::ZERO);
+        assert_eq!(m.busy_energy(5_000, Picos::ZERO), Energy::ZERO);
+    }
+}

@@ -1,0 +1,57 @@
+//! The unit of memory traffic exchanged between execution models and the
+//! memory hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::AccessKind;
+use crate::hierarchy::MemSpace;
+
+/// One memory transaction as issued by an agent (already coalesced for the
+/// GPU: one request per warp-level transaction, not per thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Byte address of the transaction.
+    pub addr: u64,
+    /// Transaction size in bytes.
+    pub bytes: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Which allocation class the address belongs to.
+    pub space: MemSpace,
+}
+
+impl MemRequest {
+    /// Creates a read request.
+    pub fn read(addr: u64, bytes: u32, space: MemSpace) -> Self {
+        MemRequest {
+            addr,
+            bytes,
+            kind: AccessKind::Read,
+            space,
+        }
+    }
+
+    /// Creates a write request.
+    pub fn write(addr: u64, bytes: u32, space: MemSpace) -> Self {
+        MemRequest {
+            addr,
+            bytes,
+            kind: AccessKind::Write,
+            space,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let r = MemRequest::read(0x10, 64, MemSpace::Cached);
+        assert_eq!(r.kind, AccessKind::Read);
+        let w = MemRequest::write(0x10, 4, MemSpace::Pinned);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert_eq!(w.space, MemSpace::Pinned);
+    }
+}

@@ -1,0 +1,506 @@
+//! Symbolic memory-access patterns.
+//!
+//! A [`Pattern`] is a compact, serializable description of a memory-request
+//! stream. Workload descriptors carry patterns instead of materialized
+//! request vectors so that multi-hundred-megabyte footprints (the paper's
+//! third micro-benchmark streams 2²⁷ floats) cost nothing to describe; the
+//! requests are generated lazily while the simulator consumes them.
+//!
+//! The communication model decides *at run time* whether a pattern's
+//! requests target cacheable partitions (standard copy / unified memory) or
+//! the pinned zero-copy allocation, which is why [`Pattern::requests`]
+//! takes the [`MemSpace`] as a parameter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use icomm_soc::cache::AccessKind;
+use icomm_soc::hierarchy::MemSpace;
+use icomm_soc::request::MemRequest;
+
+/// A symbolic description of a memory-request stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Sequential coalesced transactions covering `[start, start + bytes)`.
+    Linear {
+        /// First byte address.
+        start: u64,
+        /// Footprint in bytes.
+        bytes: u64,
+        /// Transaction size (a coalesced warp access, typically 32–128 B).
+        txn_bytes: u32,
+        /// Read or write.
+        kind: AccessKind,
+    },
+    /// Sequential read-modify-write sweeps: for each transaction-sized
+    /// element, a read immediately followed by a write (the `ld.global` /
+    /// `fma` / `st.global` loop of the paper's second micro-benchmark).
+    LinearRmw {
+        /// First byte address.
+        start: u64,
+        /// Footprint in bytes.
+        bytes: u64,
+        /// Transaction size.
+        txn_bytes: u32,
+    },
+    /// Fixed-stride transactions.
+    Strided {
+        /// First byte address.
+        start: u64,
+        /// Number of transactions.
+        count: u64,
+        /// Stride between consecutive transaction addresses, in bytes.
+        stride: u64,
+        /// Transaction size.
+        txn_bytes: u32,
+        /// Read or write.
+        kind: AccessKind,
+    },
+    /// Repeated accesses to one address (a register-resident hot loop that
+    /// touches memory only through a single location, as in the CPU routine
+    /// of the first micro-benchmark).
+    SingleAddress {
+        /// The address.
+        addr: u64,
+        /// Number of accesses.
+        count: u64,
+        /// Access size.
+        txn_bytes: u32,
+        /// Read or write.
+        kind: AccessKind,
+    },
+    /// Uniformly random transaction addresses over a region, guaranteeing a
+    /// maximal miss rate when the region exceeds the cache (the paper's
+    /// third micro-benchmark uses "sufficiently sparse" accesses).
+    SparseUniform {
+        /// Region base address.
+        start: u64,
+        /// Region size in bytes.
+        region_bytes: u64,
+        /// Number of transactions.
+        count: u64,
+        /// Transaction size.
+        txn_bytes: u32,
+        /// RNG seed (patterns are deterministic given the seed).
+        seed: u64,
+        /// Read or write.
+        kind: AccessKind,
+    },
+    /// Concatenation of sub-patterns, generated in order.
+    Sequence(Vec<Pattern>),
+    /// A pattern repeated back-to-back (multiple passes over a footprint).
+    Repeat {
+        /// The repeated body.
+        body: Box<Pattern>,
+        /// Number of passes.
+        times: u32,
+    },
+}
+
+impl Pattern {
+    /// Number of requests the pattern will generate.
+    pub fn len(&self) -> u64 {
+        match self {
+            Pattern::Linear {
+                bytes, txn_bytes, ..
+            } => bytes.div_ceil(*txn_bytes as u64),
+            Pattern::LinearRmw {
+                bytes, txn_bytes, ..
+            } => 2 * bytes.div_ceil(*txn_bytes as u64),
+            Pattern::Strided { count, .. } => *count,
+            Pattern::SingleAddress { count, .. } => *count,
+            Pattern::SparseUniform { count, .. } => *count,
+            Pattern::Sequence(parts) => parts.iter().map(Pattern::len).sum(),
+            Pattern::Repeat { body, times } => body.len() * *times as u64,
+        }
+    }
+
+    /// Whether the pattern generates no requests.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes requested by the pattern.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Pattern::Linear {
+                bytes, txn_bytes, ..
+            } => bytes.div_ceil(*txn_bytes as u64) * *txn_bytes as u64,
+            Pattern::LinearRmw {
+                bytes, txn_bytes, ..
+            } => 2 * bytes.div_ceil(*txn_bytes as u64) * *txn_bytes as u64,
+            Pattern::Strided {
+                count, txn_bytes, ..
+            }
+            | Pattern::SingleAddress {
+                count, txn_bytes, ..
+            }
+            | Pattern::SparseUniform {
+                count, txn_bytes, ..
+            } => count * *txn_bytes as u64,
+            Pattern::Sequence(parts) => parts.iter().map(Pattern::bytes).sum(),
+            Pattern::Repeat { body, times } => body.bytes() * *times as u64,
+        }
+    }
+
+    /// Instantiates the lazy request iterator, mapping every request onto
+    /// `space`.
+    pub fn requests(&self, space: MemSpace) -> PatternIter {
+        PatternIter {
+            stack: vec![Frame::new(self.clone())],
+            space,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    pattern: Pattern,
+    /// Progress cursor: meaning depends on the pattern variant.
+    index: u64,
+    /// Pending write of an RMW pair.
+    pending_write: Option<u64>,
+    rng: Option<StdRng>,
+}
+
+impl Frame {
+    fn new(pattern: Pattern) -> Self {
+        let rng = match &pattern {
+            Pattern::SparseUniform { seed, .. } => Some(StdRng::seed_from_u64(*seed)),
+            _ => None,
+        };
+        Frame {
+            pattern,
+            index: 0,
+            pending_write: None,
+            rng,
+        }
+    }
+}
+
+/// Lazy iterator over a pattern's requests.
+///
+/// Produced by [`Pattern::requests`].
+#[derive(Debug)]
+pub struct PatternIter {
+    stack: Vec<Frame>,
+    space: MemSpace,
+}
+
+impl Iterator for PatternIter {
+    type Item = MemRequest;
+
+    fn next(&mut self) -> Option<MemRequest> {
+        loop {
+            let space = self.space;
+            let frame = self.stack.last_mut()?;
+            match &frame.pattern {
+                Pattern::Linear {
+                    start,
+                    bytes,
+                    txn_bytes,
+                    kind,
+                } => {
+                    let n = bytes.div_ceil(*txn_bytes as u64);
+                    if frame.index >= n {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let addr = start + frame.index * *txn_bytes as u64;
+                    frame.index += 1;
+                    return Some(MemRequest {
+                        addr,
+                        bytes: *txn_bytes,
+                        kind: *kind,
+                        space,
+                    });
+                }
+                Pattern::LinearRmw {
+                    start,
+                    bytes,
+                    txn_bytes,
+                } => {
+                    if let Some(addr) = frame.pending_write.take() {
+                        return Some(MemRequest::write(addr, *txn_bytes, space));
+                    }
+                    let n = bytes.div_ceil(*txn_bytes as u64);
+                    if frame.index >= n {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let addr = start + frame.index * *txn_bytes as u64;
+                    frame.index += 1;
+                    frame.pending_write = Some(addr);
+                    return Some(MemRequest::read(addr, *txn_bytes, space));
+                }
+                Pattern::Strided {
+                    start,
+                    count,
+                    stride,
+                    txn_bytes,
+                    kind,
+                } => {
+                    if frame.index >= *count {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let addr = start + frame.index * stride;
+                    frame.index += 1;
+                    return Some(MemRequest {
+                        addr,
+                        bytes: *txn_bytes,
+                        kind: *kind,
+                        space,
+                    });
+                }
+                Pattern::SingleAddress {
+                    addr,
+                    count,
+                    txn_bytes,
+                    kind,
+                } => {
+                    if frame.index >= *count {
+                        self.stack.pop();
+                        continue;
+                    }
+                    frame.index += 1;
+                    return Some(MemRequest {
+                        addr: *addr,
+                        bytes: *txn_bytes,
+                        kind: *kind,
+                        space,
+                    });
+                }
+                Pattern::SparseUniform {
+                    start,
+                    region_bytes,
+                    count,
+                    txn_bytes,
+                    kind,
+                    ..
+                } => {
+                    if frame.index >= *count {
+                        self.stack.pop();
+                        continue;
+                    }
+                    frame.index += 1;
+                    let slots = (region_bytes / *txn_bytes as u64).max(1);
+                    let start = *start;
+                    let txn = *txn_bytes;
+                    let kind = *kind;
+                    let rng = frame.rng.as_mut().expect("sparse pattern has rng");
+                    let slot = rng.gen_range(0..slots);
+                    return Some(MemRequest {
+                        addr: start + slot * txn as u64,
+                        bytes: txn,
+                        kind,
+                        space,
+                    });
+                }
+                Pattern::Sequence(parts) => {
+                    let parts = parts.clone();
+                    self.stack.pop();
+                    // Push in reverse so the first part is generated first.
+                    for part in parts.into_iter().rev() {
+                        self.stack.push(Frame::new(part));
+                    }
+                    continue;
+                }
+                Pattern::Repeat { body, times } => {
+                    let body = (**body).clone();
+                    let times = *times;
+                    self.stack.pop();
+                    for _ in 0..times {
+                        self.stack.push(Frame::new(body.clone()));
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(p: &Pattern) -> Vec<MemRequest> {
+        p.requests(MemSpace::Cached).collect()
+    }
+
+    #[test]
+    fn linear_covers_footprint() {
+        let p = Pattern::Linear {
+            start: 0x1000,
+            bytes: 256,
+            txn_bytes: 64,
+            kind: AccessKind::Read,
+        };
+        let reqs = collect(&p);
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs[0].addr, 0x1000);
+        assert_eq!(reqs[3].addr, 0x10c0);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.bytes(), 256);
+    }
+
+    #[test]
+    fn linear_rounds_partial_transaction_up() {
+        let p = Pattern::Linear {
+            start: 0,
+            bytes: 100,
+            txn_bytes: 64,
+            kind: AccessKind::Read,
+        };
+        assert_eq!(collect(&p).len(), 2);
+    }
+
+    #[test]
+    fn rmw_pairs_read_then_write_same_address() {
+        let p = Pattern::LinearRmw {
+            start: 0,
+            bytes: 128,
+            txn_bytes: 64,
+        };
+        let reqs = collect(&p);
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs[0].kind, AccessKind::Read);
+        assert_eq!(reqs[1].kind, AccessKind::Write);
+        assert_eq!(reqs[0].addr, reqs[1].addr);
+        assert_eq!(reqs[2].addr, 64);
+    }
+
+    #[test]
+    fn strided_applies_stride() {
+        let p = Pattern::Strided {
+            start: 0,
+            count: 3,
+            stride: 4096,
+            txn_bytes: 32,
+            kind: AccessKind::Write,
+        };
+        let reqs = collect(&p);
+        assert_eq!(reqs[2].addr, 8192);
+        assert!(reqs.iter().all(|r| r.kind == AccessKind::Write));
+    }
+
+    #[test]
+    fn single_address_never_moves() {
+        let p = Pattern::SingleAddress {
+            addr: 0xdead00,
+            count: 10,
+            txn_bytes: 8,
+            kind: AccessKind::Read,
+        };
+        let reqs = collect(&p);
+        assert_eq!(reqs.len(), 10);
+        assert!(reqs.iter().all(|r| r.addr == 0xdead00));
+    }
+
+    #[test]
+    fn sparse_is_deterministic_per_seed() {
+        let make = |seed| Pattern::SparseUniform {
+            start: 0,
+            region_bytes: 1 << 20,
+            count: 100,
+            txn_bytes: 64,
+            seed,
+            kind: AccessKind::Read,
+        };
+        let a = collect(&make(7));
+        let b = collect(&make(7));
+        let c = collect(&make(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sparse_addresses_stay_in_region() {
+        let p = Pattern::SparseUniform {
+            start: 0x10000,
+            region_bytes: 4096,
+            count: 500,
+            txn_bytes: 64,
+            seed: 3,
+            kind: AccessKind::Read,
+        };
+        for r in p.requests(MemSpace::Pinned) {
+            assert!(r.addr >= 0x10000 && r.addr + 64 <= 0x10000 + 4096);
+            assert_eq!(r.space, MemSpace::Pinned);
+        }
+    }
+
+    #[test]
+    fn sequence_concatenates_in_order() {
+        let p = Pattern::Sequence(vec![
+            Pattern::SingleAddress {
+                addr: 1,
+                count: 2,
+                txn_bytes: 4,
+                kind: AccessKind::Read,
+            },
+            Pattern::SingleAddress {
+                addr: 2,
+                count: 1,
+                txn_bytes: 4,
+                kind: AccessKind::Read,
+            },
+        ]);
+        let addrs: Vec<u64> = collect(&p).iter().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![1, 1, 2]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn repeat_multiplies_body() {
+        let p = Pattern::Repeat {
+            body: Box::new(Pattern::Linear {
+                start: 0,
+                bytes: 128,
+                txn_bytes: 64,
+                kind: AccessKind::Read,
+            }),
+            times: 3,
+        };
+        let addrs: Vec<u64> = collect(&p).iter().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0, 64, 0, 64, 0, 64]);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.bytes(), 384);
+    }
+
+    #[test]
+    fn len_matches_iterator_for_composites() {
+        let p = Pattern::Repeat {
+            body: Box::new(Pattern::Sequence(vec![
+                Pattern::LinearRmw {
+                    start: 0,
+                    bytes: 300,
+                    txn_bytes: 64,
+                },
+                Pattern::SparseUniform {
+                    start: 0,
+                    region_bytes: 1 << 16,
+                    count: 17,
+                    txn_bytes: 32,
+                    seed: 1,
+                    kind: AccessKind::Write,
+                },
+            ])),
+            times: 4,
+        };
+        assert_eq!(p.len(), collect(&p).len() as u64);
+    }
+
+    #[test]
+    fn space_parameter_is_applied() {
+        let p = Pattern::Linear {
+            start: 0,
+            bytes: 64,
+            txn_bytes: 64,
+            kind: AccessKind::Read,
+        };
+        let pinned: Vec<_> = p.requests(MemSpace::Pinned).collect();
+        assert_eq!(pinned[0].space, MemSpace::Pinned);
+    }
+}

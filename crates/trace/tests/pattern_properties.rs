@@ -1,0 +1,115 @@
+//! Property tests over arbitrarily composed access patterns: the
+//! symbolic metadata (`len`, `bytes`) must always agree with the lazily
+//! generated stream, and generation must be deterministic.
+
+use proptest::prelude::*;
+
+use icomm_soc::cache::AccessKind;
+use icomm_soc::hierarchy::MemSpace;
+use icomm_trace::Pattern;
+
+fn leaf_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        (
+            0u64..1 << 20,
+            1u64..4096,
+            prop_oneof![Just(32u32), Just(64)],
+            any::<bool>()
+        )
+            .prop_map(|(start, bytes, txn, write)| Pattern::Linear {
+                start,
+                bytes,
+                txn_bytes: txn,
+                kind: if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            }),
+        (
+            0u64..1 << 20,
+            1u64..4096,
+            prop_oneof![Just(32u32), Just(64)]
+        )
+            .prop_map(|(start, bytes, txn)| Pattern::LinearRmw {
+                start,
+                bytes,
+                txn_bytes: txn,
+            }),
+        (
+            0u64..1 << 20,
+            0u64..200,
+            1u64..1024,
+            prop_oneof![Just(8u32), Just(64)]
+        )
+            .prop_map(|(start, count, stride, txn)| Pattern::Strided {
+                start,
+                count,
+                stride,
+                txn_bytes: txn,
+                kind: AccessKind::Read,
+            }),
+        (0u64..1 << 20, 0u64..200, prop_oneof![Just(4u32), Just(8)]).prop_map(
+            |(addr, count, txn)| Pattern::SingleAddress {
+                addr,
+                count,
+                txn_bytes: txn,
+                kind: AccessKind::Write,
+            }
+        ),
+        (0u64..1 << 20, 64u64..1 << 16, 0u64..200, any::<u64>()).prop_map(
+            |(start, region, count, seed)| Pattern::SparseUniform {
+                start,
+                region_bytes: region,
+                count,
+                txn_bytes: 64,
+                seed,
+                kind: AccessKind::Read,
+            }
+        ),
+    ]
+}
+
+fn pattern() -> impl Strategy<Value = Pattern> {
+    leaf_pattern().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Pattern::Sequence),
+            (inner, 0u32..4).prop_map(|(body, times)| Pattern::Repeat {
+                body: Box::new(body),
+                times,
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn len_matches_generated_count(p in pattern()) {
+        let generated = p.requests(MemSpace::Cached).count() as u64;
+        prop_assert_eq!(p.len(), generated);
+        prop_assert_eq!(p.is_empty(), generated == 0);
+    }
+
+    #[test]
+    fn bytes_matches_generated_sum(p in pattern()) {
+        let generated: u64 = p
+            .requests(MemSpace::Cached)
+            .map(|r| r.bytes as u64)
+            .sum();
+        prop_assert_eq!(p.bytes(), generated);
+    }
+
+    #[test]
+    fn generation_is_deterministic(p in pattern()) {
+        let a: Vec<_> = p.requests(MemSpace::Pinned).collect();
+        let b: Vec<_> = p.requests(MemSpace::Pinned).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn space_is_uniform_across_stream(p in pattern()) {
+        for r in p.requests(MemSpace::Pinned) {
+            prop_assert_eq!(r.space, MemSpace::Pinned);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The ADAS lane-detection pipeline (the paper's motivating application
+//! class): detect real lanes on a synthetic road, then compare all four
+//! communication models — the paper's three plus this library's
+//! double-buffered SC extension — across the built-in boards.
+//!
+//! ```sh
+//! cargo run --release --example lane_detection -p icomm
+//! ```
+
+use icomm::apps::lane::{
+    extract_lanes, generate_road, hough_vote, sobel_edges, LaneApp, LaneDetectorConfig,
+};
+use icomm::models::{run_model, CommModelKind};
+use icomm::soc::hierarchy::MemSpace;
+use icomm::soc::DeviceProfile;
+use icomm::trace::NullTracer;
+
+fn main() {
+    // --- The real algorithm: numbers first. ---
+    let app = LaneApp::default();
+    let (road, (true_left, true_right)) = generate_road(&app.road);
+    let det = LaneDetectorConfig::default();
+    let edges = sobel_edges(&road, &det, &mut NullTracer, MemSpace::Cached);
+    let lines = hough_vote(
+        &edges,
+        road.width(),
+        road.height(),
+        &det,
+        &mut NullTracer,
+        MemSpace::Cached,
+    );
+    let lanes =
+        extract_lanes(&lines, road.width(), road.height()).expect("road scene has two lanes");
+    println!(
+        "road {}x{}: {} edge pixels, {} candidate lines",
+        road.width(),
+        road.height(),
+        edges.iter().filter(|&&e| e).count(),
+        lines.len()
+    );
+    println!(
+        "detected lanes at bottom row: left {:.1} px (truth {true_left:.1}), right {:.1} px (truth {true_right:.1})",
+        lanes.left_x, lanes.right_x
+    );
+
+    // --- Communication-model comparison (incl. the SC+ extension). ---
+    let workload = app.workload();
+    for device in [
+        DeviceProfile::jetson_nano(),
+        DeviceProfile::jetson_tx2(),
+        DeviceProfile::jetson_agx_xavier(),
+        DeviceProfile::orin_like(),
+    ] {
+        println!("\n=== {} ===", device.name);
+        let sc = run_model(CommModelKind::StandardCopy, &device, &workload);
+        for kind in CommModelKind::EXTENDED {
+            let run = run_model(kind, &device, &workload);
+            let delta = if kind == CommModelKind::StandardCopy {
+                "      -".to_string()
+            } else {
+                format!("{:+6.0}%", run.speedup_vs_percent(&sc))
+            };
+            println!(
+                "  {:>3}: {:>9.2} us/frame (kernel {:>8.2} us, copies {:>7.2} us, overlap saved {:>7.2} us) {delta} vs SC",
+                kind.abbrev(),
+                run.time_per_iteration().as_micros_f64(),
+                run.kernel_time_per_iteration().as_micros_f64(),
+                run.copy_time_per_iteration().as_micros_f64(),
+                (run.overlap_saved / run.iterations as u64).as_micros_f64(),
+            );
+        }
+    }
+    println!(
+        "\nNote: SC+ (double-buffered standard copy) recovers the overlap but keeps\n\
+         paying the copy traffic — zero copy still wins on I/O-coherent devices,\n\
+         and SC+ is the best option on devices whose pinned path is too slow."
+    );
+}

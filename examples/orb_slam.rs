@@ -1,0 +1,80 @@
+//! The ORB front-end case study: detect and describe real features on a
+//! synthetic scene, then tune the communication model on the TX2 and the
+//! AGX Xavier (the paper's Tables IV and V).
+//!
+//! ```sh
+//! cargo run --release --example orb_slam
+//! ```
+
+use icomm::apps::orb::{describe, detect, generate_scene, has_full_patch, test_pattern, OrbApp};
+use icomm::core::Tuner;
+use icomm::microbench::characterize_device;
+use icomm::models::{run_model, CommModelKind};
+use icomm::soc::hierarchy::MemSpace;
+use icomm::soc::DeviceProfile;
+use icomm::trace::NullTracer;
+
+fn main() {
+    // --- The real algorithm: numbers first. ---
+    let app = OrbApp::default();
+    let (scene, rect_corners) = generate_scene(&app.scene);
+    let keypoints = detect(
+        &scene,
+        app.fast_threshold,
+        &mut NullTracer,
+        MemSpace::Cached,
+    );
+    let pattern = test_pattern(7);
+    let described: Vec<_> = keypoints
+        .iter()
+        .filter(|kp| has_full_patch(&scene, kp))
+        .map(|kp| describe(&scene, kp, &pattern))
+        .collect();
+    println!(
+        "scene {}x{}: {} FAST-9 corners, {} described ({} ground-truth rectangle corners)",
+        scene.width(),
+        scene.height(),
+        keypoints.len(),
+        described.len(),
+        rect_corners.len()
+    );
+    if described.len() >= 2 {
+        let d = described[0].descriptor.distance(&described[1].descriptor);
+        println!(
+            "first two descriptors: hamming distance {d}/256, angles {:+.2} / {:+.2} rad",
+            described[0].angle, described[1].angle
+        );
+    }
+
+    // --- Tuning on TX2 and Xavier (Tables IV / V). ---
+    let workload = app.workload();
+    for device in [
+        DeviceProfile::jetson_tx2(),
+        DeviceProfile::jetson_agx_xavier(),
+    ] {
+        println!("\n=== {} ===", device.name);
+        let characterization = characterize_device(&device);
+        let tuner = Tuner::with_characterization(device.clone(), characterization);
+        // ORB ships with zero copy; should it stay that way?
+        let outcome = tuner.recommend(&workload, CommModelKind::ZeroCopy);
+        let rec = &outcome.recommendation;
+        println!(
+            "profile: GPU usage {:.1}% (thr {:.1}%) -> {}",
+            rec.gpu_usage_pct, rec.gpu_threshold_pct, rec.zone
+        );
+        println!("verdict: use {}", rec.recommended);
+        let sc = run_model(CommModelKind::StandardCopy, &device, &workload);
+        let zc = run_model(CommModelKind::ZeroCopy, &device, &workload);
+        println!(
+            "  SC: {:>9.2} ms/frame (kernel {:>8.2} us)",
+            sc.time_per_iteration().as_millis_f64(),
+            sc.kernel_time_per_iteration().as_micros_f64(),
+        );
+        println!(
+            "  ZC: {:>9.2} ms/frame (kernel {:>8.2} us) -> {:+.0}% vs SC",
+            zc.time_per_iteration().as_millis_f64(),
+            zc.kernel_time_per_iteration().as_micros_f64(),
+            zc.speedup_vs_percent(&sc),
+        );
+    }
+}

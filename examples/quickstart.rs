@@ -1,0 +1,99 @@
+//! Quickstart: characterize a device, profile an application, and get a
+//! communication-model recommendation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use icomm::core::Tuner;
+use icomm::microbench::characterize_device;
+use icomm::models::{CommModelKind, GpuPhase, Workload};
+use icomm::soc::cache::AccessKind;
+use icomm::soc::units::ByteSize;
+use icomm::soc::DeviceProfile;
+use icomm::trace::Pattern;
+
+fn main() {
+    // 1. Pick a board. Three Jetson-class presets ship with the library;
+    //    any other SoC can be described with a custom DeviceProfile.
+    let device = DeviceProfile::jetson_agx_xavier();
+    println!(
+        "characterizing {} (runs the three micro-benchmarks)...",
+        device.name
+    );
+    let characterization = characterize_device(&device);
+    println!(
+        "  peak GPU cache throughput : {:>8.2} GB/s",
+        characterization.gpu_cache_max_throughput / 1e9
+    );
+    println!(
+        "  zero-copy path throughput : {:>8.2} GB/s",
+        characterization.gpu_zc_throughput / 1e9
+    );
+    println!(
+        "  GPU cache threshold       : {:>7.1} %",
+        characterization.gpu_cache_threshold_pct
+    );
+    println!(
+        "  CPU cache threshold       : {:>7.1} %",
+        characterization.cpu_cache_threshold_pct
+    );
+    println!(
+        "  max SC->ZC speedup        : {:>7.2} x",
+        characterization.sc_zc_max_speedup
+    );
+    println!(
+        "  max ZC->SC speedup        : {:>7.2} x",
+        characterization.zc_sc_max_speedup
+    );
+
+    // 2. Describe the application: here, a camera-style streaming kernel
+    //    (1 MiB in, compute-dominated, no cache reuse).
+    let bytes = 1u64 << 20;
+    let workload = Workload::builder("camera-stream")
+        .bytes_to_gpu(ByteSize(bytes))
+        .gpu(GpuPhase {
+            compute_work: 1 << 26,
+            shared_accesses: Pattern::Linear {
+                start: 0,
+                bytes,
+                txn_bytes: 64,
+                kind: AccessKind::Read,
+            },
+            private_accesses: None,
+        })
+        .overlappable(true)
+        .iterations(4)
+        .build();
+
+    // 3. Ask the framework whether the current standard-copy
+    //    implementation should switch.
+    let tuner = Tuner::with_characterization(device, characterization);
+    let outcome = tuner.recommend(&workload, CommModelKind::StandardCopy);
+    let rec = &outcome.recommendation;
+    println!(
+        "\nprofile: CPU usage {:.1}%, GPU usage {:.1}% ({})",
+        rec.cpu_usage_pct, rec.gpu_usage_pct, rec.zone
+    );
+    println!("verdict: use {}", rec.recommended);
+    if let Some(est) = rec.estimated_speedup {
+        println!(
+            "estimated speedup: {:+.0}% (device bound {:.2}x)",
+            est.as_percent(),
+            est.max_bound
+        );
+    }
+    println!("rationale: {}", rec.rationale);
+
+    // 4. Validate against ground truth: run every model on the simulator.
+    println!("\nground truth:");
+    for run in tuner.evaluate_all(&workload) {
+        println!(
+            "  {:>2}: {:>9.2} us/frame (kernel {:>8.2} us, copies {:>8.2} us)",
+            run.model.abbrev(),
+            run.time_per_iteration().as_micros_f64(),
+            run.kernel_time_per_iteration().as_micros_f64(),
+            run.copy_time_per_iteration().as_micros_f64(),
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! The Shack–Hartmann adaptive-optics case study, end to end: extract
+//! real centroids from a synthetic sensor frame, then tune the
+//! communication model on all three Jetson-class boards (the paper's
+//! Tables II and III).
+//!
+//! ```sh
+//! cargo run --release --example shack_hartmann
+//! ```
+
+use icomm::apps::shwfs::{compute_slopes, extract_centroids, generate_frame, rms_error, ShwfsApp};
+use icomm::core::Tuner;
+use icomm::microbench::characterize_device;
+use icomm::models::{run_model, CommModelKind};
+use icomm::soc::hierarchy::MemSpace;
+use icomm::soc::DeviceProfile;
+use icomm::trace::NullTracer;
+
+fn main() {
+    // --- The real algorithm: numbers first. ---
+    let app = ShwfsApp::default();
+    let (frame, truth) = generate_frame(&app.sensor);
+    let centroids = extract_centroids(
+        &frame,
+        &app.sensor,
+        app.threshold,
+        &mut NullTracer,
+        MemSpace::Cached,
+    );
+    let slopes = compute_slopes(&centroids, &app.sensor, &mut NullTracer, MemSpace::Cached);
+    let mean_sx: f64 = slopes.iter().map(|s| s.sx).sum::<f64>() / slopes.len() as f64;
+    let mean_sy: f64 = slopes.iter().map(|s| s.sy).sum::<f64>() / slopes.len() as f64;
+    println!(
+        "frame {}x{} px, {} subapertures",
+        frame.width(),
+        frame.height(),
+        centroids.len()
+    );
+    println!(
+        "rms centroid error vs ground truth: {:.3} px",
+        rms_error(&centroids, &truth)
+    );
+    println!(
+        "recovered mean tilt: ({mean_sx:+.2}, {mean_sy:+.2}) px (injected ({:+.2}, {:+.2}))",
+        app.sensor.tilt.0, app.sensor.tilt.1
+    );
+
+    // --- Tuning on each board (Tables II / III). ---
+    let workload = app.workload();
+    for device in DeviceProfile::all_boards() {
+        println!("\n=== {} ===", device.name);
+        let characterization = characterize_device(&device);
+        let tuner = Tuner::with_characterization(device.clone(), characterization);
+        let outcome = tuner.recommend(&workload, CommModelKind::StandardCopy);
+        let rec = &outcome.recommendation;
+        println!(
+            "profile: CPU usage {:.1}% (thr {:.1}%), GPU usage {:.1}% (thr {:.1}%)",
+            rec.cpu_usage_pct, rec.cpu_threshold_pct, rec.gpu_usage_pct, rec.gpu_threshold_pct
+        );
+        println!("verdict: use {}", rec.recommended);
+        let sc = run_model(CommModelKind::StandardCopy, &device, &workload);
+        for kind in [CommModelKind::UnifiedMemory, CommModelKind::ZeroCopy] {
+            let run = run_model(kind, &device, &workload);
+            println!(
+                "  {}: {:>8.2} us/frame (kernel {:>7.2} us, CPU {:>7.2} us) -> {:+.0}% vs SC",
+                kind.abbrev(),
+                run.time_per_iteration().as_micros_f64(),
+                run.kernel_time_per_iteration().as_micros_f64(),
+                run.cpu_time_per_iteration().as_micros_f64(),
+                run.speedup_vs_percent(&sc),
+            );
+        }
+        println!(
+            "  SC: {:>8.2} us/frame (kernel {:>7.2} us, CPU {:>7.2} us)",
+            sc.time_per_iteration().as_micros_f64(),
+            sc.kernel_time_per_iteration().as_micros_f64(),
+            sc.cpu_time_per_iteration().as_micros_f64(),
+        );
+        // Energy comparison (the paper's 0.12 J/s on Xavier).
+        let zc = run_model(CommModelKind::ZeroCopy, &device, &workload);
+        let saved = sc.power_watts() - zc.power_watts();
+        println!(
+            "  energy: SC {:.2} W vs ZC {:.2} W ({saved:+.2} J/s)",
+            sc.power_watts(),
+            zc.power_watts()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! The zero-copy communication pattern (Fig. 4): tiled, phase-alternating
+//! producer/consumer access with race-freedom by construction.
+//!
+//! ```sh
+//! cargo run --release --example tiled_pipeline
+//! ```
+
+use icomm::models::overlap::{overlapped_wall, OverlapInputs};
+use icomm::models::tiling::{PhaseSchedule, TileOwner, TiledBuffer, TilingConfig};
+use icomm::soc::units::Picos;
+use icomm::soc::DeviceProfile;
+
+fn main() {
+    let device = DeviceProfile::jetson_agx_xavier();
+    let config = TilingConfig::for_device(&device);
+    let buffer = TiledBuffer::new(64 * 1024, config.tile_bytes);
+    let schedule = PhaseSchedule::new(buffer, config.phases);
+    println!(
+        "buffer: 64 KiB in {} tiles of {} B; {} phases per iteration",
+        buffer.tile_count(),
+        config.tile_bytes,
+        schedule.phases()
+    );
+
+    // Show the alternating ownership for the first few tiles.
+    println!("\nownership (first 8 tiles):");
+    for phase in 0..2 {
+        let owners: Vec<&str> = (0..8)
+            .map(|t| match schedule.owner(phase, t) {
+                TileOwner::Cpu => "CPU",
+                TileOwner::Gpu => "GPU",
+            })
+            .collect();
+        println!("  phase {phase}: {}", owners.join(" "));
+    }
+
+    // Verify the pattern's two safety properties over many phases.
+    for phase in 0..16 {
+        assert!(
+            schedule.is_race_free(phase),
+            "race detected in phase {phase}"
+        );
+        assert!(
+            schedule.covers_all_tiles(phase),
+            "coverage hole starting at phase {phase}"
+        );
+    }
+    println!("\nverified: no tile is touched by both agents in any phase,");
+    println!("and every tile is visited by both agents across each phase pair.");
+
+    // What the overlap buys: a balanced iteration with the device's
+    // barrier cost.
+    let out = overlapped_wall(OverlapInputs {
+        cpu_time: Picos::from_micros(120),
+        gpu_time: Picos::from_micros(110),
+        cpu_dram_occupancy: Picos::from_micros(15),
+        gpu_dram_occupancy: Picos::from_micros(20),
+        phases: config.phases,
+        barrier_cost: config.barrier_cost,
+    });
+    println!(
+        "\nbalanced 120/110 us iteration: serial 230 us -> pipelined {:.0} us (saved {:.0} us, {} barriers)",
+        out.wall.as_micros_f64(),
+        out.saved.as_micros_f64(),
+        config.phases
+    );
+    if out.contention_bound {
+        println!("note: wall time was set by DRAM contention, not by the slower agent");
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared helpers for the integration tests.
+#![allow(dead_code)] // each test binary uses a subset of the helpers
+
+use icomm::microbench::mb2::{Mb2Config, ThresholdSweep};
+use icomm::microbench::mb3::{Mb3Config, OverlapProbe};
+use icomm::microbench::{DeviceCharacterization, PeakCacheThroughput};
+use icomm::soc::DeviceProfile;
+
+/// A trimmed device characterization: same pipeline as
+/// `characterize_device`, with a coarser (but still verdict-preserving)
+/// MB2 sweep and a smaller MB3 array to keep test time reasonable.
+pub fn quick_characterization(device: &DeviceProfile) -> DeviceCharacterization {
+    let mb1 = PeakCacheThroughput::new().run(device);
+    let mb2 = ThresholdSweep::with_config(Mb2Config {
+        denominators: vec![4096, 512, 64, 32, 24, 16, 8, 2],
+        ..Mb2Config::default()
+    })
+    .run(device);
+    let mb3 = OverlapProbe::with_config(Mb3Config {
+        array_bytes: 1 << 25,
+        ..Mb3Config::default()
+    })
+    .run(device);
+    DeviceCharacterization::from_results(&mb1, &mb2, &mb3)
+}

@@ -1,0 +1,156 @@
+//! The headline reproduction: the full tuning loop — characterize,
+//! profile, recommend, validate — produces the paper's verdicts on every
+//! board for both case studies, and following the recommendation never
+//! hurts.
+
+mod common;
+
+use icomm::apps::{OrbApp, ShwfsApp};
+use icomm::core::{CacheZone, Tuner};
+use icomm::models::CommModelKind;
+use icomm::soc::DeviceProfile;
+
+use common::quick_characterization;
+
+fn tuner(device: DeviceProfile) -> Tuner {
+    let c = quick_characterization(&device);
+    Tuner::with_characterization(device, c)
+}
+
+fn shwfs() -> icomm::models::Workload {
+    ShwfsApp {
+        iterations: 2,
+        ..ShwfsApp::default()
+    }
+    .workload()
+}
+
+fn orb() -> icomm::models::Workload {
+    OrbApp {
+        matching_reads: 300_000,
+        iterations: 1,
+        ..OrbApp::default()
+    }
+    .workload()
+}
+
+#[test]
+fn shwfs_nano_keeps_standard_copy() {
+    let t = tuner(DeviceProfile::jetson_nano());
+    let v = t.validate(&shwfs(), CommModelKind::StandardCopy);
+    assert_eq!(
+        v.recommendation.recommended,
+        CommModelKind::StandardCopy,
+        "{}",
+        v.recommendation.rationale
+    );
+    assert!(v.recommendation_sound(0.05));
+}
+
+#[test]
+fn shwfs_tx2_keeps_standard_copy() {
+    let t = tuner(DeviceProfile::jetson_tx2());
+    let v = t.validate(&shwfs(), CommModelKind::StandardCopy);
+    assert_eq!(
+        v.recommendation.recommended,
+        CommModelKind::StandardCopy,
+        "{}",
+        v.recommendation.rationale
+    );
+}
+
+#[test]
+fn shwfs_xavier_switches_to_zero_copy_and_wins() {
+    // Paper Table III: +38 % measured on the AGX Xavier.
+    let t = tuner(DeviceProfile::jetson_agx_xavier());
+    let v = t.validate(&shwfs(), CommModelKind::StandardCopy);
+    assert_eq!(
+        v.recommendation.recommended,
+        CommModelKind::ZeroCopy,
+        "{}",
+        v.recommendation.rationale
+    );
+    let gain_pct = (v.actual_speedup - 1.0) * 100.0;
+    assert!(
+        gain_pct > 10.0,
+        "Xavier ZC should win clearly, got {gain_pct:+.0}%"
+    );
+}
+
+#[test]
+fn orb_tx2_sent_back_to_standard_copy_with_huge_recovery() {
+    // Paper Table V: 521 ms (ZC) vs 70 ms (SC) on the TX2.
+    let t = tuner(DeviceProfile::jetson_tx2());
+    let v = t.validate(&orb(), CommModelKind::ZeroCopy);
+    assert_eq!(
+        v.recommendation.recommended,
+        CommModelKind::StandardCopy,
+        "{}",
+        v.recommendation.rationale
+    );
+    assert!(
+        v.actual_speedup > 3.0,
+        "switching back to SC should recover several x, got {:.1}x",
+        v.actual_speedup
+    );
+}
+
+#[test]
+fn orb_xavier_keeps_zero_copy_in_zone2() {
+    // Paper Table V: 0 % difference on the Xavier; the profile lands in
+    // zone 2 and ZC is kept.
+    let t = tuner(DeviceProfile::jetson_agx_xavier());
+    let v = t.validate(&orb(), CommModelKind::ZeroCopy);
+    assert_eq!(v.recommendation.zone, CacheZone::Maybe);
+    assert_eq!(
+        v.recommendation.recommended,
+        CommModelKind::ZeroCopy,
+        "{}",
+        v.recommendation.rationale
+    );
+}
+
+#[test]
+fn recommendations_never_hurt_across_the_matrix() {
+    // Every board x both apps x both plausible current models.
+    for device in DeviceProfile::all_boards() {
+        let t = tuner(device.clone());
+        for workload in [shwfs(), orb()] {
+            for current in [CommModelKind::StandardCopy, CommModelKind::ZeroCopy] {
+                let v = t.validate(&workload, current);
+                assert!(
+                    v.recommendation_sound(0.05),
+                    "{}: {} from {} -> {} lost {:.2}x ({})",
+                    device.name,
+                    workload.name,
+                    current.abbrev(),
+                    v.recommendation.recommended.abbrev(),
+                    v.actual_speedup,
+                    v.recommendation.rationale
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn predicted_speedup_sign_matches_reality_for_switches() {
+    for device in DeviceProfile::all_boards() {
+        let t = tuner(device.clone());
+        for workload in [shwfs(), orb()] {
+            for current in [CommModelKind::StandardCopy, CommModelKind::ZeroCopy] {
+                let v = t.validate(&workload, current);
+                if v.recommendation.suggests_switch() {
+                    assert!(
+                        v.actual_speedup >= 0.95,
+                        "{}: switch {} -> {} should not lose, got {:.2}x",
+                        device.name,
+                        current.abbrev(),
+                        v.recommendation.recommended.abbrev(),
+                        v.actual_speedup
+                    );
+                }
+            }
+        }
+    }
+}

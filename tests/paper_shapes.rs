@@ -1,0 +1,179 @@
+//! Shape-level reproduction checks against the paper's published numbers:
+//! who wins, by roughly what factor, and where the thresholds fall.
+
+mod common;
+
+use icomm::apps::{OrbApp, ShwfsApp};
+use icomm::microbench::mb3::{Mb3Config, OverlapProbe};
+use icomm::microbench::PeakCacheThroughput;
+use icomm::models::{run_model, CommModelKind};
+use icomm::soc::DeviceProfile;
+
+use common::quick_characterization;
+
+#[test]
+fn table1_throughput_gaps() {
+    // Paper: SC/ZC gap 76x on TX2, 6.6x on Xavier.
+    let tx2 = PeakCacheThroughput::new().run(&DeviceProfile::jetson_tx2());
+    let gap_tx2 = tx2.max_throughput() / tx2.model(CommModelKind::ZeroCopy).ll_throughput;
+    assert!(
+        (38.0..152.0).contains(&gap_tx2),
+        "TX2 gap {gap_tx2:.0}x (paper 76x, accept 0.5-2x)"
+    );
+    let xavier = PeakCacheThroughput::new().run(&DeviceProfile::jetson_agx_xavier());
+    let gap_xavier = xavier.max_throughput() / xavier.model(CommModelKind::ZeroCopy).ll_throughput;
+    assert!(
+        (3.3..13.2).contains(&gap_xavier),
+        "Xavier gap {gap_xavier:.1}x (paper 6.6x, accept 0.5-2x)"
+    );
+}
+
+#[test]
+fn table1_absolute_throughputs_within_factor_two() {
+    let checks = [
+        (DeviceProfile::jetson_tx2(), 1.28e9, 97.34e9),
+        (DeviceProfile::jetson_agx_xavier(), 32.29e9, 214.64e9),
+    ];
+    for (device, paper_zc, paper_sc) in checks {
+        let r = PeakCacheThroughput::new().run(&device);
+        let zc = r.model(CommModelKind::ZeroCopy).ll_throughput;
+        let sc = r.max_throughput();
+        assert!(
+            (0.5..2.0).contains(&(zc / paper_zc)),
+            "{}: ZC {zc:.2e} vs paper {paper_zc:.2e}",
+            device.name
+        );
+        assert!(
+            (0.5..2.0).contains(&(sc / paper_sc)),
+            "{}: SC {sc:.2e} vs paper {paper_sc:.2e}",
+            device.name
+        );
+    }
+}
+
+#[test]
+fn thresholds_ordered_like_the_paper() {
+    // Paper: TX2 threshold 2.7 % << Xavier threshold 16.2 %; Xavier CPU
+    // threshold is 100 % (its CPU cache survives zero copy).
+    let tx2 = quick_characterization(&DeviceProfile::jetson_tx2());
+    let xavier = quick_characterization(&DeviceProfile::jetson_agx_xavier());
+    assert!(xavier.gpu_cache_threshold_pct > 3.0 * tx2.gpu_cache_threshold_pct);
+    assert_eq!(xavier.cpu_cache_threshold_pct, 100.0);
+    assert!(tx2.cpu_cache_threshold_pct < 100.0);
+    assert!(tx2.cpu_cache_threshold_pct > 1.0);
+}
+
+#[test]
+fn fig7_zero_copy_wins_on_xavier_by_a_large_factor() {
+    // Paper: up to +152 % vs SC and +164 % vs UM.
+    let probe = OverlapProbe::with_config(Mb3Config {
+        array_bytes: 1 << 26,
+        ..Mb3Config::default()
+    });
+    let r = probe.run(&DeviceProfile::jetson_agx_xavier());
+    let vs_sc = r.zc_advantage_pct(CommModelKind::StandardCopy);
+    let vs_um = r.zc_advantage_pct(CommModelKind::UnifiedMemory);
+    assert!(vs_sc > 50.0, "ZC vs SC {vs_sc:+.0}%");
+    assert!(vs_um > vs_sc, "UM should be slightly behind SC here");
+}
+
+#[test]
+fn table3_shwfs_speedup_signs() {
+    // Paper: Nano -67 %, TX2 -5 %, Xavier +38 %.
+    let w = ShwfsApp {
+        iterations: 2,
+        ..ShwfsApp::default()
+    }
+    .workload();
+    let delta = |device: &DeviceProfile| {
+        let sc = run_model(CommModelKind::StandardCopy, device, &w);
+        let zc = run_model(CommModelKind::ZeroCopy, device, &w);
+        zc.speedup_vs_percent(&sc)
+    };
+    let nano = delta(&DeviceProfile::jetson_nano());
+    let tx2 = delta(&DeviceProfile::jetson_tx2());
+    let xavier = delta(&DeviceProfile::jetson_agx_xavier());
+    assert!(nano < -30.0, "Nano {nano:+.0}% (paper -67%)");
+    assert!(tx2 < 0.0, "TX2 {tx2:+.0}% (paper -5%)");
+    assert!(xavier > 15.0, "Xavier {xavier:+.0}% (paper +38%)");
+    // And the ordering: Xavier > TX2 > Nano.
+    assert!(xavier > tx2 && tx2 > nano);
+}
+
+#[test]
+fn table5_orb_speedup_signs() {
+    // Paper: TX2 -744 %, Xavier ~0 %.
+    let w = OrbApp {
+        matching_reads: 300_000,
+        iterations: 1,
+        ..OrbApp::default()
+    }
+    .workload();
+    let tx2 = {
+        let sc = run_model(
+            CommModelKind::StandardCopy,
+            &DeviceProfile::jetson_tx2(),
+            &w,
+        );
+        let zc = run_model(CommModelKind::ZeroCopy, &DeviceProfile::jetson_tx2(), &w);
+        zc.speedup_vs_percent(&sc)
+    };
+    let xavier = {
+        let device = DeviceProfile::jetson_agx_xavier();
+        let sc = run_model(CommModelKind::StandardCopy, &device, &w);
+        let zc = run_model(CommModelKind::ZeroCopy, &device, &w);
+        zc.speedup_vs_percent(&sc)
+    };
+    assert!(tx2 < -60.0, "TX2 {tx2:+.0}% (paper -744%)");
+    assert!(xavier.abs() < 10.0, "Xavier {xavier:+.0}% (paper 0%)");
+}
+
+#[test]
+fn table3_zc_kernel_penalties_ordered() {
+    // Paper kernel penalties under ZC: Nano -3 %, TX2 -39 %, Xavier -14 %
+    // — but the *totals* hurt most on Nano because of the CPU side. Here
+    // we check the kernel-side ordering TX2 >> Xavier.
+    let w = ShwfsApp {
+        iterations: 2,
+        ..ShwfsApp::default()
+    }
+    .workload();
+    let penalty = |device: &DeviceProfile| {
+        let sc = run_model(CommModelKind::StandardCopy, device, &w);
+        let zc = run_model(CommModelKind::ZeroCopy, device, &w);
+        zc.kernel_time_per_iteration().as_picos() as f64
+            / sc.kernel_time_per_iteration().as_picos() as f64
+    };
+    let tx2 = penalty(&DeviceProfile::jetson_tx2());
+    let xavier = penalty(&DeviceProfile::jetson_agx_xavier());
+    assert!(
+        xavier < 1.4,
+        "Xavier kernel penalty {xavier:.2}x (paper 1.14x)"
+    );
+    assert!(
+        tx2 > 2.0 * xavier,
+        "TX2 penalty {tx2:.2}x must dwarf Xavier's"
+    );
+}
+
+#[test]
+fn energy_savings_on_xavier_zero_copy() {
+    // Paper: 0.12 J/s saved on Xavier for SH-WFS.
+    let w = ShwfsApp {
+        iterations: 4,
+        ..ShwfsApp::default()
+    }
+    .workload();
+    let device = DeviceProfile::jetson_agx_xavier();
+    let sc = run_model(CommModelKind::StandardCopy, &device, &w);
+    let zc = run_model(CommModelKind::ZeroCopy, &device, &w);
+    // The paper compares J/s at a fixed camera frame rate, i.e. energy
+    // per frame: ZC eliminates the copy traffic and the copy-engine busy
+    // time while the rest is unchanged on the I/O-coherent Xavier.
+    assert!(
+        zc.energy < sc.energy,
+        "ZC must save energy per frame on Xavier ({} vs {})",
+        zc.energy,
+        sc.energy
+    );
+}

@@ -1,0 +1,68 @@
+//! End-to-end persistence: characterize a board once, serialize the
+//! characterization to JSON, reload it, and verify the reloaded tuner
+//! gives identical verdicts — the cache-to-disk workflow the CLI exposes
+//! via `icomm characterize --save` / `icomm tune --characterization`.
+
+mod common;
+
+use icomm::apps::ShwfsApp;
+use icomm::core::Tuner;
+use icomm::models::{CommModelKind, RunReport, Workload};
+use icomm::soc::DeviceProfile;
+use icomm_persist::{from_str, to_string};
+
+use common::quick_characterization;
+
+#[test]
+fn characterization_survives_disk_round_trip() {
+    let device = DeviceProfile::jetson_agx_xavier();
+    let original = quick_characterization(&device);
+
+    let json = to_string(&original).expect("serialize characterization");
+    let reloaded = from_str(&json).expect("reload characterization");
+    assert_eq!(original, reloaded);
+
+    // Both tuners must produce the same recommendation.
+    let workload = ShwfsApp {
+        iterations: 2,
+        ..ShwfsApp::default()
+    }
+    .workload();
+    let fresh = Tuner::with_characterization(device.clone(), original);
+    let cached = Tuner::with_characterization(device, reloaded);
+    let a = fresh.recommend(&workload, CommModelKind::StandardCopy);
+    let b = cached.recommend(&workload, CommModelKind::StandardCopy);
+    assert_eq!(a.recommendation, b.recommendation);
+}
+
+#[test]
+fn workloads_and_reports_archive_round_trip() {
+    let workload = ShwfsApp::default().workload();
+    let json = to_string(&workload).expect("serialize workload");
+    let reloaded: Workload = from_str(&json).expect("reload workload");
+    assert_eq!(workload, reloaded);
+
+    // A reloaded workload runs identically (full determinism through the
+    // serialization boundary).
+    let device = DeviceProfile::jetson_tx2();
+    let a = icomm::models::run_model(CommModelKind::StandardCopy, &device, &workload);
+    let b = icomm::models::run_model(CommModelKind::StandardCopy, &device, &reloaded);
+    assert_eq!(a, b);
+
+    // And the report itself archives.
+    let json = to_string(&a).expect("serialize report");
+    let back: RunReport = from_str(&json).expect("reload report");
+    assert_eq!(a, back);
+}
+
+#[test]
+fn file_round_trip_through_the_filesystem() {
+    let device = DeviceProfile::jetson_tx2();
+    let c = quick_characterization(&device);
+    let path = std::env::temp_dir().join("icomm_test_characterization.json");
+    std::fs::write(&path, to_string(&c).expect("serialize")).expect("write file");
+    let text = std::fs::read_to_string(&path).expect("read file");
+    let reloaded: icomm::microbench::DeviceCharacterization = from_str(&text).expect("parse file");
+    assert_eq!(c, reloaded);
+    let _ = std::fs::remove_file(&path);
+}

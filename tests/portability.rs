@@ -1,0 +1,128 @@
+//! Framework portability: the same micro-benchmarks and decision flow
+//! work unchanged on a board the paper never saw (the hypothetical
+//! Orin-class preset), and the verdicts track the device's architecture.
+
+mod common;
+
+use icomm::apps::{LaneApp, OrbApp, ShwfsApp};
+use icomm::core::Tuner;
+use icomm::models::CommModelKind;
+use icomm::soc::DeviceProfile;
+
+use common::quick_characterization;
+
+#[test]
+fn orin_like_characterization_is_sane() {
+    let c = quick_characterization(&DeviceProfile::orin_like());
+    // An improved coherence fabric: the pinned path keeps a larger
+    // fraction of the cached throughput than the Xavier's ~1/7.
+    let gap = c.gpu_cache_max_throughput / c.gpu_zc_throughput;
+    let xavier = quick_characterization(&DeviceProfile::jetson_agx_xavier());
+    let xavier_gap = xavier.gpu_cache_max_throughput / xavier.gpu_zc_throughput;
+    assert!(
+        gap < xavier_gap,
+        "orin gap {gap:.1}x < xavier gap {xavier_gap:.1}x"
+    );
+    // CPU cache survives zero copy (I/O coherent).
+    assert_eq!(c.cpu_cache_threshold_pct, 100.0);
+    // Zero copy is clearly viable for cache-independent work.
+    assert!(c.zc_viable());
+    assert!(c.sc_zc_max_speedup > 1.2);
+}
+
+#[test]
+fn orin_like_threshold_higher_than_xavier() {
+    // A faster pinned path tolerates more cache usage before ZC hurts.
+    let orin = quick_characterization(&DeviceProfile::orin_like());
+    let xavier = quick_characterization(&DeviceProfile::jetson_agx_xavier());
+    assert!(
+        orin.gpu_cache_threshold_pct > xavier.gpu_cache_threshold_pct,
+        "orin {:.1}% vs xavier {:.1}%",
+        orin.gpu_cache_threshold_pct,
+        xavier.gpu_cache_threshold_pct
+    );
+}
+
+#[test]
+fn orin_like_verdicts_follow_its_architecture() {
+    let device = DeviceProfile::orin_like();
+    let tuner = Tuner::with_characterization(device.clone(), quick_characterization(&device));
+
+    // Streaming apps: zero copy recommended and it pays off.
+    for workload in [
+        ShwfsApp {
+            iterations: 2,
+            ..ShwfsApp::default()
+        }
+        .workload(),
+        LaneApp {
+            iterations: 2,
+            ..LaneApp::default()
+        }
+        .workload(),
+    ] {
+        let v = tuner.validate(&workload, CommModelKind::StandardCopy);
+        assert_eq!(
+            v.recommendation.recommended,
+            CommModelKind::ZeroCopy,
+            "{}: {}",
+            workload.name,
+            v.recommendation.rationale
+        );
+        assert!(
+            v.actual_speedup > 1.0,
+            "{}: {:.2}x",
+            workload.name,
+            v.actual_speedup
+        );
+    }
+}
+
+#[test]
+fn orin_like_orb_keeps_zero_copy() {
+    // The cache-hungry ORB kernel still fits the wider zone the improved
+    // fabric affords.
+    let device = DeviceProfile::orin_like();
+    let tuner = Tuner::with_characterization(device.clone(), quick_characterization(&device));
+    let w = OrbApp {
+        matching_reads: 300_000,
+        iterations: 1,
+        ..OrbApp::default()
+    }
+    .workload();
+    let v = tuner.validate(&w, CommModelKind::ZeroCopy);
+    assert_eq!(
+        v.recommendation.recommended,
+        CommModelKind::ZeroCopy,
+        "{}",
+        v.recommendation.rationale
+    );
+    assert!(v.recommendation_sound(0.05));
+}
+
+#[test]
+fn lane_app_verdicts_across_all_boards() {
+    // The extension case study behaves like the paper's streaming apps:
+    // keep SC on the slow-pinned-path boards, go ZC on coherent ones.
+    let w = LaneApp {
+        iterations: 2,
+        ..LaneApp::default()
+    }
+    .workload();
+    for (device, expect_zc) in [
+        (DeviceProfile::jetson_nano(), false),
+        (DeviceProfile::jetson_tx2(), false),
+        (DeviceProfile::jetson_agx_xavier(), true),
+        (DeviceProfile::orin_like(), true),
+    ] {
+        let tuner = Tuner::with_characterization(device.clone(), quick_characterization(&device));
+        let v = tuner.validate(&w, CommModelKind::StandardCopy);
+        let got_zc = v.recommendation.recommended == CommModelKind::ZeroCopy;
+        assert_eq!(
+            got_zc, expect_zc,
+            "{}: {}",
+            device.name, v.recommendation.rationale
+        );
+        assert!(v.recommendation_sound(0.05), "{}", device.name);
+    }
+}
