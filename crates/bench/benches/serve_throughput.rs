@@ -1,0 +1,76 @@
+//! Serving-layer throughput: batches of tuning requests through the
+//! concurrent service, cold and warm.
+//!
+//! The experiment behind the `icomm-serve` design claim: once the four
+//! device characterizations are cached, a batch of requests costs only
+//! the (cheap) profile + recommend flow per request, so throughput is
+//! bounded by the worker pool rather than the micro-benchmark sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icomm_serve::{ServiceConfig, TuneRequest, TuningService};
+
+const BOARDS: [&str; 4] = ["nano", "tx2", "xavier", "orin-like"];
+const APPS: [&str; 3] = ["shwfs", "orb", "lane"];
+
+fn request_batch(n: u64) -> Vec<TuneRequest> {
+    (0..n)
+        .map(|i| {
+            TuneRequest::new(
+                i,
+                BOARDS[(i % BOARDS.len() as u64) as usize],
+                APPS[(i % APPS.len() as u64) as usize],
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    // One shared warm service: the first batch fills the registry, the
+    // measured iterations then exercise the steady-state path.
+    let service = TuningService::start(ServiceConfig::quick().with_workers(4));
+    service.submit_batch(request_batch(8)).wait();
+
+    let batch = 96u64;
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(batch));
+    group.bench_function("warm_batch_96_requests_4_workers", |b| {
+        b.iter(|| {
+            let responses = service.submit_batch(request_batch(batch)).wait();
+            assert!(responses.iter().all(|r| r.ok));
+            responses
+        })
+    });
+    group.bench_function("warm_single_request", |b| {
+        b.iter(|| service.handle(TuneRequest::new(0, "xavier", "shwfs")))
+    });
+    group.finish();
+
+    let snapshot = service.metrics();
+    println!(
+        "steady state: {:.2}% hit rate over {} requests ({} characterization runs)",
+        snapshot.hit_rate() * 100.0,
+        snapshot.requests,
+        snapshot.characterizations,
+    );
+
+    // Cold start measured separately: every iteration pays the four
+    // characterization sweeps.
+    c.bench_function("serve/cold_start_batch_16_requests", |b| {
+        b.iter(|| {
+            let cold = TuningService::start(ServiceConfig::quick().with_workers(4));
+            let responses = cold.submit_batch(request_batch(16)).wait();
+            assert!(responses.iter().all(|r| r.ok));
+            cold.shutdown().unwrap();
+        })
+    });
+
+    service.shutdown().unwrap();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

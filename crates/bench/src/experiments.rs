@@ -60,15 +60,18 @@ impl CharacterizationSet {
 
     /// The characterization for a device (matched by name).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for devices outside the built-in three.
-    pub fn for_device(&self, device: &DeviceProfile) -> &DeviceCharacterization {
+    /// Returns a message listing the characterized boards for devices
+    /// outside the built-in three.
+    pub fn for_device(&self, device: &DeviceProfile) -> Result<&DeviceCharacterization, String> {
         match device.name.as_str() {
-            "Jetson Nano" => &self.nano,
-            "Jetson TX2" => &self.tx2,
-            "Jetson AGX Xavier" => &self.xavier,
-            other => panic!("no characterization for {other}"),
+            "Jetson Nano" => Ok(&self.nano),
+            "Jetson TX2" => Ok(&self.tx2),
+            "Jetson AGX Xavier" => Ok(&self.xavier),
+            other => Err(format!(
+                "no characterization for '{other}' (characterized: Jetson Nano, Jetson TX2, Jetson AGX Xavier)"
+            )),
         }
     }
 }
@@ -285,7 +288,9 @@ pub fn table2_shwfs(characterizations: &CharacterizationSet) -> ExperimentReport
         .iter()
         .zip(expected::TABLE2.iter())
     {
-        let c = characterizations.for_device(device);
+        let c = characterizations
+            .for_device(device)
+            .expect("built-in boards are characterized");
         let tuner = Tuner::with_characterization(device.clone(), c.clone());
         let outcome = tuner.recommend(&workload, CommModelKind::StandardCopy);
         let rec = &outcome.recommendation;
@@ -403,7 +408,9 @@ pub fn table4_orb(characterizations: &CharacterizationSet) -> ExperimentReport {
         (DeviceProfile::jetson_tx2(), &expected::TABLE4[0]),
         (DeviceProfile::jetson_agx_xavier(), &expected::TABLE4[1]),
     ] {
-        let c = characterizations.for_device(&device);
+        let c = characterizations
+            .for_device(&device)
+            .expect("built-in boards are characterized");
         let tuner = Tuner::with_characterization(device.clone(), c.clone());
         let outcome = tuner.recommend(&workload, CommModelKind::ZeroCopy);
         let rec = &outcome.recommendation;
@@ -592,7 +599,9 @@ pub fn validation_summary(characterizations: &CharacterizationSet) -> Experiment
     ];
     for device in DeviceProfile::all_boards() {
         for (name, workload, current) in &apps {
-            let c = characterizations.for_device(&device);
+            let c = characterizations
+                .for_device(&device)
+                .expect("built-in boards are characterized");
             let tuner = Tuner::with_characterization(device.clone(), c.clone());
             let v = tuner.validate(workload, *current);
             // Switches to SC are bounded by the device's cache-recovery

@@ -38,6 +38,35 @@ pub enum Command {
     },
     /// `icomm experiments` — regenerate every table/figure of the paper.
     Experiments,
+    /// `icomm serve [--addr <ip:port>] [--workers N] [--registry <file>]
+    /// [--full] [--stats]` — run the tuning service over TCP.
+    Serve {
+        /// Listen address.
+        addr: String,
+        /// Worker-pool size.
+        workers: usize,
+        /// Registry snapshot file for warm starts and shutdown persistence.
+        registry: Option<String>,
+        /// Run the full characterization sweep instead of the quick one.
+        full: bool,
+        /// Print service metrics periodically.
+        stats: bool,
+    },
+    /// `icomm batch [<file>] [--workers N] [--registry <file>] [--full]
+    /// [--stats]` — serve a batch of line-JSON requests from a file (or
+    /// stdin) and print one response per line.
+    Batch {
+        /// Request file; stdin when absent.
+        file: Option<String>,
+        /// Worker-pool size.
+        workers: usize,
+        /// Registry snapshot file for warm starts and shutdown persistence.
+        registry: Option<String>,
+        /// Run the full characterization sweep instead of the quick one.
+        full: bool,
+        /// Append a metrics summary after the responses.
+        stats: bool,
+    },
     /// `icomm help` / no arguments.
     Help,
 }
@@ -175,9 +204,105 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             })
         }
         "experiments" => Ok(Command::Experiments),
+        "serve" => {
+            let mut addr = "127.0.0.1:7311".to_string();
+            let mut options = ServiceOptions::default();
+            while let Some(flag) = it.next() {
+                if flag == "--addr" {
+                    addr = it
+                        .next()
+                        .ok_or_else(|| ParseArgsError("--addr needs an ip:port".into()))?
+                        .clone();
+                } else {
+                    options.accept(flag, &mut it)?;
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                workers: options.workers,
+                registry: options.registry,
+                full: options.full,
+                stats: options.stats,
+            })
+        }
+        "batch" => {
+            let mut file = None;
+            let mut options = ServiceOptions::default();
+            while let Some(flag) = it.next() {
+                if flag.starts_with("--") {
+                    options.accept(flag, &mut it)?;
+                } else if file.is_none() {
+                    file = Some(flag.clone());
+                } else {
+                    return Err(ParseArgsError(format!(
+                        "batch takes one request file, got '{flag}' too"
+                    )));
+                }
+            }
+            Ok(Command::Batch {
+                file,
+                workers: options.workers,
+                registry: options.registry,
+                full: options.full,
+                stats: options.stats,
+            })
+        }
         other => Err(ParseArgsError(format!(
             "unknown command '{other}' (try `icomm help`)"
         ))),
+    }
+}
+
+/// Flags shared by `serve` and `batch`.
+struct ServiceOptions {
+    workers: usize,
+    registry: Option<String>,
+    full: bool,
+    stats: bool,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            workers: 4,
+            registry: None,
+            full: false,
+            stats: false,
+        }
+    }
+}
+
+impl ServiceOptions {
+    fn accept(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<(), ParseArgsError> {
+        match flag {
+            "--workers" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseArgsError("--workers needs a count".into()))?;
+                self.workers = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| {
+                        ParseArgsError(format!("--workers needs a positive count, got '{value}'"))
+                    })?;
+            }
+            "--registry" => {
+                self.registry = Some(
+                    it.next()
+                        .ok_or_else(|| ParseArgsError("--registry needs a file path".into()))?
+                        .clone(),
+                );
+            }
+            "--full" => self.full = true,
+            "--stats" => self.stats = true,
+            other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
+        }
+        Ok(())
     }
 }
 
@@ -214,6 +339,10 @@ USAGE:
                              [--characterization <file>]
     icomm compare <board> <app>
     icomm experiments
+    icomm serve [--addr <ip:port>] [--workers N] [--registry <file>]
+                [--full] [--stats]
+    icomm batch [<file>] [--workers N] [--registry <file>]
+                [--full] [--stats]
     icomm help
 
 BOARDS:  nano, tx2, xavier, orin-like
@@ -225,6 +354,13 @@ APPS:    shwfs (Shack-Hartmann wavefront sensing)
 board. `tune` profiles the chosen application and prints the framework's
 communication-model verdict; `compare` measures every model as ground
 truth. `experiments` regenerates every table and figure of the paper.
+
+`serve` runs the tuning service over TCP (one JSON request per line, one
+JSON response per line; default 127.0.0.1:7311). `batch` answers a file
+(or stdin) of line-JSON requests in one shot. Both memoize device
+characterizations in a shared registry; `--registry <file>` persists it
+across runs, `--full` trades latency for the full-resolution sweep, and
+`--stats` reports cache hit rate, queue depth, and latency histograms.
 ";
 
 #[cfg(test)]
@@ -314,6 +450,66 @@ mod tests {
         assert!(board_by_name("jetson-agx-xavier").is_some());
         assert!(board_by_name("ORIN").is_some());
         assert!(board_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn serve_parses_defaults_and_flags() {
+        let c = parse(&v(&["serve"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1:7311".into(),
+                workers: 4,
+                registry: None,
+                full: false,
+                stats: false,
+            }
+        );
+        let c = parse(&v(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--registry",
+            "reg.json",
+            "--full",
+            "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                workers: 8,
+                registry: Some("reg.json".into()),
+                full: true,
+                stats: true,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_worker_counts() {
+        assert!(parse(&v(&["serve", "--workers", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--workers", "many"])).is_err());
+        assert!(parse(&v(&["serve", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn batch_parses_file_and_flags() {
+        let c = parse(&v(&["batch", "reqs.jsonl", "--stats"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Batch {
+                file: Some("reqs.jsonl".into()),
+                workers: 4,
+                registry: None,
+                full: false,
+                stats: true,
+            }
+        );
+        assert!(parse(&v(&["batch", "a.jsonl", "b.jsonl"])).is_err());
     }
 
     #[test]

@@ -8,9 +8,16 @@ use icomm_cli::run::execute;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse(&args) {
-        Ok(command) => {
-            print!("{}", execute(&command));
+    let command = match parse(&args) {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match execute(&command) {
+        Ok(output) => {
+            print!("{output}");
             ExitCode::SUCCESS
         }
         Err(err) => {

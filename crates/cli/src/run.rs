@@ -1,6 +1,8 @@
 //! Command implementations for the `icomm` CLI.
 
 use std::fmt::Write as _;
+use std::io::BufRead;
+use std::sync::Arc;
 
 use icomm_apps::{LaneApp, OrbApp, ShwfsApp};
 use icomm_bench::experiments::{self, CharacterizationSet};
@@ -8,28 +10,44 @@ use icomm_bench::{ablation, ExperimentReport};
 use icomm_core::Tuner;
 use icomm_microbench::{characterize_device, DeviceCharacterization};
 use icomm_models::{run_model, CommModelKind, Workload};
+use icomm_serve::{Server, ServiceConfig, TuneRequest, TuneResponse, TuningService};
+use icomm_soc::DeviceProfile;
 
-use crate::args::{board_by_name, Command, BOARD_NAMES, HELP};
+use crate::args::{board_by_name, Command, APP_NAMES, BOARD_NAMES, HELP};
 
 /// Builds the workload for an application name.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on unknown names (the parser validates them first).
-pub fn workload_by_name(app: &str) -> Workload {
+/// Returns a message listing the valid names.
+pub fn workload_by_name(app: &str) -> Result<Workload, String> {
     match app.to_ascii_lowercase().as_str() {
-        "shwfs" => ShwfsApp::default().workload(),
-        "orb" => OrbApp::default().workload(),
-        "lane" => LaneApp::default().workload(),
-        other => panic!("unknown app {other}"),
+        "shwfs" => Ok(ShwfsApp::default().workload()),
+        "orb" => Ok(OrbApp::default().workload()),
+        "lane" => Ok(LaneApp::default().workload()),
+        other => Err(format!(
+            "unknown app '{other}' (known: {})",
+            APP_NAMES.join(", ")
+        )),
     }
 }
 
+/// Resolves a board name or fails with the list of valid names.
+fn require_board(name: &str) -> Result<DeviceProfile, String> {
+    board_by_name(name)
+        .ok_or_else(|| format!("unknown board '{name}' (known: {})", BOARD_NAMES.join(", ")))
+}
+
 /// Executes a parsed command and returns the text to print.
-pub fn execute(command: &Command) -> String {
+///
+/// # Errors
+///
+/// Returns a user-facing message; the binary prints it and exits
+/// non-zero.
+pub fn execute(command: &Command) -> Result<String, String> {
     match command {
-        Command::Help => HELP.to_string(),
-        Command::Boards => boards(),
+        Command::Help => Ok(HELP.to_string()),
+        Command::Boards => Ok(boards()),
         Command::Characterize { board, save } => characterize(board, save.as_deref()),
         Command::Tune {
             board,
@@ -38,7 +56,27 @@ pub fn execute(command: &Command) -> String {
             characterization,
         } => tune(board, app, *current, characterization.as_deref()),
         Command::Compare { board, app } => compare(board, app),
-        Command::Experiments => run_experiments(),
+        Command::Experiments => Ok(run_experiments()),
+        Command::Serve {
+            addr,
+            workers,
+            registry,
+            full,
+            stats,
+        } => serve(addr, *workers, registry.as_deref(), *full, *stats),
+        Command::Batch {
+            file,
+            workers,
+            registry,
+            full,
+            stats,
+        } => batch(
+            file.as_deref(),
+            *workers,
+            registry.as_deref(),
+            *full,
+            *stats,
+        ),
     }
 }
 
@@ -64,8 +102,8 @@ fn boards() -> String {
     out
 }
 
-fn characterize(board: &str, save: Option<&str>) -> String {
-    let device = board_by_name(board).expect("validated by the parser");
+fn characterize(board: &str, save: Option<&str>) -> Result<String, String> {
+    let device = require_board(board)?;
     let c = characterize_device(&device);
     let mut out = format!("characterization of {}:\n", device.name);
     let _ = writeln!(
@@ -112,44 +150,37 @@ fn characterize(board: &str, save: Option<&str>) -> String {
         c.zc_sc_max_speedup
     );
     if let Some(path) = save {
-        match icomm_persist::to_string(&c) {
-            Ok(json) => match std::fs::write(path, json) {
-                Ok(()) => {
-                    let _ = writeln!(out, "saved to {path}");
-                }
-                Err(err) => {
-                    let _ = writeln!(out, "FAILED to write {path}: {err}");
-                }
-            },
-            Err(err) => {
-                let _ = writeln!(out, "FAILED to serialize: {err}");
-            }
-        }
+        let json =
+            icomm_persist::to_string(&c).map_err(|err| format!("cannot serialize: {err}"))?;
+        std::fs::write(path, json).map_err(|err| format!("cannot write {path}: {err}"))?;
+        let _ = writeln!(out, "saved to {path}");
     }
-    out
+    Ok(out)
 }
 
-fn tune(board: &str, app: &str, current: CommModelKind, characterization: Option<&str>) -> String {
-    let device = board_by_name(board).expect("validated by the parser");
-    let workload = workload_by_name(app);
+fn tune(
+    board: &str,
+    app: &str,
+    current: CommModelKind,
+    characterization: Option<&str>,
+) -> Result<String, String> {
+    let device = require_board(board)?;
+    let workload = workload_by_name(app)?;
     let tuner = match characterization {
-        Some(path) => match load_characterization(path) {
-            Ok(c) => Tuner::with_characterization(device, c),
-            Err(err) => return format!("error: {err}\n"),
-        },
+        Some(path) => Tuner::with_characterization(device, load_characterization(path)?),
         None => Tuner::new(device),
     };
     let validation = tuner.validate(&workload, current);
-    format!(
+    Ok(format!(
         "{}\n\nvalidated against ground truth: {}\n",
         validation.recommendation,
         validation.summary()
-    )
+    ))
 }
 
-fn compare(board: &str, app: &str) -> String {
-    let device = board_by_name(board).expect("validated by the parser");
-    let workload = workload_by_name(app);
+fn compare(board: &str, app: &str) -> Result<String, String> {
+    let device = require_board(board)?;
+    let workload = workload_by_name(app)?;
     let sc = run_model(CommModelKind::StandardCopy, &device, &workload);
     let mut out = format!("{} on {} (per frame):\n", workload.name, device.name);
     for kind in CommModelKind::EXTENDED {
@@ -170,7 +201,7 @@ fn compare(board: &str, app: &str) -> String {
             run.energy.as_joules() * 1e3 / run.iterations as f64,
         );
     }
-    out
+    Ok(out)
 }
 
 /// Loads a cached characterization from a JSON file.
@@ -201,6 +232,111 @@ fn run_experiments() -> String {
         .join("\n")
 }
 
+/// Builds the service configuration the `serve`/`batch` commands share.
+fn service_config(workers: usize, registry: Option<&str>, full: bool) -> ServiceConfig {
+    let base = if full {
+        ServiceConfig::default()
+    } else {
+        ServiceConfig::quick()
+    };
+    let base = base.with_workers(workers);
+    match registry {
+        Some(path) => base.with_registry_path(path.into()),
+        None => base,
+    }
+}
+
+/// `icomm serve`: run the TCP tuning service until the process is killed.
+fn serve(
+    addr: &str,
+    workers: usize,
+    registry: Option<&str>,
+    full: bool,
+    stats: bool,
+) -> Result<String, String> {
+    let service = Arc::new(TuningService::start(service_config(
+        workers, registry, full,
+    )));
+    let warm = service.registry().len();
+    let server =
+        Server::start(service, addr).map_err(|err| format!("cannot listen on {addr}: {err}"))?;
+    println!(
+        "icomm-serve listening on {} ({workers} workers, {} sweep, {} warm registry entries)",
+        server.local_addr(),
+        if full { "full" } else { "quick" },
+        warm,
+    );
+    println!("one JSON request per line, e.g.:");
+    let nc_addr = addr.replacen(':', " ", 1);
+    println!("  echo '{{\"id\": 1, \"board\": \"xavier\", \"app\": \"shwfs\"}}' | nc {nc_addr}");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(30));
+        if stats {
+            eprintln!("{}", server.service().metrics());
+        }
+    }
+}
+
+/// `icomm batch`: answer a file (or stdin) of line-JSON requests.
+fn batch(
+    file: Option<&str>,
+    workers: usize,
+    registry: Option<&str>,
+    full: bool,
+    stats: bool,
+) -> Result<String, String> {
+    let text = match file {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?
+        }
+        None => {
+            let mut buffer = String::new();
+            for line in std::io::stdin().lock().lines() {
+                let line = line.map_err(|err| format!("cannot read stdin: {err}"))?;
+                buffer.push_str(&line);
+                buffer.push('\n');
+            }
+            buffer
+        }
+    };
+    let service = TuningService::start(service_config(workers, registry, full));
+    let result = batch_text(&service, &text, stats);
+    service.shutdown()?;
+    result
+}
+
+/// Parses the request lines, runs them as one batch, and renders one
+/// response per line (sorted by id, malformed-line failures last).
+fn batch_text(service: &TuningService, text: &str, stats: bool) -> Result<String, String> {
+    let mut requests = Vec::new();
+    let mut malformed = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match icomm_persist::from_str::<TuneRequest>(line) {
+            Ok(request) => requests.push(request),
+            Err(err) => malformed.push(TuneResponse::failure(
+                0,
+                format!("line {}: malformed request: {err:?}", index + 1),
+            )),
+        }
+    }
+    let mut responses = service.submit_batch(requests).wait();
+    responses.extend(malformed);
+    let mut out = String::new();
+    for response in &responses {
+        let json = icomm_persist::to_string(response)
+            .map_err(|err| format!("cannot serialize response: {err}"))?;
+        let _ = writeln!(out, "{json}");
+    }
+    if stats {
+        let _ = writeln!(out, "--- stats ---");
+        let _ = write!(out, "{}", service.metrics());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,14 +352,32 @@ mod tests {
 
     #[test]
     fn workloads_resolve() {
-        assert!(workload_by_name("shwfs").name.contains("shwfs"));
-        assert!(workload_by_name("orb").name.contains("orb"));
-        assert!(workload_by_name("lane").name.contains("lane"));
+        assert!(workload_by_name("shwfs").unwrap().name.contains("shwfs"));
+        assert!(workload_by_name("orb").unwrap().name.contains("orb"));
+        assert!(workload_by_name("lane").unwrap().name.contains("lane"));
+    }
+
+    #[test]
+    fn unknown_app_lists_valid_names() {
+        let err = workload_by_name("quake").unwrap_err();
+        assert!(err.contains("unknown app 'quake'"), "{err}");
+        for name in APP_NAMES {
+            assert!(err.contains(name), "missing {name} in: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_board_lists_valid_names() {
+        let err = require_board("pi5").unwrap_err();
+        assert!(err.contains("unknown board 'pi5'"), "{err}");
+        for name in BOARD_NAMES {
+            assert!(err.contains(name), "missing {name} in: {err}");
+        }
     }
 
     #[test]
     fn compare_renders_all_models() {
-        let text = compare("xavier", "lane");
+        let text = compare("xavier", "lane").unwrap();
         for abbrev in ["SC", "UM", "ZC", "SC+"] {
             assert!(text.contains(abbrev), "missing {abbrev}");
         }
@@ -231,6 +385,24 @@ mod tests {
 
     #[test]
     fn execute_help() {
-        assert!(execute(&Command::Help).contains("USAGE"));
+        assert!(execute(&Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn batch_text_answers_and_reports_stats() {
+        let service = TuningService::start(icomm_serve::ServiceConfig::quick().with_workers(2));
+        let input = "\
+{\"id\": 2, \"board\": \"tx2\", \"app\": \"orb\", \"current\": \"zc\"}\n\
+{\"id\": 1, \"board\": \"tx2\", \"app\": \"shwfs\"}\n\
+not json\n";
+        let out = batch_text(&service, input, true).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        // Two responses sorted by id, then the malformed-line failure.
+        assert!(lines[0].contains("\"id\":1"), "{}", lines[0]);
+        assert!(lines[1].contains("\"id\":2"), "{}", lines[1]);
+        assert!(lines[2].contains("malformed request"), "{}", lines[2]);
+        assert!(out.contains("--- stats ---"));
+        assert!(out.contains("hit rate"));
+        service.shutdown().unwrap();
     }
 }

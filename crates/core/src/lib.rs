@@ -31,4 +31,4 @@ pub mod usage;
 
 pub use decision::{recommend, CacheZone, Recommendation};
 pub use speedup::{sc_to_zc, zc_to_sc, SpeedupEstimate};
-pub use tuner::{Tuner, TuningOutcome, Validation};
+pub use tuner::{copy_time_estimate, recommend_for_device, Tuner, TuningOutcome, Validation};

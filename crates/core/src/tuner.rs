@@ -51,6 +51,68 @@ impl Validation {
     }
 }
 
+/// Estimated per-iteration SC copy time for a workload on a device
+/// (setup plus payload over the effective copy bandwidth), used by
+/// Eqn. 4 when the application currently runs zero copy.
+///
+/// Free-function form of [`Tuner::copy_time_estimate`], usable without
+/// constructing a tuner.
+pub fn copy_time_estimate(device: &DeviceProfile, workload: &Workload) -> Picos {
+    let dram_half = device.dram.peak_bandwidth.as_bytes_per_sec() / 2;
+    let effective = Bandwidth(
+        device
+            .copy_engine
+            .bandwidth
+            .as_bytes_per_sec()
+            .min(dram_half),
+    );
+    let mut t = Picos::ZERO;
+    if workload.bytes_to_gpu.as_u64() > 0 {
+        t += device.copy_engine.setup + effective.transfer_time(workload.bytes_to_gpu);
+    }
+    if workload.bytes_from_gpu.as_u64() > 0 {
+        t += device.copy_engine.setup + effective.transfer_time(workload.bytes_from_gpu);
+    }
+    t
+}
+
+/// Profiles `workload` on `device` and runs the decision flow for an
+/// application currently implemented with `current`, against an
+/// already-measured characterization.
+///
+/// This is the re-entrant core of the framework: it borrows everything
+/// it needs, holds no state, and is safe to call concurrently from many
+/// threads against one shared [`DeviceCharacterization`] — the serving
+/// layer's job engine is built on it. [`Tuner::recommend`] is a thin
+/// wrapper over this function, so the two paths cannot diverge.
+pub fn recommend_for_device(
+    device: &DeviceProfile,
+    characterization: &DeviceCharacterization,
+    workload: &Workload,
+    current: CommModelKind,
+) -> TuningOutcome {
+    let profiler = Profiler::new(device.clone());
+    let profile = profiler.profile(workload, CommModelKind::StandardCopy);
+    let current_profile = if current == CommModelKind::StandardCopy {
+        profile.clone()
+    } else {
+        profiler.profile(workload, current)
+    };
+    let copy_estimate = copy_time_estimate(device, workload);
+    let recommendation = recommend(
+        &profile,
+        &current_profile,
+        current,
+        characterization,
+        copy_estimate,
+    );
+    TuningOutcome {
+        profile,
+        current_profile,
+        recommendation,
+    }
+}
+
 /// The tuning framework of Fig. 2, bound to one device.
 ///
 /// # Examples
@@ -120,22 +182,7 @@ impl Tuner {
     /// payload over the effective copy bandwidth), used by Eqn. 4 when the
     /// application currently runs zero copy.
     pub fn copy_time_estimate(&self, workload: &Workload) -> Picos {
-        let dram_half = self.device.dram.peak_bandwidth.as_bytes_per_sec() / 2;
-        let effective = Bandwidth(
-            self.device
-                .copy_engine
-                .bandwidth
-                .as_bytes_per_sec()
-                .min(dram_half),
-        );
-        let mut t = Picos::ZERO;
-        if workload.bytes_to_gpu.as_u64() > 0 {
-            t += self.device.copy_engine.setup + effective.transfer_time(workload.bytes_to_gpu);
-        }
-        if workload.bytes_from_gpu.as_u64() > 0 {
-            t += self.device.copy_engine.setup + effective.transfer_time(workload.bytes_from_gpu);
-        }
-        t
+        copy_time_estimate(&self.device, workload)
     }
 
     /// Profiles `workload` and runs the decision flow for an application
@@ -146,26 +193,7 @@ impl Tuner {
     /// Fig. 2); the runtime decomposition for the speedup estimators comes
     /// from a run under `current`.
     pub fn recommend(&self, workload: &Workload, current: CommModelKind) -> TuningOutcome {
-        let profiler = Profiler::new(self.device.clone());
-        let profile = profiler.profile(workload, CommModelKind::StandardCopy);
-        let current_profile = if current == CommModelKind::StandardCopy {
-            profile.clone()
-        } else {
-            profiler.profile(workload, current)
-        };
-        let copy_estimate = self.copy_time_estimate(workload);
-        let recommendation = recommend(
-            &profile,
-            &current_profile,
-            current,
-            &self.characterization,
-            copy_estimate,
-        );
-        TuningOutcome {
-            profile,
-            current_profile,
-            recommendation,
-        }
+        recommend_for_device(&self.device, &self.characterization, workload, current)
     }
 
     /// Ground truth: runs the workload under every model on fresh SoCs.
@@ -215,24 +243,8 @@ mod tests {
     use icomm_soc::units::ByteSize;
     use icomm_trace::Pattern;
 
-    fn characterization(device: &DeviceProfile) -> DeviceCharacterization {
-        // Keep tests fast: trimmed micro-benchmark sweep.
-        use icomm_microbench::mb2::{Mb2Config, ThresholdSweep};
-        use icomm_microbench::mb3::{Mb3Config, OverlapProbe};
-        use icomm_microbench::PeakCacheThroughput;
-        let mb1 = PeakCacheThroughput::new().run(device);
-        let mb2 = ThresholdSweep::with_config(Mb2Config {
-            denominators: vec![4096, 512, 64, 32, 24, 16, 8, 2],
-            ..Mb2Config::default()
-        })
-        .run(device);
-        let mb3 = OverlapProbe::with_config(Mb3Config {
-            array_bytes: 1 << 25,
-            ..Mb3Config::default()
-        })
-        .run(device);
-        DeviceCharacterization::from_results(&mb1, &mb2, &mb3)
-    }
+    // Keep tests fast: trimmed micro-benchmark sweep.
+    use icomm_microbench::quick_characterize_device as characterization;
 
     fn streaming_workload() -> Workload {
         // Compute-dominated kernel over a modest linear stream, no reuse:
@@ -330,6 +342,29 @@ mod tests {
         let small = tuner.copy_time_estimate(&cache_hungry_workload());
         let big = tuner.copy_time_estimate(&streaming_workload());
         assert!(big > small);
+    }
+
+    #[test]
+    fn free_function_matches_tuner_method() {
+        let device = DeviceProfile::jetson_tx2();
+        let c = characterization(&device);
+        let tuner = Tuner::with_characterization(device.clone(), c.clone());
+        let workload = cache_hungry_workload();
+        let via_method = tuner.recommend(&workload, CommModelKind::ZeroCopy);
+        let via_fn = recommend_for_device(&device, &c, &workload, CommModelKind::ZeroCopy);
+        assert_eq!(via_method, via_fn);
+    }
+
+    #[test]
+    fn tuning_types_are_send_sync() {
+        // The serving layer shares characterizations and tuners across
+        // worker threads; regression-proof that with static asserts.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tuner>();
+        assert_send_sync::<DeviceCharacterization>();
+        assert_send_sync::<TuningOutcome>();
+        assert_send_sync::<DeviceProfile>();
+        assert_send_sync::<Workload>();
     }
 
     #[test]

@@ -90,27 +90,36 @@ pub fn characterize_device(device: &DeviceProfile) -> DeviceCharacterization {
     DeviceCharacterization::from_results(&mb1, &mb2, &mb3)
 }
 
+/// Runs a trimmed micro-benchmark sweep: the same three benchmarks with a
+/// coarser MB2 denominator grid and a smaller MB3 array.
+///
+/// Threshold and speedup numbers land within a few percent of the full
+/// sweep — close enough for every decision the framework makes on the
+/// built-in boards — at a fraction of the runtime. The serving layer and
+/// the test suites use this; `characterize` in the CLI keeps the full
+/// sweep.
+pub fn quick_characterize_device(device: &DeviceProfile) -> DeviceCharacterization {
+    use crate::mb2::Mb2Config;
+    use crate::mb3::Mb3Config;
+    let mb1 = PeakCacheThroughput::new().run(device);
+    let mb2 = ThresholdSweep::with_config(Mb2Config {
+        denominators: vec![4096, 512, 64, 32, 24, 16, 8, 2],
+        ..Mb2Config::default()
+    })
+    .run(device);
+    let mb3 = OverlapProbe::with_config(Mb3Config {
+        array_bytes: 1 << 25,
+        ..Mb3Config::default()
+    })
+    .run(device);
+    DeviceCharacterization::from_results(&mb1, &mb2, &mb3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mb2::Mb2Config;
-    use crate::mb3::Mb3Config;
 
-    /// A trimmed characterization to keep tests fast.
-    pub fn quick(device: &DeviceProfile) -> DeviceCharacterization {
-        let mb1 = PeakCacheThroughput::new().run(device);
-        let mb2 = ThresholdSweep::with_config(Mb2Config {
-            denominators: vec![4096, 512, 64, 32, 24, 16, 8, 2],
-            ..Mb2Config::default()
-        })
-        .run(device);
-        let mb3 = OverlapProbe::with_config(Mb3Config {
-            array_bytes: 1 << 25,
-            ..Mb3Config::default()
-        })
-        .run(device);
-        DeviceCharacterization::from_results(&mb1, &mb2, &mb3)
-    }
+    use quick_characterize_device as quick;
 
     #[test]
     fn tx2_characterization_shape() {

@@ -1,0 +1,85 @@
+//! Stable identity for device profiles.
+//!
+//! The serving layer memoizes [`DeviceCharacterization`]s per device; the
+//! key must depend on every field of the [`DeviceProfile`] (two boards
+//! differing only in, say, DRAM bandwidth must characterize separately)
+//! and be cheap to compute and store. [`fingerprint`] hashes the
+//! profile's canonical serialized form with FNV-1a into a [`DeviceKey`].
+//!
+//! [`DeviceCharacterization`]: crate::DeviceCharacterization
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use icomm_soc::DeviceProfile;
+
+/// A 64-bit content fingerprint of a [`DeviceProfile`].
+///
+/// Equal profiles always map to equal keys; distinct profiles collide
+/// with probability ~2⁻⁶⁴ per pair, negligible against the handful of
+/// boards a registry holds. Keys are stable within one build of the
+/// crate; a persisted registry whose keys no longer match (because the
+/// profile schema changed) simply re-characterizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceKey(pub u64);
+
+impl fmt::Display for DeviceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Computes the [`DeviceKey`] of a profile.
+pub fn fingerprint(device: &DeviceProfile) -> DeviceKey {
+    // The Debug form includes every field (the struct derives Debug
+    // exhaustively), giving a canonical byte string without a serializer
+    // dependency.
+    let canonical = format!("{device:?}");
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in canonical.as_bytes() {
+        hash ^= *byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    DeviceKey(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_profiles_equal_keys() {
+        let a = fingerprint(&DeviceProfile::jetson_tx2());
+        let b = fingerprint(&DeviceProfile::jetson_tx2());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builtin_boards_all_distinct() {
+        let keys = [
+            fingerprint(&DeviceProfile::jetson_nano()),
+            fingerprint(&DeviceProfile::jetson_tx2()),
+            fingerprint(&DeviceProfile::jetson_agx_xavier()),
+            fingerprint(&DeviceProfile::orin_like()),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn any_field_change_changes_key() {
+        let mut device = DeviceProfile::jetson_nano();
+        let base = fingerprint(&device);
+        device.name.push('!');
+        assert_ne!(base, fingerprint(&device));
+    }
+
+    #[test]
+    fn key_displays_as_hex() {
+        assert_eq!(DeviceKey(0xab).to_string(), "00000000000000ab");
+    }
+}

@@ -20,11 +20,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod characterization;
+pub mod fingerprint;
 pub mod mb1;
 pub mod mb2;
 pub mod mb3;
 
-pub use characterization::{characterize_device, DeviceCharacterization};
+pub use characterization::{
+    characterize_device, quick_characterize_device, DeviceCharacterization,
+};
+pub use fingerprint::{fingerprint, DeviceKey};
 pub use mb1::PeakCacheThroughput;
 pub use mb2::ThresholdSweep;
 pub use mb3::OverlapProbe;

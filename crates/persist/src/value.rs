@@ -397,10 +397,12 @@ mod tests {
     #[test]
     fn arrays_and_objects() {
         let v = parse(r#"[1, "two", null, {"a": true}]"#).unwrap();
-        let Value::Array(items) = v else { panic!() };
+        let Value::Array(items) = &v else {
+            panic!("expected Value::Array, got {v:?}")
+        };
         assert_eq!(items.len(), 4);
         let Value::Object(map) = &items[3] else {
-            panic!()
+            panic!("expected Value::Object at index 3, got {:?}", items[3])
         };
         assert_eq!(map.get("a"), Some(&Value::Bool(true)));
     }
@@ -409,7 +411,9 @@ mod tests {
     fn nested_structures() {
         let text = r#"{"outer": {"inner": [[1,2],[3,4]], "x": -1.5e-3}}"#;
         let v = parse(text).unwrap();
-        let Value::Object(map) = v else { panic!() };
+        let Value::Object(map) = &v else {
+            panic!("expected Value::Object, got {v:?}")
+        };
         assert!(map.contains_key("outer"));
     }
 

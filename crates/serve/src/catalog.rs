@@ -1,0 +1,96 @@
+//! Name resolution for the serving protocol: boards, applications, and
+//! communication models addressed by the strings clients send.
+
+use icomm_apps::{LaneApp, OrbApp, ShwfsApp};
+use icomm_models::{CommModelKind, Workload};
+use icomm_soc::DeviceProfile;
+
+/// The board names the service accepts (canonical forms).
+pub const BOARD_NAMES: [&str; 4] = ["nano", "tx2", "xavier", "orin-like"];
+
+/// The application names the service accepts.
+pub const APP_NAMES: [&str; 3] = ["shwfs", "orb", "lane"];
+
+/// The communication-model names the service accepts.
+pub const MODEL_NAMES: [&str; 4] = ["sc", "um", "zc", "sc+"];
+
+/// Resolves a board name (case-insensitive, same aliases as the CLI).
+///
+/// # Errors
+///
+/// Returns a message listing the valid names.
+pub fn board_by_name(name: &str) -> Result<DeviceProfile, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "nano" | "jetson-nano" => Ok(DeviceProfile::jetson_nano()),
+        "tx2" | "jetson-tx2" => Ok(DeviceProfile::jetson_tx2()),
+        "xavier" | "agx-xavier" | "jetson-agx-xavier" => Ok(DeviceProfile::jetson_agx_xavier()),
+        "orin" | "orin-like" => Ok(DeviceProfile::orin_like()),
+        other => Err(format!(
+            "unknown board '{other}' (known: {})",
+            BOARD_NAMES.join(", ")
+        )),
+    }
+}
+
+/// Builds the workload for an application name.
+///
+/// # Errors
+///
+/// Returns a message listing the valid names.
+pub fn workload_by_name(app: &str) -> Result<Workload, String> {
+    match app.to_ascii_lowercase().as_str() {
+        "shwfs" => Ok(ShwfsApp::default().workload()),
+        "orb" => Ok(OrbApp::default().workload()),
+        "lane" => Ok(LaneApp::default().workload()),
+        other => Err(format!(
+            "unknown app '{other}' (known: {})",
+            APP_NAMES.join(", ")
+        )),
+    }
+}
+
+/// Resolves a communication-model name.
+///
+/// # Errors
+///
+/// Returns a message listing the valid names.
+pub fn model_by_name(name: &str) -> Result<CommModelKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "sc" | "standard-copy" => Ok(CommModelKind::StandardCopy),
+        "um" | "unified-memory" => Ok(CommModelKind::UnifiedMemory),
+        "zc" | "zero-copy" => Ok(CommModelKind::ZeroCopy),
+        "sc+" | "sc-async" | "double-buffered" => Ok(CommModelKind::StandardCopyAsync),
+        other => Err(format!(
+            "unknown model '{other}' (known: {})",
+            MODEL_NAMES.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_names_resolve() {
+        for name in BOARD_NAMES {
+            assert!(board_by_name(name).is_ok(), "board {name}");
+        }
+        for name in APP_NAMES {
+            assert!(workload_by_name(name).is_ok(), "app {name}");
+        }
+        for name in MODEL_NAMES {
+            assert!(model_by_name(name).is_ok(), "model {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_valid_ones() {
+        let err = board_by_name("pi5").unwrap_err();
+        assert!(err.contains("nano") && err.contains("orin-like"), "{err}");
+        let err = workload_by_name("doom").unwrap_err();
+        assert!(err.contains("shwfs") && err.contains("lane"), "{err}");
+        let err = model_by_name("warp").unwrap_err();
+        assert!(err.contains("sc") && err.contains("zc"), "{err}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Service counters and latency histograms.
+//!
+//! Everything is lock-free (`AtomicU64`) so the hot path never contends on
+//! the metrics. Latencies land in log2 buckets — the resolution a serving
+//! dashboard needs, at the cost of one `fetch_add`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 latency buckets: bucket `i` covers `[2^i, 2^(i+1))` µs,
+/// with the last bucket catching everything slower.
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// Log2-bucketed latency histogram (microsecond samples).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    total_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        LatencyHistogram {
+            buckets: [ZERO; LATENCY_BUCKETS],
+            total_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, us: u64) {
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            total_us: self.total_us.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample count per log2 bucket.
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Sum of all samples, microseconds.
+    pub total_us: u64,
+    /// Number of samples.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (0.0–1.0) from the bucket layout: returns the
+    /// upper bound of the bucket containing the q-th sample.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+}
+
+/// Aggregate counters for the service.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted (enqueued).
+    pub requests: AtomicU64,
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Requests that failed (bad names, timeouts, panics).
+    pub failed: AtomicU64,
+    /// Characterization lookups answered from the registry.
+    pub cache_hits: AtomicU64,
+    /// Characterization lookups that had to run the micro-benchmarks.
+    pub cache_misses: AtomicU64,
+    /// Characterization runs actually executed (single-flight means this
+    /// can be below `cache_misses` under contention).
+    pub characterizations: AtomicU64,
+    /// Jobs re-enqueued after a failure.
+    pub retries: AtomicU64,
+    /// Jobs abandoned past their deadline.
+    pub timeouts: AtomicU64,
+    /// Jobs currently queued or running.
+    pub queue_depth: AtomicU64,
+    /// Latency of the characterization stage, µs.
+    pub characterize_latency: LatencyHistogram,
+    /// Latency of the profile+recommend stage, µs.
+    pub recommend_latency: LatencyHistogram,
+    /// End-to-end request latency, µs.
+    pub total_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub const fn new() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            characterizations: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            characterize_latency: LatencyHistogram::new(),
+            recommend_latency: LatencyHistogram::new(),
+            total_latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            characterizations: self.characterizations.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            characterize_latency: self.characterize_latency.snapshot(),
+            recommend_latency: self.recommend_latency.snapshot(),
+            total_latency: self.total_latency.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted.
+    pub requests: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests failed.
+    pub failed: u64,
+    /// Registry cache hits.
+    pub cache_hits: u64,
+    /// Registry cache misses.
+    pub cache_misses: u64,
+    /// Characterization runs executed.
+    pub characterizations: u64,
+    /// Jobs retried.
+    pub retries: u64,
+    /// Jobs timed out.
+    pub timeouts: u64,
+    /// Jobs queued or running at snapshot time.
+    pub queue_depth: u64,
+    /// Characterization-stage latency.
+    pub characterize_latency: HistogramSnapshot,
+    /// Recommendation-stage latency.
+    pub recommend_latency: HistogramSnapshot,
+    /// End-to-end latency.
+    pub total_latency: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Registry hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests          {:>8}  (completed {}, failed {})",
+            self.requests, self.completed, self.failed
+        )?;
+        writeln!(
+            f,
+            "registry          {:>7.1}% hit rate  ({} hits / {} misses, {} characterization runs)",
+            self.hit_rate() * 100.0,
+            self.cache_hits,
+            self.cache_misses,
+            self.characterizations
+        )?;
+        writeln!(
+            f,
+            "queue             {:>8} in flight  ({} retries, {} timeouts)",
+            self.queue_depth, self.retries, self.timeouts
+        )?;
+        for (name, h) in [
+            ("characterize", &self.characterize_latency),
+            ("recommend", &self.recommend_latency),
+            ("total", &self.total_latency),
+        ] {
+            writeln!(
+                f,
+                "latency/{name:<12} mean {:>9.0} us   p50 {:>8} us   p99 {:>8} us   ({} samples)",
+                h.mean_us(),
+                h.quantile_us(0.50),
+                h.quantile_us(0.99),
+                h.count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = LatencyHistogram::new();
+        h.record(1); // bucket 0
+        h.record(3); // bucket 1
+        h.record(1024); // bucket 10
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_us, 1028);
+    }
+
+    #[test]
+    fn zero_sample_lands_in_first_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.snapshot().buckets[0], 1);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 3: [8, 16)
+        }
+        h.record(100_000); // bucket 16
+        let s = h.snapshot();
+        assert_eq!(s.quantile_us(0.5), 16);
+        assert_eq!(s.quantile_us(1.0), 1 << 17);
+    }
+
+    #[test]
+    fn hit_rate_counts_only_lookups() {
+        let m = Metrics::new();
+        m.cache_hits.store(96, Ordering::Relaxed);
+        m.cache_misses.store(4, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert!((s.hit_rate() - 0.96).abs() < 1e-12);
+        assert!(s.to_string().contains("96.0% hit rate"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Wire types for the tuning service.
+//!
+//! One request or response per line, serialized as JSON. The same structs
+//! back the in-process [`crate::TuningService`] API, so a TCP client and an
+//! embedded caller see identical semantics.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_core::TuningOutcome;
+
+/// One tuning request: "what communication model should `app` use on
+/// `board`?"
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneRequest {
+    /// Client-chosen id echoed back in the response; batches are matched
+    /// by it.
+    pub id: u64,
+    /// Board name (`nano`, `tx2`, `xavier`, `orin-like`, or an alias).
+    pub board: String,
+    /// Application name (`shwfs`, `orb`, `lane`).
+    pub app: String,
+    /// Communication model the app currently uses (`sc`, `um`, `zc`,
+    /// `sc+`). Defaults to `sc` when omitted.
+    pub current: Option<String>,
+}
+
+impl TuneRequest {
+    /// Convenience constructor with the default current model.
+    pub fn new(id: u64, board: &str, app: &str) -> Self {
+        TuneRequest {
+            id,
+            board: board.to_string(),
+            app: app.to_string(),
+            current: None,
+        }
+    }
+
+    /// Sets the current communication model.
+    #[must_use]
+    pub fn with_current(mut self, model: &str) -> Self {
+        self.current = Some(model.to_string());
+        self
+    }
+}
+
+/// The service's answer to one [`TuneRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Whether the request was served; when `false`, `error` explains why
+    /// and the recommendation fields are absent.
+    pub ok: bool,
+    /// Error message for failed requests.
+    pub error: Option<String>,
+    /// Echo of the request's board name.
+    pub board: Option<String>,
+    /// Echo of the application name.
+    pub app: Option<String>,
+    /// Model the application currently uses (abbreviation, e.g. `ZC`).
+    pub current: Option<String>,
+    /// Model the framework recommends (abbreviation).
+    pub recommended: Option<String>,
+    /// Whether a model switch is suggested.
+    pub switch_suggested: Option<bool>,
+    /// Predicted speedup of switching, when a switch is suggested.
+    pub estimated_speedup: Option<f64>,
+    /// Human-readable explanation of the verdict.
+    pub rationale: Option<String>,
+    /// Whether the device characterization was served from the registry
+    /// cache.
+    pub cache_hit: Option<bool>,
+    /// End-to-end service latency for this request, microseconds.
+    pub latency_us: Option<u64>,
+}
+
+impl TuneResponse {
+    /// Builds a failure response.
+    pub fn failure(id: u64, error: String) -> Self {
+        TuneResponse {
+            id,
+            ok: false,
+            error: Some(error),
+            board: None,
+            app: None,
+            current: None,
+            recommended: None,
+            switch_suggested: None,
+            estimated_speedup: None,
+            rationale: None,
+            cache_hit: None,
+            latency_us: None,
+        }
+    }
+
+    /// Builds a success response from a tuning outcome.
+    pub fn success(
+        id: u64,
+        board: &str,
+        app: &str,
+        outcome: &TuningOutcome,
+        cache_hit: bool,
+        latency_us: u64,
+    ) -> Self {
+        let rec = &outcome.recommendation;
+        TuneResponse {
+            id,
+            ok: true,
+            error: None,
+            board: Some(board.to_string()),
+            app: Some(app.to_string()),
+            current: Some(rec.current.abbrev().to_string()),
+            recommended: Some(rec.recommended.abbrev().to_string()),
+            switch_suggested: Some(rec.suggests_switch()),
+            estimated_speedup: rec.estimated_speedup.as_ref().map(|s| s.estimated),
+            rationale: Some(rec.rationale.clone()),
+            cache_hit: Some(cache_hit),
+            latency_us: Some(latency_us),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let req = TuneRequest::new(7, "tx2", "orb").with_current("zc");
+        let line = icomm_persist::to_string(&req).unwrap();
+        let back: TuneRequest = icomm_persist::from_str(&line).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn current_defaults_to_absent_when_omitted() {
+        let back: TuneRequest =
+            icomm_persist::from_str(r#"{"id": 1, "board": "nano", "app": "shwfs"}"#).unwrap();
+        assert_eq!(back.current, None);
+        assert_eq!(back.board, "nano");
+    }
+
+    #[test]
+    fn failure_response_round_trips() {
+        let resp = TuneResponse::failure(3, "unknown board 'pi5'".to_string());
+        let line = icomm_persist::to_string(&resp).unwrap();
+        let back: TuneResponse = icomm_persist::from_str(&line).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error.as_deref(), Some("unknown board 'pi5'"));
+        assert_eq!(back.recommended, None);
+    }
+}

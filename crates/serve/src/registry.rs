@@ -1,0 +1,369 @@
+//! Sharded, concurrent characterization registry.
+//!
+//! Characterizing a device is the expensive step of the framework — three
+//! micro-benchmark sweeps — so the serving layer must run it **at most once
+//! per device** no matter how many requests arrive concurrently. The
+//! registry delivers that with two mechanisms:
+//!
+//! - **Sharding**: entries are spread over independent shards keyed by the
+//!   [`DeviceKey`] fingerprint, so readers for different devices never
+//!   contend on one lock.
+//! - **Single-flight**: the first thread to miss on a key claims an
+//!   in-flight slot and runs the characterization; every other thread that
+//!   misses the same key blocks on the shard condvar and is handed the
+//!   finished `Arc` instead of duplicating the work.
+//!
+//! The whole registry serializes to a [`RegistrySnapshot`] (via
+//! `icomm-persist`) so a service restart warm-starts from disk instead of
+//! re-running the sweeps.
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use icomm_microbench::{fingerprint, DeviceCharacterization, DeviceKey};
+use icomm_soc::DeviceProfile;
+
+/// Default number of shards.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// How a [`Registry::get_or_characterize`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The characterization was already cached.
+    Hit,
+    /// This call ran the characterization.
+    Computed,
+    /// Another thread was already characterizing this device; this call
+    /// blocked and received its result.
+    Coalesced,
+}
+
+impl LookupOutcome {
+    /// Whether the call was served without running a characterization of
+    /// its own (cache hit or coalesced onto another thread's run).
+    pub fn served_from_cache(self) -> bool {
+        self != LookupOutcome::Computed
+    }
+}
+
+struct Shard {
+    cache: RwLock<HashMap<u64, Arc<DeviceCharacterization>>>,
+    inflight: Mutex<HashSet<u64>>,
+    cond: Condvar,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            cache: RwLock::new(HashMap::new()),
+            inflight: Mutex::new(HashSet::new()),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+/// Removes the in-flight claim when the owning computation finishes — or
+/// panics — so waiters are never stranded.
+struct InflightClaim<'a> {
+    shard: &'a Shard,
+    key: u64,
+}
+
+impl Drop for InflightClaim<'_> {
+    fn drop(&mut self) {
+        self.shard.inflight.lock().remove(&self.key);
+        self.shard.cond.notify_all();
+    }
+}
+
+/// Sharded single-flight cache of [`DeviceCharacterization`]s.
+pub struct Registry {
+    shards: Vec<Shard>,
+    runs: AtomicU64,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("shards", &self.shards.len())
+            .field("entries", &self.len())
+            .field("runs", &self.characterization_runs())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new(DEFAULT_SHARDS)
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with `shards` independent shards (at
+    /// least one).
+    pub fn new(shards: usize) -> Self {
+        Registry {
+            shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: DeviceKey) -> &Shard {
+        &self.shards[(key.0 as usize) % self.shards.len()]
+    }
+
+    /// Number of cached characterizations.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.read().len()).sum()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many characterizations this registry has executed (not counting
+    /// entries inserted directly or loaded from a snapshot).
+    pub fn characterization_runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Cached characterization for `device`, if present.
+    pub fn get(&self, device: &DeviceProfile) -> Option<Arc<DeviceCharacterization>> {
+        let key = fingerprint(device);
+        self.shard_for(key).cache.read().get(&key.0).cloned()
+    }
+
+    /// Inserts a characterization directly (used by warm starts and
+    /// tests). Returns the previous entry, if any.
+    pub fn insert(
+        &self,
+        device: &DeviceProfile,
+        characterization: DeviceCharacterization,
+    ) -> Option<Arc<DeviceCharacterization>> {
+        let key = fingerprint(device);
+        self.shard_for(key)
+            .cache
+            .write()
+            .insert(key.0, Arc::new(characterization))
+    }
+
+    /// Returns the characterization for `device`, running `characterize`
+    /// at most once per device across all threads.
+    ///
+    /// Concurrent callers for the same device coalesce: one runs the
+    /// closure, the rest block on the shard condvar and share the result.
+    /// If the running closure panics, the claim is released and a waiter
+    /// takes over, so a poisoned attempt never wedges the key.
+    pub fn get_or_characterize<F>(
+        &self,
+        device: &DeviceProfile,
+        characterize: F,
+    ) -> (Arc<DeviceCharacterization>, LookupOutcome)
+    where
+        F: FnOnce(&DeviceProfile) -> DeviceCharacterization,
+    {
+        let key = fingerprint(device);
+        let shard = self.shard_for(key);
+
+        if let Some(hit) = shard.cache.read().get(&key.0) {
+            return (hit.clone(), LookupOutcome::Hit);
+        }
+
+        let mut waited = false;
+        loop {
+            let mut inflight = shard.inflight.lock();
+            if let Some(hit) = shard.cache.read().get(&key.0) {
+                let outcome = if waited {
+                    LookupOutcome::Coalesced
+                } else {
+                    LookupOutcome::Hit
+                };
+                return (hit.clone(), outcome);
+            }
+            if inflight.insert(key.0) {
+                drop(inflight);
+                let claim = InflightClaim { shard, key: key.0 };
+                let characterization = Arc::new(characterize(device));
+                self.runs.fetch_add(1, Ordering::Relaxed);
+                shard.cache.write().insert(key.0, characterization.clone());
+                drop(claim);
+                return (characterization, LookupOutcome::Computed);
+            }
+            // Someone else is characterizing this device: wait for them to
+            // either publish the result or abandon the claim.
+            shard.cond.wait(&mut inflight);
+            waited = true;
+        }
+    }
+
+    /// Serializable copy of every cached entry.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut entries: Vec<RegistryEntry> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.cache
+                    .read()
+                    .iter()
+                    .map(|(k, v)| RegistryEntry {
+                        key: DeviceKey(*k),
+                        characterization: (**v).clone(),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by_key(|e| e.key);
+        RegistrySnapshot { entries }
+    }
+
+    /// Merges a snapshot into the registry (existing entries win).
+    pub fn load_snapshot(&self, snapshot: RegistrySnapshot) {
+        for entry in snapshot.entries {
+            let shard = self.shard_for(entry.key);
+            shard
+                .cache
+                .write()
+                .entry(entry.key.0)
+                .or_insert_with(|| Arc::new(entry.characterization));
+        }
+    }
+
+    /// Persists the registry to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on serialization or I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let json = icomm_persist::to_string(&self.snapshot())
+            .map_err(|e| format!("serializing registry: {e:?}"))?;
+        std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
+    }
+
+    /// Loads a registry snapshot from `path` and merges it in. Returns the
+    /// number of entries in the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O or parse failure.
+    pub fn load(&self, path: &Path) -> Result<usize, String> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let snapshot: RegistrySnapshot = icomm_persist::from_str(&json)
+            .map_err(|e| format!("parsing {}: {e:?}", path.display()))?;
+        let n = snapshot.entries.len();
+        self.load_snapshot(snapshot);
+        Ok(n)
+    }
+}
+
+/// One persisted registry entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistryEntry {
+    /// Device fingerprint the entry is keyed by.
+    pub key: DeviceKey,
+    /// The cached characterization.
+    pub characterization: DeviceCharacterization,
+}
+
+/// Serializable point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// All cached entries, sorted by key.
+    pub entries: Vec<RegistryEntry>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_microbench::quick_characterize_device;
+
+    fn sample(device: &DeviceProfile) -> DeviceCharacterization {
+        DeviceCharacterization {
+            device: device.name.clone(),
+            gpu_cache_max_throughput: 1.0,
+            gpu_zc_throughput: 1.0,
+            gpu_um_throughput: 1.0,
+            gpu_cache_threshold_pct: 5.0,
+            gpu_cache_zone2_pct: None,
+            cpu_cache_threshold_pct: 100.0,
+            sc_zc_max_speedup: 1.0,
+            zc_sc_max_speedup: 1.0,
+        }
+    }
+
+    #[test]
+    fn first_lookup_computes_second_hits() {
+        let registry = Registry::default();
+        let tx2 = DeviceProfile::jetson_tx2();
+        let (_, outcome) = registry.get_or_characterize(&tx2, sample);
+        assert_eq!(outcome, LookupOutcome::Computed);
+        let (_, outcome) = registry.get_or_characterize(&tx2, sample);
+        assert_eq!(outcome, LookupOutcome::Hit);
+        assert_eq!(registry.characterization_runs(), 1);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn distinct_devices_get_distinct_entries() {
+        let registry = Registry::new(2);
+        for device in [
+            DeviceProfile::jetson_nano(),
+            DeviceProfile::jetson_tx2(),
+            DeviceProfile::jetson_agx_xavier(),
+            DeviceProfile::orin_like(),
+        ] {
+            registry.get_or_characterize(&device, sample);
+        }
+        assert_eq!(registry.len(), 4);
+        assert_eq!(registry.characterization_runs(), 4);
+    }
+
+    #[test]
+    fn panicking_characterization_releases_the_claim() {
+        let registry = Registry::default();
+        let nano = DeviceProfile::jetson_nano();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            registry.get_or_characterize(&nano, |_| panic!("sweep exploded"));
+        }));
+        assert!(attempt.is_err());
+        // The key is not wedged: a retry succeeds.
+        let (_, outcome) = registry.get_or_characterize(&nano, sample);
+        assert_eq!(outcome, LookupOutcome::Computed);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let registry = Registry::default();
+        let tx2 = DeviceProfile::jetson_tx2();
+        registry.insert(&tx2, quick_characterize_device(&tx2));
+        let json = icomm_persist::to_string(&registry.snapshot()).unwrap();
+        let back: RegistrySnapshot = icomm_persist::from_str(&json).unwrap();
+        let restored = Registry::default();
+        restored.load_snapshot(back);
+        assert_eq!(
+            registry.get(&tx2).unwrap().as_ref(),
+            restored.get(&tx2).unwrap().as_ref()
+        );
+        // Loaded entries do not count as runs.
+        assert_eq!(restored.characterization_runs(), 0);
+    }
+
+    #[test]
+    fn load_snapshot_keeps_existing_entries() {
+        let registry = Registry::default();
+        let tx2 = DeviceProfile::jetson_tx2();
+        let mut ours = sample(&tx2);
+        ours.gpu_cache_max_throughput = 42.0;
+        registry.insert(&tx2, ours.clone());
+        let other = Registry::default();
+        other.insert(&tx2, sample(&tx2));
+        registry.load_snapshot(other.snapshot());
+        assert_eq!(registry.get(&tx2).unwrap().gpu_cache_max_throughput, 42.0);
+    }
+}

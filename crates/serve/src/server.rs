@@ -1,0 +1,232 @@
+//! Line-delimited JSON over TCP.
+//!
+//! One [`TuneRequest`] per line in, one [`TuneResponse`] per line out, in
+//! request order per connection. The accept loop runs on its own thread
+//! and each connection gets a handler thread; all of them ride the shared
+//! [`TuningService`] worker pool, so concurrent connections coalesce onto
+//! the same single-flight characterizations.
+//!
+//! Try it with `nc` while `icomm serve` runs:
+//!
+//! ```text
+//! $ echo '{"id": 1, "board": "xavier", "app": "shwfs"}' | nc 127.0.0.1 7311
+//! {"id": 1, "ok": true, ..., "recommended": "ZC", ...}
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::protocol::{TuneRequest, TuneResponse};
+use crate::service::TuningService;
+
+/// Open connections: a writable clone of each stream (so `stop` can
+/// unblock the reader) paired with its handler thread.
+type ConnectionList = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// Running TCP front end over a [`TuningService`].
+pub struct Server {
+    local_addr: SocketAddr,
+    service: Arc<TuningService>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    connections: ConnectionList,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7311`, or port `0` for an ephemeral
+    /// port) and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(service: Arc<TuningService>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: ConnectionList = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handle = {
+            let service = service.clone();
+            let shutdown = shutdown.clone();
+            let connections = connections.clone();
+            std::thread::Builder::new()
+                .name("icomm-serve-accept".to_string())
+                .spawn(move || {
+                    for incoming in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = incoming else { continue };
+                        let Ok(peer) = stream.try_clone() else {
+                            continue;
+                        };
+                        let service = service.clone();
+                        let handle = std::thread::Builder::new()
+                            .name("icomm-serve-conn".to_string())
+                            .spawn(move || handle_connection(stream, &service))
+                            .expect("spawn connection thread");
+                        connections.lock().push((peer, handle));
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            local_addr,
+            service,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            connections,
+        })
+    }
+
+    /// Address the server is listening on (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service behind the server.
+    pub fn service(&self) -> &Arc<TuningService> {
+        &self.service
+    }
+
+    /// Stops accepting, closes every open connection, joins the handler
+    /// threads, and hands the service back (e.g. to drain and persist it
+    /// via [`TuningService::shutdown`]).
+    pub fn stop(mut self) -> Arc<TuningService> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        let mut connections = self.connections.lock();
+        for (stream, _) in connections.iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for (_, handle) in connections.drain(..) {
+            let _ = handle.join();
+        }
+        drop(connections);
+        self.service.clone()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.local_addr);
+            if let Some(handle) = self.accept_handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Reads requests line by line and answers each on the same connection.
+fn handle_connection(stream: TcpStream, service: &TuningService) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match icomm_persist::from_str::<TuneRequest>(&line) {
+            Ok(request) => service.handle(request),
+            Err(err) => TuneResponse::failure(0, format!("malformed request: {err:?}")),
+        };
+        let Ok(json) = icomm_persist::to_string(&response) else {
+            break;
+        };
+        if writeln!(writer, "{json}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    fn start_quick_server() -> Server {
+        let service = Arc::new(TuningService::start(ServiceConfig::quick().with_workers(2)));
+        Server::start(service, "127.0.0.1:0").expect("bind ephemeral port")
+    }
+
+    fn round_trip(addr: SocketAddr, lines: &[String]) -> Vec<TuneResponse> {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for line in lines {
+            writeln!(stream, "{line}").unwrap();
+        }
+        stream.flush().unwrap();
+        let reader = BufReader::new(stream);
+        reader
+            .lines()
+            .take(lines.len())
+            .map(|l| icomm_persist::from_str(&l.unwrap()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn tcp_request_round_trips() {
+        let server = start_quick_server();
+        let request = icomm_persist::to_string(&TuneRequest::new(5, "xavier", "shwfs")).unwrap();
+        let responses = round_trip(server.local_addr(), &[request]);
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].ok);
+        assert_eq!(responses[0].id, 5);
+        assert_eq!(responses[0].recommended.as_deref(), Some("ZC"));
+        let service = server.stop();
+        Arc::try_unwrap(service).unwrap().shutdown().unwrap();
+    }
+
+    #[test]
+    fn malformed_line_gets_an_error_response() {
+        let server = start_quick_server();
+        let responses = round_trip(server.local_addr(), &["{not json".to_string()]);
+        assert!(!responses[0].ok);
+        assert!(responses[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("malformed request"));
+        server.stop();
+    }
+
+    #[test]
+    fn multiple_requests_on_one_connection_answer_in_order() {
+        let server = start_quick_server();
+        let lines: Vec<String> = (0..4)
+            .map(|i| icomm_persist::to_string(&TuneRequest::new(i, "nano", "lane")).unwrap())
+            .collect();
+        let responses = round_trip(server.local_addr(), &lines);
+        let ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert!(responses.iter().all(|r| r.ok));
+        // One characterization served all four.
+        assert_eq!(server.service().metrics().characterizations, 1);
+        server.stop();
+    }
+}

@@ -1,0 +1,385 @@
+//! The in-process tuning service: registry + engine + metrics behind one
+//! handle.
+//!
+//! [`TuningService`] is what both the TCP server and embedded callers use.
+//! Submitting a request resolves its names, obtains the device
+//! characterization through the single-flight [`Registry`], runs the
+//! recommendation flow, and returns a [`TuneResponse`] — all on the worker
+//! pool, so a hundred requests for four boards cost four characterization
+//! sweeps, not a hundred.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use icomm_core::recommend_for_device;
+use icomm_microbench::{characterize_device, quick_characterize_device, DeviceCharacterization};
+use icomm_models::CommModelKind;
+use icomm_soc::DeviceProfile;
+
+use crate::catalog;
+use crate::engine::{BatchHandle, Engine, EngineConfig};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::{TuneRequest, TuneResponse};
+use crate::registry::Registry;
+
+/// The characterization strategy the service runs on a registry miss.
+pub type CharacterizerFn = Arc<dyn Fn(&DeviceProfile) -> DeviceCharacterization + Send + Sync>;
+
+/// Service construction options.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker-pool sizing and per-job policy.
+    pub engine: EngineConfig,
+    /// Registry shard count.
+    pub shards: usize,
+    /// Characterization to run on a registry miss. Defaults to the full
+    /// micro-benchmark sweep ([`characterize_device`]).
+    pub characterizer: CharacterizerFn,
+    /// When set, the registry warm-starts from this file (if it exists)
+    /// and is persisted back on [`TuningService::shutdown`].
+    pub registry_path: Option<PathBuf>,
+}
+
+impl fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("engine", &self.engine)
+            .field("shards", &self.shards)
+            .field("registry_path", &self.registry_path)
+            .finish()
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: EngineConfig::default(),
+            shards: crate::registry::DEFAULT_SHARDS,
+            characterizer: Arc::new(characterize_device),
+            registry_path: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Config using the trimmed characterization sweep
+    /// ([`quick_characterize_device`]) — a few percent of accuracy for a
+    /// fraction of the latency. The right default for interactive serving.
+    pub fn quick() -> Self {
+        ServiceConfig {
+            characterizer: Arc::new(quick_characterize_device),
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Sets the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.engine.workers = workers;
+        self
+    }
+
+    /// Sets the registry persistence path.
+    #[must_use]
+    pub fn with_registry_path(mut self, path: PathBuf) -> Self {
+        self.registry_path = Some(path);
+        self
+    }
+}
+
+/// Awaitable handle to a batch submitted to the service.
+#[derive(Debug)]
+pub struct ServiceBatch {
+    inner: BatchHandle<TuneRequest, TuneResponse>,
+}
+
+impl ServiceBatch {
+    /// Number of responses this handle will deliver.
+    pub fn expected(&self) -> usize {
+        self.inner.expected()
+    }
+
+    /// Blocks until every request resolves; responses are sorted by
+    /// request id. Engine-level failures (timeout, panic) surface as
+    /// failure responses.
+    pub fn wait(self) -> Vec<TuneResponse> {
+        let mut responses: Vec<TuneResponse> = self
+            .inner
+            .wait()
+            .into_iter()
+            .map(|outcome| match outcome.result {
+                Ok(response) => response,
+                Err(err) => TuneResponse::failure(outcome.job.id, err.to_string()),
+            })
+            .collect();
+        responses.sort_by_key(|r| r.id);
+        responses
+    }
+}
+
+/// Concurrent tuning service: accepts [`TuneRequest`] batches, memoizes
+/// device characterizations, and answers with [`TuneResponse`]s.
+pub struct TuningService {
+    engine: Engine<TuneRequest, TuneResponse>,
+    registry: Arc<Registry>,
+    metrics: Arc<Metrics>,
+    registry_path: Option<PathBuf>,
+}
+
+impl fmt::Debug for TuningService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TuningService")
+            .field("registry", &self.registry)
+            .field("registry_path", &self.registry_path)
+            .finish()
+    }
+}
+
+impl TuningService {
+    /// Starts the worker pool; warm-starts the registry when the config
+    /// names an existing snapshot file.
+    pub fn start(config: ServiceConfig) -> Self {
+        let registry = Arc::new(Registry::new(config.shards));
+        if let Some(path) = &config.registry_path {
+            if path.exists() {
+                // A corrupt snapshot only costs the warm start.
+                let _ = registry.load(path);
+            }
+        }
+        let metrics = Arc::new(Metrics::new());
+        let handler = {
+            let registry = registry.clone();
+            let metrics = metrics.clone();
+            let characterizer = config.characterizer.clone();
+            Arc::new(move |request: &TuneRequest| {
+                handle_request(request, &registry, &metrics, &characterizer)
+            }) as Arc<dyn Fn(&TuneRequest) -> TuneResponse + Send + Sync>
+        };
+        let engine = Engine::new(config.engine.clone(), metrics.clone(), handler);
+        TuningService {
+            engine,
+            registry,
+            metrics,
+            registry_path: config.registry_path,
+        }
+    }
+
+    /// Starts a service with default (full-sweep) configuration.
+    pub fn start_default() -> Self {
+        TuningService::start(ServiceConfig::default())
+    }
+
+    /// The shared characterization registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Point-in-time copy of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Serves one request synchronously (through the worker pool).
+    pub fn handle(&self, request: TuneRequest) -> TuneResponse {
+        self.submit_batch(vec![request])
+            .wait()
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Enqueues a batch of requests on the worker pool.
+    pub fn submit_batch(&self, requests: Vec<TuneRequest>) -> ServiceBatch {
+        self.metrics
+            .requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        ServiceBatch {
+            inner: self.engine.submit_batch(requests),
+        }
+    }
+
+    /// Persists the registry to `path` now.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on serialization or I/O failure.
+    pub fn save_registry(&self, path: &std::path::Path) -> Result<(), String> {
+        self.registry.save(path)
+    }
+
+    /// Drains every queued request, stops the workers, and — when the
+    /// config named a registry path — persists the registry for the next
+    /// start.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the registry snapshot cannot be written.
+    pub fn shutdown(self) -> Result<(), String> {
+        let TuningService {
+            engine,
+            registry,
+            metrics: _,
+            registry_path,
+        } = self;
+        engine.shutdown();
+        if let Some(path) = registry_path {
+            registry.save(&path)?;
+        }
+        Ok(())
+    }
+}
+
+/// The per-request pipeline every worker runs: resolve names, fetch or
+/// compute the characterization, recommend.
+fn handle_request(
+    request: &TuneRequest,
+    registry: &Registry,
+    metrics: &Metrics,
+    characterizer: &CharacterizerFn,
+) -> TuneResponse {
+    let started = Instant::now();
+    let fail = |message: String| {
+        metrics.failed.fetch_add(1, Ordering::Relaxed);
+        TuneResponse::failure(request.id, message)
+    };
+
+    let device = match catalog::board_by_name(&request.board) {
+        Ok(device) => device,
+        Err(message) => return fail(message),
+    };
+    let workload = match catalog::workload_by_name(&request.app) {
+        Ok(workload) => workload,
+        Err(message) => return fail(message),
+    };
+    let current = match &request.current {
+        Some(name) => match catalog::model_by_name(name) {
+            Ok(model) => model,
+            Err(message) => return fail(message),
+        },
+        None => CommModelKind::StandardCopy,
+    };
+
+    let characterize_started = Instant::now();
+    let (characterization, lookup) = registry.get_or_characterize(&device, |device| {
+        metrics.characterizations.fetch_add(1, Ordering::Relaxed);
+        characterizer(device)
+    });
+    metrics
+        .characterize_latency
+        .record(characterize_started.elapsed().as_micros() as u64);
+    if lookup.served_from_cache() {
+        metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let recommend_started = Instant::now();
+    let outcome = recommend_for_device(&device, &characterization, &workload, current);
+    metrics
+        .recommend_latency
+        .record(recommend_started.elapsed().as_micros() as u64);
+
+    metrics.completed.fetch_add(1, Ordering::Relaxed);
+    let latency_us = started.elapsed().as_micros() as u64;
+    metrics.total_latency.record(latency_us);
+    TuneResponse::success(
+        request.id,
+        &request.board,
+        &request.app,
+        &outcome,
+        lookup.served_from_cache(),
+        latency_us,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_service() -> TuningService {
+        TuningService::start(ServiceConfig::quick().with_workers(2))
+    }
+
+    #[test]
+    fn serves_a_single_request() {
+        let service = quick_service();
+        let response = service.handle(TuneRequest::new(1, "xavier", "shwfs"));
+        assert!(response.ok, "{:?}", response.error);
+        assert_eq!(response.id, 1);
+        assert_eq!(response.current.as_deref(), Some("SC"));
+        assert_eq!(response.recommended.as_deref(), Some("ZC"));
+        assert_eq!(response.switch_suggested, Some(true));
+        assert_eq!(response.cache_hit, Some(false));
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn second_request_for_same_board_hits_the_registry() {
+        let service = quick_service();
+        service.handle(TuneRequest::new(1, "tx2", "orb"));
+        let response = service.handle(TuneRequest::new(2, "tx2", "lane"));
+        assert_eq!(response.cache_hit, Some(true));
+        let snapshot = service.metrics();
+        assert_eq!(snapshot.characterizations, 1);
+        assert_eq!(snapshot.cache_hits, 1);
+        assert_eq!(snapshot.cache_misses, 1);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn bad_names_fail_without_characterizing() {
+        let service = quick_service();
+        let response = service.handle(TuneRequest::new(1, "pi5", "shwfs"));
+        assert!(!response.ok);
+        assert!(response.error.as_deref().unwrap().contains("unknown board"));
+        let response = service.handle(TuneRequest::new(2, "nano", "quake"));
+        assert!(!response.ok);
+        assert!(response.error.as_deref().unwrap().contains("unknown app"));
+        let response = service.handle(TuneRequest::new(3, "nano", "orb").with_current("warp"));
+        assert!(!response.ok);
+        assert!(response.error.as_deref().unwrap().contains("unknown model"));
+        let snapshot = service.metrics();
+        assert_eq!(snapshot.characterizations, 0);
+        assert_eq!(snapshot.failed, 3);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn batch_responses_come_back_sorted_by_id() {
+        let service = quick_service();
+        let requests: Vec<TuneRequest> = (0..16)
+            .map(|i| TuneRequest::new(i, "nano", "shwfs"))
+            .collect();
+        let responses = service.submit_batch(requests).wait();
+        assert_eq!(responses.len(), 16);
+        for (i, response) in responses.iter().enumerate() {
+            assert_eq!(response.id, i as u64);
+            assert!(response.ok);
+        }
+        assert_eq!(service.metrics().characterizations, 1);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn matches_the_sequential_tuner() {
+        use icomm_core::Tuner;
+        let service = quick_service();
+        let response = service.handle(TuneRequest::new(1, "tx2", "orb").with_current("zc"));
+        let device = catalog::board_by_name("tx2").unwrap();
+        let tuner =
+            Tuner::with_characterization(device.clone(), quick_characterize_device(&device));
+        let workload = catalog::workload_by_name("orb").unwrap();
+        let outcome = tuner.recommend(&workload, CommModelKind::ZeroCopy);
+        assert_eq!(
+            response.recommended.as_deref(),
+            Some(outcome.recommendation.recommended.abbrev())
+        );
+        assert_eq!(
+            response.rationale.as_deref(),
+            Some(outcome.recommendation.rationale.as_str())
+        );
+        service.shutdown().unwrap();
+    }
+}

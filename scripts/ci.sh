@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: `./scripts/ci.sh`.
+#
+# Mirrors .github/workflows/ci.yml exactly so a green local run means a
+# green CI run. The workspace is fully vendored (see vendor/), so every
+# step works offline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier 1: root package)"
+cargo test -q
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "CI gate passed."

@@ -25,6 +25,7 @@
 //! | [`core`] | `icomm-core` | performance model (Eqns. 1–4) + decision flow (Fig. 2) |
 //! | [`apps`] | `icomm-apps` | Shack–Hartmann, ORB and lane-detection case studies |
 //! | [`persist`] | `icomm-persist` | JSON persistence for characterizations and reports |
+//! | [`serve`] | `icomm-serve` | concurrent tuning service: sharded registry, worker pool, TCP front end |
 //!
 //! ## Quickstart
 //!
@@ -47,9 +48,10 @@
 
 pub use icomm_apps as apps;
 pub use icomm_core as core;
-pub use icomm_persist as persist;
 pub use icomm_microbench as microbench;
 pub use icomm_models as models;
+pub use icomm_persist as persist;
 pub use icomm_profile as profile;
+pub use icomm_serve as serve;
 pub use icomm_soc as soc;
 pub use icomm_trace as trace;

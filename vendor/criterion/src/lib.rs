@@ -1,0 +1,200 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/API surface the bench targets use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `Throughput` — with a deliberately small
+//! timing loop (mean over a handful of iterations, no statistical
+//! analysis or HTML reports). The point is that `cargo bench` and
+//! `cargo test --benches` run every target and print wall-clock numbers,
+//! not publication-grade statistics.
+
+use std::time::{Duration, Instant};
+
+/// Declared per-benchmark throughput, used to derive rates in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// `--test` mode: run each benchmark exactly once, for CI smoke.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Configures from the process arguments (`--test` runs each
+    /// benchmark once).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Times `f` under `id` and prints the mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, self.test_mode, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let (sample_size, test_mode) = (self.sample_size, self.test_mode);
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+            test_mode,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.test_mode, self.throughput, f);
+        self
+    }
+
+    /// Ends the group. (No-op here; reports print as benchmarks run.)
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `iters` times, timing the whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up / calibration pass: one iteration, to size the batches.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("{id}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let calibration = bencher.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~20ms of work per sample, capped to keep total runtime low.
+    let per_sample = (Duration::from_millis(20).as_nanos() / calibration.as_nanos()).clamp(1, 1000);
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            iters: per_sample as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        total += bencher.elapsed;
+        iters += bencher.iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 / mean_ns * 1e3),
+        Throughput::Bytes(n) => format!(
+            " ({:.1} MiB/s)",
+            n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+        ),
+    });
+    println!(
+        "{id}: mean {:.3} us over {iters} iterations{}",
+        mean_ns / 1e3,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group; mirrors criterion's two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,315 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Supplies `crossbeam::channel`: multi-producer multi-consumer channels
+//! with disconnect semantics, built on a `Mutex<VecDeque>` plus two
+//! condition variables. Throughput is far below the real crate's
+//! lock-free queues, but the blocking/disconnect contract is identical,
+//! which is what the serving layer's worker pool relies on.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        inner: Mutex<State<T>>,
+        /// Signalled when a message is pushed (wakes receivers).
+        not_empty: Condvar,
+        /// Signalled when a message is popped (wakes bounded senders).
+        not_full: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half of a channel. Clonable; the channel disconnects for
+    /// receivers when the last sender drops.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a channel. Clonable; the channel disconnects for
+    /// senders when the last receiver drops.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// Carries the unsent message back to the caller.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty, but senders remain.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Creates a channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel holding at most `cap` queued messages; sends
+    /// block while full. `cap` must be non-zero (rendezvous channels are
+    /// not supported by this stand-in).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "zero-capacity channels are not supported");
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let shared = &self.shared;
+            let mut state = shared.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match shared.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = shared
+                            .not_full
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues a message, blocking until one arrives or all senders
+        /// drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let shared = &self.shared;
+            let mut state = shared.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = shared
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Dequeues a message, waiting at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let shared = &self.shared;
+            let mut state = shared.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, _) = shared
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = next;
+            }
+        }
+
+        /// Dequeues a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let shared = &self.shared;
+            let mut state = shared.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Drains and returns all currently queued messages.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self
+                .shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake receivers blocked on an empty queue so they can
+                // observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self
+                .shared
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                // Wake senders blocked on a full queue so they can
+                // observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Offline stand-in for [proptest](https://proptest-rs.github.io/proptest).
+//!
+//! Reimplements the subset of the proptest API this workspace uses:
+//! the `proptest!` test macro, `Strategy` with `prop_map` /
+//! `prop_recursive` / `boxed`, `prop_oneof!`, `Just`, `any`, range and
+//! tuple strategies, `collection::vec`, `bool::ANY`, `num::f64::NORMAL`,
+//! and string generation for the `"\\PC*"` regex.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (derived from the test name), there is no
+//! shrinking — a failing case panics with the ordinary assert message —
+//! and regex string strategies only support the "any printable chars"
+//! pattern the workspace uses. Each test runs a fixed number of cases.
+
+/// Number of generated cases per property test.
+pub const CASES: u64 = 64;
+
+/// Deterministic generator driving value generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runs `case` [`CASES`] times with fresh generators derived from the
+/// test name. Used by the `proptest!` macro expansion.
+#[doc(hidden)]
+pub fn __run_cases<F: FnMut(&mut TestRng)>(name: &str, mut case: F) {
+    // FNV-1a over the test name: stable per-test seed, so failures
+    // reproduce across runs without a persistence file.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for i in 0..CASES {
+        let mut rng = TestRng::new(seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F));
+        case(&mut rng);
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Generate-only: unlike the real crate there is no shrinking pass,
+    /// so `generate` replaces the `ValueTree` machinery.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Builds a recursive strategy: at each of `depth` levels, a
+        /// value is either drawn from the base strategy or from
+        /// `recurse` applied to the previous level. `_desired_size` and
+        /// `_expected_branch_size` are accepted for API compatibility
+        /// but unused (no size-driven generation here).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let composite = recurse(current).boxed();
+                current = Union::new(vec![leaf.clone(), composite]).boxed();
+            }
+            current
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Strategy yielding a fixed value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among several strategies of one value type.
+    /// Built by `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Creates a union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Function-pointer strategy; backs `any`, `bool::ANY`, and the
+    /// `num` constants.
+    #[derive(Debug, Clone, Copy)]
+    pub struct FnStrategy<T>(pub fn(&mut TestRng) -> T);
+
+    impl<T> Strategy for FnStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// String-regex strategy. Only the `"\\PC*"` shape used in this
+    /// workspace is honoured: any printable (non-control) chars,
+    /// including non-ASCII, length 0..32.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = (rng.next_u64() % 32) as usize;
+            (0..len)
+                .map(|_| loop {
+                    // Bias toward ASCII so escapes and quotes get
+                    // exercised, with a non-ASCII tail for coverage.
+                    let c = if !rng.next_u64().is_multiple_of(4) {
+                        char::from(b' ' + (rng.next_u64() % 95) as u8)
+                    } else {
+                        match char::from_u32((rng.next_u64() % 0x11_0000) as u32) {
+                            Some(c) => c,
+                            None => continue,
+                        }
+                    };
+                    if !c.is_control() {
+                        break c;
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for the types the workspace draws.
+
+    use super::strategy::FnStrategy;
+    use super::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy `any` returns.
+        type Strategy: super::strategy::Strategy<Value = Self>;
+        /// Returns the whole-domain strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = FnStrategy<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FnStrategy(|rng: &mut TestRng| rng.next_u64() as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = FnStrategy<bool>;
+        fn arbitrary() -> Self::Strategy {
+            FnStrategy(|rng: &mut TestRng| rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element`, with length in
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::FnStrategy;
+    use super::TestRng;
+
+    /// Uniform choice of `true`/`false`.
+    pub const ANY: FnStrategy<core::primitive::bool> =
+        FnStrategy(|rng: &mut TestRng| rng.next_u64() & 1 == 1);
+}
+
+pub mod num {
+    //! Numeric strategies.
+
+    pub mod f64 {
+        //! `f64` strategies.
+
+        use crate::strategy::FnStrategy;
+        use crate::TestRng;
+
+        /// Normal (non-zero, non-subnormal, finite, non-NaN) floats of
+        /// either sign: random sign/mantissa with a biased exponent in
+        /// the normal range [1, 2046].
+        pub const NORMAL: FnStrategy<core::primitive::f64> = FnStrategy(|rng: &mut TestRng| {
+            let sign = rng.next_u64() & (1 << 63);
+            let exponent = 1 + rng.next_u64() % 2046;
+            let mantissa = rng.next_u64() & ((1 << 52) - 1);
+            core::primitive::f64::from_bits(sign | (exponent << 52) | mantissa)
+        });
+    }
+}
+
+pub mod prop {
+    //! The `prop::` aliases exported by the prelude.
+
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::num;
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ...)`
+/// becomes a `#[test]` running [`CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__run_cases(stringify!($name), |__proptest_rng| {
+                    $crate::__proptest_bind!(__proptest_rng, $body, $($params)*)
+                });
+            }
+        )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: peels one `name in strategy`
+/// parameter off the list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block,) => { $body };
+    ($rng:ident, $body:block, $name:ident in $($rest:tt)*) => {
+        $crate::__proptest_munch!($rng, $body, $name, (), $($rest)*)
+    };
+}
+
+/// Implementation detail of [`proptest!`]: accumulates strategy tokens
+/// until a top-level comma or the end of the parameter list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_munch {
+    ($rng:ident, $body:block, $name:ident, ($($strat:tt)*), , $($rest:tt)*) => {{
+        let $name = $crate::strategy::Strategy::generate(&($($strat)*), $rng);
+        $crate::__proptest_bind!($rng, $body, $($rest)*)
+    }};
+    ($rng:ident, $body:block, $name:ident, ($($strat:tt)*),) => {{
+        let $name = $crate::strategy::Strategy::generate(&($($strat)*), $rng);
+        $body
+    }};
+    ($rng:ident, $body:block, $name:ident, ($($strat:tt)*), $head:tt $($rest:tt)*) => {
+        $crate::__proptest_munch!($rng, $body, $name, ($($strat)* $head), $($rest)*)
+    };
+}
+
+/// Uniform choice among strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts two values differ for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

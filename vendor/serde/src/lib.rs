@@ -1,0 +1,25 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! This workspace pins its dependency set and builds without network
+//! access, so the real `serde` crate cannot be fetched. This crate
+//! reimplements, from scratch, exactly the subset of the serde data model
+//! the workspace uses: the `Serialize`/`Deserialize` traits, the
+//! `Serializer`/`Deserializer` driver traits with the default
+//! (externally-tagged) representations, visitor-based deserialization,
+//! and derive macros for plain (non-generic) structs and enums.
+//!
+//! It is API-compatible with the real serde for every call site in this
+//! repository; swapping the real crate back in requires only a Cargo.toml
+//! change.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in a separate proc-macro crate, re-exported here so
+// `#[derive(serde::Serialize)]` and `use serde::{Serialize, Deserialize}`
+// both work. Macro names share text with the traits but live in a
+// different namespace.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,666 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses: non-generic structs (named-field,
+//! tuple/newtype, unit) and non-generic enums whose variants are unit,
+//! newtype, tuple, or struct-like. The derives emit the same externally
+//! tagged representation as the real serde derives, so data written by
+//! one is readable by the other.
+//!
+//! There is no `syn`/`quote` in the pinned dependency set, so the item is
+//! parsed directly from the `proc_macro` token stream — sufficient for
+//! plain data definitions (attributes and visibility are skipped, field
+//! types are only inspected to special-case `Option` fields, which
+//! default to `None` when missing, as in serde).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    name: String,
+    is_option: bool,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` (and `#![...]`) attribute groups, including the
+    /// `#[doc = "..."]` forms doc comments lower to.
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.bump();
+            if let Some(TokenTree::Punct(p)) = self.peek() {
+                if p.as_char() == '!' {
+                    self.bump();
+                }
+            }
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.bump();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.bump();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    /// Consumes a type, tracking `<...>` nesting, stopping before a
+    /// top-level `,` or the end. Returns the first token's text (to
+    /// recognize `Option<...>` fields).
+    fn skip_type(&mut self) -> String {
+        let mut first = String::new();
+        let mut angle_depth = 0i32;
+        while let Some(token) = self.peek() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                _ => {}
+            }
+            if first.is_empty() {
+                first = token.to_string();
+            }
+            self.bump();
+        }
+        first
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cursor = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        if cursor.at_end() {
+            break;
+        }
+        cursor.skip_visibility();
+        let name = cursor.expect_ident()?;
+        if !cursor.is_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        cursor.bump();
+        let first = cursor.skip_type();
+        fields.push(Field {
+            name,
+            is_option: first == "Option",
+        });
+        if cursor.is_punct(',') {
+            cursor.bump();
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut cursor = Cursor::new(group);
+    let mut count = 0;
+    loop {
+        cursor.skip_attributes();
+        if cursor.at_end() {
+            break;
+        }
+        cursor.skip_visibility();
+        cursor.skip_type();
+        count += 1;
+        if cursor.is_punct(',') {
+            cursor.bump();
+        }
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let keyword = cursor.expect_ident()?;
+    let name = cursor.expect_ident()?;
+    if cursor.is_punct('<') {
+        return Err(format!(
+            "serde derives in this workspace do not support generic type `{name}`"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match cursor.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match cursor.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            let mut cursor = Cursor::new(body);
+            let mut variants = Vec::new();
+            loop {
+                cursor.skip_attributes();
+                if cursor.at_end() {
+                    break;
+                }
+                let vname = cursor.expect_ident()?;
+                let fields = match cursor.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream())?);
+                        cursor.bump();
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                        cursor.bump();
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                if cursor.is_punct('=') {
+                    // Skip an explicit discriminant.
+                    cursor.bump();
+                    while !cursor.at_end() && !cursor.is_punct(',') {
+                        cursor.bump();
+                    }
+                }
+                if cursor.is_punct(',') {
+                    cursor.bump();
+                }
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+
+/// Derives `serde::Serialize` (externally tagged representation).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct_body(name, fields),
+        Item::Enum { name, variants } => serialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } => name,
+        Item::Enum { name, .. } => name,
+    }
+}
+
+fn serialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(fields) => {
+            let mut out = format!(
+                "let mut state = ::serde::Serializer::serialize_struct(\
+                     serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for field in fields {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                         &mut state, \"{0}\", &self.{0})?;\n",
+                    field.name
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(state)");
+            out
+        }
+        Fields::Tuple(1) => {
+            format!(
+                "::serde::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)"
+            )
+        }
+        Fields::Tuple(n) => {
+            let mut out = format!(
+                "let mut state = ::serde::Serializer::serialize_tuple_struct(\
+                     serializer, \"{name}\", {n})?;\n"
+            );
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut state, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(state)");
+            out
+        }
+        Fields::Unit => {
+            format!("::serde::Serializer::serialize_unit_struct(serializer, \"{name}\")")
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::from("match self {\n");
+    for (index, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => out.push_str(&format!(
+                "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                     serializer, \"{name}\", {index}u32, \"{vname}\"),\n"
+            )),
+            Fields::Tuple(1) => out.push_str(&format!(
+                "{name}::{vname}(f0) => ::serde::Serializer::serialize_newtype_variant(\
+                     serializer, \"{name}\", {index}u32, \"{vname}\", f0),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{vname}({binders}) => {{\n\
+                         let mut state = ::serde::Serializer::serialize_tuple_variant(\
+                             serializer, \"{name}\", {index}u32, \"{vname}\", {n})?;\n",
+                    binders = binders.join(", ")
+                );
+                for binder in &binders {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut state, {binder})?;\n"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeTupleVariant::end(state)\n}\n");
+                out.push_str(&arm);
+            }
+            Fields::Named(fields) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {binders} }} => {{\n\
+                         let mut state = ::serde::Serializer::serialize_struct_variant(\
+                             serializer, \"{name}\", {index}u32, \"{vname}\", {len})?;\n",
+                    binders = binders.join(", "),
+                    len = fields.len()
+                );
+                for binder in &binders {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(\
+                             &mut state, \"{binder}\", {binder})?;\n"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeStructVariant::end(state)\n}\n");
+                out.push_str(&arm);
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+
+/// Derives `serde::Deserialize` (externally tagged representation).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct_body(name, fields),
+        Item::Enum { name, variants } => deserialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::std::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Generates a visitor struct named `$visitor` producing `target` (a type
+/// path like `Demo` or an enum constructor context) from named fields via
+/// `visit_map`/`visit_seq`.
+fn named_fields_visitor(
+    visitor: &str,
+    value_type: &str,
+    constructor: &str,
+    expecting: &str,
+    fields: &[Field],
+) -> String {
+    let mut declares = String::new();
+    let mut match_arms = String::new();
+    let mut build_map = String::new();
+    let mut build_seq = String::new();
+    for (i, field) in fields.iter().enumerate() {
+        let fname = &field.name;
+        declares.push_str(&format!(
+            "let mut fld{i}: ::std::option::Option<_> = ::std::option::Option::None;\n"
+        ));
+        match_arms.push_str(&format!(
+            "\"{fname}\" => {{ fld{i} = ::std::option::Option::Some(\
+                 ::serde::de::MapAccess::next_value(&mut map)?); }}\n"
+        ));
+        let missing = if field.is_option {
+            "::std::option::Option::None".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(\
+                     <A::Error as ::serde::de::Error>::missing_field(\"{fname}\"))"
+            )
+        };
+        build_map.push_str(&format!(
+            "{fname}: match fld{i} {{\n\
+                 ::std::option::Option::Some(v) => v,\n\
+                 ::std::option::Option::None => {missing},\n\
+             }},\n"
+        ));
+        build_seq.push_str(&format!(
+            "{fname}: match ::serde::de::SeqAccess::next_element(&mut seq)? {{\n\
+                 ::std::option::Option::Some(v) => v,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                     <A::Error as ::serde::de::Error>::missing_field(\"{fname}\")),\n\
+             }},\n"
+        ));
+    }
+    format!(
+        "struct {visitor};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor} {{\n\
+             type Value = {value_type};\n\
+             fn expecting(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 f.write_str(\"{expecting}\")\n\
+             }}\n\
+             fn visit_map<A: ::serde::de::MapAccess<'de>>(self, mut map: A)\n\
+                 -> ::std::result::Result<Self::Value, A::Error> {{\n\
+                 {declares}\
+                 while let ::std::option::Option::Some(key) =\n\
+                     ::serde::de::MapAccess::next_key::<::std::string::String>(&mut map)? {{\n\
+                     match key.as_str() {{\n\
+                         {match_arms}\
+                         _ => {{ let _ = ::serde::de::MapAccess::next_value::<\
+                             ::serde::de::IgnoredAny>(&mut map)?; }}\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Ok({constructor} {{\n{build_map}}})\n\
+             }}\n\
+             fn visit_seq<A: ::serde::de::SeqAccess<'de>>(self, mut seq: A)\n\
+                 -> ::std::result::Result<Self::Value, A::Error> {{\n\
+                 ::std::result::Result::Ok({constructor} {{\n{build_seq}}})\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Generates a visitor struct producing `constructor(e0, e1, ...)` from a
+/// sequence of `n` elements.
+fn tuple_fields_visitor(
+    visitor: &str,
+    value_type: &str,
+    constructor: &str,
+    expecting: &str,
+    n: usize,
+) -> String {
+    let mut elems = String::new();
+    for i in 0..n {
+        elems.push_str(&format!(
+            "match ::serde::de::SeqAccess::next_element(&mut seq)? {{\n\
+                 ::std::option::Option::Some(v) => v,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                     <A::Error as ::serde::de::Error>::custom(\
+                         \"missing element {i} of {expecting}\")),\n\
+             }},\n"
+        ));
+    }
+    format!(
+        "struct {visitor};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor} {{\n\
+             type Value = {value_type};\n\
+             fn expecting(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 f.write_str(\"{expecting}\")\n\
+             }}\n\
+             fn visit_seq<A: ::serde::de::SeqAccess<'de>>(self, mut seq: A)\n\
+                 -> ::std::result::Result<Self::Value, A::Error> {{\n\
+                 ::std::result::Result::Ok({constructor}(\n{elems}))\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(fields) => {
+            let field_names: Vec<String> =
+                fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+            let visitor = named_fields_visitor(
+                "SerdeVisitor",
+                name,
+                name,
+                &format!("struct {name}"),
+                fields,
+            );
+            format!(
+                "{visitor}\n\
+                 ::serde::Deserializer::deserialize_struct(\
+                     deserializer, \"{name}\", &[{fields}], SerdeVisitor)",
+                fields = field_names.join(", ")
+            )
+        }
+        Fields::Tuple(1) => format!(
+            "struct SerdeVisitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for SerdeVisitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                     f.write_str(\"newtype struct {name}\")\n\
+                 }}\n\
+                 fn visit_newtype_struct<D2: ::serde::Deserializer<'de>>(self, d: D2)\n\
+                     -> ::std::result::Result<Self::Value, D2::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(d)?))\n\
+                 }}\n\
+             }}\n\
+             ::serde::Deserializer::deserialize_newtype_struct(\
+                 deserializer, \"{name}\", SerdeVisitor)"
+        ),
+        Fields::Tuple(n) => {
+            let visitor = tuple_fields_visitor(
+                "SerdeVisitor",
+                name,
+                name,
+                &format!("tuple struct {name}"),
+                *n,
+            );
+            format!(
+                "{visitor}\n\
+                 ::serde::Deserializer::deserialize_tuple_struct(\
+                     deserializer, \"{name}\", {n}, SerdeVisitor)"
+            )
+        }
+        Fields::Unit => format!(
+            "struct SerdeVisitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for SerdeVisitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                     f.write_str(\"unit struct {name}\")\n\
+                 }}\n\
+                 fn visit_unit<E: ::serde::de::Error>(self)\n\
+                     -> ::std::result::Result<Self::Value, E> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}\n\
+             ::serde::Deserializer::deserialize_unit_struct(\
+                 deserializer, \"{name}\", SerdeVisitor)"
+        ),
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let variant_names: Vec<String> = variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+    let mut helper_visitors = String::new();
+    let mut arms = String::new();
+    for (i, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "\"{vname}\" => {{\n\
+                     ::serde::de::VariantAccess::unit_variant(acc)?;\n\
+                     ::std::result::Result::Ok({name}::{vname})\n\
+                 }}\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::de::VariantAccess::newtype_variant(acc)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                helper_visitors.push_str(&tuple_fields_visitor(
+                    &format!("SerdeVariant{i}"),
+                    name,
+                    &format!("{name}::{vname}"),
+                    &format!("tuple variant {name}::{vname}"),
+                    *n,
+                ));
+                helper_visitors.push('\n');
+                arms.push_str(&format!(
+                    "\"{vname}\" => ::serde::de::VariantAccess::tuple_variant(\
+                         acc, {n}, SerdeVariant{i}),\n"
+                ));
+            }
+            Fields::Named(fields) => {
+                let field_names: Vec<String> =
+                    fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+                helper_visitors.push_str(&named_fields_visitor(
+                    &format!("SerdeVariant{i}"),
+                    name,
+                    &format!("{name}::{vname}"),
+                    &format!("struct variant {name}::{vname}"),
+                    fields,
+                ));
+                helper_visitors.push('\n');
+                arms.push_str(&format!(
+                    "\"{vname}\" => ::serde::de::VariantAccess::struct_variant(\
+                         acc, &[{fields}], SerdeVariant{i}),\n",
+                    fields = field_names.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "{helper_visitors}\
+         struct SerdeVisitor;\n\
+         impl<'de> ::serde::de::Visitor<'de> for SerdeVisitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 f.write_str(\"enum {name}\")\n\
+             }}\n\
+             fn visit_enum<A: ::serde::de::EnumAccess<'de>>(self, data: A)\n\
+                 -> ::std::result::Result<Self::Value, A::Error> {{\n\
+                 let (variant, acc) =\n\
+                     ::serde::de::EnumAccess::variant::<::std::string::String>(data)?;\n\
+                 match variant.as_str() {{\n\
+                     {arms}\
+                     _ => ::std::result::Result::Err(\
+                         <A::Error as ::serde::de::Error>::unknown_variant(\
+                             &variant, &[{variant_names}])),\n\
+                 }}\n\
+             }}\n\
+         }}\n\
+         ::serde::Deserializer::deserialize_enum(\
+             deserializer, \"{name}\", &[{variant_names}], SerdeVisitor)",
+        variant_names = variant_names.join(", ")
+    )
+}
