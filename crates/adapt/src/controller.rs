@@ -1,0 +1,701 @@
+//! The switch controller: re-runs the Fig. 2 decision flow online,
+//! guarded against oscillation.
+//!
+//! [`AdaptController`] implements [`WindowPolicy`], so
+//! [`icomm_models::run_phased`] can drive it over a phased workload. Its
+//! state machine:
+//!
+//! ```text
+//!             warmup_windows elapsed
+//!   Warmup ───────────────────────────► Settled ◄──────────────┐
+//!                 (initial decision)       │                   │
+//!                                          │ drift, usage      │ probe_windows
+//!                                          │ unobservable (ZC) │ elapsed
+//!                                          ▼                   │ (probe verdict)
+//!                                       Probing ───────────────┘
+//! ```
+//!
+//! - **Warmup**: observe only; when it ends, run one unconditional
+//!   decision (the online analogue of the paper's offline tuning step).
+//! - **Settled**: feed every window to the [`PhaseDetector`]. On drift
+//!   with the caches enabled (SC/UM), re-run the decision flow directly
+//!   on the window's counters. On drift under zero copy the usage
+//!   metrics are unobservable, so the controller *probes*: it switches to
+//!   SC for [`ControllerConfig::probe_windows`] windows — matching the
+//!   paper's rule that profiling happens under a cache-enabled model —
+//!   then decides from the probe counters. When the verdict is SC, the
+//!   probe entry *was* the adaptation; no extra switch is paid.
+//! - Every switch starts a **dwell** of
+//!   [`ControllerConfig::min_dwell_windows`] windows during which drifts
+//!   are ignored, and resets the detector baselines (the operating point
+//!   legitimately moved).
+//!
+//! Two more guards keep the controller from oscillating:
+//!
+//! - **Hysteresis**: a decision only counts if it is *stable* under
+//!   shifting every characterization threshold by
+//!   ±[`ControllerConfig::hysteresis_pct`] — a measurement sitting on a
+//!   zone boundary cannot flap the model. To keep a boundary workload
+//!   from pinning the controller on the wrong model forever,
+//!   [`ControllerConfig::hysteresis_confirm`] consecutive unstable
+//!   verdicts for the *same* target override the guard: repeated
+//!   identical evidence is a phase, not noise.
+//! - **Switch-cost gate**: a switch is taken only when the estimated
+//!   per-window gain (from the Eqn. 3/4 speedup estimate), summed over
+//!   [`ControllerConfig::payback_windows`] windows, covers the explicit
+//!   [`switch_cost_for_payload`] of the move.
+//!
+//! The controller is deterministic: the same window stream through the
+//! same configuration produces the same switch sequence.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use icomm_core::decision::{recommend, Recommendation};
+use icomm_microbench::DeviceCharacterization;
+use icomm_models::{switch_cost_for_payload, CommModelKind, RunReport, WindowPolicy};
+use icomm_profile::ProfileReport;
+use icomm_soc::units::{ByteSize, Picos};
+use icomm_soc::DeviceProfile;
+
+use crate::detector::{DetectorConfig, PhaseDetector};
+use crate::window::{WindowRing, WindowSample};
+
+/// Tuning knobs of the [`AdaptController`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Phase-change detector configuration.
+    pub detector: DetectorConfig,
+    /// Windows observed before the first decision.
+    pub warmup_windows: u32,
+    /// Windows a probe holds SC before deciding.
+    pub probe_windows: u32,
+    /// Windows after a switch during which drifts are ignored.
+    pub min_dwell_windows: u32,
+    /// Threshold shift (percentage points) a decision must survive.
+    pub hysteresis_pct: f64,
+    /// Consecutive drift evaluations recommending the *same* switch that
+    /// override an unstable hysteresis check (0 = never override). A
+    /// workload sitting exactly on a zone boundary would otherwise pin
+    /// the controller on the wrong model forever; repeated identical
+    /// verdicts are evidence, not noise.
+    pub hysteresis_confirm: u32,
+    /// Windows over which a switch must pay for itself.
+    pub payback_windows: u32,
+    /// Shared-buffer payload used to price switches (the size the
+    /// application allocated; known without profiling).
+    pub payload_hint: ByteSize,
+    /// Model the first window runs under.
+    pub initial_model: CommModelKind,
+    /// Windows retained in the streaming ring.
+    pub ring_capacity: usize,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            detector: DetectorConfig::default(),
+            warmup_windows: 2,
+            probe_windows: 1,
+            min_dwell_windows: 2,
+            hysteresis_pct: 1.0,
+            hysteresis_confirm: 3,
+            payback_windows: 8,
+            payload_hint: ByteSize::kib(256),
+            initial_model: CommModelKind::StandardCopy,
+            ring_capacity: 16,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.detector.validate()?;
+        if self.probe_windows == 0 {
+            return Err("probe_windows must be at least 1".into());
+        }
+        if self.payback_windows == 0 {
+            return Err("payback_windows must be at least 1".into());
+        }
+        if !(self.hysteresis_pct >= 0.0 && self.hysteresis_pct.is_finite()) {
+            return Err(format!("hysteresis_pct {} invalid", self.hysteresis_pct));
+        }
+        if self.ring_capacity < self.probe_windows as usize {
+            return Err("ring_capacity must cover at least one probe".into());
+        }
+        Ok(())
+    }
+}
+
+/// Why the controller switched.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchReason {
+    /// The unconditional decision at the end of warmup.
+    InitialDecision,
+    /// A drift-triggered decision with the caches enabled; carries the
+    /// detector channels that fired.
+    Decision(Vec<String>),
+    /// Drift under zero copy: switching to SC to observe the cache usage.
+    ProbeEntry(Vec<String>),
+    /// The decision concluding a probe.
+    ProbeVerdict,
+}
+
+impl fmt::Display for SwitchReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchReason::InitialDecision => f.write_str("initial decision"),
+            SwitchReason::Decision(ch) => write!(f, "drift [{}]", ch.join(", ")),
+            SwitchReason::ProbeEntry(ch) => write!(f, "probe entry [{}]", ch.join(", ")),
+            SwitchReason::ProbeVerdict => f.write_str("probe verdict"),
+        }
+    }
+}
+
+/// One model switch taken by the controller. The switch takes effect at
+/// `window + 1` (the harness charges it before that window runs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchEvent {
+    /// Window after which the switch was requested.
+    pub window: u64,
+    /// Model switched away from.
+    pub from: CommModelKind,
+    /// Model switched to.
+    pub to: CommModelKind,
+    /// Why.
+    pub reason: SwitchReason,
+}
+
+/// Counters the controller accumulates; the adaptation metrics surfaced
+/// by the CLI and the serving layer.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdaptStats {
+    /// Windows observed.
+    pub windows: u64,
+    /// Drift verdicts from the detector (including ones not acted on).
+    pub drifts: u32,
+    /// Windows at which a drift fired.
+    pub drift_windows: Vec<u64>,
+    /// Probes entered (SC excursions to observe usage under ZC).
+    pub probes: u32,
+    /// Decision-flow evaluations.
+    pub decisions: u32,
+    /// Switches requested. May exceed the switches the harness charges
+    /// by one when the final window requests a switch that never runs.
+    pub switches: u32,
+    /// Drifts ignored because a switch was too recent.
+    pub suppressed_dwell: u32,
+    /// Decisions discarded as unstable under the hysteresis shift.
+    pub suppressed_hysteresis: u32,
+    /// Unstable decisions accepted anyway after
+    /// [`ControllerConfig::hysteresis_confirm`] consecutive identical
+    /// verdicts.
+    pub hysteresis_overrides: u32,
+    /// Switches discarded because the estimated gain would not pay the
+    /// switch cost within the payback horizon.
+    pub suppressed_cost: u32,
+}
+
+impl fmt::Display for AdaptStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "windows observed      {}", self.windows)?;
+        writeln!(f, "drifts detected       {}", self.drifts)?;
+        writeln!(f, "probes                {}", self.probes)?;
+        writeln!(f, "decisions evaluated   {}", self.decisions)?;
+        writeln!(f, "switches              {}", self.switches)?;
+        writeln!(f, "suppressed: dwell     {}", self.suppressed_dwell)?;
+        writeln!(f, "suppressed: hysteresis {}", self.suppressed_hysteresis)?;
+        writeln!(f, "hysteresis overrides  {}", self.hysteresis_overrides)?;
+        write!(f, "suppressed: cost      {}", self.suppressed_cost)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Warmup { remaining: u32 },
+    Settled,
+    Probing { remaining: u32 },
+}
+
+/// The online adaptation controller.
+#[derive(Debug, Clone)]
+pub struct AdaptController {
+    device: DeviceProfile,
+    characterization: DeviceCharacterization,
+    config: ControllerConfig,
+    detector: PhaseDetector,
+    ring: WindowRing,
+    state: State,
+    active: CommModelKind,
+    dwell_remaining: u32,
+    /// Consecutive hysteresis-unstable verdicts for the same target.
+    unstable_streak: Option<(CommModelKind, u32)>,
+    stats: AdaptStats,
+    events: Vec<SwitchEvent>,
+}
+
+impl AdaptController {
+    /// Creates a controller for one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid
+    /// ([`ControllerConfig::validate`]).
+    pub fn new(
+        device: DeviceProfile,
+        characterization: DeviceCharacterization,
+        config: ControllerConfig,
+    ) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid controller config: {e}");
+        }
+        let detector = PhaseDetector::new(config.detector);
+        let ring = WindowRing::new(config.ring_capacity);
+        let state = if config.warmup_windows == 0 {
+            State::Settled
+        } else {
+            State::Warmup {
+                remaining: config.warmup_windows,
+            }
+        };
+        let active = config.initial_model;
+        AdaptController {
+            device,
+            characterization,
+            config,
+            detector,
+            ring,
+            state,
+            active,
+            dwell_remaining: 0,
+            unstable_streak: None,
+            stats: AdaptStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The accumulated adaptation counters.
+    pub fn stats(&self) -> &AdaptStats {
+        &self.stats
+    }
+
+    /// Every switch taken, in order.
+    pub fn switch_log(&self) -> &[SwitchEvent] {
+        &self.events
+    }
+
+    /// The model the next window will run under.
+    pub fn active_model(&self) -> CommModelKind {
+        self.active
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The characterization with every zone boundary shifted by `delta`
+    /// percentage points — the hysteresis probe.
+    fn shifted(&self, delta: f64) -> DeviceCharacterization {
+        let mut c = self.characterization.clone();
+        c.gpu_cache_threshold_pct += delta;
+        c.cpu_cache_threshold_pct += delta;
+        if let Some(z) = c.gpu_cache_zone2_pct {
+            c.gpu_cache_zone2_pct = Some(z + delta);
+        }
+        c
+    }
+
+    /// Re-runs the decision flow on a cache-enabled window profile.
+    /// Returns the stable verdict, or `None` when hysteresis rejects it.
+    fn decide(&mut self, profile: &ProfileReport) -> Option<Recommendation> {
+        self.stats.decisions += 1;
+        // The profile is measured under SC/UM, so its copy time is the
+        // measured per-window copy — exactly the estimate Eqn. 4 needs.
+        let copy = profile.copy_time;
+        let rec = recommend(
+            profile,
+            profile,
+            profile.model,
+            &self.characterization,
+            copy,
+        );
+        let h = self.config.hysteresis_pct;
+        if h > 0.0 {
+            for delta in [-h, h] {
+                let alt = recommend(profile, profile, profile.model, &self.shifted(delta), copy);
+                if alt.recommended != rec.recommended {
+                    return self.unstable(rec);
+                }
+            }
+        }
+        self.unstable_streak = None;
+        Some(rec)
+    }
+
+    /// Books a hysteresis-unstable verdict. Normally suppressed — but
+    /// [`ControllerConfig::hysteresis_confirm`] consecutive verdicts for
+    /// the same target are persistent evidence, not boundary noise, and
+    /// go through anyway.
+    fn unstable(&mut self, rec: Recommendation) -> Option<Recommendation> {
+        let streak = match self.unstable_streak {
+            Some((target, count)) if target == rec.recommended => count + 1,
+            _ => 1,
+        };
+        self.unstable_streak = Some((rec.recommended, streak));
+        let confirm = self.config.hysteresis_confirm;
+        if confirm > 0 && streak >= confirm && rec.recommended != self.active {
+            self.stats.hysteresis_overrides += 1;
+            self.unstable_streak = None;
+            return Some(rec);
+        }
+        self.stats.suppressed_hysteresis += 1;
+        None
+    }
+
+    /// Commits a switch: logs it, starts the dwell, resets the detector.
+    fn commit(&mut self, window: u64, to: CommModelKind, reason: SwitchReason) {
+        self.events.push(SwitchEvent {
+            window,
+            from: self.active,
+            to,
+            reason,
+        });
+        self.active = to;
+        self.stats.switches += 1;
+        self.dwell_remaining = self.config.min_dwell_windows;
+        self.unstable_streak = None;
+        self.detector.reset();
+    }
+
+    /// Applies the switch-cost gate, then commits.
+    fn try_switch(
+        &mut self,
+        window: u64,
+        rec: &Recommendation,
+        reason: SwitchReason,
+        window_time: Picos,
+    ) {
+        let to = rec.recommended;
+        if to == self.active {
+            return;
+        }
+        let cost = switch_cost_for_payload(&self.device, self.config.payload_hint, self.active, to);
+        let gain_per_window = match rec.estimated_speedup {
+            Some(est) if est.estimated > 1.0 => {
+                window_time.as_picos() as f64 * (1.0 - 1.0 / est.estimated)
+            }
+            _ => 0.0,
+        };
+        if gain_per_window * f64::from(self.config.payback_windows) < cost.as_picos() as f64 {
+            self.stats.suppressed_cost += 1;
+            return;
+        }
+        self.commit(window, to, reason);
+    }
+
+    /// Switches to SC to make the cache usage observable.
+    fn enter_probe(&mut self, window: u64, channels: Vec<String>) {
+        self.stats.probes += 1;
+        // No cost gate: the benefit is precisely what the probe exists to
+        // measure. When the verdict keeps SC, this switch *was* the
+        // adaptation; when it reverts, the probe cost is the price of
+        // observability.
+        self.commit(
+            window,
+            CommModelKind::StandardCopy,
+            SwitchReason::ProbeEntry(channels),
+        );
+        self.state = State::Probing {
+            remaining: self.config.probe_windows,
+        };
+    }
+
+    /// The unconditional decision ending warmup.
+    fn initial_decision(&mut self, window: u64) {
+        let Some(sample) = self.ring.latest().cloned() else {
+            return;
+        };
+        if !sample.usage_observable() {
+            // Warmed up under ZC: the decision flow needs cache counters,
+            // so observe them first.
+            self.enter_probe(window, Vec::new());
+            return;
+        }
+        if let Some(rec) = self.decide(&sample.profile) {
+            self.try_switch(
+                window,
+                &rec,
+                SwitchReason::InitialDecision,
+                sample.profile.total_time,
+            );
+        }
+    }
+
+    /// A drift fired while settled.
+    fn react(&mut self, window: u64, channels: Vec<String>) {
+        let Some(sample) = self.ring.latest().cloned() else {
+            return;
+        };
+        if sample.usage_observable() {
+            if let Some(rec) = self.decide(&sample.profile) {
+                self.try_switch(
+                    window,
+                    &rec,
+                    SwitchReason::Decision(channels),
+                    sample.profile.total_time,
+                );
+            }
+        } else {
+            self.enter_probe(window, channels);
+        }
+    }
+
+    /// The decision concluding a probe; the probe windows ran under SC.
+    fn conclude_probe(&mut self, window: u64) {
+        let Some(sample) = self.ring.latest().cloned() else {
+            return;
+        };
+        if let Some(rec) = self.decide(&sample.profile) {
+            // A verdict of SC keeps the probe switch as the adaptation; a
+            // verdict of ZC/UM reverts (cost-gated like any decision).
+            self.try_switch(
+                window,
+                &rec,
+                SwitchReason::ProbeVerdict,
+                sample.profile.total_time,
+            );
+        }
+    }
+}
+
+impl WindowPolicy for AdaptController {
+    fn name(&self) -> String {
+        "adapt".to_string()
+    }
+
+    fn initial_model(&self) -> CommModelKind {
+        self.config.initial_model
+    }
+
+    fn next_model(&mut self, window: u64, run: &RunReport) -> CommModelKind {
+        self.stats.windows += 1;
+        let profile = ProfileReport::from_run(run);
+        let sample = WindowSample::from_profile(window, profile, &self.characterization);
+        let drift = self.detector.observe(
+            sample.profile.total_time.as_picos() as f64,
+            sample.cpu_usage_pct,
+            sample.gpu_usage_pct,
+        );
+        if let Some(d) = &drift {
+            self.stats.drifts += 1;
+            self.stats.drift_windows.push(window);
+            let _ = d;
+        }
+        self.ring.push(sample);
+
+        match self.state {
+            State::Warmup { remaining } => {
+                let remaining = remaining.saturating_sub(1);
+                if remaining > 0 {
+                    self.state = State::Warmup { remaining };
+                } else {
+                    self.state = State::Settled;
+                    self.initial_decision(window);
+                }
+            }
+            State::Probing { remaining } => {
+                let remaining = remaining.saturating_sub(1);
+                if remaining > 0 {
+                    self.state = State::Probing { remaining };
+                } else {
+                    self.state = State::Settled;
+                    self.conclude_probe(window);
+                }
+            }
+            State::Settled => {
+                if self.dwell_remaining > 0 {
+                    self.dwell_remaining -= 1;
+                    if drift.is_some() {
+                        self.stats.suppressed_dwell += 1;
+                    }
+                } else if let Some(d) = drift {
+                    self.react(window, d.channels);
+                }
+            }
+        }
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_models::{run_phased, PhasedWorkload, WorkloadPhase};
+    use icomm_models::{GpuPhase, Workload};
+    use icomm_soc::cache::AccessKind;
+    use icomm_trace::Pattern;
+
+    fn workload(bytes: u64, passes: u32) -> Workload {
+        let body = Pattern::Linear {
+            start: 0,
+            bytes,
+            txn_bytes: 64,
+            kind: AccessKind::Read,
+        };
+        Workload::builder("t")
+            .bytes_to_gpu(ByteSize(bytes))
+            .gpu(GpuPhase {
+                compute_work: 1 << 14,
+                shared_accesses: Pattern::Repeat {
+                    body: Box::new(body),
+                    times: passes,
+                },
+                private_accesses: None,
+            })
+            .build()
+    }
+
+    fn controller(device: &DeviceProfile, config: ControllerConfig) -> AdaptController {
+        let c = icomm_microbench::quick_characterize_device(device);
+        AdaptController::new(device.clone(), c, config)
+    }
+
+    #[test]
+    fn stationary_workload_switches_at_most_once() {
+        // One phase: the only legitimate switch is the initial decision.
+        let device = DeviceProfile::jetson_agx_xavier();
+        let phased = PhasedWorkload::new(
+            "stationary",
+            vec![WorkloadPhase {
+                name: "steady".into(),
+                windows: 12,
+                workload: workload(256 * 1024, 1),
+            }],
+        );
+        let mut ctrl = controller(&device, ControllerConfig::default());
+        let report = run_phased(&device, &phased, &mut ctrl);
+        assert!(
+            report.switches <= 1,
+            "stationary run switched {} times: {:?}",
+            report.switches,
+            report.switch_sequence()
+        );
+        assert_eq!(ctrl.stats().windows, 12);
+    }
+
+    #[test]
+    fn dwell_and_reset_prevent_post_switch_flapping() {
+        let device = DeviceProfile::jetson_agx_xavier();
+        let phased = PhasedWorkload::new(
+            "two-phase",
+            vec![
+                WorkloadPhase {
+                    name: "light".into(),
+                    windows: 8,
+                    workload: workload(256 * 1024, 1),
+                },
+                WorkloadPhase {
+                    name: "heavy".into(),
+                    windows: 8,
+                    workload: workload(256 * 1024, 12),
+                },
+            ],
+        );
+        let mut ctrl = controller(&device, ControllerConfig::default());
+        let report = run_phased(&device, &phased, &mut ctrl);
+        // At most one adaptation per phase plus the initial decision.
+        assert!(
+            report.switches <= 3,
+            "switched {} times: {:?}",
+            report.switches,
+            report.switch_sequence()
+        );
+        // Never two switches in adjacent windows (dwell).
+        let seq = report.switch_sequence();
+        for pair in seq.windows(2) {
+            assert!(
+                pair[1].0 - pair[0].0 > 1,
+                "adjacent-window switches {seq:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replays_are_identical() {
+        let device = DeviceProfile::jetson_agx_xavier();
+        let phased = PhasedWorkload::new(
+            "replay",
+            vec![
+                WorkloadPhase {
+                    name: "a".into(),
+                    windows: 6,
+                    workload: workload(256 * 1024, 1),
+                },
+                WorkloadPhase {
+                    name: "b".into(),
+                    windows: 6,
+                    workload: workload(256 * 1024, 10),
+                },
+            ],
+        );
+        let run = || {
+            let mut ctrl = controller(&device, ControllerConfig::default());
+            let report = run_phased(&device, &phased, &mut ctrl);
+            (report.switch_sequence(), ctrl.stats().clone())
+        };
+        let (seq_a, stats_a) = run();
+        let (seq_b, stats_b) = run();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn warmup_under_zc_probes_before_deciding() {
+        let device = DeviceProfile::jetson_tx2();
+        let phased = PhasedWorkload::new(
+            "zc-start",
+            vec![WorkloadPhase {
+                name: "heavy".into(),
+                windows: 10,
+                workload: workload(256 * 1024, 12),
+            }],
+        );
+        let config = ControllerConfig {
+            initial_model: CommModelKind::ZeroCopy,
+            ..ControllerConfig::default()
+        };
+        let mut ctrl = controller(&device, config);
+        let report = run_phased(&device, &phased, &mut ctrl);
+        assert_eq!(ctrl.stats().probes, 1, "warmup under ZC must probe");
+        // Cache-heavy work on the TX2 must end under a cached model.
+        assert_ne!(
+            *report.model_sequence().last().unwrap(),
+            CommModelKind::ZeroCopy
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(ControllerConfig {
+            probe_windows: 0,
+            ..ControllerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ControllerConfig {
+            ring_capacity: 1,
+            probe_windows: 4,
+            ..ControllerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ControllerConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,331 @@
+//! Phase-change detection over streaming counters: EWMA baselines with a
+//! two-sided CUSUM drift test.
+//!
+//! The detector watches three channels of the window stream:
+//!
+//! - **cpu-usage** — Eqn. 1 CPU LLC usage in percent (absolute
+//!   deviations);
+//! - **gpu-usage** — Eqn. 2 GPU LLC usage in percent (absolute
+//!   deviations);
+//! - **window-time** — the window's end-to-end time (relative percent
+//!   deviations, so the channel is scale-free across models and
+//!   workloads).
+//!
+//! The usage channels are only fed when the caches are enabled (SC/UM);
+//! under zero copy the time channel alone carries the drift signal —
+//! exactly the observability split of the paper's profiling step.
+//!
+//! Each channel keeps an exponentially weighted moving average as its
+//! baseline and a two-sided CUSUM over the deviations from it:
+//! `s⁺ ← max(0, s⁺ + (x − baseline) − k)` and
+//! `s⁻ ← max(0, s⁻ + (baseline − x) − k)`; the channel fires when either
+//! side exceeds `h`. The slack `k` absorbs benign jitter, `h` sets the
+//! detection/false-alarm trade-off. Everything is pure arithmetic over
+//! the sample stream — the detector is deterministic by construction, so
+//! replaying the same window stream through the same configuration
+//! always yields the same drift sequence.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the [`PhaseDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// EWMA smoothing factor in `(0, 1]`; higher tracks faster.
+    pub ewma_alpha: f64,
+    /// CUSUM slack `k` in percent — deviation absorbed per sample before
+    /// the sums accumulate.
+    pub cusum_k_pct: f64,
+    /// CUSUM decision bound `h` in percent — a channel fires when a sum
+    /// exceeds it.
+    pub cusum_h_pct: f64,
+    /// Samples a channel must observe before it may fire — the baseline
+    /// needs this long to settle after a reset.
+    pub warmup_samples: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            ewma_alpha: 0.3,
+            cusum_k_pct: 1.0,
+            cusum_h_pct: 4.0,
+            warmup_samples: 2,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(format!("ewma_alpha {} outside (0, 1]", self.ewma_alpha));
+        }
+        if !(self.cusum_k_pct >= 0.0 && self.cusum_k_pct.is_finite()) {
+            return Err(format!("cusum_k_pct {} invalid", self.cusum_k_pct));
+        }
+        if !(self.cusum_h_pct > 0.0 && self.cusum_h_pct.is_finite()) {
+            return Err(format!("cusum_h_pct {} invalid", self.cusum_h_pct));
+        }
+        Ok(())
+    }
+}
+
+/// How a channel turns samples into deviations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scale {
+    /// Deviation is `x − baseline` (for metrics already in percent).
+    Absolute,
+    /// Deviation is `(x − baseline) / baseline × 100` (for raw
+    /// magnitudes like times).
+    Relative,
+}
+
+/// One monitored metric: EWMA baseline plus two-sided CUSUM.
+#[derive(Debug, Clone)]
+struct Channel {
+    name: &'static str,
+    scale: Scale,
+    baseline: Option<f64>,
+    s_pos: f64,
+    s_neg: f64,
+    samples: u32,
+}
+
+impl Channel {
+    fn new(name: &'static str, scale: Scale) -> Self {
+        Channel {
+            name,
+            scale,
+            baseline: None,
+            s_pos: 0.0,
+            s_neg: 0.0,
+            samples: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.baseline = None;
+        self.s_pos = 0.0;
+        self.s_neg = 0.0;
+        self.samples = 0;
+    }
+
+    /// Feeds one sample; returns whether the channel fired.
+    fn observe(&mut self, x: f64, cfg: &DetectorConfig) -> bool {
+        if !x.is_finite() {
+            return false;
+        }
+        let Some(baseline) = self.baseline else {
+            self.baseline = Some(x);
+            self.samples = 1;
+            return false;
+        };
+        let deviation = match self.scale {
+            Scale::Absolute => x - baseline,
+            Scale::Relative => {
+                if baseline.abs() < f64::EPSILON {
+                    0.0
+                } else {
+                    (x - baseline) / baseline * 100.0
+                }
+            }
+        };
+        self.s_pos = (self.s_pos + deviation - cfg.cusum_k_pct).max(0.0);
+        self.s_neg = (self.s_neg - deviation - cfg.cusum_k_pct).max(0.0);
+        let fired = self.samples >= cfg.warmup_samples
+            && (self.s_pos > cfg.cusum_h_pct || self.s_neg > cfg.cusum_h_pct);
+        // The baseline adapts *after* the test so a step change is judged
+        // against the pre-step average.
+        self.baseline = Some(baseline + cfg.ewma_alpha * (x - baseline));
+        self.samples += 1;
+        fired
+    }
+}
+
+/// A detected phase change: which channels crossed their CUSUM bound.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Drift {
+    /// Names of the channels that fired (`cpu-usage`, `gpu-usage`,
+    /// `window-time`), in fixed order.
+    pub channels: Vec<String>,
+}
+
+/// Streaming phase-change detector over the three window channels.
+#[derive(Debug, Clone)]
+pub struct PhaseDetector {
+    config: DetectorConfig,
+    cpu: Channel,
+    gpu: Channel,
+    time: Channel,
+}
+
+impl PhaseDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid
+    /// ([`DetectorConfig::validate`]).
+    pub fn new(config: DetectorConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid detector config: {e}");
+        }
+        PhaseDetector {
+            config,
+            cpu: Channel::new("cpu-usage", Scale::Absolute),
+            gpu: Channel::new("gpu-usage", Scale::Absolute),
+            time: Channel::new("window-time", Scale::Relative),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Feeds one window: its end-to-end time in picoseconds and, when
+    /// observable, its usage metrics. Returns the drift verdict for this
+    /// window.
+    pub fn observe(
+        &mut self,
+        window_time_ps: f64,
+        cpu_usage_pct: Option<f64>,
+        gpu_usage_pct: Option<f64>,
+    ) -> Option<Drift> {
+        let cfg = self.config;
+        let mut channels = Vec::new();
+        if let Some(u) = cpu_usage_pct {
+            if self.cpu.observe(u, &cfg) {
+                channels.push(self.cpu.name.to_string());
+            }
+        }
+        if let Some(u) = gpu_usage_pct {
+            if self.gpu.observe(u, &cfg) {
+                channels.push(self.gpu.name.to_string());
+            }
+        }
+        if self.time.observe(window_time_ps, &cfg) {
+            channels.push(self.time.name.to_string());
+        }
+        (!channels.is_empty()).then_some(Drift { channels })
+    }
+
+    /// Clears all baselines and sums — called after a model switch, when
+    /// every channel's operating point legitimately moves.
+    pub fn reset(&mut self) {
+        self.cpu.reset();
+        self.gpu.reset();
+        self.time.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> PhaseDetector {
+        PhaseDetector::new(DetectorConfig::default())
+    }
+
+    #[test]
+    fn stationary_stream_never_fires() {
+        let mut d = detector();
+        for _ in 0..100 {
+            assert_eq!(d.observe(1e9, Some(20.0), Some(5.0)), None);
+        }
+    }
+
+    #[test]
+    fn jitter_below_slack_is_absorbed() {
+        let mut d = detector();
+        for i in 0..200 {
+            let wiggle = if i % 2 == 0 { 0.4 } else { -0.4 };
+            assert_eq!(
+                d.observe(1e9 * (1.0 + wiggle / 100.0), Some(20.0 + wiggle), None),
+                None,
+                "fired at sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn step_change_fires_fast_and_names_the_channel() {
+        let mut d = detector();
+        for _ in 0..10 {
+            assert_eq!(d.observe(1e9, Some(20.0), Some(5.0)), None);
+        }
+        // Usage jumps 30 points: with k=1, h=4 the first post-step window
+        // already accumulates ~29 > 4.
+        let drift = d.observe(1e9, Some(50.0), Some(5.0)).expect("must fire");
+        assert_eq!(drift.channels, vec!["cpu-usage".to_string()]);
+    }
+
+    #[test]
+    fn time_channel_is_relative_and_two_sided() {
+        let mut d = detector();
+        for _ in 0..10 {
+            assert_eq!(d.observe(2e9, None, None), None);
+        }
+        // A 50% drop in window time must fire just like a rise would.
+        let drift = d.observe(1e9, None, None).expect("must fire");
+        assert_eq!(drift.channels, vec!["window-time".to_string()]);
+    }
+
+    #[test]
+    fn warmup_suppresses_the_first_samples() {
+        let mut d = detector();
+        // Baseline sample, then an immediate huge step: still inside the
+        // warmup, so no verdict.
+        assert_eq!(d.observe(1e9, Some(1.0), None), None);
+        assert_eq!(d.observe(1e9, Some(90.0), None), None);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = detector();
+        for _ in 0..5 {
+            d.observe(1e9, Some(20.0), None);
+        }
+        d.reset();
+        // Post-reset the first sample only seeds the baseline.
+        assert_eq!(d.observe(5e9, Some(80.0), None), None);
+    }
+
+    #[test]
+    fn detection_is_deterministic() {
+        let run = || {
+            let mut d = detector();
+            let mut fired = Vec::new();
+            for i in 0..50u64 {
+                let usage = if i < 25 { 10.0 } else { 40.0 };
+                if d.observe(1e9, Some(usage), Some(usage / 2.0)).is_some() {
+                    fired.push(i);
+                }
+            }
+            fired
+        };
+        assert_eq!(run(), run());
+        assert!(!run().is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        assert!(DetectorConfig {
+            ewma_alpha: 0.0,
+            ..DetectorConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DetectorConfig {
+            cusum_h_pct: -1.0,
+            ..DetectorConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DetectorConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,90 @@
+//! # icomm-adapt — online phase-aware adaptation
+//!
+//! The paper's framework tunes an application *once*, offline: profile it,
+//! classify it against the device characterization, pick a communication
+//! model. This crate closes the loop at runtime. It consumes the same
+//! profiler counters as a *stream* of windows, detects when the
+//! application changes phase, and re-runs the very same decision flow
+//! ([`icomm_core::decision::recommend`]) to switch the communication
+//! model mid-run — without oscillating.
+//!
+//! Three layers:
+//!
+//! - [`window`]: the streaming substrate — a bounded [`WindowRing`] of
+//!   profiled windows with their Eqn. 1/2 usage metrics (observable only
+//!   under cache-enabled models, as on real hardware).
+//! - [`detector`]: the [`PhaseDetector`] — EWMA baselines with a
+//!   two-sided CUSUM drift test per channel (CPU usage, GPU usage,
+//!   window time).
+//! - [`controller`]: the [`AdaptController`] — a
+//!   [`icomm_models::WindowPolicy`] that probes under SC when usage is
+//!   unobservable, and guards every switch with hysteresis, a minimum
+//!   dwell, and an explicit switch-cost payback gate.
+//!
+//! [`evaluate`] packages a full experiment: adaptive vs the three static
+//! models vs the clairvoyant per-phase oracle, with regret and
+//! detection-latency metrics ([`AdaptationReport`]). The pipeline is
+//! deterministic end to end: same trace, same configuration, same switch
+//! sequence — see the replay test in `controller`.
+//!
+//! See the repository README ("Online adaptation") for the controller
+//! state machine and the `icomm adapt` CLI entry point, and
+//! `docs/RESULTS.md` for the measured regret of the three-phase case
+//! studies.
+//!
+//! # Example
+//!
+//! ```
+//! use icomm_adapt::{evaluate, ControllerConfig};
+//! use icomm_microbench::quick_characterize_device;
+//! use icomm_models::{CommModelKind, PhasedWorkload, WorkloadPhase};
+//! use icomm_models::{GpuPhase, Workload};
+//! use icomm_soc::cache::AccessKind;
+//! use icomm_soc::units::ByteSize;
+//! use icomm_soc::DeviceProfile;
+//! use icomm_trace::Pattern;
+//!
+//! let make = |passes| {
+//!     Workload::builder("w")
+//!         .bytes_to_gpu(ByteSize::kib(128))
+//!         .gpu(GpuPhase {
+//!             compute_work: 1 << 14,
+//!             shared_accesses: Pattern::Repeat {
+//!                 body: Box::new(Pattern::Linear {
+//!                     start: 0,
+//!                     bytes: 128 * 1024,
+//!                     txn_bytes: 64,
+//!                     kind: AccessKind::Read,
+//!                 }),
+//!                 times: passes,
+//!             },
+//!             private_accesses: None,
+//!         })
+//!         .build()
+//! };
+//! let phased = PhasedWorkload::new(
+//!     "two-phase",
+//!     vec![
+//!         WorkloadPhase { name: "light".into(), windows: 6, workload: make(1) },
+//!         WorkloadPhase { name: "heavy".into(), windows: 6, workload: make(10) },
+//!     ],
+//! );
+//! let device = DeviceProfile::jetson_agx_xavier();
+//! let characterization = quick_characterize_device(&device);
+//! let report = evaluate(&device, &characterization, &phased, ControllerConfig::default());
+//! assert_eq!(report.adaptive.windows.len(), 12);
+//! assert!(report.oracle.total_time <= report.adaptive.total_time);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod controller;
+pub mod detector;
+pub mod report;
+pub mod window;
+
+pub use controller::{AdaptController, AdaptStats, ControllerConfig, SwitchEvent, SwitchReason};
+pub use detector::{DetectorConfig, Drift, PhaseDetector};
+pub use report::{evaluate, AdaptationReport};
+pub use window::{WindowRing, WindowSample};

@@ -1,0 +1,209 @@
+//! Adaptation evaluation: adaptive vs static vs oracle, with regret and
+//! detection-latency accounting.
+//!
+//! [`evaluate`] drives the [`AdaptController`] over a phased workload and
+//! measures it against the three static baselines and the clairvoyant
+//! per-phase oracle ([`icomm_models::oracle_phased`]). The headline
+//! metric is **regret**: how much slower the adaptive run was than the
+//! oracle, in percent — the price of having to *detect* phases instead of
+//! knowing them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use icomm_microbench::DeviceCharacterization;
+use icomm_models::{
+    oracle_phased, run_phased, static_phased, CommModelKind, PhasedRunReport, PhasedWorkload,
+};
+use icomm_soc::DeviceProfile;
+
+use crate::controller::{AdaptController, AdaptStats, ControllerConfig, SwitchEvent};
+
+/// The outcome of evaluating online adaptation on one phased workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationReport {
+    /// Phased workload name.
+    pub workload: String,
+    /// Board name.
+    pub device: String,
+    /// The adaptive run.
+    pub adaptive: PhasedRunReport,
+    /// One static run per communication model.
+    pub statics: Vec<PhasedRunReport>,
+    /// The per-phase oracle run.
+    pub oracle: PhasedRunReport,
+    /// Controller counters.
+    pub stats: AdaptStats,
+    /// Every switch the controller took.
+    pub switch_log: Vec<SwitchEvent>,
+    /// Phase-boundary windows of the workload.
+    pub boundaries: Vec<u64>,
+    /// Per boundary: windows from the boundary to the first drift
+    /// verdict attributed to it (1 = detected on the first window of the
+    /// new phase); `None` when the boundary went undetected.
+    pub detection_latency_windows: Vec<Option<u64>>,
+    /// Regret of the adaptive run vs the oracle, percent.
+    pub regret_pct: f64,
+}
+
+impl AdaptationReport {
+    /// The fastest static run.
+    pub fn best_static(&self) -> &PhasedRunReport {
+        self.statics
+            .iter()
+            .min_by_key(|r| r.total_time)
+            .expect("three static baselines")
+    }
+
+    /// Whether the adaptive run beat every static model.
+    pub fn beats_best_static(&self) -> bool {
+        self.adaptive.total_time < self.best_static().total_time
+    }
+
+    /// Mean detection latency over the detected boundaries, in windows.
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        let detected: Vec<u64> = self
+            .detection_latency_windows
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        (!detected.is_empty()).then(|| detected.iter().sum::<u64>() as f64 / detected.len() as f64)
+    }
+}
+
+impl fmt::Display for AdaptationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = |r: &PhasedRunReport| r.total_time.as_secs_f64() * 1e3;
+        writeln!(
+            f,
+            "adaptation of '{}' on {} ({} windows, {} phases)",
+            self.workload,
+            self.device,
+            self.adaptive.windows.len(),
+            self.boundaries.len() + 1
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "  {:<12} {:>12} {:>9}",
+            "policy", "total (ms)", "switches"
+        )?;
+        for r in std::iter::once(&self.adaptive)
+            .chain(self.statics.iter())
+            .chain(std::iter::once(&self.oracle))
+        {
+            writeln!(f, "  {:<12} {:>12.3} {:>9}", r.policy, ms(r), r.switches)?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "  regret vs oracle: {:.2}%   beats best static: {}",
+            self.regret_pct,
+            if self.beats_best_static() {
+                "yes"
+            } else {
+                "no"
+            }
+        )?;
+        match self.mean_detection_latency() {
+            Some(l) => writeln!(f, "  mean detection latency: {l:.1} windows")?,
+            None => writeln!(f, "  mean detection latency: n/a (no boundaries detected)")?,
+        }
+        for (i, ev) in self.switch_log.iter().enumerate() {
+            let sep = if i + 1 == self.switch_log.len() {
+                ""
+            } else {
+                "\n"
+            };
+            write!(
+                f,
+                "  switch @{:>4}: {} -> {} ({}){sep}",
+                ev.window,
+                ev.from.abbrev(),
+                ev.to.abbrev(),
+                ev.reason
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Attributes each drift verdict to the phase boundary it follows.
+fn detection_latencies(boundaries: &[u64], total_windows: u64, drifts: &[u64]) -> Vec<Option<u64>> {
+    boundaries
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let next = boundaries.get(i + 1).copied().unwrap_or(total_windows);
+            drifts
+                .iter()
+                .find(|&&w| w >= b && w < next)
+                .map(|&w| w - b + 1)
+        })
+        .collect()
+}
+
+/// Runs the adaptive controller and every baseline over `phased`,
+/// returning the full comparison.
+pub fn evaluate(
+    device: &DeviceProfile,
+    characterization: &DeviceCharacterization,
+    phased: &PhasedWorkload,
+    config: ControllerConfig,
+) -> AdaptationReport {
+    let mut controller = AdaptController::new(device.clone(), characterization.clone(), config);
+    let adaptive = run_phased(device, phased, &mut controller);
+    let statics: Vec<PhasedRunReport> = CommModelKind::ALL
+        .into_iter()
+        .map(|kind| static_phased(device, phased, kind))
+        .collect();
+    let oracle = oracle_phased(device, phased);
+    let regret_pct = {
+        let a = adaptive.total_time.as_picos() as f64;
+        let o = oracle.total_time.as_picos() as f64;
+        if o > 0.0 {
+            (a - o) / o * 100.0
+        } else {
+            0.0
+        }
+    };
+    let boundaries = phased.boundaries();
+    let detection_latency_windows = detection_latencies(
+        &boundaries,
+        phased.total_windows(),
+        &controller.stats().drift_windows,
+    );
+    AdaptationReport {
+        workload: phased.name.clone(),
+        device: device.name.clone(),
+        adaptive,
+        statics,
+        oracle,
+        stats: controller.stats().clone(),
+        switch_log: controller.switch_log().to_vec(),
+        boundaries,
+        detection_latency_windows,
+        regret_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_attribution() {
+        // Boundaries at 10 and 20 in a 30-window run.
+        let lat = detection_latencies(&[10, 20], 30, &[10, 23]);
+        assert_eq!(lat, vec![Some(1), Some(4)]);
+        // An early drift belongs to no boundary; a missed boundary is None.
+        let lat = detection_latencies(&[10, 20], 30, &[3, 12]);
+        assert_eq!(lat, vec![Some(3), None]);
+        assert_eq!(
+            detection_latencies(&[], 30, &[5]),
+            Vec::<Option<u64>>::new()
+        );
+    }
+}

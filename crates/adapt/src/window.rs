@@ -1,0 +1,235 @@
+//! The streaming window buffer: a bounded ring of recent profiler
+//! windows.
+//!
+//! The adaptation runtime never sees the workload — only a stream of
+//! per-window [`ProfileReport`]s. The ring keeps the most recent windows
+//! together with the cache-usage metrics derived from them, so the
+//! controller can aggregate over a probe interval or inspect the recent
+//! history when deciding.
+//!
+//! Cache usage (Eqns. 1 and 2) is only *observable* when the caches are
+//! enabled, i.e. under SC or UM; windows executed under zero copy carry
+//! `None` usage samples, mirroring what a profiler on real hardware can
+//! and cannot see.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use icomm_core::usage::{cpu_usage_of, gpu_usage_of};
+use icomm_microbench::DeviceCharacterization;
+use icomm_models::CommModelKind;
+use icomm_profile::ProfileReport;
+
+/// One profiled window together with its derived usage metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowSample {
+    /// Window index in the run (0-based).
+    pub window: u64,
+    /// Profiler output for the window.
+    pub profile: ProfileReport,
+    /// CPU LLC usage (Eqn. 1, percent) — `None` when the window ran with
+    /// caches bypassed (zero copy), where the metric is unobservable.
+    pub cpu_usage_pct: Option<f64>,
+    /// GPU LLC usage (Eqn. 2, percent) — same observability rule.
+    pub gpu_usage_pct: Option<f64>,
+}
+
+impl WindowSample {
+    /// Derives a sample from a profiled window against a device
+    /// characterization.
+    pub fn from_profile(
+        window: u64,
+        profile: ProfileReport,
+        device: &DeviceCharacterization,
+    ) -> Self {
+        let observable = profile.model != CommModelKind::ZeroCopy;
+        let cpu = observable.then(|| cpu_usage_of(&profile));
+        let gpu = observable.then(|| gpu_usage_of(&profile, device));
+        WindowSample {
+            window,
+            profile,
+            cpu_usage_pct: cpu,
+            gpu_usage_pct: gpu,
+        }
+    }
+
+    /// Whether the window's cache usage was observable.
+    pub fn usage_observable(&self) -> bool {
+        self.cpu_usage_pct.is_some()
+    }
+}
+
+/// Bounded ring buffer of the most recent [`WindowSample`]s.
+#[derive(Debug, Clone)]
+pub struct WindowRing {
+    capacity: usize,
+    buf: VecDeque<WindowSample>,
+}
+
+impl WindowRing {
+    /// Creates a ring holding up to `capacity` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a window ring needs capacity");
+        WindowRing {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, sample: WindowSample) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(sample);
+    }
+
+    /// Number of buffered windows.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no windows yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of windows retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> Option<&WindowSample> {
+        self.buf.back()
+    }
+
+    /// Iterates the buffered windows, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &WindowSample> {
+        self.buf.iter()
+    }
+
+    /// Iterates the `n` most recent windows, oldest of them first.
+    pub fn recent(&self, n: usize) -> impl Iterator<Item = &WindowSample> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip)
+    }
+
+    /// Mean GPU usage over the `n` most recent windows with observable
+    /// usage; `None` when none of them were observable.
+    pub fn mean_gpu_usage(&self, n: usize) -> Option<f64> {
+        mean(self.recent(n).filter_map(|s| s.gpu_usage_pct))
+    }
+
+    /// Mean CPU usage over the `n` most recent windows with observable
+    /// usage.
+    pub fn mean_cpu_usage(&self, n: usize) -> Option<f64> {
+        mean(self.recent(n).filter_map(|s| s.cpu_usage_pct))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut count = 0u32;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_soc::units::Picos;
+
+    fn characterization() -> DeviceCharacterization {
+        DeviceCharacterization {
+            device: "test".into(),
+            gpu_cache_max_throughput: 100e9,
+            gpu_zc_throughput: 10e9,
+            gpu_um_throughput: 100e9,
+            gpu_cache_threshold_pct: 10.0,
+            gpu_cache_zone2_pct: Some(50.0),
+            cpu_cache_threshold_pct: 15.0,
+            sc_zc_max_speedup: 2.5,
+            zc_sc_max_speedup: 70.0,
+        }
+    }
+
+    fn profile(model: CommModelKind) -> ProfileReport {
+        ProfileReport {
+            workload: "t".into(),
+            model,
+            miss_rate_l1_cpu: 0.2,
+            miss_rate_ll_cpu: 0.5,
+            hit_rate_l1_gpu: 0.5,
+            gpu_transactions: 1000,
+            gpu_transaction_bytes: 64.0,
+            kernel_time: Picos::from_micros(50),
+            cpu_time: Picos::from_micros(20),
+            copy_time: Picos::from_micros(10),
+            total_time: Picos::from_micros(80),
+        }
+    }
+
+    #[test]
+    fn usage_only_observable_under_cached_models() {
+        let c = characterization();
+        let sc = WindowSample::from_profile(0, profile(CommModelKind::StandardCopy), &c);
+        assert!(sc.usage_observable());
+        assert!(sc.gpu_usage_pct.unwrap() > 0.0);
+        let zc = WindowSample::from_profile(1, profile(CommModelKind::ZeroCopy), &c);
+        assert!(!zc.usage_observable());
+        assert_eq!(zc.cpu_usage_pct, None);
+        assert_eq!(zc.gpu_usage_pct, None);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_aggregates_recent() {
+        let c = characterization();
+        let mut ring = WindowRing::new(3);
+        for w in 0..5u64 {
+            ring.push(WindowSample::from_profile(
+                w,
+                profile(CommModelKind::StandardCopy),
+                &c,
+            ));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.iter().next().unwrap().window, 2);
+        assert_eq!(ring.latest().unwrap().window, 4);
+        assert_eq!(ring.recent(2).count(), 2);
+        let mean = ring.mean_gpu_usage(3).unwrap();
+        assert!((mean - ring.latest().unwrap().gpu_usage_pct.unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means_skip_unobservable_windows() {
+        let c = characterization();
+        let mut ring = WindowRing::new(4);
+        ring.push(WindowSample::from_profile(
+            0,
+            profile(CommModelKind::ZeroCopy),
+            &c,
+        ));
+        assert_eq!(ring.mean_gpu_usage(4), None);
+        ring.push(WindowSample::from_profile(
+            1,
+            profile(CommModelKind::StandardCopy),
+            &c,
+        ));
+        assert!(ring.mean_gpu_usage(4).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = WindowRing::new(0);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Not one of the paper's two evaluated applications, but the application
 //! class its introduction motivates the framework with (convoy tracking
-//! and lane detection on embedded GPUs [1], [2]).
+//! and lane detection on embedded GPUs \[1\], \[2\]).
 
 pub mod detect;
 pub mod scene;

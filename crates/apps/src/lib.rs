@@ -19,6 +19,11 @@
 //! are instrumented with [`icomm_trace::Tracer`] so the workload
 //! descriptors are sized from *traced* shared-buffer traffic rather than
 //! hand-waved estimates.
+//!
+//! Each app also offers a three-phase [`phased`] variant
+//! (`phased_workload`) whose regimes flip the optimal communication
+//! model — the test inputs of the online adaptation layer
+//! (`icomm-adapt`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -26,6 +31,7 @@
 pub mod image;
 pub mod lane;
 pub mod orb;
+pub mod phased;
 pub mod shwfs;
 
 pub use image::Image;

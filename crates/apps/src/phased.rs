@@ -1,0 +1,200 @@
+//! Phased variants of the case studies — the inputs of the online
+//! adaptation layer (`icomm-adapt`).
+//!
+//! The paper tunes each application as if it were stationary. Deployed
+//! pipelines are not: the same process alternates between regimes whose
+//! cache behaviour — and therefore whose best communication model —
+//! differs. Each variant here sequences three regimes of the *same*
+//! application into a [`PhasedWorkload`]:
+//!
+//! 1. a **cache-light** streaming regime (the traced base workload: one
+//!    pass over the shared buffer per frame);
+//! 2. a **cache-heavy** burst regime (the kernel re-reads the shared
+//!    buffer many times, pushing the Eqn. 2 usage past the device
+//!    threshold);
+//! 3. a **balanced** regime with modest reuse, back near the zone
+//!    boundary from below.
+//!
+//! For the SH-WFS and lane pipelines only the GPU's shared-buffer access
+//! pattern changes between phases — payloads, CPU work, and arithmetic
+//! stay fixed, exactly the drift an online controller has to catch from
+//! counters alone. The ORB front-end is CPU-dominated, so reuse alone
+//! barely moves its bottom line; its relocalization burst additionally
+//! idles the CPU (the tracker blocks on the GPU brute-force matcher),
+//! which is what actually happens when a SLAM system loses tracking.
+
+use icomm_models::{CpuPhase, PhasedWorkload, Workload, WorkloadPhase};
+use icomm_trace::Pattern;
+
+use crate::{LaneApp, OrbApp, ShwfsApp};
+
+/// Clones `base` with the GPU shared traffic repeated `times` over and a
+/// phase-suffixed name.
+fn reuse(base: &Workload, suffix: &str, times: u32) -> Workload {
+    let mut w = base.clone();
+    w.name = format!("{}/{suffix}", base.name);
+    w.gpu.shared_accesses = Pattern::Repeat {
+        body: Box::new(base.gpu.shared_accesses.clone()),
+        times,
+    };
+    w
+}
+
+/// [`reuse`] with the CPU idled: a pure-GPU burst (the CPU blocks on the
+/// kernel's result and contributes no work of its own).
+fn gpu_burst(base: &Workload, suffix: &str, times: u32) -> Workload {
+    let mut w = reuse(base, suffix, times);
+    w.cpu = CpuPhase::idle();
+    w
+}
+
+/// Assembles the three-phase schedule shared by all variants.
+fn three_phase(
+    name: String,
+    phases: [(&str, Workload); 3],
+    windows_per_phase: u32,
+) -> PhasedWorkload {
+    assert!(windows_per_phase > 0, "phases need at least one window");
+    PhasedWorkload::new(
+        name,
+        phases
+            .into_iter()
+            .map(|(suffix, workload)| WorkloadPhase {
+                name: suffix.to_string(),
+                windows: windows_per_phase,
+                workload,
+            })
+            .collect(),
+    )
+}
+
+impl ShwfsApp {
+    /// Three-phase SH-WFS run: open-loop acquisition, a calibration burst
+    /// that re-reads each frame against reference spot grids, then
+    /// closed-loop tracking with light reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `windows_per_phase` is zero.
+    pub fn phased_workload(&self, windows_per_phase: u32) -> PhasedWorkload {
+        let base = self.workload();
+        three_phase(
+            format!("{}/phased", base.name),
+            [
+                ("acquire", reuse(&base, "acquire", 1)),
+                ("calibrate", reuse(&base, "calibrate", 16)),
+                ("closed-loop", reuse(&base, "closed-loop", 2)),
+            ],
+            windows_per_phase,
+        )
+    }
+}
+
+impl OrbApp {
+    /// Three-phase ORB front-end: frame ingest, a relocalization burst
+    /// (the CPU tracker blocks while brute-force descriptor matching
+    /// re-walks the shared image pyramid on the GPU), then steady
+    /// tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `windows_per_phase` is zero.
+    pub fn phased_workload(&self, windows_per_phase: u32) -> PhasedWorkload {
+        let base = self.workload();
+        three_phase(
+            format!("{}/phased", base.name),
+            [
+                ("ingest", reuse(&base, "ingest", 1)),
+                ("relocalize", gpu_burst(&base, "relocalize", 64)),
+                ("track", reuse(&base, "track", 2)),
+            ],
+            windows_per_phase,
+        )
+    }
+}
+
+impl LaneApp {
+    /// Three-phase lane detection: highway cruise, a dense-intersection
+    /// burst (the Hough stage re-scans the edge map), then cruise with
+    /// light reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `windows_per_phase` is zero.
+    pub fn phased_workload(&self, windows_per_phase: u32) -> PhasedWorkload {
+        let base = self.workload();
+        three_phase(
+            format!("{}/phased", base.name),
+            [
+                ("highway", reuse(&base, "highway", 1)),
+                ("intersection", reuse(&base, "intersection", 16)),
+                ("cruise", reuse(&base, "cruise", 2)),
+            ],
+            windows_per_phase,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_build_three_phases() {
+        let phased = [
+            ShwfsApp::default().phased_workload(4),
+            OrbApp::default().phased_workload(4),
+            LaneApp::default().phased_workload(4),
+        ];
+        for p in &phased {
+            assert_eq!(p.phases.len(), 3, "{}", p.name);
+            assert_eq!(p.total_windows(), 12);
+            assert!(p.name.ends_with("/phased"));
+        }
+    }
+
+    #[test]
+    fn burst_phase_multiplies_shared_traffic_only() {
+        let p = ShwfsApp::default().phased_workload(2);
+        let light = &p.phases[0].workload;
+        let heavy = &p.phases[1].workload;
+        assert_eq!(
+            heavy.gpu.shared_accesses.bytes(),
+            16 * light.gpu.shared_accesses.bytes()
+        );
+        // Payloads and CPU side are phase-invariant.
+        assert_eq!(heavy.bytes_to_gpu, light.bytes_to_gpu);
+        assert_eq!(heavy.bytes_from_gpu, light.bytes_from_gpu);
+        assert_eq!(heavy.cpu, light.cpu);
+        assert_eq!(heavy.gpu.compute_work, light.gpu.compute_work);
+    }
+
+    #[test]
+    fn orb_relocalization_is_a_pure_gpu_burst() {
+        let p = OrbApp::default().phased_workload(2);
+        let ingest = &p.phases[0].workload;
+        let reloc = &p.phases[1].workload;
+        assert_eq!(reloc.cpu, icomm_models::CpuPhase::idle());
+        assert_eq!(
+            reloc.gpu.shared_accesses.bytes(),
+            64 * ingest.gpu.shared_accesses.bytes()
+        );
+        // The payloads still cross: relocalization matches against the
+        // same shared pyramid the ingest phase uploads.
+        assert_eq!(reloc.bytes_to_gpu, ingest.bytes_to_gpu);
+    }
+
+    #[test]
+    fn phase_names_distinguish_workloads() {
+        let p = LaneApp::default().phased_workload(1);
+        assert!(p.phases[0].workload.name.ends_with("/highway"));
+        assert!(p.phases[1].workload.name.ends_with("/intersection"));
+        assert!(p.phases[2].workload.name.ends_with("/cruise"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn zero_windows_rejected() {
+        let _ = OrbApp::default().phased_workload(0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Adaptation regret: how close the online controller gets to the
+//! clairvoyant per-phase oracle, and what the adaptation layer itself
+//! costs per window.
+//!
+//! Two measurements per app/board pair:
+//!
+//! - `evaluate`: the full comparison (adaptive + three statics +
+//!   oracle) — the number the `icomm adapt` subcommand reports.
+//! - `controller_overhead`: just the adaptive run, i.e. the detector +
+//!   controller bookkeeping on top of the simulated windows.
+//!
+//! After the timed runs it prints the regret table so the benchmark
+//! doubles as the results generator for docs/RESULTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icomm_adapt::{evaluate, ControllerConfig};
+use icomm_apps::{LaneApp, OrbApp, ShwfsApp};
+use icomm_microbench::quick_characterize_device;
+use icomm_models::PhasedWorkload;
+use icomm_soc::DeviceProfile;
+
+const WINDOWS_PER_PHASE: u32 = 12;
+
+fn phased_apps() -> Vec<PhasedWorkload> {
+    vec![
+        ShwfsApp::default().phased_workload(WINDOWS_PER_PHASE),
+        OrbApp::default().phased_workload(WINDOWS_PER_PHASE),
+        LaneApp::default().phased_workload(WINDOWS_PER_PHASE),
+    ]
+}
+
+fn config_for(phased: &PhasedWorkload) -> ControllerConfig {
+    ControllerConfig {
+        payload_hint: phased.phases[0].workload.bytes_exchanged(),
+        ..ControllerConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceProfile::jetson_agx_xavier();
+    let characterization = quick_characterize_device(&device);
+    let apps = phased_apps();
+
+    let mut group = c.benchmark_group("adapt");
+    group.sample_size(10);
+    for phased in &apps {
+        group.bench_function(&format!("evaluate/{}", phased.name), |b| {
+            b.iter(|| evaluate(&device, &characterization, phased, config_for(phased)))
+        });
+        group.bench_function(&format!("controller_overhead/{}", phased.name), |b| {
+            b.iter(|| {
+                let mut controller = icomm_adapt::AdaptController::new(
+                    device.clone(),
+                    characterization.clone(),
+                    config_for(phased),
+                );
+                icomm_models::run_phased(&device, phased, &mut controller)
+            })
+        });
+    }
+    group.finish();
+
+    println!("\nregret vs per-phase oracle ({WINDOWS_PER_PHASE} windows/phase, Xavier):");
+    println!(
+        "  {:<24} {:>10} {:>12} {:>9} {:>13}",
+        "workload", "regret", "best static", "switches", "mean latency"
+    );
+    for phased in &apps {
+        let report = evaluate(&device, &characterization, phased, config_for(phased));
+        let best = report.best_static();
+        println!(
+            "  {:<24} {:>9.2}% {:>11.2}% {:>9} {:>11} w",
+            report.workload,
+            report.regret_pct,
+            (best.total_time.as_picos() as f64 / report.oracle.total_time.as_picos() as f64 - 1.0)
+                * 100.0,
+            report.stats.switches,
+            report
+                .mean_detection_latency()
+                .map(|l| format!("{l:.1}"))
+                .unwrap_or_else(|| "n/a".into()),
+        );
+        // The SH-WFS and lane phases flip the optimal model, so adapting
+        // must beat any fixed choice. ORB is CPU-bound and nearly
+        // model-indifferent: there the win is *not thrashing*.
+        if report.workload.starts_with("orb") {
+            assert!(report.stats.switches as usize <= report.boundaries.len());
+            assert!(report.regret_pct <= 1.0, "orb regret {}", report.regret_pct);
+        } else {
+            assert!(
+                report.beats_best_static(),
+                "{}: adaptive should beat every static model",
+                report.workload
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

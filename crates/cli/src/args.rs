@@ -16,8 +16,8 @@ pub enum Command {
         /// Where to save the characterization.
         save: Option<String>,
     },
-    /// `icomm tune <board> <app> [--current <model>]` — profile an
-    /// application and print the framework's verdict.
+    /// `icomm tune <board> <app> [--current <model>] [--json]` — profile
+    /// an application and print the framework's verdict.
     Tune {
         /// Board name.
         board: String,
@@ -25,6 +25,26 @@ pub enum Command {
         app: String,
         /// The model the application currently uses.
         current: CommModelKind,
+        /// A cached characterization file (skips the micro-benchmarks).
+        characterization: Option<String>,
+        /// Print the validated recommendation as JSON.
+        json: bool,
+    },
+    /// `icomm adapt <board> [--app <name>] [--windows N] [--stats]
+    /// [--json] [--characterization <file>]` — run the online adaptation
+    /// controller over the app's phased variant and compare it against
+    /// the static models and the per-phase oracle.
+    Adapt {
+        /// Board name.
+        board: String,
+        /// Application name (`shwfs`, `orb`, `lane`).
+        app: String,
+        /// Windows per phase.
+        windows: u32,
+        /// Append the controller's counters.
+        stats: bool,
+        /// Print the full adaptation report as JSON.
+        json: bool,
         /// A cached characterization file (skips the micro-benchmarks).
         characterization: Option<String>,
     },
@@ -158,6 +178,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             ensure_app(app)?;
             let mut current = CommModelKind::StandardCopy;
             let mut characterization = None;
+            let mut json = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--current" => {
@@ -177,6 +198,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                                 .clone(),
                         );
                     }
+                    "--json" => json = true,
                     other => {
                         return Err(ParseArgsError(format!("unknown flag '{other}'")));
                     }
@@ -186,6 +208,64 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 board: board.clone(),
                 app: app.clone(),
                 current,
+                characterization,
+                json,
+            })
+        }
+        "adapt" => {
+            let board = it
+                .next()
+                .ok_or_else(|| ParseArgsError("adapt needs a board name".into()))?;
+            ensure_board(board)?;
+            let mut app = "shwfs".to_string();
+            let mut windows = 8u32;
+            let mut stats = false;
+            let mut json = false;
+            let mut characterization = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--app" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--app needs an app name".into()))?;
+                        ensure_app(value)?;
+                        app = value.clone();
+                    }
+                    "--windows" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--windows needs a count".into()))?;
+                        windows =
+                            value
+                                .parse::<u32>()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or_else(|| {
+                                    ParseArgsError(format!(
+                                        "--windows needs a positive count, got '{value}'"
+                                    ))
+                                })?;
+                    }
+                    "--stats" => stats = true,
+                    "--json" => json = true,
+                    "--characterization" => {
+                        characterization = Some(
+                            it.next()
+                                .ok_or_else(|| {
+                                    ParseArgsError("--characterization needs a file path".into())
+                                })?
+                                .clone(),
+                        );
+                    }
+                    other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Adapt {
+                board: board.clone(),
+                app,
+                windows,
+                stats,
+                json,
                 characterization,
             })
         }
@@ -335,8 +415,10 @@ icomm — tune CPU-iGPU communication on embedded platforms
 USAGE:
     icomm boards
     icomm characterize <board> [--save <file>]
-    icomm tune <board> <app> [--current sc|um|zc]
+    icomm tune <board> <app> [--current sc|um|zc] [--json]
                              [--characterization <file>]
+    icomm adapt <board> [--app <name>] [--windows N] [--stats] [--json]
+                        [--characterization <file>]
     icomm compare <board> <app>
     icomm experiments
     icomm serve [--addr <ip:port>] [--workers N] [--registry <file>]
@@ -352,8 +434,12 @@ APPS:    shwfs (Shack-Hartmann wavefront sensing)
 
 `characterize` runs the paper's three micro-benchmarks on the simulated
 board. `tune` profiles the chosen application and prints the framework's
-communication-model verdict; `compare` measures every model as ground
-truth. `experiments` regenerates every table and figure of the paper.
+communication-model verdict (`--json` for machine-readable output);
+`compare` measures every model as ground truth. `adapt` runs the online
+phase-aware controller over the app's three-phase variant (N windows per
+phase) and reports switches, detection latency, and regret against the
+per-phase oracle. `experiments` regenerates every table and figure of
+the paper.
 
 `serve` runs the tuning service over TCP (one JSON request per line, one
 JSON response per line; default 127.0.0.1:7311). `batch` answers a file
@@ -419,13 +505,14 @@ mod tests {
                 app: "shwfs".into(),
                 current: CommModelKind::StandardCopy,
                 characterization: None,
+                json: false,
             }
         );
     }
 
     #[test]
-    fn tune_accepts_current_model() {
-        let c = parse(&v(&["tune", "tx2", "orb", "--current", "zc"])).unwrap();
+    fn tune_accepts_current_model_and_json() {
+        let c = parse(&v(&["tune", "tx2", "orb", "--current", "zc", "--json"])).unwrap();
         assert_eq!(
             c,
             Command::Tune {
@@ -433,8 +520,58 @@ mod tests {
                 app: "orb".into(),
                 current: CommModelKind::ZeroCopy,
                 characterization: None,
+                json: true,
             }
         );
+    }
+
+    #[test]
+    fn adapt_parses_defaults_and_flags() {
+        let c = parse(&v(&["adapt", "xavier"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Adapt {
+                board: "xavier".into(),
+                app: "shwfs".into(),
+                windows: 8,
+                stats: false,
+                json: false,
+                characterization: None,
+            }
+        );
+        let c = parse(&v(&[
+            "adapt",
+            "tx2",
+            "--app",
+            "lane",
+            "--windows",
+            "12",
+            "--stats",
+            "--json",
+            "--characterization",
+            "c.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Adapt {
+                board: "tx2".into(),
+                app: "lane".into(),
+                windows: 12,
+                stats: true,
+                json: true,
+                characterization: Some("c.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn adapt_rejects_bad_inputs() {
+        assert!(parse(&v(&["adapt"])).is_err());
+        assert!(parse(&v(&["adapt", "pi5"])).is_err());
+        assert!(parse(&v(&["adapt", "tx2", "--app", "quake"])).is_err());
+        assert!(parse(&v(&["adapt", "tx2", "--windows", "0"])).is_err());
+        assert!(parse(&v(&["adapt", "tx2", "--wat"])).is_err());
     }
 
     #[test]

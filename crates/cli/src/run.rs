@@ -4,12 +4,13 @@ use std::fmt::Write as _;
 use std::io::BufRead;
 use std::sync::Arc;
 
+use icomm_adapt::{evaluate, ControllerConfig};
 use icomm_apps::{LaneApp, OrbApp, ShwfsApp};
 use icomm_bench::experiments::{self, CharacterizationSet};
 use icomm_bench::{ablation, ExperimentReport};
 use icomm_core::Tuner;
-use icomm_microbench::{characterize_device, DeviceCharacterization};
-use icomm_models::{run_model, CommModelKind, Workload};
+use icomm_microbench::{characterize_device, quick_characterize_device, DeviceCharacterization};
+use icomm_models::{run_model, CommModelKind, PhasedWorkload, Workload};
 use icomm_serve::{Server, ServiceConfig, TuneRequest, TuneResponse, TuningService};
 use icomm_soc::DeviceProfile;
 
@@ -25,6 +26,26 @@ pub fn workload_by_name(app: &str) -> Result<Workload, String> {
         "shwfs" => Ok(ShwfsApp::default().workload()),
         "orb" => Ok(OrbApp::default().workload()),
         "lane" => Ok(LaneApp::default().workload()),
+        other => Err(format!(
+            "unknown app '{other}' (known: {})",
+            APP_NAMES.join(", ")
+        )),
+    }
+}
+
+/// Builds the three-phase workload variant for an application name.
+///
+/// # Errors
+///
+/// Returns a message listing the valid names.
+pub fn phased_workload_by_name(
+    app: &str,
+    windows_per_phase: u32,
+) -> Result<PhasedWorkload, String> {
+    match app.to_ascii_lowercase().as_str() {
+        "shwfs" => Ok(ShwfsApp::default().phased_workload(windows_per_phase)),
+        "orb" => Ok(OrbApp::default().phased_workload(windows_per_phase)),
+        "lane" => Ok(LaneApp::default().phased_workload(windows_per_phase)),
         other => Err(format!(
             "unknown app '{other}' (known: {})",
             APP_NAMES.join(", ")
@@ -53,8 +74,24 @@ pub fn execute(command: &Command) -> Result<String, String> {
             board,
             app,
             current,
+            json,
             characterization,
-        } => tune(board, app, *current, characterization.as_deref()),
+        } => tune(board, app, *current, *json, characterization.as_deref()),
+        Command::Adapt {
+            board,
+            app,
+            windows,
+            stats,
+            json,
+            characterization,
+        } => adapt(
+            board,
+            app,
+            *windows,
+            *stats,
+            *json,
+            characterization.as_deref(),
+        ),
         Command::Compare { board, app } => compare(board, app),
         Command::Experiments => Ok(run_experiments()),
         Command::Serve {
@@ -162,6 +199,7 @@ fn tune(
     board: &str,
     app: &str,
     current: CommModelKind,
+    json: bool,
     characterization: Option<&str>,
 ) -> Result<String, String> {
     let device = require_board(board)?;
@@ -171,11 +209,63 @@ fn tune(
         None => Tuner::new(device),
     };
     let validation = tuner.validate(&workload, current);
+    if json {
+        let mut out = icomm_persist::to_string(&validation)
+            .map_err(|err| format!("cannot serialize validation: {err}"))?;
+        out.push('\n');
+        return Ok(out);
+    }
     Ok(format!(
         "{}\n\nvalidated against ground truth: {}\n",
         validation.recommendation,
         validation.summary()
     ))
+}
+
+/// `icomm adapt`: run the online adaptation controller over an
+/// application's three-phase workload and report it against the static
+/// and oracle baselines.
+fn adapt(
+    board: &str,
+    app: &str,
+    windows: u32,
+    stats: bool,
+    json: bool,
+    characterization: Option<&str>,
+) -> Result<String, String> {
+    let device = require_board(board)?;
+    let phased = phased_workload_by_name(app, windows)?;
+    let c = match characterization {
+        Some(path) => load_characterization(path)?,
+        None => quick_characterize_device(&device),
+    };
+    let config = ControllerConfig {
+        payload_hint: phased.phases[0].workload.bytes_exchanged(),
+        ..ControllerConfig::default()
+    };
+    let report = evaluate(&device, &c, &phased, config);
+    if json {
+        let mut out = icomm_persist::to_string(&report)
+            .map_err(|err| format!("cannot serialize report: {err}"))?;
+        out.push('\n');
+        return Ok(out);
+    }
+    let mut out = format!("{report}\n");
+    if stats {
+        let _ = writeln!(out, "--- stats ---");
+        let _ = writeln!(out, "{}", report.stats);
+        // The same counters as the serving layer aggregates them.
+        let metrics = icomm_serve::Metrics::new();
+        metrics.record_adaptation(
+            report.stats.windows,
+            u64::from(report.stats.switches),
+            u64::from(report.stats.drifts),
+            report.regret_pct,
+        );
+        let _ = writeln!(out, "--- serve metrics ---");
+        let _ = write!(out, "{}", metrics.snapshot());
+    }
+    Ok(out)
 }
 
 fn compare(board: &str, app: &str) -> Result<String, String> {
@@ -386,6 +476,48 @@ mod tests {
     #[test]
     fn execute_help() {
         assert!(execute(&Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn tune_json_emits_parseable_validation() {
+        let out = tune("xavier", "shwfs", CommModelKind::StandardCopy, true, None).unwrap();
+        let validation: icomm_core::Validation = icomm_persist::from_str(out.trim()).unwrap();
+        let text = tune("xavier", "shwfs", CommModelKind::StandardCopy, false, None).unwrap();
+        assert!(text.contains(&validation.summary()), "{text}");
+    }
+
+    #[test]
+    fn adapt_renders_policies_and_regret() {
+        let out = adapt("xavier", "shwfs", 6, true, false, None).unwrap();
+        for needle in [
+            "adapt",
+            "static-",
+            "oracle",
+            "regret vs oracle",
+            "--- stats ---",
+            "--- serve metrics ---",
+            "adaptation               1 runs",
+        ] {
+            assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn adapt_json_round_trips() {
+        let out = adapt("tx2", "lane", 5, false, true, None).unwrap();
+        let report: icomm_adapt::AdaptationReport = icomm_persist::from_str(out.trim()).unwrap();
+        assert_eq!(report.device, require_board("tx2").unwrap().name);
+        assert!(report.workload.contains("lane"), "{}", report.workload);
+    }
+
+    #[test]
+    fn phased_workloads_resolve() {
+        for app in APP_NAMES {
+            let phased = phased_workload_by_name(app, 4).unwrap();
+            assert_eq!(phased.phases.len(), 3);
+            assert!(phased.name.contains(app), "{}", phased.name);
+        }
+        assert!(phased_workload_by_name("quake", 4).is_err());
     }
 
     #[test]

@@ -39,6 +39,57 @@ impl fmt::Display for CacheZone {
     }
 }
 
+/// Whether CPU LLC usage (Eqn. 1, percent) classifies as cache-dependent.
+///
+/// Boundary semantics (shared by every caller, including the online
+/// controller in `icomm-adapt`): the threshold itself is **not**
+/// dependent — usage must strictly *exceed* it. Thresholds are measured
+/// as "the usage at which ZC stops matching SC", so a value exactly at
+/// the threshold still matches. Non-finite usage (a degenerate profile)
+/// classifies as not dependent, the conservative no-switch reading.
+pub fn is_cpu_cache_dependent(cpu_usage_pct: f64, device: &DeviceCharacterization) -> bool {
+    cpu_usage_pct.is_finite() && cpu_usage_pct > device.cpu_cache_threshold_pct
+}
+
+/// Whether GPU LLC usage (Eqn. 2, percent) classifies as cache-dependent.
+///
+/// Same boundary rule as [`is_cpu_cache_dependent`]: strictly greater
+/// than the threshold.
+pub fn is_gpu_cache_dependent(gpu_usage_pct: f64, device: &DeviceCharacterization) -> bool {
+    gpu_usage_pct.is_finite() && gpu_usage_pct > device.gpu_cache_threshold_pct
+}
+
+/// Classifies GPU usage into the Fig. 3 zones with explicit boundary
+/// semantics:
+///
+/// - usage **≤ threshold** → [`CacheZone::Free`] (the threshold itself is
+///   zone 1);
+/// - threshold **< usage ≤ zone-2 limit** → [`CacheZone::Maybe`] (the
+///   limit itself is still zone 2 — the limit is defined as the last
+///   usage at which overlap can compensate the degradation);
+/// - usage **> zone-2 limit** → [`CacheZone::RuledOut`].
+///
+/// A missing zone-2 limit, or a degenerate characterization whose limit
+/// does not exceed its threshold, rules ZC out for any usage above the
+/// threshold — the conservative choice the paper makes for
+/// non-I/O-coherent devices.
+///
+/// Both comparisons are closed on the "keep the cheaper zone" side, so a
+/// usage sitting exactly on a boundary always classifies into the lower
+/// zone; an adaptation controller sampling a stationary phase therefore
+/// cannot flap between zones on measurement ties alone.
+pub fn classify_zone(gpu_usage_pct: f64, device: &DeviceCharacterization) -> CacheZone {
+    if !is_gpu_cache_dependent(gpu_usage_pct, device) {
+        return CacheZone::Free;
+    }
+    match device.gpu_cache_zone2_pct {
+        Some(limit) if limit > device.gpu_cache_threshold_pct && gpu_usage_pct <= limit => {
+            CacheZone::Maybe
+        }
+        _ => CacheZone::RuledOut,
+    }
+}
+
 /// The framework's verdict for one application on one device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Recommendation {
@@ -96,20 +147,9 @@ pub fn recommend(
     let profile = current_profile;
     let cpu_usage = cpu_usage_of(usage_profile);
     let gpu_usage = gpu_usage_of(usage_profile, device);
-    let cpu_dependent = cpu_usage > device.cpu_cache_threshold_pct;
-    let gpu_dependent = gpu_usage > device.gpu_cache_threshold_pct;
-    let zone = if !gpu_dependent {
-        CacheZone::Free
-    } else {
-        match device.gpu_cache_zone2_pct {
-            Some(limit) if gpu_usage <= limit => CacheZone::Maybe,
-            Some(_) => CacheZone::RuledOut,
-            // Without a measured zone-2 boundary, any usage above the
-            // threshold is treated as ruled out (the conservative choice
-            // the paper makes for non-I/O-coherent devices).
-            None => CacheZone::RuledOut,
-        }
-    };
+    let cpu_dependent = is_cpu_cache_dependent(cpu_usage, device);
+    let gpu_dependent = is_gpu_cache_dependent(gpu_usage, device);
+    let zone = classify_zone(gpu_usage, device);
 
     let base = |recommended: CommModelKind, est, rationale: String| Recommendation {
         current,
@@ -348,6 +388,65 @@ mod tests {
         let p = profile(CommModelKind::StandardCopy, 2.0, 0.4, 0.2);
         let r = recommend(&p, &p, p.model, &device(true), Picos::from_micros(30));
         assert!(!r.cpu_cache_dependent, "threshold is 100% on Xavier-class");
+        assert_eq!(r.recommended, CommModelKind::ZeroCopy);
+    }
+
+    #[test]
+    fn usage_exactly_at_thresholds_is_not_dependent() {
+        // The threshold itself belongs to the "independent" side: a
+        // stationary phase measuring exactly the threshold must classify
+        // identically every window, and into the cheaper class.
+        let dev = device(true); // gpu threshold 10, zone2 50, cpu 100
+        assert!(!is_gpu_cache_dependent(10.0, &dev));
+        assert!(is_gpu_cache_dependent(10.0 + 1e-9, &dev));
+        assert!(!is_cpu_cache_dependent(100.0, &dev));
+        assert_eq!(classify_zone(10.0, &dev), CacheZone::Free);
+        assert_eq!(classify_zone(10.0 + 1e-9, &dev), CacheZone::Maybe);
+    }
+
+    #[test]
+    fn usage_exactly_at_zone2_limit_is_still_maybe() {
+        let dev = device(true); // zone2 limit 50
+        assert_eq!(classify_zone(50.0, &dev), CacheZone::Maybe);
+        assert_eq!(classify_zone(50.0 + 1e-9, &dev), CacheZone::RuledOut);
+    }
+
+    #[test]
+    fn missing_or_degenerate_zone2_rules_out_above_threshold() {
+        let mut dev = device(true);
+        dev.gpu_cache_zone2_pct = None;
+        assert_eq!(classify_zone(11.0, &dev), CacheZone::RuledOut);
+        // A characterization whose zone-2 limit collapsed to (or below)
+        // the threshold must not create an unreachable Maybe band.
+        dev.gpu_cache_zone2_pct = Some(10.0);
+        assert_eq!(classify_zone(10.0, &dev), CacheZone::Free);
+        assert_eq!(classify_zone(10.5, &dev), CacheZone::RuledOut);
+        dev.gpu_cache_zone2_pct = Some(5.0);
+        assert_eq!(classify_zone(11.0, &dev), CacheZone::RuledOut);
+    }
+
+    #[test]
+    fn non_finite_usage_classifies_conservatively() {
+        let dev = device(true);
+        assert!(!is_gpu_cache_dependent(f64::NAN, &dev));
+        assert!(!is_cpu_cache_dependent(f64::NAN, &dev));
+        assert_eq!(classify_zone(f64::NAN, &dev), CacheZone::Free);
+        assert!(!is_gpu_cache_dependent(f64::INFINITY, &dev));
+        assert_eq!(classify_zone(f64::INFINITY, &dev), CacheZone::Free);
+    }
+
+    #[test]
+    fn recommend_agrees_with_classifiers_at_boundaries() {
+        // A profile landing exactly on the GPU threshold keeps the
+        // low-usage branch of the flow: SC is told to switch to ZC on an
+        // I/O-coherent device rather than being classified dependent.
+        let dev = device(true);
+        // threshold 10% of 100 GB/s peak → 10 GB/s LL throughput.
+        let p = profile(CommModelKind::StandardCopy, 10.0, 0.05, 0.9);
+        let r = recommend(&p, &p, p.model, &dev, Picos::from_micros(30));
+        assert!(!r.gpu_cache_dependent);
+        assert_eq!(r.zone, CacheZone::Free);
+        assert_eq!(r.zone, classify_zone(r.gpu_usage_pct, &dev));
         assert_eq!(r.recommended, CommModelKind::ZeroCopy);
     }
 

@@ -19,8 +19,9 @@
 //!
 //! Extensions beyond the paper: [`async_copy::DoubleBufferedCopy`] (SC
 //! with double buffering), [`tiled_exec`] (phase-by-phase execution of
-//! the Fig. 4 pattern), and [`stream`] (real-time frame streams with
-//! deadline accounting).
+//! the Fig. 4 pattern), [`stream`] (real-time frame streams with deadline
+//! accounting), and [`phased`] (phased workloads plus the windowed
+//! execution harness the `icomm-adapt` online controller runs on).
 //!
 //! # Example
 //!
@@ -58,6 +59,7 @@ pub mod async_copy;
 pub mod layout;
 pub mod model;
 pub mod overlap;
+pub mod phased;
 pub mod report;
 pub mod standard_copy;
 pub mod stream;
@@ -68,5 +70,9 @@ pub mod workload;
 pub mod zero_copy;
 
 pub use model::{model_for, run_model, CommModel, CommModelKind};
+pub use phased::{
+    oracle_phased, run_phased, static_phased, switch_cost, switch_cost_for_payload,
+    PhasedRunReport, PhasedWorkload, StaticPolicy, WindowOutcome, WindowPolicy, WorkloadPhase,
+};
 pub use report::RunReport;
 pub use workload::{CpuPhase, GpuPhase, Workload};

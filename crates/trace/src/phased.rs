@@ -1,0 +1,226 @@
+//! Phased access schedules: the trace-level substrate of phased workloads.
+//!
+//! Real embedded pipelines are not stationary — an ADAS stack alternates
+//! between frame ingest (streaming, cache-light), feature matching
+//! (reuse-heavy) and planning (balanced) as the scene changes. A
+//! [`PhaseSchedule`] describes such a run as a sequence of named phases,
+//! each pairing a symbolic [`Pattern`] with a number of *windows* (profiler
+//! reporting intervals) the phase occupies.
+//!
+//! The schedule is purely symbolic: like [`Pattern`], it costs nothing to
+//! describe and is serializable, so phased workloads can be shipped to the
+//! tuning service. The execution layer (`icomm-models`) turns each phase
+//! into a full workload; the adaptation runtime (`icomm-adapt`) uses
+//! [`PhaseSchedule::boundaries`] as ground truth for detection-latency
+//! accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::Pattern;
+
+/// One phase of a schedule: a named access pattern held for a number of
+/// profiling windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Human-readable phase name (`"ingest"`, `"match"`, ...).
+    pub name: String,
+    /// Windows this phase lasts. Zero-window phases are legal in the data
+    /// model but never become active; [`PhaseSchedule::validate`] rejects
+    /// them so they cannot silently vanish from a run.
+    pub windows: u32,
+    /// The shared-buffer access pattern active during the phase.
+    pub pattern: Pattern,
+}
+
+impl PhaseSpec {
+    /// Creates a phase spec.
+    pub fn new(name: impl Into<String>, windows: u32, pattern: Pattern) -> Self {
+        PhaseSpec {
+            name: name.into(),
+            windows,
+            pattern,
+        }
+    }
+}
+
+/// A sequence of phases, indexable by window.
+///
+/// # Examples
+///
+/// ```
+/// use icomm_soc::cache::AccessKind;
+/// use icomm_trace::phased::{PhaseSchedule, PhaseSpec};
+/// use icomm_trace::Pattern;
+///
+/// let stream = Pattern::Linear {
+///     start: 0,
+///     bytes: 1 << 20,
+///     txn_bytes: 64,
+///     kind: AccessKind::Read,
+/// };
+/// let hot = Pattern::Repeat {
+///     body: Box::new(stream.clone()),
+///     times: 8,
+/// };
+/// let schedule = PhaseSchedule::new(vec![
+///     PhaseSpec::new("ingest", 4, stream.clone()),
+///     PhaseSpec::new("match", 6, hot),
+///     PhaseSpec::new("drain", 2, stream),
+/// ]);
+/// assert_eq!(schedule.total_windows(), 12);
+/// assert_eq!(schedule.phase_index_at(0), Some(0));
+/// assert_eq!(schedule.phase_index_at(4), Some(1));
+/// assert_eq!(schedule.phase_index_at(11), Some(2));
+/// assert_eq!(schedule.phase_index_at(12), None);
+/// assert_eq!(schedule.boundaries(), vec![4, 10]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSchedule {
+    phases: Vec<PhaseSpec>,
+}
+
+impl PhaseSchedule {
+    /// Creates a schedule from phases, in execution order.
+    pub fn new(phases: Vec<PhaseSpec>) -> Self {
+        PhaseSchedule { phases }
+    }
+
+    /// The phases, in execution order.
+    pub fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether the schedule has no phases.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Total windows across all phases.
+    pub fn total_windows(&self) -> u64 {
+        self.phases.iter().map(|p| p.windows as u64).sum()
+    }
+
+    /// Index of the phase active at `window`, or `None` past the end.
+    pub fn phase_index_at(&self, window: u64) -> Option<usize> {
+        let mut consumed = 0u64;
+        for (index, phase) in self.phases.iter().enumerate() {
+            consumed += phase.windows as u64;
+            if window < consumed {
+                return Some(index);
+            }
+        }
+        None
+    }
+
+    /// The phase active at `window`, or `None` past the end.
+    pub fn phase_at(&self, window: u64) -> Option<&PhaseSpec> {
+        self.phase_index_at(window).map(|i| &self.phases[i])
+    }
+
+    /// Window indices where a new phase begins (excluding window 0): the
+    /// ground-truth change points detection latency is measured against.
+    pub fn boundaries(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut consumed = 0u64;
+        for phase in &self.phases {
+            consumed += phase.windows as u64;
+            out.push(consumed);
+        }
+        out.pop(); // the final end-of-run is not a change point
+        out
+    }
+
+    /// Checks the schedule is runnable: at least one phase, every phase at
+    /// least one window, and no phase with an empty pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err("a phase schedule needs at least one phase".into());
+        }
+        for (index, phase) in self.phases.iter().enumerate() {
+            if phase.windows == 0 {
+                return Err(format!(
+                    "phase {index} ('{}') lasts zero windows and would never run",
+                    phase.name
+                ));
+            }
+            if phase.pattern.is_empty() {
+                return Err(format!(
+                    "phase {index} ('{}') has an empty access pattern",
+                    phase.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_soc::cache::AccessKind;
+
+    fn linear(bytes: u64) -> Pattern {
+        Pattern::Linear {
+            start: 0,
+            bytes,
+            txn_bytes: 64,
+            kind: AccessKind::Read,
+        }
+    }
+
+    fn schedule() -> PhaseSchedule {
+        PhaseSchedule::new(vec![
+            PhaseSpec::new("a", 3, linear(256)),
+            PhaseSpec::new("b", 5, linear(512)),
+            PhaseSpec::new("c", 2, linear(128)),
+        ])
+    }
+
+    #[test]
+    fn window_lookup_covers_every_phase() {
+        let s = schedule();
+        assert_eq!(s.total_windows(), 10);
+        let indices: Vec<_> = (0..10).map(|w| s.phase_index_at(w).unwrap()).collect();
+        assert_eq!(indices, vec![0, 0, 0, 1, 1, 1, 1, 1, 2, 2]);
+        assert!(s.phase_at(10).is_none());
+    }
+
+    #[test]
+    fn boundaries_are_change_points_only() {
+        assert_eq!(schedule().boundaries(), vec![3, 8]);
+        let single = PhaseSchedule::new(vec![PhaseSpec::new("only", 4, linear(64))]);
+        assert!(single.boundaries().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_schedules() {
+        assert!(PhaseSchedule::new(vec![]).validate().is_err());
+        let zero_windows = PhaseSchedule::new(vec![PhaseSpec::new("z", 0, linear(64))]);
+        assert!(zero_windows
+            .validate()
+            .unwrap_err()
+            .contains("zero windows"));
+        let empty_pattern =
+            PhaseSchedule::new(vec![PhaseSpec::new("e", 2, Pattern::Sequence(Vec::new()))]);
+        assert!(empty_pattern.validate().unwrap_err().contains("empty"));
+        assert!(schedule().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_schedule_has_no_windows() {
+        let s = PhaseSchedule::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.total_windows(), 0);
+        assert!(s.phase_index_at(0).is_none());
+    }
+}

@@ -112,4 +112,95 @@ proptest! {
             prop_assert_eq!(r.space, MemSpace::Pinned);
         }
     }
+
+    #[test]
+    fn partial_trailing_transaction_rounds_up(
+        start in 0u64..1 << 20,
+        txn in 1u32..512,
+        full in 0u64..64,
+        rem in 1u64..512,
+    ) {
+        // `txn_bytes` deliberately not dividing `bytes`: the tail is still
+        // one whole transaction, never truncated and never doubled.
+        let rem = rem.min(txn as u64 - 1).max(1);
+        let bytes = (full * txn as u64 + if rem < txn as u64 { rem } else { 0 }).max(1);
+        let p = Pattern::Linear { start, bytes, txn_bytes: txn, kind: AccessKind::Read };
+        let reqs: Vec<_> = p.requests(MemSpace::Cached).collect();
+        prop_assert_eq!(reqs.len() as u64, bytes.div_ceil(txn as u64));
+        let last = reqs.last().unwrap();
+        prop_assert_eq!(last.addr, start + (reqs.len() as u64 - 1) * txn as u64);
+        prop_assert_eq!(last.bytes, txn);
+    }
+
+    #[test]
+    fn repeat_zero_times_is_empty(p in leaf_pattern()) {
+        let r = Pattern::Repeat { body: Box::new(p), times: 0 };
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(r.len(), 0);
+        prop_assert_eq!(r.bytes(), 0);
+        prop_assert_eq!(r.requests(MemSpace::Cached).count(), 0);
+    }
+
+    #[test]
+    fn deep_composition_matches_flat_expansion(p in leaf_pattern(), depth in 1u32..6) {
+        // Nesting Repeat { Sequence [p] } `depth` levels deep must behave
+        // exactly like the leaf repeated once per level (times = 1 at each
+        // level keeps the expansion equal to the leaf itself).
+        let mut nested = p.clone();
+        for _ in 0..depth {
+            nested = Pattern::Repeat {
+                body: Box::new(Pattern::Sequence(vec![nested])),
+                times: 1,
+            };
+        }
+        let flat: Vec<_> = p.requests(MemSpace::Cached).collect();
+        let deep: Vec<_> = nested.requests(MemSpace::Cached).collect();
+        prop_assert_eq!(flat, deep);
+        prop_assert_eq!(nested.len(), p.len());
+        prop_assert_eq!(nested.bytes(), p.bytes());
+    }
+}
+
+#[test]
+fn zero_byte_linear_generates_nothing() {
+    let p = Pattern::Linear {
+        start: 0x8000,
+        bytes: 0,
+        txn_bytes: 64,
+        kind: AccessKind::Read,
+    };
+    assert!(p.is_empty());
+    assert_eq!(p.len(), 0);
+    assert_eq!(p.bytes(), 0);
+    assert_eq!(p.requests(MemSpace::Cached).count(), 0);
+
+    let rmw = Pattern::LinearRmw {
+        start: 0,
+        bytes: 0,
+        txn_bytes: 64,
+    };
+    assert!(rmw.is_empty());
+    assert_eq!(rmw.requests(MemSpace::Cached).count(), 0);
+}
+
+#[test]
+fn sequence_of_empties_terminates() {
+    // Composition of exclusively empty parts must terminate and agree
+    // with the symbolic length.
+    let empty = Pattern::Linear {
+        start: 0,
+        bytes: 0,
+        txn_bytes: 32,
+        kind: AccessKind::Write,
+    };
+    let p = Pattern::Repeat {
+        body: Box::new(Pattern::Sequence(vec![
+            empty.clone(),
+            Pattern::Sequence(vec![]),
+            empty,
+        ])),
+        times: 3,
+    };
+    assert_eq!(p.len(), 0);
+    assert_eq!(p.requests(MemSpace::Cached).count(), 0);
 }

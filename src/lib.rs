@@ -26,6 +26,7 @@
 //! | [`apps`] | `icomm-apps` | Shack–Hartmann, ORB and lane-detection case studies |
 //! | [`persist`] | `icomm-persist` | JSON persistence for characterizations and reports |
 //! | [`serve`] | `icomm-serve` | concurrent tuning service: sharded registry, worker pool, TCP front end |
+//! | [`adapt`] | `icomm-adapt` | online phase-aware adaptation: drift detector + switch controller |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub use icomm_adapt as adapt;
 pub use icomm_apps as apps;
 pub use icomm_core as core;
 pub use icomm_microbench as microbench;
