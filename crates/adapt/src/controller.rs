@@ -90,6 +90,28 @@ pub struct ControllerConfig {
     pub initial_model: CommModelKind,
     /// Windows retained in the streaming ring.
     pub ring_capacity: usize,
+    /// Recent windows aggregated (field-wise median,
+    /// [`WindowRing::robust_profile`]) into the profile a decision runs
+    /// on. `1` decides on the latest window alone — the classic
+    /// behavior; larger values make decisions robust to a single noisy
+    /// window at the price of reacting one-to-two windows later.
+    pub decision_window: usize,
+    /// Usage readings (Eqn. 1/2, percent) above this are treated as
+    /// corrupted counters and quarantined. Legitimate usage tops out
+    /// around 100%; saturated or garbage counters produce thousands.
+    pub max_plausible_usage_pct: f64,
+    /// Confidence lost (on a `[0, 1]` scale) per degraded window — a
+    /// quarantined profile, a gap in the window stream, or a duplicate.
+    pub confidence_drop: f64,
+    /// Confidence regained per clean in-order window.
+    pub confidence_recover: f64,
+    /// Below this confidence the controller holds the current model:
+    /// drift-triggered switches are suppressed until the stream heals.
+    pub min_confidence_to_switch: f64,
+    /// Below this confidence the controller abandons adaptation and
+    /// falls back to standard copy — the paper's always-correct default —
+    /// until confidence recovers.
+    pub sc_fallback_confidence: f64,
 }
 
 impl Default for ControllerConfig {
@@ -105,6 +127,12 @@ impl Default for ControllerConfig {
             payload_hint: ByteSize::kib(256),
             initial_model: CommModelKind::StandardCopy,
             ring_capacity: 16,
+            decision_window: 1,
+            max_plausible_usage_pct: 150.0,
+            confidence_drop: 0.25,
+            confidence_recover: 0.10,
+            min_confidence_to_switch: 0.6,
+            sc_fallback_confidence: 0.25,
         }
     }
 }
@@ -129,6 +157,37 @@ impl ControllerConfig {
         if self.ring_capacity < self.probe_windows as usize {
             return Err("ring_capacity must cover at least one probe".into());
         }
+        if self.decision_window == 0 {
+            return Err("decision_window must be at least 1".into());
+        }
+        if self.decision_window > self.ring_capacity {
+            return Err(format!(
+                "decision_window {} exceeds ring_capacity {}",
+                self.decision_window, self.ring_capacity
+            ));
+        }
+        if !(self.max_plausible_usage_pct > 0.0 && self.max_plausible_usage_pct.is_finite()) {
+            return Err(format!(
+                "max_plausible_usage_pct {} invalid",
+                self.max_plausible_usage_pct
+            ));
+        }
+        for (name, v) in [
+            ("confidence_drop", self.confidence_drop),
+            ("confidence_recover", self.confidence_recover),
+            ("min_confidence_to_switch", self.min_confidence_to_switch),
+            ("sc_fallback_confidence", self.sc_fallback_confidence),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(format!("{name} {v} outside [0, 1]"));
+            }
+        }
+        if self.sc_fallback_confidence > self.min_confidence_to_switch {
+            return Err(format!(
+                "sc_fallback_confidence {} above min_confidence_to_switch {}: the controller would fall back while still willing to switch",
+                self.sc_fallback_confidence, self.min_confidence_to_switch
+            ));
+        }
         Ok(())
     }
 }
@@ -145,6 +204,10 @@ pub enum SwitchReason {
     ProbeEntry(Vec<String>),
     /// The decision concluding a probe.
     ProbeVerdict,
+    /// Confidence in the counter stream collapsed below
+    /// [`ControllerConfig::sc_fallback_confidence`]: retreat to standard
+    /// copy, the always-correct default, bypassing every gate.
+    SafeFallback,
 }
 
 impl fmt::Display for SwitchReason {
@@ -154,6 +217,7 @@ impl fmt::Display for SwitchReason {
             SwitchReason::Decision(ch) => write!(f, "drift [{}]", ch.join(", ")),
             SwitchReason::ProbeEntry(ch) => write!(f, "probe entry [{}]", ch.join(", ")),
             SwitchReason::ProbeVerdict => f.write_str("probe verdict"),
+            SwitchReason::SafeFallback => f.write_str("safe fallback (low confidence)"),
         }
     }
 }
@@ -200,6 +264,20 @@ pub struct AdaptStats {
     /// Switches discarded because the estimated gain would not pay the
     /// switch cost within the payback horizon.
     pub suppressed_cost: u32,
+    /// Windows quarantined for implausible counters (NaN/Inf, rates
+    /// outside `[0, 1]`, usage beyond
+    /// [`ControllerConfig::max_plausible_usage_pct`]).
+    pub quarantined: u32,
+    /// Windows missing from the stream (gaps between consecutive
+    /// delivered indices).
+    pub lost_windows: u64,
+    /// Windows delivered with an index at or before one already seen.
+    pub duplicates: u32,
+    /// Switches suppressed because stream confidence was below
+    /// [`ControllerConfig::min_confidence_to_switch`].
+    pub suppressed_confidence: u32,
+    /// Retreats to standard copy after confidence collapsed.
+    pub sc_fallbacks: u32,
 }
 
 impl fmt::Display for AdaptStats {
@@ -212,7 +290,12 @@ impl fmt::Display for AdaptStats {
         writeln!(f, "suppressed: dwell     {}", self.suppressed_dwell)?;
         writeln!(f, "suppressed: hysteresis {}", self.suppressed_hysteresis)?;
         writeln!(f, "hysteresis overrides  {}", self.hysteresis_overrides)?;
-        write!(f, "suppressed: cost      {}", self.suppressed_cost)
+        writeln!(f, "suppressed: cost      {}", self.suppressed_cost)?;
+        writeln!(f, "quarantined windows   {}", self.quarantined)?;
+        writeln!(f, "lost windows          {}", self.lost_windows)?;
+        writeln!(f, "duplicate windows     {}", self.duplicates)?;
+        writeln!(f, "suppressed: confidence {}", self.suppressed_confidence)?;
+        write!(f, "safe fallbacks to SC  {}", self.sc_fallbacks)
     }
 }
 
@@ -236,6 +319,12 @@ pub struct AdaptController {
     dwell_remaining: u32,
     /// Consecutive hysteresis-unstable verdicts for the same target.
     unstable_streak: Option<(CommModelKind, u32)>,
+    /// Trust in the counter stream, in `[0, 1]`; degraded windows drain
+    /// it, clean in-order windows refill it.
+    confidence: f64,
+    /// Highest window index delivered so far — the reference for gap and
+    /// duplicate detection.
+    last_window: Option<u64>,
     stats: AdaptStats,
     events: Vec<SwitchEvent>,
 }
@@ -275,9 +364,16 @@ impl AdaptController {
             active,
             dwell_remaining: 0,
             unstable_streak: None,
+            confidence: 1.0,
+            last_window: None,
             stats: AdaptStats::default(),
             events: Vec::new(),
         }
+    }
+
+    /// Current trust in the counter stream, in `[0, 1]`.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
     }
 
     /// The accumulated adaptation counters.
@@ -374,7 +470,7 @@ impl AdaptController {
         self.detector.reset();
     }
 
-    /// Applies the switch-cost gate, then commits.
+    /// Applies the confidence and switch-cost gates, then commits.
     fn try_switch(
         &mut self,
         window: u64,
@@ -384,6 +480,12 @@ impl AdaptController {
     ) {
         let to = rec.recommended;
         if to == self.active {
+            return;
+        }
+        if self.confidence < self.config.min_confidence_to_switch {
+            // A degraded stream means the evidence behind this verdict is
+            // suspect: hold the current model rather than act on it.
+            self.stats.suppressed_confidence += 1;
             return;
         }
         let cost = switch_cost_for_payload(&self.device, self.config.payload_hint, self.active, to);
@@ -417,6 +519,13 @@ impl AdaptController {
         };
     }
 
+    /// The profile a decision runs on: the field-wise median over
+    /// [`ControllerConfig::decision_window`] recent windows — exactly
+    /// the latest profile when the window is 1.
+    fn decision_profile(&self) -> Option<ProfileReport> {
+        self.ring.robust_profile(self.config.decision_window)
+    }
+
     /// The unconditional decision ending warmup.
     fn initial_decision(&mut self, window: u64) {
         let Some(sample) = self.ring.latest().cloned() else {
@@ -428,12 +537,15 @@ impl AdaptController {
             self.enter_probe(window, Vec::new());
             return;
         }
-        if let Some(rec) = self.decide(&sample.profile) {
+        let Some(profile) = self.decision_profile() else {
+            return;
+        };
+        if let Some(rec) = self.decide(&profile) {
             self.try_switch(
                 window,
                 &rec,
                 SwitchReason::InitialDecision,
-                sample.profile.total_time,
+                profile.total_time,
             );
         }
     }
@@ -444,12 +556,15 @@ impl AdaptController {
             return;
         };
         if sample.usage_observable() {
-            if let Some(rec) = self.decide(&sample.profile) {
+            let Some(profile) = self.decision_profile() else {
+                return;
+            };
+            if let Some(rec) = self.decide(&profile) {
                 self.try_switch(
                     window,
                     &rec,
                     SwitchReason::Decision(channels),
-                    sample.profile.total_time,
+                    profile.total_time,
                 );
             }
         } else {
@@ -459,44 +574,100 @@ impl AdaptController {
 
     /// The decision concluding a probe; the probe windows ran under SC.
     fn conclude_probe(&mut self, window: u64) {
-        let Some(sample) = self.ring.latest().cloned() else {
+        let Some(profile) = self.decision_profile() else {
             return;
         };
-        if let Some(rec) = self.decide(&sample.profile) {
+        if let Some(rec) = self.decide(&profile) {
             // A verdict of SC keeps the probe switch as the adaptation; a
             // verdict of ZC/UM reverts (cost-gated like any decision).
-            self.try_switch(
-                window,
-                &rec,
-                SwitchReason::ProbeVerdict,
-                sample.profile.total_time,
-            );
+            self.try_switch(window, &rec, SwitchReason::ProbeVerdict, profile.total_time);
         }
     }
-}
 
-impl WindowPolicy for AdaptController {
-    fn name(&self) -> String {
-        "adapt".to_string()
+    /// Drains confidence after a degraded window.
+    fn degrade(&mut self) {
+        self.confidence = (self.confidence - self.config.confidence_drop).max(0.0);
     }
 
-    fn initial_model(&self) -> CommModelKind {
-        self.config.initial_model
+    /// The end of every observed window: when confidence has collapsed,
+    /// retreat to standard copy — the paper's always-correct default —
+    /// bypassing the hysteresis and cost gates. Returns the model the
+    /// next window runs under.
+    fn finish(&mut self, window: u64) -> CommModelKind {
+        if self.confidence < self.config.sc_fallback_confidence
+            && self.active != CommModelKind::StandardCopy
+        {
+            self.stats.sc_fallbacks += 1;
+            self.commit(
+                window,
+                CommModelKind::StandardCopy,
+                SwitchReason::SafeFallback,
+            );
+            // A probe in flight is moot — SC already makes usage
+            // observable.
+            self.state = State::Settled;
+        }
+        self.active
     }
 
-    fn next_model(&mut self, window: u64, run: &RunReport) -> CommModelKind {
+    /// Feeds one profiled window to the controller and returns the model
+    /// the next window should run under — the streaming entry point
+    /// [`WindowPolicy::next_model`] delegates to, exposed so harnesses
+    /// that corrupt, drop or reorder profiles (fault injection, live
+    /// counter feeds) can drive the controller directly.
+    ///
+    /// Degraded input never panics and never silently steers a decision:
+    ///
+    /// - a `window` index at or before one already seen is counted as a
+    ///   duplicate and discarded;
+    /// - a gap in the indices books the missing windows as lost;
+    /// - a profile with implausible counters
+    ///   ([`ProfileReport::check_plausible`], plus the
+    ///   [`ControllerConfig::max_plausible_usage_pct`] usage cap) is
+    ///   quarantined — it reaches neither the detector nor the ring;
+    /// - each such event drains [`Self::confidence`]; switching is
+    ///   suppressed below
+    ///   [`ControllerConfig::min_confidence_to_switch`], and below
+    ///   [`ControllerConfig::sc_fallback_confidence`] the controller
+    ///   retreats to standard copy until the stream heals.
+    pub fn observe_profile(&mut self, window: u64, profile: ProfileReport) -> CommModelKind {
         self.stats.windows += 1;
-        let profile = ProfileReport::from_run(run);
+        if let Some(last) = self.last_window {
+            if window <= last {
+                self.stats.duplicates += 1;
+                self.degrade();
+                return self.finish(window);
+            }
+            let gap = window - last - 1;
+            if gap > 0 {
+                self.stats.lost_windows += gap;
+                self.degrade();
+            }
+        }
+        self.last_window = Some(window);
+
         let sample = WindowSample::from_profile(window, profile, &self.characterization);
+        let cap = self.config.max_plausible_usage_pct;
+        let usage_plausible =
+            |u: Option<f64>| u.is_none_or(|u| u.is_finite() && (0.0..=cap).contains(&u));
+        if sample.profile.check_plausible().is_err()
+            || !usage_plausible(sample.cpu_usage_pct)
+            || !usage_plausible(sample.gpu_usage_pct)
+        {
+            self.stats.quarantined += 1;
+            self.degrade();
+            return self.finish(window);
+        }
+        self.confidence = (self.confidence + self.config.confidence_recover).min(1.0);
+
         let drift = self.detector.observe(
             sample.profile.total_time.as_picos() as f64,
             sample.cpu_usage_pct,
             sample.gpu_usage_pct,
         );
-        if let Some(d) = &drift {
+        if drift.is_some() {
             self.stats.drifts += 1;
             self.stats.drift_windows.push(window);
-            let _ = d;
         }
         self.ring.push(sample);
 
@@ -530,7 +701,21 @@ impl WindowPolicy for AdaptController {
                 }
             }
         }
-        self.active
+        self.finish(window)
+    }
+}
+
+impl WindowPolicy for AdaptController {
+    fn name(&self) -> String {
+        "adapt".to_string()
+    }
+
+    fn initial_model(&self) -> CommModelKind {
+        self.config.initial_model
+    }
+
+    fn next_model(&mut self, window: u64, run: &RunReport) -> CommModelKind {
+        self.observe_profile(window, ProfileReport::from_run(run))
     }
 }
 
@@ -681,6 +866,138 @@ mod tests {
         );
     }
 
+    fn stream_profile(model: CommModelKind) -> ProfileReport {
+        ProfileReport {
+            workload: "stream".into(),
+            model,
+            miss_rate_l1_cpu: 0.2,
+            miss_rate_ll_cpu: 0.5,
+            hit_rate_l1_gpu: 0.5,
+            gpu_transactions: 1000,
+            gpu_transaction_bytes: 64.0,
+            kernel_time: Picos::from_micros(50),
+            cpu_time: Picos::from_micros(20),
+            copy_time: Picos::from_micros(10),
+            total_time: Picos::from_micros(80),
+        }
+    }
+
+    fn stream_controller(initial: CommModelKind) -> AdaptController {
+        let device = DeviceProfile::jetson_tx2();
+        let config = ControllerConfig {
+            initial_model: initial,
+            ..ControllerConfig::default()
+        };
+        controller(&device, config)
+    }
+
+    #[test]
+    fn implausible_counters_are_quarantined_not_decided_on() {
+        let mut ctrl = stream_controller(CommModelKind::StandardCopy);
+        for w in 0..4u64 {
+            ctrl.observe_profile(w, stream_profile(CommModelKind::StandardCopy));
+        }
+        let decisions_before = ctrl.stats().decisions;
+        let mut bad = stream_profile(CommModelKind::StandardCopy);
+        bad.miss_rate_ll_cpu = f64::NAN;
+        ctrl.observe_profile(4, bad);
+        let mut wild = stream_profile(CommModelKind::StandardCopy);
+        wild.hit_rate_l1_gpu = 7.5;
+        ctrl.observe_profile(5, wild);
+        assert_eq!(ctrl.stats().quarantined, 2);
+        assert_eq!(ctrl.stats().decisions, decisions_before);
+        assert!(ctrl.confidence() < 1.0);
+    }
+
+    #[test]
+    fn gaps_and_duplicates_are_counted() {
+        let mut ctrl = stream_controller(CommModelKind::StandardCopy);
+        ctrl.observe_profile(0, stream_profile(CommModelKind::StandardCopy));
+        ctrl.observe_profile(5, stream_profile(CommModelKind::StandardCopy));
+        ctrl.observe_profile(5, stream_profile(CommModelKind::StandardCopy));
+        ctrl.observe_profile(2, stream_profile(CommModelKind::StandardCopy));
+        assert_eq!(ctrl.stats().lost_windows, 4);
+        assert_eq!(ctrl.stats().duplicates, 2);
+        assert_eq!(ctrl.stats().windows, 4);
+    }
+
+    #[test]
+    fn collapsed_confidence_falls_back_to_sc() {
+        let mut ctrl = stream_controller(CommModelKind::ZeroCopy);
+        // One clean ZC window — still inside warmup, so the controller
+        // has not probed away from ZC when the corruption starts.
+        ctrl.observe_profile(0, stream_profile(CommModelKind::ZeroCopy));
+        // Sustained corruption: every window quarantined, no recovery.
+        let mut w = 1u64;
+        let mut model = ctrl.active_model();
+        while ctrl.confidence() > 0.0 && w < 32 {
+            let mut bad = stream_profile(CommModelKind::ZeroCopy);
+            bad.total_time = Picos::ZERO;
+            model = ctrl.observe_profile(w, bad);
+            w += 1;
+        }
+        assert_eq!(model, CommModelKind::StandardCopy, "no SC fallback");
+        assert!(ctrl.stats().sc_fallbacks >= 1);
+        assert!(matches!(
+            ctrl.switch_log().last().map(|e| &e.reason),
+            Some(SwitchReason::SafeFallback)
+        ));
+        // The stream heals: confidence recovers and adaptation resumes.
+        for clean in w..w + 12 {
+            ctrl.observe_profile(clean, stream_profile(CommModelKind::StandardCopy));
+        }
+        assert!(ctrl.confidence() > ctrl.config().sc_fallback_confidence);
+    }
+
+    #[test]
+    fn low_confidence_suppresses_switching() {
+        let device = DeviceProfile::jetson_tx2();
+        let config = ControllerConfig {
+            min_confidence_to_switch: 0.99,
+            ..ControllerConfig::default()
+        };
+        let mut ctrl = controller(&device, config);
+        // One lost window drops confidence below the (strict) switch bar
+        // before warmup ends, so the initial decision cannot switch.
+        ctrl.observe_profile(0, stream_profile(CommModelKind::StandardCopy));
+        ctrl.observe_profile(2, stream_profile(CommModelKind::StandardCopy));
+        for w in 3..10u64 {
+            ctrl.observe_profile(w, stream_profile(CommModelKind::StandardCopy));
+        }
+        assert_eq!(
+            ctrl.stats().switches,
+            ctrl.stats().sc_fallbacks,
+            "a switch went through under degraded confidence"
+        );
+    }
+
+    #[test]
+    fn degraded_replays_are_identical() {
+        let run = || {
+            let mut ctrl = stream_controller(CommModelKind::ZeroCopy);
+            let mut models = Vec::new();
+            for w in 0..40u64 {
+                let mut p = stream_profile(if w % 2 == 0 {
+                    CommModelKind::ZeroCopy
+                } else {
+                    CommModelKind::StandardCopy
+                });
+                match w % 7 {
+                    0 => p.miss_rate_l1_cpu = f64::INFINITY,
+                    3 => p.gpu_transaction_bytes = -1.0,
+                    _ => {}
+                }
+                // Index stutter: every fifth window repeats, every
+                // eleventh jumps.
+                let idx = if w % 5 == 0 { w.saturating_sub(1) } else { w };
+                let idx = if w % 11 == 0 { idx + 3 } else { idx };
+                models.push(ctrl.observe_profile(idx, p));
+            }
+            (models, ctrl.stats().clone())
+        };
+        assert_eq!(run(), run());
+    }
+
     #[test]
     fn invalid_config_rejected() {
         assert!(ControllerConfig {
@@ -692,6 +1009,31 @@ mod tests {
         assert!(ControllerConfig {
             ring_capacity: 1,
             probe_windows: 4,
+            ..ControllerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ControllerConfig {
+            decision_window: 0,
+            ..ControllerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ControllerConfig {
+            confidence_drop: 1.5,
+            ..ControllerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ControllerConfig {
+            min_confidence_to_switch: 0.2,
+            sc_fallback_confidence: 0.5,
+            ..ControllerConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ControllerConfig {
+            max_plausible_usage_pct: f64::NAN,
             ..ControllerConfig::default()
         }
         .validate()

@@ -41,6 +41,13 @@ pub struct DetectorConfig {
     /// Samples a channel must observe before it may fire — the baseline
     /// needs this long to settle after a reset.
     pub warmup_samples: u32,
+    /// When set, per-sample deviations are winsorized to `±clamp` percent
+    /// before entering the CUSUM sums and the EWMA update. A single
+    /// heavy-tail outlier then contributes at most `clamp − k` to a sum
+    /// and cannot fire the channel alone, while a *sustained* shift still
+    /// accumulates and fires — the robust variant for noisy counter
+    /// streams. `None` (the default) keeps the classic unclamped test.
+    pub outlier_clamp_pct: Option<f64>,
 }
 
 impl Default for DetectorConfig {
@@ -50,6 +57,7 @@ impl Default for DetectorConfig {
             cusum_k_pct: 1.0,
             cusum_h_pct: 4.0,
             warmup_samples: 2,
+            outlier_clamp_pct: None,
         }
     }
 }
@@ -69,6 +77,17 @@ impl DetectorConfig {
         }
         if !(self.cusum_h_pct > 0.0 && self.cusum_h_pct.is_finite()) {
             return Err(format!("cusum_h_pct {} invalid", self.cusum_h_pct));
+        }
+        if let Some(clamp) = self.outlier_clamp_pct {
+            if !(clamp > 0.0 && clamp.is_finite()) {
+                return Err(format!("outlier_clamp_pct {clamp} invalid"));
+            }
+            if clamp <= self.cusum_k_pct {
+                return Err(format!(
+                    "outlier_clamp_pct {clamp} not above cusum_k_pct {}: no deviation could ever accumulate",
+                    self.cusum_k_pct
+                ));
+            }
         }
         Ok(())
     }
@@ -124,7 +143,7 @@ impl Channel {
             self.samples = 1;
             return false;
         };
-        let deviation = match self.scale {
+        let mut deviation = match self.scale {
             Scale::Absolute => x - baseline,
             Scale::Relative => {
                 if baseline.abs() < f64::EPSILON {
@@ -134,13 +153,23 @@ impl Channel {
                 }
             }
         };
+        if let Some(clamp) = cfg.outlier_clamp_pct {
+            deviation = deviation.clamp(-clamp, clamp);
+        }
         self.s_pos = (self.s_pos + deviation - cfg.cusum_k_pct).max(0.0);
         self.s_neg = (self.s_neg - deviation - cfg.cusum_k_pct).max(0.0);
         let fired = self.samples >= cfg.warmup_samples
             && (self.s_pos > cfg.cusum_h_pct || self.s_neg > cfg.cusum_h_pct);
         // The baseline adapts *after* the test so a step change is judged
-        // against the pre-step average.
-        self.baseline = Some(baseline + cfg.ewma_alpha * (x - baseline));
+        // against the pre-step average. Under winsorization the clamped
+        // sample feeds the EWMA too, so one outlier cannot drag the
+        // baseline to a fantasy operating point.
+        let tracked = match (cfg.outlier_clamp_pct, self.scale) {
+            (None, _) => x,
+            (Some(_), Scale::Absolute) => baseline + deviation,
+            (Some(_), Scale::Relative) => baseline * (1.0 + deviation / 100.0),
+        };
+        self.baseline = Some(baseline + cfg.ewma_alpha * (tracked - baseline));
         self.samples += 1;
         fired
     }
@@ -310,6 +339,43 @@ mod tests {
         };
         assert_eq!(run(), run());
         assert!(!run().is_empty());
+    }
+
+    #[test]
+    fn clamp_absorbs_single_outliers_but_not_sustained_shifts() {
+        let cfg = DetectorConfig {
+            outlier_clamp_pct: Some(3.0),
+            ..DetectorConfig::default()
+        };
+        let mut d = PhaseDetector::new(cfg);
+        for _ in 0..10 {
+            assert_eq!(d.observe(1e9, Some(20.0), None), None);
+        }
+        // A lone 60-point spike: clamped to +3, sum reaches 2 < h = 4.
+        assert_eq!(d.observe(1e9, Some(80.0), None), None, "outlier fired");
+        // Back to steady: the sum drains, the baseline barely moved.
+        for _ in 0..5 {
+            assert_eq!(d.observe(1e9, Some(20.0), None), None);
+        }
+        // A sustained shift accumulates (3 - 1) per window and still fires.
+        let mut fired = false;
+        for _ in 0..6 {
+            fired |= d.observe(1e9, Some(80.0), None).is_some();
+        }
+        assert!(fired, "sustained shift never fired under clamp");
+    }
+
+    #[test]
+    fn invalid_clamp_is_rejected() {
+        let bad = |clamp| DetectorConfig {
+            outlier_clamp_pct: Some(clamp),
+            ..DetectorConfig::default()
+        };
+        assert!(bad(0.0).validate().is_err());
+        assert!(bad(f64::NAN).validate().is_err());
+        // Clamp at or below the slack k can never accumulate.
+        assert!(bad(1.0).validate().is_err());
+        assert!(bad(3.0).validate().is_ok());
     }
 
     #[test]

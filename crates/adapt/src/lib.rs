@@ -21,6 +21,15 @@
 //!   unobservable, and guards every switch with hysteresis, a minimum
 //!   dwell, and an explicit switch-cost payback gate.
 //!
+//! The pipeline is hardened for degraded counter streams: the ring
+//! offers robust estimators (median, trimmed mean,
+//! [`WindowRing::robust_profile`]), the detector can winsorize
+//! heavy-tail outliers ([`DetectorConfig::outlier_clamp_pct`]), and the
+//! controller quarantines implausible windows, tracks a stream
+//! confidence score that gates switching, and retreats to standard copy
+//! — the always-correct default — when confidence collapses
+//! ([`AdaptController::observe_profile`]).
+//!
 //! [`evaluate`] packages a full experiment: adaptive vs the three static
 //! models vs the clairvoyant per-phase oracle, with regret and
 //! detection-latency metrics ([`AdaptationReport`]). The pipeline is

@@ -20,6 +20,7 @@ use icomm_core::usage::{cpu_usage_of, gpu_usage_of};
 use icomm_microbench::DeviceCharacterization;
 use icomm_models::CommModelKind;
 use icomm_profile::ProfileReport;
+use icomm_soc::units::Picos;
 
 /// One profiled window together with its derived usage metrics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -121,7 +122,8 @@ impl WindowRing {
     }
 
     /// Mean GPU usage over the `n` most recent windows with observable
-    /// usage; `None` when none of them were observable.
+    /// usage; `None` when none of them were observable. Non-finite
+    /// samples (a corrupted counter that slipped through) are skipped.
     pub fn mean_gpu_usage(&self, n: usize) -> Option<f64> {
         mean(self.recent(n).filter_map(|s| s.gpu_usage_pct))
     }
@@ -131,22 +133,117 @@ impl WindowRing {
     pub fn mean_cpu_usage(&self, n: usize) -> Option<f64> {
         mean(self.recent(n).filter_map(|s| s.cpu_usage_pct))
     }
+
+    /// Median GPU usage over the `n` most recent observable windows — the
+    /// mean's robust sibling: one outlier window cannot move it.
+    pub fn median_gpu_usage(&self, n: usize) -> Option<f64> {
+        median(self.recent(n).filter_map(|s| s.gpu_usage_pct))
+    }
+
+    /// Median CPU usage over the `n` most recent observable windows.
+    pub fn median_cpu_usage(&self, n: usize) -> Option<f64> {
+        median(self.recent(n).filter_map(|s| s.cpu_usage_pct))
+    }
+
+    /// Trimmed mean of GPU usage over the `n` most recent observable
+    /// windows: sorts the samples, discards a `trim` fraction from each
+    /// end, and averages the rest. `trim` is clamped to `[0, 0.45]`; at
+    /// `0` this is the plain mean, near `0.5` it approaches the median.
+    pub fn trimmed_gpu_usage(&self, n: usize, trim: f64) -> Option<f64> {
+        trimmed_mean(self.recent(n).filter_map(|s| s.gpu_usage_pct), trim)
+    }
+
+    /// Trimmed mean of CPU usage over the `n` most recent observable
+    /// windows.
+    pub fn trimmed_cpu_usage(&self, n: usize, trim: f64) -> Option<f64> {
+        trimmed_mean(self.recent(n).filter_map(|s| s.cpu_usage_pct), trim)
+    }
+
+    /// Field-wise median profile over the `n` most recent windows: each
+    /// counter of the returned [`ProfileReport`] is the median of that
+    /// counter across the windows, with non-finite samples skipped.
+    ///
+    /// Identity and model are taken from the newest window. With `n == 1`
+    /// this is exactly the latest profile, so a controller configured for
+    /// single-window decisions behaves as if the estimator were absent.
+    /// With `n > 1` a single noisy or outlier window cannot steer a
+    /// decision — the robust substrate the decision flow runs on when the
+    /// counter stream is degraded.
+    pub fn robust_profile(&self, n: usize) -> Option<ProfileReport> {
+        let latest = self.latest()?;
+        let windows: Vec<&WindowSample> = self.recent(n).collect();
+        let f = |get: fn(&ProfileReport) -> f64| {
+            median(windows.iter().map(|s| get(&s.profile))).unwrap_or(0.0)
+        };
+        let t = |get: fn(&ProfileReport) -> Picos| {
+            median_u64(windows.iter().map(|s| get(&s.profile).0)).map_or(Picos::ZERO, Picos)
+        };
+        Some(ProfileReport {
+            workload: latest.profile.workload.clone(),
+            model: latest.profile.model,
+            miss_rate_l1_cpu: f(|p| p.miss_rate_l1_cpu),
+            miss_rate_ll_cpu: f(|p| p.miss_rate_ll_cpu),
+            hit_rate_l1_gpu: f(|p| p.hit_rate_l1_gpu),
+            gpu_transactions: median_u64(windows.iter().map(|s| s.profile.gpu_transactions))
+                .unwrap_or(0),
+            gpu_transaction_bytes: f(|p| p.gpu_transaction_bytes),
+            kernel_time: t(|p| p.kernel_time),
+            cpu_time: t(|p| p.cpu_time),
+            copy_time: t(|p| p.copy_time),
+            total_time: t(|p| p.total_time),
+        })
+    }
 }
 
 fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
     let mut sum = 0.0;
     let mut count = 0u32;
-    for v in values {
+    for v in values.filter(|v| v.is_finite()) {
         sum += v;
         count += 1;
     }
     (count > 0).then(|| sum / count as f64)
 }
 
+fn sorted_finite(values: impl Iterator<Item = f64>) -> Vec<f64> {
+    let mut v: Vec<f64> = values.filter(|v| v.is_finite()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite floats compare"));
+    v
+}
+
+fn median(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let v = sorted_finite(values);
+    match v.len() {
+        0 => None,
+        n if n % 2 == 1 => Some(v[n / 2]),
+        n => Some((v[n / 2 - 1] + v[n / 2]) / 2.0),
+    }
+}
+
+fn median_u64(values: impl Iterator<Item = u64>) -> Option<u64> {
+    let mut v: Vec<u64> = values.collect();
+    v.sort_unstable();
+    match v.len() {
+        0 => None,
+        n if n % 2 == 1 => Some(v[n / 2]),
+        // Midpoint of the central pair, without overflow.
+        n => Some(v[n / 2 - 1] / 2 + v[n / 2] / 2 + (v[n / 2 - 1] % 2 + v[n / 2] % 2) / 2),
+    }
+}
+
+fn trimmed_mean(values: impl Iterator<Item = f64>, trim: f64) -> Option<f64> {
+    let v = sorted_finite(values);
+    if v.is_empty() {
+        return None;
+    }
+    let cut = (v.len() as f64 * trim.clamp(0.0, 0.45)) as usize;
+    let kept = &v[cut..v.len() - cut];
+    mean(kept.iter().copied())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icomm_soc::units::Picos;
 
     fn characterization() -> DeviceCharacterization {
         DeviceCharacterization {
@@ -231,5 +328,69 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = WindowRing::new(0);
+    }
+
+    fn push_with_kernel_time(ring: &mut WindowRing, window: u64, micros: u64) {
+        let c = characterization();
+        let mut p = profile(CommModelKind::StandardCopy);
+        p.kernel_time = Picos::from_micros(micros);
+        ring.push(WindowSample::from_profile(window, p, &c));
+    }
+
+    #[test]
+    fn median_and_trimmed_mean_shrug_off_outliers() {
+        let c = characterization();
+        let mut ring = WindowRing::new(8);
+        for w in 0..4u64 {
+            let mut p = profile(CommModelKind::StandardCopy);
+            // One wild outlier window among steady ones.
+            if w == 2 {
+                p.gpu_transactions = 1_000_000;
+            }
+            ring.push(WindowSample::from_profile(w, p, &c));
+        }
+        let steady = ring.iter().next().unwrap().gpu_usage_pct.unwrap();
+        let median = ring.median_gpu_usage(4).unwrap();
+        assert!(
+            (median - steady).abs() < 1e-9,
+            "median {median} moved off steady {steady}"
+        );
+        let trimmed = ring.trimmed_gpu_usage(4, 0.25).unwrap();
+        assert!((trimmed - steady).abs() < 1e-9);
+        // The plain mean is dragged by the outlier — that is the point.
+        assert!(ring.mean_gpu_usage(4).unwrap() > steady * 2.0);
+    }
+
+    #[test]
+    fn aggregates_skip_non_finite_samples() {
+        let c = characterization();
+        let mut ring = WindowRing::new(4);
+        let mut bad = profile(CommModelKind::StandardCopy);
+        bad.gpu_transaction_bytes = f64::NAN;
+        ring.push(WindowSample::from_profile(0, bad, &c));
+        ring.push(WindowSample::from_profile(
+            1,
+            profile(CommModelKind::StandardCopy),
+            &c,
+        ));
+        let mean = ring.mean_gpu_usage(4).unwrap();
+        let median = ring.median_gpu_usage(4).unwrap();
+        assert!(mean.is_finite() && median.is_finite());
+    }
+
+    #[test]
+    fn robust_profile_is_fieldwise_median() {
+        let mut ring = WindowRing::new(8);
+        for (w, micros) in [(0, 50), (1, 52), (2, 5000), (3, 51)] {
+            push_with_kernel_time(&mut ring, w, micros);
+        }
+        let robust = ring.robust_profile(4).unwrap();
+        // Median of {50, 52, 5000, 51} us is 51.5 us.
+        assert_eq!(robust.kernel_time, Picos(51_500_000));
+        assert_eq!(robust.workload, "t");
+        // A single-window "median" is the latest profile verbatim.
+        let one = ring.robust_profile(1).unwrap();
+        assert_eq!(one, ring.latest().unwrap().profile);
+        assert!(WindowRing::new(2).robust_profile(3).is_none());
     }
 }

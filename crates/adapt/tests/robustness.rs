@@ -1,0 +1,185 @@
+//! Property tests: the adaptation pipeline under hostile counter
+//! streams.
+//!
+//! Real counter feeds deliver NaNs, infinities, heavy-tail outliers,
+//! duplicated and missing windows. Three invariants must survive all of
+//! it:
+//!
+//! - **no panic** — every component consumes arbitrary garbage and
+//!   returns;
+//! - **bounded state** — the ring never exceeds its capacity, the
+//!   controller's confidence stays in `[0, 1]`, aggregates are finite or
+//!   absent;
+//! - **deterministic replay** — the same hostile stream produces the
+//!   same verdicts, switch log and counters every time.
+
+use proptest::prelude::*;
+
+use icomm_adapt::{
+    AdaptController, ControllerConfig, DetectorConfig, PhaseDetector, WindowRing, WindowSample,
+};
+use icomm_microbench::quick_characterize_device;
+use icomm_models::CommModelKind;
+use icomm_profile::ProfileReport;
+use icomm_soc::units::Picos;
+use icomm_soc::DeviceProfile;
+
+/// A hostile measurement: plausible values mixed with NaN, infinities,
+/// negatives, zeros and heavy-tail outliers.
+fn hostile_value() -> BoxedStrategy<f64> {
+    prop_oneof![
+        0.0..100.0f64,
+        0.0..1.0f64,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(-1.0),
+        Just(0.0),
+        1e6..1e12f64,
+    ]
+    .boxed()
+}
+
+/// One hostile window: (time, cpu usage, gpu usage, observable?).
+fn hostile_window() -> impl Strategy<Value = (f64, f64, f64, bool)> {
+    (
+        hostile_value(),
+        hostile_value(),
+        hostile_value(),
+        prop::bool::ANY,
+    )
+}
+
+fn hostile_stream() -> impl Strategy<Value = Vec<(f64, f64, f64, bool)>> {
+    prop::collection::vec(hostile_window(), 1..120)
+}
+
+/// A hostile profile built from three drawn values and a model selector.
+fn profile_from(model_sel: bool, a: f64, b: f64, c: f64) -> ProfileReport {
+    let model = if model_sel {
+        CommModelKind::StandardCopy
+    } else {
+        CommModelKind::ZeroCopy
+    };
+    ProfileReport {
+        workload: "hostile".into(),
+        model,
+        miss_rate_l1_cpu: a,
+        miss_rate_ll_cpu: b,
+        hit_rate_l1_gpu: c,
+        gpu_transactions: (a.abs().min(1e6)) as u64,
+        gpu_transaction_bytes: b,
+        kernel_time: Picos((c.abs().min(1e15)) as u64),
+        cpu_time: Picos::from_micros(20),
+        copy_time: Picos::from_micros(10),
+        total_time: Picos((a.abs().min(1e15)) as u64),
+    }
+}
+
+proptest! {
+    #[test]
+    fn detector_never_panics_and_replays_identically(stream in hostile_stream()) {
+        let run = |cfg: DetectorConfig| {
+            let mut d = PhaseDetector::new(cfg);
+            let mut verdicts = Vec::new();
+            for (i, (t, cpu, gpu, observable)) in stream.iter().enumerate() {
+                let usage = observable.then_some(*cpu);
+                let gusage = observable.then_some(*gpu);
+                if let Some(drift) = d.observe(*t, usage, gusage) {
+                    verdicts.push((i, drift.channels));
+                }
+            }
+            verdicts
+        };
+        let classic = DetectorConfig::default();
+        prop_assert_eq!(run(classic), run(classic));
+        let clamped = DetectorConfig {
+            outlier_clamp_pct: Some(10.0),
+            ..DetectorConfig::default()
+        };
+        prop_assert_eq!(run(clamped), run(clamped));
+    }
+
+    #[test]
+    fn ring_state_stays_bounded(stream in hostile_stream()) {
+        let device = DeviceProfile::jetson_tx2();
+        let characterization = quick_characterize_device(&device);
+        let mut ring = WindowRing::new(8);
+        for (w, (t, a, b, sel)) in stream.iter().enumerate() {
+            let mut p = profile_from(*sel, *a, *b, *t);
+            p.gpu_transaction_bytes = *b;
+            ring.push(WindowSample::from_profile(w as u64, p, &characterization));
+            prop_assert!(ring.len() <= ring.capacity());
+            for n in [1usize, 3, 8, 64] {
+                for v in [
+                    ring.mean_gpu_usage(n),
+                    ring.median_gpu_usage(n),
+                    ring.trimmed_gpu_usage(n, 0.25),
+                    ring.mean_cpu_usage(n),
+                    ring.median_cpu_usage(n),
+                    ring.trimmed_cpu_usage(n, 0.25),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    prop_assert!(v.is_finite(), "non-finite aggregate {v}");
+                }
+                let _ = ring.robust_profile(n);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_median_lies_within_observed_range(stream in hostile_stream()) {
+        let device = DeviceProfile::jetson_agx_xavier();
+        let characterization = quick_characterize_device(&device);
+        let mut ring = WindowRing::new(16);
+        for (w, (t, a, b, sel)) in stream.iter().enumerate() {
+            ring.push(WindowSample::from_profile(
+                w as u64,
+                profile_from(*sel, *a, *b, *t),
+                &characterization,
+            ));
+        }
+        if let Some(median) = ring.median_gpu_usage(16) {
+            let finite: Vec<f64> = ring
+                .iter()
+                .filter_map(|s| s.gpu_usage_pct)
+                .filter(|u| u.is_finite())
+                .collect();
+            let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(median >= lo && median <= hi, "median {median} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn controller_survives_hostile_streams_deterministically(
+        stream in hostile_stream(),
+        jumps in prop::collection::vec(0u64..4, 1..120),
+    ) {
+        let device = DeviceProfile::jetson_tx2();
+        let characterization = quick_characterize_device(&device);
+        let run = || {
+            let mut ctrl = AdaptController::new(
+                device.clone(),
+                characterization.clone(),
+                ControllerConfig::default(),
+            );
+            let mut models = Vec::new();
+            let mut index = 0u64;
+            for (i, (t, a, b, sel)) in stream.iter().enumerate() {
+                // Jumps forward create gaps; zero jumps repeat an index.
+                index += jumps[i % jumps.len()];
+                models.push(ctrl.observe_profile(index, profile_from(*sel, *a, *b, *t)));
+                let c = ctrl.confidence();
+                prop_assert!((0.0..=1.0).contains(&c), "confidence {c} escaped [0, 1]");
+            }
+            (models, ctrl.stats().clone(), ctrl.switch_log().to_vec())
+        };
+        let first = run();
+        let second = run();
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(first.1.windows, stream.len() as u64);
+    }
+}

@@ -1,0 +1,383 @@
+//! The chaos harness: one seeded campaign over the full stack, one
+//! deterministic report.
+//!
+//! [`run_chaos`] executes four measurements for a `(plan, seed)` pair:
+//!
+//! 1. the **clean adaptive run** (no faults) — the baseline regret;
+//! 2. the **faulted adaptive run** — same workload, counters degraded by
+//!    the plan;
+//! 3. the **static SC** and **oracle** baselines the regret is priced
+//!    against;
+//! 4. a **snapshot torture** pass over the device characterization's
+//!    framed snapshot — the persist boundary under the same seed.
+//!
+//! Everything is simulated and seeded: no wall clock, no I/O, no
+//! threads. Two runs with the same inputs produce byte-identical
+//! reports — the property the CI chaos stage asserts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use icomm_adapt::{AdaptController, ControllerConfig, SwitchEvent};
+use icomm_microbench::DeviceCharacterization;
+use icomm_models::{oracle_phased, run_phased, static_phased, CommModelKind, PhasedWorkload};
+use icomm_soc::DeviceProfile;
+
+use crate::inject::{FaultInjector, InjectionLog};
+use crate::plan::FaultPlan;
+use crate::policy::run_faulted;
+use crate::snapshot::{torture_snapshot, SnapshotTortureReport};
+
+/// How many corruption trials the persist boundary gets per campaign.
+const SNAPSHOT_TRIALS: u64 = 256;
+
+/// The outcome of one chaos campaign. Fully deterministic per
+/// `(device, workload, plan, seed)` — and serializable, so the CI stage
+/// can diff two same-seed runs byte for byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Board name.
+    pub device: String,
+    /// Phased workload name.
+    pub workload: String,
+    /// The fault plan that ran.
+    pub plan: FaultPlan,
+    /// The campaign seed.
+    pub seed: u64,
+    /// Windows executed.
+    pub windows: u64,
+    /// The run completed without a panic or wedge. Present in the report
+    /// for the reader; a campaign that did panic never produces one.
+    pub survived: bool,
+    /// Faults the injector actually landed.
+    pub injections: InjectionLog,
+    /// Clean adaptive regret vs the oracle, percent.
+    pub clean_regret_pct: f64,
+    /// Faulted adaptive regret vs the oracle, percent.
+    pub faulted_regret_pct: f64,
+    /// What the faults cost: faulted minus clean regret, in points.
+    pub regret_inflation_pct: f64,
+    /// Faulted adaptive time vs always-SC, percent (negative: the
+    /// degraded controller still beat the safe static choice).
+    pub faulted_vs_sc_pct: f64,
+    /// Switches the faulted run charged.
+    pub switches: u32,
+    /// Windows quarantined for implausible counters.
+    pub quarantined: u32,
+    /// Windows lost from the stream.
+    pub lost_windows: u64,
+    /// Stale/duplicate deliveries the controller discarded.
+    pub duplicates: u32,
+    /// Switches suppressed by the confidence gate.
+    pub suppressed_confidence: u32,
+    /// Retreats to standard copy after confidence collapsed.
+    pub sc_fallbacks: u32,
+    /// Stream confidence at end of run.
+    pub final_confidence: f64,
+    /// Every switch the faulted controller committed.
+    pub switch_log: Vec<SwitchEvent>,
+    /// The persist boundary under the same seed.
+    pub snapshot_torture: SnapshotTortureReport,
+}
+
+impl ChaosReport {
+    /// Hard pass/fail for CI: the run completed, the controller state
+    /// stayed sane, and no corrupted snapshot slipped past the verifier.
+    pub fn passed(&self) -> bool {
+        self.survived
+            && self.snapshot_torture.survived()
+            && self.final_confidence.is_finite()
+            && (0.0..=1.0).contains(&self.final_confidence)
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos campaign: '{}' on {} (seed {}, {} windows)",
+            self.workload, self.device, self.seed, self.windows
+        )?;
+        writeln!(f, "  plan: {}", self.plan)?;
+        writeln!(
+            f,
+            "  survived: {}   snapshot torture: {}/{} rejected, {} silent",
+            if self.passed() { "yes" } else { "NO" },
+            self.snapshot_torture.rejected,
+            self.snapshot_torture.trials,
+            self.snapshot_torture.silent,
+        )?;
+        writeln!(
+            f,
+            "  injected: {} dropped ({} stalled), {} dup, {} reordered, {} nan, {} inf, \
+             {} saturated, {} outliers, {} noisy",
+            self.injections.dropped,
+            self.injections.stalled,
+            self.injections.duplicated,
+            self.injections.reordered,
+            self.injections.nans,
+            self.injections.infs,
+            self.injections.saturated,
+            self.injections.outliers,
+            self.injections.noisy,
+        )?;
+        writeln!(
+            f,
+            "  regret vs oracle: clean {:+.2}%  faulted {:+.2}%  inflation {:+.2} pts",
+            self.clean_regret_pct, self.faulted_regret_pct, self.regret_inflation_pct
+        )?;
+        writeln!(
+            f,
+            "  faulted vs always-SC: {:+.2}%   switches: {}",
+            self.faulted_vs_sc_pct, self.switches
+        )?;
+        writeln!(
+            f,
+            "  defenses: {} quarantined, {} lost, {} stale, {} confidence-suppressed, \
+             {} SC fallbacks (confidence {:.2} at end)",
+            self.quarantined,
+            self.lost_windows,
+            self.duplicates,
+            self.suppressed_confidence,
+            self.sc_fallbacks,
+            self.final_confidence,
+        )?;
+        for ev in &self.switch_log {
+            writeln!(
+                f,
+                "  switch @{:>4}: {} -> {} ({})",
+                ev.window,
+                ev.from.abbrev(),
+                ev.to.abbrev(),
+                ev.reason
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Regret of `time` against `reference`, in percent; 0 when the
+/// reference is degenerate.
+fn regret_pct(time: u64, reference: u64) -> f64 {
+    if reference == 0 {
+        0.0
+    } else {
+        (time as f64 - reference as f64) / reference as f64 * 100.0
+    }
+}
+
+/// The controller configuration a chaos campaign uses — the CLI `adapt`
+/// defaults with the workload's payload hint.
+fn campaign_config(phased: &PhasedWorkload) -> ControllerConfig {
+    ControllerConfig {
+        payload_hint: phased.phases[0].workload.bytes_exchanged(),
+        ..ControllerConfig::default()
+    }
+}
+
+/// Runs one chaos campaign and reports it.
+pub fn run_chaos(
+    device: &DeviceProfile,
+    characterization: &DeviceCharacterization,
+    phased: &PhasedWorkload,
+    plan: &FaultPlan,
+    seed: u64,
+) -> ChaosReport {
+    let config = campaign_config(phased);
+
+    let mut clean_controller =
+        AdaptController::new(device.clone(), characterization.clone(), config.clone());
+    let clean = run_phased(device, phased, &mut clean_controller);
+    let oracle = oracle_phased(device, phased);
+    let static_sc = static_phased(device, phased, CommModelKind::StandardCopy);
+
+    let mut controller = AdaptController::new(device.clone(), characterization.clone(), config);
+    let mut injector = FaultInjector::new(plan.clone(), seed);
+    let faulted = run_faulted(device, phased, &mut controller, &mut injector);
+
+    let snapshot_torture = match icomm_persist::to_string(characterization) {
+        Ok(json) => torture_snapshot(
+            &icomm_persist::snapshot::encode(&json),
+            seed,
+            SNAPSHOT_TRIALS,
+        ),
+        // An unserializable characterization would itself be a bug; the
+        // campaign still reports, with zero trials, rather than panic.
+        Err(_) => SnapshotTortureReport::default(),
+    };
+
+    let clean_regret = regret_pct(clean.total_time.0, oracle.total_time.0);
+    let faulted_regret = regret_pct(faulted.total_time.0, oracle.total_time.0);
+    ChaosReport {
+        device: device.name.clone(),
+        workload: phased.name.clone(),
+        plan: plan.clone(),
+        seed,
+        windows: phased.total_windows(),
+        survived: true,
+        injections: faulted.injections.clone(),
+        clean_regret_pct: clean_regret,
+        faulted_regret_pct: faulted_regret,
+        regret_inflation_pct: faulted_regret - clean_regret,
+        faulted_vs_sc_pct: regret_pct(faulted.total_time.0, static_sc.total_time.0),
+        switches: faulted.switches,
+        quarantined: faulted.stats.quarantined,
+        lost_windows: faulted.stats.lost_windows,
+        duplicates: faulted.stats.duplicates,
+        suppressed_confidence: faulted.stats.suppressed_confidence,
+        sc_fallbacks: faulted.stats.sc_fallbacks,
+        final_confidence: faulted.final_confidence,
+        switch_log: faulted.switch_log,
+        snapshot_torture,
+    }
+}
+
+/// Runs the same campaign across a seed matrix.
+pub fn chaos_matrix(
+    device: &DeviceProfile,
+    characterization: &DeviceCharacterization,
+    phased: &PhasedWorkload,
+    plan: &FaultPlan,
+    seeds: &[u64],
+) -> Vec<ChaosReport> {
+    seeds
+        .iter()
+        .map(|&seed| run_chaos(device, characterization, phased, plan, seed))
+        .collect()
+}
+
+/// One summary line per campaign, plus a verdict — what the CI smoke
+/// stage prints.
+pub fn render_matrix(reports: &[ChaosReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<6} {:>9} {:>9} {:>10} {:>7} {:>6} {:>6}  verdict",
+        "seed", "clean%", "faulted%", "inflation", "quar", "fall", "conf"
+    );
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>+9.2} {:>+9.2} {:>+10.2} {:>7} {:>6} {:>6.2}  {}",
+            r.seed,
+            r.clean_regret_pct,
+            r.faulted_regret_pct,
+            r.regret_inflation_pct,
+            r.quarantined,
+            r.sc_fallbacks,
+            r.final_confidence,
+            if r.passed() { "pass" } else { "FAIL" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {}/{} campaigns passed",
+        reports.iter().filter(|r| r.passed()).count(),
+        reports.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_microbench::quick_characterize_device;
+    use icomm_models::{GpuPhase, Workload, WorkloadPhase};
+    use icomm_soc::cache::AccessKind;
+    use icomm_soc::units::ByteSize;
+    use icomm_trace::Pattern;
+
+    fn setup() -> (DeviceProfile, DeviceCharacterization, PhasedWorkload) {
+        let make = |passes| {
+            Workload::builder("w")
+                .bytes_to_gpu(ByteSize::kib(128))
+                .gpu(GpuPhase {
+                    compute_work: 1 << 14,
+                    shared_accesses: Pattern::Repeat {
+                        body: Box::new(Pattern::Linear {
+                            start: 0,
+                            bytes: 128 * 1024,
+                            txn_bytes: 64,
+                            kind: AccessKind::Read,
+                        }),
+                        times: passes,
+                    },
+                    private_accesses: None,
+                })
+                .build()
+        };
+        let phased = PhasedWorkload::new(
+            "chaos-harness",
+            vec![
+                WorkloadPhase {
+                    name: "light".into(),
+                    windows: 8,
+                    workload: make(1),
+                },
+                WorkloadPhase {
+                    name: "heavy".into(),
+                    windows: 8,
+                    workload: make(10),
+                },
+            ],
+        );
+        let device = DeviceProfile::jetson_tx2();
+        let characterization = quick_characterize_device(&device);
+        (device, characterization, phased)
+    }
+
+    #[test]
+    fn campaigns_pass_and_serialize_finitely() {
+        let (device, characterization, phased) = setup();
+        for preset in FaultPlan::PRESETS {
+            let plan = FaultPlan::preset(preset).unwrap();
+            let report = run_chaos(&device, &characterization, &phased, &plan, 42);
+            assert!(report.passed(), "{preset}: {report}");
+            // The JSON serializer rejects NaN/Inf — success doubles as a
+            // finiteness check on every float in the report.
+            let json = icomm_persist::to_string(&report).unwrap();
+            let back: ChaosReport = icomm_persist::from_str(&json).unwrap();
+            assert_eq!(back, report);
+        }
+    }
+
+    #[test]
+    fn same_seed_reports_are_byte_identical() {
+        let (device, characterization, phased) = setup();
+        let plan = FaultPlan::hostile();
+        let a = run_chaos(&device, &characterization, &phased, &plan, 1337);
+        let b = run_chaos(&device, &characterization, &phased, &plan, 1337);
+        assert_eq!(
+            icomm_persist::to_string(&a).unwrap(),
+            icomm_persist::to_string(&b).unwrap()
+        );
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn none_plan_has_zero_inflation() {
+        let (device, characterization, phased) = setup();
+        let report = run_chaos(&device, &characterization, &phased, &FaultPlan::none(), 5);
+        assert_eq!(report.regret_inflation_pct, 0.0);
+        assert_eq!(report.injections.total(), 0);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.final_confidence, 1.0);
+    }
+
+    #[test]
+    fn matrix_renders_a_verdict_per_seed() {
+        let (device, characterization, phased) = setup();
+        let reports = chaos_matrix(
+            &device,
+            &characterization,
+            &phased,
+            &FaultPlan::full(),
+            &[1, 2, 3],
+        );
+        assert_eq!(reports.len(), 3);
+        let table = render_matrix(&reports);
+        assert!(table.contains("3/3 campaigns passed"), "{table}");
+    }
+}

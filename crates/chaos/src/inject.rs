@@ -1,0 +1,275 @@
+//! The injector: turns a [`FaultPlan`] plus a seed into concrete faults
+//! on a profile-window stream.
+//!
+//! Two orthogonal attack surfaces:
+//!
+//! - **stream faults** ([`FaultInjector::stream_action`]): a window is
+//!   delivered, dropped, duplicated, or swallowed by a stall — what a
+//!   lossy counter transport does to window *indices*;
+//! - **value faults** ([`FaultInjector::corrupt`]): the delivered
+//!   window's counters are jittered, spiked, NaN'd, or saturated — what
+//!   multiplexing and timer wrap do to counter *values*.
+//!
+//! Every decision draws from one [`ChaosRng`], so a `(plan, seed)` pair
+//! replays the exact same fault sequence.
+
+use icomm_profile::ProfileReport;
+use icomm_soc::units::Picos;
+use serde::{Deserialize, Serialize};
+
+use crate::plan::FaultPlan;
+use crate::rng::ChaosRng;
+
+/// What the transport does with one produced window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamAction {
+    /// The window reaches the consumer.
+    Deliver,
+    /// The window is lost (the consumer sees an index gap).
+    Drop,
+    /// The window arrives twice with the same index.
+    Duplicate,
+    /// The window is held back and delivered after its successor.
+    Reorder,
+}
+
+/// Counts of every fault actually injected — part of the chaos report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionLog {
+    /// Windows the transport delivered.
+    pub delivered: u64,
+    /// Windows dropped (incl. stalled ones).
+    pub dropped: u64,
+    /// Windows delivered twice.
+    pub duplicated: u64,
+    /// Windows delivered out of order.
+    pub reordered: u64,
+    /// Windows swallowed by a stall.
+    pub stalled: u64,
+    /// Counters jittered with Gaussian noise.
+    pub noisy: u64,
+    /// Counters hit by a heavy-tail outlier.
+    pub outliers: u64,
+    /// Counters replaced by NaN.
+    pub nans: u64,
+    /// Counters replaced by an infinity.
+    pub infs: u64,
+    /// Windows with a saturated/wrapped timer.
+    pub saturated: u64,
+}
+
+impl InjectionLog {
+    /// Total faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.dropped
+            + self.duplicated
+            + self.reordered
+            + self.noisy
+            + self.outliers
+            + self.nans
+            + self.infs
+            + self.saturated
+    }
+}
+
+/// Seeded fault source for one chaos run.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: ChaosRng,
+    stall_left: u32,
+    log: InjectionLog,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan` with a deterministic seed.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector {
+            plan,
+            rng: ChaosRng::new(seed),
+            stall_left: 0,
+            log: InjectionLog::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// What happened so far.
+    pub fn log(&self) -> &InjectionLog {
+        &self.log
+    }
+
+    /// Decides the transport's fate for the next produced window.
+    pub fn stream_action(&mut self) -> StreamAction {
+        if self.stall_left > 0 {
+            self.stall_left -= 1;
+            self.log.stalled += 1;
+            self.log.dropped += 1;
+            return StreamAction::Drop;
+        }
+        if self.rng.chance(self.plan.stall_prob) && self.plan.stall_windows > 0 {
+            self.stall_left = self.plan.stall_windows - 1;
+            self.log.stalled += 1;
+            self.log.dropped += 1;
+            return StreamAction::Drop;
+        }
+        if self.rng.chance(self.plan.drop_prob) {
+            self.log.dropped += 1;
+            return StreamAction::Drop;
+        }
+        if self.rng.chance(self.plan.dup_prob) {
+            self.log.duplicated += 1;
+            self.log.delivered += 1;
+            return StreamAction::Duplicate;
+        }
+        if self.rng.chance(self.plan.reorder_prob) {
+            self.log.reordered += 1;
+            self.log.delivered += 1;
+            return StreamAction::Reorder;
+        }
+        self.log.delivered += 1;
+        StreamAction::Deliver
+    }
+
+    /// Applies value faults to a delivered window in place.
+    pub fn corrupt(&mut self, profile: &mut ProfileReport) {
+        // Noise and outliers on the continuous counters.
+        if self.plan.noise_sigma > 0.0 || self.plan.outlier_prob > 0.0 {
+            let sigma = self.plan.noise_sigma;
+            let outlier_p = self.plan.outlier_prob;
+            let alpha = self.plan.outlier_alpha;
+            let mut jitter = |v: &mut f64| {
+                if self.rng.chance(outlier_p) {
+                    *v *= self.rng.pareto(alpha);
+                    self.log.outliers += 1;
+                } else if sigma > 0.0 {
+                    *v *= 1.0 + sigma * self.rng.gauss();
+                    self.log.noisy += 1;
+                }
+            };
+            jitter(&mut profile.miss_rate_l1_cpu);
+            jitter(&mut profile.miss_rate_ll_cpu);
+            jitter(&mut profile.hit_rate_l1_gpu);
+            jitter(&mut profile.gpu_transaction_bytes);
+        }
+        // NaN / Inf strikes on one counter at a time.
+        if self.rng.chance(self.plan.nan_prob) {
+            *self.pick_rate(profile) = f64::NAN;
+            self.log.nans += 1;
+        }
+        if self.rng.chance(self.plan.inf_prob) {
+            let sign = if self.rng.chance(0.5) { 1.0 } else { -1.0 };
+            *self.pick_rate(profile) = sign * f64::INFINITY;
+            self.log.infs += 1;
+        }
+        // Saturated or wrapped timer: the whole window's timing is junk.
+        if self.rng.chance(self.plan.saturate_prob) {
+            profile.total_time = if self.rng.chance(0.5) {
+                Picos::ZERO
+            } else {
+                // Far beyond any plausible profiling window.
+                Picos(u64::MAX / 2)
+            };
+            self.log.saturated += 1;
+        }
+    }
+
+    fn pick_rate<'a>(&mut self, profile: &'a mut ProfileReport) -> &'a mut f64 {
+        match self.rng.index(4) {
+            0 => &mut profile.miss_rate_l1_cpu,
+            1 => &mut profile.miss_rate_ll_cpu,
+            2 => &mut profile.hit_rate_l1_gpu,
+            _ => &mut profile.gpu_transaction_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_models::CommModelKind;
+
+    fn clean_profile() -> ProfileReport {
+        ProfileReport {
+            workload: "w".into(),
+            model: CommModelKind::StandardCopy,
+            miss_rate_l1_cpu: 0.1,
+            miss_rate_ll_cpu: 0.2,
+            hit_rate_l1_gpu: 0.8,
+            gpu_transactions: 1000,
+            gpu_transaction_bytes: 64.0,
+            kernel_time: Picos::from_micros(50),
+            cpu_time: Picos::from_micros(20),
+            copy_time: Picos::from_micros(10),
+            total_time: Picos::from_micros(90),
+        }
+    }
+
+    #[test]
+    fn none_plan_changes_nothing() {
+        let mut injector = FaultInjector::new(FaultPlan::none(), 1);
+        let mut profile = clean_profile();
+        for _ in 0..100 {
+            assert_eq!(injector.stream_action(), StreamAction::Deliver);
+            injector.corrupt(&mut profile);
+        }
+        assert_eq!(profile, clean_profile());
+        assert_eq!(injector.log().total(), 0);
+        assert_eq!(injector.log().delivered, 100);
+    }
+
+    #[test]
+    fn same_seed_injects_identically() {
+        let run = |seed| {
+            let mut injector = FaultInjector::new(FaultPlan::hostile(), seed);
+            let mut out = Vec::new();
+            for _ in 0..200 {
+                let action = injector.stream_action();
+                let mut p = clean_profile();
+                injector.corrupt(&mut p);
+                out.push((action, format!("{p:?}")));
+            }
+            (out, injector.log().clone())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn hostile_plan_actually_injects_every_class() {
+        let mut injector = FaultInjector::new(FaultPlan::hostile(), 5);
+        for _ in 0..500 {
+            if injector.stream_action() != StreamAction::Drop {
+                let mut p = clean_profile();
+                injector.corrupt(&mut p);
+            }
+        }
+        let log = injector.log();
+        assert!(log.dropped > 0, "{log:?}");
+        assert!(log.duplicated > 0, "{log:?}");
+        assert!(log.reordered > 0, "{log:?}");
+        assert!(log.stalled > 0, "{log:?}");
+        assert!(log.nans > 0, "{log:?}");
+        assert!(log.infs > 0, "{log:?}");
+        assert!(log.saturated > 0, "{log:?}");
+        assert!(log.outliers > 0, "{log:?}");
+        assert!(log.noisy > 0, "{log:?}");
+    }
+
+    #[test]
+    fn stall_swallows_consecutive_windows() {
+        let plan = FaultPlan {
+            stall_prob: 1.0,
+            stall_windows: 3,
+            ..FaultPlan::none()
+        };
+        let mut injector = FaultInjector::new(plan, 1);
+        for _ in 0..9 {
+            assert_eq!(injector.stream_action(), StreamAction::Drop);
+        }
+        assert_eq!(injector.log().stalled, 9);
+    }
+}

@@ -1,0 +1,55 @@
+//! # icomm-chaos — deterministic fault injection for the tuning stack
+//!
+//! On real embedded deployments the profile→adapt→serve→persist pipeline
+//! never sees clean inputs for long: counters multiplex and saturate,
+//! window streams drop and reorder, snapshots tear mid-write, clients
+//! stall mid-request. This crate makes those failures *reproducible*: a
+//! [`FaultPlan`] names what breaks, a seed fixes exactly when, and the
+//! whole campaign replays byte-identically — turning "it survived chaos"
+//! into a regression test instead of an anecdote.
+//!
+//! The layers:
+//!
+//! - [`rng`]: the seeded random source ([`ChaosRng`]) every fault draws
+//!   from — uniform, Gaussian and Pareto tails built on the workspace
+//!   generator.
+//! - [`plan`]: the declarative [`FaultPlan`] with its named presets
+//!   (`none`, `noise`, `loss`, `corrupt`, `hostile`, `full`) and the
+//!   `preset,knob=value` spec parser behind `icomm chaos --plan`.
+//! - [`inject`]: the [`FaultInjector`] that turns the plan into stream
+//!   faults (drop/duplicate/reorder/stall) and value faults
+//!   (noise/outliers/NaN/Inf/saturation), logging every hit.
+//! - [`policy`]: [`run_faulted`] — the adaptation controller driven
+//!   through the degraded stream, with the same window execution and
+//!   switch-cost accounting as the clean harness.
+//! - [`snapshot`]: seeded corruption of framed persist snapshots,
+//!   asserting the verifier rejects every real mutation.
+//! - [`tcp`]: hostile clients (garbage, oversized lines, mid-request
+//!   stalls) for the TCP server's integration tests.
+//! - [`harness`]: [`run_chaos`] / [`chaos_matrix`] — one campaign, one
+//!   deterministic [`ChaosReport`] with regret inflation, quarantine and
+//!   SC-fallback counts.
+//!
+//! The report's headline numbers: **regret inflation** (how much the
+//! faults cost, in regret points vs the oracle) and **SC fallbacks**
+//! (how often confidence collapsed and the controller retreated to the
+//! always-correct standard-copy model). See the repository README
+//! ("Fault tolerance") and `docs/RESULTS.md` for measured campaigns.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+pub mod inject;
+pub mod plan;
+pub mod policy;
+pub mod rng;
+pub mod snapshot;
+pub mod tcp;
+
+pub use harness::{chaos_matrix, render_matrix, run_chaos, ChaosReport};
+pub use inject::{FaultInjector, InjectionLog, StreamAction};
+pub use plan::FaultPlan;
+pub use policy::{run_faulted, FaultedRun};
+pub use rng::ChaosRng;
+pub use snapshot::{torture_snapshot, SnapshotTortureReport};

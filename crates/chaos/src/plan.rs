@@ -1,0 +1,305 @@
+//! The fault plan: what to break, how hard, how often.
+//!
+//! A [`FaultPlan`] is a declarative description of a degraded
+//! environment. Presets name the scenarios the CI matrix exercises
+//! (`none`, `noise`, `loss`, `corrupt`, `hostile`, `full`); a spec string
+//! like `"loss,drop_prob=0.4"` starts from a preset and overrides
+//! individual knobs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Probabilities and intensities for every fault class the injector
+/// knows. All `*_prob` fields are per-window probabilities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Relative Gaussian noise applied to every counter (sigma as a
+    /// fraction of the value; `0.05` = 5% noise).
+    pub noise_sigma: f64,
+    /// Probability a counter gets a heavy-tail (Pareto) multiplicative
+    /// outlier instead of mere noise.
+    pub outlier_prob: f64,
+    /// Pareto shape for outliers; smaller is fatter-tailed.
+    pub outlier_alpha: f64,
+    /// Probability a window is dropped from the stream (index gap).
+    pub drop_prob: f64,
+    /// Probability a window is delivered twice (same index).
+    pub dup_prob: f64,
+    /// Probability a window is held back and delivered after its
+    /// successor (arrives stale, out of order).
+    pub reorder_prob: f64,
+    /// Probability one counter is replaced by NaN.
+    pub nan_prob: f64,
+    /// Probability one counter is replaced by +/-infinity.
+    pub inf_prob: f64,
+    /// Probability the window's timer saturates (total time pegged at a
+    /// wrap-around value or zero).
+    pub saturate_prob: f64,
+    /// Probability a stall starts: the source goes silent for
+    /// [`FaultPlan::stall_windows`] consecutive windows.
+    pub stall_prob: f64,
+    /// Length of a stall, in windows.
+    pub stall_windows: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// No faults: the control run.
+    pub fn none() -> Self {
+        FaultPlan {
+            noise_sigma: 0.0,
+            outlier_prob: 0.0,
+            outlier_alpha: 1.5,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            nan_prob: 0.0,
+            inf_prob: 0.0,
+            saturate_prob: 0.0,
+            stall_prob: 0.0,
+            stall_windows: 4,
+        }
+    }
+
+    /// Measurement noise: Gaussian jitter plus occasional heavy-tail
+    /// outliers, the baseline reality of multiplexed counters.
+    pub fn noise() -> Self {
+        FaultPlan {
+            noise_sigma: 0.05,
+            outlier_prob: 0.05,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Lossy transport: dropped, duplicated and stalled windows.
+    pub fn loss() -> Self {
+        FaultPlan {
+            drop_prob: 0.15,
+            dup_prob: 0.05,
+            reorder_prob: 0.05,
+            stall_prob: 0.02,
+            stall_windows: 4,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Corrupted samples: NaN/Inf counters and saturated timers.
+    pub fn corrupt() -> Self {
+        FaultPlan {
+            nan_prob: 0.08,
+            inf_prob: 0.04,
+            saturate_prob: 0.04,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Sustained counter loss: the stream mostly vanishes — the scenario
+    /// that must drive the controller back to standard copy.
+    pub fn hostile() -> Self {
+        FaultPlan {
+            noise_sigma: 0.10,
+            outlier_prob: 0.10,
+            drop_prob: 0.45,
+            dup_prob: 0.10,
+            reorder_prob: 0.10,
+            nan_prob: 0.20,
+            inf_prob: 0.10,
+            saturate_prob: 0.10,
+            stall_prob: 0.08,
+            stall_windows: 6,
+            outlier_alpha: 1.2,
+        }
+    }
+
+    /// Everything at once, at moderate intensity.
+    pub fn full() -> Self {
+        FaultPlan {
+            noise_sigma: 0.05,
+            outlier_prob: 0.05,
+            drop_prob: 0.10,
+            dup_prob: 0.05,
+            reorder_prob: 0.05,
+            nan_prob: 0.05,
+            inf_prob: 0.02,
+            saturate_prob: 0.03,
+            stall_prob: 0.02,
+            stall_windows: 4,
+            outlier_alpha: 1.5,
+        }
+    }
+
+    /// The preset names [`FaultPlan::parse`] accepts.
+    pub const PRESETS: [&'static str; 6] = ["none", "noise", "loss", "corrupt", "hostile", "full"];
+
+    /// Looks up a preset by name.
+    pub fn preset(name: &str) -> Option<FaultPlan> {
+        match name {
+            "none" => Some(FaultPlan::none()),
+            "noise" => Some(FaultPlan::noise()),
+            "loss" => Some(FaultPlan::loss()),
+            "corrupt" => Some(FaultPlan::corrupt()),
+            "hostile" => Some(FaultPlan::hostile()),
+            "full" => Some(FaultPlan::full()),
+            _ => None,
+        }
+    }
+
+    /// Parses a plan spec: a preset name optionally followed by
+    /// comma-separated `knob=value` overrides, e.g.
+    /// `"loss,drop_prob=0.4,stall_windows=8"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown preset, unknown knob, or
+    /// unparseable/out-of-range value.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut parts = spec.split(',');
+        let preset = parts.next().unwrap_or("").trim();
+        let mut plan = FaultPlan::preset(preset).ok_or_else(|| {
+            format!(
+                "unknown fault preset '{preset}' (known: {})",
+                FaultPlan::PRESETS.join(", ")
+            )
+        })?;
+        for part in parts {
+            let part = part.trim();
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected knob=value, got '{part}'"))?;
+            let parse_f64 = || {
+                value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .ok_or_else(|| {
+                        format!("knob '{key}' needs a non-negative number, got '{value}'")
+                    })
+            };
+            match key {
+                "noise_sigma" => plan.noise_sigma = parse_f64()?,
+                "outlier_prob" => plan.outlier_prob = parse_f64()?,
+                "outlier_alpha" => plan.outlier_alpha = parse_f64()?,
+                "drop_prob" => plan.drop_prob = parse_f64()?,
+                "dup_prob" => plan.dup_prob = parse_f64()?,
+                "reorder_prob" => plan.reorder_prob = parse_f64()?,
+                "nan_prob" => plan.nan_prob = parse_f64()?,
+                "inf_prob" => plan.inf_prob = parse_f64()?,
+                "saturate_prob" => plan.saturate_prob = parse_f64()?,
+                "stall_prob" => plan.stall_prob = parse_f64()?,
+                "stall_windows" => {
+                    plan.stall_windows = value
+                        .parse::<u32>()
+                        .map_err(|_| format!("knob '{key}' needs a count, got '{value}'"))?;
+                }
+                other => return Err(format!("unknown fault knob '{other}'")),
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Checks every probability is in `[0, 1]` and every intensity is
+    /// finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending knob.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("outlier_prob", self.outlier_prob),
+            ("drop_prob", self.drop_prob),
+            ("dup_prob", self.dup_prob),
+            ("reorder_prob", self.reorder_prob),
+            ("nan_prob", self.nan_prob),
+            ("inf_prob", self.inf_prob),
+            ("saturate_prob", self.saturate_prob),
+            ("stall_prob", self.stall_prob),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} {p} outside [0, 1]"));
+            }
+        }
+        if !self.noise_sigma.is_finite() || self.noise_sigma < 0.0 {
+            return Err(format!("noise_sigma {} must be >= 0", self.noise_sigma));
+        }
+        if !self.outlier_alpha.is_finite() || self.outlier_alpha <= 0.0 {
+            return Err(format!("outlier_alpha {} must be > 0", self.outlier_alpha));
+        }
+        Ok(())
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_none(&self) -> bool {
+        *self == FaultPlan::none()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "noise sigma {:.2}, outliers {:.0}%, drop {:.0}%, dup {:.0}%, reorder {:.0}%, \
+             nan {:.0}%, inf {:.0}%, saturate {:.0}%, stall {:.0}% x{}",
+            self.noise_sigma,
+            self.outlier_prob * 100.0,
+            self.drop_prob * 100.0,
+            self.dup_prob * 100.0,
+            self.reorder_prob * 100.0,
+            self.nan_prob * 100.0,
+            self.inf_prob * 100.0,
+            self.saturate_prob * 100.0,
+            self.stall_prob * 100.0,
+            self.stall_windows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_and_validate() {
+        for name in FaultPlan::PRESETS {
+            let plan = FaultPlan::preset(name).unwrap();
+            plan.validate().unwrap();
+            assert_eq!(FaultPlan::parse(name).unwrap(), plan);
+        }
+        assert!(FaultPlan::preset("mayhem").is_none());
+    }
+
+    #[test]
+    fn spec_overrides_apply() {
+        let plan = FaultPlan::parse("loss,drop_prob=0.4,stall_windows=8").unwrap();
+        assert_eq!(plan.drop_prob, 0.4);
+        assert_eq!(plan.stall_windows, 8);
+        assert_eq!(plan.dup_prob, FaultPlan::loss().dup_prob);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        let err = FaultPlan::parse("mayhem").unwrap_err();
+        assert!(err.contains("unknown fault preset"), "{err}");
+        let err = FaultPlan::parse("full,wat=1").unwrap_err();
+        assert!(err.contains("unknown fault knob"), "{err}");
+        let err = FaultPlan::parse("full,drop_prob=chaos").unwrap_err();
+        assert!(err.contains("non-negative number"), "{err}");
+        let err = FaultPlan::parse("full,drop_prob=1.5").unwrap_err();
+        assert!(err.contains("outside [0, 1]"), "{err}");
+        let err = FaultPlan::parse("full,drop_prob").unwrap_err();
+        assert!(err.contains("knob=value"), "{err}");
+    }
+
+    #[test]
+    fn none_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::full().is_none());
+        assert!(FaultPlan::parse("none").unwrap().is_none());
+    }
+}

@@ -1,0 +1,226 @@
+//! The chaos-driven adaptive run: an [`AdaptController`] fed through a
+//! faulted counter transport.
+//!
+//! [`run_faulted`] mirrors [`icomm_models::run_phased`] exactly — same
+//! per-window execution, same switch-cost charging — except the
+//! controller observes the stream *through* a [`FaultInjector`]: windows
+//! are dropped, duplicated, reordered, and their counters corrupted
+//! before [`AdaptController::observe_profile`] sees them. The
+//! application itself always runs (faults hit the measurement path, not
+//! the workload), so the run's total time is directly comparable to the
+//! clean adaptive run and the oracle.
+
+use icomm_adapt::{AdaptController, AdaptStats, SwitchEvent};
+use icomm_models::{model_for, switch_cost, CommModelKind, PhasedWorkload};
+use icomm_profile::ProfileReport;
+use icomm_soc::units::Picos;
+use icomm_soc::{DeviceProfile, Soc};
+
+use crate::inject::{FaultInjector, InjectionLog, StreamAction};
+
+/// Outcome of one faulted adaptive run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedRun {
+    /// End-to-end time: window runtimes plus switch costs.
+    pub total_time: Picos,
+    /// Model switches actually charged.
+    pub switches: u32,
+    /// Model each window ran under.
+    pub models: Vec<CommModelKind>,
+    /// Controller counters at the end of the run.
+    pub stats: AdaptStats,
+    /// Every switch the controller committed.
+    pub switch_log: Vec<SwitchEvent>,
+    /// Stream confidence when the run ended.
+    pub final_confidence: f64,
+    /// What the injector actually did.
+    pub injections: InjectionLog,
+}
+
+/// Runs `controller` over `phased` with the counter stream degraded by
+/// `injector`. Deterministic for a given `(plan, seed, workload,
+/// characterization)` tuple.
+pub fn run_faulted(
+    device: &DeviceProfile,
+    phased: &PhasedWorkload,
+    controller: &mut AdaptController,
+    injector: &mut FaultInjector,
+) -> FaultedRun {
+    let total_windows = phased.total_windows();
+    let mut active = controller.active_model();
+    let mut pending_switch = Picos::ZERO;
+    let mut switches = 0u32;
+    let mut total_time = Picos::ZERO;
+    let mut models = Vec::with_capacity(total_windows as usize);
+    let mut window = 0u64;
+    // A reordered window waits here until its successor is delivered.
+    let mut held: Option<(u64, ProfileReport)> = None;
+    for phase in &phased.phases {
+        for _ in 0..phase.windows {
+            let mut soc = Soc::new(device.clone());
+            let run = model_for(active).run(&mut soc, &phase.workload);
+            total_time += run.total_time + pending_switch;
+            pending_switch = Picos::ZERO;
+            models.push(active);
+
+            let mut next = active;
+            match injector.stream_action() {
+                StreamAction::Drop => {}
+                StreamAction::Deliver => {
+                    let mut profile = ProfileReport::from_run(&run);
+                    injector.corrupt(&mut profile);
+                    next = controller.observe_profile(window, profile);
+                    if let Some((stale_window, stale)) = held.take() {
+                        // The held-back window lands after its successor.
+                        next = controller.observe_profile(stale_window, stale);
+                    }
+                }
+                StreamAction::Duplicate => {
+                    let mut profile = ProfileReport::from_run(&run);
+                    injector.corrupt(&mut profile);
+                    controller.observe_profile(window, profile.clone());
+                    next = controller.observe_profile(window, profile);
+                }
+                StreamAction::Reorder => {
+                    let mut profile = ProfileReport::from_run(&run);
+                    injector.corrupt(&mut profile);
+                    if let Some((stale_window, stale)) = held.replace((window, profile)) {
+                        // Two holds in flight: the older arrives now.
+                        next = controller.observe_profile(stale_window, stale);
+                    }
+                }
+            }
+
+            if next != active && window + 1 < total_windows {
+                let cost = switch_cost(device, &phase.workload, active, next);
+                pending_switch = cost;
+                switches += 1;
+                active = next;
+            }
+            window += 1;
+        }
+    }
+    // A window still held back at end of stream arrives last.
+    if let Some((stale_window, stale)) = held.take() {
+        controller.observe_profile(stale_window, stale);
+    }
+    FaultedRun {
+        total_time,
+        switches,
+        models,
+        stats: controller.stats().clone(),
+        switch_log: controller.switch_log().to_vec(),
+        final_confidence: controller.confidence(),
+        injections: injector.log().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+    use icomm_adapt::ControllerConfig;
+    use icomm_microbench::quick_characterize_device;
+    use icomm_models::{run_phased, PhasedRunReport};
+
+    fn setup() -> (DeviceProfile, PhasedWorkload) {
+        use icomm_models::{GpuPhase, Workload, WorkloadPhase};
+        use icomm_soc::cache::AccessKind;
+        use icomm_soc::units::ByteSize;
+        use icomm_trace::Pattern;
+        let make = |passes| {
+            Workload::builder("w")
+                .bytes_to_gpu(ByteSize::kib(128))
+                .gpu(GpuPhase {
+                    compute_work: 1 << 14,
+                    shared_accesses: Pattern::Repeat {
+                        body: Box::new(Pattern::Linear {
+                            start: 0,
+                            bytes: 128 * 1024,
+                            txn_bytes: 64,
+                            kind: AccessKind::Read,
+                        }),
+                        times: passes,
+                    },
+                    private_accesses: None,
+                })
+                .build()
+        };
+        let phased = PhasedWorkload::new(
+            "chaos-two-phase",
+            vec![
+                WorkloadPhase {
+                    name: "light".into(),
+                    windows: 8,
+                    workload: make(1),
+                },
+                WorkloadPhase {
+                    name: "heavy".into(),
+                    windows: 8,
+                    workload: make(10),
+                },
+            ],
+        );
+        (DeviceProfile::jetson_agx_xavier(), phased)
+    }
+
+    #[test]
+    fn none_plan_matches_the_clean_harness() {
+        let (device, phased) = setup();
+        let characterization = quick_characterize_device(&device);
+        let mut controller = AdaptController::new(
+            device.clone(),
+            characterization.clone(),
+            ControllerConfig::default(),
+        );
+        let mut injector = FaultInjector::new(FaultPlan::none(), 1);
+        let faulted = run_faulted(&device, &phased, &mut controller, &mut injector);
+
+        let mut clean_controller = AdaptController::new(
+            device.clone(),
+            characterization,
+            ControllerConfig::default(),
+        );
+        let clean: PhasedRunReport = run_phased(&device, &phased, &mut clean_controller);
+        assert_eq!(faulted.total_time, clean.total_time);
+        assert_eq!(faulted.models, clean.model_sequence());
+        assert_eq!(faulted.switches, clean.switches);
+        assert_eq!(faulted.injections.total(), 0);
+    }
+
+    #[test]
+    fn faulted_runs_replay_identically() {
+        let (device, phased) = setup();
+        let characterization = quick_characterize_device(&device);
+        let run = |seed| {
+            let mut controller = AdaptController::new(
+                device.clone(),
+                characterization.clone(),
+                ControllerConfig::default(),
+            );
+            let mut injector = FaultInjector::new(FaultPlan::hostile(), seed);
+            run_faulted(&device, &phased, &mut controller, &mut injector)
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn every_window_runs_even_when_the_stream_collapses() {
+        let (device, phased) = setup();
+        let characterization = quick_characterize_device(&device);
+        let mut controller = AdaptController::new(
+            device.clone(),
+            characterization,
+            ControllerConfig::default(),
+        );
+        let plan = FaultPlan {
+            drop_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut injector = FaultInjector::new(plan, 7);
+        let faulted = run_faulted(&device, &phased, &mut controller, &mut injector);
+        assert_eq!(faulted.models.len() as u64, phased.total_windows());
+        assert_eq!(faulted.stats.windows, 0);
+        assert_eq!(faulted.injections.dropped, phased.total_windows());
+    }
+}

@@ -1,0 +1,176 @@
+//! Persist-boundary chaos: corrupting framed snapshots and checking the
+//! verifier catches every mutilation.
+//!
+//! [`torture_snapshot`] takes the bytes of a framed snapshot
+//! ([`icomm_persist::snapshot`]) and subjects them to seeded truncations,
+//! bit flips, garbage splices and trailing junk. The invariant under
+//! test: **no corrupted snapshot is ever silently accepted** — every
+//! trial either fails verification loudly or (when the mutation happens
+//! to be byte-identical, e.g. a zero-length truncation) decodes to the
+//! original payload.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::ChaosRng;
+
+/// One way to mutilate a byte buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Cut the buffer after `keep` bytes.
+    Truncate {
+        /// Bytes to keep.
+        keep: usize,
+    },
+    /// XOR one bit.
+    BitFlip {
+        /// Byte offset.
+        offset: usize,
+        /// Bit index, `0..8`.
+        bit: u8,
+    },
+    /// Overwrite a span with garbage.
+    Splice {
+        /// Byte offset the garbage starts at.
+        offset: usize,
+        /// Garbage length.
+        len: usize,
+    },
+    /// Append junk after the frame.
+    TrailingJunk {
+        /// Junk length.
+        len: usize,
+    },
+}
+
+/// Applies a corruption to a copy of `bytes`.
+pub fn apply(bytes: &[u8], corruption: Corruption, rng: &mut ChaosRng) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match corruption {
+        Corruption::Truncate { keep } => out.truncate(keep.min(out.len())),
+        Corruption::BitFlip { offset, bit } => {
+            if !out.is_empty() {
+                let offset = offset % out.len();
+                out[offset] ^= 1 << (bit % 8);
+            }
+        }
+        Corruption::Splice { offset, len } => {
+            if !out.is_empty() {
+                let offset = offset % out.len();
+                let end = (offset + len).min(out.len());
+                for b in &mut out[offset..end] {
+                    *b = (rng.next_u64() & 0xFF) as u8;
+                }
+            }
+        }
+        Corruption::TrailingJunk { len } => {
+            for _ in 0..len {
+                out.push((rng.next_u64() & 0xFF) as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Draws a random corruption sized to `len`-byte input.
+pub fn random_corruption(len: usize, rng: &mut ChaosRng) -> Corruption {
+    let len = len.max(1);
+    match rng.index(4) {
+        0 => Corruption::Truncate {
+            keep: rng.index(len),
+        },
+        1 => Corruption::BitFlip {
+            offset: rng.index(len),
+            bit: (rng.next_u64() % 8) as u8,
+        },
+        2 => Corruption::Splice {
+            offset: rng.index(len),
+            len: 1 + rng.index(16),
+        },
+        _ => Corruption::TrailingJunk {
+            len: 1 + rng.index(16),
+        },
+    }
+}
+
+/// Outcome of a snapshot torture campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotTortureReport {
+    /// Corruption trials run.
+    pub trials: u64,
+    /// Trials the verifier rejected (the expected outcome).
+    pub rejected: u64,
+    /// Trials where the mutation left the frame verifiable AND the
+    /// decoded payload identical to the original (benign, e.g. junk the
+    /// parser never reads is impossible here, so this means the mutation
+    /// was a no-op).
+    pub intact: u64,
+    /// Trials where a *changed* payload passed verification — silent
+    /// corruption, the one unacceptable outcome.
+    pub silent: u64,
+}
+
+impl SnapshotTortureReport {
+    /// Whether the verifier held the line: nothing corrupt slipped by.
+    pub fn survived(&self) -> bool {
+        self.silent == 0
+    }
+}
+
+/// Runs `trials` seeded corruptions against a framed snapshot and
+/// classifies each decode attempt.
+pub fn torture_snapshot(frame: &[u8], seed: u64, trials: u64) -> SnapshotTortureReport {
+    let original = icomm_persist::snapshot::decode(frame)
+        .map(str::to_owned)
+        .ok();
+    let mut rng = ChaosRng::new(seed);
+    let mut report = SnapshotTortureReport {
+        trials,
+        ..SnapshotTortureReport::default()
+    };
+    for _ in 0..trials {
+        let corruption = random_corruption(frame.len(), &mut rng);
+        let mutated = apply(frame, corruption, &mut rng);
+        match icomm_persist::snapshot::decode(&mutated) {
+            Err(_) => report.rejected += 1,
+            Ok(payload) if Some(payload) == original.as_deref() => report.intact += 1,
+            Ok(_) => report.silent += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifier_rejects_every_real_corruption() {
+        let frame = icomm_persist::snapshot::encode(r#"{"answer": 42}"#);
+        let report = torture_snapshot(&frame, 1234, 500);
+        assert!(report.survived(), "{report:?}");
+        assert!(report.rejected > 0, "{report:?}");
+        assert_eq!(report.trials, 500);
+    }
+
+    #[test]
+    fn torture_is_deterministic_per_seed() {
+        let frame = icomm_persist::snapshot::encode(r#"{"k": [1, 2, 3]}"#);
+        let a = torture_snapshot(&frame, 7, 200);
+        let b = torture_snapshot(&frame, 7, 200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corruptions_actually_mutate() {
+        let mut rng = ChaosRng::new(9);
+        let bytes = b"hello snapshot world".to_vec();
+        let mut changed = 0;
+        for _ in 0..100 {
+            let c = random_corruption(bytes.len(), &mut rng);
+            if apply(&bytes, c, &mut rng) != bytes {
+                changed += 1;
+            }
+        }
+        assert!(changed > 80, "only {changed}/100 corruptions changed bytes");
+    }
+}

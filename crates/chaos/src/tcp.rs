@@ -1,0 +1,97 @@
+//! Hostile TCP clients for torturing a running tuning server.
+//!
+//! These helpers are the transport half of the chaos suite: they connect
+//! to an `icomm-serve` endpoint and misbehave — random bytes, a line
+//! that never ends, a half-request followed by silence. The server must
+//! answer with error lines or disconnect; it must never wedge or panic.
+//! Used by the integration tests; the timing-dependent parts are kept
+//! out of [`ChaosReport`](crate::ChaosReport), which stays byte-identical
+//! per seed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::rng::ChaosRng;
+
+/// Sends `lines` lines of seeded random bytes (newline-free garbage,
+/// terminated), reading a response after each. Returns the number of
+/// response lines received before the server cut us off.
+///
+/// # Errors
+///
+/// Propagates connect/configure failures; read/write failures mid-attack
+/// just end the count.
+pub fn send_garbage(addr: SocketAddr, seed: u64, lines: u32) -> std::io::Result<u64> {
+    let mut rng = ChaosRng::new(seed);
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = 0u64;
+    for _ in 0..lines {
+        let len = 1 + rng.index(64);
+        let mut junk: Vec<u8> = Vec::with_capacity(len + 1);
+        for _ in 0..len {
+            // Printable non-newline garbage, so each write is one line.
+            junk.push(b' ' + (rng.next_u64() % 94) as u8);
+        }
+        junk.push(b'\n');
+        if writer
+            .write_all(&junk)
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => responses += 1,
+            _ => break,
+        }
+    }
+    Ok(responses)
+}
+
+/// Sends one `len`-byte line and returns the server's first response
+/// line (empty if the server just closed the connection).
+///
+/// # Errors
+///
+/// Propagates connect/configure failures.
+pub fn send_oversized(addr: SocketAddr, len: usize) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = vec![b'x'; len];
+    line.push(b'\n');
+    let _ = writer.write_all(&line).and_then(|()| writer.flush());
+    let mut response = String::new();
+    let _ = reader.read_line(&mut response);
+    Ok(response)
+}
+
+/// Sends half a request and then stalls, holding the connection open
+/// until the server hangs up (read deadline) or `give_up` passes.
+/// Returns true if the server disconnected us — the correct defense.
+///
+/// # Errors
+///
+/// Propagates connect/configure failures.
+pub fn stall_mid_request(addr: SocketAddr, give_up: Duration) -> std::io::Result<bool> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(give_up))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(b"{\"id\": 1, \"boa")?;
+    writer.flush()?;
+    // A hardened server times the read out and closes; our blocking read
+    // then observes EOF. A wedged server leaves us hanging until give_up.
+    let mut reader = BufReader::new(stream);
+    let mut sink = [0u8; 64];
+    match reader.read(&mut sink) {
+        Ok(0) => Ok(true),   // server closed: defended
+        Ok(_) => Ok(false),  // server answered half a request?!
+        Err(_) => Ok(false), // our own timeout: server wedged
+    }
+}

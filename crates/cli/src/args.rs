@@ -48,6 +48,26 @@ pub enum Command {
         /// A cached characterization file (skips the micro-benchmarks).
         characterization: Option<String>,
     },
+    /// `icomm chaos <board> [--app <name>] [--plan <spec>] [--seed N]...
+    /// [--windows N] [--json]` — run a deterministic fault-injection
+    /// campaign over the adaptation stack and report survival, regret
+    /// inflation, and safe-fallback activations.
+    Chaos {
+        /// Board name.
+        board: String,
+        /// Application name (`shwfs`, `orb`, `lane`).
+        app: String,
+        /// Fault-plan spec: a preset (`none`, `noise`, `loss`,
+        /// `corrupt`, `hostile`, `full`) plus optional `knob=value`
+        /// overrides.
+        plan: String,
+        /// Campaign seeds (one campaign per seed).
+        seeds: Vec<u64>,
+        /// Windows per phase.
+        windows: u32,
+        /// Print the full reports as JSON.
+        json: bool,
+    },
     /// `icomm compare <board> <app>` — run the application under every
     /// model (including the SC+ extension) and print the comparison.
     Compare {
@@ -269,6 +289,70 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 characterization,
             })
         }
+        "chaos" => {
+            let board = it
+                .next()
+                .ok_or_else(|| ParseArgsError("chaos needs a board name".into()))?;
+            ensure_board(board)?;
+            let mut app = "shwfs".to_string();
+            let mut plan = "full".to_string();
+            let mut seeds = Vec::new();
+            let mut windows = 8u32;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--app" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--app needs an app name".into()))?;
+                        ensure_app(value)?;
+                        app = value.clone();
+                    }
+                    "--plan" => {
+                        plan = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--plan needs a fault spec".into()))?
+                            .clone();
+                    }
+                    "--seed" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--seed needs a number".into()))?;
+                        seeds.push(value.parse::<u64>().map_err(|_| {
+                            ParseArgsError(format!("--seed needs a number, got '{value}'"))
+                        })?);
+                    }
+                    "--windows" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--windows needs a count".into()))?;
+                        windows =
+                            value
+                                .parse::<u32>()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or_else(|| {
+                                    ParseArgsError(format!(
+                                        "--windows needs a positive count, got '{value}'"
+                                    ))
+                                })?;
+                    }
+                    "--json" => json = true,
+                    other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if seeds.is_empty() {
+                seeds.push(42);
+            }
+            Ok(Command::Chaos {
+                board: board.clone(),
+                app,
+                plan,
+                seeds,
+                windows,
+                json,
+            })
+        }
         "compare" => {
             let board = it
                 .next()
@@ -419,6 +503,8 @@ USAGE:
                              [--characterization <file>]
     icomm adapt <board> [--app <name>] [--windows N] [--stats] [--json]
                         [--characterization <file>]
+    icomm chaos <board> [--app <name>] [--plan <spec>] [--seed N]...
+                        [--windows N] [--json]
     icomm compare <board> <app>
     icomm experiments
     icomm serve [--addr <ip:port>] [--workers N] [--registry <file>]
@@ -440,6 +526,14 @@ phase-aware controller over the app's three-phase variant (N windows per
 phase) and reports switches, detection latency, and regret against the
 per-phase oracle. `experiments` regenerates every table and figure of
 the paper.
+
+`chaos` replays a seeded fault-injection campaign against the adaptation
+stack (counter noise, NaN/Inf, dropped/duplicated/reordered windows,
+stalls, snapshot corruption) and reports survival, regret inflation vs
+the fault-free run, and safe fallbacks to SC. Plans are a preset name —
+none, noise, loss, corrupt, hostile, full — optionally tuned with
+knob=value overrides, e.g. `--plan loss,drop_prob=0.4`. One campaign per
+`--seed`; identical seeds produce byte-identical reports.
 
 `serve` runs the tuning service over TCP (one JSON request per line, one
 JSON response per line; default 127.0.0.1:7311). `batch` answers a file
@@ -587,6 +681,58 @@ mod tests {
         assert!(board_by_name("jetson-agx-xavier").is_some());
         assert!(board_by_name("ORIN").is_some());
         assert!(board_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn chaos_parses_defaults_and_flags() {
+        let c = parse(&v(&["chaos", "tx2"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Chaos {
+                board: "tx2".into(),
+                app: "shwfs".into(),
+                plan: "full".into(),
+                seeds: vec![42],
+                windows: 8,
+                json: false,
+            }
+        );
+        let c = parse(&v(&[
+            "chaos",
+            "xavier",
+            "--app",
+            "lane",
+            "--plan",
+            "loss,drop_prob=0.4",
+            "--seed",
+            "1",
+            "--seed",
+            "2",
+            "--windows",
+            "10",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Chaos {
+                board: "xavier".into(),
+                app: "lane".into(),
+                plan: "loss,drop_prob=0.4".into(),
+                seeds: vec![1, 2],
+                windows: 10,
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn chaos_rejects_bad_inputs() {
+        assert!(parse(&v(&["chaos"])).is_err());
+        assert!(parse(&v(&["chaos", "pi5"])).is_err());
+        assert!(parse(&v(&["chaos", "tx2", "--seed", "many"])).is_err());
+        assert!(parse(&v(&["chaos", "tx2", "--windows", "0"])).is_err());
+        assert!(parse(&v(&["chaos", "tx2", "--wat"])).is_err());
     }
 
     #[test]

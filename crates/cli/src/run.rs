@@ -92,6 +92,14 @@ pub fn execute(command: &Command) -> Result<String, String> {
             *json,
             characterization.as_deref(),
         ),
+        Command::Chaos {
+            board,
+            app,
+            plan,
+            seeds,
+            windows,
+            json,
+        } => chaos(board, app, plan, seeds, *windows, *json),
         Command::Compare { board, app } => compare(board, app),
         Command::Experiments => Ok(run_experiments()),
         Command::Serve {
@@ -266,6 +274,40 @@ fn adapt(
         let _ = write!(out, "{}", metrics.snapshot());
     }
     Ok(out)
+}
+
+/// `icomm chaos`: replay a seeded fault-injection campaign and report
+/// survival, regret inflation, and safe-fallback activations.
+fn chaos(
+    board: &str,
+    app: &str,
+    plan_spec: &str,
+    seeds: &[u64],
+    windows: u32,
+    json: bool,
+) -> Result<String, String> {
+    let device = require_board(board)?;
+    let plan = icomm_chaos::FaultPlan::parse(plan_spec)?;
+    let phased = phased_workload_by_name(app, windows)?;
+    let characterization = quick_characterize_device(&device);
+    let reports = icomm_chaos::chaos_matrix(&device, &characterization, &phased, &plan, seeds);
+    if json {
+        let mut out = icomm_persist::to_string(&reports)
+            .map_err(|err| format!("cannot serialize reports: {err}"))?;
+        out.push('\n');
+        return Ok(out);
+    }
+    let mut out = String::new();
+    for report in &reports {
+        let _ = writeln!(out, "{report}");
+    }
+    let _ = writeln!(out, "--- matrix ---");
+    let _ = write!(out, "{}", icomm_chaos::render_matrix(&reports));
+    if reports.iter().all(icomm_chaos::ChaosReport::passed) {
+        Ok(out)
+    } else {
+        Err(format!("chaos campaign FAILED\n\n{out}"))
+    }
 }
 
 fn compare(board: &str, app: &str) -> Result<String, String> {
@@ -508,6 +550,36 @@ mod tests {
         let report: icomm_adapt::AdaptationReport = icomm_persist::from_str(out.trim()).unwrap();
         assert_eq!(report.device, require_board("tx2").unwrap().name);
         assert!(report.workload.contains("lane"), "{}", report.workload);
+    }
+
+    #[test]
+    fn chaos_reports_survival_and_replays_identically() {
+        let run = || chaos("tx2", "shwfs", "hostile", &[7], 6, false).unwrap();
+        let out = run();
+        for needle in [
+            "chaos campaign",
+            "survived: yes",
+            "regret vs oracle",
+            "--- matrix ---",
+            "1/1 campaigns passed",
+        ] {
+            assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+        }
+        assert_eq!(out, run(), "same-seed chaos output not byte-identical");
+    }
+
+    #[test]
+    fn chaos_json_round_trips() {
+        let out = chaos("tx2", "shwfs", "noise", &[1, 2], 4, true).unwrap();
+        let reports: Vec<icomm_chaos::ChaosReport> = icomm_persist::from_str(out.trim()).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(icomm_chaos::ChaosReport::passed));
+    }
+
+    #[test]
+    fn chaos_rejects_bad_plans() {
+        let err = chaos("tx2", "shwfs", "mayhem", &[1], 4, false).unwrap_err();
+        assert!(err.contains("unknown fault preset"), "{err}");
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! - [`value::parse`] — a recursive-descent JSON parser into a
 //!   [`value::Value`] tree,
 //! - [`de::from_str`] / [`de::from_value`] — a `serde::Deserializer` over
-//!   that tree.
+//!   that tree,
+//! - [`snapshot`] — checksummed, versioned, atomically-written snapshot
+//!   framing for durable files, so truncation, bit rot and torn writes are
+//!   detected instead of parsed.
 //!
 //! It supports the full default serde data model (externally tagged
 //! enums, options, maps with string keys, lossless `u64`/`i64`/`f64`),
@@ -45,8 +48,10 @@
 
 pub mod de;
 pub mod ser;
+pub mod snapshot;
 pub mod value;
 
 pub use de::{from_str, from_value, DeserializeJsonError};
 pub use ser::{to_string, SerializeJsonError};
+pub use snapshot::{read_verified, write_atomic, SnapshotError};
 pub use value::{parse, Number, ParseJsonError, Value};

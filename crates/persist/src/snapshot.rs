@@ -1,0 +1,311 @@
+//! Checksummed, versioned, atomically-written snapshot files.
+//!
+//! Plain JSON on disk fails silently: a truncated write after a power cut
+//! parses as far as it goes, a flipped digit still parses, and the loader
+//! cannot tell a short file from a short registry. Snapshots wrap the JSON
+//! payload in a one-line header that makes every such corruption loud:
+//!
+//! ```text
+//! icommsnap v1 crc32=1a2b3c4d len=1234
+//! {"entries":[...]}
+//! ```
+//!
+//! - `len` is the exact payload byte count — truncation and trailing
+//!   garbage are both detected before parsing;
+//! - `crc32` (IEEE polynomial) covers the payload — any bit flip in the
+//!   body fails the checksum;
+//! - [`write_atomic`] stages the bytes in a temp file in the target
+//!   directory and `rename`s it into place, so readers never observe a
+//!   half-written snapshot.
+//!
+//! The format is self-describing and versioned; [`read_verified`] rejects
+//! unknown versions instead of guessing.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Magic token opening every snapshot header.
+pub const SNAPSHOT_MAGIC: &str = "icommsnap";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be read back.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The header line is missing or malformed.
+    Format(String),
+    /// The header names a version this build does not understand.
+    Version(u32),
+    /// The payload is shorter than the header's `len` (interrupted write).
+    Truncated {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// Extra bytes follow the payload.
+    TrailingGarbage(usize),
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// CRC32 recorded in the header.
+        expected: u32,
+        /// CRC32 of the bytes on disk.
+        found: u32,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Format(msg) => write!(f, "malformed snapshot header: {msg}"),
+            SnapshotError::Version(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads v{SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Truncated { expected, found } => write!(
+                f,
+                "truncated snapshot: header promises {expected} payload bytes, found {found}"
+            ),
+            SnapshotError::TrailingGarbage(n) => {
+                write!(f, "snapshot has {n} trailing bytes after the payload")
+            }
+            SnapshotError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: header crc32={expected:08x}, payload crc32={found:08x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+///
+/// Bitwise implementation — snapshot payloads are small (kilobytes), so a
+/// table buys nothing over the obvious loop.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frames `payload` with the v1 snapshot header.
+pub fn encode(payload: &str) -> Vec<u8> {
+    let body = payload.as_bytes();
+    let mut out = format!(
+        "{SNAPSHOT_MAGIC} v{SNAPSHOT_VERSION} crc32={:08x} len={}\n",
+        crc32(body),
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Verifies the framing of snapshot `bytes` and returns the payload.
+///
+/// # Errors
+///
+/// Returns the first framing violation found: bad header, unknown
+/// version, truncation, trailing garbage, or checksum mismatch.
+pub fn decode(bytes: &[u8]) -> Result<&str, SnapshotError> {
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| SnapshotError::Format("no header line".into()))?;
+    let header = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| SnapshotError::Format("header is not UTF-8".into()))?;
+    let mut fields = header.split(' ');
+    match fields.next() {
+        Some(SNAPSHOT_MAGIC) => {}
+        _ => return Err(SnapshotError::Format(format!("bad magic in '{header}'"))),
+    }
+    let version = fields
+        .next()
+        .and_then(|v| v.strip_prefix('v'))
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or_else(|| SnapshotError::Format(format!("bad version in '{header}'")))?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::Version(version));
+    }
+    let expected_crc = fields
+        .next()
+        .and_then(|v| v.strip_prefix("crc32="))
+        // Exactly eight lowercase hex digits, as encode() writes them — a
+        // lenient parse would let a case-flipped digit alias the same value.
+        .filter(|v| v.len() == 8 && v.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')))
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or_else(|| SnapshotError::Format(format!("bad crc32 in '{header}'")))?;
+    let expected_len = fields
+        .next()
+        .and_then(|v| v.strip_prefix("len="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or_else(|| SnapshotError::Format(format!("bad len in '{header}'")))?;
+    if fields.next().is_some() {
+        return Err(SnapshotError::Format(format!(
+            "unexpected extra header fields in '{header}'"
+        )));
+    }
+    let body = &bytes[newline + 1..];
+    if body.len() < expected_len {
+        return Err(SnapshotError::Truncated {
+            expected: expected_len,
+            found: body.len(),
+        });
+    }
+    if body.len() > expected_len {
+        return Err(SnapshotError::TrailingGarbage(body.len() - expected_len));
+    }
+    let found_crc = crc32(body);
+    if found_crc != expected_crc {
+        return Err(SnapshotError::ChecksumMismatch {
+            expected: expected_crc,
+            found: found_crc,
+        });
+    }
+    std::str::from_utf8(body).map_err(|_| SnapshotError::Format("payload is not UTF-8".into()))
+}
+
+/// Writes `payload` to `path` as a framed snapshot, atomically: the bytes
+/// are staged in a temp file in the same directory and renamed into place,
+/// so a crash mid-write leaves either the old snapshot or the new one,
+/// never a torn mix.
+///
+/// # Errors
+///
+/// Propagates I/O failures (including the rename).
+pub fn write_atomic(path: &Path, payload: &str) -> Result<(), SnapshotError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| SnapshotError::Format(format!("'{}' has no file name", path.display())))?;
+    let mut tmp = std::ffi::OsString::from(".");
+    tmp.push(file_name);
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp),
+        None => std::path::PathBuf::from(&tmp),
+    };
+    let bytes = encode(payload);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp_path)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp_path, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result.map_err(SnapshotError::Io)
+}
+
+/// Reads a snapshot from `path` and returns the verified payload.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on I/O failure or any framing violation.
+pub fn read_verified(path: &Path) -> Result<String, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes).map(str::to_owned)
+}
+
+/// Whether `bytes` begin with the snapshot magic — used by loaders that
+/// also accept legacy bare-JSON files.
+pub fn is_snapshot(bytes: &[u8]) -> bool {
+    bytes.starts_with(SNAPSHOT_MAGIC.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let payload = r#"{"entries":[1,2,3]}"#;
+        let framed = encode(payload);
+        assert_eq!(decode(&framed).unwrap(), payload);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let framed = encode(r#"{"a":1,"b":[true,false]}"#);
+        for cut in 0..framed.len() {
+            assert!(
+                decode(&framed[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let framed = encode(r#"{"a":1}"#);
+        for i in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[i] ^= 1 << bit;
+                assert!(decode(&bad).is_err(), "flip of byte {i} bit {bit} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut framed = encode("{}");
+        framed.extend_from_slice(b"junk");
+        assert!(matches!(
+            decode(&framed),
+            Err(SnapshotError::TrailingGarbage(4))
+        ));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let framed = encode("{}");
+        let text = String::from_utf8(framed).unwrap().replace(" v1 ", " v9 ");
+        assert!(matches!(
+            decode(text.as_bytes()),
+            Err(SnapshotError::Version(9))
+        ));
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("icomm-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reg.snap");
+        write_atomic(&path, r#"{"x":1}"#).unwrap();
+        assert_eq!(read_verified(&path).unwrap(), r#"{"x":1}"#);
+        // Overwrite is atomic too: the old file is replaced wholesale.
+        write_atomic(&path, r#"{"x":2}"#).unwrap();
+        assert_eq!(read_verified(&path).unwrap(), r#"{"x":2}"#);
+        assert!(is_snapshot(&std::fs::read(&path).unwrap()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

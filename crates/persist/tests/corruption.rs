@@ -1,0 +1,111 @@
+//! Byte-level corruption sweeps over the load paths.
+//!
+//! Two layers are exercised:
+//!
+//! - the raw JSON parser must reject every truncation of an object
+//!   document and all trailing garbage, without panicking on any input;
+//! - the snapshot framing must reject *every* truncation and *every*
+//!   single-byte flip — stronger than raw JSON can promise (a flipped
+//!   digit still parses), and the reason durable files use it.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Sample {
+    name: String,
+    values: Vec<f64>,
+    threshold: f64,
+    enabled: bool,
+}
+
+fn sample() -> Sample {
+    Sample {
+        name: "tx2".into(),
+        values: vec![1.5, -2.25, 1e9],
+        threshold: 12.5,
+        enabled: true,
+    }
+}
+
+#[test]
+fn every_truncation_of_a_json_document_errors() {
+    let json = icomm_persist::to_string(&sample()).unwrap();
+    // Any proper prefix of an object document is unterminated JSON.
+    for cut in 0..json.len() {
+        if !json.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &json[..cut];
+        assert!(
+            icomm_persist::from_str::<Sample>(prefix).is_err(),
+            "prefix of {cut} bytes parsed: {prefix:?}"
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_after_a_document_errors() {
+    let json = icomm_persist::to_string(&sample()).unwrap();
+    for tail in ["x", " {}", "[1]", "null", "\"extra\"", "}"] {
+        let doc = format!("{json}{tail}");
+        assert!(
+            icomm_persist::from_str::<Sample>(&doc).is_err(),
+            "document with trailing {tail:?} parsed"
+        );
+    }
+}
+
+#[test]
+fn single_byte_flips_never_panic() {
+    let json = icomm_persist::to_string(&sample()).unwrap();
+    let bytes = json.as_bytes();
+    for i in 0..bytes.len() {
+        for bit in 0..8u8 {
+            let mut bad = bytes.to_vec();
+            bad[i] ^= 1 << bit;
+            // The flip may produce invalid UTF-8; only valid strings reach
+            // the parser, which must return (Ok or Err) without panicking.
+            if let Ok(text) = std::str::from_utf8(&bad) {
+                let _ = icomm_persist::from_str::<Sample>(text);
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_framing_rejects_every_truncation_and_flip() {
+    let payload = icomm_persist::to_string(&sample()).unwrap();
+    let framed = icomm_persist::snapshot::encode(&payload);
+    for cut in 0..framed.len() {
+        assert!(
+            icomm_persist::snapshot::decode(&framed[..cut]).is_err(),
+            "snapshot prefix of {cut} bytes decoded"
+        );
+    }
+    for i in 0..framed.len() {
+        for bit in 0..8u8 {
+            let mut bad = framed.clone();
+            bad[i] ^= 1 << bit;
+            assert!(
+                icomm_persist::snapshot::decode(&bad).is_err(),
+                "snapshot flip at byte {i} bit {bit} decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_errors_are_descriptive() {
+    let framed = icomm_persist::snapshot::encode("{}");
+    let truncated = icomm_persist::snapshot::decode(&framed[..framed.len() - 1]);
+    assert!(truncated.unwrap_err().to_string().contains("truncated"));
+    let mut flipped = framed.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x01;
+    let corrupt = icomm_persist::snapshot::decode(&flipped);
+    assert!(corrupt.unwrap_err().to_string().contains("checksum"));
+    let mut garbage = framed;
+    garbage.extend_from_slice(b"tail");
+    let trailing = icomm_persist::snapshot::decode(&garbage);
+    assert!(trailing.unwrap_err().to_string().contains("trailing"));
+}

@@ -68,6 +68,58 @@ impl ProfileReport {
         }
     }
 
+    /// Checks the counters are physically plausible — the gate a consumer
+    /// of *streamed* profiles (the adaptation runtime, the tuning service)
+    /// applies before trusting a window.
+    ///
+    /// On real hardware counters arrive multiplexed, dropped or saturated:
+    /// a NaN rate, a rate outside `[0, 1]`, a negative or non-finite
+    /// transaction size, a zero total time, or component times that dwarf
+    /// the total are all symptoms of a corrupted sample rather than of any
+    /// application behavior. Such windows must be quarantined, not fed
+    /// into Eqns. 1/2.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first implausible counter.
+    pub fn check_plausible(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("miss_rate_l1_cpu", self.miss_rate_l1_cpu),
+            ("miss_rate_ll_cpu", self.miss_rate_ll_cpu),
+            ("hit_rate_l1_gpu", self.hit_rate_l1_gpu),
+        ] {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} {rate} outside [0, 1]"));
+            }
+        }
+        if !self.gpu_transaction_bytes.is_finite() || self.gpu_transaction_bytes < 0.0 {
+            return Err(format!(
+                "gpu_transaction_bytes {} not a plausible size",
+                self.gpu_transaction_bytes
+            ));
+        }
+        if self.total_time == Picos::ZERO {
+            return Err("total_time is zero: the window measured nothing".into());
+        }
+        // One profiling window is a reporting interval (micro- to
+        // milliseconds); an hour-long "window" is a saturated or wrapped
+        // timer, not a slow run.
+        const MAX_WINDOW: Picos = Picos(3_600_000_000_000_000_000);
+        if self.total_time > MAX_WINDOW {
+            return Err(format!(
+                "total_time {} exceeds any plausible window",
+                self.total_time.0
+            ));
+        }
+        // Components can legitimately exceed the total under overlap, but
+        // not by orders of magnitude.
+        let parts = self.kernel_time.0 as f64 + self.cpu_time.0 as f64 + self.copy_time.0 as f64;
+        if parts > self.total_time.0 as f64 * 16.0 {
+            return Err("component times dwarf the total: inconsistent decomposition".into());
+        }
+        Ok(())
+    }
+
     /// Bytes the GPU fetched from beyond its L1 per iteration — the
     /// numerator of Eqn. 2 (`t_n * t_size * (1 - hit_rate_L1_GPU)`).
     pub fn gpu_ll_bytes(&self) -> f64 {

@@ -33,5 +33,5 @@ pub use engine::{BatchHandle, Engine, EngineConfig, JobError, JobOutcome};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{TuneRequest, TuneResponse};
 pub use registry::{LookupOutcome, Registry, RegistrySnapshot};
-pub use server::Server;
+pub use server::{Server, ServerConfig};
 pub use service::{CharacterizerFn, ServiceBatch, ServiceConfig, TuningService};

@@ -131,6 +131,21 @@ pub struct Metrics {
     /// Sum of per-run regret vs the oracle, milli-percent (fixed point:
     /// 1000 = 1 %), for a mean over `adapt_runs`.
     pub adapt_regret_milli_pct: AtomicU64,
+    /// TCP connections accepted by the server.
+    pub conn_accepted: AtomicU64,
+    /// TCP connections refused because the server was at its connection
+    /// cap.
+    pub conn_rejected: AtomicU64,
+    /// Connections closed because a read exceeded the per-connection
+    /// deadline.
+    pub read_timeouts: AtomicU64,
+    /// Request lines discarded for exceeding the line-length bound.
+    pub oversized_lines: AtomicU64,
+    /// Request lines that were not valid request JSON.
+    pub malformed_requests: AtomicU64,
+    /// Registry snapshots that failed verification on load and were
+    /// discarded (the registry rebuilds from scratch).
+    pub snapshot_corruptions: AtomicU64,
 }
 
 impl Metrics {
@@ -154,6 +169,12 @@ impl Metrics {
             adapt_switches: AtomicU64::new(0),
             adapt_drifts: AtomicU64::new(0),
             adapt_regret_milli_pct: AtomicU64::new(0),
+            conn_accepted: AtomicU64::new(0),
+            conn_rejected: AtomicU64::new(0),
+            read_timeouts: AtomicU64::new(0),
+            oversized_lines: AtomicU64::new(0),
+            malformed_requests: AtomicU64::new(0),
+            snapshot_corruptions: AtomicU64::new(0),
         }
     }
 
@@ -190,6 +211,12 @@ impl Metrics {
             adapt_switches: self.adapt_switches.load(Ordering::Relaxed),
             adapt_drifts: self.adapt_drifts.load(Ordering::Relaxed),
             adapt_regret_milli_pct: self.adapt_regret_milli_pct.load(Ordering::Relaxed),
+            conn_accepted: self.conn_accepted.load(Ordering::Relaxed),
+            conn_rejected: self.conn_rejected.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            oversized_lines: self.oversized_lines.load(Ordering::Relaxed),
+            malformed_requests: self.malformed_requests.load(Ordering::Relaxed),
+            snapshot_corruptions: self.snapshot_corruptions.load(Ordering::Relaxed),
         }
     }
 }
@@ -231,6 +258,18 @@ pub struct MetricsSnapshot {
     pub adapt_drifts: u64,
     /// Summed regret, milli-percent.
     pub adapt_regret_milli_pct: u64,
+    /// Connections accepted.
+    pub conn_accepted: u64,
+    /// Connections refused at the cap.
+    pub conn_rejected: u64,
+    /// Connections closed on a read deadline.
+    pub read_timeouts: u64,
+    /// Oversized request lines discarded.
+    pub oversized_lines: u64,
+    /// Malformed request lines answered with an error.
+    pub malformed_requests: u64,
+    /// Corrupt registry snapshots discarded on load.
+    pub snapshot_corruptions: u64,
 }
 
 impl MetricsSnapshot {
@@ -242,6 +281,16 @@ impl MetricsSnapshot {
         } else {
             self.cache_hits as f64 / lookups as f64
         }
+    }
+
+    /// Sum of the transport/persistence fault counters — nonzero means
+    /// the server saw degraded input.
+    pub fn fault_total(&self) -> u64 {
+        self.conn_rejected
+            + self.read_timeouts
+            + self.oversized_lines
+            + self.malformed_requests
+            + self.snapshot_corruptions
     }
 
     /// Mean regret vs the oracle across adaptation runs, percent.
@@ -297,6 +346,18 @@ impl fmt::Display for MetricsSnapshot {
                 self.adapt_switches,
                 self.adapt_drifts,
                 self.mean_adapt_regret_pct()
+            )?;
+        }
+        if self.conn_accepted > 0 || self.fault_total() > 0 {
+            writeln!(
+                f,
+                "transport         {:>8} conns  ({} rejected, {} read timeouts, {} oversized, {} malformed, {} corrupt snapshots)",
+                self.conn_accepted,
+                self.conn_rejected,
+                self.read_timeouts,
+                self.oversized_lines,
+                self.malformed_requests,
+                self.snapshot_corruptions
             )?;
         }
         Ok(())
@@ -360,6 +421,23 @@ mod tests {
         let m = Metrics::new();
         m.record_adaptation(10, 1, 1, -2.0);
         assert_eq!(m.snapshot().adapt_regret_milli_pct, 0);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_render() {
+        let m = Metrics::new();
+        assert!(!m.snapshot().to_string().contains("transport"));
+        m.conn_accepted.fetch_add(3, Ordering::Relaxed);
+        m.read_timeouts.fetch_add(1, Ordering::Relaxed);
+        m.oversized_lines.fetch_add(2, Ordering::Relaxed);
+        m.snapshot_corruptions.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.fault_total(), 4);
+        let text = s.to_string();
+        assert!(text.contains("transport"));
+        assert!(text.contains("1 read timeouts"));
+        assert!(text.contains("2 oversized"));
+        assert!(text.contains("1 corrupt snapshots"));
     }
 
     #[test]

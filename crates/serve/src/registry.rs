@@ -234,7 +234,10 @@ impl Registry {
         }
     }
 
-    /// Persists the registry to `path` as JSON.
+    /// Persists the registry to `path` as a checksummed, versioned
+    /// snapshot ([`icomm_persist::snapshot`]), written atomically: a
+    /// crash mid-save leaves the previous snapshot intact, never a torn
+    /// file.
     ///
     /// # Errors
     ///
@@ -242,18 +245,30 @@ impl Registry {
     pub fn save(&self, path: &Path) -> Result<(), String> {
         let json = icomm_persist::to_string(&self.snapshot())
             .map_err(|e| format!("serializing registry: {e:?}"))?;
-        std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
+        icomm_persist::write_atomic(path, &json)
+            .map_err(|e| format!("writing {}: {e}", path.display()))
     }
 
     /// Loads a registry snapshot from `path` and merges it in. Returns the
     /// number of entries in the snapshot.
     ///
+    /// Framed snapshots are verified (length, checksum, version) before
+    /// parsing; legacy bare-JSON files from before the framing are still
+    /// accepted.
+    ///
     /// # Errors
     ///
-    /// Returns a message on I/O or parse failure.
+    /// Returns a message on I/O failure, framing violation (truncation,
+    /// bit corruption, trailing garbage), or parse failure.
     pub fn load(&self, path: &Path) -> Result<usize, String> {
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let json = if icomm_persist::snapshot::is_snapshot(&bytes) {
+            icomm_persist::snapshot::decode(&bytes)
+                .map_err(|e| format!("verifying {}: {e}", path.display()))?
+                .to_owned()
+        } else {
+            String::from_utf8(bytes).map_err(|_| format!("{} is not UTF-8", path.display()))?
+        };
         let snapshot: RegistrySnapshot = icomm_persist::from_str(&json)
             .map_err(|e| format!("parsing {}: {e:?}", path.display()))?;
         let n = snapshot.entries.len();
@@ -352,6 +367,48 @@ mod tests {
         );
         // Loaded entries do not count as runs.
         assert_eq!(restored.characterization_runs(), 0);
+    }
+
+    #[test]
+    fn save_load_round_trips_with_verification() {
+        let dir = std::env::temp_dir().join(format!("icomm-reg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("registry.snap");
+        let registry = Registry::default();
+        let tx2 = DeviceProfile::jetson_tx2();
+        registry.insert(&tx2, sample(&tx2));
+        registry.save(&path).unwrap();
+
+        let restored = Registry::default();
+        assert_eq!(restored.load(&path).unwrap(), 1);
+        assert_eq!(
+            restored.get(&tx2).unwrap().as_ref(),
+            registry.get(&tx2).unwrap().as_ref()
+        );
+
+        // A flipped byte in the payload fails verification loudly.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Registry::default().load(&path).unwrap_err();
+        assert!(err.contains("checksum"), "unexpected error: {err}");
+
+        // A truncated snapshot likewise.
+        let bytes = std::fs::read(&path).map(|mut b| {
+            b[last] ^= 0x10; // restore
+            b.truncate(b.len() - 5);
+            b
+        });
+        std::fs::write(&path, bytes.unwrap()).unwrap();
+        let err = Registry::default().load(&path).unwrap_err();
+        assert!(err.contains("truncated"), "unexpected error: {err}");
+
+        // Legacy bare-JSON files still load.
+        let json = icomm_persist::to_string(&registry.snapshot()).unwrap();
+        std::fs::write(&path, json).unwrap();
+        assert_eq!(Registry::default().load(&path).unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -142,14 +142,17 @@ impl TuningService {
     /// Starts the worker pool; warm-starts the registry when the config
     /// names an existing snapshot file.
     pub fn start(config: ServiceConfig) -> Self {
+        let metrics = Arc::new(Metrics::new());
         let registry = Arc::new(Registry::new(config.shards));
         if let Some(path) = &config.registry_path {
             if path.exists() {
-                // A corrupt snapshot only costs the warm start.
-                let _ = registry.load(path);
+                // A corrupt snapshot only costs the warm start: count it
+                // and rebuild characterizations from scratch.
+                if registry.load(path).is_err() {
+                    metrics.snapshot_corruptions.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
-        let metrics = Arc::new(Metrics::new());
         let handler = {
             let registry = registry.clone();
             let metrics = metrics.clone();
@@ -182,12 +185,19 @@ impl TuningService {
         self.metrics.snapshot()
     }
 
+    /// The live counters, for components (like the TCP server) that
+    /// record events on behalf of the service.
+    pub(crate) fn metrics_handle(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
     /// Serves one request synchronously (through the worker pool).
     pub fn handle(&self, request: TuneRequest) -> TuneResponse {
+        let id = request.id;
         self.submit_batch(vec![request])
             .wait()
             .pop()
-            .expect("one response per request")
+            .unwrap_or_else(|| TuneResponse::failure(id, "engine returned no response".to_string()))
     }
 
     /// Enqueues a batch of requests on the worker pool.

@@ -98,16 +98,28 @@ pub enum Pattern {
     },
 }
 
+/// Transactions needed to cover `bytes` in `txn_bytes` chunks. A
+/// zero-byte transaction size covers nothing — degraded descriptors
+/// (deserialized from a corrupted or hostile source) must not divide by
+/// zero; [`Pattern::validate`] is where they are rejected loudly.
+fn txns(bytes: u64, txn_bytes: u32) -> u64 {
+    if txn_bytes == 0 {
+        0
+    } else {
+        bytes.div_ceil(txn_bytes as u64)
+    }
+}
+
 impl Pattern {
     /// Number of requests the pattern will generate.
     pub fn len(&self) -> u64 {
         match self {
             Pattern::Linear {
                 bytes, txn_bytes, ..
-            } => bytes.div_ceil(*txn_bytes as u64),
+            } => txns(*bytes, *txn_bytes),
             Pattern::LinearRmw {
                 bytes, txn_bytes, ..
-            } => 2 * bytes.div_ceil(*txn_bytes as u64),
+            } => 2 * txns(*bytes, *txn_bytes),
             Pattern::Strided { count, .. } => *count,
             Pattern::SingleAddress { count, .. } => *count,
             Pattern::SparseUniform { count, .. } => *count,
@@ -126,10 +138,10 @@ impl Pattern {
         match self {
             Pattern::Linear {
                 bytes, txn_bytes, ..
-            } => bytes.div_ceil(*txn_bytes as u64) * *txn_bytes as u64,
+            } => txns(*bytes, *txn_bytes) * *txn_bytes as u64,
             Pattern::LinearRmw {
                 bytes, txn_bytes, ..
-            } => 2 * bytes.div_ceil(*txn_bytes as u64) * *txn_bytes as u64,
+            } => 2 * txns(*bytes, *txn_bytes) * *txn_bytes as u64,
             Pattern::Strided {
                 count, txn_bytes, ..
             }
@@ -150,6 +162,43 @@ impl Pattern {
         PatternIter {
             stack: vec![Frame::new(self.clone())],
             space,
+        }
+    }
+
+    /// Checks the pattern describes a well-formed request stream.
+    ///
+    /// Patterns arrive from untrusted places — deserialized schedules
+    /// shipped to the tuning service, hand-written experiment files — so
+    /// a malformed descriptor must fail here with a message, not panic
+    /// deep inside the simulator. The generators themselves treat a
+    /// zero-byte transaction as generating nothing (see [`Pattern::len`]),
+    /// which this check surfaces as an error instead of a silent no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed (sub-)pattern.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Pattern::Linear { txn_bytes, .. }
+            | Pattern::LinearRmw { txn_bytes, .. }
+            | Pattern::Strided { txn_bytes, .. }
+            | Pattern::SingleAddress { txn_bytes, .. }
+            | Pattern::SparseUniform { txn_bytes, .. } => {
+                if *txn_bytes == 0 {
+                    return Err("pattern has zero-byte transactions".into());
+                }
+                Ok(())
+            }
+            Pattern::Sequence(parts) => {
+                for (index, part) in parts.iter().enumerate() {
+                    part.validate()
+                        .map_err(|e| format!("sequence part {index}: {e}"))?;
+                }
+                Ok(())
+            }
+            Pattern::Repeat { body, .. } => {
+                body.validate().map_err(|e| format!("repeat body: {e}"))
+            }
         }
     }
 }
@@ -202,7 +251,7 @@ impl Iterator for PatternIter {
                     txn_bytes,
                     kind,
                 } => {
-                    let n = bytes.div_ceil(*txn_bytes as u64);
+                    let n = txns(*bytes, *txn_bytes);
                     if frame.index >= n {
                         self.stack.pop();
                         continue;
@@ -224,7 +273,7 @@ impl Iterator for PatternIter {
                     if let Some(addr) = frame.pending_write.take() {
                         return Some(MemRequest::write(addr, *txn_bytes, space));
                     }
-                    let n = bytes.div_ceil(*txn_bytes as u64);
+                    let n = txns(*bytes, *txn_bytes);
                     if frame.index >= n {
                         self.stack.pop();
                         continue;
@@ -285,7 +334,11 @@ impl Iterator for PatternIter {
                         continue;
                     }
                     frame.index += 1;
-                    let slots = (region_bytes / *txn_bytes as u64).max(1);
+                    let slots = if *txn_bytes == 0 {
+                        1
+                    } else {
+                        (region_bytes / *txn_bytes as u64).max(1)
+                    };
                     let start = *start;
                     let txn = *txn_bytes;
                     let kind = *kind;
@@ -490,6 +543,70 @@ mod tests {
             times: 4,
         };
         assert_eq!(p.len(), collect(&p).len() as u64);
+    }
+
+    #[test]
+    fn zero_byte_transactions_never_panic_and_fail_validation() {
+        // A corrupted or hostile descriptor with txn_bytes = 0 must not
+        // divide by zero anywhere — it covers nothing and fails validate().
+        let degraded = [
+            Pattern::Linear {
+                start: 0,
+                bytes: 4096,
+                txn_bytes: 0,
+                kind: AccessKind::Read,
+            },
+            Pattern::LinearRmw {
+                start: 0,
+                bytes: 4096,
+                txn_bytes: 0,
+            },
+            Pattern::SparseUniform {
+                start: 0,
+                region_bytes: 4096,
+                count: 3,
+                txn_bytes: 0,
+                seed: 1,
+                kind: AccessKind::Read,
+            },
+        ];
+        for p in &degraded {
+            let _ = p.len();
+            let _ = p.bytes();
+            let _ = p.is_empty();
+            let _: Vec<_> = p.requests(MemSpace::Cached).take(16).collect();
+            assert!(p.validate().is_err(), "{p:?} validated");
+        }
+        // The error propagates out of composites with context.
+        let nested = Pattern::Repeat {
+            body: Box::new(Pattern::Sequence(vec![degraded[0].clone()])),
+            times: 2,
+        };
+        let err = nested.validate().unwrap_err();
+        assert!(err.contains("zero-byte"), "{err}");
+        assert!(err.contains("repeat body"), "{err}");
+    }
+
+    #[test]
+    fn well_formed_patterns_validate() {
+        let p = Pattern::Repeat {
+            body: Box::new(Pattern::Sequence(vec![
+                Pattern::Linear {
+                    start: 0,
+                    bytes: 256,
+                    txn_bytes: 64,
+                    kind: AccessKind::Read,
+                },
+                Pattern::SingleAddress {
+                    addr: 4,
+                    count: 2,
+                    txn_bytes: 8,
+                    kind: AccessKind::Write,
+                },
+            ])),
+            times: 3,
+        };
+        assert!(p.validate().is_ok());
     }
 
     #[test]

@@ -136,7 +136,13 @@ impl PhaseSchedule {
     }
 
     /// Checks the schedule is runnable: at least one phase, every phase at
-    /// least one window, and no phase with an empty pattern.
+    /// least one window, and every phase with a well-formed, non-empty
+    /// pattern.
+    ///
+    /// Schedules are serializable and shipped across trust boundaries (the
+    /// tuning service accepts them over TCP), so this is the choke point
+    /// where a malformed descriptor must turn into an error message, never
+    /// a panic.
     ///
     /// # Errors
     ///
@@ -152,6 +158,10 @@ impl PhaseSchedule {
                     phase.name
                 ));
             }
+            phase
+                .pattern
+                .validate()
+                .map_err(|e| format!("phase {index} ('{}'): {e}", phase.name))?;
             if phase.pattern.is_empty() {
                 return Err(format!(
                     "phase {index} ('{}') has an empty access pattern",

@@ -18,12 +18,31 @@ echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --release --workspace
 
 echo "==> cargo test (tier 1: root package)"
 cargo test -q
 
 echo "==> cargo test (workspace)"
 cargo test -q --workspace
+
+echo "==> chaos smoke (fixed seed matrix + replay determinism)"
+# Each campaign must terminate safely (non-zero exit means a panic, a
+# wedge, or a non-safe termination), and a same-seed rerun must produce
+# a byte-identical report.
+ICOMM=target/release/icomm
+CHAOS_TMP="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_TMP"' EXIT
+for plan in noise loss corrupt hostile full; do
+    "$ICOMM" chaos tx2 --plan "$plan" --seed 42 --seed 1337 --windows 4 \
+        --json >"$CHAOS_TMP/$plan-a.json"
+    "$ICOMM" chaos tx2 --plan "$plan" --seed 42 --seed 1337 --windows 4 \
+        --json >"$CHAOS_TMP/$plan-b.json"
+    cmp "$CHAOS_TMP/$plan-a.json" "$CHAOS_TMP/$plan-b.json" || {
+        echo "chaos replay diverged for plan '$plan'" >&2
+        exit 1
+    }
+    echo "    plan '$plan': survived, replay byte-identical"
+done
 
 echo "CI gate passed."

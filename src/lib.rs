@@ -27,6 +27,7 @@
 //! | [`persist`] | `icomm-persist` | JSON persistence for characterizations and reports |
 //! | [`serve`] | `icomm-serve` | concurrent tuning service: sharded registry, worker pool, TCP front end |
 //! | [`adapt`] | `icomm-adapt` | online phase-aware adaptation: drift detector + switch controller |
+//! | [`chaos`] | `icomm-chaos` | deterministic fault injection across the profile→adapt→serve→persist stack |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@
 
 pub use icomm_adapt as adapt;
 pub use icomm_apps as apps;
+pub use icomm_chaos as chaos;
 pub use icomm_core as core;
 pub use icomm_microbench as microbench;
 pub use icomm_models as models;
