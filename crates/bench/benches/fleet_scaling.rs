@@ -1,0 +1,49 @@
+//! Fleet-scaling benchmark: the deterministic virtual-time simulation
+//! at two population sizes (live-fire disabled — this measures the
+//! registry + transfer + admission pipeline, not socket wall time).
+//!
+//! The interesting output is printed alongside the timings: warm-start
+//! rate and transfer hit rate at each scale, which is the number the
+//! federated-transfer design exists to move.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icomm_fleet::{run_fleet, FleetConfig};
+
+fn config(devices: usize) -> FleetConfig {
+    FleetConfig {
+        devices,
+        livefire: false,
+        regret_samples: 4,
+        ..FleetConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for devices in [64usize, 256] {
+        let report = run_fleet(&config(devices))
+            .expect("default fleet config is valid")
+            .report;
+        println!(
+            "fleet {devices} devices: warm start {:.1}%, transfer hit {:.1}%, p99 {} us, {:.0} req/s",
+            report.warm_start_pct,
+            report.transfer_hit_pct,
+            report.latency_p99_us,
+            report.throughput_rps,
+        );
+        let mut group = c.benchmark_group("fleet");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(devices as u64));
+        let name = format!("simulate_{devices}_devices");
+        group.bench_function(&name, |b| {
+            b.iter(|| run_fleet(&config(devices)).expect("default fleet config is valid"))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

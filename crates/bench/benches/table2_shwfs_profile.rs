@@ -10,8 +10,14 @@ use icomm_soc::DeviceProfile;
 
 fn bench(c: &mut Criterion) {
     let chars = CharacterizationSet::measure();
-    println!("{}", experiments::table2_shwfs(&chars).render());
-    println!("{}", experiments::validation_summary(&chars).render());
+    match experiments::table2_shwfs(&chars) {
+        Ok(report) => println!("{}", report.render()),
+        Err(err) => eprintln!("table2 unavailable: {err}"),
+    }
+    match experiments::validation_summary(&chars) {
+        Ok(report) => println!("{}", report.render()),
+        Err(err) => eprintln!("validation summary unavailable: {err}"),
+    }
     let workload = ShwfsApp::default().workload();
     let profiler = Profiler::new(DeviceProfile::jetson_agx_xavier());
     c.bench_function("table2/profile_shwfs_xavier", |b| {

@@ -8,7 +8,10 @@ use icomm_models::{run_model, CommModelKind};
 use icomm_soc::DeviceProfile;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::table3_shwfs().render());
+    match experiments::table3_shwfs() {
+        Ok(report) => println!("{}", report.render()),
+        Err(err) => eprintln!("table3 unavailable: {err}"),
+    }
     let workload = ShwfsApp::default().workload();
     let device = DeviceProfile::jetson_tx2();
     c.bench_function("table3/shwfs_sc_tx2", |b| {

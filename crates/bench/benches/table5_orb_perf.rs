@@ -8,7 +8,10 @@ use icomm_models::{run_model, CommModelKind};
 use icomm_soc::DeviceProfile;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::table5_orb().render());
+    match experiments::table5_orb() {
+        Ok(report) => println!("{}", report.render()),
+        Err(err) => eprintln!("table5 unavailable: {err}"),
+    }
     // Keep the timing loop light.
     let app = OrbApp {
         matching_reads: 100_000,

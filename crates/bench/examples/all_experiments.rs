@@ -1,7 +1,7 @@
 use icomm_bench::ablation;
 use icomm_bench::experiments::{self, CharacterizationSet};
 
-fn main() {
+fn main() -> Result<(), String> {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     println!("{}", experiments::fig5_and_table1().render());
@@ -10,11 +10,11 @@ fn main() {
     let fig7_bytes = if quick { 1 << 24 } else { 1 << 27 };
     println!("{}", experiments::fig7(fig7_bytes).render());
     let chars = CharacterizationSet::measure();
-    println!("{}", experiments::table2_shwfs(&chars).render());
-    println!("{}", experiments::table3_shwfs().render());
-    println!("{}", experiments::table4_orb(&chars).render());
-    println!("{}", experiments::table5_orb().render());
-    println!("{}", experiments::validation_summary(&chars).render());
+    println!("{}", experiments::table2_shwfs(&chars)?.render());
+    println!("{}", experiments::table3_shwfs()?.render());
+    println!("{}", experiments::table4_orb(&chars)?.render());
+    println!("{}", experiments::table5_orb()?.render());
+    println!("{}", experiments::validation_summary(&chars)?.render());
     println!("{}", ablation::ablation_io_coherence().render());
     println!("{}", ablation::ablation_tiling().render());
     println!("{}", ablation::ablation_pinned_mlp().render());
@@ -23,4 +23,5 @@ fn main() {
     println!("{}", ablation::ablation_power_modes().render());
     println!("{}", experiments::crossover_sweep().render());
     println!("{}", experiments::realtime_orb().render());
+    Ok(())
 }

@@ -270,7 +270,10 @@ pub fn fig7(array_bytes: u64) -> ExperimentReport {
 }
 
 /// **Table II**: SH-WFS profiling + framework prediction on every board.
-pub fn table2_shwfs(characterizations: &CharacterizationSet) -> ExperimentReport {
+/// # Errors
+///
+/// Returns a message when a board in the set has no characterization.
+pub fn table2_shwfs(characterizations: &CharacterizationSet) -> Result<ExperimentReport, String> {
     let app = ShwfsApp::default();
     let workload = app.workload();
     let mut t = TextTable::new([
@@ -288,9 +291,7 @@ pub fn table2_shwfs(characterizations: &CharacterizationSet) -> ExperimentReport
         .iter()
         .zip(expected::TABLE2.iter())
     {
-        let c = characterizations
-            .for_device(device)
-            .expect("built-in boards are characterized");
+        let c = characterizations.for_device(device)?;
         let tuner = Tuner::with_characterization(device.clone(), c.clone());
         let outcome = tuner.recommend(&workload, CommModelKind::StandardCopy);
         let rec = &outcome.recommendation;
@@ -314,11 +315,11 @@ pub fn table2_shwfs(characterizations: &CharacterizationSet) -> ExperimentReport
             paper_pred,
         ]);
     }
-    ExperimentReport {
+    Ok(ExperimentReport {
         id: "table2".into(),
         title: "SH-WFS profiling results and framework predictions".into(),
         text: t.render(),
-    }
+    })
 }
 
 fn perf_rows(
@@ -326,11 +327,16 @@ fn perf_rows(
     device: &DeviceProfile,
     runs: &[RunReport],
     paper_zc_speedup_pct: f64,
-) {
+) -> Result<(), String> {
     let sc = runs
         .iter()
         .find(|r| r.model == CommModelKind::StandardCopy)
-        .expect("SC run present");
+        .ok_or_else(|| {
+            format!(
+                "no StandardCopy run for {} to compute speedups against",
+                device.name
+            )
+        })?;
     for run in runs {
         let speedup = if run.model == CommModelKind::StandardCopy {
             "-".to_string()
@@ -353,11 +359,16 @@ fn perf_rows(
             paper,
         ]);
     }
+    Ok(())
 }
 
 /// **Table III**: SH-WFS measured performance under all three models on
 /// every board.
-pub fn table3_shwfs() -> ExperimentReport {
+///
+/// # Errors
+///
+/// Returns a message when a board's run set is missing its SC baseline.
+pub fn table3_shwfs() -> Result<ExperimentReport, String> {
     let app = ShwfsApp::default();
     let workload = app.workload();
     let mut t = TextTable::new([
@@ -378,20 +389,24 @@ pub fn table3_shwfs() -> ExperimentReport {
             .iter()
             .map(|&kind| run_model(kind, device, &workload))
             .collect();
-        perf_rows(&mut t, device, &runs, paper.zc_speedup_pct);
+        perf_rows(&mut t, device, &runs, paper.zc_speedup_pct)?;
     }
-    ExperimentReport {
+    Ok(ExperimentReport {
         id: "table3".into(),
         title: "SH-WFS centroid extraction performance".into(),
         text: t.render(),
-    }
+    })
 }
 
 /// **Table IV**: ORB profiling + framework verdicts on TX2 and Xavier.
 ///
 /// The application is profiled under its original zero-copy
 /// implementation, as in the paper.
-pub fn table4_orb(characterizations: &CharacterizationSet) -> ExperimentReport {
+///
+/// # Errors
+///
+/// Returns a message when a board in the set has no characterization.
+pub fn table4_orb(characterizations: &CharacterizationSet) -> Result<ExperimentReport, String> {
     let app = OrbApp::default();
     let workload = app.workload();
     let mut t = TextTable::new([
@@ -408,9 +423,7 @@ pub fn table4_orb(characterizations: &CharacterizationSet) -> ExperimentReport {
         (DeviceProfile::jetson_tx2(), &expected::TABLE4[0]),
         (DeviceProfile::jetson_agx_xavier(), &expected::TABLE4[1]),
     ] {
-        let c = characterizations
-            .for_device(&device)
-            .expect("built-in boards are characterized");
+        let c = characterizations.for_device(&device)?;
         let tuner = Tuner::with_characterization(device.clone(), c.clone());
         let outcome = tuner.recommend(&workload, CommModelKind::ZeroCopy);
         let rec = &outcome.recommendation;
@@ -425,16 +438,20 @@ pub fn table4_orb(characterizations: &CharacterizationSet) -> ExperimentReport {
             pct(paper.gpu_usage_pct),
         ]);
     }
-    ExperimentReport {
+    Ok(ExperimentReport {
         id: "table4".into(),
         title: "ORB front-end profiling results and framework verdicts".into(),
         text: t.render(),
-    }
+    })
 }
 
 /// **Table V**: ORB measured performance under SC and ZC on TX2 and
 /// Xavier.
-pub fn table5_orb() -> ExperimentReport {
+///
+/// # Errors
+///
+/// Returns a message when a board's run set is missing its SC baseline.
+pub fn table5_orb() -> Result<ExperimentReport, String> {
     let app = OrbApp::default();
     let workload = app.workload();
     let mut t = TextTable::new([
@@ -455,13 +472,13 @@ pub fn table5_orb() -> ExperimentReport {
             .iter()
             .map(|&kind| run_model(kind, &device, &workload))
             .collect();
-        perf_rows(&mut t, &device, &runs, paper.zc_speedup_pct);
+        perf_rows(&mut t, &device, &runs, paper.zc_speedup_pct)?;
     }
-    ExperimentReport {
+    Ok(ExperimentReport {
         id: "table5".into(),
         title: "ORB front-end performance".into(),
         text: t.render(),
-    }
+    })
 }
 
 /// **Crossover sweep** (extension): for a parametric streaming workload,
@@ -579,7 +596,12 @@ pub fn realtime_orb() -> ExperimentReport {
 /// End-to-end framework validation: for every board and both case
 /// studies, follow the framework's recommendation and verify it never
 /// hurts (the paper's headline claim).
-pub fn validation_summary(characterizations: &CharacterizationSet) -> ExperimentReport {
+/// # Errors
+///
+/// Returns a message when a board in the set has no characterization.
+pub fn validation_summary(
+    characterizations: &CharacterizationSet,
+) -> Result<ExperimentReport, String> {
     let mut t = TextTable::new([
         "Board",
         "App",
@@ -599,9 +621,7 @@ pub fn validation_summary(characterizations: &CharacterizationSet) -> Experiment
     ];
     for device in DeviceProfile::all_boards() {
         for (name, workload, current) in &apps {
-            let c = characterizations
-                .for_device(&device)
-                .expect("built-in boards are characterized");
+            let c = characterizations.for_device(&device)?;
             let tuner = Tuner::with_characterization(device.clone(), c.clone());
             let v = tuner.validate(workload, *current);
             // Switches to SC are bounded by the device's cache-recovery
@@ -633,11 +653,11 @@ pub fn validation_summary(characterizations: &CharacterizationSet) -> Experiment
             ]);
         }
     }
-    ExperimentReport {
+    Ok(ExperimentReport {
         id: "validation".into(),
         title: "Framework recommendations validated against ground truth".into(),
         text: t.render(),
-    }
+    })
 }
 
 #[cfg(test)]

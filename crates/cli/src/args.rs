@@ -107,6 +107,25 @@ pub enum Command {
         /// Append a metrics summary after the responses.
         stats: bool,
     },
+    /// `icomm fleet <board-mix> [--devices N] [--arrival poisson|burst]
+    /// [--rate R] [--seed S] [--json]` — simulate a clustered device
+    /// fleet hammering the tuning service (admission control, federated
+    /// characterization transfer) and report warm-start rate, tail
+    /// latency, shed counts, and transfer regret.
+    Fleet {
+        /// Comma-separated board mix (`nano,tx2,xavier`).
+        mix: String,
+        /// Population size.
+        devices: usize,
+        /// Arrival-process preset (`poisson` / `burst`).
+        arrival: String,
+        /// Mean arrival rate, requests per second.
+        rate: f64,
+        /// Seed for the population and schedule.
+        seed: u64,
+        /// Print the deterministic fleet report as JSON.
+        json: bool,
+    },
     /// `icomm help` / no arguments.
     Help,
 }
@@ -411,6 +430,88 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 stats: options.stats,
             })
         }
+        "fleet" => {
+            let mix = it.next().ok_or_else(|| {
+                ParseArgsError(
+                    "fleet needs a comma-separated board mix (e.g. nano,tx2,xavier)".into(),
+                )
+            })?;
+            for part in mix.split(',') {
+                let name = part.trim();
+                if !name.is_empty() {
+                    ensure_board(name)?;
+                }
+            }
+            let mut devices = 256usize;
+            let mut arrival = "poisson".to_string();
+            let mut rate = 400.0f64;
+            let mut seed = 7u64;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--devices" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--devices needs a count".into()))?;
+                        devices =
+                            value
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or_else(|| {
+                                    ParseArgsError(format!(
+                                        "--devices needs a positive count, got '{value}'"
+                                    ))
+                                })?;
+                    }
+                    "--arrival" => {
+                        let value = it.next().ok_or_else(|| {
+                            ParseArgsError("--arrival needs a process (poisson|burst)".into())
+                        })?;
+                        match value.to_ascii_lowercase().as_str() {
+                            "poisson" | "burst" | "bursty" => arrival = value.clone(),
+                            other => {
+                                return Err(ParseArgsError(format!(
+                                    "unknown arrival process '{other}' (poisson|burst)"
+                                )))
+                            }
+                        }
+                    }
+                    "--rate" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--rate needs requests/sec".into()))?;
+                        rate = value
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|r| *r > 0.0)
+                            .ok_or_else(|| {
+                                ParseArgsError(format!(
+                                    "--rate needs a positive requests/sec, got '{value}'"
+                                ))
+                            })?;
+                    }
+                    "--seed" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--seed needs a number".into()))?;
+                        seed = value.parse::<u64>().map_err(|_| {
+                            ParseArgsError(format!("--seed needs a number, got '{value}'"))
+                        })?;
+                    }
+                    "--json" => json = true,
+                    other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Fleet {
+                mix: mix.clone(),
+                devices,
+                arrival,
+                rate,
+                seed,
+                json,
+            })
+        }
         other => Err(ParseArgsError(format!(
             "unknown command '{other}' (try `icomm help`)"
         ))),
@@ -511,6 +612,8 @@ USAGE:
                 [--full] [--stats]
     icomm batch [<file>] [--workers N] [--registry <file>]
                 [--full] [--stats]
+    icomm fleet <board-mix> [--devices N] [--arrival poisson|burst]
+                [--rate R] [--seed S] [--json]
     icomm help
 
 BOARDS:  nano, tx2, xavier, orin-like
@@ -541,6 +644,15 @@ JSON response per line; default 127.0.0.1:7311). `batch` answers a file
 characterizations in a shared registry; `--registry <file>` persists it
 across runs, `--full` trades latency for the full-resolution sweep, and
 `--stats` reports cache hit rate, queue depth, and latency histograms.
+
+`fleet` synthesizes a clustered device population over the board mix
+(firmware clusters plus per-unit clock drift), replays a seeded open-loop
+arrival schedule through the registry, federated-transfer, and
+admission-control stack in virtual time, then live-fires a real TCP
+server in-process. It reports warm-start rate, p50/p95/p99 latency, SLO
+attainment, shed counts, and the decision regret of transferred vs full
+characterizations. The same seed replays byte-identically (`--json`
+prints only the deterministic report).
 ";
 
 #[cfg(test)]
@@ -793,6 +905,58 @@ mod tests {
             }
         );
         assert!(parse(&v(&["batch", "a.jsonl", "b.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn fleet_parses_defaults_and_flags() {
+        let c = parse(&v(&["fleet", "nano,tx2,xavier"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Fleet {
+                mix: "nano,tx2,xavier".into(),
+                devices: 256,
+                arrival: "poisson".into(),
+                rate: 400.0,
+                seed: 7,
+                json: false,
+            }
+        );
+        let c = parse(&v(&[
+            "fleet",
+            "nano",
+            "--devices",
+            "1000",
+            "--arrival",
+            "burst",
+            "--rate",
+            "800",
+            "--seed",
+            "9",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Fleet {
+                mix: "nano".into(),
+                devices: 1000,
+                arrival: "burst".into(),
+                rate: 800.0,
+                seed: 9,
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn fleet_rejects_bad_inputs() {
+        assert!(parse(&v(&["fleet"])).is_err());
+        assert!(parse(&v(&["fleet", "nano,pi5"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--devices", "0"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--arrival", "uniform"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--rate", "-3"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--seed", "many"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--wat"])).is_err());
     }
 
     #[test]

@@ -101,7 +101,7 @@ pub fn execute(command: &Command) -> Result<String, String> {
             json,
         } => chaos(board, app, plan, seeds, *windows, *json),
         Command::Compare { board, app } => compare(board, app),
-        Command::Experiments => Ok(run_experiments()),
+        Command::Experiments => run_experiments(),
         Command::Serve {
             addr,
             workers,
@@ -122,13 +122,26 @@ pub fn execute(command: &Command) -> Result<String, String> {
             *full,
             *stats,
         ),
+        Command::Fleet {
+            mix,
+            devices,
+            arrival,
+            rate,
+            seed,
+            json,
+        } => fleet(mix, *devices, arrival, *rate, *seed, *json),
     }
 }
 
 fn boards() -> String {
     let mut out = String::from("built-in boards:\n");
     for name in BOARD_NAMES {
-        let device = board_by_name(name).expect("listed boards resolve");
+        let Some(device) = board_by_name(name) else {
+            // A catalog name without a profile is a wiring bug; surface
+            // it in the listing instead of aborting the whole command.
+            let _ = writeln!(out, "  {name:<10} (unresolvable board name)");
+            continue;
+        };
         let _ = writeln!(
             out,
             "  {:<10} {} — {} SMs @ {}, DRAM {}, {}",
@@ -342,7 +355,7 @@ fn load_characterization(path: &str) -> Result<DeviceCharacterization, String> {
     icomm_persist::from_str(&text).map_err(|err| format!("cannot parse {path}: {err}"))
 }
 
-fn run_experiments() -> String {
+fn run_experiments() -> Result<String, String> {
     let mut reports: Vec<ExperimentReport> = vec![
         experiments::fig5_and_table1(),
         experiments::fig3_xavier(),
@@ -350,18 +363,18 @@ fn run_experiments() -> String {
         experiments::fig7(1 << 26),
     ];
     let chars = CharacterizationSet::measure();
-    reports.push(experiments::table2_shwfs(&chars));
-    reports.push(experiments::table3_shwfs());
-    reports.push(experiments::table4_orb(&chars));
-    reports.push(experiments::table5_orb());
-    reports.push(experiments::validation_summary(&chars));
+    reports.push(experiments::table2_shwfs(&chars)?);
+    reports.push(experiments::table3_shwfs()?);
+    reports.push(experiments::table4_orb(&chars)?);
+    reports.push(experiments::table5_orb()?);
+    reports.push(experiments::validation_summary(&chars)?);
     reports.push(ablation::ablation_io_coherence());
     reports.push(experiments::crossover_sweep());
-    reports
+    Ok(reports
         .iter()
         .map(ExperimentReport::render)
         .collect::<Vec<_>>()
-        .join("\n")
+        .join("\n"))
 }
 
 /// Builds the service configuration the `serve`/`batch` commands share.
@@ -467,6 +480,45 @@ fn batch_text(service: &TuningService, text: &str, stats: bool) -> Result<String
         let _ = write!(out, "{}", service.metrics());
     }
     Ok(out)
+}
+
+/// `icomm fleet`: simulate a clustered device fleet against the tuning
+/// stack and report warm-start rate, tail latency, shedding, and
+/// transfer regret.
+fn fleet(
+    mix: &str,
+    devices: usize,
+    arrival: &str,
+    rate: f64,
+    seed: u64,
+    json: bool,
+) -> Result<String, String> {
+    let process = icomm_fleet::ArrivalProcess::parse(arrival)?;
+    let config = icomm_fleet::FleetConfig {
+        boards: mix.to_string(),
+        devices,
+        arrival: icomm_fleet::ArrivalConfig {
+            process,
+            rate_per_sec: rate,
+            ..icomm_fleet::ArrivalConfig::default()
+        },
+        seed,
+        ..icomm_fleet::FleetConfig::default()
+    };
+    let out = icomm_fleet::run_fleet(&config)?;
+    if json {
+        // Only the deterministic report: the wall-clock live-fire stats
+        // would break byte-identical replay.
+        let mut text = icomm_persist::to_string(&out.report)
+            .map_err(|err| format!("cannot serialize fleet report: {err}"))?;
+        text.push('\n');
+        return Ok(text);
+    }
+    let mut text = format!("{}\n", out.report);
+    if let Some(livefire) = &out.livefire {
+        let _ = writeln!(text, "{livefire}");
+    }
+    Ok(text)
 }
 
 #[cfg(test)]
@@ -590,6 +642,21 @@ mod tests {
             assert!(phased.name.contains(app), "{}", phased.name);
         }
         assert!(phased_workload_by_name("quake", 4).is_err());
+    }
+
+    #[test]
+    fn fleet_json_is_deterministic_and_parses() {
+        let run = || fleet("nano,tx2", 48, "poisson", 400.0, 7, true).unwrap();
+        let a = run();
+        assert_eq!(a, run(), "same-seed fleet JSON not byte-identical");
+        let report: icomm_fleet::FleetReport = icomm_persist::from_str(a.trim()).unwrap();
+        assert_eq!(report.devices, 48);
+        assert_eq!(report.seed, 7);
+        assert_eq!(report.livefire_failed, 0);
+        // Human rendering carries the wall-clock side channel instead.
+        let text = fleet("nano", 24, "burst", 600.0, 3, false).unwrap();
+        assert!(text.contains("verdict"), "{text}");
+        assert!(text.contains("livefire wall-clock"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Open-loop arrival processes.
+//!
+//! The load generator is *open loop*: arrival times are drawn up front
+//! from the configured process and do not react to service latency, the
+//! discipline that exposes queueing collapse instead of politely hiding
+//! it (a closed-loop client slows down exactly when the server needs
+//! mercy the least). Two presets cover the interesting regimes:
+//!
+//! - **Poisson** — independent exponential inter-arrivals at the target
+//!   rate; the memoryless baseline.
+//! - **Burst** — the same mean rate delivered as alternating bursts
+//!   (10× rate) and quiet gaps, the shape that actually trips admission
+//!   control.
+//!
+//! Arrivals are drawn from the caller's seeded [`ChaosRng`] stream, so
+//! the schedule replays byte-identically per seed.
+
+use icomm_chaos::ChaosRng;
+use icomm_serve::RequestClass;
+
+/// Arrival-process preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Exponential inter-arrivals at the target rate.
+    Poisson,
+    /// Alternating 10×-rate bursts and quiet gaps with the same mean
+    /// rate.
+    Burst,
+}
+
+impl ArrivalProcess {
+    /// Parses the CLI form (`poisson` / `burst`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "poisson" => Ok(ArrivalProcess::Poisson),
+            "burst" | "bursty" => Ok(ArrivalProcess::Burst),
+            other => Err(format!(
+                "unknown arrival process '{other}' (expected poisson or burst)"
+            )),
+        }
+    }
+
+    /// CLI/report form of the preset.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson => "poisson",
+            ArrivalProcess::Burst => "burst",
+        }
+    }
+}
+
+/// Load-generation knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalConfig {
+    /// Which process generates inter-arrival gaps.
+    pub process: ArrivalProcess,
+    /// Mean arrival rate, requests per second.
+    pub rate_per_sec: f64,
+    /// Fraction of requests tagged [`RequestClass::Bulk`].
+    pub bulk_fraction: f64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            process: ArrivalProcess::Poisson,
+            rate_per_sec: 400.0,
+            bulk_fraction: 0.2,
+        }
+    }
+}
+
+/// One scheduled request: which device asks, when, for which app, at
+/// which priority.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Virtual arrival time, microseconds from schedule start.
+    pub at_us: u64,
+    /// Index into the synthesized population.
+    pub device_index: usize,
+    /// Application name (`shwfs` / `orb` / `lane`).
+    pub app: &'static str,
+    /// Admission-priority class.
+    pub class: RequestClass,
+}
+
+const APPS: [&str; 3] = ["shwfs", "orb", "lane"];
+
+/// How many times denser than the mean rate a burst is.
+const BURST_FACTOR: f64 = 10.0;
+/// Arrivals per burst before the process goes quiet.
+const BURST_LEN: usize = 32;
+
+/// Generates one arrival per device, in device-shuffled order, with
+/// inter-arrival gaps from the configured process.
+///
+/// Shuffling matters: population synthesis lays devices out round-robin
+/// by board, and an unshuffled schedule would hand the transfer pipeline
+/// an unrealistically adversarial (perfectly interleaved) or
+/// unrealistically friendly (perfectly grouped) order. The shuffle is
+/// drawn from the same seeded stream as everything else.
+pub fn generate_arrivals(
+    devices: usize,
+    config: &ArrivalConfig,
+    rng: &mut ChaosRng,
+) -> Vec<Arrival> {
+    let mut order: Vec<usize> = (0..devices).collect();
+    // Fisher-Yates with the seeded stream.
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.index(i + 1));
+    }
+    let rate = config.rate_per_sec.max(1e-3);
+    let mean_gap_us = 1e6 / rate;
+    let mut now_us = 0f64;
+    order
+        .into_iter()
+        .enumerate()
+        .map(|(n, device_index)| {
+            let gap = match config.process {
+                ArrivalProcess::Poisson => {
+                    // Exponential inter-arrival: -ln(U) * mean.
+                    -((1.0 - rng.uniform()).max(f64::MIN_POSITIVE)).ln() * mean_gap_us
+                }
+                ArrivalProcess::Burst => {
+                    let in_burst = (n / BURST_LEN).is_multiple_of(2);
+                    if in_burst {
+                        // Dense phase: 10x the mean rate.
+                        mean_gap_us / BURST_FACTOR
+                    } else {
+                        // Quiet phase sized so the overall mean holds:
+                        // gap + gap/factor averaged over both phases
+                        // equals 2 * mean.
+                        mean_gap_us * (2.0 - 1.0 / BURST_FACTOR)
+                    }
+                }
+            };
+            now_us += gap;
+            Arrival {
+                at_us: now_us as u64,
+                device_index,
+                app: APPS[rng.index(APPS.len())],
+                class: if rng.chance(config.bulk_fraction) {
+                    RequestClass::Bulk
+                } else {
+                    RequestClass::Interactive
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_presets() {
+        assert_eq!(
+            ArrivalProcess::parse("poisson").unwrap().as_str(),
+            "poisson"
+        );
+        assert_eq!(ArrivalProcess::parse("BURST").unwrap().as_str(), "burst");
+        assert!(ArrivalProcess::parse("uniform").is_err());
+    }
+
+    #[test]
+    fn schedule_replays_per_seed_and_covers_every_device() {
+        let build = |seed| {
+            let mut rng = ChaosRng::new(seed);
+            generate_arrivals(200, &ArrivalConfig::default(), &mut rng)
+        };
+        let a = build(7);
+        assert_eq!(a, build(7));
+        assert_ne!(a, build(9));
+        let mut seen: Vec<usize> = a.iter().map(|x| x.device_index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
+        // Times are nondecreasing.
+        assert!(a.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_roughly_honored() {
+        let mut rng = ChaosRng::new(11);
+        let config = ArrivalConfig {
+            rate_per_sec: 1000.0,
+            ..ArrivalConfig::default()
+        };
+        let arrivals = generate_arrivals(2000, &config, &mut rng);
+        let span_s = arrivals.last().unwrap().at_us as f64 / 1e6;
+        let rate = arrivals.len() as f64 / span_s;
+        assert!((700.0..1400.0).contains(&rate), "observed rate {rate:.0}");
+    }
+
+    #[test]
+    fn burst_preset_alternates_dense_and_quiet_gaps() {
+        let mut rng = ChaosRng::new(5);
+        let config = ArrivalConfig {
+            process: ArrivalProcess::Burst,
+            rate_per_sec: 100.0,
+            ..ArrivalConfig::default()
+        };
+        let arrivals = generate_arrivals(128, &config, &mut rng);
+        let gap = |i: usize| arrivals[i].at_us - arrivals[i - 1].at_us;
+        // Inside the first burst: 1 ms gaps. Inside the quiet phase:
+        // ~19.5 ms gaps.
+        assert!(gap(10) < 2_000, "burst gap {}", gap(10));
+        assert!(gap(40) > 15_000, "quiet gap {}", gap(40));
+    }
+
+    #[test]
+    fn bulk_fraction_is_roughly_honored() {
+        let mut rng = ChaosRng::new(3);
+        let arrivals = generate_arrivals(1000, &ArrivalConfig::default(), &mut rng);
+        let bulk = arrivals
+            .iter()
+            .filter(|a| a.class == RequestClass::Bulk)
+            .count();
+        assert!((120..280).contains(&bulk), "bulk count {bulk}");
+    }
+}

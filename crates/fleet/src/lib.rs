@@ -1,0 +1,52 @@
+//! Fleet-scale validation of the icomm serving stack.
+//!
+//! The paper's framework characterizes *one* device and tunes *one*
+//! application. This crate asks the deployment question: what happens
+//! when a thousand devices — a handful of SKUs, dozens of firmware
+//! clusters, per-unit clock drift — all ask the tuning service for
+//! recommendations at once? Three subsystems answer it:
+//!
+//! - [`population`] synthesizes deterministic, realistically clustered
+//!   device fleets from the serving catalog's base boards.
+//! - [`arrival`] generates open-loop Poisson or bursty request
+//!   schedules from the same seeded stream.
+//! - [`sim`] drives the *real* registry, federated-transfer, and
+//!   admission-control code under a virtual-time discrete-event model,
+//!   producing a byte-identically replayable [`FleetReport`]; an
+//!   optional live-fire stage then hammers a real TCP server in-process
+//!   and reports wall-clock numbers through the non-serialized
+//!   [`LivefireStats`] side channel.
+//!
+//! The headline metrics are the ones fleet operators care about:
+//! warm-start rate (what fraction of devices avoided the expensive full
+//! micro-benchmark sweep), tail latency against an SLO, shed counts
+//! under overload, and the decision *regret* of transferred
+//! characterizations versus full per-device ones.
+//!
+//! ```
+//! use icomm_fleet::{FleetConfig, run_fleet};
+//!
+//! let config = FleetConfig {
+//!     devices: 60,
+//!     livefire: false,
+//!     ..FleetConfig::default()
+//! };
+//! let out = run_fleet(&config).unwrap();
+//! let r = &out.report;
+//! assert_eq!(r.served + r.shed_queue + r.shed_rate, r.requests);
+//! assert!(r.latency_p50_us <= r.latency_p99_us);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrival;
+mod livefire;
+pub mod population;
+pub mod report;
+pub mod sim;
+
+pub use arrival::{Arrival, ArrivalConfig, ArrivalProcess};
+pub use population::{synthesize_population, BoardMix, FleetDevice, PopulationConfig};
+pub use report::{FleetReport, FleetRunOutput, LivefireStats};
+pub use sim::{run_fleet, FleetConfig};

@@ -1,0 +1,188 @@
+//! Live-fire stage: hammer a real in-process server over real TCP.
+//!
+//! The virtual-time simulation validates the *policies*; this stage
+//! validates the *stack* — the accept loop, the line protocol, the
+//! worker pool, and the transfer-enabled registry all under concurrent
+//! client load. The wire protocol carries board *names*, so the stage
+//! exercises the built-in catalog boards rather than the synthetic
+//! population; that is exactly the split we want, since wall-clock
+//! numbers from this stage are jittery by nature and are therefore kept
+//! out of the deterministic [`FleetReport`](crate::report::FleetReport).
+//! Only the counts (sent / ok / failed) — which a healthy stack makes
+//! deterministic — feed the report.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use icomm_microbench::TransferPolicy;
+use icomm_serve::{
+    AdmissionConfig, Server, ServiceConfig, TuneRequest, TuneResponse, TuningService,
+};
+
+use crate::report::LivefireStats;
+
+/// Boards the wire protocol can name (subset of the serving catalog the
+/// stage rotates through).
+const BOARDS: [&str; 3] = ["nano", "tx2", "xavier"];
+const APPS: [&str; 3] = ["shwfs", "orb", "lane"];
+
+/// Deterministic counts plus wall-clock measurements from one stage run.
+#[derive(Debug)]
+pub(crate) struct LivefireOutcome {
+    pub sent: u64,
+    pub ok: u64,
+    pub failed: u64,
+    pub stats: LivefireStats,
+}
+
+/// Runs `requests` requests against a fresh in-process server from
+/// `threads` concurrent TCP clients and tears everything down.
+///
+/// Admission is unlimited here on purpose: the stage asserts the stack
+/// serves every request, while shedding behavior is validated
+/// deterministically in the simulation.
+pub(crate) fn run_livefire(requests: usize, threads: usize) -> Result<LivefireOutcome, String> {
+    let service = Arc::new(TuningService::start(
+        ServiceConfig::quick()
+            .with_workers(4)
+            .with_admission(AdmissionConfig::unlimited())
+            .with_transfer(TransferPolicy::default()),
+    ));
+    let server = Server::start(service, "127.0.0.1:0")
+        .map_err(|e| format!("livefire stage could not bind a local socket: {e}"))?;
+    let addr = server.local_addr();
+
+    let threads = threads.max(1).min(requests.max(1));
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        // Spread the request ids across clients: client t sends ids
+        // t, t+threads, t+2*threads, ...
+        let share: Vec<u64> = (0..requests as u64)
+            .filter(|id| *id as usize % threads == t)
+            .collect();
+        handles.push(std::thread::spawn(move || client_thread(addr, &share)));
+    }
+
+    let mut sent = 0u64;
+    let mut ok = 0u64;
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests);
+    for handle in handles {
+        let outcome = handle
+            .join()
+            .map_err(|_| "livefire client thread panicked".to_string())??;
+        sent += outcome.sent;
+        ok += outcome.ok;
+        latencies.extend(outcome.latencies_us);
+    }
+    let wall_duration_us = start.elapsed().as_micros() as u64;
+
+    let service = server.stop();
+    Arc::try_unwrap(service)
+        .map_err(|_| "livefire server still holds service references".to_string())?
+        .shutdown()?;
+
+    latencies.sort_unstable();
+    let pick = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).max(1);
+        latencies[rank.min(latencies.len()) - 1]
+    };
+    let wall_mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    Ok(LivefireOutcome {
+        sent,
+        ok,
+        failed: sent - ok,
+        stats: LivefireStats {
+            wall_p50_us: pick(0.50),
+            wall_p95_us: pick(0.95),
+            wall_p99_us: pick(0.99),
+            wall_mean_us,
+            wall_duration_us,
+            wall_throughput_rps: if wall_duration_us == 0 {
+                0.0
+            } else {
+                sent as f64 / (wall_duration_us as f64 / 1e6)
+            },
+        },
+    })
+}
+
+/// Per-client results.
+struct ClientOutcome {
+    sent: u64,
+    ok: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// One client connection: write a request line, read the response line,
+/// time the round trip, repeat.
+fn client_thread(addr: std::net::SocketAddr, ids: &[u64]) -> Result<ClientOutcome, String> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| format!("livefire client could not connect: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("livefire client could not clone its stream: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut outcome = ClientOutcome {
+        sent: 0,
+        ok: 0,
+        latencies_us: Vec::with_capacity(ids.len()),
+    };
+    for &id in ids {
+        let board = BOARDS[id as usize % BOARDS.len()];
+        let app = APPS[(id as usize / BOARDS.len()) % APPS.len()];
+        let request = TuneRequest::new(id, board, app);
+        let line = icomm_persist::to_string(&request)
+            .map_err(|e| format!("livefire request {id} failed to serialize: {e}"))?;
+        let begin = Instant::now();
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("livefire request {id} failed to send: {e}"))?;
+        outcome.sent += 1;
+        let mut reply = String::new();
+        reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("livefire response {id} failed to arrive: {e}"))?;
+        outcome
+            .latencies_us
+            .push(begin.elapsed().as_micros() as u64);
+        let response: TuneResponse = icomm_persist::from_str(reply.trim())
+            .map_err(|e| format!("livefire response {id} failed to parse: {e}"))?;
+        if response.ok && response.id == id {
+            outcome.ok += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn livefire_round_trips_every_request() {
+        let outcome = run_livefire(24, 3).unwrap();
+        assert_eq!(outcome.sent, 24);
+        assert_eq!(outcome.ok, 24);
+        assert_eq!(outcome.failed, 0);
+        assert!(outcome.stats.wall_p50_us <= outcome.stats.wall_p99_us);
+        assert!(outcome.stats.wall_throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn single_thread_single_request_works() {
+        let outcome = run_livefire(1, 1).unwrap();
+        assert_eq!((outcome.sent, outcome.ok, outcome.failed), (1, 1, 0));
+    }
+}

@@ -1,0 +1,231 @@
+//! Synthetic fleet populations.
+//!
+//! Real device fleets are not uniform random samples of parameter space:
+//! they are a handful of SKUs, each split into firmware *clusters*
+//! (devices shipped with the same DVFS caps and memory timings), with
+//! small per-unit clock drift inside each cluster. This module
+//! synthesizes exactly that shape so the federated-transfer pipeline is
+//! exercised realistically — stock devices repeat fingerprints exactly
+//! (registry cache hits), drifted cluster-mates land close in feature
+//! space (transfer hits), and distinct clusters or boards land far apart
+//! (full characterizations).
+//!
+//! Everything is drawn from one seeded [`ChaosRng`] stream, so a
+//! `(mix, devices, seed)` triple fully determines the population.
+
+use icomm_chaos::ChaosRng;
+use icomm_serve::catalog;
+use icomm_soc::DeviceProfile;
+
+/// The set of base boards a fleet is built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardMix {
+    names: Vec<String>,
+    bases: Vec<DeviceProfile>,
+}
+
+impl BoardMix {
+    /// Parses a comma-separated board list (`"nano,tx2,xavier"`) against
+    /// the serving catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown board, or when the
+    /// list is empty.
+    pub fn parse(list: &str) -> Result<Self, String> {
+        let mut names = Vec::new();
+        let mut bases = Vec::new();
+        for raw in list.split(',') {
+            let name = raw.trim();
+            if name.is_empty() {
+                continue;
+            }
+            let device = catalog::board_by_name(name)?;
+            names.push(name.to_string());
+            bases.push(device);
+        }
+        if names.is_empty() {
+            return Err(format!("board mix '{list}' names no boards"));
+        }
+        Ok(BoardMix { names, bases })
+    }
+
+    /// The board names in mix order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of boards in the mix.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the mix is empty (never true for a parsed mix).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// One synthesized fleet device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDevice {
+    /// Stable index in the population (0-based).
+    pub index: usize,
+    /// Base board name from the mix.
+    pub board: String,
+    /// Firmware cluster the device belongs to (0-based, per board).
+    pub cluster: usize,
+    /// Whether the device runs the stock cluster firmware (exact
+    /// centroid scales — an exact fingerprint repeat of its cluster
+    /// mates).
+    pub stock: bool,
+    /// The synthesized device profile.
+    pub profile: DeviceProfile,
+}
+
+/// Population-shape knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationConfig {
+    /// Firmware clusters per base board.
+    pub clusters_per_board: usize,
+    /// Fraction of devices on exact stock cluster firmware.
+    pub stock_fraction: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            clusters_per_board: 4,
+            stock_fraction: 0.45,
+        }
+    }
+}
+
+/// Quantizes `v` to the nearest multiple of `step` — firmware tables
+/// hold discrete DVFS points, not continuous clocks, and the resulting
+/// exact value collisions are what make stock devices cache-hit.
+fn quantize(v: f64, step: f64) -> f64 {
+    (v / step).round() * step
+}
+
+/// Per-cluster centroid scales for (cpu, gpu, mem), drawn uniformly in
+/// `[0.88, 1.12]` and quantized to DVFS steps of 1 %.
+fn cluster_centroid(rng: &mut ChaosRng) -> (f64, f64, f64) {
+    let draw = |rng: &mut ChaosRng| quantize(0.88 + rng.uniform() * 0.24, 0.01);
+    (draw(rng), draw(rng), draw(rng))
+}
+
+/// Synthesizes a clustered population of `devices` devices over `mix`.
+///
+/// Boards rotate round-robin so every mix member gets an equal share;
+/// each device lands in a per-board firmware cluster. Stock devices use
+/// the cluster centroid exactly; the rest add per-unit Gaussian clock
+/// drift (σ ≈ 1.2 %, quantized to 0.4 % steps, clamped to ±25 %).
+pub fn synthesize_population(
+    mix: &BoardMix,
+    devices: usize,
+    config: &PopulationConfig,
+    rng: &mut ChaosRng,
+) -> Vec<FleetDevice> {
+    let clusters = config.clusters_per_board.max(1);
+    let centroids: Vec<Vec<(f64, f64, f64)>> = (0..mix.len())
+        .map(|_| (0..clusters).map(|_| cluster_centroid(rng)).collect())
+        .collect();
+    (0..devices)
+        .map(|index| {
+            let board_idx = index % mix.len();
+            let cluster = rng.index(clusters);
+            let (ccpu, cgpu, cmem) = centroids[board_idx][cluster];
+            let stock = rng.chance(config.stock_fraction);
+            let (cpu, gpu, mem) = if stock {
+                (ccpu, cgpu, cmem)
+            } else {
+                let drift = |rng: &mut ChaosRng| quantize(rng.gauss() * 0.012, 0.004);
+                let d = (drift(rng), drift(rng), drift(rng));
+                (
+                    (ccpu + d.0).clamp(0.75, 1.25),
+                    (cgpu + d.1).clamp(0.75, 1.25),
+                    (cmem + d.2).clamp(0.75, 1.25),
+                )
+            };
+            FleetDevice {
+                index,
+                board: mix.names[board_idx].clone(),
+                cluster,
+                stock,
+                profile: mix.bases[board_idx].with_power_scale(cpu, gpu, mem),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_microbench::{feature_distance, fingerprint, fingerprint_features};
+
+    fn mix() -> BoardMix {
+        BoardMix::parse("nano,tx2,xavier").unwrap()
+    }
+
+    #[test]
+    fn mix_rejects_unknown_boards() {
+        assert!(BoardMix::parse("nano,pi5").is_err());
+        assert!(BoardMix::parse("  ,, ").is_err());
+        assert_eq!(mix().names(), ["nano", "tx2", "xavier"]);
+    }
+
+    #[test]
+    fn population_replays_identically_per_seed() {
+        let build = |seed| {
+            let mut rng = ChaosRng::new(seed);
+            synthesize_population(&mix(), 64, &PopulationConfig::default(), &mut rng)
+        };
+        assert_eq!(build(7), build(7));
+        assert_ne!(build(7), build(8));
+    }
+
+    #[test]
+    fn stock_devices_repeat_fingerprints_within_clusters() {
+        let mut rng = ChaosRng::new(7);
+        let pop = synthesize_population(&mix(), 600, &PopulationConfig::default(), &mut rng);
+        let stock: Vec<&FleetDevice> = pop.iter().filter(|d| d.stock).collect();
+        assert!(stock.len() > 150, "stock share too low: {}", stock.len());
+        // Two stock devices of the same (board, cluster) are identical.
+        let a = stock
+            .iter()
+            .find(|d| {
+                stock
+                    .iter()
+                    .any(|o| o.index != d.index && o.board == d.board && o.cluster == d.cluster)
+            })
+            .expect("some cluster has two stock devices");
+        let b = stock
+            .iter()
+            .find(|o| o.index != a.index && o.board == a.board && o.cluster == a.cluster)
+            .unwrap();
+        assert_eq!(fingerprint(&a.profile), fingerprint(&b.profile));
+    }
+
+    #[test]
+    fn cluster_mates_sit_close_other_clusters_far() {
+        let mut rng = ChaosRng::new(7);
+        let pop = synthesize_population(&mix(), 600, &PopulationConfig::default(), &mut rng);
+        let anchor = pop.iter().find(|d| d.stock).unwrap();
+        let af = fingerprint_features(&anchor.profile);
+        let mate = pop
+            .iter()
+            .find(|d| {
+                !d.stock
+                    && d.board == anchor.board
+                    && d.cluster == anchor.cluster
+                    && d.index != anchor.index
+            })
+            .expect("drifted cluster mate exists");
+        let near = feature_distance(&af, &fingerprint_features(&mate.profile));
+        assert!(near < 0.03, "cluster-mate distance {near}");
+        let other_board = pop.iter().find(|d| d.board != anchor.board).unwrap();
+        let far = feature_distance(&af, &fingerprint_features(&other_board.profile));
+        assert!(far > 0.1, "cross-board distance {far}");
+    }
+}

@@ -1,0 +1,265 @@
+//! Fleet-run results.
+//!
+//! [`FleetReport`] carries every number derived from the deterministic
+//! virtual-time simulation — it serializes byte-identically for a given
+//! `(mix, devices, arrival, rate, seed)` tuple, which is what the CI
+//! replay stage compares. Wall-clock measurements from the optional
+//! live-fire stage are intentionally **not** part of the report: they
+//! land in [`LivefireStats`], a side structure that is printed for
+//! humans but never serialized, so timing jitter can never break replay.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic results of one fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Board mix, comma-joined in mix order.
+    pub boards: String,
+    /// Population size.
+    pub devices: u64,
+    /// Arrival-process preset name.
+    pub arrival: String,
+    /// Mean arrival rate, requests per second.
+    pub rate_per_sec: f64,
+    /// Seed the run replays from.
+    pub seed: u64,
+    /// Requests generated (one per device).
+    pub requests: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed on queue pressure.
+    pub shed_queue: u64,
+    /// Requests shed on rate-limit pressure.
+    pub shed_rate: u64,
+    /// Characterization lookups answered from the registry cache
+    /// (exact fingerprint repeats).
+    pub cache_hits: u64,
+    /// Characterizations answered by federated transfer.
+    pub transfer_hits: u64,
+    /// Transfer attempts that fell below the confidence floor.
+    pub transfer_fallbacks: u64,
+    /// Full micro-benchmark characterization runs.
+    pub full_characterizations: u64,
+    /// Warm-start rate, percent: lookups served without a full run
+    /// (cache + transfer) over all served lookups.
+    pub warm_start_pct: f64,
+    /// Transfer hit rate, percent, over transfer attempts.
+    pub transfer_hit_pct: f64,
+    /// Virtual end-to-end latency p50, microseconds.
+    pub latency_p50_us: u64,
+    /// Virtual end-to-end latency p95, microseconds.
+    pub latency_p95_us: u64,
+    /// Virtual end-to-end latency p99, microseconds.
+    pub latency_p99_us: u64,
+    /// Virtual mean latency, microseconds.
+    pub latency_mean_us: f64,
+    /// Served throughput over the virtual run, requests per second.
+    pub throughput_rps: f64,
+    /// Latency SLO the attainment is measured against, microseconds.
+    pub slo_us: u64,
+    /// Percent of served requests inside the SLO.
+    pub slo_attainment_pct: f64,
+    /// Transferred devices spot-checked against a full characterization.
+    pub regret_samples: u64,
+    /// Spot checks where transferred and full characterizations
+    /// recommended different models.
+    pub regret_disagreements: u64,
+    /// Mean decision regret of transferred vs full characterization,
+    /// percent of ground-truth runtime.
+    pub mean_regret_pct: f64,
+    /// Worst single-sample decision regret, percent.
+    pub max_regret_pct: f64,
+    /// Requests sent during the live-fire TCP stage (0 when skipped).
+    pub livefire_sent: u64,
+    /// Live-fire requests answered `ok`.
+    pub livefire_ok: u64,
+    /// Live-fire requests answered with an error or lost.
+    pub livefire_failed: u64,
+}
+
+impl FleetReport {
+    /// The acceptance gate: every served request answered, ≥ 90 %
+    /// warm start, ≤ 10 % mean transfer regret, and a clean live-fire
+    /// stage (when one ran).
+    pub fn passed(&self) -> bool {
+        self.served + self.shed_queue + self.shed_rate == self.requests
+            && self.warm_start_pct >= 90.0
+            && self.mean_regret_pct <= 10.0
+            && self.livefire_failed == 0
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet        {} devices over {} ({} arrivals at {:.0} req/s, seed {})",
+            self.devices, self.boards, self.arrival, self.rate_per_sec, self.seed
+        )?;
+        writeln!(
+            f,
+            "admission    {} served / {} requests  ({} shed on queue, {} shed on rate)",
+            self.served, self.requests, self.shed_queue, self.shed_rate
+        )?;
+        writeln!(
+            f,
+            "warm start   {:.1}%  ({} cache hits, {} transferred, {} fallbacks, {} full runs)",
+            self.warm_start_pct,
+            self.cache_hits,
+            self.transfer_hits,
+            self.transfer_fallbacks,
+            self.full_characterizations
+        )?;
+        writeln!(
+            f,
+            "latency      p50 {} us   p95 {} us   p99 {} us   mean {:.0} us",
+            self.latency_p50_us, self.latency_p95_us, self.latency_p99_us, self.latency_mean_us
+        )?;
+        writeln!(
+            f,
+            "slo          {:.1}% within {} us   ({:.0} req/s served)",
+            self.slo_attainment_pct, self.slo_us, self.throughput_rps
+        )?;
+        writeln!(
+            f,
+            "regret       mean {:.2}%  max {:.2}%  ({} spot checks, {} model disagreements)",
+            self.mean_regret_pct,
+            self.max_regret_pct,
+            self.regret_samples,
+            self.regret_disagreements
+        )?;
+        if self.livefire_sent > 0 {
+            writeln!(
+                f,
+                "livefire     {} sent  {} ok  {} failed",
+                self.livefire_sent, self.livefire_ok, self.livefire_failed
+            )?;
+        }
+        write!(
+            f,
+            "verdict      {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Wall-clock measurements from the live-fire TCP stage.
+///
+/// Never serialized: these numbers vary run to run by nature, and
+/// keeping them out of [`FleetReport`] is what lets the report replay
+/// byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LivefireStats {
+    /// Wall-clock request latency p50, microseconds.
+    pub wall_p50_us: u64,
+    /// Wall-clock request latency p95, microseconds.
+    pub wall_p95_us: u64,
+    /// Wall-clock request latency p99, microseconds.
+    pub wall_p99_us: u64,
+    /// Wall-clock mean latency, microseconds.
+    pub wall_mean_us: f64,
+    /// Wall-clock duration of the whole stage, microseconds.
+    pub wall_duration_us: u64,
+    /// Observed wall-clock throughput, requests per second.
+    pub wall_throughput_rps: f64,
+}
+
+impl fmt::Display for LivefireStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "livefire wall-clock: p50 {} us  p95 {} us  p99 {} us  mean {:.0} us  ({:.0} req/s over {:.1} ms)",
+            self.wall_p50_us,
+            self.wall_p95_us,
+            self.wall_p99_us,
+            self.wall_mean_us,
+            self.wall_throughput_rps,
+            self.wall_duration_us as f64 / 1000.0
+        )
+    }
+}
+
+/// Everything a fleet run produces: the deterministic report plus the
+/// optional wall-clock side channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRunOutput {
+    /// The deterministic, serializable report.
+    pub report: FleetReport,
+    /// Wall-clock live-fire measurements, when that stage ran.
+    pub livefire: Option<LivefireStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetReport {
+        FleetReport {
+            boards: "nano,tx2".to_string(),
+            devices: 100,
+            arrival: "poisson".to_string(),
+            rate_per_sec: 400.0,
+            seed: 7,
+            requests: 100,
+            served: 98,
+            shed_queue: 1,
+            shed_rate: 1,
+            cache_hits: 50,
+            transfer_hits: 40,
+            transfer_fallbacks: 8,
+            full_characterizations: 8,
+            warm_start_pct: 91.8,
+            transfer_hit_pct: 83.3,
+            latency_p50_us: 700,
+            latency_p95_us: 9_000,
+            latency_p99_us: 30_000,
+            latency_mean_us: 2_500.0,
+            throughput_rps: 390.0,
+            slo_us: 50_000,
+            slo_attainment_pct: 99.0,
+            regret_samples: 16,
+            regret_disagreements: 1,
+            mean_regret_pct: 0.4,
+            max_regret_pct: 6.0,
+            livefire_sent: 64,
+            livefire_ok: 64,
+            livefire_failed: 0,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample();
+        let json = icomm_persist::to_string(&report).unwrap();
+        let back: FleetReport = icomm_persist::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn pass_gate_checks_every_axis() {
+        let good = sample();
+        assert!(good.passed());
+        let mut low_warm = sample();
+        low_warm.warm_start_pct = 80.0;
+        assert!(!low_warm.passed());
+        let mut high_regret = sample();
+        high_regret.mean_regret_pct = 12.0;
+        assert!(!high_regret.passed());
+        let mut lost = sample();
+        lost.served = 90;
+        assert!(!lost.passed());
+        let mut broken_livefire = sample();
+        broken_livefire.livefire_failed = 1;
+        assert!(!broken_livefire.passed());
+    }
+
+    #[test]
+    fn display_reports_the_verdict() {
+        let text = sample().to_string();
+        assert!(text.contains("warm start   91.8%"));
+        assert!(text.contains("verdict      PASS"));
+        assert!(text.contains("livefire     64 sent"));
+    }
+}

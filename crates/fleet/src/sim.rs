@@ -1,0 +1,472 @@
+//! Deterministic virtual-time fleet simulation.
+//!
+//! The simulator runs the *real* characterization pipeline — the actual
+//! registry, the actual transfer interpolation, the actual quick
+//! micro-benchmark sweeps — under a discrete-event queueing model with
+//! virtual time. Arrival timestamps, admission decisions, queue depths,
+//! and latencies are all functions of the seed and the configuration,
+//! never of the host's wall clock, so the resulting [`FleetReport`]
+//! serializes byte-identically across replays. Wall-clock numbers exist
+//! too (the optional live-fire TCP stage) but are confined to
+//! [`LivefireStats`](crate::report::LivefireStats).
+//!
+//! Per-request virtual service cost is classified by how the lookup was
+//! satisfied: a registry cache hit costs microseconds, a federated
+//! transfer costs the interpolation, and a full characterization costs
+//! the micro-benchmark sweep — the three-orders-of-magnitude spread that
+//! makes warm-start rate the number that decides fleet p99.
+
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use icomm_chaos::ChaosRng;
+use icomm_core::recommend_for_device;
+use icomm_microbench::{
+    fingerprint_features, quick_characterize_device, transfer_characterization,
+    DeviceCharacterization, TransferPolicy,
+};
+use icomm_models::run_model;
+use icomm_serve::catalog;
+use icomm_serve::registry::EntryMeta;
+use icomm_serve::{AdmissionConfig, AdmissionController, AdmissionDecision, Registry, ShedReason};
+use icomm_soc::DeviceProfile;
+
+use crate::arrival::ArrivalConfig;
+use crate::population::{synthesize_population, BoardMix, PopulationConfig};
+use crate::report::{FleetReport, FleetRunOutput};
+
+/// Virtual service cost of a registry cache hit (decision flow only).
+const COST_HIT_US: u64 = 180;
+/// Virtual service cost of a federated transfer (neighbor search +
+/// interpolation + decision flow).
+const COST_TRANSFER_US: u64 = 600;
+/// Virtual service cost of a full quick micro-benchmark sweep.
+const COST_FULL_US: u64 = 24_000;
+
+/// Full fleet-run configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Comma-separated board mix (`"nano,tx2,xavier"`).
+    pub boards: String,
+    /// Population size (one request per device).
+    pub devices: usize,
+    /// Arrival-process knobs.
+    pub arrival: ArrivalConfig,
+    /// Population-shape knobs.
+    pub population: PopulationConfig,
+    /// Seed for population, schedule, and class draws.
+    pub seed: u64,
+    /// Virtual service workers (concurrent characterizations).
+    pub workers: usize,
+    /// Admission-control policy applied in the simulation.
+    pub admission: AdmissionConfig,
+    /// Federated-transfer policy.
+    pub transfer: TransferPolicy,
+    /// Latency SLO the attainment is measured against, microseconds.
+    pub slo_us: u64,
+    /// Transferred devices to spot-check against a full
+    /// characterization for the regret metric.
+    pub regret_samples: usize,
+    /// Whether to run the live-fire TCP stage after the simulation.
+    pub livefire: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            boards: "nano,tx2,xavier".to_string(),
+            devices: 256,
+            arrival: ArrivalConfig::default(),
+            population: PopulationConfig::default(),
+            seed: 7,
+            workers: 4,
+            admission: AdmissionConfig {
+                rate_per_sec: 2_000.0,
+                burst: 64.0,
+                queue_bound: 64,
+                bulk_queue_fraction: 0.5,
+            },
+            transfer: TransferPolicy::default(),
+            slo_us: 50_000,
+            regret_samples: 16,
+            livefire: true,
+        }
+    }
+}
+
+/// How one simulated lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LookupClass {
+    Hit,
+    Transfer,
+    FullFresh,
+    FullFallback,
+}
+
+/// Exact quantile from a sorted latency vector (nearest-rank).
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Positive-part relative regret of running `chosen` instead of `best`,
+/// in percent of `best`'s ground-truth runtime.
+fn decision_regret_pct(
+    device: &DeviceProfile,
+    app: &str,
+    chosen: icomm_models::CommModelKind,
+    best: icomm_models::CommModelKind,
+) -> Result<f64, String> {
+    if chosen == best {
+        return Ok(0.0);
+    }
+    let workload = catalog::workload_by_name(app)?;
+    let t_chosen = run_model(chosen, device, &workload).total_time.as_picos() as f64;
+    let t_best = run_model(best, device, &workload).total_time.as_picos() as f64;
+    if t_best <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(((t_chosen - t_best) / t_best * 100.0).max(0.0))
+}
+
+/// Runs the deterministic simulation (and, when configured, the
+/// live-fire stage) and assembles the [`FleetRunOutput`].
+///
+/// # Errors
+///
+/// Returns a message on an unknown board in the mix, a zero-device
+/// population, or a live-fire stage that cannot bind its socket.
+pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
+    if config.devices == 0 {
+        return Err("fleet population must have at least one device".to_string());
+    }
+    let mix = BoardMix::parse(&config.boards)?;
+    let mut rng = ChaosRng::new(config.seed);
+    let population = synthesize_population(&mix, config.devices, &config.population, &mut rng);
+    let arrivals = crate::arrival::generate_arrivals(config.devices, &config.arrival, &mut rng);
+
+    let registry = Registry::default();
+    let controller = AdmissionController::new(config.admission.clone());
+    let workers = config.workers.max(1);
+    let mut worker_free_us = vec![0u64; workers];
+    let mut in_system: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+
+    let mut served = 0u64;
+    let mut shed_queue = 0u64;
+    let mut shed_rate = 0u64;
+    let mut cache_hits = 0u64;
+    let mut transfer_hits = 0u64;
+    let mut transfer_fallbacks = 0u64;
+    let mut full_runs = 0u64;
+    let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
+    let mut within_slo = 0u64;
+    let mut max_finish_us = 0u64;
+    // Transferred devices, with the app each one asked for — the regret
+    // spot-check pool.
+    let mut transferred: Vec<(usize, &'static str)> = Vec::new();
+
+    for arrival in &arrivals {
+        let now = arrival.at_us;
+        while matches!(in_system.peek(), Some(Reverse(finish)) if *finish <= now) {
+            in_system.pop();
+        }
+        match controller.admit(arrival.class, in_system.len(), now) {
+            AdmissionDecision::Shed(ShedReason::Queue) => {
+                shed_queue += 1;
+                continue;
+            }
+            AdmissionDecision::Shed(ShedReason::Rate) => {
+                shed_rate += 1;
+                continue;
+            }
+            AdmissionDecision::Admit => {}
+        }
+
+        let device = &population[arrival.device_index];
+        let class_flag = Cell::new(LookupClass::Hit);
+        let (_, lookup) = registry.get_or_characterize_with(&device.profile, |profile| {
+            let features = fingerprint_features(profile);
+            let neighbors = registry.measured_neighbors();
+            match transfer_characterization(&profile.name, &features, &neighbors, &config.transfer)
+            {
+                Some(t) => {
+                    class_flag.set(LookupClass::Transfer);
+                    let meta = EntryMeta {
+                        features,
+                        confidence: t.confidence,
+                    };
+                    (t.characterization, Some(meta))
+                }
+                None => {
+                    class_flag.set(if neighbors.is_empty() {
+                        LookupClass::FullFresh
+                    } else {
+                        LookupClass::FullFallback
+                    });
+                    (
+                        quick_characterize_device(profile),
+                        Some(EntryMeta::measured(features)),
+                    )
+                }
+            }
+        });
+        let class = if lookup.served_from_cache() {
+            LookupClass::Hit
+        } else {
+            class_flag.get()
+        };
+        let cost = match class {
+            LookupClass::Hit => {
+                cache_hits += 1;
+                COST_HIT_US
+            }
+            LookupClass::Transfer => {
+                transfer_hits += 1;
+                transferred.push((arrival.device_index, arrival.app));
+                COST_TRANSFER_US
+            }
+            LookupClass::FullFallback => {
+                transfer_fallbacks += 1;
+                full_runs += 1;
+                COST_FULL_US
+            }
+            LookupClass::FullFresh => {
+                full_runs += 1;
+                COST_FULL_US
+            }
+        };
+
+        // Assign to the earliest-free virtual worker.
+        let (slot, free_at) = worker_free_us
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|(i, free)| (*free, *i))
+            .unwrap_or((0, 0));
+        let start = now.max(free_at);
+        let finish = start + cost;
+        worker_free_us[slot] = finish;
+        in_system.push(Reverse(finish));
+        max_finish_us = max_finish_us.max(finish);
+
+        let latency = finish - now;
+        if latency <= config.slo_us {
+            within_slo += 1;
+        }
+        latencies.push(latency);
+        served += 1;
+    }
+
+    latencies.sort_unstable();
+    let latency_mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+
+    // Spot-check transferred characterizations against full sweeps:
+    // stride-sample so the checks spread across boards and clusters.
+    let mut regret_samples = 0u64;
+    let mut regret_disagreements = 0u64;
+    let mut regret_sum_pct = 0.0f64;
+    let mut regret_max_pct = 0.0f64;
+    if !transferred.is_empty() && config.regret_samples > 0 {
+        let stride = (transferred.len() / config.regret_samples.min(transferred.len())).max(1);
+        for (device_index, app) in transferred.iter().step_by(stride) {
+            let device = &population[*device_index];
+            let transferred_chr: std::sync::Arc<DeviceCharacterization> = registry
+                .get(&device.profile)
+                .ok_or_else(|| format!("transferred entry for device {device_index} vanished"))?;
+            let full_chr = quick_characterize_device(&device.profile);
+            let workload = catalog::workload_by_name(app)?;
+            let current = icomm_models::CommModelKind::StandardCopy;
+            let chosen =
+                recommend_for_device(&device.profile, &transferred_chr, &workload, current)
+                    .recommendation
+                    .recommended;
+            let best = recommend_for_device(&device.profile, &full_chr, &workload, current)
+                .recommendation
+                .recommended;
+            let regret = decision_regret_pct(&device.profile, app, chosen, best)?;
+            if chosen != best {
+                regret_disagreements += 1;
+            }
+            regret_sum_pct += regret;
+            regret_max_pct = regret_max_pct.max(regret);
+            regret_samples += 1;
+        }
+    }
+    let mean_regret_pct = if regret_samples == 0 {
+        0.0
+    } else {
+        regret_sum_pct / regret_samples as f64
+    };
+
+    let lookups =
+        cache_hits + transfer_hits + transfer_fallbacks + (full_runs - transfer_fallbacks);
+    let warm_start_pct = if lookups == 0 {
+        0.0
+    } else {
+        (cache_hits + transfer_hits) as f64 / lookups as f64 * 100.0
+    };
+    let transfer_attempts = transfer_hits + transfer_fallbacks;
+    let transfer_hit_pct = if transfer_attempts == 0 {
+        0.0
+    } else {
+        transfer_hits as f64 / transfer_attempts as f64 * 100.0
+    };
+    let throughput_rps = if max_finish_us == 0 {
+        0.0
+    } else {
+        served as f64 / (max_finish_us as f64 / 1e6)
+    };
+    let slo_attainment_pct = if served == 0 {
+        0.0
+    } else {
+        within_slo as f64 / served as f64 * 100.0
+    };
+
+    let (livefire_counts, livefire_stats) = if config.livefire {
+        let outcome = crate::livefire::run_livefire(config.devices.min(192), 4)?;
+        (
+            (outcome.sent, outcome.ok, outcome.failed),
+            Some(outcome.stats),
+        )
+    } else {
+        ((0, 0, 0), None)
+    };
+
+    let report = FleetReport {
+        boards: mix.names().join(","),
+        devices: config.devices as u64,
+        arrival: config.arrival.process.as_str().to_string(),
+        rate_per_sec: config.arrival.rate_per_sec,
+        seed: config.seed,
+        requests: arrivals.len() as u64,
+        served,
+        shed_queue,
+        shed_rate,
+        cache_hits,
+        transfer_hits,
+        transfer_fallbacks,
+        full_characterizations: full_runs,
+        warm_start_pct,
+        transfer_hit_pct,
+        latency_p50_us: quantile(&latencies, 0.50),
+        latency_p95_us: quantile(&latencies, 0.95),
+        latency_p99_us: quantile(&latencies, 0.99),
+        latency_mean_us,
+        throughput_rps,
+        slo_us: config.slo_us,
+        slo_attainment_pct,
+        regret_samples,
+        regret_disagreements,
+        mean_regret_pct,
+        max_regret_pct: regret_max_pct,
+        livefire_sent: livefire_counts.0,
+        livefire_ok: livefire_counts.1,
+        livefire_failed: livefire_counts.2,
+    };
+    Ok(FleetRunOutput {
+        report,
+        livefire: livefire_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            devices: 96,
+            livefire: false,
+            regret_samples: 4,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn simulation_replays_byte_identically() {
+        let run = || {
+            let out = run_fleet(&small_config()).unwrap();
+            icomm_persist::to_string(&out.report).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn warm_start_clears_ninety_percent_on_clustered_population() {
+        let out = run_fleet(&small_config()).unwrap();
+        let r = out.report;
+        assert_eq!(r.requests, 96);
+        assert_eq!(r.served + r.shed_queue + r.shed_rate, r.requests);
+        assert!(
+            r.warm_start_pct >= 90.0,
+            "warm start {:.1}% (hits {}, transfers {}, full {})",
+            r.warm_start_pct,
+            r.cache_hits,
+            r.transfer_hits,
+            r.full_characterizations
+        );
+        assert!(r.latency_p50_us <= r.latency_p95_us);
+        assert!(r.latency_p95_us <= r.latency_p99_us);
+        assert!(r.latency_p99_us > 0);
+        assert!(
+            r.mean_regret_pct <= 10.0,
+            "regret {:.2}%",
+            r.mean_regret_pct
+        );
+    }
+
+    #[test]
+    fn burst_arrivals_trip_admission_control() {
+        let config = FleetConfig {
+            devices: 192,
+            arrival: ArrivalConfig {
+                process: crate::arrival::ArrivalProcess::Burst,
+                rate_per_sec: 4_000.0,
+                bulk_fraction: 0.3,
+            },
+            admission: AdmissionConfig {
+                rate_per_sec: 500.0,
+                burst: 16.0,
+                queue_bound: 8,
+                bulk_queue_fraction: 0.25,
+            },
+            livefire: false,
+            regret_samples: 0,
+            ..FleetConfig::default()
+        };
+        let out = run_fleet(&config).unwrap();
+        let r = out.report;
+        assert!(
+            r.shed_queue + r.shed_rate > 0,
+            "overdriven burst load must shed"
+        );
+        assert_eq!(r.served + r.shed_queue + r.shed_rate, r.requests);
+    }
+
+    #[test]
+    fn unknown_board_is_a_descriptive_error() {
+        let config = FleetConfig {
+            boards: "nano,pi5".to_string(),
+            ..small_config()
+        };
+        let err = run_fleet(&config).unwrap_err();
+        assert!(err.contains("pi5"), "error: {err}");
+    }
+
+    #[test]
+    fn exact_quantiles_from_sorted_samples() {
+        let sorted = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(quantile(&sorted, 0.5), 50);
+        assert_eq!(quantile(&sorted, 0.95), 100);
+        assert_eq!(quantile(&sorted, 0.0), 10);
+        assert_eq!(quantile(&[], 0.5), 0);
+    }
+}

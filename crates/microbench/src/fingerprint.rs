@@ -44,6 +44,90 @@ pub fn fingerprint(device: &DeviceProfile) -> DeviceKey {
     DeviceKey(hash)
 }
 
+/// Weight separating architectural booleans (I/O coherence, pinned
+/// cacheability) in the feature space: flipping one moves a profile
+/// farther than any plausible clock drift, so devices never transfer
+/// across a coherence boundary.
+const ARCH_FLAG_WEIGHT: f64 = 2.0;
+
+/// Extracts the continuous feature vector of a profile, the coordinate
+/// system behind [`feature_distance`].
+///
+/// Magnitude-style parameters (clocks, bandwidths, cache sizes,
+/// latencies) enter as natural logarithms, so a fixed *relative* drift —
+/// the way DVFS caps and firmware revisions move a board — displaces the
+/// vector by a fixed amount regardless of the board's absolute scale.
+/// The two zero-copy architecture flags enter as widely separated
+/// constants: no amount of clock similarity should make a
+/// cache-bypassing board look like an I/O-coherent one, because their
+/// characterizations are shaped by different mechanisms (the paper's
+/// central TX2-vs-Xavier contrast).
+///
+/// The vector length is stable within one build of the crate; vectors
+/// from different schema versions compare as infinitely distant (see
+/// [`feature_distance`]), which simply disables transfer until the
+/// entry is re-measured.
+pub fn fingerprint_features(device: &DeviceProfile) -> Vec<f64> {
+    let ln = |v: f64| v.max(1e-12).ln();
+    vec![
+        ln(device.cpu.freq.as_hz() as f64),
+        ln(device.cpu.cores as f64),
+        ln(device.cpu.mlp),
+        ln(device.cpu.uncached_wc_depth),
+        ln(device.gpu.freq.as_hz() as f64),
+        ln(device.gpu.sm_count as f64),
+        ln(device.gpu.issue_per_cycle as f64),
+        ln(device.gpu.mlp_cached),
+        ln(device.gpu.mlp_pinned),
+        ln(device.gpu.launch_overhead.as_picos() as f64),
+        ln(device.layout.cpu_l1.size.as_u64() as f64),
+        ln(device.layout.cpu_llc.size.as_u64() as f64),
+        ln(device.layout.gpu_l1.size.as_u64() as f64),
+        ln(device.layout.gpu_llc.size.as_u64() as f64),
+        ln(device.dram.peak_bandwidth.as_bytes_per_sec() as f64),
+        ln(device.dram.access_latency.as_picos() as f64),
+        ln(device.latencies.snoop_hit.as_picos() as f64),
+        ln(device.latencies.uncached_gpu_extra.as_picos() as f64),
+        ln(device.latencies.cpu_llc_bandwidth.as_bytes_per_sec() as f64),
+        ln(device.latencies.gpu_llc_bandwidth.as_bytes_per_sec() as f64),
+        ln(device.copy_engine.bandwidth.as_bytes_per_sec() as f64),
+        ln(device.copy_engine.setup.as_picos() as f64),
+        ln(device.um.migration_chunk_bytes as f64),
+        if device.zc_rules.cpu_caches_pinned {
+            ARCH_FLAG_WEIGHT
+        } else {
+            0.0
+        },
+        if device.zc_rules.io_coherent {
+            ARCH_FLAG_WEIGHT
+        } else {
+            0.0
+        },
+    ]
+}
+
+/// Normalized Euclidean distance between two feature vectors
+/// (root-mean-square of per-dimension differences).
+///
+/// Over vectors of equal length this is a true metric: `d(a, a) = 0`,
+/// `d(a, b) = d(b, a)`, and the triangle inequality holds. Vectors of
+/// different lengths (a schema change across builds) are incomparable
+/// and return `f64::INFINITY`, which conservatively disables transfer.
+pub fn feature_distance(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.is_empty() {
+        return f64::INFINITY;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum();
+    (sum / a.len() as f64).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +165,45 @@ mod tests {
     #[test]
     fn key_displays_as_hex() {
         assert_eq!(DeviceKey(0xab).to_string(), "00000000000000ab");
+    }
+
+    #[test]
+    fn features_are_finite_and_self_distance_zero() {
+        for device in [
+            DeviceProfile::jetson_nano(),
+            DeviceProfile::jetson_tx2(),
+            DeviceProfile::jetson_agx_xavier(),
+            DeviceProfile::orin_like(),
+        ] {
+            let f = fingerprint_features(&device);
+            assert!(f.iter().all(|v| v.is_finite()), "{}", device.name);
+            assert_eq!(feature_distance(&f, &f), 0.0);
+        }
+    }
+
+    #[test]
+    fn clock_drift_moves_less_than_board_change() {
+        let tx2 = fingerprint_features(&DeviceProfile::jetson_tx2());
+        let drifted =
+            fingerprint_features(&DeviceProfile::jetson_tx2().with_power_scale(0.97, 0.97, 0.97));
+        let xavier = fingerprint_features(&DeviceProfile::jetson_agx_xavier());
+        let near = feature_distance(&tx2, &drifted);
+        let far = feature_distance(&tx2, &xavier);
+        assert!(near > 0.0 && near < 0.05, "drift distance {near}");
+        assert!(far > 0.15, "cross-board distance {far}");
+        assert!(far > 5.0 * near);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = fingerprint_features(&DeviceProfile::jetson_nano());
+        let b = fingerprint_features(&DeviceProfile::orin_like());
+        assert_eq!(feature_distance(&a, &b), feature_distance(&b, &a));
+    }
+
+    #[test]
+    fn mismatched_lengths_are_infinitely_distant() {
+        assert_eq!(feature_distance(&[1.0], &[1.0, 2.0]), f64::INFINITY);
+        assert_eq!(feature_distance(&[], &[]), f64::INFINITY);
     }
 }

@@ -24,11 +24,15 @@ pub mod fingerprint;
 pub mod mb1;
 pub mod mb2;
 pub mod mb3;
+pub mod transfer;
 
 pub use characterization::{
     characterize_device, quick_characterize_device, DeviceCharacterization,
 };
-pub use fingerprint::{fingerprint, DeviceKey};
+pub use fingerprint::{feature_distance, fingerprint, fingerprint_features, DeviceKey};
 pub use mb1::PeakCacheThroughput;
 pub use mb2::ThresholdSweep;
 pub use mb3::OverlapProbe;
+pub use transfer::{
+    transfer_characterization, NeighborSample, TransferPolicy, TransferredCharacterization,
+};

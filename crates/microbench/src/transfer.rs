@@ -1,0 +1,303 @@
+//! Federated characterization transfer.
+//!
+//! Fleets of embedded boards are not a set of unrelated devices: they are
+//! firmware and DVFS variants clustered tightly around a handful of SKUs.
+//! Re-running the full micro-benchmark suite ([`characterize_device`]) on
+//! every variant is the dominant serving cost, yet a variant whose clocks
+//! drifted two percent from an already-measured sibling will land on the
+//! same side of every Fig. 2 decision. This module *transfers* a
+//! characterization to an unmeasured device by interpolating over its
+//! nearest measured neighbors in fingerprint-feature space
+//! ([`fingerprint_features`]), and reports a confidence score so callers
+//! can fall back to real measurement when the neighborhood is too sparse
+//! or too distant.
+//!
+//! Transferred values are inverse-distance-weighted convex combinations
+//! of the neighbors' values, so every transferred threshold is bounded by
+//! the corresponding neighbor minimum and maximum — transfer never
+//! extrapolates past what was actually measured.
+//!
+//! [`characterize_device`]: crate::characterize_device
+//! [`fingerprint_features`]: crate::fingerprint::fingerprint_features
+
+use crate::characterization::DeviceCharacterization;
+use crate::fingerprint::feature_distance;
+
+/// Tuning knobs for [`transfer_characterization`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferPolicy {
+    /// Maximum number of neighbors interpolated over.
+    pub k: usize,
+    /// Minimum confidence at which a transfer is accepted; below it the
+    /// function returns `None` and the caller should measure for real.
+    pub confidence_floor: f64,
+    /// Distance at which confidence has decayed to `1/e`. Expressed in
+    /// the units of [`feature_distance`] — roughly "mean relative drift
+    /// across all profile parameters".
+    ///
+    /// [`feature_distance`]: crate::fingerprint::feature_distance
+    pub distance_scale: f64,
+}
+
+impl Default for TransferPolicy {
+    fn default() -> Self {
+        // A same-cluster firmware variant sits at distance ~0.01-0.03;
+        // a different board entirely sits at >= 0.15. The defaults accept
+        // the former with confidence >= ~0.7 and reject the latter
+        // (confidence <= ~0.08).
+        TransferPolicy {
+            k: 3,
+            confidence_floor: 0.5,
+            distance_scale: 0.06,
+        }
+    }
+}
+
+/// One measured registry entry offered as an interpolation source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborSample {
+    /// Feature vector of the measured device
+    /// ([`fingerprint_features`] output).
+    ///
+    /// [`fingerprint_features`]: crate::fingerprint::fingerprint_features
+    pub features: Vec<f64>,
+    /// The measured characterization.
+    pub characterization: DeviceCharacterization,
+}
+
+/// A characterization produced by interpolation rather than measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferredCharacterization {
+    /// The interpolated characterization, named after the target device.
+    pub characterization: DeviceCharacterization,
+    /// Confidence in `(0, 1]`: `exp(-d₀ / distance_scale)` where `d₀` is
+    /// the distance to the nearest neighbor used.
+    pub confidence: f64,
+    /// Distance to the nearest neighbor used.
+    pub nearest_distance: f64,
+    /// How many neighbors contributed to the interpolation.
+    pub neighbors_used: usize,
+}
+
+/// Neighbors farther than this multiple of the nearest distance are
+/// dropped from the interpolation: once a clear same-cluster match
+/// exists, mixing in a different cluster only drags values toward the
+/// wrong basin.
+const NEIGHBOR_SPREAD_LIMIT: f64 = 4.0;
+
+/// Interpolates a characterization for `target_features` from measured
+/// `neighbors`, or returns `None` when confidence lands below the
+/// policy floor (caller should fall back to measurement).
+///
+/// Neighbors are ranked by [`feature_distance`]; the nearest `k` within
+/// 4x the nearest distance contribute with inverse-distance weights.
+/// Each interpolated field is additionally clamped to the contributing
+/// neighbors' min/max, and the zone-2 bound (an `Option`) transfers only
+/// when every contributing neighbor observed one.
+///
+/// [`feature_distance`]: crate::fingerprint::feature_distance
+pub fn transfer_characterization(
+    target_name: &str,
+    target_features: &[f64],
+    neighbors: &[NeighborSample],
+    policy: &TransferPolicy,
+) -> Option<TransferredCharacterization> {
+    if neighbors.is_empty() || policy.k == 0 {
+        return None;
+    }
+    let mut ranked: Vec<(f64, &NeighborSample)> = neighbors
+        .iter()
+        .map(|n| (feature_distance(target_features, &n.features), n))
+        .filter(|(d, _)| d.is_finite())
+        .collect();
+    if ranked.is_empty() {
+        return None;
+    }
+    ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let nearest = ranked[0].0;
+    let confidence = (-nearest / policy.distance_scale.max(1e-12)).exp();
+    if confidence < policy.confidence_floor {
+        return None;
+    }
+    let cutoff = nearest.max(1e-9) * NEIGHBOR_SPREAD_LIMIT;
+    let used: Vec<(f64, &NeighborSample)> = ranked
+        .into_iter()
+        .take(policy.k)
+        .filter(|(d, _)| *d <= cutoff)
+        .collect();
+
+    // Inverse-distance weights; the epsilon keeps an exact feature match
+    // (distance zero) finite while still dominating the blend.
+    let weights: Vec<f64> = used.iter().map(|(d, _)| 1.0 / (d + 1e-6)).collect();
+    let total: f64 = weights.iter().sum();
+
+    let blend = |field: fn(&DeviceCharacterization) -> f64| -> f64 {
+        let mut acc = 0.0;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for ((_, n), w) in used.iter().zip(&weights) {
+            let v = field(&n.characterization);
+            acc += v * w / total;
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        acc.clamp(lo, hi)
+    };
+
+    let zone2 = {
+        let vals: Vec<f64> = used
+            .iter()
+            .filter_map(|(_, n)| n.characterization.gpu_cache_zone2_pct)
+            .collect();
+        if vals.len() == used.len() {
+            let mut acc = 0.0;
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for (v, w) in vals.iter().zip(&weights) {
+                acc += v * w / total;
+                lo = lo.min(*v);
+                hi = hi.max(*v);
+            }
+            Some(acc.clamp(lo, hi))
+        } else {
+            None
+        }
+    };
+
+    let characterization = DeviceCharacterization {
+        device: target_name.to_string(),
+        gpu_cache_max_throughput: blend(|c| c.gpu_cache_max_throughput),
+        gpu_zc_throughput: blend(|c| c.gpu_zc_throughput),
+        gpu_um_throughput: blend(|c| c.gpu_um_throughput),
+        gpu_cache_threshold_pct: blend(|c| c.gpu_cache_threshold_pct),
+        gpu_cache_zone2_pct: zone2,
+        cpu_cache_threshold_pct: blend(|c| c.cpu_cache_threshold_pct),
+        sc_zc_max_speedup: blend(|c| c.sc_zc_max_speedup),
+        zc_sc_max_speedup: blend(|c| c.zc_sc_max_speedup),
+    };
+
+    Some(TransferredCharacterization {
+        characterization,
+        confidence,
+        nearest_distance: nearest,
+        neighbors_used: used.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chr(name: &str, thr: f64, zone2: Option<f64>) -> DeviceCharacterization {
+        DeviceCharacterization {
+            device: name.to_string(),
+            gpu_cache_max_throughput: 100e9 * thr,
+            gpu_zc_throughput: 2e9 * thr,
+            gpu_um_throughput: 40e9 * thr,
+            gpu_cache_threshold_pct: 3.0 * thr,
+            gpu_cache_zone2_pct: zone2,
+            cpu_cache_threshold_pct: 50.0 * thr,
+            sc_zc_max_speedup: 0.9 * thr,
+            zc_sc_max_speedup: 40.0 * thr,
+        }
+    }
+
+    fn sample(features: Vec<f64>, thr: f64, zone2: Option<f64>) -> NeighborSample {
+        NeighborSample {
+            features,
+            characterization: chr("n", thr, zone2),
+        }
+    }
+
+    #[test]
+    fn exact_match_transfers_with_full_confidence() {
+        let f = vec![1.0, 2.0, 3.0];
+        let neighbors = [sample(f.clone(), 1.0, Some(30.0))];
+        let t = transfer_characterization("target", &f, &neighbors, &TransferPolicy::default())
+            .expect("exact match transfers");
+        assert!(t.confidence > 0.999);
+        assert_eq!(t.neighbors_used, 1);
+        assert_eq!(t.characterization.device, "target");
+        assert!((t.characterization.gpu_cache_threshold_pct - 3.0).abs() < 1e-9);
+        assert_eq!(t.characterization.gpu_cache_zone2_pct, Some(30.0));
+    }
+
+    #[test]
+    fn distant_neighbors_are_rejected() {
+        let neighbors = [sample(vec![5.0, 5.0, 5.0], 1.0, None)];
+        let t = transfer_characterization(
+            "target",
+            &[1.0, 1.0, 1.0],
+            &neighbors,
+            &TransferPolicy::default(),
+        );
+        assert!(t.is_none(), "distance ~4 must fall below confidence floor");
+    }
+
+    #[test]
+    fn interpolation_is_bounded_by_neighbors() {
+        let neighbors = [
+            sample(vec![1.00, 1.00], 0.9, Some(20.0)),
+            sample(vec![1.02, 1.02], 1.1, Some(40.0)),
+        ];
+        let t =
+            transfer_characterization("t", &[1.01, 1.01], &neighbors, &TransferPolicy::default())
+                .expect("close neighbors transfer");
+        assert_eq!(t.neighbors_used, 2);
+        let c = &t.characterization;
+        assert!(c.gpu_cache_threshold_pct >= 3.0 * 0.9 && c.gpu_cache_threshold_pct <= 3.0 * 1.1);
+        let z = c.gpu_cache_zone2_pct.expect("both neighbors had zone2");
+        assert!((20.0..=40.0).contains(&z));
+    }
+
+    #[test]
+    fn zone2_requires_every_used_neighbor() {
+        let neighbors = [
+            sample(vec![1.00], 1.0, Some(20.0)),
+            sample(vec![1.01], 1.0, None),
+        ];
+        let t = transfer_characterization("t", &[1.005], &neighbors, &TransferPolicy::default())
+            .expect("transfers");
+        assert_eq!(t.characterization.gpu_cache_zone2_pct, None);
+    }
+
+    #[test]
+    fn far_cluster_is_excluded_by_spread_limit() {
+        let neighbors = [
+            sample(vec![1.000], 1.0, None),
+            sample(vec![1.001], 1.0, None),
+            // Same-length vector but 3.0 away: a different board.
+            sample(vec![4.0], 100.0, None),
+        ];
+        let t = transfer_characterization("t", &[1.0005], &neighbors, &TransferPolicy::default())
+            .expect("cluster transfers");
+        assert_eq!(t.neighbors_used, 2, "far neighbor must be dropped");
+        assert!(t.characterization.zc_sc_max_speedup < 41.0);
+    }
+
+    #[test]
+    fn confidence_decreases_with_distance() {
+        let p = TransferPolicy {
+            confidence_floor: 0.0,
+            ..TransferPolicy::default()
+        };
+        let neighbors = [sample(vec![0.0], 1.0, None)];
+        let near = transfer_characterization("t", &[0.01], &neighbors, &p).expect("near");
+        let far = transfer_characterization("t", &[0.05], &neighbors, &p).expect("far");
+        assert!(near.confidence > far.confidence);
+    }
+
+    #[test]
+    fn empty_neighbor_set_declines() {
+        assert!(transfer_characterization("t", &[1.0], &[], &TransferPolicy::default()).is_none());
+    }
+
+    #[test]
+    fn mismatched_feature_lengths_decline() {
+        let neighbors = [sample(vec![1.0, 2.0], 1.0, None)];
+        assert!(
+            transfer_characterization("t", &[1.0], &neighbors, &TransferPolicy::default())
+                .is_none()
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the federated-transfer primitives.
+//!
+//! The fingerprint feature distance must behave like a metric (identity,
+//! symmetry, triangle inequality) for nearest-neighbor search over it to
+//! be meaningful, and the interpolation must never extrapolate: every
+//! transferred threshold stays inside the envelope of the neighbors it
+//! was blended from, and confidence falls monotonically with distance.
+
+use proptest::prelude::*;
+
+use icomm_microbench::{
+    feature_distance, fingerprint_features, transfer_characterization, DeviceCharacterization,
+    NeighborSample, TransferPolicy,
+};
+use icomm_soc::DeviceProfile;
+
+/// A strategy over plausible power-scaled variants of the built-in
+/// boards (clocks within ±20 %, the range fleets actually exhibit).
+fn device_strategy() -> impl Strategy<Value = DeviceProfile> {
+    (0usize..3, 0.8f64..1.2, 0.8f64..1.2, 0.8f64..1.2).prop_map(|(board, cpu, gpu, mem)| {
+        let base = match board {
+            0 => DeviceProfile::jetson_nano(),
+            1 => DeviceProfile::jetson_tx2(),
+            _ => DeviceProfile::jetson_agx_xavier(),
+        };
+        base.with_power_scale(cpu, gpu, mem)
+    })
+}
+
+/// A synthetic characterization with thresholds drawn from a bounded
+/// range, so interpolation envelopes are easy to state exactly.
+fn characterization(name: &str, threshold_pct: f64, speedup: f64) -> DeviceCharacterization {
+    DeviceCharacterization {
+        device: name.to_string(),
+        gpu_cache_max_throughput: 40e9 * speedup,
+        gpu_zc_throughput: 10e9,
+        gpu_um_throughput: 12e9,
+        gpu_cache_threshold_pct: threshold_pct,
+        gpu_cache_zone2_pct: Some(threshold_pct * 3.0),
+        cpu_cache_threshold_pct: 100.0,
+        sc_zc_max_speedup: speedup,
+        zc_sc_max_speedup: 1.0 + speedup,
+    }
+}
+
+proptest! {
+    #[test]
+    fn distance_identity(device in device_strategy()) {
+        let f = fingerprint_features(&device);
+        prop_assert_eq!(feature_distance(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn distance_symmetry(a in device_strategy(), b in device_strategy()) {
+        let fa = fingerprint_features(&a);
+        let fb = fingerprint_features(&b);
+        let ab = feature_distance(&fa, &fb);
+        let ba = feature_distance(&fb, &fa);
+        prop_assert!((ab - ba).abs() < 1e-12, "d(a,b)={ab} d(b,a)={ba}");
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn distance_triangle_inequality(
+        a in device_strategy(),
+        b in device_strategy(),
+        c in device_strategy(),
+    ) {
+        let fa = fingerprint_features(&a);
+        let fb = fingerprint_features(&b);
+        let fc = fingerprint_features(&c);
+        let ac = feature_distance(&fa, &fc);
+        let detour = feature_distance(&fa, &fb) + feature_distance(&fb, &fc);
+        prop_assert!(ac <= detour + 1e-9, "d(a,c)={ac} > d(a,b)+d(b,c)={detour}");
+    }
+
+    #[test]
+    fn larger_scale_gap_never_shrinks_distance(
+        device in device_strategy(),
+        scale in 1.01f64..1.15,
+        growth in 1.01f64..1.05,
+    ) {
+        // Monotonicity along a ray: pushing all clocks further from the
+        // anchor cannot bring the fingerprint closer.
+        let anchor = fingerprint_features(&device);
+        let near = fingerprint_features(&device.with_power_scale(scale, scale, scale));
+        let far_scale = scale * growth;
+        let far = fingerprint_features(&device.with_power_scale(far_scale, far_scale, far_scale));
+        let d_near = feature_distance(&anchor, &near);
+        let d_far = feature_distance(&anchor, &far);
+        prop_assert!(d_far >= d_near - 1e-12, "d_far={d_far} < d_near={d_near}");
+    }
+
+    #[test]
+    fn transferred_thresholds_stay_inside_the_neighbor_envelope(
+        device in device_strategy(),
+        t1 in 5.0f64..40.0,
+        t2 in 5.0f64..40.0,
+        t3 in 5.0f64..40.0,
+        s1 in 0.5f64..3.0,
+        s2 in 0.5f64..3.0,
+        s3 in 0.5f64..3.0,
+        drift in 1.001f64..1.03,
+    ) {
+        let features = fingerprint_features(&device);
+        let near = fingerprint_features(&device.with_power_scale(drift, drift, drift));
+        let neighbors = vec![
+            NeighborSample { features: features.clone(), characterization: characterization("n1", t1, s1) },
+            NeighborSample { features: near.clone(), characterization: characterization("n2", t2, s2) },
+            NeighborSample { features: near, characterization: characterization("n3", t3, s3) },
+        ];
+        let target = fingerprint_features(&device);
+        let Some(t) = transfer_characterization("target", &target, &neighbors, &TransferPolicy::default()) else {
+            // A decline (confidence floor) is always acceptable.
+            return;
+        };
+        let lo = t1.min(t2).min(t3);
+        let hi = t1.max(t2).max(t3);
+        let got = t.characterization.gpu_cache_threshold_pct;
+        prop_assert!(got >= lo - 1e-9 && got <= hi + 1e-9, "{got} outside [{lo}, {hi}]");
+        let slo = s1.min(s2).min(s3);
+        let shi = s1.max(s2).max(s3);
+        let sgot = t.characterization.sc_zc_max_speedup;
+        prop_assert!(sgot >= slo - 1e-9 && sgot <= shi + 1e-9, "{sgot} outside [{slo}, {shi}]");
+        prop_assert!(t.confidence > 0.0 && t.confidence <= 1.0);
+    }
+
+    #[test]
+    fn confidence_decreases_as_the_nearest_neighbor_recedes(
+        device in device_strategy(),
+        drift in 1.01f64..1.04,
+        growth in 1.005f64..1.02,
+    ) {
+        let neighbor = NeighborSample {
+            features: fingerprint_features(&device),
+            characterization: characterization("anchor", 20.0, 1.5),
+        };
+        let policy = TransferPolicy::default();
+        let near = fingerprint_features(&device.with_power_scale(drift, drift, drift));
+        let far_scale = drift * growth;
+        let far = fingerprint_features(&device.with_power_scale(far_scale, far_scale, far_scale));
+        let near_result = transfer_characterization("near", &near, std::slice::from_ref(&neighbor), &policy);
+        let far_result = transfer_characterization("far", &far, std::slice::from_ref(&neighbor), &policy);
+        match (near_result, far_result) {
+            (Some(n), Some(f)) => prop_assert!(
+                f.confidence <= n.confidence + 1e-12,
+                "confidence rose with distance: near {} far {}",
+                n.confidence,
+                f.confidence
+            ),
+            // Farther target declining while nearer transfers is the
+            // expected floor behavior...
+            (Some(_), None) | (None, None) => {}
+            // ...but a nearer target must never decline while a farther
+            // one transfers.
+            (None, Some(_)) => prop_assert!(false, "near declined but far transferred"),
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Admission control and backpressure for the tuning service.
+//!
+//! Under fleet-scale load the failure mode to avoid is the *implicit*
+//! one: requests sitting in an unbounded queue until the client times
+//! out, which wastes the work and tells the fleet nothing. This module
+//! makes overload explicit instead — a token-bucket rate limiter plus a
+//! bounded-queue check decide **before** any work is queued whether a
+//! request is admitted, and rejected requests get an immediate
+//! `overloaded` response the client can back off on.
+//!
+//! Two request classes give a crude but effective priority scheme:
+//! [`RequestClass::Bulk`] traffic (batch re-characterization, crawlers)
+//! is shed at a fraction of the queue bound, reserving the remaining
+//! headroom for [`RequestClass::Interactive`] traffic, so latency-
+//! sensitive requests keep flowing while background load is trimmed
+//! first.
+//!
+//! Time enters only as an explicit microsecond timestamp, so the same
+//! controller serves both the live TCP server (timestamps from
+//! [`std::time::Instant`]) and the deterministic fleet simulator
+//! (virtual timestamps), and unit tests never sleep.
+
+/// Priority class of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// Latency-sensitive foreground traffic (the default).
+    Interactive,
+    /// Throughput-oriented background traffic; first to be shed.
+    Bulk,
+}
+
+impl RequestClass {
+    /// Parses the wire form (`"interactive"` / `"bulk"`, case-insensitive).
+    /// Unknown strings map to `Interactive` so older clients keep working.
+    pub fn parse(s: &str) -> Self {
+        if s.eq_ignore_ascii_case("bulk") {
+            RequestClass::Bulk
+        } else {
+            RequestClass::Interactive
+        }
+    }
+
+    /// Wire form of the class.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestClass::Interactive => "interactive",
+            RequestClass::Bulk => "bulk",
+        }
+    }
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The token bucket was empty: arrival rate exceeds the configured
+    /// sustained rate.
+    Rate,
+    /// The queue was at (or, for bulk, near) its bound.
+    Queue,
+}
+
+impl ShedReason {
+    /// Short label used in responses and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::Rate => "rate",
+            ShedReason::Queue => "queue",
+        }
+    }
+}
+
+/// Outcome of an admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The request may be queued.
+    Admit,
+    /// The request must be rejected with an explicit overload response.
+    Shed(ShedReason),
+}
+
+/// Static admission-control configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Sustained admitted-request rate, requests per second.
+    pub rate_per_sec: f64,
+    /// Burst allowance: how many requests above the sustained rate may
+    /// be admitted back-to-back after an idle period.
+    pub burst: f64,
+    /// Maximum queued-but-unserved requests before interactive traffic
+    /// is shed.
+    pub queue_bound: usize,
+    /// Fraction of `queue_bound` at which bulk traffic is already shed,
+    /// reserving the rest of the queue for interactive requests.
+    pub bulk_queue_fraction: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            rate_per_sec: 2_000.0,
+            burst: 256.0,
+            queue_bound: 512,
+            bulk_queue_fraction: 0.5,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// A configuration that never sheds — used where admission control
+    /// is wired through but intentionally disabled (e.g. deterministic
+    /// live-fire validation).
+    pub fn unlimited() -> Self {
+        AdmissionConfig {
+            rate_per_sec: 1e12,
+            burst: 1e12,
+            queue_bound: usize::MAX / 2,
+            bulk_queue_fraction: 1.0,
+        }
+    }
+}
+
+/// Classic token bucket over explicit microsecond timestamps.
+///
+/// Tokens accrue at `rate_per_sec / 1e6` per microsecond up to `burst`;
+/// each admitted request consumes one. Passing time explicitly keeps the
+/// bucket deterministic under simulation and trivially testable.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_us: f64,
+    burst: f64,
+    tokens: f64,
+    last_us: u64,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        let burst = burst.max(1.0);
+        TokenBucket {
+            rate_per_us: rate_per_sec.max(0.0) / 1e6,
+            burst,
+            tokens: burst,
+            last_us: 0,
+        }
+    }
+
+    /// Takes one token at time `now_us` if available. Timestamps must be
+    /// non-decreasing; an earlier timestamp simply accrues nothing.
+    pub fn try_acquire(&mut self, now_us: u64) -> bool {
+        let elapsed = now_us.saturating_sub(self.last_us);
+        self.last_us = self.last_us.max(now_us);
+        self.tokens = (self.tokens + elapsed as f64 * self.rate_per_us).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Thread-safe admission controller combining the token bucket with the
+/// bounded-queue, per-class shedding policy.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    bucket: parking_lot::Mutex<TokenBucket>,
+}
+
+impl AdmissionController {
+    /// Builds a controller from a configuration.
+    pub fn new(config: AdmissionConfig) -> Self {
+        let bucket = TokenBucket::new(config.rate_per_sec, config.burst);
+        AdmissionController {
+            config,
+            bucket: parking_lot::Mutex::new(bucket),
+        }
+    }
+
+    /// The configuration the controller was built with.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Decides whether a request of `class` arriving at `now_us` with
+    /// `queue_depth` requests already waiting may be admitted.
+    ///
+    /// Queue pressure is checked first (it is the cheaper signal and the
+    /// one the client can act on by retrying later); the token bucket is
+    /// only charged for requests that pass the queue check, so shed
+    /// requests do not consume rate budget.
+    pub fn admit(&self, class: RequestClass, queue_depth: usize, now_us: u64) -> AdmissionDecision {
+        let bulk_bound =
+            (self.config.queue_bound as f64 * self.config.bulk_queue_fraction) as usize;
+        let bound = match class {
+            RequestClass::Interactive => self.config.queue_bound,
+            RequestClass::Bulk => bulk_bound.min(self.config.queue_bound),
+        };
+        if queue_depth >= bound {
+            return AdmissionDecision::Shed(ShedReason::Queue);
+        }
+        if self.bucket.lock().try_acquire(now_us) {
+            AdmissionDecision::Admit
+        } else {
+            AdmissionDecision::Shed(ShedReason::Rate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_enforces_sustained_rate() {
+        // 10 req/s, burst 2: after draining the burst, one token every
+        // 100 ms.
+        let mut bucket = TokenBucket::new(10.0, 2.0);
+        assert!(bucket.try_acquire(0));
+        assert!(bucket.try_acquire(0));
+        assert!(!bucket.try_acquire(0), "burst exhausted");
+        assert!(!bucket.try_acquire(50_000), "half a token accrued");
+        assert!(bucket.try_acquire(100_000));
+        assert!(!bucket.try_acquire(100_000));
+    }
+
+    #[test]
+    fn bucket_caps_accrual_at_burst() {
+        let mut bucket = TokenBucket::new(1000.0, 3.0);
+        // A long idle period must not bank more than `burst` tokens.
+        for _ in 0..3 {
+            assert!(bucket.try_acquire(10_000_000));
+        }
+        assert!(!bucket.try_acquire(10_000_000));
+    }
+
+    #[test]
+    fn bucket_tolerates_time_going_backwards() {
+        let mut bucket = TokenBucket::new(1000.0, 1.0);
+        assert!(bucket.try_acquire(5_000));
+        // An out-of-order timestamp accrues nothing and does not panic.
+        assert!(!bucket.try_acquire(1_000));
+    }
+
+    #[test]
+    fn bulk_sheds_before_interactive() {
+        let controller = AdmissionController::new(AdmissionConfig {
+            rate_per_sec: 1e9,
+            burst: 1e9,
+            queue_bound: 10,
+            bulk_queue_fraction: 0.5,
+        });
+        // Depth 5: at the bulk bound, below the interactive bound.
+        assert_eq!(
+            controller.admit(RequestClass::Bulk, 5, 0),
+            AdmissionDecision::Shed(ShedReason::Queue)
+        );
+        assert_eq!(
+            controller.admit(RequestClass::Interactive, 5, 0),
+            AdmissionDecision::Admit
+        );
+        // Depth 10: everyone sheds.
+        assert_eq!(
+            controller.admit(RequestClass::Interactive, 10, 0),
+            AdmissionDecision::Shed(ShedReason::Queue)
+        );
+    }
+
+    #[test]
+    fn rate_shedding_reports_rate_reason() {
+        let controller = AdmissionController::new(AdmissionConfig {
+            rate_per_sec: 0.0,
+            burst: 1.0,
+            queue_bound: 100,
+            bulk_queue_fraction: 0.5,
+        });
+        assert_eq!(
+            controller.admit(RequestClass::Interactive, 0, 0),
+            AdmissionDecision::Admit
+        );
+        assert_eq!(
+            controller.admit(RequestClass::Interactive, 0, 0),
+            AdmissionDecision::Shed(ShedReason::Rate)
+        );
+    }
+
+    #[test]
+    fn unlimited_config_never_sheds() {
+        let controller = AdmissionController::new(AdmissionConfig::unlimited());
+        for i in 0..10_000 {
+            assert_eq!(
+                controller.admit(RequestClass::Bulk, 1_000, i),
+                AdmissionDecision::Admit
+            );
+        }
+    }
+
+    #[test]
+    fn class_parsing_defaults_to_interactive() {
+        assert_eq!(RequestClass::parse("bulk"), RequestClass::Bulk);
+        assert_eq!(RequestClass::parse("BULK"), RequestClass::Bulk);
+        assert_eq!(
+            RequestClass::parse("interactive"),
+            RequestClass::Interactive
+        );
+        assert_eq!(RequestClass::parse("???"), RequestClass::Interactive);
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod catalog;
 pub mod engine;
 pub mod metrics;
@@ -29,9 +30,12 @@ pub mod registry;
 pub mod server;
 pub mod service;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, RequestClass, ShedReason, TokenBucket,
+};
 pub use engine::{BatchHandle, Engine, EngineConfig, JobError, JobOutcome};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use protocol::{TuneRequest, TuneResponse};
-pub use registry::{LookupOutcome, Registry, RegistrySnapshot};
+pub use protocol::{StatsQuery, StatsReport, TuneRequest, TuneResponse};
+pub use registry::{EntryMeta, LookupOutcome, Registry, RegistrySnapshot};
 pub use server::{Server, ServerConfig};
 pub use service::{CharacterizerFn, ServiceBatch, ServiceConfig, TuningService};

@@ -146,6 +146,18 @@ pub struct Metrics {
     /// Registry snapshots that failed verification on load and were
     /// discarded (the registry rebuilds from scratch).
     pub snapshot_corruptions: AtomicU64,
+    /// Characterizations answered by federated transfer (interpolated
+    /// from measured neighbors instead of running the micro-benchmarks).
+    pub transfer_hits: AtomicU64,
+    /// Transfer attempts that fell below the confidence floor and fell
+    /// back to a full micro-benchmark run.
+    pub transfer_fallbacks: AtomicU64,
+    /// Requests shed with an explicit overload response because the
+    /// queue was at (or, for bulk traffic, near) its bound.
+    pub shed_queue: AtomicU64,
+    /// Requests shed with an explicit overload response because the
+    /// token bucket was empty.
+    pub shed_rate: AtomicU64,
 }
 
 impl Metrics {
@@ -175,6 +187,10 @@ impl Metrics {
             oversized_lines: AtomicU64::new(0),
             malformed_requests: AtomicU64::new(0),
             snapshot_corruptions: AtomicU64::new(0),
+            transfer_hits: AtomicU64::new(0),
+            transfer_fallbacks: AtomicU64::new(0),
+            shed_queue: AtomicU64::new(0),
+            shed_rate: AtomicU64::new(0),
         }
     }
 
@@ -217,6 +233,10 @@ impl Metrics {
             oversized_lines: self.oversized_lines.load(Ordering::Relaxed),
             malformed_requests: self.malformed_requests.load(Ordering::Relaxed),
             snapshot_corruptions: self.snapshot_corruptions.load(Ordering::Relaxed),
+            transfer_hits: self.transfer_hits.load(Ordering::Relaxed),
+            transfer_fallbacks: self.transfer_fallbacks.load(Ordering::Relaxed),
+            shed_queue: self.shed_queue.load(Ordering::Relaxed),
+            shed_rate: self.shed_rate.load(Ordering::Relaxed),
         }
     }
 }
@@ -270,6 +290,14 @@ pub struct MetricsSnapshot {
     pub malformed_requests: u64,
     /// Corrupt registry snapshots discarded on load.
     pub snapshot_corruptions: u64,
+    /// Characterizations answered by federated transfer.
+    pub transfer_hits: u64,
+    /// Transfer attempts that fell back to a full run.
+    pub transfer_fallbacks: u64,
+    /// Requests shed on queue pressure.
+    pub shed_queue: u64,
+    /// Requests shed on rate-limit pressure.
+    pub shed_rate: u64,
 }
 
 impl MetricsSnapshot {
@@ -300,6 +328,35 @@ impl MetricsSnapshot {
         } else {
             self.adapt_regret_milli_pct as f64 / 1000.0 / self.adapt_runs as f64
         }
+    }
+
+    /// Fraction of characterization misses answered by federated
+    /// transfer rather than a micro-benchmark run, in [0, 1]; 0 when no
+    /// transfer was attempted.
+    pub fn transfer_hit_rate(&self) -> f64 {
+        let attempts = self.transfer_hits + self.transfer_fallbacks;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.transfer_hits as f64 / attempts as f64
+        }
+    }
+
+    /// Fraction of characterization lookups served without a full
+    /// micro-benchmark run — cache hits plus transfer hits — in [0, 1].
+    /// The fleet warm-start metric.
+    pub fn warm_start_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.transfer_hits) as f64 / lookups as f64
+        }
+    }
+
+    /// Total requests shed by admission control.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue + self.shed_rate
     }
 }
 
@@ -346,6 +403,25 @@ impl fmt::Display for MetricsSnapshot {
                 self.adapt_switches,
                 self.adapt_drifts,
                 self.mean_adapt_regret_pct()
+            )?;
+        }
+        if self.transfer_hits + self.transfer_fallbacks > 0 {
+            writeln!(
+                f,
+                "transfer          {:>7.1}% hit rate  ({} transferred, {} fell back to full runs, warm start {:.1}%)",
+                self.transfer_hit_rate() * 100.0,
+                self.transfer_hits,
+                self.transfer_fallbacks,
+                self.warm_start_rate() * 100.0
+            )?;
+        }
+        if self.shed_total() > 0 {
+            writeln!(
+                f,
+                "admission         {:>8} shed  ({} on queue pressure, {} on rate limit)",
+                self.shed_total(),
+                self.shed_queue,
+                self.shed_rate
             )?;
         }
         if self.conn_accepted > 0 || self.fault_total() > 0 {
@@ -438,6 +514,28 @@ mod tests {
         assert!(text.contains("1 read timeouts"));
         assert!(text.contains("2 oversized"));
         assert!(text.contains("1 corrupt snapshots"));
+    }
+
+    #[test]
+    fn transfer_and_admission_counters_render() {
+        let m = Metrics::new();
+        let quiet = m.snapshot().to_string();
+        assert!(!quiet.contains("transfer"));
+        assert!(!quiet.contains("admission"));
+        m.cache_hits.store(80, Ordering::Relaxed);
+        m.cache_misses.store(20, Ordering::Relaxed);
+        m.transfer_hits.store(15, Ordering::Relaxed);
+        m.transfer_fallbacks.store(5, Ordering::Relaxed);
+        m.shed_queue.store(3, Ordering::Relaxed);
+        m.shed_rate.store(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert!((s.transfer_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.warm_start_rate() - 0.95).abs() < 1e-12);
+        assert_eq!(s.shed_total(), 4);
+        let text = s.to_string();
+        assert!(text.contains("transfer"));
+        assert!(text.contains("warm start 95.0%"));
+        assert!(text.contains("3 on queue pressure, 1 on rate limit"));
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct TuneRequest {
     /// Communication model the app currently uses (`sc`, `um`, `zc`,
     /// `sc+`). Defaults to `sc` when omitted.
     pub current: Option<String>,
+    /// Admission-priority class (`interactive` / `bulk`). Defaults to
+    /// `interactive` when omitted, so existing clients are unaffected.
+    pub class: Option<String>,
 }
 
 impl TuneRequest {
@@ -32,6 +35,7 @@ impl TuneRequest {
             board: board.to_string(),
             app: app.to_string(),
             current: None,
+            class: None,
         }
     }
 
@@ -39,6 +43,13 @@ impl TuneRequest {
     #[must_use]
     pub fn with_current(mut self, model: &str) -> Self {
         self.current = Some(model.to_string());
+        self
+    }
+
+    /// Sets the admission-priority class (`interactive` / `bulk`).
+    #[must_use]
+    pub fn with_class(mut self, class: &str) -> Self {
+        self.class = Some(class.to_string());
         self
     }
 }
@@ -72,6 +83,11 @@ pub struct TuneResponse {
     pub cache_hit: Option<bool>,
     /// End-to-end service latency for this request, microseconds.
     pub latency_us: Option<u64>,
+    /// Set (with the shed reason, `"queue"` or `"rate"`) when the
+    /// request was rejected by admission control. Absent on served
+    /// requests. Clients should back off and retry rather than treat
+    /// this as a hard failure.
+    pub overloaded: Option<String>,
 }
 
 impl TuneResponse {
@@ -90,7 +106,22 @@ impl TuneResponse {
             rationale: None,
             cache_hit: None,
             latency_us: None,
+            overloaded: None,
         }
+    }
+
+    /// Builds an explicit admission-rejection response (`reason` is the
+    /// shed reason, `"queue"` or `"rate"`).
+    pub fn overloaded(id: u64, reason: &str) -> Self {
+        TuneResponse {
+            overloaded: Some(reason.to_string()),
+            ..TuneResponse::failure(id, format!("overloaded ({reason}); retry with backoff"))
+        }
+    }
+
+    /// Whether this response is an admission rejection.
+    pub fn is_overloaded(&self) -> bool {
+        self.overloaded.is_some()
     }
 
     /// Builds a success response from a tuning outcome.
@@ -116,6 +147,107 @@ impl TuneResponse {
             rationale: Some(rec.rationale.clone()),
             cache_hit: Some(cache_hit),
             latency_us: Some(latency_us),
+            overloaded: None,
+        }
+    }
+}
+
+/// A request for the server's counters: `{"stats": true}` on its own
+/// line. Kept as a struct (rather than sniffing the raw text) so the
+/// verb parses with the same strictness as [`TuneRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsQuery {
+    /// Must be `true`; any line parsing as this struct is a stats query.
+    pub stats: bool,
+}
+
+/// The server's answer to a [`StatsQuery`] — the full counter set,
+/// flattened to scalars so any line-JSON client can consume it without
+/// knowing the histogram layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Requests accepted (enqueued).
+    pub requests: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests failed.
+    pub failed: u64,
+    /// Registry cache hits.
+    pub cache_hits: u64,
+    /// Registry cache misses.
+    pub cache_misses: u64,
+    /// Characterization runs executed.
+    pub characterizations: u64,
+    /// Registry hit rate in [0, 1].
+    pub hit_rate: f64,
+    /// Characterizations answered by federated transfer.
+    pub transfer_hits: u64,
+    /// Transfer attempts that fell back to a full run.
+    pub transfer_fallbacks: u64,
+    /// Transfer hit rate in [0, 1] (0 when transfer never ran).
+    pub transfer_hit_rate: f64,
+    /// Warm-start rate in [0, 1]: lookups served without a full run
+    /// (cache hits + transfer hits).
+    pub warm_start_rate: f64,
+    /// Requests shed on queue pressure.
+    pub shed_queue: u64,
+    /// Requests shed on rate-limit pressure.
+    pub shed_rate: u64,
+    /// Jobs queued or running at snapshot time.
+    pub queue_depth: u64,
+    /// Jobs retried.
+    pub retries: u64,
+    /// Jobs timed out.
+    pub timeouts: u64,
+    /// End-to-end latency p50, microseconds (bucket upper bound).
+    pub latency_p50_us: u64,
+    /// End-to-end latency p95, microseconds (bucket upper bound).
+    pub latency_p95_us: u64,
+    /// End-to-end latency p99, microseconds (bucket upper bound).
+    pub latency_p99_us: u64,
+    /// TCP connections accepted.
+    pub conn_accepted: u64,
+    /// TCP connections refused at the connection cap.
+    pub conn_rejected: u64,
+    /// Connections closed on a read deadline.
+    pub read_timeouts: u64,
+    /// Oversized request lines discarded.
+    pub oversized_lines: u64,
+    /// Malformed request lines answered with an error.
+    pub malformed_requests: u64,
+    /// Corrupt registry snapshots discarded on load.
+    pub snapshot_corruptions: u64,
+}
+
+impl StatsReport {
+    /// Flattens a metrics snapshot into the wire report.
+    pub fn from_snapshot(s: &crate::MetricsSnapshot) -> Self {
+        StatsReport {
+            requests: s.requests,
+            completed: s.completed,
+            failed: s.failed,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            characterizations: s.characterizations,
+            hit_rate: s.hit_rate(),
+            transfer_hits: s.transfer_hits,
+            transfer_fallbacks: s.transfer_fallbacks,
+            transfer_hit_rate: s.transfer_hit_rate(),
+            warm_start_rate: s.warm_start_rate(),
+            shed_queue: s.shed_queue,
+            shed_rate: s.shed_rate,
+            queue_depth: s.queue_depth,
+            retries: s.retries,
+            timeouts: s.timeouts,
+            latency_p50_us: s.total_latency.quantile_us(0.50),
+            latency_p95_us: s.total_latency.quantile_us(0.95),
+            latency_p99_us: s.total_latency.quantile_us(0.99),
+            conn_accepted: s.conn_accepted,
+            conn_rejected: s.conn_rejected,
+            read_timeouts: s.read_timeouts,
+            oversized_lines: s.oversized_lines,
+            malformed_requests: s.malformed_requests,
+            snapshot_corruptions: s.snapshot_corruptions,
         }
     }
 }
@@ -148,5 +280,38 @@ mod tests {
         assert!(!back.ok);
         assert_eq!(back.error.as_deref(), Some("unknown board 'pi5'"));
         assert_eq!(back.recommended, None);
+    }
+
+    #[test]
+    fn overloaded_response_is_explicit() {
+        let resp = TuneResponse::overloaded(9, "queue");
+        assert!(!resp.ok);
+        assert!(resp.is_overloaded());
+        let line = icomm_persist::to_string(&resp).unwrap();
+        let back: TuneResponse = icomm_persist::from_str(&line).unwrap();
+        assert_eq!(back.overloaded.as_deref(), Some("queue"));
+        assert!(back.error.unwrap().contains("overloaded"));
+    }
+
+    #[test]
+    fn class_defaults_to_absent_and_round_trips() {
+        let back: TuneRequest =
+            icomm_persist::from_str(r#"{"id": 1, "board": "nano", "app": "shwfs"}"#).unwrap();
+        assert_eq!(back.class, None);
+        let req = TuneRequest::new(2, "tx2", "orb").with_class("bulk");
+        let line = icomm_persist::to_string(&req).unwrap();
+        let back: TuneRequest = icomm_persist::from_str(&line).unwrap();
+        assert_eq!(back.class.as_deref(), Some("bulk"));
+    }
+
+    #[test]
+    fn stats_query_parses_from_wire_form() {
+        let q: StatsQuery = icomm_persist::from_str(r#"{"stats": true}"#).unwrap();
+        assert!(q.stats);
+        // A tune request line must NOT parse as a stats query.
+        assert!(icomm_persist::from_str::<StatsQuery>(
+            r#"{"id": 1, "board": "nano", "app": "shwfs"}"#
+        )
+        .is_err());
     }
 }

@@ -25,11 +25,40 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
-use icomm_microbench::{fingerprint, DeviceCharacterization, DeviceKey};
+use icomm_microbench::{fingerprint, DeviceCharacterization, DeviceKey, NeighborSample};
 use icomm_soc::DeviceProfile;
 
 /// Default number of shards.
 pub const DEFAULT_SHARDS: usize = 8;
+
+/// Provenance attached to a registry entry: where it sits in
+/// fingerprint-feature space and how much it is trusted.
+///
+/// Entries produced by actually running the micro-benchmarks carry
+/// confidence `1.0`; entries produced by federated transfer carry the
+/// transfer confidence (strictly below 1). Only fully-measured entries
+/// are offered as interpolation sources by [`Registry::measured_neighbors`],
+/// so transferred values never chain — each transfer is anchored to real
+/// measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryMeta {
+    /// Fingerprint feature vector of the device
+    /// ([`icomm_microbench::fingerprint_features`]).
+    pub features: Vec<f64>,
+    /// Trust in the entry: `1.0` for measured, the transfer confidence
+    /// (< 1) for interpolated entries.
+    pub confidence: f64,
+}
+
+impl EntryMeta {
+    /// Meta for an entry backed by real micro-benchmark runs.
+    pub fn measured(features: Vec<f64>) -> Self {
+        EntryMeta {
+            features,
+            confidence: 1.0,
+        }
+    }
+}
 
 /// How a [`Registry::get_or_characterize`] call was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +82,7 @@ impl LookupOutcome {
 
 struct Shard {
     cache: RwLock<HashMap<u64, Arc<DeviceCharacterization>>>,
+    meta: RwLock<HashMap<u64, EntryMeta>>,
     inflight: Mutex<HashSet<u64>>,
     cond: Condvar,
 }
@@ -61,6 +91,7 @@ impl Shard {
     fn new() -> Self {
         Shard {
             cache: RwLock::new(HashMap::new()),
+            meta: RwLock::new(HashMap::new()),
             inflight: Mutex::new(HashSet::new()),
             cond: Condvar::new(),
         }
@@ -141,6 +172,10 @@ impl Registry {
 
     /// Inserts a characterization directly (used by warm starts and
     /// tests). Returns the previous entry, if any.
+    ///
+    /// Entries inserted this way carry no [`EntryMeta`] and are therefore
+    /// never offered as transfer neighbors; use [`Registry::insert_with_meta`]
+    /// when the entry should participate in federated transfer.
     pub fn insert(
         &self,
         device: &DeviceProfile,
@@ -151,6 +186,59 @@ impl Registry {
             .cache
             .write()
             .insert(key.0, Arc::new(characterization))
+    }
+
+    /// Inserts a characterization together with its provenance meta.
+    /// Returns the previous entry, if any.
+    pub fn insert_with_meta(
+        &self,
+        device: &DeviceProfile,
+        characterization: DeviceCharacterization,
+        meta: EntryMeta,
+    ) -> Option<Arc<DeviceCharacterization>> {
+        let key = fingerprint(device);
+        let shard = self.shard_for(key);
+        shard.meta.write().insert(key.0, meta);
+        shard
+            .cache
+            .write()
+            .insert(key.0, Arc::new(characterization))
+    }
+
+    /// Provenance meta for `device`'s entry, if the entry has any.
+    pub fn meta(&self, device: &DeviceProfile) -> Option<EntryMeta> {
+        let key = fingerprint(device);
+        self.shard_for(key).meta.read().get(&key.0).cloned()
+    }
+
+    /// All fully-measured entries (confidence `1.0`, see [`EntryMeta`])
+    /// as interpolation sources, sorted by device key so the result is
+    /// deterministic regardless of hash-map iteration order.
+    ///
+    /// Transferred entries (confidence < 1) and entries inserted without
+    /// meta are excluded, so transfer is always anchored to real
+    /// micro-benchmark runs and never chains.
+    pub fn measured_neighbors(&self) -> Vec<NeighborSample> {
+        let mut keyed: Vec<(u64, NeighborSample)> = Vec::new();
+        for shard in &self.shards {
+            let meta = shard.meta.read();
+            let cache = shard.cache.read();
+            for (key, m) in meta.iter() {
+                if m.confidence >= 1.0 {
+                    if let Some(c) = cache.get(key) {
+                        keyed.push((
+                            *key,
+                            NeighborSample {
+                                features: m.features.clone(),
+                                characterization: (**c).clone(),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        keyed.sort_by_key(|(k, _)| *k);
+        keyed.into_iter().map(|(_, s)| s).collect()
     }
 
     /// Returns the characterization for `device`, running `characterize`
@@ -167,6 +255,25 @@ impl Registry {
     ) -> (Arc<DeviceCharacterization>, LookupOutcome)
     where
         F: FnOnce(&DeviceProfile) -> DeviceCharacterization,
+    {
+        self.get_or_characterize_with(device, |d| (characterize(d), None))
+    }
+
+    /// Like [`Registry::get_or_characterize`], but the closure also
+    /// returns optional provenance [`EntryMeta`] to store alongside the
+    /// entry (feature vector + confidence, consumed by
+    /// [`Registry::measured_neighbors`] and the fleet transfer path).
+    ///
+    /// The closure runs without any shard lock held, so it may itself
+    /// query the registry — e.g. [`Registry::measured_neighbors`] for
+    /// transfer interpolation — without deadlocking.
+    pub fn get_or_characterize_with<F>(
+        &self,
+        device: &DeviceProfile,
+        characterize: F,
+    ) -> (Arc<DeviceCharacterization>, LookupOutcome)
+    where
+        F: FnOnce(&DeviceProfile) -> (DeviceCharacterization, Option<EntryMeta>),
     {
         let key = fingerprint(device);
         let shard = self.shard_for(key);
@@ -189,8 +296,14 @@ impl Registry {
             if inflight.insert(key.0) {
                 drop(inflight);
                 let claim = InflightClaim { shard, key: key.0 };
-                let characterization = Arc::new(characterize(device));
+                let (characterization, meta) = characterize(device);
+                let characterization = Arc::new(characterization);
                 self.runs.fetch_add(1, Ordering::Relaxed);
+                // Meta is published before the cache entry so any reader
+                // that can see the entry can also see its provenance.
+                if let Some(meta) = meta {
+                    shard.meta.write().insert(key.0, meta);
+                }
                 shard.cache.write().insert(key.0, characterization.clone());
                 drop(claim);
                 return (characterization, LookupOutcome::Computed);
@@ -202,18 +315,25 @@ impl Registry {
         }
     }
 
-    /// Serializable copy of every cached entry.
+    /// Serializable copy of every cached entry (with provenance meta
+    /// where the entry has any).
     pub fn snapshot(&self) -> RegistrySnapshot {
         let mut entries: Vec<RegistryEntry> = self
             .shards
             .iter()
             .flat_map(|s| {
+                let meta = s.meta.read();
                 s.cache
                     .read()
                     .iter()
-                    .map(|(k, v)| RegistryEntry {
-                        key: DeviceKey(*k),
-                        characterization: (**v).clone(),
+                    .map(|(k, v)| {
+                        let m = meta.get(k);
+                        RegistryEntry {
+                            key: DeviceKey(*k),
+                            characterization: (**v).clone(),
+                            features: m.map(|m| m.features.clone()),
+                            confidence: m.map(|m| m.confidence),
+                        }
                     })
                     .collect::<Vec<_>>()
             })
@@ -226,11 +346,20 @@ impl Registry {
     pub fn load_snapshot(&self, snapshot: RegistrySnapshot) {
         for entry in snapshot.entries {
             let shard = self.shard_for(entry.key);
-            shard
-                .cache
-                .write()
-                .entry(entry.key.0)
-                .or_insert_with(|| Arc::new(entry.characterization));
+            let mut cache = shard.cache.write();
+            if cache.contains_key(&entry.key.0) {
+                continue;
+            }
+            if let (Some(features), Some(confidence)) = (entry.features, entry.confidence) {
+                shard.meta.write().insert(
+                    entry.key.0,
+                    EntryMeta {
+                        features,
+                        confidence,
+                    },
+                );
+            }
+            cache.insert(entry.key.0, Arc::new(entry.characterization));
         }
     }
 
@@ -284,6 +413,14 @@ pub struct RegistryEntry {
     pub key: DeviceKey,
     /// The cached characterization.
     pub characterization: DeviceCharacterization,
+    /// Fingerprint feature vector, when the entry carries provenance
+    /// meta. `None` on entries from snapshots predating federated
+    /// transfer — they stay usable as cache entries but are not offered
+    /// as transfer neighbors.
+    pub features: Option<Vec<f64>>,
+    /// Entry confidence (`1.0` measured, `< 1` transferred), when the
+    /// entry carries provenance meta.
+    pub confidence: Option<f64>,
 }
 
 /// Serializable point-in-time copy of a [`Registry`].
@@ -409,6 +546,49 @@ mod tests {
         std::fs::write(&path, json).unwrap();
         assert_eq!(Registry::default().load(&path).unwrap(), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_round_trips_and_gates_neighbors() {
+        let registry = Registry::default();
+        let tx2 = DeviceProfile::jetson_tx2();
+        let nano = DeviceProfile::jetson_nano();
+        let xavier = DeviceProfile::jetson_agx_xavier();
+        registry.insert_with_meta(&tx2, sample(&tx2), EntryMeta::measured(vec![1.0, 2.0]));
+        registry.insert_with_meta(
+            &nano,
+            sample(&nano),
+            EntryMeta {
+                features: vec![3.0, 4.0],
+                confidence: 0.8,
+            },
+        );
+        registry.insert(&xavier, sample(&xavier));
+
+        // Only the measured entry is offered as a neighbor: the
+        // transferred one (confidence < 1) and the meta-less one are out.
+        let neighbors = registry.measured_neighbors();
+        assert_eq!(neighbors.len(), 1);
+        assert_eq!(neighbors[0].features, vec![1.0, 2.0]);
+
+        // Meta survives a snapshot round trip.
+        let restored = Registry::default();
+        restored.load_snapshot(registry.snapshot());
+        assert_eq!(restored.meta(&tx2).unwrap().confidence, 1.0);
+        assert_eq!(restored.meta(&nano).unwrap().confidence, 0.8);
+        assert!(restored.meta(&xavier).is_none());
+        assert_eq!(restored.measured_neighbors().len(), 1);
+    }
+
+    #[test]
+    fn characterize_with_publishes_meta() {
+        let registry = Registry::default();
+        let tx2 = DeviceProfile::jetson_tx2();
+        let (_, outcome) = registry
+            .get_or_characterize_with(&tx2, |d| (sample(d), Some(EntryMeta::measured(vec![7.0]))));
+        assert_eq!(outcome, LookupOutcome::Computed);
+        assert_eq!(registry.meta(&tx2).unwrap().features, vec![7.0]);
+        assert_eq!(registry.measured_neighbors().len(), 1);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::protocol::{TuneRequest, TuneResponse};
+use crate::protocol::{StatsQuery, StatsReport, TuneRequest, TuneResponse};
 use crate::service::TuningService;
 
 /// Open connections: a writable clone of each stream (so `stop` can
@@ -314,6 +314,22 @@ fn handle_connection(stream: TcpStream, service: &TuningService, config: &Server
         }
         let response = match icomm_persist::from_str::<TuneRequest>(&line) {
             Ok(request) => service.handle(request),
+            // Not a tune request: try the stats verb before calling the
+            // line malformed.
+            Err(_) if icomm_persist::from_str::<StatsQuery>(&line).is_ok() => {
+                let report = StatsReport::from_snapshot(&service.metrics());
+                let ok = icomm_persist::to_string(&report)
+                    .map(|json| {
+                        writeln!(writer, "{json}")
+                            .and_then(|()| writer.flush())
+                            .is_ok()
+                    })
+                    .unwrap_or(false);
+                if !ok {
+                    break;
+                }
+                continue;
+            }
             Err(err) => {
                 metrics.malformed_requests.fetch_add(1, Ordering::Relaxed);
                 TuneResponse::failure(0, format!("malformed request: {err:?}"))
@@ -393,6 +409,29 @@ mod tests {
         assert!(responses.iter().all(|r| r.ok));
         // One characterization served all four.
         assert_eq!(server.service().metrics().characterizations, 1);
+        server.stop();
+    }
+
+    #[test]
+    fn stats_verb_reports_counters_on_the_wire() {
+        let server = start_quick_server();
+        let addr = server.local_addr();
+        let request = icomm_persist::to_string(&TuneRequest::new(1, "tx2", "orb")).unwrap();
+        round_trip(addr, &[request]);
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        writeln!(stream, "{{\"stats\": true}}").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let report: StatsReport = icomm_persist::from_str(&line).expect("stats report JSON");
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.characterizations, 1);
+        assert!(report.latency_p99_us > 0);
+        // The stats line is not counted as malformed.
+        assert_eq!(server.service().metrics().malformed_requests, 0);
         server.stop();
     }
 

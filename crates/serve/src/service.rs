@@ -15,15 +15,21 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use icomm_core::recommend_for_device;
-use icomm_microbench::{characterize_device, quick_characterize_device, DeviceCharacterization};
+use icomm_microbench::{
+    characterize_device, fingerprint_features, quick_characterize_device,
+    transfer_characterization, DeviceCharacterization, TransferPolicy,
+};
 use icomm_models::CommModelKind;
 use icomm_soc::DeviceProfile;
 
+use crate::admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, RequestClass, ShedReason,
+};
 use crate::catalog;
 use crate::engine::{BatchHandle, Engine, EngineConfig};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::protocol::{TuneRequest, TuneResponse};
-use crate::registry::Registry;
+use crate::registry::{EntryMeta, Registry};
 
 /// The characterization strategy the service runs on a registry miss.
 pub type CharacterizerFn = Arc<dyn Fn(&DeviceProfile) -> DeviceCharacterization + Send + Sync>;
@@ -41,6 +47,15 @@ pub struct ServiceConfig {
     /// When set, the registry warm-starts from this file (if it exists)
     /// and is persisted back on [`TuningService::shutdown`].
     pub registry_path: Option<PathBuf>,
+    /// When set, requests pass admission control before queuing: shed
+    /// requests get an immediate explicit `overloaded` response instead
+    /// of waiting out a timeout. `None` (the default) admits everything.
+    pub admission: Option<AdmissionConfig>,
+    /// When set, registry misses first try federated transfer —
+    /// interpolating from measured neighbors already in the registry —
+    /// and only run the micro-benchmarks when transfer confidence lands
+    /// below the policy floor. `None` (the default) always measures.
+    pub transfer: Option<TransferPolicy>,
 }
 
 impl fmt::Debug for ServiceConfig {
@@ -49,6 +64,8 @@ impl fmt::Debug for ServiceConfig {
             .field("engine", &self.engine)
             .field("shards", &self.shards)
             .field("registry_path", &self.registry_path)
+            .field("admission", &self.admission)
+            .field("transfer", &self.transfer)
             .finish()
     }
 }
@@ -60,6 +77,8 @@ impl Default for ServiceConfig {
             shards: crate::registry::DEFAULT_SHARDS,
             characterizer: Arc::new(characterize_device),
             registry_path: None,
+            admission: None,
+            transfer: None,
         }
     }
 }
@@ -88,23 +107,41 @@ impl ServiceConfig {
         self.registry_path = Some(path);
         self
     }
+
+    /// Enables admission control with the given configuration.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Enables federated characterization transfer with the given policy.
+    #[must_use]
+    pub fn with_transfer(mut self, transfer: TransferPolicy) -> Self {
+        self.transfer = Some(transfer);
+        self
+    }
 }
 
 /// Awaitable handle to a batch submitted to the service.
 #[derive(Debug)]
 pub struct ServiceBatch {
     inner: BatchHandle<TuneRequest, TuneResponse>,
+    /// Responses produced before queuing (admission rejections): already
+    /// final, merged into the result at [`ServiceBatch::wait`].
+    shed: Vec<TuneResponse>,
 }
 
 impl ServiceBatch {
     /// Number of responses this handle will deliver.
     pub fn expected(&self) -> usize {
-        self.inner.expected()
+        self.inner.expected() + self.shed.len()
     }
 
     /// Blocks until every request resolves; responses are sorted by
     /// request id. Engine-level failures (timeout, panic) surface as
-    /// failure responses.
+    /// failure responses; admission rejections surface as `overloaded`
+    /// responses.
     pub fn wait(self) -> Vec<TuneResponse> {
         let mut responses: Vec<TuneResponse> = self
             .inner
@@ -115,6 +152,7 @@ impl ServiceBatch {
                 Err(err) => TuneResponse::failure(outcome.job.id, err.to_string()),
             })
             .collect();
+        responses.extend(self.shed);
         responses.sort_by_key(|r| r.id);
         responses
     }
@@ -127,6 +165,10 @@ pub struct TuningService {
     registry: Arc<Registry>,
     metrics: Arc<Metrics>,
     registry_path: Option<PathBuf>,
+    admission: Option<AdmissionController>,
+    /// Epoch for admission-control timestamps: the token bucket sees
+    /// microseconds since service start.
+    started: Instant,
 }
 
 impl fmt::Debug for TuningService {
@@ -157,8 +199,15 @@ impl TuningService {
             let registry = registry.clone();
             let metrics = metrics.clone();
             let characterizer = config.characterizer.clone();
+            let transfer = config.transfer.clone();
             Arc::new(move |request: &TuneRequest| {
-                handle_request(request, &registry, &metrics, &characterizer)
+                handle_request(
+                    request,
+                    &registry,
+                    &metrics,
+                    &characterizer,
+                    transfer.as_ref(),
+                )
             }) as Arc<dyn Fn(&TuneRequest) -> TuneResponse + Send + Sync>
         };
         let engine = Engine::new(config.engine.clone(), metrics.clone(), handler);
@@ -167,6 +216,8 @@ impl TuningService {
             registry,
             metrics,
             registry_path: config.registry_path,
+            admission: config.admission.map(AdmissionController::new),
+            started: Instant::now(),
         }
     }
 
@@ -185,9 +236,9 @@ impl TuningService {
         self.metrics.snapshot()
     }
 
-    /// The live counters, for components (like the TCP server) that
-    /// record events on behalf of the service.
-    pub(crate) fn metrics_handle(&self) -> &Arc<Metrics> {
+    /// The live counters, for components (like the TCP server or a load
+    /// harness) that record events on behalf of the service.
+    pub fn metrics_handle(&self) -> &Arc<Metrics> {
         &self.metrics
     }
 
@@ -201,12 +252,48 @@ impl TuningService {
     }
 
     /// Enqueues a batch of requests on the worker pool.
+    ///
+    /// With admission control configured, each request is checked before
+    /// queuing; shed requests get an immediate `overloaded` response in
+    /// the batch result and never touch the worker pool.
     pub fn submit_batch(&self, requests: Vec<TuneRequest>) -> ServiceBatch {
         self.metrics
             .requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        let mut shed = Vec::new();
+        let admitted: Vec<TuneRequest> = match &self.admission {
+            None => requests,
+            Some(controller) => requests
+                .into_iter()
+                .filter_map(|request| {
+                    let class = request
+                        .class
+                        .as_deref()
+                        .map(RequestClass::parse)
+                        .unwrap_or(RequestClass::Interactive);
+                    let depth = self.metrics.queue_depth.load(Ordering::Relaxed) as usize;
+                    let now_us = self.started.elapsed().as_micros() as u64;
+                    match controller.admit(class, depth, now_us) {
+                        AdmissionDecision::Admit => Some(request),
+                        AdmissionDecision::Shed(reason) => {
+                            match reason {
+                                ShedReason::Queue => {
+                                    self.metrics.shed_queue.fetch_add(1, Ordering::Relaxed)
+                                }
+                                ShedReason::Rate => {
+                                    self.metrics.shed_rate.fetch_add(1, Ordering::Relaxed)
+                                }
+                            };
+                            shed.push(TuneResponse::overloaded(request.id, reason.as_str()));
+                            None
+                        }
+                    }
+                })
+                .collect(),
+        };
         ServiceBatch {
-            inner: self.engine.submit_batch(requests),
+            inner: self.engine.submit_batch(admitted),
+            shed,
         }
     }
 
@@ -232,6 +319,8 @@ impl TuningService {
             registry,
             metrics: _,
             registry_path,
+            admission: _,
+            started: _,
         } = self;
         engine.shutdown();
         if let Some(path) = registry_path {
@@ -241,6 +330,37 @@ impl TuningService {
     }
 }
 
+/// On a registry miss with transfer enabled: interpolate from measured
+/// neighbors when confident, otherwise run the real characterizer. The
+/// returned meta carries the transfer confidence (`< 1`) or marks the
+/// entry as measured (`1.0`), which controls whether it may serve as a
+/// future neighbor.
+fn characterize_or_transfer(
+    device: &DeviceProfile,
+    registry: &Registry,
+    metrics: &Metrics,
+    characterizer: &CharacterizerFn,
+    policy: &TransferPolicy,
+) -> (DeviceCharacterization, Option<EntryMeta>) {
+    let features = fingerprint_features(device);
+    let neighbors = registry.measured_neighbors();
+    if let Some(transferred) =
+        transfer_characterization(&device.name, &features, &neighbors, policy)
+    {
+        metrics.transfer_hits.fetch_add(1, Ordering::Relaxed);
+        let meta = EntryMeta {
+            features,
+            confidence: transferred.confidence,
+        };
+        return (transferred.characterization, Some(meta));
+    }
+    if !neighbors.is_empty() {
+        metrics.transfer_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+    metrics.characterizations.fetch_add(1, Ordering::Relaxed);
+    (characterizer(device), Some(EntryMeta::measured(features)))
+}
+
 /// The per-request pipeline every worker runs: resolve names, fetch or
 /// compute the characterization, recommend.
 fn handle_request(
@@ -248,6 +368,7 @@ fn handle_request(
     registry: &Registry,
     metrics: &Metrics,
     characterizer: &CharacterizerFn,
+    transfer: Option<&TransferPolicy>,
 ) -> TuneResponse {
     let started = Instant::now();
     let fail = |message: String| {
@@ -272,10 +393,16 @@ fn handle_request(
     };
 
     let characterize_started = Instant::now();
-    let (characterization, lookup) = registry.get_or_characterize(&device, |device| {
-        metrics.characterizations.fetch_add(1, Ordering::Relaxed);
-        characterizer(device)
-    });
+    let (characterization, lookup) =
+        registry.get_or_characterize_with(&device, |device| match transfer {
+            Some(policy) => {
+                characterize_or_transfer(device, registry, metrics, characterizer, policy)
+            }
+            None => {
+                metrics.characterizations.fetch_add(1, Ordering::Relaxed);
+                (characterizer(device), None)
+            }
+        });
     metrics
         .characterize_latency
         .record(characterize_started.elapsed().as_micros() as u64);
@@ -369,6 +496,116 @@ mod tests {
             assert!(response.ok);
         }
         assert_eq!(service.metrics().characterizations, 1);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn admission_sheds_with_explicit_overloaded_responses() {
+        let service = TuningService::start(ServiceConfig::quick().with_workers(2).with_admission(
+            AdmissionConfig {
+                rate_per_sec: 0.0,
+                burst: 2.0,
+                queue_bound: 1_000,
+                bulk_queue_fraction: 0.5,
+            },
+        ));
+        let requests: Vec<TuneRequest> = (0..6)
+            .map(|i| TuneRequest::new(i, "nano", "lane"))
+            .collect();
+        let responses = service.submit_batch(requests).wait();
+        assert_eq!(responses.len(), 6, "shed requests still answer");
+        let served = responses.iter().filter(|r| r.ok).count();
+        let shed: Vec<&TuneResponse> = responses.iter().filter(|r| r.is_overloaded()).collect();
+        assert_eq!(served, 2, "burst of 2 admitted");
+        assert_eq!(shed.len(), 4);
+        assert!(shed.iter().all(|r| r.overloaded.as_deref() == Some("rate")));
+        // Responses stay sorted by id even with the shed merge.
+        let ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        let snapshot = service.metrics();
+        assert_eq!(snapshot.shed_rate, 4);
+        assert_eq!(snapshot.shed_total(), 4);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn bulk_class_sheds_on_queue_pressure_first() {
+        let service = TuningService::start(ServiceConfig::quick().with_workers(1).with_admission(
+            AdmissionConfig {
+                rate_per_sec: 1e9,
+                burst: 1e9,
+                queue_bound: 1_000,
+                // Bulk bound of zero: any queued work sheds bulk.
+                bulk_queue_fraction: 0.0,
+            },
+        ));
+        let response = service.handle(TuneRequest::new(1, "nano", "shwfs").with_class("bulk"));
+        assert!(response.is_overloaded());
+        assert_eq!(response.overloaded.as_deref(), Some("queue"));
+        assert_eq!(service.metrics().shed_queue, 1);
+        // Interactive traffic still flows.
+        let response = service.handle(TuneRequest::new(2, "nano", "shwfs"));
+        assert!(response.ok, "{:?}", response.error);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn transfer_serves_drifted_variants_without_remeasuring() {
+        use icomm_microbench::fingerprint;
+        let service = TuningService::start(
+            ServiceConfig::quick()
+                .with_workers(2)
+                .with_transfer(TransferPolicy::default()),
+        );
+        let tx2 = catalog::board_by_name("tx2").unwrap();
+        // Seed one measured entry through the normal path.
+        let seeded = service.handle(TuneRequest::new(1, "tx2", "orb"));
+        assert!(seeded.ok, "{:?}", seeded.error);
+
+        // A 2% clock-drifted variant transfers instead of re-running.
+        let drifted = tx2.with_power_scale(0.98, 0.98, 0.98);
+        let registry = service.registry().clone();
+        assert_ne!(fingerprint(&tx2), fingerprint(&drifted));
+        let metrics = service.metrics_handle().clone();
+        let characterizer: CharacterizerFn = Arc::new(quick_characterize_device);
+        let (c, lookup) = registry.get_or_characterize_with(&drifted, |d| {
+            characterize_or_transfer(
+                d,
+                &registry,
+                &metrics,
+                &characterizer,
+                &TransferPolicy::default(),
+            )
+        });
+        assert_eq!(lookup, crate::registry::LookupOutcome::Computed);
+        assert_eq!(c.device, drifted.name);
+        let snapshot = service.metrics();
+        assert_eq!(snapshot.transfer_hits, 1);
+        assert_eq!(snapshot.characterizations, 1, "only the seed measured");
+        // The transferred entry must not become a neighbor itself.
+        let meta = registry.meta(&drifted).expect("transferred entry has meta");
+        assert!(meta.confidence < 1.0);
+        assert_eq!(registry.measured_neighbors().len(), 1);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn transfer_falls_back_to_measurement_across_boards() {
+        let service = TuningService::start(
+            ServiceConfig::quick()
+                .with_workers(2)
+                .with_transfer(TransferPolicy::default()),
+        );
+        service.handle(TuneRequest::new(1, "tx2", "orb"));
+        // Xavier is far from TX2 in feature space: transfer must decline
+        // and a real run must happen.
+        let response = service.handle(TuneRequest::new(2, "xavier", "shwfs"));
+        assert!(response.ok, "{:?}", response.error);
+        assert_eq!(response.recommended.as_deref(), Some("ZC"));
+        let snapshot = service.metrics();
+        assert_eq!(snapshot.characterizations, 2);
+        assert_eq!(snapshot.transfer_hits, 0);
+        assert_eq!(snapshot.transfer_fallbacks, 1);
         service.shutdown().unwrap();
     }
 

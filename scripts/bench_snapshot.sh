@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Refreshes the committed benchmark baseline: runs the criterion fleet
+# benchmark, then captures the deterministic fleet headline numbers into
+# BENCH_fleet.json (p50/p99 serve latency, fleet throughput, warm-start
+# and transfer hit rates). The capture uses a fixed seed, so the JSON is
+# reproducible and diffs in it are real behavior changes, not noise.
+#
+# Usage: ./scripts/bench_snapshot.sh [--skip-criterion]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_CRITERION=0
+if [[ "${1:-}" == "--skip-criterion" ]]; then
+    SKIP_CRITERION=1
+fi
+
+echo "==> cargo build --release -p icomm-cli"
+cargo build --release -p icomm-cli
+
+if [[ "$SKIP_CRITERION" -eq 0 ]]; then
+    echo "==> cargo bench -p icomm-bench --bench fleet_scaling"
+    cargo bench -p icomm-bench --bench fleet_scaling
+fi
+
+echo "==> capturing BENCH_fleet.json (seed 7, 256 devices, nano,tx2,xavier)"
+REPORT="$(target/release/icomm fleet nano,tx2,xavier --devices 256 --seed 7 --json)"
+python3 - "$REPORT" <<'EOF'
+import json
+import sys
+
+report = json.loads(sys.argv[1])
+baseline = {
+    "source": "icomm fleet nano,tx2,xavier --devices 256 --seed 7 --json",
+    "note": "deterministic virtual-time numbers; regenerate with scripts/bench_snapshot.sh",
+    "devices": report["devices"],
+    "seed": report["seed"],
+    "latency_p50_us": report["latency_p50_us"],
+    "latency_p99_us": report["latency_p99_us"],
+    "throughput_rps": round(report["throughput_rps"], 1),
+    "warm_start_pct": round(report["warm_start_pct"], 1),
+    "transfer_hit_pct": round(report["transfer_hit_pct"], 1),
+    "slo_attainment_pct": round(report["slo_attainment_pct"], 1),
+    "mean_regret_pct": round(report["mean_regret_pct"], 2),
+}
+with open("BENCH_fleet.json", "w") as f:
+    json.dump(baseline, f, indent=2)
+    f.write("\n")
+print(json.dumps(baseline, indent=2))
+EOF
+
+echo "baseline written to BENCH_fleet.json"

@@ -45,4 +45,22 @@ for plan in noise loss corrupt hostile full; do
     echo "    plan '$plan': survived, replay byte-identical"
 done
 
+echo "==> fleet smoke (fixed seed, replay determinism, SLO report)"
+# A small fleet run must complete without panicking, replay
+# byte-identically for the same seed, and emit the latency/SLO numbers
+# the acceptance gate is built on.
+FLEET_TMP="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP"' EXIT
+"$ICOMM" fleet nano,tx2,xavier --devices 120 --seed 7 --json \
+    >"$FLEET_TMP/fleet-a.json"
+"$ICOMM" fleet nano,tx2,xavier --devices 120 --seed 7 --json \
+    >"$FLEET_TMP/fleet-b.json"
+cmp "$FLEET_TMP/fleet-a.json" "$FLEET_TMP/fleet-b.json" || {
+    echo "fleet replay diverged for seed 7" >&2
+    exit 1
+}
+grep -q '"latency_p99_us"' "$FLEET_TMP/fleet-a.json"
+grep -q '"slo_attainment_pct"' "$FLEET_TMP/fleet-a.json"
+echo "    fleet 120 devices: completed, replay byte-identical, SLO report emitted"
+
 echo "CI gate passed."

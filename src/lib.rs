@@ -28,6 +28,7 @@
 //! | [`serve`] | `icomm-serve` | concurrent tuning service: sharded registry, worker pool, TCP front end |
 //! | [`adapt`] | `icomm-adapt` | online phase-aware adaptation: drift detector + switch controller |
 //! | [`chaos`] | `icomm-chaos` | deterministic fault injection across the profile→adapt→serve→persist stack |
+//! | [`fleet`] | `icomm-fleet` | fleet-scale load generation, federated characterization transfer, admission-control validation |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use icomm_adapt as adapt;
 pub use icomm_apps as apps;
 pub use icomm_chaos as chaos;
 pub use icomm_core as core;
+pub use icomm_fleet as fleet;
 pub use icomm_microbench as microbench;
 pub use icomm_models as models;
 pub use icomm_persist as persist;

@@ -1,0 +1,118 @@
+//! Tier-1 acceptance tests for the fleet subsystem: a 1000-device
+//! clustered population over the nano/tx2/xavier mix must replay
+//! byte-identically per seed, warm-start at least 90 % of lookups
+//! (cache + federated transfer), and keep the decision regret of
+//! transferred characterizations within 10 % of full per-device
+//! characterization.
+
+use icomm::fleet::{run_fleet, ArrivalConfig, ArrivalProcess, FleetConfig};
+use icomm::serve::AdmissionConfig;
+
+fn thousand_device_config() -> FleetConfig {
+    FleetConfig {
+        boards: "nano,tx2,xavier".to_string(),
+        devices: 1000,
+        seed: 7,
+        livefire: false,
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn thousand_devices_warm_start_and_bounded_regret() {
+    let out = run_fleet(&FleetConfig {
+        livefire: true,
+        ..thousand_device_config()
+    })
+    .unwrap();
+    let r = &out.report;
+
+    // Every request is accounted for, one way or another.
+    assert_eq!(r.requests, 1000);
+    assert_eq!(r.served + r.shed_queue + r.shed_rate, r.requests);
+
+    // The clustered population warm-starts ≥ 90 % of lookups.
+    assert!(
+        r.warm_start_pct >= 90.0,
+        "warm start {:.1}% (cache {}, transfer {}, full {})",
+        r.warm_start_pct,
+        r.cache_hits,
+        r.transfer_hits,
+        r.full_characterizations
+    );
+    assert!(r.transfer_hits > 0, "transfer path never exercised");
+
+    // Latency percentiles are ordered and real.
+    assert!(r.latency_p50_us > 0);
+    assert!(r.latency_p50_us <= r.latency_p95_us);
+    assert!(r.latency_p95_us <= r.latency_p99_us);
+    assert!(r.throughput_rps > 0.0);
+
+    // Transferred characterizations keep decision regret within 10 % of
+    // full per-device characterization.
+    assert!(r.regret_samples > 0, "no transferred devices spot-checked");
+    assert!(
+        r.mean_regret_pct <= 10.0,
+        "mean transfer regret {:.2}% over {} samples ({} disagreements, worst {:.2}%)",
+        r.mean_regret_pct,
+        r.regret_samples,
+        r.regret_disagreements,
+        r.max_regret_pct
+    );
+
+    // The live-fire stage ran against a real in-process TCP server and
+    // answered everything.
+    assert!(r.livefire_sent > 0);
+    assert_eq!(r.livefire_failed, 0, "live-fire requests failed");
+    assert_eq!(r.livefire_ok, r.livefire_sent);
+    let wall = out.livefire.expect("live-fire stats present");
+    assert!(wall.wall_p50_us <= wall.wall_p99_us);
+
+    assert!(r.passed(), "fleet acceptance gate failed:\n{r}");
+}
+
+#[test]
+fn same_seed_replays_byte_identically_different_seed_does_not() {
+    let serialize = |seed: u64| {
+        let out = run_fleet(&FleetConfig {
+            seed,
+            ..thousand_device_config()
+        })
+        .unwrap();
+        icomm::persist::to_string(&out.report).unwrap()
+    };
+    let a = serialize(7);
+    assert_eq!(a, serialize(7), "same-seed fleet report not byte-identical");
+    assert_ne!(a, serialize(8), "different seed produced identical report");
+}
+
+#[test]
+fn overdriven_burst_load_sheds_instead_of_collapsing() {
+    let out = run_fleet(&FleetConfig {
+        devices: 400,
+        arrival: ArrivalConfig {
+            process: ArrivalProcess::Burst,
+            rate_per_sec: 5_000.0,
+            bulk_fraction: 0.4,
+        },
+        admission: AdmissionConfig {
+            rate_per_sec: 400.0,
+            burst: 8.0,
+            queue_bound: 6,
+            bulk_queue_fraction: 0.25,
+        },
+        regret_samples: 0,
+        ..thousand_device_config()
+    })
+    .unwrap();
+    let r = &out.report;
+    assert!(r.shed_queue + r.shed_rate > 0, "no load was shed:\n{r}");
+    assert!(r.served > 0, "everything was shed:\n{r}");
+    assert_eq!(r.served + r.shed_queue + r.shed_rate, r.requests);
+    // Shedding keeps the served tail inside the SLO envelope instead of
+    // letting the queue run away.
+    assert!(
+        r.slo_attainment_pct > 50.0,
+        "served tail collapsed despite shedding:\n{r}"
+    );
+}
