@@ -1,0 +1,231 @@
+//! Named co-run tenant mixes built from the paper's applications.
+//!
+//! A *mix* is the unit the multi-tenant scheduler (`icomm-sched`)
+//! operates on: two to four tenants, each a real application workload
+//! plus its real-time contract (a period/deadline expressed as a factor
+//! over the tenant's measured solo wall time, and a priority). The
+//! factors are device-independent on purpose — the same mix is tight on
+//! a Nano and comfortable on a Xavier, exactly like a fixed frame-rate
+//! requirement ported across boards.
+//!
+//! The mixes escalate in contention:
+//!
+//! - [`duo`] — SH-WFS beside lane detection, generous deadlines: the
+//!   friendly baseline.
+//! - [`trio`] — all three paper apps co-resident.
+//! - [`quad`] — the trio plus a reuse-heavy lane variant (an
+//!   intersection burst pinned on), filling [`MAX_TENANTS_PER_MIX`].
+//! - [`contended`] — a deadline-tight lane pipeline beside a
+//!   relocalizing ORB burst that floods the DRAM channel: the mix the
+//!   FIFO baseline misses deadlines on and bandwidth budgeting rescues.
+
+use icomm_models::{CommModelKind, Workload};
+
+use crate::phased::{gpu_burst, reuse};
+use crate::{LaneApp, OrbApp, ShwfsApp};
+
+/// Mixes are capped at what the joint assignment can enumerate.
+pub const MAX_TENANTS_PER_MIX: usize = 4;
+
+/// The named mixes, in escalating contention order.
+pub const MIX_NAMES: [&str; 4] = ["duo", "trio", "quad", "contended"];
+
+/// One tenant of a co-run mix: a workload plus its real-time contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name, unique within the mix.
+    pub name: String,
+    /// The tenant's workload (one released job).
+    pub workload: Workload,
+    /// The model the application ships with before tuning.
+    pub current: CommModelKind,
+    /// Period (= implicit deadline) as a multiple of the tenant's
+    /// measured solo wall time under its assigned model. `2.0` leaves
+    /// half the period idle when alone; values near `1.0` leave no slack
+    /// for interference.
+    pub period_factor: f64,
+    /// Scheduling priority; smaller is more important.
+    pub priority: u8,
+}
+
+fn spec(
+    name: &str,
+    workload: Workload,
+    current: CommModelKind,
+    period_factor: f64,
+    priority: u8,
+) -> TenantSpec {
+    TenantSpec {
+        name: name.to_string(),
+        workload,
+        current,
+        period_factor,
+        priority,
+    }
+}
+
+/// SH-WFS beside lane detection with generous deadlines.
+pub fn duo() -> Vec<TenantSpec> {
+    vec![
+        spec(
+            "shwfs",
+            ShwfsApp::default().workload(),
+            CommModelKind::StandardCopy,
+            2.4,
+            0,
+        ),
+        spec(
+            "lane",
+            LaneApp::default().workload(),
+            CommModelKind::StandardCopy,
+            2.4,
+            1,
+        ),
+    ]
+}
+
+/// All three paper applications co-resident.
+pub fn trio() -> Vec<TenantSpec> {
+    vec![
+        spec(
+            "shwfs",
+            ShwfsApp::default().workload(),
+            CommModelKind::StandardCopy,
+            2.6,
+            0,
+        ),
+        spec(
+            "orb",
+            OrbApp::default().workload(),
+            CommModelKind::StandardCopy,
+            2.6,
+            1,
+        ),
+        spec(
+            "lane",
+            LaneApp::default().workload(),
+            CommModelKind::StandardCopy,
+            2.6,
+            2,
+        ),
+    ]
+}
+
+/// The trio plus a reuse-heavy lane variant — an intersection burst
+/// pinned on as a fourth tenant.
+pub fn quad() -> Vec<TenantSpec> {
+    let lane = LaneApp::default().workload();
+    let mut mix = trio();
+    for t in &mut mix {
+        t.period_factor = 3.0;
+    }
+    mix.push(spec(
+        "lane-burst",
+        reuse(&lane, "burst", 8),
+        CommModelKind::StandardCopy,
+        3.0,
+        3,
+    ));
+    mix
+}
+
+/// A deadline-tight lane pipeline beside a relocalizing ORB burst that
+/// floods the DRAM channel, plus SH-WFS with moderate reuse caught in
+/// the crossfire. FIFO misses deadlines here; a bandwidth budget on the
+/// burst restores them.
+pub fn contended() -> Vec<TenantSpec> {
+    let orb = OrbApp::default().workload();
+    let shwfs = ShwfsApp::default().workload();
+    vec![
+        spec(
+            "lane",
+            LaneApp::default().workload(),
+            CommModelKind::StandardCopy,
+            1.35,
+            0,
+        ),
+        spec(
+            "shwfs-track",
+            reuse(&shwfs, "track", 4),
+            CommModelKind::ZeroCopy,
+            2.0,
+            1,
+        ),
+        spec(
+            "orb-reloc",
+            gpu_burst(&orb, "reloc", 24),
+            CommModelKind::ZeroCopy,
+            2.2,
+            2,
+        ),
+    ]
+}
+
+/// Resolves a mix by name.
+///
+/// # Errors
+///
+/// Returns the list of valid names when `name` is unknown.
+pub fn mix_by_name(name: &str) -> Result<Vec<TenantSpec>, String> {
+    match name {
+        "duo" => Ok(duo()),
+        "trio" => Ok(trio()),
+        "quad" => Ok(quad()),
+        "contended" => Ok(contended()),
+        other => Err(format!(
+            "unknown mix '{other}' (expected one of: {})",
+            MIX_NAMES.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_mix_resolves_and_is_well_formed() {
+        for name in MIX_NAMES {
+            let mix = mix_by_name(name).expect("named mix resolves");
+            assert!(
+                (2..=MAX_TENANTS_PER_MIX).contains(&mix.len()),
+                "{name}: {} tenants",
+                mix.len()
+            );
+            for t in &mix {
+                assert!(t.period_factor > 1.0, "{name}/{}", t.name);
+                assert!(t.workload.gpu.shared_accesses.validate().is_ok());
+            }
+            // Names are unique within the mix.
+            let mut names: Vec<&str> = mix.iter().map(|t| t.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), mix.len(), "{name}: duplicate tenant names");
+        }
+    }
+
+    #[test]
+    fn unknown_mix_lists_options() {
+        let err = mix_by_name("nope").unwrap_err();
+        assert!(err.contains("duo") && err.contains("contended"), "{err}");
+    }
+
+    #[test]
+    fn contended_mix_has_a_tight_tenant_and_a_burst() {
+        let mix = contended();
+        assert!(mix.iter().any(|t| t.period_factor < 1.5));
+        let lane = &mix[0];
+        let burst = mix.iter().find(|t| t.name == "orb-reloc").expect("burst");
+        assert!(
+            burst.workload.gpu.shared_accesses.bytes()
+                > 8 * lane.workload.gpu.shared_accesses.bytes(),
+            "burst should dominate the channel"
+        );
+    }
+
+    #[test]
+    fn mixes_are_deterministic() {
+        assert_eq!(contended(), contended());
+        assert_eq!(quad(), quad());
+    }
+}

@@ -23,17 +23,21 @@
 //! Each app also offers a three-phase [`phased`] variant
 //! (`phased_workload`) whose regimes flip the optimal communication
 //! model — the test inputs of the online adaptation layer
-//! (`icomm-adapt`).
+//! (`icomm-adapt`) — and the apps combine into named co-run tenant
+//! mixes ([`corun`]), the inputs of the multi-tenant scheduler
+//! (`icomm-sched`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod corun;
 pub mod image;
 pub mod lane;
 pub mod orb;
 pub mod phased;
 pub mod shwfs;
 
+pub use corun::{mix_by_name, TenantSpec, MIX_NAMES};
 pub use image::Image;
 pub use lane::LaneApp;
 pub use orb::OrbApp;

@@ -29,8 +29,8 @@ use icomm_trace::Pattern;
 use crate::{LaneApp, OrbApp, ShwfsApp};
 
 /// Clones `base` with the GPU shared traffic repeated `times` over and a
-/// phase-suffixed name.
-fn reuse(base: &Workload, suffix: &str, times: u32) -> Workload {
+/// phase-suffixed name. Shared with the co-run mixes ([`crate::corun`]).
+pub(crate) fn reuse(base: &Workload, suffix: &str, times: u32) -> Workload {
     let mut w = base.clone();
     w.name = format!("{}/{suffix}", base.name);
     w.gpu.shared_accesses = Pattern::Repeat {
@@ -42,7 +42,7 @@ fn reuse(base: &Workload, suffix: &str, times: u32) -> Workload {
 
 /// [`reuse`] with the CPU idled: a pure-GPU burst (the CPU blocks on the
 /// kernel's result and contributes no work of its own).
-fn gpu_burst(base: &Workload, suffix: &str, times: u32) -> Workload {
+pub(crate) fn gpu_burst(base: &Workload, suffix: &str, times: u32) -> Workload {
     let mut w = reuse(base, suffix, times);
     w.cpu = CpuPhase::idle();
     w

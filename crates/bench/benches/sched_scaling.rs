@@ -1,0 +1,50 @@
+//! Scheduler-scaling benchmark: the joint assignment plus the
+//! virtual-time co-run engine across the named tenant mixes on a TX2.
+//!
+//! The characterization is done once outside the measured loop, so the
+//! timings isolate what `icomm sched` adds on top of a warm registry:
+//! the 3^N joint enumeration and the discrete-event schedule itself.
+//! Deadline-miss rates per mix and policy are printed alongside.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icomm_apps::MIX_NAMES;
+use icomm_microbench::quick_characterize_device;
+use icomm_sched::{run_sched_with, PolicyKind, SchedConfig};
+use icomm_soc::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceProfile::jetson_tx2();
+    let characterization = quick_characterize_device(&device);
+    for mix in MIX_NAMES {
+        let mut group = c.benchmark_group("sched");
+        group.sample_size(10);
+        for policy in [PolicyKind::Fifo, PolicyKind::DeadlineBudget] {
+            let mut config = SchedConfig::new(device.clone());
+            config.mix = mix.to_string();
+            config.policy = policy;
+            let report = run_sched_with(&config, &characterization)
+                .expect("named mix schedules")
+                .report;
+            println!(
+                "sched {mix}/{policy}: {} tenants, miss {:.1}%, mean slowdown {:.3}x, makespan {} us",
+                report.tenants.len(),
+                report.deadline_miss_pct,
+                report.mean_slowdown,
+                report.makespan_us,
+            );
+            group.throughput(Throughput::Elements(u64::from(report.total_jobs())));
+            let name = format!("{mix}_{policy}");
+            group.bench_function(&name, |b| {
+                b.iter(|| run_sched_with(&config, &characterization).expect("named mix schedules"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -332,13 +332,13 @@ mod tests {
     fn campaigns_pass_and_serialize_finitely() {
         let (device, characterization, phased) = setup();
         for preset in FaultPlan::PRESETS {
-            let plan = FaultPlan::preset(preset).unwrap();
+            let plan = FaultPlan::preset(preset).expect("listed preset resolves");
             let report = run_chaos(&device, &characterization, &phased, &plan, 42);
             assert!(report.passed(), "{preset}: {report}");
             // The JSON serializer rejects NaN/Inf — success doubles as a
             // finiteness check on every float in the report.
-            let json = icomm_persist::to_string(&report).unwrap();
-            let back: ChaosReport = icomm_persist::from_str(&json).unwrap();
+            let json = icomm_persist::to_string(&report).expect("report serializes");
+            let back: ChaosReport = icomm_persist::from_str(&json).expect("report deserializes");
             assert_eq!(back, report);
         }
     }
@@ -350,8 +350,8 @@ mod tests {
         let a = run_chaos(&device, &characterization, &phased, &plan, 1337);
         let b = run_chaos(&device, &characterization, &phased, &plan, 1337);
         assert_eq!(
-            icomm_persist::to_string(&a).unwrap(),
-            icomm_persist::to_string(&b).unwrap()
+            icomm_persist::to_string(&a).expect("first report serializes"),
+            icomm_persist::to_string(&b).expect("second report serializes")
         );
         assert_eq!(format!("{a}"), format!("{b}"));
     }

@@ -267,16 +267,17 @@ mod tests {
     #[test]
     fn presets_resolve_and_validate() {
         for name in FaultPlan::PRESETS {
-            let plan = FaultPlan::preset(name).unwrap();
-            plan.validate().unwrap();
-            assert_eq!(FaultPlan::parse(name).unwrap(), plan);
+            let plan = FaultPlan::preset(name).expect("listed preset resolves");
+            plan.validate().expect("preset validates");
+            assert_eq!(FaultPlan::parse(name).expect("preset name parses"), plan);
         }
         assert!(FaultPlan::preset("mayhem").is_none());
     }
 
     #[test]
     fn spec_overrides_apply() {
-        let plan = FaultPlan::parse("loss,drop_prob=0.4,stall_windows=8").unwrap();
+        let plan =
+            FaultPlan::parse("loss,drop_prob=0.4,stall_windows=8").expect("override spec parses");
         assert_eq!(plan.drop_prob, 0.4);
         assert_eq!(plan.stall_windows, 8);
         assert_eq!(plan.dup_prob, FaultPlan::loss().dup_prob);
@@ -284,15 +285,15 @@ mod tests {
 
     #[test]
     fn bad_specs_are_rejected_with_context() {
-        let err = FaultPlan::parse("mayhem").unwrap_err();
+        let err = FaultPlan::parse("mayhem").expect_err("unknown preset rejected");
         assert!(err.contains("unknown fault preset"), "{err}");
-        let err = FaultPlan::parse("full,wat=1").unwrap_err();
+        let err = FaultPlan::parse("full,wat=1").expect_err("unknown knob rejected");
         assert!(err.contains("unknown fault knob"), "{err}");
-        let err = FaultPlan::parse("full,drop_prob=chaos").unwrap_err();
+        let err = FaultPlan::parse("full,drop_prob=chaos").expect_err("non-numeric rejected");
         assert!(err.contains("non-negative number"), "{err}");
-        let err = FaultPlan::parse("full,drop_prob=1.5").unwrap_err();
+        let err = FaultPlan::parse("full,drop_prob=1.5").expect_err("out-of-range rejected");
         assert!(err.contains("outside [0, 1]"), "{err}");
-        let err = FaultPlan::parse("full,drop_prob").unwrap_err();
+        let err = FaultPlan::parse("full,drop_prob").expect_err("bare knob rejected");
         assert!(err.contains("knob=value"), "{err}");
     }
 
@@ -300,6 +301,8 @@ mod tests {
     fn none_is_none() {
         assert!(FaultPlan::none().is_none());
         assert!(!FaultPlan::full().is_none());
-        assert!(FaultPlan::parse("none").unwrap().is_none());
+        assert!(FaultPlan::parse("none")
+            .expect("'none' spec parses")
+            .is_none());
     }
 }

@@ -108,10 +108,13 @@ pub enum Command {
         stats: bool,
     },
     /// `icomm fleet <board-mix> [--devices N] [--arrival poisson|burst]
-    /// [--rate R] [--seed S] [--json]` — simulate a clustered device
-    /// fleet hammering the tuning service (admission control, federated
-    /// characterization transfer) and report warm-start rate, tail
-    /// latency, shed counts, and transfer regret.
+    /// [--rate R] [--seed S] [--tenants N] [--json]` — simulate a
+    /// clustered device fleet hammering the tuning service (admission
+    /// control, federated characterization transfer) and report
+    /// warm-start rate, tail latency, shed counts, and transfer regret;
+    /// with `--tenants 2..4` every served device also co-schedules a
+    /// tenant mix of that size off its registry-resolved
+    /// characterization.
     Fleet {
         /// Comma-separated board mix (`nano,tx2,xavier`).
         mix: String,
@@ -123,7 +126,29 @@ pub enum Command {
         rate: f64,
         /// Seed for the population and schedule.
         seed: u64,
+        /// Tenants co-hosted per served device (1 = single-tenant).
+        tenants: usize,
         /// Print the deterministic fleet report as JSON.
+        json: bool,
+    },
+    /// `icomm sched <board> [--mix <name>] [--policy fifo|deadline]
+    /// [--seed N] [--windows N] [--json]` — co-schedule a named tenant
+    /// mix on one board: jointly assign communication models under the
+    /// cross-tenant interference model, run the periodic schedule in
+    /// virtual time, and report per-tenant deadline misses, slowdown vs
+    /// solo, and bandwidth throttles.
+    Sched {
+        /// Board name.
+        board: String,
+        /// Tenant-mix name (`duo`, `trio`, `quad`, `contended`).
+        mix: String,
+        /// Scheduling policy (`fifo` / `deadline`).
+        policy: String,
+        /// Seed for the release phase offsets.
+        seed: u64,
+        /// Jobs each tenant releases.
+        windows: u32,
+        /// Print the deterministic scheduler report as JSON.
         json: bool,
     },
     /// `icomm help` / no arguments.
@@ -446,6 +471,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let mut arrival = "poisson".to_string();
             let mut rate = 400.0f64;
             let mut seed = 7u64;
+            let mut tenants = 1usize;
             let mut json = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -499,6 +525,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                             ParseArgsError(format!("--seed needs a number, got '{value}'"))
                         })?;
                     }
+                    "--tenants" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--tenants needs a count".into()))?;
+                        tenants = value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|n| (1..=4).contains(n))
+                            .ok_or_else(|| {
+                                ParseArgsError(format!(
+                                    "--tenants needs a count between 1 and 4, got '{value}'"
+                                ))
+                            })?;
+                    }
                     "--json" => json = true,
                     other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
                 }
@@ -509,6 +549,76 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 arrival,
                 rate,
                 seed,
+                tenants,
+                json,
+            })
+        }
+        "sched" => {
+            let board = it
+                .next()
+                .ok_or_else(|| ParseArgsError("sched needs a board name".into()))?;
+            ensure_board(board)?;
+            let mut mix = "contended".to_string();
+            let mut policy = "deadline".to_string();
+            let mut seed = 42u64;
+            let mut windows = 8u32;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--mix" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--mix needs a mix name".into()))?;
+                        if !icomm_apps::MIX_NAMES.contains(&value.to_ascii_lowercase().as_str()) {
+                            return Err(ParseArgsError(format!(
+                                "unknown mix '{value}' (known: {})",
+                                icomm_apps::MIX_NAMES.join(", ")
+                            )));
+                        }
+                        mix = value.to_ascii_lowercase();
+                    }
+                    "--policy" => {
+                        let value = it.next().ok_or_else(|| {
+                            ParseArgsError("--policy needs a policy (fifo|deadline)".into())
+                        })?;
+                        policy = icomm_sched::PolicyKind::parse(value)
+                            .map_err(ParseArgsError)?
+                            .name()
+                            .to_string();
+                    }
+                    "--seed" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--seed needs a number".into()))?;
+                        seed = value.parse::<u64>().map_err(|_| {
+                            ParseArgsError(format!("--seed needs a number, got '{value}'"))
+                        })?;
+                    }
+                    "--windows" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--windows needs a count".into()))?;
+                        windows =
+                            value
+                                .parse::<u32>()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or_else(|| {
+                                    ParseArgsError(format!(
+                                        "--windows needs a positive count, got '{value}'"
+                                    ))
+                                })?;
+                    }
+                    "--json" => json = true,
+                    other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Sched {
+                board: board.clone(),
+                mix,
+                policy,
+                seed,
+                windows,
                 json,
             })
         }
@@ -613,7 +723,9 @@ USAGE:
     icomm batch [<file>] [--workers N] [--registry <file>]
                 [--full] [--stats]
     icomm fleet <board-mix> [--devices N] [--arrival poisson|burst]
-                [--rate R] [--seed S] [--json]
+                [--rate R] [--seed S] [--tenants N] [--json]
+    icomm sched <board> [--mix <name>] [--policy fifo|deadline]
+                [--seed N] [--windows N] [--json]
     icomm help
 
 BOARDS:  nano, tx2, xavier, orin-like
@@ -651,8 +763,21 @@ arrival schedule through the registry, federated-transfer, and
 admission-control stack in virtual time, then live-fires a real TCP
 server in-process. It reports warm-start rate, p50/p95/p99 latency, SLO
 attainment, shed counts, and the decision regret of transferred vs full
-characterizations. The same seed replays byte-identically (`--json`
-prints only the deterministic report).
+characterizations. With `--tenants 2..4` every served device also
+co-schedules a tenant mix of that size off its registry-resolved
+characterization and the report gains per-tenant SLO attainment. The
+same seed replays byte-identically (`--json` prints only the
+deterministic report).
+
+`sched` co-schedules a named tenant mix — duo, trio, quad, contended —
+on one board. Communication models are assigned jointly (every
+combination scored under the cross-tenant interference model, so a
+zero-copy neighbour's channel pressure can flip a tenant off its solo
+best), then the periodic schedule runs in virtual time under `--policy`:
+`fifo` (release order, no regulation) or `deadline` (EDF slots plus a
+MemGuard-style per-tenant bandwidth budget). Reports per-tenant
+deadline-miss rate, slowdown vs solo, and throttle counts; identical
+seeds replay byte-identically.
 ";
 
 #[cfg(test)]
@@ -918,6 +1043,7 @@ mod tests {
                 arrival: "poisson".into(),
                 rate: 400.0,
                 seed: 7,
+                tenants: 1,
                 json: false,
             }
         );
@@ -932,6 +1058,8 @@ mod tests {
             "800",
             "--seed",
             "9",
+            "--tenants",
+            "3",
             "--json",
         ]))
         .unwrap();
@@ -943,6 +1071,7 @@ mod tests {
                 arrival: "burst".into(),
                 rate: 800.0,
                 seed: 9,
+                tenants: 3,
                 json: true,
             }
         );
@@ -956,7 +1085,64 @@ mod tests {
         assert!(parse(&v(&["fleet", "nano", "--arrival", "uniform"])).is_err());
         assert!(parse(&v(&["fleet", "nano", "--rate", "-3"])).is_err());
         assert!(parse(&v(&["fleet", "nano", "--seed", "many"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--tenants", "0"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--tenants", "5"])).is_err());
         assert!(parse(&v(&["fleet", "nano", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn sched_parses_defaults_and_flags() {
+        let c = parse(&v(&["sched", "tx2"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Sched {
+                board: "tx2".into(),
+                mix: "contended".into(),
+                policy: "deadline".into(),
+                seed: 42,
+                windows: 8,
+                json: false,
+            }
+        );
+        let c = parse(&v(&[
+            "sched",
+            "nano",
+            "--mix",
+            "duo",
+            "--policy",
+            "fifo",
+            "--seed",
+            "9",
+            "--windows",
+            "4",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Sched {
+                board: "nano".into(),
+                mix: "duo".into(),
+                policy: "fifo".into(),
+                seed: 9,
+                windows: 4,
+                json: true,
+            }
+        );
+        // Policy aliases normalize to the canonical name.
+        let c = parse(&v(&["sched", "tx2", "--policy", "edf"])).unwrap();
+        assert!(matches!(c, Command::Sched { policy, .. } if policy == "deadline"));
+    }
+
+    #[test]
+    fn sched_rejects_bad_inputs() {
+        assert!(parse(&v(&["sched"])).is_err());
+        assert!(parse(&v(&["sched", "pi5"])).is_err());
+        assert!(parse(&v(&["sched", "tx2", "--mix", "solo"])).is_err());
+        assert!(parse(&v(&["sched", "tx2", "--policy", "lottery"])).is_err());
+        assert!(parse(&v(&["sched", "tx2", "--windows", "0"])).is_err());
+        assert!(parse(&v(&["sched", "tx2", "--seed", "many"])).is_err());
+        assert!(parse(&v(&["sched", "tx2", "--wat"])).is_err());
     }
 
     #[test]

@@ -128,8 +128,17 @@ pub fn execute(command: &Command) -> Result<String, String> {
             arrival,
             rate,
             seed,
+            tenants,
             json,
-        } => fleet(mix, *devices, arrival, *rate, *seed, *json),
+        } => fleet(mix, *devices, arrival, *rate, *seed, *tenants, *json),
+        Command::Sched {
+            board,
+            mix,
+            policy,
+            seed,
+            windows,
+            json,
+        } => sched(board, mix, policy, *seed, *windows, *json),
     }
 }
 
@@ -491,6 +500,7 @@ fn fleet(
     arrival: &str,
     rate: f64,
     seed: u64,
+    tenants: usize,
     json: bool,
 ) -> Result<String, String> {
     let process = icomm_fleet::ArrivalProcess::parse(arrival)?;
@@ -503,6 +513,7 @@ fn fleet(
             ..icomm_fleet::ArrivalConfig::default()
         },
         seed,
+        tenants_per_device: tenants,
         ..icomm_fleet::FleetConfig::default()
     };
     let out = icomm_fleet::run_fleet(&config)?;
@@ -517,6 +528,46 @@ fn fleet(
     let mut text = format!("{}\n", out.report);
     if let Some(livefire) = &out.livefire {
         let _ = writeln!(text, "{livefire}");
+    }
+    Ok(text)
+}
+
+/// `icomm sched`: co-schedule a named tenant mix on one board and report
+/// deadline misses, slowdown vs solo, and bandwidth throttles.
+fn sched(
+    board: &str,
+    mix: &str,
+    policy: &str,
+    seed: u64,
+    windows: u32,
+    json: bool,
+) -> Result<String, String> {
+    let device = require_board(board)?;
+    let mut config = icomm_sched::SchedConfig::new(device);
+    config.mix = mix.to_string();
+    config.policy = icomm_sched::PolicyKind::parse(policy)?;
+    config.seed = seed;
+    config.jobs_per_tenant = windows;
+    let out = icomm_sched::run_sched(&config)?;
+    if json {
+        let mut text = icomm_persist::to_string(&out.report)
+            .map_err(|err| format!("cannot serialize sched report: {err}"))?;
+        text.push('\n');
+        return Ok(text);
+    }
+    let mut text = format!("{}\n", out.report);
+    let _ = writeln!(text, "--- joint assignment ---");
+    for t in &out.assignment.tenants {
+        let _ = writeln!(
+            text,
+            "  {:<12} joint {}  solo-best {}  recommended {}  co-run slowdown {:.3}x{}",
+            t.name,
+            t.joint.abbrev(),
+            t.solo_best.abbrev(),
+            t.solo_recommended.abbrev(),
+            t.slowdown,
+            if t.flipped { "  [flipped]" } else { "" },
+        );
     }
     Ok(text)
 }
@@ -646,7 +697,7 @@ mod tests {
 
     #[test]
     fn fleet_json_is_deterministic_and_parses() {
-        let run = || fleet("nano,tx2", 48, "poisson", 400.0, 7, true).unwrap();
+        let run = || fleet("nano,tx2", 48, "poisson", 400.0, 7, 1, true).unwrap();
         let a = run();
         assert_eq!(a, run(), "same-seed fleet JSON not byte-identical");
         let report: icomm_fleet::FleetReport = icomm_persist::from_str(a.trim()).unwrap();
@@ -654,9 +705,24 @@ mod tests {
         assert_eq!(report.seed, 7);
         assert_eq!(report.livefire_failed, 0);
         // Human rendering carries the wall-clock side channel instead.
-        let text = fleet("nano", 24, "burst", 600.0, 3, false).unwrap();
+        let text = fleet("nano", 24, "burst", 600.0, 3, 2, false).unwrap();
         assert!(text.contains("verdict"), "{text}");
         assert!(text.contains("livefire wall-clock"), "{text}");
+    }
+
+    #[test]
+    fn sched_json_is_deterministic_and_parses() {
+        let run = || sched("tx2", "contended", "deadline", 42, 4, true).unwrap();
+        let a = run();
+        assert_eq!(a, run(), "same-seed sched JSON not byte-identical");
+        let report: icomm_sched::SchedReport = icomm_persist::from_str(a.trim()).unwrap();
+        assert_eq!(report.seed, 42);
+        assert_eq!(report.mix, "contended");
+        assert_eq!(report.policy, "deadline");
+        // Human rendering carries the joint-assignment detail instead.
+        let text = sched("tx2", "duo", "fifo", 7, 2, false).unwrap();
+        assert!(text.contains("--- joint assignment ---"), "{text}");
+        assert!(text.contains("deadlines"), "{text}");
     }
 
     #[test]

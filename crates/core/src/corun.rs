@@ -1,0 +1,405 @@
+//! Co-run-aware model selection: the Fig. 2 decision flow extended from
+//! one application to a *set* of tenants sharing the SoC.
+//!
+//! The per-app tuner ([`crate::tuner`]) picks each application's model as
+//! if it were alone. Under co-location that can be wrong: a zero-copy
+//! tenant floods the shared DRAM channel and shrinks its neighbours'
+//! effective cache thresholds, so the model that wins solo can lose in
+//! company. [`joint_assignment`] therefore scores *combinations*: every
+//! tenant is measured solo under each of the paper's three models, the
+//! measured demands are fed to the
+//! [interference model](icomm_models::interference), and the assignment
+//! minimizing the combined co-run wall time wins. The same enumeration
+//! scored by the brute-force [`co_run_oracle`] simulation is exposed as
+//! [`oracle_assignment`], the ground truth the closed-form choice is
+//! validated against in `tests/scheduling.rs`.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_microbench::DeviceCharacterization;
+use icomm_models::interference::{
+    co_run_interference, co_run_oracle, InterferenceConfig, TenantDemand,
+};
+use icomm_models::{run_model, CommModelKind, Workload};
+use icomm_soc::units::{Bandwidth, Picos};
+use icomm_soc::DeviceProfile;
+
+use crate::tuner::recommend_for_device;
+
+/// The scheduler enumerates every model combination (`3^N`), so mixes are
+/// capped where the paper's co-location scenarios live.
+pub const MAX_TENANTS: usize = 4;
+
+/// One tenant of a co-run mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorunTenant {
+    /// Tenant name, unique within the mix.
+    pub name: String,
+    /// The tenant's workload (one job).
+    pub workload: Workload,
+    /// The model the application currently ships with.
+    pub current: CommModelKind,
+}
+
+/// Verdict for one tenant of a jointly assigned mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantAssignment {
+    /// Tenant name.
+    pub name: String,
+    /// Ground-truth best model when the tenant runs alone (measured, the
+    /// per-app greedy choice).
+    pub solo_best: CommModelKind,
+    /// What the single-app Fig. 2 decision flow recommends.
+    pub solo_recommended: CommModelKind,
+    /// The model the joint assignment picked.
+    pub joint: CommModelKind,
+    /// Measured solo wall time under the joint model.
+    pub wall_solo: Picos,
+    /// Predicted co-run wall time under the joint assignment.
+    pub wall_co: Picos,
+    /// `wall_co / wall_solo` under the joint assignment.
+    pub slowdown: f64,
+    /// Whether co-location flipped the choice away from the solo best.
+    pub flipped: bool,
+}
+
+/// A jointly optimized model assignment for a tenant mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointAssignment {
+    /// Board name.
+    pub device: String,
+    /// Per-tenant verdicts, in mix order.
+    pub tenants: Vec<TenantAssignment>,
+    /// Combined predicted co-run wall under the joint assignment.
+    pub joint_total: Picos,
+    /// Combined predicted co-run wall when every tenant keeps its solo
+    /// best — what per-app greedy tuning would deliver.
+    pub greedy_total: Picos,
+    /// Whether any tenant's choice flipped relative to its solo best.
+    pub any_flip: bool,
+}
+
+impl JointAssignment {
+    /// The joint models in mix order.
+    pub fn models(&self) -> Vec<CommModelKind> {
+        self.tenants.iter().map(|t| t.joint).collect()
+    }
+}
+
+/// Measures one tenant's demand on the shared memory system under one
+/// candidate model: a solo run of its workload plus the derived LLC
+/// pressure and spill terms the interference model consumes.
+pub fn tenant_demand(
+    device: &DeviceProfile,
+    name: &str,
+    workload: &Workload,
+    model: CommModelKind,
+) -> TenantDemand {
+    let run = run_model(model, device, workload);
+    let bypasses = matches!(model, CommModelKind::ZeroCopy);
+    let llc_pressure = if bypasses {
+        0.0
+    } else {
+        let footprint = workload.gpu.shared_accesses.footprint_bytes() as f64;
+        let capacity = device.layout.gpu_llc.size.as_u64().max(1) as f64;
+        (footprint / capacity).min(1.0)
+    };
+    let llc_spill_busy = if bypasses {
+        Picos::ZERO
+    } else {
+        let hit_bytes = run.counters.gpu_llc.hits * device.layout.gpu_llc.line_bytes as u64;
+        let bw = Bandwidth(device.dram.peak_bandwidth.as_bytes_per_sec().max(1));
+        bw.transfer_time(icomm_soc::units::ByteSize(hit_bytes))
+    };
+    TenantDemand {
+        name: name.to_string(),
+        model,
+        wall_solo: run.total_time,
+        dram_busy_solo: run.counters.dram.busy_time,
+        llc_pressure,
+        llc_spill_busy,
+    }
+}
+
+/// Solo demand of every tenant under every candidate model:
+/// `candidates[i][k]` is tenant `i` under `CommModelKind::ALL[k]`.
+fn candidate_demands(
+    device: &DeviceProfile,
+    tenants: &[CorunTenant],
+) -> Result<Vec<Vec<TenantDemand>>, String> {
+    if tenants.is_empty() {
+        return Err("co-run mix has no tenants".to_string());
+    }
+    if tenants.len() > MAX_TENANTS {
+        return Err(format!(
+            "co-run mix has {} tenants; joint assignment enumerates at most {MAX_TENANTS}",
+            tenants.len()
+        ));
+    }
+    Ok(tenants
+        .iter()
+        .map(|t| {
+            CommModelKind::ALL
+                .iter()
+                .map(|&kind| tenant_demand(device, &t.name, &t.workload, kind))
+                .collect()
+        })
+        .collect())
+}
+
+/// Iterates every model combination in lexicographic `CommModelKind::ALL`
+/// order, calling `score` with the per-tenant demand slice; returns the
+/// first combination attaining the minimum score (deterministic
+/// tie-break).
+fn argmin_combo<F>(candidates: &[Vec<TenantDemand>], mut score: F) -> Vec<usize>
+where
+    F: FnMut(&[TenantDemand]) -> u64,
+{
+    let n = candidates.len();
+    let combos = 3usize.pow(n as u32);
+    let mut best: Option<(u64, Vec<usize>)> = None;
+    for combo in 0..combos {
+        let mut picks = Vec::with_capacity(n);
+        let mut rest = combo;
+        for _ in 0..n {
+            picks.push(rest % 3);
+            rest /= 3;
+        }
+        let demands: Vec<TenantDemand> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| candidates[i][k].clone())
+            .collect();
+        let cost = score(&demands);
+        if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+            best = Some((cost, picks));
+        }
+    }
+    best.map(|(_, picks)| picks).unwrap_or_default()
+}
+
+/// Chooses the joint model assignment for a tenant mix on `device`.
+///
+/// Every tenant is measured solo under SC, UM and ZC; every combination
+/// is then scored by the closed-form interference model and the one with
+/// the smallest combined co-run wall time wins (first-found on ties, so
+/// the result is deterministic). The per-tenant verdicts also carry the
+/// solo ground truth and the single-app Fig. 2 recommendation, so a
+/// *flip* — the solo winner losing under co-location — is explicit in
+/// the output.
+///
+/// # Errors
+///
+/// Rejects empty mixes and mixes beyond [`MAX_TENANTS`].
+pub fn joint_assignment(
+    device: &DeviceProfile,
+    characterization: &DeviceCharacterization,
+    tenants: &[CorunTenant],
+) -> Result<JointAssignment, String> {
+    let candidates = candidate_demands(device, tenants)?;
+    let config = InterferenceConfig::for_device(device);
+    let total_wall = |demands: &[TenantDemand]| -> u64 {
+        co_run_interference(demands, &config)
+            .iter()
+            .map(|t| t.wall_co.as_picos())
+            .sum()
+    };
+    let joint_picks = argmin_combo(&candidates, total_wall);
+
+    // Per-app greedy: each tenant keeps its measured solo best.
+    let greedy_picks: Vec<usize> = candidates
+        .iter()
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .min_by_key(|(_, d)| d.wall_solo.as_picos())
+                .map(|(k, _)| k)
+                .unwrap_or(0)
+        })
+        .collect();
+    let pick = |picks: &[usize]| -> Vec<TenantDemand> {
+        picks
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| candidates[i][k].clone())
+            .collect()
+    };
+    let joint_outcome = co_run_interference(&pick(&joint_picks), &config);
+    let greedy_total = Picos(total_wall(&pick(&greedy_picks)));
+    let joint_total = Picos(
+        joint_outcome
+            .iter()
+            .map(|t| t.wall_co.as_picos())
+            .sum::<u64>(),
+    );
+
+    let verdicts: Vec<TenantAssignment> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, tenant)| {
+            let joint = CommModelKind::ALL[joint_picks[i]];
+            let solo_best = CommModelKind::ALL[greedy_picks[i]];
+            let solo_recommended =
+                recommend_for_device(device, characterization, &tenant.workload, tenant.current)
+                    .recommendation
+                    .recommended;
+            let wall_solo = candidates[i][joint_picks[i]].wall_solo;
+            TenantAssignment {
+                name: tenant.name.clone(),
+                solo_best,
+                solo_recommended,
+                joint,
+                wall_solo,
+                wall_co: joint_outcome[i].wall_co,
+                slowdown: joint_outcome[i].slowdown,
+                flipped: joint != solo_best,
+            }
+        })
+        .collect();
+    let any_flip = verdicts.iter().any(|v| v.flipped);
+    Ok(JointAssignment {
+        device: device.name.clone(),
+        tenants: verdicts,
+        joint_total,
+        greedy_total,
+        any_flip,
+    })
+}
+
+/// The brute-force reference: the same `3^N` enumeration scored by the
+/// piecewise [`co_run_oracle`] simulation instead of the closed form.
+/// Returns the winning models in mix order.
+///
+/// # Errors
+///
+/// Rejects empty mixes and mixes beyond [`MAX_TENANTS`].
+pub fn oracle_assignment(
+    device: &DeviceProfile,
+    tenants: &[CorunTenant],
+) -> Result<Vec<CommModelKind>, String> {
+    let candidates = candidate_demands(device, tenants)?;
+    let config = InterferenceConfig::for_device(device);
+    let picks = argmin_combo(&candidates, |demands| {
+        co_run_oracle(demands, &config)
+            .iter()
+            .map(|w| w.as_picos())
+            .sum()
+    });
+    Ok(picks.iter().map(|&k| CommModelKind::ALL[k]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_microbench::quick_characterize_device;
+    use icomm_models::{CpuPhase, GpuPhase};
+    use icomm_soc::cache::AccessKind;
+    use icomm_soc::units::ByteSize;
+    use icomm_trace::Pattern;
+
+    fn streaming(name: &str) -> CorunTenant {
+        let bytes = 1u64 << 20;
+        CorunTenant {
+            name: name.to_string(),
+            workload: Workload::builder(name)
+                .bytes_to_gpu(ByteSize(bytes))
+                .gpu(GpuPhase {
+                    compute_work: 1 << 22,
+                    shared_accesses: Pattern::Linear {
+                        start: 0,
+                        bytes,
+                        txn_bytes: 64,
+                        kind: AccessKind::Read,
+                    },
+                    private_accesses: None,
+                })
+                .cpu(CpuPhase::idle())
+                .build(),
+            current: CommModelKind::StandardCopy,
+        }
+    }
+
+    fn cache_hungry(name: &str) -> CorunTenant {
+        let bytes = 1u64 << 18;
+        CorunTenant {
+            name: name.to_string(),
+            workload: Workload::builder(name)
+                .bytes_to_gpu(ByteSize(bytes))
+                .gpu(GpuPhase {
+                    compute_work: 1 << 16,
+                    shared_accesses: Pattern::Repeat {
+                        body: Box::new(Pattern::Linear {
+                            start: 0,
+                            bytes,
+                            txn_bytes: 64,
+                            kind: AccessKind::Read,
+                        }),
+                        times: 16,
+                    },
+                    private_accesses: None,
+                })
+                .cpu(CpuPhase::idle())
+                .build(),
+            current: CommModelKind::StandardCopy,
+        }
+    }
+
+    #[test]
+    fn demand_reflects_model_mechanics() {
+        let device = DeviceProfile::jetson_tx2();
+        let tenant = cache_hungry("hot");
+        let sc = tenant_demand(
+            &device,
+            "hot",
+            &tenant.workload,
+            CommModelKind::StandardCopy,
+        );
+        let zc = tenant_demand(&device, "hot", &tenant.workload, CommModelKind::ZeroCopy);
+        // Bypassing the GPU LLC turns reuse into channel traffic.
+        assert!(zc.dram_busy_solo > sc.dram_busy_solo);
+        assert_eq!(zc.llc_pressure, 0.0);
+        assert!(sc.llc_pressure > 0.0);
+        assert_eq!(zc.llc_spill_busy, Picos::ZERO);
+        assert!(!sc.llc_spill_busy.is_zero());
+    }
+
+    #[test]
+    fn joint_assignment_is_deterministic() {
+        let device = DeviceProfile::jetson_tx2();
+        let chr = quick_characterize_device(&device);
+        let mix = vec![streaming("a"), cache_hungry("b")];
+        let first = joint_assignment(&device, &chr, &mix).expect("joint assignment");
+        let second = joint_assignment(&device, &chr, &mix).expect("joint assignment");
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn joint_never_worse_than_greedy_under_the_model() {
+        for device in [
+            DeviceProfile::jetson_nano(),
+            DeviceProfile::jetson_tx2(),
+            DeviceProfile::jetson_agx_xavier(),
+        ] {
+            let chr = quick_characterize_device(&device);
+            let mix = vec![streaming("s1"), cache_hungry("h1"), streaming("s2")];
+            let joint = joint_assignment(&device, &chr, &mix).expect("joint assignment");
+            assert!(
+                joint.joint_total <= joint.greedy_total,
+                "{}: joint {} worse than greedy {}",
+                device.name,
+                joint.joint_total,
+                joint.greedy_total
+            );
+        }
+    }
+
+    #[test]
+    fn mix_size_limits_enforced() {
+        let device = DeviceProfile::jetson_tx2();
+        let chr = quick_characterize_device(&device);
+        assert!(joint_assignment(&device, &chr, &[]).is_err());
+        let too_many: Vec<CorunTenant> = (0..5).map(|i| streaming(&format!("t{i}"))).collect();
+        assert!(joint_assignment(&device, &chr, &too_many).is_err());
+        assert!(oracle_assignment(&device, &too_many).is_err());
+    }
+}

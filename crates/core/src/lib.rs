@@ -13,6 +13,10 @@
 //!   (or loads a cached [`icomm_microbench::DeviceCharacterization`]),
 //!   then profiles applications and validates recommendations against
 //!   ground-truth runs.
+//! - [`corun`] — the decision flow extended to tenant *sets*: jointly
+//!   assign models to co-located applications by scoring every
+//!   combination under the cross-tenant interference model, instead of
+//!   tuning each app as if it were alone.
 //!
 //! The crate's headline reproduction: profiled under its original model,
 //! each of the paper's applications gets the same verdict the paper
@@ -23,12 +27,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod corun;
 pub mod decision;
 pub mod speedup;
 pub mod summary;
 pub mod tuner;
 pub mod usage;
 
+pub use corun::{
+    joint_assignment, oracle_assignment, tenant_demand, CorunTenant, JointAssignment,
+    TenantAssignment,
+};
 pub use decision::{recommend, CacheZone, Recommendation};
 pub use speedup::{sc_to_zc, zc_to_sc, SpeedupEstimate};
 pub use tuner::{copy_time_estimate, recommend_for_device, Tuner, TuningOutcome, Validation};

@@ -15,7 +15,10 @@
 //!   producing a byte-identically replayable [`FleetReport`]; an
 //!   optional live-fire stage then hammers a real TCP server in-process
 //!   and reports wall-clock numbers through the non-serialized
-//!   [`LivefireStats`] side channel.
+//!   [`LivefireStats`] side channel. With `tenants_per_device > 1` the
+//!   simulation also co-schedules a tenant mix on every served device
+//!   (via `icomm-sched`, using the characterization the registry
+//!   resolved) and reports fleet-wide per-tenant SLO attainment.
 //!
 //! The headline metrics are the ones fleet operators care about:
 //! warm-start rate (what fraction of devices avoided the expensive full

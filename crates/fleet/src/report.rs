@@ -71,6 +71,22 @@ pub struct FleetReport {
     pub mean_regret_pct: f64,
     /// Worst single-sample decision regret, percent.
     pub max_regret_pct: f64,
+    /// Tenants co-hosted per served device (1 = single-tenant fleet;
+    /// the co-run fields below are all zero in that case).
+    pub tenants_per_device: u64,
+    /// Tenant instances scheduled across all served devices in the
+    /// multi-tenant stage.
+    pub corun_tenants: u64,
+    /// Percent of co-run jobs that missed their deadline, fleet-wide.
+    pub corun_deadline_miss_pct: f64,
+    /// Percent of tenant instances that met every deadline — the
+    /// per-tenant SLO attainment of the multi-tenant stage.
+    pub corun_slo_attainment_pct: f64,
+    /// Job-weighted mean co-run slowdown versus solo execution.
+    pub corun_mean_slowdown: f64,
+    /// Served devices whose joint model assignment flipped at least one
+    /// tenant away from its solo-best communication model.
+    pub corun_flips: u64,
     /// Requests sent during the live-fire TCP stage (0 when skipped).
     pub livefire_sent: u64,
     /// Live-fire requests answered `ok`.
@@ -130,6 +146,18 @@ impl fmt::Display for FleetReport {
             self.regret_samples,
             self.regret_disagreements
         )?;
+        if self.corun_tenants > 0 {
+            writeln!(
+                f,
+                "co-run       {} tenants/device  {} tenant instances  miss {:.1}%  slo {:.1}%  slowdown {:.3}x  ({} flips)",
+                self.tenants_per_device,
+                self.corun_tenants,
+                self.corun_deadline_miss_pct,
+                self.corun_slo_attainment_pct,
+                self.corun_mean_slowdown,
+                self.corun_flips
+            )?;
+        }
         if self.livefire_sent > 0 {
             writeln!(
                 f,
@@ -223,6 +251,12 @@ mod tests {
             regret_disagreements: 1,
             mean_regret_pct: 0.4,
             max_regret_pct: 6.0,
+            tenants_per_device: 2,
+            corun_tenants: 196,
+            corun_deadline_miss_pct: 1.5,
+            corun_slo_attainment_pct: 97.0,
+            corun_mean_slowdown: 1.21,
+            corun_flips: 12,
             livefire_sent: 64,
             livefire_ok: 64,
             livefire_failed: 0,
@@ -261,5 +295,9 @@ mod tests {
         assert!(text.contains("warm start   91.8%"));
         assert!(text.contains("verdict      PASS"));
         assert!(text.contains("livefire     64 sent"));
+        assert!(text.contains("co-run       2 tenants/device"));
+        let mut single = sample();
+        single.corun_tenants = 0;
+        assert!(!single.to_string().contains("co-run"));
     }
 }

@@ -18,7 +18,7 @@
 
 use std::cell::Cell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use icomm_chaos::ChaosRng;
 use icomm_core::recommend_for_device;
@@ -27,6 +27,7 @@ use icomm_microbench::{
     DeviceCharacterization, TransferPolicy,
 };
 use icomm_models::run_model;
+use icomm_sched::{run_sched_with, PolicyKind, SchedConfig, SchedReport};
 use icomm_serve::catalog;
 use icomm_serve::registry::EntryMeta;
 use icomm_serve::{AdmissionConfig, AdmissionController, AdmissionDecision, Registry, ShedReason};
@@ -70,6 +71,16 @@ pub struct FleetConfig {
     pub regret_samples: usize,
     /// Whether to run the live-fire TCP stage after the simulation.
     pub livefire: bool,
+    /// Tenants co-hosted per served device. `1` (the default) keeps the
+    /// fleet single-tenant; `2`–`4` turn on the multi-tenant stage: every
+    /// served device schedules the co-run mix of that size under the
+    /// characterization the registry resolved for it (cache hit,
+    /// federated transfer, or full sweep — the same object, so a bad
+    /// transfer shows up as co-run deadline misses too).
+    pub tenants_per_device: usize,
+    /// Named co-run mix for the multi-tenant stage, or `"auto"` to pick
+    /// by `tenants_per_device` (2 → `duo`, 3 → `contended`, 4 → `quad`).
+    pub tenant_mix: String,
 }
 
 impl Default for FleetConfig {
@@ -91,7 +102,31 @@ impl Default for FleetConfig {
             slo_us: 50_000,
             regret_samples: 16,
             livefire: true,
+            tenants_per_device: 1,
+            tenant_mix: "auto".to_string(),
         }
+    }
+}
+
+/// Resolves the co-run mix name for the configured tenant count, or
+/// `None` when the fleet stays single-tenant.
+fn corun_mix(config: &FleetConfig) -> Result<Option<String>, String> {
+    match config.tenants_per_device {
+        0 => Err("tenants_per_device must be at least 1".to_string()),
+        1 => Ok(None),
+        n @ 2..=4 => Ok(Some(if config.tenant_mix == "auto" {
+            match n {
+                2 => "duo",
+                3 => "contended",
+                _ => "quad",
+            }
+            .to_string()
+        } else {
+            config.tenant_mix.clone()
+        })),
+        n => Err(format!(
+            "tenants_per_device must be between 1 and 4, got {n}"
+        )),
     }
 }
 
@@ -169,6 +204,20 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
     // spot-check pool.
     let mut transferred: Vec<(usize, &'static str)> = Vec::new();
 
+    // Multi-tenant stage: a co-run schedule per served device, memoized
+    // per (board, cluster). Co-run behaviour is a cluster property (the
+    // cluster shares DVFS caps and memory timings), so the first
+    // registry-resolved characterization in a cluster prices the whole
+    // cluster; per-unit clock drift stays a single-tenant concern.
+    let tenant_mix_name = corun_mix(config)?;
+    let mut sched_memo: HashMap<(String, usize), SchedReport> = HashMap::new();
+    let mut corun_tenants = 0u64;
+    let mut corun_jobs = 0u64;
+    let mut corun_missed = 0u64;
+    let mut corun_slo_ok = 0u64;
+    let mut corun_slowdown_sum = 0.0f64;
+    let mut corun_flips = 0u64;
+
     for arrival in &arrivals {
         let now = arrival.at_us;
         while matches!(in_system.peek(), Some(Reverse(finish)) if *finish <= now) {
@@ -188,32 +237,37 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
 
         let device = &population[arrival.device_index];
         let class_flag = Cell::new(LookupClass::Hit);
-        let (_, lookup) = registry.get_or_characterize_with(&device.profile, |profile| {
-            let features = fingerprint_features(profile);
-            let neighbors = registry.measured_neighbors();
-            match transfer_characterization(&profile.name, &features, &neighbors, &config.transfer)
-            {
-                Some(t) => {
-                    class_flag.set(LookupClass::Transfer);
-                    let meta = EntryMeta {
-                        features,
-                        confidence: t.confidence,
-                    };
-                    (t.characterization, Some(meta))
+        let (characterization, lookup) =
+            registry.get_or_characterize_with(&device.profile, |profile| {
+                let features = fingerprint_features(profile);
+                let neighbors = registry.measured_neighbors();
+                match transfer_characterization(
+                    &profile.name,
+                    &features,
+                    &neighbors,
+                    &config.transfer,
+                ) {
+                    Some(t) => {
+                        class_flag.set(LookupClass::Transfer);
+                        let meta = EntryMeta {
+                            features,
+                            confidence: t.confidence,
+                        };
+                        (t.characterization, Some(meta))
+                    }
+                    None => {
+                        class_flag.set(if neighbors.is_empty() {
+                            LookupClass::FullFresh
+                        } else {
+                            LookupClass::FullFallback
+                        });
+                        (
+                            quick_characterize_device(profile),
+                            Some(EntryMeta::measured(features)),
+                        )
+                    }
                 }
-                None => {
-                    class_flag.set(if neighbors.is_empty() {
-                        LookupClass::FullFresh
-                    } else {
-                        LookupClass::FullFallback
-                    });
-                    (
-                        quick_characterize_device(profile),
-                        Some(EntryMeta::measured(features)),
-                    )
-                }
-            }
-        });
+            });
         let class = if lookup.served_from_cache() {
             LookupClass::Hit
         } else {
@@ -239,6 +293,34 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
                 COST_FULL_US
             }
         };
+
+        if let Some(mix_name) = &tenant_mix_name {
+            let key = (device.board.clone(), device.cluster);
+            if !sched_memo.contains_key(&key) {
+                let mut sched = SchedConfig::new(device.profile.clone());
+                sched.mix = mix_name.clone();
+                sched.policy = PolicyKind::DeadlineBudget;
+                // Decorrelate release phases across clusters while
+                // keeping the whole stage a function of the fleet seed.
+                sched.seed = config.seed ^ ((device.cluster as u64) << 8);
+                sched.jobs_per_tenant = 4;
+                let out = run_sched_with(&sched, &characterization)?;
+                sched_memo.insert(key.clone(), out.report);
+            }
+            let corun = &sched_memo[&key];
+            corun_tenants += corun.tenants.len() as u64;
+            if corun.any_flip {
+                corun_flips += 1;
+            }
+            for tenant in &corun.tenants {
+                corun_jobs += u64::from(tenant.jobs);
+                corun_missed += u64::from(tenant.missed);
+                if tenant.missed == 0 {
+                    corun_slo_ok += 1;
+                }
+                corun_slowdown_sum += tenant.mean_slowdown * f64::from(tenant.jobs);
+            }
+        }
 
         // Assign to the earliest-free virtual worker.
         let (slot, free_at) = worker_free_us
@@ -329,6 +411,21 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
     } else {
         within_slo as f64 / served as f64 * 100.0
     };
+    let corun_deadline_miss_pct = if corun_jobs == 0 {
+        0.0
+    } else {
+        corun_missed as f64 / corun_jobs as f64 * 100.0
+    };
+    let corun_slo_attainment_pct = if corun_tenants == 0 {
+        0.0
+    } else {
+        corun_slo_ok as f64 / corun_tenants as f64 * 100.0
+    };
+    let corun_mean_slowdown = if corun_jobs == 0 {
+        0.0
+    } else {
+        corun_slowdown_sum / corun_jobs as f64
+    };
 
     let (livefire_counts, livefire_stats) = if config.livefire {
         let outcome = crate::livefire::run_livefire(config.devices.min(192), 4)?;
@@ -367,6 +464,12 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
         regret_disagreements,
         mean_regret_pct,
         max_regret_pct: regret_max_pct,
+        tenants_per_device: config.tenants_per_device as u64,
+        corun_tenants,
+        corun_deadline_miss_pct,
+        corun_slo_attainment_pct,
+        corun_mean_slowdown,
+        corun_flips,
         livefire_sent: livefire_counts.0,
         livefire_ok: livefire_counts.1,
         livefire_failed: livefire_counts.2,
@@ -449,6 +552,43 @@ mod tests {
             "overdriven burst load must shed"
         );
         assert_eq!(r.served + r.shed_queue + r.shed_rate, r.requests);
+    }
+
+    #[test]
+    fn multi_tenant_mode_schedules_every_served_device() {
+        let config = FleetConfig {
+            devices: 36,
+            tenants_per_device: 2,
+            ..small_config()
+        };
+        let out = run_fleet(&config).expect("multi-tenant fleet runs");
+        let r = out.report;
+        assert_eq!(r.tenants_per_device, 2);
+        // Every served device hosts exactly the duo mix's two tenants.
+        assert_eq!(r.corun_tenants, r.served * 2);
+        assert!(r.corun_slo_attainment_pct > 0.0);
+        assert!(r.corun_mean_slowdown >= 1.0);
+        // The single-tenant pipeline metrics are untouched by the stage.
+        let solo = run_fleet(&FleetConfig {
+            devices: 36,
+            ..small_config()
+        })
+        .expect("single-tenant fleet runs");
+        assert_eq!(r.served, solo.report.served);
+        assert_eq!(r.warm_start_pct, solo.report.warm_start_pct);
+        assert_eq!(solo.report.corun_tenants, 0);
+    }
+
+    #[test]
+    fn bad_tenant_counts_are_rejected() {
+        for tenants in [0, 5] {
+            let config = FleetConfig {
+                tenants_per_device: tenants,
+                ..small_config()
+            };
+            let err = run_fleet(&config).expect_err("tenant count out of range");
+            assert!(err.contains("tenants_per_device"), "error: {err}");
+        }
     }
 
     #[test]

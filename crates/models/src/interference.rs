@@ -1,0 +1,520 @@
+//! Cross-tenant interference on the shared memory system.
+//!
+//! [`overlap`](crate::overlap) bounds one app's wall time by its *own*
+//! DRAM-channel occupancy. Under co-location that is no longer the whole
+//! story: every tenant of the SoC shares one DRAM channel and the two
+//! LLCs, so a co-runner's traffic stretches the memory-bound part of a
+//! tenant's timeline and its cache footprint steals LLC ways. The paper's
+//! mechanics add a third, model-specific coupling: a zero-copy tenant
+//! bypasses the GPU LLC (and, on non-I/O-coherent boards, the CPU LLC),
+//! turning every one of its shared accesses into channel traffic that
+//! shrinks the co-runners' effective `GPU_Cache_Threshold`.
+//!
+//! Two estimators live here:
+//!
+//! - [`co_run_interference`] — the closed-form model: per-tenant slowdown
+//!   from combined channel occupancy, an LLC way grant from combined cache
+//!   pressure, and a threshold scale from bypassing neighbours. It treats
+//!   the co-run set as fixed for the whole run, which makes it a
+//!   *conservative upper bound* on the wall time.
+//! - [`co_run_oracle`] — the brute-force reference: a piecewise event
+//!   simulation where tenants that finish leave the channel, lowering the
+//!   contention the survivors see. The closed form is validated against it
+//!   (`oracle ≤ model`, with equality when the channel never saturates).
+
+use icomm_soc::units::Picos;
+use icomm_soc::DeviceProfile;
+
+use crate::model::CommModelKind;
+
+/// What one tenant asks of the shared memory system, measured from a
+/// *solo* run of its workload under a candidate communication model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantDemand {
+    /// Tenant name (for reports; not used by the math).
+    pub name: String,
+    /// The communication model the tenant runs under. Zero-copy tenants
+    /// bypass the GPU LLC and pressure co-runners' thresholds.
+    pub model: CommModelKind,
+    /// Solo wall time of one job.
+    pub wall_solo: Picos,
+    /// DRAM channel busy time accumulated during that solo job.
+    pub dram_busy_solo: Picos,
+    /// Fraction of the GPU LLC the tenant's shared footprint wants,
+    /// clamped to `[0, 1]`. Zero for models that bypass the cache.
+    pub llc_pressure: f64,
+    /// Extra channel busy time this tenant would add if *all* of its LLC
+    /// hits spilled to DRAM (hit bytes over peak bandwidth). The model
+    /// charges the fraction `1 - threshold_scale` of it back to the
+    /// channel — the mechanism by which a bypassing neighbour's pressure
+    /// becomes measurable slowdown. Zero for bypassing tenants.
+    pub llc_spill_busy: Picos,
+}
+
+impl TenantDemand {
+    /// Channel utilization of the solo run: busy time over wall time,
+    /// clamped to `[0, 1]`. Zero-wall jobs demand nothing.
+    pub fn channel_util(&self) -> f64 {
+        self.util_with_extra(Picos::ZERO)
+    }
+
+    /// Channel utilization with `extra` busy time (spilled LLC hits)
+    /// charged on top of the measured solo busy time.
+    fn util_with_extra(&self, extra: Picos) -> f64 {
+        if self.wall_solo.is_zero() {
+            return 0.0;
+        }
+        let u = (self.dram_busy_solo + extra).as_secs_f64() / self.wall_solo.as_secs_f64();
+        u.clamp(0.0, 1.0)
+    }
+
+    /// Whether this tenant's model turns shared-buffer accesses into
+    /// uncached channel traffic (zero copy bypasses the GPU LLC on every
+    /// board the paper measures).
+    pub fn bypasses_gpu_llc(&self) -> bool {
+        matches!(self.model, CommModelKind::ZeroCopy)
+    }
+}
+
+/// Knobs of the interference model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceConfig {
+    /// How strongly a bypassing neighbour's channel demand shrinks a
+    /// cache-enabled co-runner's effective `GPU_Cache_Threshold`. The
+    /// scale divides by `1 + penalty * zc_neighbour_util`.
+    pub zc_threshold_penalty: f64,
+    /// Floor for the threshold scale: even a hostile neighbour cannot
+    /// erase the LLC entirely.
+    pub min_threshold_scale: f64,
+}
+
+impl InterferenceConfig {
+    /// Device-appropriate defaults. Non-I/O-coherent boards (Nano, TX2)
+    /// also lose the CPU LLC under a zero-copy neighbour, so the bypass
+    /// penalty is harsher there.
+    pub fn for_device(device: &DeviceProfile) -> Self {
+        InterferenceConfig {
+            zc_threshold_penalty: if device.is_io_coherent() { 0.8 } else { 1.4 },
+            min_threshold_scale: 0.25,
+        }
+    }
+}
+
+impl Default for InterferenceConfig {
+    fn default() -> Self {
+        InterferenceConfig {
+            zc_threshold_penalty: 1.0,
+            min_threshold_scale: 0.25,
+        }
+    }
+}
+
+/// Per-tenant outcome of the closed-form interference model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantInterference {
+    /// The tenant's own channel utilization, `[0, 1]`.
+    pub channel_util: f64,
+    /// Predicted co-run wall time of one job.
+    pub wall_co: Picos,
+    /// `wall_co / wall_solo`, `>= 1`.
+    pub slowdown: f64,
+    /// Fraction of the tenant's wanted LLC ways it is granted, `(0, 1]`.
+    /// `1.0` when the combined pressure fits (or the tenant bypasses).
+    pub llc_grant: f64,
+    /// Multiplier on the tenant's effective `GPU_Cache_Threshold` under
+    /// this co-run set, `[min_threshold_scale, 1]`. `1.0` for bypassing
+    /// tenants, whose hit rate is already zero by construction.
+    pub threshold_scale: f64,
+}
+
+/// The closed-form N-tenant interference model.
+///
+/// The memory-bound fraction `u_i` of tenant *i*'s timeline is stretched
+/// by the combined channel demand `f = max(1, Σ u_j)`; the compute-bound
+/// remainder is unaffected:
+///
+/// ```text
+/// wall_co_i = wall_solo_i * ((1 - u_i) + u_i * f)
+/// ```
+///
+/// Cache-enabled tenants additionally split the GPU LLC: if the combined
+/// wanted pressure `W = Σ llc_pressure_j` exceeds the cache, every
+/// claimant is granted a `1/W` share of what it wanted. Bypassing
+/// neighbours shrink the survivors' effective cache threshold by
+/// `1 / (1 + penalty * Σ u_zc)`. A shrunk threshold feeds back into the
+/// channel: the lost fraction of the tenant's LLC hits
+/// (`llc_spill_busy * (1 - threshold_scale)`) is charged as extra busy
+/// time before the stretch factor is computed.
+///
+/// A single tenant (or an unsaturated channel) is returned untouched:
+/// slowdown 1, full grant, unit threshold scale.
+pub fn co_run_interference(
+    tenants: &[TenantDemand],
+    config: &InterferenceConfig,
+) -> Vec<TenantInterference> {
+    let (grants, scales) = cache_coupling(tenants, config);
+    let utils = effective_utils(tenants, &scales);
+    let total_util: f64 = utils.iter().sum();
+    let stretch = total_util.max(1.0);
+    tenants
+        .iter()
+        .enumerate()
+        .map(|(i, tenant)| {
+            let util = utils[i];
+            let slowdown = 1.0 + util * (stretch - 1.0);
+            let wall_co = tenant.wall_solo.scale(slowdown).max(tenant.wall_solo);
+            TenantInterference {
+                channel_util: util,
+                wall_co,
+                slowdown,
+                llc_grant: grants[i],
+                threshold_scale: scales[i],
+            }
+        })
+        .collect()
+}
+
+/// First pass of the model: the LLC way grant and effective-threshold
+/// scale of every tenant, computed from the *base* (unspilled) channel
+/// demands.
+fn cache_coupling(tenants: &[TenantDemand], config: &InterferenceConfig) -> (Vec<f64>, Vec<f64>) {
+    let base_utils: Vec<f64> = tenants.iter().map(TenantDemand::channel_util).collect();
+    let wanted: f64 = tenants
+        .iter()
+        .filter(|t| !t.bypasses_gpu_llc())
+        .map(|t| t.llc_pressure.clamp(0.0, 1.0))
+        .sum();
+    let mut grants = Vec::with_capacity(tenants.len());
+    let mut scales = Vec::with_capacity(tenants.len());
+    for (i, tenant) in tenants.iter().enumerate() {
+        let grant = if tenant.bypasses_gpu_llc() || wanted <= 1.0 {
+            1.0
+        } else {
+            1.0 / wanted
+        };
+        let scale = if tenant.bypasses_gpu_llc() {
+            1.0
+        } else {
+            let zc_util: f64 = tenants
+                .iter()
+                .enumerate()
+                .filter(|(j, other)| *j != i && other.bypasses_gpu_llc())
+                .map(|(j, _)| base_utils[j])
+                .sum();
+            (grant / (1.0 + config.zc_threshold_penalty * zc_util))
+                .clamp(config.min_threshold_scale, 1.0)
+        };
+        grants.push(grant);
+        scales.push(scale);
+    }
+    (grants, scales)
+}
+
+/// Second pass: channel utilizations with the spilled fraction of every
+/// tenant's LLC hits charged back to the channel.
+fn effective_utils(tenants: &[TenantDemand], scales: &[f64]) -> Vec<f64> {
+    tenants
+        .iter()
+        .zip(scales)
+        .map(|(tenant, &scale)| {
+            let spilled = if tenant.bypasses_gpu_llc() {
+                Picos::ZERO
+            } else {
+                tenant.llc_spill_busy.scale(1.0 - scale)
+            };
+            tenant.util_with_extra(spilled)
+        })
+        .collect()
+}
+
+/// Brute-force co-run oracle: exact piecewise simulation of the shared
+/// channel.
+///
+/// Between completions the active set is fixed, so each active tenant
+/// progresses through its own solo timeline at the constant rate
+/// `1 / ((1 - u_i) + u_i * f_A)` where `f_A = max(1, Σ_{j active} u_j)`.
+/// When a tenant finishes it leaves the channel and the survivors'
+/// rates are recomputed. Returns each tenant's completion time (its
+/// co-run wall, all tenants released together at t = 0).
+///
+/// Because contention only ever *drops* as tenants finish, the oracle
+/// wall is never above the closed-form prediction and never below the
+/// solo wall.
+pub fn co_run_oracle(tenants: &[TenantDemand], config: &InterferenceConfig) -> Vec<Picos> {
+    let (_, scales) = cache_coupling(tenants, config);
+    let utils = effective_utils(tenants, &scales);
+    let mut remaining: Vec<f64> = tenants.iter().map(|t| t.wall_solo.as_secs_f64()).collect();
+    let mut finish = vec![Picos::ZERO; tenants.len()];
+    let mut active: Vec<bool> = remaining.iter().map(|&r| r > 0.0).collect();
+    let mut now = 0.0f64;
+    while active.iter().any(|&a| a) {
+        let total_util: f64 = utils
+            .iter()
+            .zip(&active)
+            .filter(|(_, &a)| a)
+            .map(|(&u, _)| u)
+            .sum();
+        let stretch = total_util.max(1.0);
+        // Constant per-tenant progress rates until the next completion.
+        let rates: Vec<f64> = utils
+            .iter()
+            .map(|&u| 1.0 / ((1.0 - u) + u * stretch))
+            .collect();
+        let mut step = f64::INFINITY;
+        for i in 0..remaining.len() {
+            if active[i] {
+                step = step.min(remaining[i] / rates[i]);
+            }
+        }
+        now += step;
+        for i in 0..remaining.len() {
+            if !active[i] {
+                continue;
+            }
+            remaining[i] -= step * rates[i];
+            // The minimum above guarantees at least one tenant hits zero;
+            // the epsilon absorbs f64 rounding in the subtraction.
+            if remaining[i] <= step * rates[i] * 1e-12 + f64::MIN_POSITIVE {
+                active[i] = false;
+                finish[i] = Picos::from_secs_f64(now).max(tenants[i].wall_solo);
+            }
+        }
+    }
+    finish
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(
+        name: &str,
+        model: CommModelKind,
+        wall_us: u64,
+        busy_us: u64,
+        llc: f64,
+    ) -> TenantDemand {
+        TenantDemand {
+            name: name.to_string(),
+            model,
+            wall_solo: Picos::from_micros(wall_us),
+            dram_busy_solo: Picos::from_micros(busy_us),
+            llc_pressure: llc,
+            llc_spill_busy: Picos::ZERO,
+        }
+    }
+
+    #[test]
+    fn spilled_hits_raise_the_stretch() {
+        let cfg = InterferenceConfig::default();
+        let mut cache_user = demand("sc", CommModelKind::StandardCopy, 100, 40, 0.5);
+        cache_user.llc_spill_busy = Picos::from_micros(40);
+        let hog = demand("zc", CommModelKind::ZeroCopy, 100, 90, 0.0);
+        let without_spill = co_run_interference(
+            &[
+                demand("sc", CommModelKind::StandardCopy, 100, 40, 0.5),
+                hog.clone(),
+            ],
+            &cfg,
+        );
+        let with_spill = co_run_interference(&[cache_user, hog], &cfg);
+        // The ZC neighbour shrinks the threshold, the lost hits hit DRAM,
+        // and both tenants see a larger stretch for it.
+        assert!(with_spill[0].wall_co > without_spill[0].wall_co);
+        assert!(with_spill[1].wall_co > without_spill[1].wall_co);
+        assert!(with_spill[0].threshold_scale < 1.0);
+    }
+
+    #[test]
+    fn single_tenant_is_untouched() {
+        let t = vec![demand("a", CommModelKind::StandardCopy, 100, 60, 0.4)];
+        let out = co_run_interference(&t, &InterferenceConfig::default());
+        assert_eq!(out[0].slowdown, 1.0);
+        assert_eq!(out[0].wall_co, t[0].wall_solo);
+        assert_eq!(out[0].llc_grant, 1.0);
+        assert_eq!(out[0].threshold_scale, 1.0);
+    }
+
+    #[test]
+    fn unsaturated_channel_keeps_solo_walls() {
+        let t = vec![
+            demand("a", CommModelKind::StandardCopy, 100, 30, 0.2),
+            demand("b", CommModelKind::StandardCopy, 100, 40, 0.2),
+        ];
+        let out = co_run_interference(&t, &InterferenceConfig::default());
+        for (o, d) in out.iter().zip(&t) {
+            assert_eq!(o.slowdown, 1.0);
+            assert_eq!(o.wall_co, d.wall_solo);
+        }
+        let oracle = co_run_oracle(&t, &InterferenceConfig::default());
+        assert_eq!(oracle[0], t[0].wall_solo);
+        assert_eq!(oracle[1], t[1].wall_solo);
+    }
+
+    #[test]
+    fn saturated_channel_stretches_memory_fraction() {
+        let t = vec![
+            demand("a", CommModelKind::StandardCopy, 100, 80, 0.0),
+            demand("b", CommModelKind::StandardCopy, 100, 80, 0.0),
+        ];
+        let out = co_run_interference(&t, &InterferenceConfig::default());
+        // f = 1.6; slowdown = 1 + 0.8 * 0.6 = 1.48.
+        assert!((out[0].slowdown - 1.48).abs() < 1e-12);
+        assert_eq!(out[0].wall_co, Picos::from_micros(148));
+    }
+
+    #[test]
+    fn oracle_below_model_above_solo() {
+        let t = vec![
+            demand("a", CommModelKind::StandardCopy, 50, 45, 0.3),
+            demand("b", CommModelKind::ZeroCopy, 200, 120, 0.0),
+            demand("c", CommModelKind::UnifiedMemory, 120, 70, 0.5),
+        ];
+        let cfg = InterferenceConfig::default();
+        let model = co_run_interference(&t, &cfg);
+        let oracle = co_run_oracle(&t, &cfg);
+        for i in 0..t.len() {
+            assert!(oracle[i] >= t[i].wall_solo, "tenant {i} beat solo");
+            // One picosecond of slack for the f64 round-trip.
+            assert!(
+                oracle[i].as_picos() <= model[i].wall_co.as_picos() + 1,
+                "oracle {} above model {} for tenant {i}",
+                oracle[i],
+                model[i].wall_co
+            );
+        }
+        // The short memory-heavy tenant finishes first; survivors then
+        // see less contention, so at least one oracle wall is strictly
+        // below the closed form.
+        assert!(oracle.iter().zip(&model).any(|(o, m)| *o < m.wall_co));
+    }
+
+    #[test]
+    fn zc_neighbour_shrinks_threshold() {
+        let cfg = InterferenceConfig::default();
+        let quiet = vec![
+            demand("a", CommModelKind::StandardCopy, 100, 50, 0.3),
+            demand("b", CommModelKind::StandardCopy, 100, 50, 0.3),
+        ];
+        let hostile = vec![
+            demand("a", CommModelKind::StandardCopy, 100, 50, 0.3),
+            demand("b", CommModelKind::ZeroCopy, 100, 50, 0.0),
+        ];
+        let quiet_out = co_run_interference(&quiet, &cfg);
+        let hostile_out = co_run_interference(&hostile, &cfg);
+        assert!(hostile_out[0].threshold_scale < quiet_out[0].threshold_scale);
+        // The bypassing tenant itself keeps a unit scale.
+        assert_eq!(hostile_out[1].threshold_scale, 1.0);
+    }
+
+    #[test]
+    fn llc_overcommit_splits_ways() {
+        let t = vec![
+            demand("a", CommModelKind::StandardCopy, 100, 10, 0.8),
+            demand("b", CommModelKind::StandardCopy, 100, 10, 0.8),
+        ];
+        let out = co_run_interference(&t, &InterferenceConfig::default());
+        // Wanted 1.6 > 1, so each is granted 1/1.6 of its ask.
+        assert!((out[0].llc_grant - 0.625).abs() < 1e-12);
+        assert!(out[0].threshold_scale < 1.0);
+    }
+
+    #[test]
+    fn device_config_is_harsher_without_io_coherence() {
+        let tx2 = InterferenceConfig::for_device(&DeviceProfile::jetson_tx2());
+        let xavier = InterferenceConfig::for_device(&DeviceProfile::jetson_agx_xavier());
+        assert!(tx2.zc_threshold_penalty > xavier.zc_threshold_penalty);
+    }
+
+    #[test]
+    fn zero_wall_tenant_is_inert() {
+        let t = vec![
+            demand("empty", CommModelKind::StandardCopy, 0, 0, 0.0),
+            demand("busy", CommModelKind::StandardCopy, 100, 90, 0.0),
+        ];
+        let cfg = InterferenceConfig::default();
+        let out = co_run_interference(&t, &cfg);
+        assert_eq!(out[0].wall_co, Picos::ZERO);
+        assert_eq!(out[1].slowdown, 1.0);
+        let oracle = co_run_oracle(&t, &cfg);
+        assert_eq!(oracle[0], Picos::ZERO);
+        assert_eq!(oracle[1], t[1].wall_solo);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_model_bounds(
+            walls in proptest::collection::vec(1u64..1_000_000, 1..5),
+            busy_fracs in proptest::collection::vec(0.0f64..1.0, 4..5),
+            llcs in proptest::collection::vec(0.0f64..1.5, 4..5),
+            zc_mask in proptest::collection::vec(proptest::bool::ANY, 4..5),
+        ) {
+            let cfg = InterferenceConfig::default();
+            let tenants: Vec<TenantDemand> = walls
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| TenantDemand {
+                    name: format!("t{i}"),
+                    model: if zc_mask[i % 4] {
+                        CommModelKind::ZeroCopy
+                    } else {
+                        CommModelKind::StandardCopy
+                    },
+                    wall_solo: Picos::from_micros(w),
+                    dram_busy_solo: Picos::from_micros(w).scale(busy_fracs[i % 4]),
+                    llc_pressure: llcs[i % 4],
+                    llc_spill_busy: Picos::from_micros(w).scale(llcs[i % 4] * 0.25),
+                })
+                .collect();
+            let model = co_run_interference(&tenants, &cfg);
+            let oracle = co_run_oracle(&tenants, &cfg);
+            for (i, t) in tenants.iter().enumerate() {
+                // Slowdown at least one, wall never below solo.
+                proptest::prop_assert!(model[i].slowdown >= 1.0);
+                proptest::prop_assert!(model[i].wall_co >= t.wall_solo);
+                // Oracle bracketed by solo and the closed form (1 ps slack
+                // for the f64 round-trip per completion event).
+                proptest::prop_assert!(oracle[i] >= t.wall_solo);
+                proptest::prop_assert!(
+                    oracle[i].as_picos() <= model[i].wall_co.as_picos() + tenants.len() as u64
+                );
+                // Scales live in their documented ranges.
+                proptest::prop_assert!(model[i].llc_grant > 0.0 && model[i].llc_grant <= 1.0);
+                proptest::prop_assert!(
+                    model[i].threshold_scale >= cfg.min_threshold_scale - 1e-12
+                        && model[i].threshold_scale <= 1.0
+                );
+            }
+        }
+
+        #[test]
+        fn prop_adding_a_tenant_never_helps(
+            wall_a in 1u64..1_000_000,
+            busy_a in 0.0f64..1.0,
+            wall_b in 1u64..1_000_000,
+            busy_b in 0.0f64..1.0,
+        ) {
+            let cfg = InterferenceConfig::default();
+            let a = TenantDemand {
+                name: "a".to_string(),
+                model: CommModelKind::StandardCopy,
+                wall_solo: Picos::from_micros(wall_a),
+                dram_busy_solo: Picos::from_micros(wall_a).scale(busy_a),
+                llc_pressure: 0.5,
+                llc_spill_busy: Picos::from_micros(wall_a).scale(0.1),
+            };
+            let b = TenantDemand {
+                name: "b".to_string(),
+                model: CommModelKind::ZeroCopy,
+                wall_solo: Picos::from_micros(wall_b),
+                dram_busy_solo: Picos::from_micros(wall_b).scale(busy_b),
+                llc_pressure: 0.0,
+                llc_spill_busy: Picos::ZERO,
+            };
+            let alone = co_run_interference(std::slice::from_ref(&a), &cfg);
+            let together = co_run_interference(&[a.clone(), b], &cfg);
+            proptest::prop_assert!(together[0].wall_co >= alone[0].wall_co);
+            proptest::prop_assert!(together[0].threshold_scale <= alone[0].threshold_scale);
+        }
+    }
+}

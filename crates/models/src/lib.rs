@@ -20,8 +20,10 @@
 //! Extensions beyond the paper: [`async_copy::DoubleBufferedCopy`] (SC
 //! with double buffering), [`tiled_exec`] (phase-by-phase execution of
 //! the Fig. 4 pattern), [`stream`] (real-time frame streams with deadline
-//! accounting), and [`phased`] (phased workloads plus the windowed
-//! execution harness the `icomm-adapt` online controller runs on).
+//! accounting), [`phased`] (phased workloads plus the windowed
+//! execution harness the `icomm-adapt` online controller runs on), and
+//! [`interference`] (N-tenant co-run slowdown and cache-threshold
+//! coupling on the shared DRAM channel, the base of `icomm-sched`).
 //!
 //! # Example
 //!
@@ -56,6 +58,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod async_copy;
+pub mod interference;
 pub mod layout;
 pub mod model;
 pub mod overlap;
@@ -69,6 +72,9 @@ pub mod unified_memory;
 pub mod workload;
 pub mod zero_copy;
 
+pub use interference::{
+    co_run_interference, co_run_oracle, InterferenceConfig, TenantDemand, TenantInterference,
+};
 pub use model::{model_for, run_model, CommModel, CommModelKind};
 pub use phased::{
     oracle_phased, run_phased, static_phased, switch_cost, switch_cost_for_payload,

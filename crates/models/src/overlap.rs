@@ -169,5 +169,70 @@ mod tests {
             proptest::prop_assert!(out.wall <= serial + out.barrier_total);
             proptest::prop_assert_eq!(out.saved, serial.saturating_sub(out.wall));
         }
+
+        #[test]
+        fn prop_contention_floor_respected(
+            cpu in 0u64..1_000_000,
+            gpu in 0u64..1_000_000,
+            occ_c in 0u64..1_000_000,
+            occ_g in 0u64..1_000_000,
+            phases in 0u32..8,
+            barrier in 0u64..10_000,
+        ) {
+            let i = OverlapInputs {
+                cpu_time: Picos(cpu),
+                gpu_time: Picos(gpu),
+                cpu_dram_occupancy: Picos(occ_c),
+                gpu_dram_occupancy: Picos(occ_g),
+                phases,
+                barrier_cost: Picos(barrier),
+            };
+            let out = overlapped_wall(i);
+            let serial = Picos(cpu + gpu);
+            let floor = Picos(occ_c + occ_g);
+            // The wall respects the contention floor except where the
+            // serial cap applies: serial execution already paid the
+            // occupancy inside the agent times.
+            proptest::prop_assert!(out.wall >= floor.min(serial + out.barrier_total));
+            // Accounting identity: saved + wall = serial whenever overlap
+            // wins anything; otherwise saved saturates at zero.
+            if out.wall <= serial {
+                proptest::prop_assert_eq!(out.saved + out.wall, serial);
+            } else {
+                proptest::prop_assert_eq!(out.saved, Picos::ZERO);
+            }
+            // contention_bound is consistent with the floor comparison.
+            let ideal = Picos(cpu.max(gpu)) + out.barrier_total;
+            proptest::prop_assert_eq!(out.contention_bound, floor > ideal);
+            if out.contention_bound {
+                proptest::prop_assert_eq!(out.wall, floor.min(serial + out.barrier_total));
+            }
+        }
+
+        #[test]
+        fn prop_wall_monotone_in_phases_and_barriers(
+            cpu in 0u64..1_000_000,
+            gpu in 0u64..1_000_000,
+            occ_c in 0u64..500_000,
+            occ_g in 0u64..500_000,
+            phases in 0u32..8,
+            barrier in 0u64..10_000,
+        ) {
+            let base = OverlapInputs {
+                cpu_time: Picos(cpu),
+                gpu_time: Picos(gpu),
+                cpu_dram_occupancy: Picos(occ_c),
+                gpu_dram_occupancy: Picos(occ_g),
+                phases,
+                barrier_cost: Picos(barrier),
+            };
+            let out = overlapped_wall(base);
+            let mut more_phases = base;
+            more_phases.phases += 1;
+            proptest::prop_assert!(overlapped_wall(more_phases).wall >= out.wall);
+            let mut pricier_barrier = base;
+            pricier_barrier.barrier_cost = Picos(barrier + 1);
+            proptest::prop_assert!(overlapped_wall(pricier_barrier).wall >= out.wall);
+        }
     }
 }

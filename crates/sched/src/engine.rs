@@ -1,0 +1,522 @@
+//! The virtual-time discrete-event engine.
+//!
+//! Tenants release jobs strictly periodically; up to `slots` jobs run
+//! concurrently. Between events the active set is fixed, so each running
+//! job progresses through its solo timeline at the constant rate the
+//! interference model gives for that set: with `f = max(1, Σ u_j)` over
+//! the running tenants, tenant *i* advances at `1 / ((1 - u_i) + u_i·f)`
+//! solo-seconds per wall-second — exactly the piecewise dynamics of
+//! [`icomm_models::interference::co_run_oracle`], extended with release
+//! queues, slot limits, and bandwidth budgets. Four event kinds exist:
+//! job release, job completion, budget exhaustion, and window replenish.
+//! Everything is pure `f64` arithmetic over integer-picosecond inputs,
+//! so a `(mix, policy, seed)` tuple replays byte-identically.
+
+use std::collections::VecDeque;
+
+use crate::policy::PolicyKind;
+
+/// Absolute slack, in picoseconds, absorbing `f64` rounding when events
+/// coincide. Job times are ~1e9 ps, where the accumulated error of the
+/// piecewise subtractions is below 1e-4 ps.
+const EPS: f64 = 1e-3;
+
+/// Iteration guard: a run that exceeds this many events is a bug, not a
+/// long schedule (real runs take a few events per job per window).
+const MAX_EVENTS: u64 = 1_000_000;
+
+/// One tenant's scheduling contract and interference demand.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantParams {
+    /// Tenant name (for error messages).
+    pub name: String,
+    /// Smaller is more important; breaks deadline ties.
+    pub priority: u8,
+    /// Solo wall time of one job under the assigned model, picoseconds.
+    pub cost: f64,
+    /// Release period (= implicit deadline), picoseconds.
+    pub period: f64,
+    /// Effective DRAM-channel utilization under the co-run assignment.
+    pub util: f64,
+    /// First-release phase offset, picoseconds.
+    pub offset: f64,
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineConfig {
+    pub policy: PolicyKind,
+    /// Concurrent job slots.
+    pub slots: usize,
+    /// Jobs each tenant releases before the run ends.
+    pub jobs_per_tenant: u32,
+    /// Fraction of the channel the budgets hand out per window.
+    pub budget_fraction: f64,
+    /// Budget replenish window, picoseconds.
+    pub window: f64,
+}
+
+/// Per-tenant outcome counters.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TenantStats {
+    /// Jobs completed.
+    pub jobs: u32,
+    /// Jobs that finished after their deadline.
+    pub missed: u32,
+    /// Sum over jobs of `response / cost`.
+    pub slowdown_sum: f64,
+    /// Worst single-job `response / cost`.
+    pub slowdown_max: f64,
+    /// Times the tenant was throttled off the SoC.
+    pub throttles: u64,
+}
+
+/// Everything the engine measures.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineOutcome {
+    pub tenants: Vec<TenantStats>,
+    /// Virtual time of the last completion, picoseconds.
+    pub makespan: f64,
+}
+
+#[derive(Debug)]
+struct TenantState {
+    /// Jobs released so far (index of the next release).
+    released: u32,
+    /// Release times of released, unfinished jobs; front is in service.
+    queue: VecDeque<f64>,
+    /// Solo-picoseconds left on the queue front.
+    head_remaining: f64,
+    /// Channel-busy allowance left this window, picoseconds.
+    budget: f64,
+    /// Out of service until the next replenish.
+    throttled: bool,
+    /// Holds a slot (carries FIFO's non-preemption between events).
+    running: bool,
+    stats: TenantStats,
+}
+
+/// Runs the schedule to completion (every tenant finishes
+/// `jobs_per_tenant` jobs) and returns the per-tenant counters.
+pub(crate) fn run_engine(
+    tenants: &[TenantParams],
+    config: &EngineConfig,
+) -> Result<EngineOutcome, String> {
+    if tenants.is_empty() {
+        return Err("scheduler needs at least one tenant".to_string());
+    }
+    if config.slots == 0 {
+        return Err("scheduler needs at least one slot".to_string());
+    }
+    if config.jobs_per_tenant == 0 {
+        return Err("scheduler needs at least one job per tenant".to_string());
+    }
+    if !config.window.is_finite() || config.window <= 0.0 {
+        return Err("replenish window must be positive".to_string());
+    }
+    for t in tenants {
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        if !positive(t.cost) || !positive(t.period) {
+            return Err(format!(
+                "tenant '{}' needs a positive cost and period",
+                t.name
+            ));
+        }
+    }
+
+    let budgeted = config.policy.budgeted();
+    // MemGuard-style proportional shares: the budgeted fraction of each
+    // window is split across tenants by their channel demand, so a burst
+    // cannot monopolize the channel but a quiet tenant is never starved.
+    let total_util: f64 = tenants.iter().map(|t| t.util).sum();
+    let full_budget: Vec<f64> = tenants
+        .iter()
+        .map(|t| {
+            if !budgeted || total_util <= 0.0 {
+                f64::INFINITY
+            } else {
+                config.window * config.budget_fraction * (t.util / total_util)
+            }
+        })
+        .collect();
+
+    let mut states: Vec<TenantState> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, _)| TenantState {
+            released: 0,
+            queue: VecDeque::new(),
+            head_remaining: 0.0,
+            budget: full_budget[i],
+            throttled: false,
+            running: false,
+            stats: TenantStats::default(),
+        })
+        .collect();
+
+    let mut now = 0.0f64;
+    let mut makespan = 0.0f64;
+    let mut next_replenish = config.window;
+    let mut events = 0u64;
+
+    // Admit the t = 0 releases (offsets may be zero).
+    drain_releases(tenants, &mut states, now, config.jobs_per_tenant);
+
+    while states.iter().any(|s| s.stats.jobs < config.jobs_per_tenant) {
+        events += 1;
+        if events > MAX_EVENTS {
+            return Err(format!(
+                "scheduler exceeded {MAX_EVENTS} events — runaway schedule"
+            ));
+        }
+
+        let running = pick_running(tenants, &mut states, config);
+        let rates = progress_rates(tenants, &running);
+        // Criticality exemption: the budget exists to protect the most
+        // urgent job, so the running tenant with the earliest deadline is
+        // never charged — regulation binds only its co-runners. Without
+        // this, an over-saturated mix throttles the deadline-tight tenant
+        // itself and budgeting loses to plain FIFO.
+        let exempt = if budgeted {
+            running.iter().copied().min_by(|&a, &b| {
+                let da = states[a].queue[0] + tenants[a].period;
+                let db = states[b].queue[0] + tenants[b].period;
+                da.total_cmp(&db)
+                    .then(tenants[a].priority.cmp(&tenants[b].priority))
+                    .then(a.cmp(&b))
+            })
+        } else {
+            None
+        };
+
+        // Next event: the earliest of completion, budget exhaustion,
+        // release, and window replenish.
+        let mut t_next = f64::INFINITY;
+        for (&i, &rate) in running.iter().zip(&rates) {
+            t_next = t_next.min(now + states[i].head_remaining / rate);
+            if budgeted && exempt != Some(i) && states[i].budget.is_finite() {
+                let consumption = tenants[i].util * rate;
+                if consumption > 0.0 {
+                    t_next = t_next.min(now + states[i].budget / consumption);
+                }
+            }
+        }
+        for (i, t) in tenants.iter().enumerate() {
+            if states[i].released < config.jobs_per_tenant {
+                t_next = t_next.min(t.offset + states[i].released as f64 * t.period);
+            }
+        }
+        if budgeted {
+            t_next = t_next.min(next_replenish);
+        }
+        if !t_next.is_finite() {
+            return Err("scheduler stalled: no runnable tenant and no pending event".to_string());
+        }
+
+        let dt = (t_next - now).max(0.0);
+        for (&i, &rate) in running.iter().zip(&rates) {
+            states[i].head_remaining -= dt * rate;
+            if budgeted && exempt != Some(i) {
+                states[i].budget -= dt * tenants[i].util * rate;
+            }
+        }
+        now = t_next;
+
+        // Completions first: a job that finishes exactly at a window
+        // boundary completes rather than throttles.
+        for &i in &running {
+            if states[i].head_remaining <= EPS {
+                let release = states[i]
+                    .queue
+                    .pop_front()
+                    .ok_or_else(|| format!("tenant '{}' ran without a job", tenants[i].name))?;
+                let response = now - release;
+                let s = &mut states[i].stats;
+                s.jobs += 1;
+                if response > tenants[i].period + EPS {
+                    s.missed += 1;
+                }
+                let slowdown = response / tenants[i].cost;
+                s.slowdown_sum += slowdown;
+                s.slowdown_max = s.slowdown_max.max(slowdown);
+                makespan = makespan.max(now);
+                states[i].running = false;
+                states[i].head_remaining = if states[i].queue.is_empty() {
+                    0.0
+                } else {
+                    tenants[i].cost
+                };
+            }
+        }
+
+        // Replenish before the exhaustion check so a boundary-coincident
+        // exhaust does not count as a throttle.
+        if budgeted && now >= next_replenish - EPS {
+            for (i, s) in states.iter_mut().enumerate() {
+                s.budget = full_budget[i];
+                s.throttled = false;
+            }
+            next_replenish += config.window;
+        }
+        if budgeted {
+            for &i in &running {
+                if exempt == Some(i) {
+                    continue;
+                }
+                if !states[i].throttled && states[i].running && states[i].budget <= EPS {
+                    states[i].throttled = true;
+                    states[i].running = false;
+                    states[i].stats.throttles += 1;
+                }
+            }
+        }
+
+        drain_releases(tenants, &mut states, now, config.jobs_per_tenant);
+    }
+
+    Ok(EngineOutcome {
+        tenants: states.into_iter().map(|s| s.stats).collect(),
+        makespan,
+    })
+}
+
+/// Admits every release due by `now`, arming the queue head on first fill.
+fn drain_releases(tenants: &[TenantParams], states: &mut [TenantState], now: f64, jobs: u32) {
+    for (i, t) in tenants.iter().enumerate() {
+        while states[i].released < jobs {
+            let release = t.offset + states[i].released as f64 * t.period;
+            if release > now + EPS {
+                break;
+            }
+            states[i].queue.push_back(release);
+            if states[i].queue.len() == 1 {
+                states[i].head_remaining = t.cost;
+            }
+            states[i].released += 1;
+        }
+    }
+}
+
+/// Fills the slots for the next interval and returns the running set.
+fn pick_running(
+    tenants: &[TenantParams],
+    states: &mut [TenantState],
+    config: &EngineConfig,
+) -> Vec<usize> {
+    let runnable = |s: &TenantState| !s.queue.is_empty() && !s.throttled;
+    let mut running: Vec<usize> = Vec::new();
+    match config.policy {
+        PolicyKind::Fifo => {
+            // Non-preemptive: a started job keeps its slot to completion.
+            for (i, s) in states.iter().enumerate() {
+                if s.running && runnable(s) {
+                    running.push(i);
+                }
+            }
+            // Fill free slots in release order of the head jobs.
+            let mut waiting: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| runnable(s) && !s.running)
+                .map(|(i, _)| i)
+                .collect();
+            waiting.sort_by(|&a, &b| {
+                states[a].queue[0]
+                    .total_cmp(&states[b].queue[0])
+                    .then(a.cmp(&b))
+            });
+            for i in waiting {
+                if running.len() >= config.slots {
+                    break;
+                }
+                running.push(i);
+            }
+        }
+        PolicyKind::DeadlineBudget => {
+            // Preemptive EDF over the head jobs; priority breaks ties.
+            let mut ready: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| runnable(s))
+                .map(|(i, _)| i)
+                .collect();
+            ready.sort_by(|&a, &b| {
+                let da = states[a].queue[0] + tenants[a].period;
+                let db = states[b].queue[0] + tenants[b].period;
+                da.total_cmp(&db)
+                    .then(tenants[a].priority.cmp(&tenants[b].priority))
+                    .then(a.cmp(&b))
+            });
+            ready.truncate(config.slots);
+            running = ready;
+        }
+    }
+    for s in states.iter_mut() {
+        s.running = false;
+    }
+    for &i in &running {
+        states[i].running = true;
+    }
+    running.sort_unstable();
+    running
+}
+
+/// Progress rates of the running set: `1 / ((1 - u_i) + u_i·f)` with
+/// `f = max(1, Σ u_j)` over the set.
+fn progress_rates(tenants: &[TenantParams], running: &[usize]) -> Vec<f64> {
+    let stretch: f64 = running
+        .iter()
+        .map(|&i| tenants[i].util)
+        .sum::<f64>()
+        .max(1.0);
+    running
+        .iter()
+        .map(|&i| {
+            let u = tenants[i].util;
+            1.0 / ((1.0 - u) + u * stretch)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: f64 = 1e9; // picoseconds per millisecond
+
+    fn tenant(name: &str, priority: u8, cost_ms: f64, period_ms: f64, util: f64) -> TenantParams {
+        TenantParams {
+            name: name.to_string(),
+            priority,
+            cost: cost_ms * MS,
+            period: period_ms * MS,
+            util,
+            offset: 0.0,
+        }
+    }
+
+    fn config(policy: PolicyKind, slots: usize, jobs: u32, window_ms: f64) -> EngineConfig {
+        EngineConfig {
+            policy,
+            slots,
+            jobs_per_tenant: jobs,
+            budget_fraction: 0.9,
+            window: window_ms * MS,
+        }
+    }
+
+    #[test]
+    fn lone_tenant_meets_every_deadline() {
+        let t = vec![tenant("solo", 0, 1.0, 2.0, 0.8)];
+        let out = run_engine(&t, &config(PolicyKind::Fifo, 2, 8, 0.5)).expect("engine runs");
+        let s = &out.tenants[0];
+        assert_eq!(s.jobs, 8);
+        assert_eq!(s.missed, 0);
+        assert!(
+            (s.slowdown_sum / 8.0 - 1.0).abs() < 1e-9,
+            "{}",
+            s.slowdown_sum
+        );
+        // Eight periods, last job takes one cost.
+        assert!((out.makespan - (7.0 * 2.0 + 1.0) * MS).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_slot_fifo_queues_the_second_tenant() {
+        // Same contract, same release instant: tenant b always waits a
+        // full job behind a in the only slot.
+        let t = vec![tenant("a", 0, 1.0, 4.0, 0.0), tenant("b", 1, 1.0, 4.0, 0.0)];
+        let out = run_engine(&t, &config(PolicyKind::Fifo, 1, 4, 1.0)).expect("engine runs");
+        assert_eq!(out.tenants[0].missed, 0);
+        assert!(out.tenants[1].slowdown_sum / 4.0 > 1.9, "b should queue");
+    }
+
+    #[test]
+    fn channel_contention_stretches_co_runners() {
+        // Two memory-heavy tenants sharing both slots: f = 1.8, each
+        // job's slowdown = 1 + 0.9 * 0.8 = 1.72.
+        let t = vec![
+            tenant("a", 0, 1.0, 10.0, 0.9),
+            tenant("b", 1, 1.0, 10.0, 0.9),
+        ];
+        let out = run_engine(&t, &config(PolicyKind::Fifo, 2, 3, 2.0)).expect("engine runs");
+        for s in &out.tenants {
+            assert!(
+                (s.slowdown_sum / 3.0 - 1.72).abs() < 1e-6,
+                "{}",
+                s.slowdown_sum
+            );
+        }
+    }
+
+    #[test]
+    fn edf_protects_the_tight_deadline() {
+        // A long, early job parks in the only slot under FIFO and the
+        // tight tenant misses; EDF preempts and both meet.
+        let mut long = tenant("long", 1, 3.0, 12.0, 0.0);
+        long.offset = 0.0;
+        let mut tight = tenant("tight", 0, 0.5, 1.0, 0.0);
+        tight.offset = 0.1 * MS;
+        let t = vec![long, tight];
+        let fifo = run_engine(&t, &config(PolicyKind::Fifo, 1, 4, 1.0)).expect("fifo runs");
+        let edf = run_engine(&t, &config(PolicyKind::DeadlineBudget, 1, 4, 1.0)).expect("edf runs");
+        assert!(
+            fifo.tenants[1].missed > 0,
+            "fifo should miss tight deadlines"
+        );
+        assert_eq!(
+            edf.tenants[1].missed, 0,
+            "edf should protect the tight tenant"
+        );
+    }
+
+    #[test]
+    fn budget_throttles_a_burst_and_still_finishes() {
+        // One tenant hammers the channel; the proportional budget
+        // throttles it whenever the meek tenant co-runs (the meek tenant
+        // holds the earliest deadline, so it is the exempt one), yet all
+        // jobs complete.
+        let t = vec![
+            tenant("burst", 1, 2.0, 20.0, 0.95),
+            tenant("meek", 0, 0.2, 2.0, 0.05),
+        ];
+        let mut cfg = config(PolicyKind::DeadlineBudget, 2, 4, 0.5);
+        cfg.budget_fraction = 0.2;
+        let out = run_engine(&t, &cfg).expect("engine runs");
+        assert!(out.tenants[0].throttles > 0, "burst should hit its budget");
+        assert_eq!(out.tenants[0].jobs, 4);
+        assert_eq!(out.tenants[1].jobs, 4);
+        assert_eq!(out.tenants[1].missed, 0, "meek tenant rides its share");
+    }
+
+    #[test]
+    fn fifo_never_throttles() {
+        let t = vec![tenant("a", 0, 1.0, 3.0, 0.9), tenant("b", 1, 1.0, 3.0, 0.9)];
+        let out = run_engine(&t, &config(PolicyKind::Fifo, 2, 4, 0.25)).expect("engine runs");
+        assert!(out.tenants.iter().all(|s| s.throttles == 0));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let t = vec![tenant("a", 0, 1.0, 2.0, 0.5)];
+        assert!(run_engine(&[], &config(PolicyKind::Fifo, 1, 1, 1.0)).is_err());
+        assert!(run_engine(&t, &config(PolicyKind::Fifo, 0, 1, 1.0)).is_err());
+        assert!(run_engine(&t, &config(PolicyKind::Fifo, 1, 0, 1.0)).is_err());
+        assert!(run_engine(&t, &config(PolicyKind::Fifo, 1, 1, 0.0)).is_err());
+        let bad = vec![tenant("a", 0, 0.0, 2.0, 0.5)];
+        assert!(run_engine(&bad, &config(PolicyKind::Fifo, 1, 1, 1.0)).is_err());
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let t = vec![
+            tenant("a", 0, 1.1, 2.3, 0.7),
+            tenant("b", 1, 0.9, 2.9, 0.6),
+            tenant("c", 2, 1.7, 5.1, 0.8),
+        ];
+        let cfg = config(PolicyKind::DeadlineBudget, 2, 6, 0.7);
+        let first = run_engine(&t, &cfg).expect("engine runs");
+        let second = run_engine(&t, &cfg).expect("engine runs");
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+    }
+}

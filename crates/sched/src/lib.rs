@@ -1,0 +1,304 @@
+//! # icomm-sched — multi-tenant co-run scheduling for the icomm stack
+//!
+//! The paper tunes one application per board. Deployed boards host
+//! several: an ADAS pipeline, a localization front-end, and a sensing
+//! loop all sharing one DRAM channel and two LLCs. This crate schedules
+//! such tenant *mixes*:
+//!
+//! - the mix's communication models are assigned **jointly** by
+//!   [`icomm_core::joint_assignment`] — scored under the cross-tenant
+//!   interference model rather than per-app greedy tuning;
+//! - a virtual-time discrete-event engine then runs the periodic
+//!   schedule: up to `slots` jobs co-run, each progressing at the rate
+//!   the interference model gives for the currently active set;
+//! - two policies are pluggable ([`PolicyKind`]): the FIFO baseline, and
+//!   a deadline-aware policy with a MemGuard-style per-tenant bandwidth
+//!   budget (throttle on exhaustion, replenish per window).
+//!
+//! The run produces a [`SchedReport`] — per-tenant deadline-miss rate,
+//! slowdown versus solo, and throttle counts — that serializes
+//! byte-identically for a given `(board, mix, policy, seed)` tuple, the
+//! same replay discipline as `icomm-chaos` and `icomm-fleet`.
+//!
+//! ```
+//! use icomm_sched::{run_sched, SchedConfig};
+//! use icomm_soc::DeviceProfile;
+//!
+//! let mut config = SchedConfig::new(DeviceProfile::jetson_tx2());
+//! config.mix = "duo".to_string();
+//! config.jobs_per_tenant = 2;
+//! let out = run_sched(&config).unwrap();
+//! assert_eq!(out.report.total_jobs(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+pub mod policy;
+pub mod report;
+
+use icomm_apps::mix_by_name;
+use icomm_chaos::ChaosRng;
+use icomm_core::{joint_assignment, tenant_demand, CorunTenant, JointAssignment};
+use icomm_microbench::{quick_characterize_device, DeviceCharacterization};
+use icomm_models::interference::{co_run_interference, InterferenceConfig, TenantDemand};
+use icomm_soc::DeviceProfile;
+
+use engine::{run_engine, EngineConfig, TenantParams};
+
+pub use policy::{PolicyKind, POLICY_NAMES};
+pub use report::{SchedReport, TenantSummary};
+
+/// Configuration of one scheduler run.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// The board hosting the mix.
+    pub device: DeviceProfile,
+    /// Named tenant mix (see [`icomm_apps::MIX_NAMES`]).
+    pub mix: String,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Seed for the release phase offsets.
+    pub seed: u64,
+    /// Jobs each tenant releases before the run ends.
+    pub jobs_per_tenant: u32,
+    /// Concurrent job slots (how many tenants co-run at once).
+    pub slots: usize,
+    /// Fraction of the DRAM channel the per-tenant budgets hand out per
+    /// replenish window, `(0, 1]`. Only the deadline policy enforces it.
+    pub budget_fraction: f64,
+    /// Budget replenish window as a fraction of the shortest tenant
+    /// period, `(0, 1]`.
+    pub window_fraction: f64,
+}
+
+impl SchedConfig {
+    /// Defaults: the `contended` mix under the deadline policy, seed 42,
+    /// 8 jobs per tenant, 2 slots, 90 % budgeted channel, quarter-period
+    /// replenish windows.
+    pub fn new(device: DeviceProfile) -> Self {
+        SchedConfig {
+            device,
+            mix: "contended".to_string(),
+            policy: PolicyKind::DeadlineBudget,
+            seed: 42,
+            jobs_per_tenant: 8,
+            slots: 2,
+            budget_fraction: 0.9,
+            window_fraction: 0.25,
+        }
+    }
+}
+
+/// Everything a scheduler run produces: the deterministic report plus
+/// the joint assignment it scheduled under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedRunOutput {
+    /// The deterministic, serializable report.
+    pub report: SchedReport,
+    /// The joint model assignment the schedule ran under.
+    pub assignment: JointAssignment,
+}
+
+/// Runs the named mix on the configured board, characterizing the device
+/// with the quick micro-benchmark sweep first.
+///
+/// # Errors
+///
+/// Propagates unknown mixes, invalid knobs, and engine failures.
+pub fn run_sched(config: &SchedConfig) -> Result<SchedRunOutput, String> {
+    let characterization = quick_characterize_device(&config.device);
+    run_sched_with(config, &characterization)
+}
+
+/// [`run_sched`] against an existing device characterization — the entry
+/// point the fleet simulator uses so the registry's characterization
+/// (possibly a federated transfer) drives the joint assignment.
+///
+/// # Errors
+///
+/// Propagates unknown mixes, invalid knobs, and engine failures.
+pub fn run_sched_with(
+    config: &SchedConfig,
+    characterization: &DeviceCharacterization,
+) -> Result<SchedRunOutput, String> {
+    if !(config.budget_fraction > 0.0 && config.budget_fraction <= 1.0) {
+        return Err(format!(
+            "budget fraction must be in (0, 1], got {}",
+            config.budget_fraction
+        ));
+    }
+    if !(config.window_fraction > 0.0 && config.window_fraction <= 1.0) {
+        return Err(format!(
+            "window fraction must be in (0, 1], got {}",
+            config.window_fraction
+        ));
+    }
+    let specs = mix_by_name(&config.mix)?;
+    let tenants: Vec<CorunTenant> = specs
+        .iter()
+        .map(|s| CorunTenant {
+            name: s.name.clone(),
+            workload: s.workload.clone(),
+            current: s.current,
+        })
+        .collect();
+    let assignment = joint_assignment(&config.device, characterization, &tenants)?;
+
+    // Demands under the joint models feed the engine's progress rates.
+    let demands: Vec<TenantDemand> = specs
+        .iter()
+        .zip(&assignment.tenants)
+        .map(|(s, verdict)| tenant_demand(&config.device, &s.name, &s.workload, verdict.joint))
+        .collect();
+    let icfg = InterferenceConfig::for_device(&config.device);
+    let interference = co_run_interference(&demands, &icfg);
+
+    let mut rng = ChaosRng::new(config.seed);
+    let params: Vec<TenantParams> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let cost = demands[i].wall_solo.as_picos() as f64;
+            let period = cost * s.period_factor;
+            TenantParams {
+                name: s.name.clone(),
+                priority: s.priority,
+                cost,
+                period,
+                util: interference[i].channel_util,
+                // Stagger first releases inside a quarter period so the
+                // mix does not start in artificial lockstep.
+                offset: rng.uniform() * period * 0.25,
+            }
+        })
+        .collect();
+    let min_period = params
+        .iter()
+        .map(|p| p.period)
+        .fold(f64::INFINITY, f64::min);
+    let outcome = run_engine(
+        &params,
+        &EngineConfig {
+            policy: config.policy,
+            slots: config.slots,
+            jobs_per_tenant: config.jobs_per_tenant,
+            budget_fraction: config.budget_fraction,
+            window: min_period * config.window_fraction,
+        },
+    )?;
+
+    let to_us = |picos: f64| (picos / 1e6).round() as u64;
+    let summaries: Vec<TenantSummary> = outcome
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let verdict = &assignment.tenants[i];
+            TenantSummary {
+                name: params[i].name.clone(),
+                model: verdict.joint.abbrev().to_string(),
+                solo_best: verdict.solo_best.abbrev().to_string(),
+                flipped: verdict.flipped,
+                period_us: to_us(params[i].period),
+                jobs: s.jobs,
+                missed: s.missed,
+                miss_pct: report::q_pct(100.0 * s.missed as f64 / s.jobs.max(1) as f64),
+                mean_slowdown: report::q_slow(s.slowdown_sum / s.jobs.max(1) as f64),
+                max_slowdown: report::q_slow(s.slowdown_max),
+                throttles: s.throttles,
+            }
+        })
+        .collect();
+    let total_jobs: u32 = summaries.iter().map(|t| t.jobs).sum();
+    let missed: u32 = summaries.iter().map(|t| t.missed).sum();
+    let slowdown_sum: f64 = outcome.tenants.iter().map(|s| s.slowdown_sum).sum();
+    let report = SchedReport {
+        board: config.device.name.clone(),
+        mix: config.mix.clone(),
+        policy: config.policy.name().to_string(),
+        seed: config.seed,
+        jobs_per_tenant: config.jobs_per_tenant,
+        slots: config.slots as u32,
+        tenants: summaries,
+        deadline_miss_pct: report::q_pct(100.0 * missed as f64 / total_jobs.max(1) as f64),
+        mean_slowdown: report::q_slow(slowdown_sum / total_jobs.max(1) as f64),
+        makespan_us: to_us(outcome.makespan),
+        any_flip: assignment.any_flip,
+        joint_total_us: assignment.joint_total.as_picos() / 1_000_000,
+        greedy_total_us: assignment.greedy_total.as_picos() / 1_000_000,
+    };
+    Ok(SchedRunOutput { report, assignment })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(mix: &str, policy: PolicyKind) -> SchedConfig {
+        let mut config = SchedConfig::new(DeviceProfile::jetson_tx2());
+        config.mix = mix.to_string();
+        config.policy = policy;
+        config.jobs_per_tenant = 4;
+        config
+    }
+
+    #[test]
+    fn duo_mix_schedules_cleanly_under_both_policies() {
+        let characterization = quick_characterize_device(&DeviceProfile::jetson_tx2());
+        for policy in [PolicyKind::Fifo, PolicyKind::DeadlineBudget] {
+            let out = run_sched_with(&quick_config("duo", policy), &characterization)
+                .expect("duo schedules");
+            assert_eq!(out.report.total_jobs(), 8);
+            // Two tenants, two slots, generous deadlines: nothing misses.
+            assert_eq!(out.report.missed_jobs(), 0, "{policy}");
+            assert!(out.report.mean_slowdown >= 1.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_byte_identically() {
+        let characterization = quick_characterize_device(&DeviceProfile::jetson_tx2());
+        let config = quick_config("contended", PolicyKind::DeadlineBudget);
+        let first = run_sched_with(&config, &characterization).expect("first run");
+        let second = run_sched_with(&config, &characterization).expect("second run");
+        assert_eq!(first.report, second.report);
+        let a = icomm_persist::to_string(&first.report).expect("serialize first");
+        let b = icomm_persist::to_string(&second.report).expect("serialize second");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_the_phase_offsets_not_the_contract() {
+        let characterization = quick_characterize_device(&DeviceProfile::jetson_tx2());
+        let mut config = quick_config("trio", PolicyKind::Fifo);
+        let first = run_sched_with(&config, &characterization).expect("seed 42");
+        config.seed = 43;
+        let second = run_sched_with(&config, &characterization).expect("seed 43");
+        // The contract (periods, models, jobs) is seed-independent.
+        for (a, b) in first.report.tenants.iter().zip(&second.report.tenants) {
+            assert_eq!(a.period_us, b.period_us);
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.jobs, b.jobs);
+        }
+    }
+
+    #[test]
+    fn bad_knobs_and_mixes_are_rejected() {
+        let characterization = quick_characterize_device(&DeviceProfile::jetson_tx2());
+        let mut config = quick_config("nope", PolicyKind::Fifo);
+        assert!(run_sched_with(&config, &characterization)
+            .expect_err("unknown mix")
+            .contains("unknown mix"));
+        config.mix = "duo".to_string();
+        config.budget_fraction = 0.0;
+        assert!(run_sched_with(&config, &characterization).is_err());
+        config.budget_fraction = 0.9;
+        config.window_fraction = 1.5;
+        assert!(run_sched_with(&config, &characterization).is_err());
+        config.window_fraction = 0.25;
+        config.slots = 0;
+        assert!(run_sched_with(&config, &characterization).is_err());
+    }
+}

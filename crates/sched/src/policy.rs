@@ -1,0 +1,112 @@
+//! Scheduling policies.
+//!
+//! Two policies bracket the design space the co-run experiments explore:
+//!
+//! - [`PolicyKind::Fifo`] — the baseline every embedded stack starts
+//!   from: jobs run in release order, non-preemptively, with no memory
+//!   regulation at all. Under a contended mix a long memory burst parks
+//!   in a slot and the deadline-tight tenant queues behind it.
+//! - [`PolicyKind::DeadlineBudget`] — earliest-deadline-first slot
+//!   assignment (preemptive at event boundaries, ties broken by the
+//!   tenant's declared priority) plus a MemGuard-style per-tenant DRAM
+//!   budget: each tenant gets a proportional share of the channel per
+//!   replenish window, and a tenant that exhausts its share is throttled
+//!   off the SoC until the window replenishes. The running tenant holding
+//!   the earliest deadline is exempt from regulation — the budget exists
+//!   to protect it, so only its co-runners are charged. Throttling a
+//!   burst is what keeps the channel stretch low while a tight tenant
+//!   runs.
+
+use std::fmt;
+
+/// The scheduling policies `icomm sched` knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Release-order, non-preemptive, no bandwidth regulation.
+    Fifo,
+    /// Earliest-deadline-first slots plus a per-tenant bandwidth budget
+    /// with throttle/replenish.
+    DeadlineBudget,
+}
+
+/// The policy names [`PolicyKind::parse`] accepts (canonical forms).
+pub const POLICY_NAMES: [&str; 2] = ["fifo", "deadline"];
+
+impl PolicyKind {
+    /// Canonical name, as printed in reports and accepted by the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::DeadlineBudget => "deadline",
+        }
+    }
+
+    /// Whether the policy enforces per-tenant bandwidth budgets.
+    pub fn budgeted(&self) -> bool {
+        matches!(self, PolicyKind::DeadlineBudget)
+    }
+
+    /// Resolves a policy by name (case-insensitive, a few aliases).
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of valid names when `name` is unknown.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "fifo" => Ok(PolicyKind::Fifo),
+            "deadline" | "deadline-budget" | "edf" => Ok(PolicyKind::DeadlineBudget),
+            other => Err(format!(
+                "unknown policy '{other}' (expected one of: {})",
+                POLICY_NAMES.join(", ")
+            )),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for name in POLICY_NAMES {
+            let policy = PolicyKind::parse(name).expect("canonical name parses");
+            assert_eq!(policy.name(), name);
+            assert_eq!(policy.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn aliases_and_case_fold() {
+        assert_eq!(
+            PolicyKind::parse("EDF").expect("edf alias"),
+            PolicyKind::DeadlineBudget
+        );
+        assert_eq!(
+            PolicyKind::parse("deadline-budget").expect("long alias"),
+            PolicyKind::DeadlineBudget
+        );
+        assert_eq!(
+            PolicyKind::parse("FIFO").expect("case fold"),
+            PolicyKind::Fifo
+        );
+    }
+
+    #[test]
+    fn unknown_policy_lists_options() {
+        let err = PolicyKind::parse("lottery").expect_err("unknown policy");
+        assert!(err.contains("fifo") && err.contains("deadline"), "{err}");
+    }
+
+    #[test]
+    fn only_deadline_is_budgeted() {
+        assert!(!PolicyKind::Fifo.budgeted());
+        assert!(PolicyKind::DeadlineBudget.budgeted());
+    }
+}

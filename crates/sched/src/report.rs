@@ -1,0 +1,215 @@
+//! Scheduler-run results.
+//!
+//! [`SchedReport`] carries every number derived from the virtual-time
+//! run — it serializes byte-identically for a given
+//! `(board, mix, policy, seed)` tuple, which is what the CI replay stage
+//! compares. All floating-point fields are quantized at report-building
+//! time (percent to 2 decimals, slowdowns to 3), so the JSON is stable
+//! and human-diffable.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One tenant's outcome over the whole run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSummary {
+    /// Tenant name, unique within the mix.
+    pub name: String,
+    /// Communication model the joint assignment gave the tenant
+    /// (abbreviated: `SC`, `UM`, `ZC`).
+    pub model: String,
+    /// The tenant's measured solo-best model (abbreviated).
+    pub solo_best: String,
+    /// Whether co-location flipped the choice away from the solo best.
+    pub flipped: bool,
+    /// Release period (= implicit deadline), microseconds.
+    pub period_us: u64,
+    /// Jobs completed.
+    pub jobs: u32,
+    /// Jobs that finished after their deadline.
+    pub missed: u32,
+    /// `missed / jobs`, percent.
+    pub miss_pct: f64,
+    /// Mean job response time over the solo job cost.
+    pub mean_slowdown: f64,
+    /// Worst single-job slowdown.
+    pub max_slowdown: f64,
+    /// Times the bandwidth budget throttled the tenant.
+    pub throttles: u64,
+}
+
+/// Deterministic results of one scheduler run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedReport {
+    /// Board name.
+    pub board: String,
+    /// Mix name.
+    pub mix: String,
+    /// Policy name (`fifo` / `deadline`).
+    pub policy: String,
+    /// Seed the run replays from.
+    pub seed: u64,
+    /// Jobs each tenant released.
+    pub jobs_per_tenant: u32,
+    /// Concurrent job slots.
+    pub slots: u32,
+    /// Per-tenant outcomes, in mix order.
+    pub tenants: Vec<TenantSummary>,
+    /// Missed jobs over all jobs, percent.
+    pub deadline_miss_pct: f64,
+    /// Mean slowdown over all jobs of all tenants.
+    pub mean_slowdown: f64,
+    /// Virtual time of the last completion, microseconds.
+    pub makespan_us: u64,
+    /// Whether the joint assignment flipped any tenant off its solo best.
+    pub any_flip: bool,
+    /// Predicted combined co-run wall under the joint assignment, µs.
+    pub joint_total_us: u64,
+    /// Predicted combined co-run wall under per-app greedy choices, µs.
+    pub greedy_total_us: u64,
+}
+
+impl SchedReport {
+    /// Total jobs across tenants.
+    pub fn total_jobs(&self) -> u32 {
+        self.tenants.iter().map(|t| t.jobs).sum()
+    }
+
+    /// Total missed jobs across tenants.
+    pub fn missed_jobs(&self) -> u32 {
+        self.tenants.iter().map(|t| t.missed).sum()
+    }
+}
+
+impl fmt::Display for SchedReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sched        {} on {}  ({} policy, seed {}, {} slots, {} jobs/tenant)",
+            self.mix, self.board, self.policy, self.seed, self.slots, self.jobs_per_tenant
+        )?;
+        for t in &self.tenants {
+            let choice = if t.flipped {
+                format!("{} (solo {}, flipped)", t.model, t.solo_best)
+            } else {
+                t.model.clone()
+            };
+            writeln!(
+                f,
+                "tenant       {:<12} {:<22} period {:>6} us  miss {:>5.1}%  slow {:.3}x (max {:.3}x)  throttles {}",
+                t.name, choice, t.period_us, t.miss_pct, t.mean_slowdown, t.max_slowdown, t.throttles
+            )?;
+        }
+        writeln!(
+            f,
+            "deadlines    {} missed / {} jobs  ({:.1}%)",
+            self.missed_jobs(),
+            self.total_jobs(),
+            self.deadline_miss_pct
+        )?;
+        writeln!(
+            f,
+            "slowdown     mean {:.3}x  (makespan {} us)",
+            self.mean_slowdown, self.makespan_us
+        )?;
+        write!(
+            f,
+            "assignment   joint {} us vs greedy {} us  (flip: {})",
+            self.joint_total_us,
+            self.greedy_total_us,
+            if self.any_flip { "yes" } else { "no" }
+        )
+    }
+}
+
+/// Rounds a percentage to 2 decimals for stable serialization.
+pub(crate) fn q_pct(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Rounds a slowdown to 3 decimals for stable serialization.
+pub(crate) fn q_slow(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SchedReport {
+        SchedReport {
+            board: "jetson-tx2".to_string(),
+            mix: "contended".to_string(),
+            policy: "deadline".to_string(),
+            seed: 42,
+            jobs_per_tenant: 8,
+            slots: 2,
+            tenants: vec![
+                TenantSummary {
+                    name: "lane".to_string(),
+                    model: "ZC".to_string(),
+                    solo_best: "SC".to_string(),
+                    flipped: true,
+                    period_us: 1350,
+                    jobs: 8,
+                    missed: 1,
+                    miss_pct: 12.5,
+                    mean_slowdown: 1.21,
+                    max_slowdown: 1.44,
+                    throttles: 0,
+                },
+                TenantSummary {
+                    name: "orb-reloc".to_string(),
+                    model: "SC".to_string(),
+                    solo_best: "SC".to_string(),
+                    flipped: false,
+                    period_us: 4800,
+                    jobs: 8,
+                    missed: 0,
+                    miss_pct: 0.0,
+                    mean_slowdown: 1.35,
+                    max_slowdown: 1.61,
+                    throttles: 5,
+                },
+            ],
+            deadline_miss_pct: 6.25,
+            mean_slowdown: 1.28,
+            makespan_us: 38_450,
+            any_flip: true,
+            joint_total_us: 4451,
+            greedy_total_us: 4726,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample();
+        let json = icomm_persist::to_string(&report).expect("report serializes");
+        let back: SchedReport = icomm_persist::from_str(&json).expect("report deserializes");
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn totals_sum_over_tenants() {
+        let report = sample();
+        assert_eq!(report.total_jobs(), 16);
+        assert_eq!(report.missed_jobs(), 1);
+    }
+
+    #[test]
+    fn display_shows_the_flip_and_the_misses() {
+        let text = sample().to_string();
+        assert!(text.contains("ZC (solo SC, flipped)"), "{text}");
+        assert!(text.contains("1 missed / 16 jobs"), "{text}");
+        assert!(text.contains("flip: yes"), "{text}");
+        assert!(text.contains("throttles 5"), "{text}");
+    }
+
+    #[test]
+    fn quantizers_round_stably() {
+        assert_eq!(q_pct(12.3456), 12.35);
+        assert_eq!(q_slow(1.23456), 1.235);
+        assert_eq!(q_pct(0.0), 0.0);
+    }
+}

@@ -33,7 +33,7 @@
 //!     times: 4,
 //! };
 //! assert_eq!(sweep.len(), 4 * (1 << 20) / 64);
-//! let first = sweep.requests(MemSpace::Cached).next().unwrap();
+//! let first = sweep.requests(MemSpace::Cached).next().expect("sweep is non-empty");
 //! assert_eq!(first.addr, 0);
 //! ```
 

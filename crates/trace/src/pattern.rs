@@ -156,6 +156,35 @@ impl Pattern {
         }
     }
 
+    /// Bytes of *distinct* memory the pattern touches — its footprint —
+    /// as opposed to [`Pattern::bytes`], which counts total traffic.
+    /// Multiple passes over one region ([`Pattern::Repeat`]) do not grow
+    /// the footprint; concatenated parts are summed, an upper bound when
+    /// parts alias. The co-run interference model uses this to size a
+    /// tenant's LLC pressure.
+    pub fn footprint_bytes(&self) -> u64 {
+        match self {
+            Pattern::Linear {
+                bytes, txn_bytes, ..
+            }
+            | Pattern::LinearRmw {
+                bytes, txn_bytes, ..
+            } => txns(*bytes, *txn_bytes) * *txn_bytes as u64,
+            Pattern::Strided {
+                count, txn_bytes, ..
+            } => count * *txn_bytes as u64,
+            Pattern::SingleAddress { txn_bytes, .. } => *txn_bytes as u64,
+            Pattern::SparseUniform {
+                region_bytes,
+                count,
+                txn_bytes,
+                ..
+            } => (*region_bytes).min(count * *txn_bytes as u64),
+            Pattern::Sequence(parts) => parts.iter().map(Pattern::footprint_bytes).sum(),
+            Pattern::Repeat { body, .. } => body.footprint_bytes(),
+        }
+    }
+
     /// Instantiates the lazy request iterator, mapping every request onto
     /// `space`.
     pub fn requests(&self, space: MemSpace) -> PatternIter {
@@ -210,20 +239,18 @@ struct Frame {
     index: u64,
     /// Pending write of an RMW pair.
     pending_write: Option<u64>,
+    /// Seeded lazily on the first sparse request, so a frame can never
+    /// reach the generator without its generator state.
     rng: Option<StdRng>,
 }
 
 impl Frame {
     fn new(pattern: Pattern) -> Self {
-        let rng = match &pattern {
-            Pattern::SparseUniform { seed, .. } => Some(StdRng::seed_from_u64(*seed)),
-            _ => None,
-        };
         Frame {
             pattern,
             index: 0,
             pending_write: None,
-            rng,
+            rng: None,
         }
     }
 }
@@ -326,8 +353,8 @@ impl Iterator for PatternIter {
                     region_bytes,
                     count,
                     txn_bytes,
+                    seed,
                     kind,
-                    ..
                 } => {
                     if frame.index >= *count {
                         self.stack.pop();
@@ -342,7 +369,8 @@ impl Iterator for PatternIter {
                     let start = *start;
                     let txn = *txn_bytes;
                     let kind = *kind;
-                    let rng = frame.rng.as_mut().expect("sparse pattern has rng");
+                    let seed = *seed;
+                    let rng = frame.rng.get_or_insert_with(|| StdRng::seed_from_u64(seed));
                     let slot = rng.gen_range(0..slots);
                     return Some(MemRequest {
                         addr: start + slot * txn as u64,
@@ -520,6 +548,43 @@ mod tests {
         assert_eq!(addrs, vec![0, 64, 0, 64, 0, 64]);
         assert_eq!(p.len(), 6);
         assert_eq!(p.bytes(), 384);
+    }
+
+    #[test]
+    fn footprint_ignores_repeats_but_sums_sequences() {
+        let body = Pattern::Linear {
+            start: 0,
+            bytes: 4096,
+            txn_bytes: 64,
+            kind: AccessKind::Read,
+        };
+        let hot = Pattern::Repeat {
+            body: Box::new(body.clone()),
+            times: 16,
+        };
+        // Sixteen passes over 4 KiB touch 4 KiB of distinct memory but
+        // generate 64 KiB of traffic.
+        assert_eq!(hot.footprint_bytes(), 4096);
+        assert_eq!(hot.bytes(), 16 * 4096);
+        let seq = Pattern::Sequence(vec![body.clone(), body]);
+        assert_eq!(seq.footprint_bytes(), 8192);
+        let single = Pattern::SingleAddress {
+            addr: 0,
+            count: 1000,
+            txn_bytes: 8,
+            kind: AccessKind::Read,
+        };
+        assert_eq!(single.footprint_bytes(), 8);
+        let sparse = Pattern::SparseUniform {
+            start: 0,
+            region_bytes: 1024,
+            count: 1_000_000,
+            txn_bytes: 64,
+            seed: 1,
+            kind: AccessKind::Read,
+        };
+        // Bounded by the region however many transactions land in it.
+        assert_eq!(sparse.footprint_bytes(), 1024);
     }
 
     #[test]

@@ -199,7 +199,9 @@ mod tests {
     fn window_lookup_covers_every_phase() {
         let s = schedule();
         assert_eq!(s.total_windows(), 10);
-        let indices: Vec<_> = (0..10).map(|w| s.phase_index_at(w).unwrap()).collect();
+        let indices: Vec<_> = (0..10)
+            .map(|w| s.phase_index_at(w).expect("window inside the schedule"))
+            .collect();
         assert_eq!(indices, vec![0, 0, 0, 1, 1, 1, 1, 1, 2, 2]);
         assert!(s.phase_at(10).is_none());
     }
@@ -217,11 +219,14 @@ mod tests {
         let zero_windows = PhaseSchedule::new(vec![PhaseSpec::new("z", 0, linear(64))]);
         assert!(zero_windows
             .validate()
-            .unwrap_err()
+            .expect_err("zero-window phase rejected")
             .contains("zero windows"));
         let empty_pattern =
             PhaseSchedule::new(vec![PhaseSpec::new("e", 2, Pattern::Sequence(Vec::new()))]);
-        assert!(empty_pattern.validate().unwrap_err().contains("empty"));
+        assert!(empty_pattern
+            .validate()
+            .expect_err("empty pattern rejected")
+            .contains("empty"));
         assert!(schedule().validate().is_ok());
     }
 

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Refreshes the committed benchmark baseline: runs the criterion fleet
-# benchmark, then captures the deterministic fleet headline numbers into
-# BENCH_fleet.json (p50/p99 serve latency, fleet throughput, warm-start
-# and transfer hit rates). The capture uses a fixed seed, so the JSON is
-# reproducible and diffs in it are real behavior changes, not noise.
+# Refreshes the committed benchmark baselines: runs the criterion fleet
+# and sched benchmarks, then captures the deterministic headline numbers
+# into BENCH_fleet.json (p50/p99 serve latency, fleet throughput,
+# warm-start and transfer hit rates) and BENCH_sched.json (deadline-miss
+# rates and slowdowns per policy on the contended TX2 mix). The captures
+# use fixed seeds, so the JSON is reproducible and diffs in it are real
+# behavior changes, not noise.
 #
 # Usage: ./scripts/bench_snapshot.sh [--skip-criterion]
 set -euo pipefail
@@ -21,6 +23,8 @@ cargo build --release -p icomm-cli
 if [[ "$SKIP_CRITERION" -eq 0 ]]; then
     echo "==> cargo bench -p icomm-bench --bench fleet_scaling"
     cargo bench -p icomm-bench --bench fleet_scaling
+    echo "==> cargo bench -p icomm-bench --bench sched_scaling"
+    cargo bench -p icomm-bench --bench sched_scaling
 fi
 
 echo "==> capturing BENCH_fleet.json (seed 7, 256 devices, nano,tx2,xavier)"
@@ -50,3 +54,39 @@ print(json.dumps(baseline, indent=2))
 EOF
 
 echo "baseline written to BENCH_fleet.json"
+
+echo "==> capturing BENCH_sched.json (seed 42, contended mix on tx2, both policies)"
+FIFO="$(target/release/icomm sched tx2 --mix contended --policy fifo --seed 42 --json)"
+DEADLINE="$(target/release/icomm sched tx2 --mix contended --policy deadline --seed 42 --json)"
+python3 - "$FIFO" "$DEADLINE" <<'EOF'
+import json
+import sys
+
+fifo = json.loads(sys.argv[1])
+deadline = json.loads(sys.argv[2])
+def summarize(report):
+    return {
+        "deadline_miss_pct": report["deadline_miss_pct"],
+        "mean_slowdown": report["mean_slowdown"],
+        "makespan_us": report["makespan_us"],
+        "throttles": sum(t["throttles"] for t in report["tenants"]),
+    }
+baseline = {
+    "source": "icomm sched tx2 --mix contended --policy {fifo,deadline} --seed 42 --json",
+    "note": "deterministic virtual-time numbers; regenerate with scripts/bench_snapshot.sh",
+    "board": fifo["board"],
+    "mix": fifo["mix"],
+    "seed": fifo["seed"],
+    "joint_total_us": fifo["joint_total_us"],
+    "greedy_total_us": fifo["greedy_total_us"],
+    "any_flip": fifo["any_flip"],
+    "fifo": summarize(fifo),
+    "deadline": summarize(deadline),
+}
+with open("BENCH_sched.json", "w") as f:
+    json.dump(baseline, f, indent=2)
+    f.write("\n")
+print(json.dumps(baseline, indent=2))
+EOF
+
+echo "baseline written to BENCH_sched.json"

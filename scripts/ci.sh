@@ -63,4 +63,23 @@ grep -q '"latency_p99_us"' "$FLEET_TMP/fleet-a.json"
 grep -q '"slo_attainment_pct"' "$FLEET_TMP/fleet-a.json"
 echo "    fleet 120 devices: completed, replay byte-identical, SLO report emitted"
 
+echo "==> sched smoke (fixed seed, replay determinism, deadline report)"
+# The contended co-run schedule must complete under both policies,
+# replay byte-identically for the same seed, and emit the deadline-miss
+# metric the acceptance gate is built on.
+SCHED_TMP="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP" "$SCHED_TMP"' EXIT
+for policy in fifo deadline; do
+    "$ICOMM" sched tx2 --mix contended --policy "$policy" --seed 42 --json \
+        >"$SCHED_TMP/sched-$policy-a.json"
+    "$ICOMM" sched tx2 --mix contended --policy "$policy" --seed 42 --json \
+        >"$SCHED_TMP/sched-$policy-b.json"
+    cmp "$SCHED_TMP/sched-$policy-a.json" "$SCHED_TMP/sched-$policy-b.json" || {
+        echo "sched replay diverged for policy '$policy'" >&2
+        exit 1
+    }
+    grep -q '"deadline_miss_pct"' "$SCHED_TMP/sched-$policy-a.json"
+    echo "    policy '$policy': completed, replay byte-identical, deadline report emitted"
+done
+
 echo "CI gate passed."

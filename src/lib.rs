@@ -29,6 +29,7 @@
 //! | [`adapt`] | `icomm-adapt` | online phase-aware adaptation: drift detector + switch controller |
 //! | [`chaos`] | `icomm-chaos` | deterministic fault injection across the profile→adapt→serve→persist stack |
 //! | [`fleet`] | `icomm-fleet` | fleet-scale load generation, federated characterization transfer, admission-control validation |
+//! | [`sched`] | `icomm-sched` | multi-tenant co-run scheduler: joint model assignment, interference-aware virtual-time engine, bandwidth budgets |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use icomm_microbench as microbench;
 pub use icomm_models as models;
 pub use icomm_persist as persist;
 pub use icomm_profile as profile;
+pub use icomm_sched as sched;
 pub use icomm_serve as serve;
 pub use icomm_soc as soc;
 pub use icomm_trace as trace;

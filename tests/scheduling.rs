@@ -1,0 +1,162 @@
+//! Tier-1 acceptance tests for the multi-tenant scheduling subsystem:
+//! the closed-form joint model assignment must agree with the
+//! brute-force co-run oracle on every board × mix, co-location must
+//! demonstrably flip at least one tenant away from its solo-best model,
+//! the deadline+budget policy must strictly beat the FIFO baseline on a
+//! contended mix, reports must replay byte-identically per seed, and the
+//! multi-tenant fleet mode must report per-tenant SLO attainment through
+//! the real registry path.
+
+use icomm::apps::{mix_by_name, MIX_NAMES};
+use icomm::core::{joint_assignment, oracle_assignment, CorunTenant};
+use icomm::fleet::{run_fleet, FleetConfig};
+use icomm::microbench::quick_characterize_device;
+use icomm::sched::{run_sched_with, PolicyKind, SchedConfig};
+use icomm::serve::catalog::{board_by_name, BOARD_NAMES};
+
+fn tenants_of(mix: &str) -> Vec<CorunTenant> {
+    mix_by_name(mix)
+        .expect("named mix resolves")
+        .into_iter()
+        .map(|s| CorunTenant {
+            name: s.name,
+            workload: s.workload,
+            current: s.current,
+        })
+        .collect()
+}
+
+#[test]
+fn joint_assignment_matches_the_brute_force_oracle_everywhere() {
+    for board in BOARD_NAMES {
+        let device = board_by_name(board).expect("catalog board resolves");
+        let characterization = quick_characterize_device(&device);
+        for mix in MIX_NAMES {
+            let tenants = tenants_of(mix);
+            let joint = joint_assignment(&device, &characterization, &tenants)
+                .expect("joint assignment succeeds");
+            let oracle = oracle_assignment(&device, &tenants).expect("oracle succeeds");
+            assert_eq!(
+                joint.models(),
+                oracle,
+                "{board}/{mix}: closed-form joint assignment disagrees with the oracle"
+            );
+            // Jointly optimizing can only match or beat per-app greedy.
+            assert!(
+                joint.joint_total.as_picos() <= joint.greedy_total.as_picos(),
+                "{board}/{mix}: joint {} > greedy {}",
+                joint.joint_total.as_picos(),
+                joint.greedy_total.as_picos()
+            );
+        }
+    }
+}
+
+#[test]
+fn co_location_flips_a_model_choice_on_the_contended_tx2() {
+    let device = board_by_name("tx2").expect("tx2 resolves");
+    let characterization = quick_characterize_device(&device);
+    let joint = joint_assignment(&device, &characterization, &tenants_of("contended"))
+        .expect("joint assignment succeeds");
+    assert!(
+        joint.any_flip,
+        "contended TX2 mix should flip at least one tenant: {joint:?}"
+    );
+    let lane = &joint.tenants[0];
+    assert_ne!(
+        lane.joint, lane.solo_best,
+        "the deadline-tight lane tenant is the expected flip"
+    );
+    // The flip buys a strictly better predicted co-run total.
+    assert!(joint.joint_total.as_picos() < joint.greedy_total.as_picos());
+}
+
+#[test]
+fn deadline_budget_policy_strictly_beats_fifo_on_contended_mixes() {
+    // Boards where the probe sweep shows FIFO taking deadline misses.
+    for board in ["nano", "tx2", "orin-like"] {
+        let device = board_by_name(board).expect("catalog board resolves");
+        let characterization = quick_characterize_device(&device);
+        let run = |policy| {
+            let mut config = SchedConfig::new(device.clone());
+            config.policy = policy;
+            run_sched_with(&config, &characterization)
+                .expect("contended mix schedules")
+                .report
+        };
+        let fifo = run(PolicyKind::Fifo);
+        let deadline = run(PolicyKind::DeadlineBudget);
+        assert!(
+            fifo.missed_jobs() > 0,
+            "{board}: FIFO should miss deadlines on the contended mix"
+        );
+        assert!(
+            deadline.missed_jobs() < fifo.missed_jobs(),
+            "{board}: deadline+budget ({} misses) must strictly beat FIFO ({} misses)",
+            deadline.missed_jobs(),
+            fifo.missed_jobs()
+        );
+        assert!(
+            !fifo.tenants.iter().any(|t| t.throttles > 0),
+            "{board}: FIFO never throttles"
+        );
+    }
+}
+
+#[test]
+fn sched_reports_replay_byte_identically_per_seed() {
+    let device = board_by_name("tx2").expect("tx2 resolves");
+    let characterization = quick_characterize_device(&device);
+    let serialize = |seed: u64| {
+        let mut config = SchedConfig::new(device.clone());
+        config.seed = seed;
+        let out = run_sched_with(&config, &characterization).expect("contended mix schedules");
+        icomm::persist::to_string(&out.report).expect("report serializes")
+    };
+    let a = serialize(42);
+    assert_eq!(
+        a,
+        serialize(42),
+        "same-seed sched report not byte-identical"
+    );
+    assert_ne!(a, serialize(43), "different seed produced identical report");
+}
+
+#[test]
+fn multi_tenant_fleet_reports_per_tenant_slo_through_the_registry() {
+    let out = run_fleet(&FleetConfig {
+        devices: 150,
+        seed: 7,
+        livefire: false,
+        regret_samples: 4,
+        tenants_per_device: 2,
+        ..FleetConfig::default()
+    })
+    .expect("multi-tenant fleet runs");
+    let r = &out.report;
+    // The single-tenant acceptance gates still hold with tenants on.
+    assert_eq!(r.served + r.shed_queue + r.shed_rate, r.requests);
+    assert!(
+        r.warm_start_pct >= 90.0,
+        "warm start {:.1}%",
+        r.warm_start_pct
+    );
+    assert!(
+        r.mean_regret_pct <= 10.0,
+        "regret {:.2}%",
+        r.mean_regret_pct
+    );
+    assert!(r.passed(), "fleet gate failed:\n{r}");
+    // Every served device hosts the duo mix, scheduled off the
+    // characterization the registry resolved for it.
+    assert_eq!(r.tenants_per_device, 2);
+    assert_eq!(r.corun_tenants, r.served * 2);
+    assert!(
+        r.corun_slo_attainment_pct >= 90.0,
+        "per-tenant SLO attainment {:.1}%",
+        r.corun_slo_attainment_pct
+    );
+    assert!(r.corun_mean_slowdown >= 1.0);
+    // The report line for operators names the stage.
+    assert!(r.to_string().contains("co-run"), "display: {r}");
+}
