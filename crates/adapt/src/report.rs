@@ -13,9 +13,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use icomm_microbench::DeviceCharacterization;
-use icomm_models::{
-    oracle_phased, run_phased, static_phased, CommModelKind, PhasedRunReport, PhasedWorkload,
-};
+use icomm_models::{oracle_phased, run_phased, static_phased, PhasedRunReport, PhasedWorkload};
 use icomm_soc::DeviceProfile;
 
 use crate::controller::{AdaptController, AdaptStats, ControllerConfig, SwitchEvent};
@@ -155,7 +153,7 @@ pub fn evaluate(
 ) -> AdaptationReport {
     let mut controller = AdaptController::new(device.clone(), characterization.clone(), config);
     let adaptive = run_phased(device, phased, &mut controller);
-    let statics: Vec<PhasedRunReport> = CommModelKind::ALL
+    let statics: Vec<PhasedRunReport> = icomm_models::candidate_models(device)
         .into_iter()
         .map(|kind| static_phased(device, phased, kind))
         .collect();

@@ -256,6 +256,10 @@ mod tests {
             cpu_cache_threshold_pct: 15.0,
             sc_zc_max_speedup: 2.5,
             zc_sc_max_speedup: 70.0,
+            upm_supported: false,
+            gpu_upm_throughput: 0.0,
+            upm_kernel_penalty: 1.0,
+            um_upm_max_speedup: 1.0,
         }
     }
 

@@ -1,0 +1,84 @@
+//! Memory-topology benchmark: what the NUMA/TLB layer adds to the
+//! simulator's hot paths.
+//!
+//! Three costs matter: building a device profile from its topology
+//! (paid once per board), pricing a coherent UPM fill
+//! (`MemTopology::upm_fill_extra`, paid on every simulated LLC miss in
+//! UPM runs), and the fourth micro-benchmark's full UM-vs-UPM probe
+//! (paid once per characterization). The deterministic headline numbers
+//! — kernel penalty and UM->UPM bound per page size — are printed
+//! alongside and captured into `BENCH_mem.json` by
+//! `scripts/bench_snapshot.sh`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icomm_microbench::UpmProbe;
+use icomm_models::{run_model, CommModelKind};
+use icomm_soc::{DeviceProfile, MemAgent, PageSize};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem");
+    group.sample_size(10);
+
+    // Once-per-board: topology construction + page-size remap.
+    group.bench_function("build_gh_like_with_huge_pages", |b| {
+        b.iter(|| DeviceProfile::gh_like().with_page_size(PageSize::Huge2M))
+    });
+
+    // Once-per-LLC-miss: the UPM fill pricing across a footprint sweep
+    // that straddles the 4K TLB reach on both agents.
+    let gh = DeviceProfile::gh_like();
+    let topology = gh.topology.clone();
+    let footprints: Vec<u64> = (0..16).map(|i| 1u64 << (16 + i)).collect();
+    group.throughput(Throughput::Elements(footprints.len() as u64 * 2));
+    group.bench_function("upm_fill_pricing_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &fp in &footprints {
+                for agent in [MemAgent::Cpu, MemAgent::Gpu] {
+                    total += topology.upm_fill_extra(agent, fp).as_picos();
+                }
+            }
+            total
+        })
+    });
+    group.throughput(Throughput::Elements(1));
+
+    // Once-per-characterization: the UM-vs-UPM probe, plus its headline
+    // numbers per page size.
+    for page in [PageSize::Small4K, PageSize::Huge2M] {
+        for make in [
+            DeviceProfile::mi300a_like as fn() -> DeviceProfile,
+            DeviceProfile::gh_like,
+        ] {
+            let device = make().with_page_size(page);
+            let result = UpmProbe::new().run(&device);
+            println!(
+                "mem {} @{}: penalty {:.3}x, UM->UPM bound {:.3}",
+                make().name,
+                page.name(),
+                result.kernel_penalty(),
+                result.um_upm_max_speedup(),
+            );
+        }
+    }
+    let mi300a = DeviceProfile::mi300a_like().with_page_size(PageSize::Huge2M);
+    group.bench_function("upm_probe_mi300a_2m", |b| {
+        b.iter(|| UpmProbe::new().run(&mi300a))
+    });
+
+    // The coherent model itself on the probe workload — the ground-truth
+    // run the oracle and validation paths repeat.
+    let workload = UpmProbe::new().workload(&mi300a);
+    group.bench_function("coherent_upm_run_8mib", |b| {
+        b.iter(|| run_model(CommModelKind::CoherentUpm, &mi300a, &workload))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Serving-layer throughput: batches of tuning requests through the
 //! concurrent service, cold and warm.
 //!
-//! The experiment behind the `icomm-serve` design claim: once the four
+//! The experiment behind the `icomm-serve` design claim: once the
 //! device characterizations are cached, a batch of requests costs only
 //! the (cheap) profile + recommend flow per request, so throughput is
 //! bounded by the worker pool rather than the micro-benchmark sweeps.
@@ -9,7 +9,14 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use icomm_serve::{ServiceConfig, TuneRequest, TuningService};
 
-const BOARDS: [&str; 4] = ["nano", "tx2", "xavier", "orin-like"];
+const BOARDS: [&str; 6] = [
+    "nano",
+    "tx2",
+    "xavier",
+    "orin-like",
+    "mi300a-like",
+    "gh-like",
+];
 const APPS: [&str; 3] = ["shwfs", "orb", "lane"];
 
 fn request_batch(n: u64) -> Vec<TuneRequest> {

@@ -1,7 +1,7 @@
 //! Argument parsing for the `icomm` CLI (std-only, no clap).
 
 use icomm_models::CommModelKind;
-use icomm_soc::DeviceProfile;
+use icomm_soc::{DeviceProfile, PageSize};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,8 +16,9 @@ pub enum Command {
         /// Where to save the characterization.
         save: Option<String>,
     },
-    /// `icomm tune <board> <app> [--current <model>] [--json]` — profile
-    /// an application and print the framework's verdict.
+    /// `icomm tune <board> <app> [--current <model>] [--pages <size>]
+    /// [--json]` — profile an application and print the framework's
+    /// verdict.
     Tune {
         /// Board name.
         board: String,
@@ -25,6 +26,9 @@ pub enum Command {
         app: String,
         /// The model the application currently uses.
         current: CommModelKind,
+        /// Page size the board maps the shared allocation with
+        /// (`4k`, `64k`, `2m`); `None` keeps the profile's default.
+        pages: Option<PageSize>,
         /// A cached characterization file (skips the micro-benchmarks).
         characterization: Option<String>,
         /// Print the validated recommendation as JSON.
@@ -174,12 +178,21 @@ pub fn board_by_name(name: &str) -> Option<DeviceProfile> {
         "tx2" | "jetson-tx2" => Some(DeviceProfile::jetson_tx2()),
         "xavier" | "agx-xavier" | "jetson-agx-xavier" => Some(DeviceProfile::jetson_agx_xavier()),
         "orin" | "orin-like" => Some(DeviceProfile::orin_like()),
+        "mi300a" | "mi300a-like" => Some(DeviceProfile::mi300a_like()),
+        "gh" | "gh-like" | "grace-hopper-like" => Some(DeviceProfile::gh_like()),
         _ => None,
     }
 }
 
 /// The board names `board_by_name` accepts (canonical forms).
-pub const BOARD_NAMES: [&str; 4] = ["nano", "tx2", "xavier", "orin-like"];
+pub const BOARD_NAMES: [&str; 6] = [
+    "nano",
+    "tx2",
+    "xavier",
+    "orin-like",
+    "mi300a-like",
+    "gh-like",
+];
 
 /// The application names the CLI knows.
 pub const APP_NAMES: [&str; 3] = ["shwfs", "orb", "lane"];
@@ -190,6 +203,7 @@ fn model_by_name(name: &str) -> Option<CommModelKind> {
         "um" | "unified-memory" => Some(CommModelKind::UnifiedMemory),
         "zc" | "zero-copy" => Some(CommModelKind::ZeroCopy),
         "sc+" | "sc-async" | "double-buffered" => Some(CommModelKind::StandardCopyAsync),
+        "upm" | "coherent-upm" | "coherent-unified-memory" => Some(CommModelKind::CoherentUpm),
         _ => None,
     }
 }
@@ -241,6 +255,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 .ok_or_else(|| ParseArgsError("tune needs an app name".into()))?;
             ensure_app(app)?;
             let mut current = CommModelKind::StandardCopy;
+            let mut pages = None;
             let mut characterization = None;
             let mut json = false;
             while let Some(flag) = it.next() {
@@ -250,8 +265,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                             ParseArgsError("--current needs a model (sc|um|zc)".into())
                         })?;
                         current = model_by_name(value).ok_or_else(|| {
-                            ParseArgsError(format!("unknown model '{value}' (sc|um|zc|sc+)"))
+                            ParseArgsError(format!("unknown model '{value}' (sc|um|zc|sc+|upm)"))
                         })?;
+                    }
+                    "--pages" => {
+                        let value = it.next().ok_or_else(|| {
+                            ParseArgsError("--pages needs a size (4k|64k|2m)".into())
+                        })?;
+                        pages = Some(PageSize::parse(value).ok_or_else(|| {
+                            ParseArgsError(format!("unknown page size '{value}' (4k|64k|2m)"))
+                        })?);
                     }
                     "--characterization" => {
                         characterization = Some(
@@ -272,6 +295,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 board: board.clone(),
                 app: app.clone(),
                 current,
+                pages,
                 characterization,
                 json,
             })
@@ -710,7 +734,8 @@ icomm — tune CPU-iGPU communication on embedded platforms
 USAGE:
     icomm boards
     icomm characterize <board> [--save <file>]
-    icomm tune <board> <app> [--current sc|um|zc] [--json]
+    icomm tune <board> <app> [--current sc|um|zc|sc+|upm]
+                             [--pages 4k|64k|2m] [--json]
                              [--characterization <file>]
     icomm adapt <board> [--app <name>] [--windows N] [--stats] [--json]
                         [--characterization <file>]
@@ -728,15 +753,21 @@ USAGE:
                 [--seed N] [--windows N] [--json]
     icomm help
 
-BOARDS:  nano, tx2, xavier, orin-like
+BOARDS:  nano, tx2, xavier, orin-like   (discrete-pool iGPU boards)
+         mi300a-like, gh-like           (hardware-coherent memory boards)
 APPS:    shwfs (Shack-Hartmann wavefront sensing)
          orb   (ORB feature-extraction front-end)
          lane  (ADAS lane detection)
 
 `characterize` runs the paper's three micro-benchmarks on the simulated
-board. `tune` profiles the chosen application and prints the framework's
-communication-model verdict (`--json` for machine-readable output);
-`compare` measures every model as ground truth. `adapt` runs the online
+board (plus a coherent-memory probe on boards that support it). `tune`
+profiles the chosen application and prints the framework's
+communication-model verdict (`--json` for machine-readable output); on
+hardware-coherent boards the candidate set gains `upm` (coherent unified
+memory: system allocation, no copies or migrations), and `--pages`
+re-maps the shared allocation with 4K/64K/2M pages — huge pages shrink
+TLB pressure and can flip the UM-vs-UPM verdict. `compare` measures
+every model as ground truth. `adapt` runs the online
 phase-aware controller over the app's three-phase variant (N windows per
 phase) and reports switches, detection latency, and regret against the
 per-phase oracle. `experiments` regenerates every table and figure of
@@ -835,6 +866,7 @@ mod tests {
                 board: "xavier".into(),
                 app: "shwfs".into(),
                 current: CommModelKind::StandardCopy,
+                pages: None,
                 characterization: None,
                 json: false,
             }
@@ -850,10 +882,37 @@ mod tests {
                 board: "tx2".into(),
                 app: "orb".into(),
                 current: CommModelKind::ZeroCopy,
+                pages: None,
                 characterization: None,
                 json: true,
             }
         );
+    }
+
+    #[test]
+    fn tune_accepts_coherent_board_pages_and_upm() {
+        let c = parse(&v(&[
+            "tune",
+            "mi300a-like",
+            "shwfs",
+            "--current",
+            "upm",
+            "--pages",
+            "2m",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Tune {
+                board: "mi300a-like".into(),
+                app: "shwfs".into(),
+                current: CommModelKind::CoherentUpm,
+                pages: Some(PageSize::Huge2M),
+                characterization: None,
+                json: false,
+            }
+        );
+        assert!(parse(&v(&["tune", "gh-like", "orb", "--pages", "1g"])).is_err());
     }
 
     #[test]
@@ -917,7 +976,16 @@ mod tests {
         assert!(board_by_name("Xavier").is_some());
         assert!(board_by_name("jetson-agx-xavier").is_some());
         assert!(board_by_name("ORIN").is_some());
+        assert!(board_by_name("MI300A").is_some());
+        assert!(board_by_name("grace-hopper-like").is_some());
         assert!(board_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_canonical_board_name_resolves() {
+        for name in BOARD_NAMES {
+            assert!(board_by_name(name).is_some(), "board {name}");
+        }
     }
 
     #[test]

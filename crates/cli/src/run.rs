@@ -12,7 +12,7 @@ use icomm_core::Tuner;
 use icomm_microbench::{characterize_device, quick_characterize_device, DeviceCharacterization};
 use icomm_models::{run_model, CommModelKind, PhasedWorkload, Workload};
 use icomm_serve::{Server, ServiceConfig, TuneRequest, TuneResponse, TuningService};
-use icomm_soc::DeviceProfile;
+use icomm_soc::{DeviceProfile, PageSize};
 
 use crate::args::{board_by_name, Command, APP_NAMES, BOARD_NAMES, HELP};
 
@@ -74,9 +74,17 @@ pub fn execute(command: &Command) -> Result<String, String> {
             board,
             app,
             current,
+            pages,
             json,
             characterization,
-        } => tune(board, app, *current, *json, characterization.as_deref()),
+        } => tune(
+            board,
+            app,
+            *current,
+            *pages,
+            *json,
+            characterization.as_deref(),
+        ),
         Command::Adapt {
             board,
             app,
@@ -216,6 +224,23 @@ fn characterize(board: &str, save: Option<&str>) -> Result<String, String> {
         "  max ZC->SC speedup        : {:>8.2} x",
         c.zc_sc_max_speedup
     );
+    if c.upm_supported {
+        let _ = writeln!(
+            out,
+            "  UPM kernel penalty        : {:>8.2} x",
+            c.upm_kernel_penalty
+        );
+        let _ = writeln!(
+            out,
+            "  max UM->UPM speedup       : {:>8.2} x{}",
+            c.um_upm_max_speedup,
+            if c.um_upm_max_speedup > 1.0 {
+                ""
+            } else {
+                "  (UPM never pays off at this page size)"
+            }
+        );
+    }
     if let Some(path) = save {
         let json =
             icomm_persist::to_string(&c).map_err(|err| format!("cannot serialize: {err}"))?;
@@ -229,10 +254,14 @@ fn tune(
     board: &str,
     app: &str,
     current: CommModelKind,
+    pages: Option<PageSize>,
     json: bool,
     characterization: Option<&str>,
 ) -> Result<String, String> {
-    let device = require_board(board)?;
+    let mut device = require_board(board)?;
+    if let Some(page) = pages {
+        device = device.with_page_size(page);
+    }
     let workload = workload_by_name(app)?;
     let tuner = match characterization {
         Some(path) => Tuner::with_characterization(device, load_characterization(path)?),
@@ -338,6 +367,11 @@ fn compare(board: &str, app: &str) -> Result<String, String> {
     let sc = run_model(CommModelKind::StandardCopy, &device, &workload);
     let mut out = format!("{} on {} (per frame):\n", workload.name, device.name);
     for kind in CommModelKind::EXTENDED {
+        // UPM only exists as a distinct path on hardware-coherent boards;
+        // elsewhere it would render a duplicate of the UM row.
+        if kind == CommModelKind::CoherentUpm && !device.supports_coherent_upm() {
+            continue;
+        }
         let run = run_model(kind, &device, &workload);
         let delta = if kind == CommModelKind::StandardCopy {
             "      -".to_string()
@@ -616,6 +650,16 @@ mod tests {
         for abbrev in ["SC", "UM", "ZC", "SC+"] {
             assert!(text.contains(abbrev), "missing {abbrev}");
         }
+        assert!(
+            !text.contains("UPM"),
+            "UPM row on a non-coherent board:\n{text}"
+        );
+    }
+
+    #[test]
+    fn compare_includes_upm_on_coherent_boards() {
+        let text = compare("mi300a-like", "lane").unwrap();
+        assert!(text.contains("UPM"), "missing UPM row in:\n{text}");
     }
 
     #[test]
@@ -625,10 +669,54 @@ mod tests {
 
     #[test]
     fn tune_json_emits_parseable_validation() {
-        let out = tune("xavier", "shwfs", CommModelKind::StandardCopy, true, None).unwrap();
+        let out = tune(
+            "xavier",
+            "shwfs",
+            CommModelKind::StandardCopy,
+            None,
+            true,
+            None,
+        )
+        .unwrap();
         let validation: icomm_core::Validation = icomm_persist::from_str(out.trim()).unwrap();
-        let text = tune("xavier", "shwfs", CommModelKind::StandardCopy, false, None).unwrap();
+        let text = tune(
+            "xavier",
+            "shwfs",
+            CommModelKind::StandardCopy,
+            None,
+            false,
+            None,
+        )
+        .unwrap();
         assert!(text.contains(&validation.summary()), "{text}");
+    }
+
+    #[test]
+    fn tune_page_size_applies_to_the_board() {
+        // Same board, same app — only the page size differs; both runs
+        // must complete and stay internally consistent.
+        for page in [PageSize::Small4K, PageSize::Huge2M] {
+            let out = tune(
+                "mi300a-like",
+                "shwfs",
+                CommModelKind::UnifiedMemory,
+                Some(page),
+                true,
+                None,
+            )
+            .unwrap();
+            let validation: icomm_core::Validation = icomm_persist::from_str(out.trim()).unwrap();
+            let text = tune(
+                "mi300a-like",
+                "shwfs",
+                CommModelKind::UnifiedMemory,
+                Some(page),
+                false,
+                None,
+            )
+            .unwrap();
+            assert!(text.contains(&validation.summary()), "{text}");
+        }
     }
 
     #[test]

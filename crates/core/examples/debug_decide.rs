@@ -1,7 +1,7 @@
 use icomm_core::Tuner;
 use icomm_microbench::mb2::{Mb2Config, ThresholdSweep};
 use icomm_microbench::mb3::{Mb3Config, OverlapProbe};
-use icomm_microbench::{DeviceCharacterization, PeakCacheThroughput};
+use icomm_microbench::{DeviceCharacterization, PeakCacheThroughput, UpmProbe};
 use icomm_models::{CommModelKind, CpuPhase, GpuPhase, Workload};
 use icomm_soc::cache::AccessKind;
 use icomm_soc::units::ByteSize;
@@ -21,7 +21,8 @@ fn main() {
         ..Default::default()
     })
     .run(&device);
-    let c = DeviceCharacterization::from_results(&mb1, &mb2, &mb3);
+    let upm = UpmProbe::new().run(&device);
+    let c = DeviceCharacterization::from_results(&mb1, &mb2, &mb3, &upm);
     println!("{c:#?}");
     let bytes = 1u64 << 20;
     let w = Workload::builder("stream")

@@ -20,14 +20,15 @@ use icomm_microbench::DeviceCharacterization;
 use icomm_models::interference::{
     co_run_interference, co_run_oracle, InterferenceConfig, TenantDemand,
 };
-use icomm_models::{run_model, CommModelKind, Workload};
+use icomm_models::{candidate_models, run_model, CommModelKind, Workload};
 use icomm_soc::units::{Bandwidth, Picos};
 use icomm_soc::DeviceProfile;
 
 use crate::tuner::recommend_for_device;
 
-/// The scheduler enumerates every model combination (`3^N`), so mixes are
-/// capped where the paper's co-location scenarios live.
+/// The scheduler enumerates every model combination (`M^N` for `M`
+/// candidate models — 3 on the Jetsons, 4 on hardware-coherent parts), so
+/// mixes are capped where the paper's co-location scenarios live.
 pub const MAX_TENANTS: usize = 4;
 
 /// One tenant of a co-run mix.
@@ -96,7 +97,15 @@ pub fn tenant_demand(
     model: CommModelKind,
 ) -> TenantDemand {
     let run = run_model(model, device, workload);
-    let bypasses = matches!(model, CommModelKind::ZeroCopy);
+    // Exhaustive on purpose: a new model variant must declare here whether
+    // it keeps the GPU LLC in the path, or joint assignment misprices it.
+    let bypasses = match model {
+        CommModelKind::ZeroCopy => true,
+        CommModelKind::StandardCopy
+        | CommModelKind::UnifiedMemory
+        | CommModelKind::StandardCopyAsync
+        | CommModelKind::CoherentUpm => false,
+    };
     let llc_pressure = if bypasses {
         0.0
     } else {
@@ -122,7 +131,7 @@ pub fn tenant_demand(
 }
 
 /// Solo demand of every tenant under every candidate model:
-/// `candidates[i][k]` is tenant `i` under `CommModelKind::ALL[k]`.
+/// `candidates[i][k]` is tenant `i` under `candidate_models(device)[k]`.
 fn candidate_demands(
     device: &DeviceProfile,
     tenants: &[CorunTenant],
@@ -136,10 +145,11 @@ fn candidate_demands(
             tenants.len()
         ));
     }
+    let models = candidate_models(device);
     Ok(tenants
         .iter()
         .map(|t| {
-            CommModelKind::ALL
+            models
                 .iter()
                 .map(|&kind| tenant_demand(device, &t.name, &t.workload, kind))
                 .collect()
@@ -147,23 +157,23 @@ fn candidate_demands(
         .collect())
 }
 
-/// Iterates every model combination in lexicographic `CommModelKind::ALL`
-/// order, calling `score` with the per-tenant demand slice; returns the
-/// first combination attaining the minimum score (deterministic
-/// tie-break).
+/// Iterates every model combination in lexicographic candidate order,
+/// calling `score` with the per-tenant demand slice; returns the first
+/// combination attaining the minimum score (deterministic tie-break).
 fn argmin_combo<F>(candidates: &[Vec<TenantDemand>], mut score: F) -> Vec<usize>
 where
     F: FnMut(&[TenantDemand]) -> u64,
 {
     let n = candidates.len();
-    let combos = 3usize.pow(n as u32);
+    let base = candidates.first().map_or(0, Vec::len).max(1);
+    let combos = base.pow(n as u32);
     let mut best: Option<(u64, Vec<usize>)> = None;
     for combo in 0..combos {
         let mut picks = Vec::with_capacity(n);
         let mut rest = combo;
         for _ in 0..n {
-            picks.push(rest % 3);
-            rest /= 3;
+            picks.push(rest % base);
+            rest /= base;
         }
         let demands: Vec<TenantDemand> = picks
             .iter()
@@ -180,8 +190,9 @@ where
 
 /// Chooses the joint model assignment for a tenant mix on `device`.
 ///
-/// Every tenant is measured solo under SC, UM and ZC; every combination
-/// is then scored by the closed-form interference model and the one with
+/// Every tenant is measured solo under every candidate model (SC, UM and
+/// ZC, plus coherent UPM on devices with a coherent fabric); every
+/// combination is then scored by the closed-form interference model and the one with
 /// the smallest combined co-run wall time wins (first-found on ties, so
 /// the result is deterministic). The per-tenant verdicts also carry the
 /// solo ground truth and the single-app Fig. 2 recommendation, so a
@@ -197,6 +208,7 @@ pub fn joint_assignment(
     tenants: &[CorunTenant],
 ) -> Result<JointAssignment, String> {
     let candidates = candidate_demands(device, tenants)?;
+    let models = candidate_models(device);
     let config = InterferenceConfig::for_device(device);
     let total_wall = |demands: &[TenantDemand]| -> u64 {
         co_run_interference(demands, &config)
@@ -237,8 +249,8 @@ pub fn joint_assignment(
         .iter()
         .enumerate()
         .map(|(i, tenant)| {
-            let joint = CommModelKind::ALL[joint_picks[i]];
-            let solo_best = CommModelKind::ALL[greedy_picks[i]];
+            let joint = models[joint_picks[i]];
+            let solo_best = models[greedy_picks[i]];
             let solo_recommended =
                 recommend_for_device(device, characterization, &tenant.workload, tenant.current)
                     .recommendation
@@ -266,7 +278,7 @@ pub fn joint_assignment(
     })
 }
 
-/// The brute-force reference: the same `3^N` enumeration scored by the
+/// The brute-force reference: the same `M^N` enumeration scored by the
 /// piecewise [`co_run_oracle`] simulation instead of the closed form.
 /// Returns the winning models in mix order.
 ///
@@ -278,6 +290,7 @@ pub fn oracle_assignment(
     tenants: &[CorunTenant],
 ) -> Result<Vec<CommModelKind>, String> {
     let candidates = candidate_demands(device, tenants)?;
+    let models = candidate_models(device);
     let config = InterferenceConfig::for_device(device);
     let picks = argmin_combo(&candidates, |demands| {
         co_run_oracle(demands, &config)
@@ -285,7 +298,7 @@ pub fn oracle_assignment(
             .map(|w| w.as_picos())
             .sum()
     });
-    Ok(picks.iter().map(|&k| CommModelKind::ALL[k]).collect())
+    Ok(picks.iter().map(|&k| models[k]).collect())
 }
 
 #[cfg(test)]
@@ -391,6 +404,32 @@ mod tests {
                 joint.greedy_total
             );
         }
+    }
+
+    #[test]
+    fn coherent_board_enumerates_upm_candidates() {
+        use icomm_soc::PageSize;
+        let device = DeviceProfile::mi300a_like().with_page_size(PageSize::Huge2M);
+        let chr = quick_characterize_device(&device);
+        let mix = vec![streaming("a"), cache_hungry("b")];
+        let joint = joint_assignment(&device, &chr, &mix).expect("joint assignment");
+        let models = icomm_models::candidate_models(&device);
+        assert_eq!(models.len(), 4);
+        for t in &joint.tenants {
+            assert!(models.contains(&t.joint));
+            assert!(models.contains(&t.solo_best));
+        }
+        // With migrations free of charge under huge pages, at least one
+        // tenant's solo best is the coherent path.
+        assert!(
+            joint
+                .tenants
+                .iter()
+                .any(|t| t.solo_best == CommModelKind::CoherentUpm
+                    || t.joint == CommModelKind::CoherentUpm),
+            "UPM never chosen: {:?}",
+            joint.models()
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use icomm_models::CommModelKind;
 use icomm_profile::ProfileReport;
 use icomm_soc::units::Picos;
 
-use crate::speedup::{sc_to_zc, zc_to_sc, SpeedupEstimate};
+use crate::speedup::{sc_to_zc, to_upm, zc_to_sc, SpeedupEstimate};
 use crate::usage::{cpu_usage_of, gpu_usage_of};
 
 /// Where the application's GPU cache usage falls relative to the device's
@@ -167,6 +167,34 @@ pub fn recommend(
 
     let is_zc = current == CommModelKind::ZeroCopy;
 
+    // UPM refinement of the "stay cache-enabled" exits: when the flow
+    // concludes the application should keep a cache-enabled model, a
+    // hardware-coherent device can still drop the copies/migrations by
+    // moving to coherent UPM — the caches stay on, so the cache-usage
+    // classification that led here is unaffected. Inert on the Jetsons
+    // (`upm_supported` false bounds the estimate at 1.0).
+    let upm_refine = |keep: Recommendation| -> Recommendation {
+        if !device.upm_supported || current == CommModelKind::CoherentUpm || is_zc {
+            return keep;
+        }
+        let est = to_upm(profile, device);
+        if est.estimated <= 1.0 {
+            return keep;
+        }
+        Recommendation {
+            recommended: CommModelKind::CoherentUpm,
+            estimated_speedup: Some(est),
+            rationale: format!(
+                "{} The coherent fabric shares the allocation without \
+                 copies or migrations at the current page size, for an \
+                 estimated {:.0}% further speedup (UPM).",
+                keep.rationale,
+                est.as_percent()
+            ),
+            ..keep
+        }
+    };
+
     // GPU cache-dependent branch.
     if gpu_dependent {
         if zone == CacheZone::Maybe && is_zc {
@@ -196,7 +224,7 @@ pub fn recommend(
                 ),
             );
         }
-        return base(
+        return upm_refine(base(
             current,
             None,
             format!(
@@ -205,7 +233,7 @@ pub fn recommend(
                  already uses {current}, so no change is suggested.",
                 device.gpu_cache_threshold_pct
             ),
-        );
+        ));
     }
 
     // GPU usage low; CPU cache-dependent branch.
@@ -227,7 +255,7 @@ pub fn recommend(
                 ),
             );
         }
-        return base(
+        return upm_refine(base(
             current,
             None,
             format!(
@@ -236,7 +264,7 @@ pub fn recommend(
                  bypass under ZC, so {current} is kept.",
                 device.cpu_cache_threshold_pct
             ),
-        );
+        ));
     }
 
     // Both usages low: ZC preferred when the device's zero-copy path can
@@ -264,7 +292,7 @@ pub fn recommend(
             ),
         )
     } else {
-        base(
+        upm_refine(base(
             current,
             None,
             format!(
@@ -273,7 +301,7 @@ pub fn recommend(
                  {current} is kept.",
                 device.sc_zc_max_speedup
             ),
-        )
+        ))
     }
 }
 
@@ -292,6 +320,10 @@ mod tests {
             cpu_cache_threshold_pct: if io_coherent { 100.0 } else { 15.0 },
             sc_zc_max_speedup: if io_coherent { 2.4 } else { 0.2 },
             zc_sc_max_speedup: if io_coherent { 3.7 } else { 70.0 },
+            upm_supported: false,
+            gpu_upm_throughput: 0.0,
+            upm_kernel_penalty: 1.0,
+            um_upm_max_speedup: 1.0,
         }
     }
 
@@ -448,6 +480,64 @@ mod tests {
         assert_eq!(r.zone, CacheZone::Free);
         assert_eq!(r.zone, classify_zone(r.gpu_usage_pct, &dev));
         assert_eq!(r.recommended, CommModelKind::ZeroCopy);
+    }
+
+    fn upm_device() -> DeviceCharacterization {
+        DeviceCharacterization {
+            upm_supported: true,
+            gpu_upm_throughput: 90e9,
+            upm_kernel_penalty: 1.0,
+            um_upm_max_speedup: 2.0,
+            ..device(true)
+        }
+    }
+
+    #[test]
+    fn cache_dependent_sc_refines_to_upm_on_coherent_device() {
+        // profile: total 210us, copy 30us, kernel 100us. With a unit
+        // penalty the predicted UPM runtime is 180us -> ~1.17x.
+        let p = profile(CommModelKind::StandardCopy, 60.0, 0.05, 0.9);
+        let r = recommend(&p, &p, p.model, &upm_device(), Picos::from_micros(30));
+        assert_eq!(r.recommended, CommModelKind::CoherentUpm);
+        assert!(r.suggests_switch());
+        let est = r.estimated_speedup.unwrap();
+        assert!(est.estimated > 1.0 && est.estimated <= est.max_bound);
+        assert!(r.rationale.contains("UPM"));
+    }
+
+    #[test]
+    fn upm_refinement_suppressed_by_small_page_penalty() {
+        // A 4K-page penalty of 1.5 adds 50us back to the 100us kernel,
+        // overwhelming the 30us copy saving: SC is kept.
+        let mut dev = upm_device();
+        dev.upm_kernel_penalty = 1.5;
+        let p = profile(CommModelKind::StandardCopy, 60.0, 0.05, 0.9);
+        let r = recommend(&p, &p, p.model, &dev, Picos::from_micros(30));
+        assert_eq!(r.recommended, CommModelKind::StandardCopy);
+        assert!(r.estimated_speedup.is_none());
+    }
+
+    #[test]
+    fn upm_current_is_kept_not_switched_to_itself() {
+        let p = profile(CommModelKind::CoherentUpm, 60.0, 0.05, 0.9);
+        let r = recommend(&p, &p, p.model, &upm_device(), Picos::from_micros(30));
+        assert_eq!(r.recommended, CommModelKind::CoherentUpm);
+        assert!(!r.suggests_switch());
+    }
+
+    #[test]
+    fn upm_refinement_inert_on_jetson_class_devices() {
+        // Byte-identical to the pre-UPM flow when the device has no
+        // coherent fabric, whatever the profile shape.
+        for model in [CommModelKind::StandardCopy, CommModelKind::UnifiedMemory] {
+            for ll in [1.0, 20.0, 80.0] {
+                let p = profile(model, ll, 0.4, 0.2);
+                for dev in [device(true), device(false)] {
+                    let r = recommend(&p, &p, p.model, &dev, Picos::from_micros(10));
+                    assert_ne!(r.recommended, CommModelKind::CoherentUpm);
+                }
+            }
+        }
     }
 
     #[test]

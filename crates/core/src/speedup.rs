@@ -115,6 +115,42 @@ pub fn zc_to_sc(
     }
 }
 
+/// UPM extension of the Eqn. 3/4 family: potential speedup of switching a
+/// cache-enabled application (SC or UM) to hardware-coherent unified
+/// memory.
+///
+/// UPM removes the copies/migrations entirely but re-prices the kernel by
+/// the device's measured TLB-and-placement penalty:
+/// `UPM_pred = (runtime − copy_time) + kernel_time × (penalty − 1)`. The
+/// estimate is clamped by the probe's end-to-end `UM/UPM_Max_speedup`
+/// bound; on devices without a coherent fabric both the penalty and the
+/// bound are 1.0, so the estimate can never recommend a switch there.
+pub fn to_upm(profile: &ProfileReport, device: &DeviceCharacterization) -> SpeedupEstimate {
+    let runtime = profile.total_time.as_picos() as f64;
+    let compute = profile
+        .total_time
+        .saturating_sub(profile.copy_time)
+        .as_picos() as f64;
+    let kernel = profile.kernel_time.as_picos() as f64;
+    let penalty = device.upm_kernel_penalty.max(0.0);
+    let predicted_upm = compute + kernel * (penalty - 1.0);
+    let raw = if predicted_upm > 0.0 {
+        runtime / predicted_upm
+    } else {
+        1.0
+    };
+    let max_bound = if device.upm_supported {
+        device.um_upm_max_speedup.max(0.0)
+    } else {
+        1.0
+    };
+    SpeedupEstimate {
+        estimated: raw.min(max_bound),
+        raw,
+        max_bound,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +167,20 @@ mod tests {
             cpu_cache_threshold_pct: 15.0,
             sc_zc_max_speedup: 2.5,
             zc_sc_max_speedup: 70.0,
+            upm_supported: false,
+            gpu_upm_throughput: 0.0,
+            upm_kernel_penalty: 1.0,
+            um_upm_max_speedup: 1.0,
+        }
+    }
+
+    fn upm_device(penalty: f64, bound: f64) -> DeviceCharacterization {
+        DeviceCharacterization {
+            upm_supported: true,
+            gpu_upm_throughput: 90e9,
+            upm_kernel_penalty: penalty,
+            um_upm_max_speedup: bound,
+            ..device()
         }
     }
 
@@ -196,6 +246,36 @@ mod tests {
     }
 
     #[test]
+    fn upm_hand_value() {
+        // runtime 100us, copy 20us, kernel 40us, unit penalty:
+        // predicted UPM = 80us -> raw 1.25.
+        let est = to_upm(&profile(100, 20, 40, 40), &upm_device(1.0, 3.0));
+        assert!((est.raw - 1.25).abs() < 1e-9, "raw {}", est.raw);
+        assert!((est.estimated - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upm_penalty_cancels_the_copy_savings() {
+        // Same profile, but a 4K-page penalty of 1.5 adds back
+        // 40us * 0.5 = 20us: predicted UPM = 100us -> no gain.
+        let est = to_upm(&profile(100, 20, 40, 40), &upm_device(1.5, 3.0));
+        assert!(est.estimated <= 1.0 + 1e-9, "estimated {}", est.estimated);
+    }
+
+    #[test]
+    fn upm_clamped_by_probe_bound() {
+        let est = to_upm(&profile(100, 80, 10, 10), &upm_device(1.0, 1.8));
+        assert!(est.raw > 1.8);
+        assert!((est.estimated - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upm_never_recommends_on_unsupported_device() {
+        let est = to_upm(&profile(100, 80, 10, 10), &device());
+        assert!(est.estimated <= 1.0);
+    }
+
+    #[test]
     fn percent_convention() {
         let e = SpeedupEstimate {
             estimated: 1.38,
@@ -221,6 +301,13 @@ mod tests {
             let e4 = zc_to_sc(&p, Picos::from_micros(copy), &device());
             proptest::prop_assert!(e4.estimated.is_finite());
             proptest::prop_assert!(e4.estimated <= e4.max_bound + 1e-9);
+            // The UPM estimator is inert on non-coherent devices and
+            // bounded on coherent ones.
+            let e5 = to_upm(&p, &device());
+            proptest::prop_assert!(e5.estimated.is_finite() && e5.estimated <= 1.0 + 1e-9);
+            let e6 = to_upm(&p, &upm_device(1.3, 2.0));
+            proptest::prop_assert!(e6.estimated.is_finite());
+            proptest::prop_assert!(e6.estimated <= e6.max_bound + 1e-9);
         }
     }
 }

@@ -196,11 +196,13 @@ impl Tuner {
         recommend_for_device(&self.device, &self.characterization, workload, current)
     }
 
-    /// Ground truth: runs the workload under every model on fresh SoCs.
+    /// Ground truth: runs the workload under every candidate model on
+    /// fresh SoCs — the paper's three everywhere, plus coherent UPM on
+    /// devices with a coherent fabric.
     pub fn evaluate_all(&self, workload: &Workload) -> Vec<RunReport> {
-        CommModelKind::ALL
-            .iter()
-            .map(|&kind| {
+        icomm_models::candidate_models(&self.device)
+            .into_iter()
+            .map(|kind| {
                 let mut soc = Soc::new(self.device.clone());
                 model_for(kind).run(&mut soc, workload)
             })
@@ -375,5 +377,14 @@ mod tests {
         assert_eq!(runs.len(), 3);
         let kinds: Vec<_> = runs.iter().map(|r| r.model).collect();
         assert_eq!(kinds, CommModelKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn evaluate_all_includes_upm_on_coherent_boards() {
+        let device = DeviceProfile::mi300a_like();
+        let tuner = Tuner::with_characterization(device.clone(), characterization(&device));
+        let runs = tuner.evaluate_all(&cache_hungry_workload());
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[3].model, CommModelKind::CoherentUpm);
     }
 }

@@ -1,0 +1,33 @@
+//! Memory-topology subsystem for the icomm SoC simulator.
+//!
+//! The paper's three Jetson boards share one flat LPDDR channel, so the
+//! original simulator hard-coded DRAM as a single bandwidth/latency pair.
+//! Newer hardware-coherent integrated platforms — MI300A-class APUs and
+//! Grace-Hopper-class superchips — expose *memory topology*: multiple
+//! NUMA nodes with per-node bandwidth and latency, CPU/GPU affinity,
+//! an inter-node fabric, page-size classes, and TLB reach limits that
+//! all shift where the communication-model crossovers land.
+//!
+//! This crate models that topology explicitly:
+//!
+//! - [`MemTopology`] — the top-level description: NUMA nodes, placement
+//!   policy, page size, TLB configuration, and inter-node interconnect.
+//! - [`NumaNode`] — one memory node with bandwidth, latency, capacity,
+//!   and CPU/GPU locality flags.
+//! - [`PageSize`] / [`TlbConfig`] — page-size classes (4K/64K/2M) and
+//!   the TLB-pressure model (reach = entries × page size; footprints
+//!   beyond reach pay a per-fill walk cost).
+//! - [`PlacementPolicy`] — first-touch (CPU homes the allocation) or
+//!   interleave (pages striped across nodes).
+//!
+//! The crate also owns the simulator's strongly-typed physical
+//! quantities ([`units`]) so the SoC layer can consume topologies
+//! without a dependency cycle.
+
+pub mod topology;
+pub mod units;
+
+pub use topology::{
+    Interconnect, MemAgent, MemTopology, NumaNode, PageSize, PlacementPolicy, TlbConfig,
+};
+pub use units::{Bandwidth, ByteSize, Energy, Freq, Picos};

@@ -1,0 +1,526 @@
+//! NUMA-aware memory topology: nodes, placement, page sizes, and TLB
+//! pressure.
+//!
+//! A [`MemTopology`] answers the questions the SoC layer needs when it
+//! models a hardware-coherent unified-memory access path:
+//!
+//! - What does an LLC miss cost *beyond* the local fill latency? That is
+//!   [`MemTopology::upm_fill_extra`]: the expected TLB-walk cost for the
+//!   working-set footprint at the configured page size, plus the
+//!   expected remote-node hop given the placement policy and the
+//!   requesting agent's affinity.
+//! - What do the flat DRAM constants look like for this device? The SoC
+//!   layer derives its single-channel DRAM model from
+//!   [`MemTopology::aggregate_bandwidth`] and
+//!   [`MemTopology::base_latency`], so single-node ("flat") topologies
+//!   reproduce the original Jetson numbers exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Bandwidth, ByteSize, Picos};
+
+/// The agent performing a memory access, as far as topology affinity is
+/// concerned. (The SoC layer has its own richer `Agent` enum; copy
+/// engines inherit the CPU's affinity.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemAgent {
+    /// The CPU cluster.
+    Cpu,
+    /// The integrated GPU.
+    Gpu,
+}
+
+/// Page-size classes the allocator can map a region with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageSize {
+    /// Base 4 KiB pages.
+    Small4K,
+    /// 64 KiB pages (the ARM granule / CUDA allocation granularity).
+    Medium64K,
+    /// 2 MiB huge pages.
+    Huge2M,
+}
+
+impl PageSize {
+    /// Every class, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Small4K, PageSize::Medium64K, PageSize::Huge2M];
+
+    /// Bytes per page.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Small4K => 4 << 10,
+            PageSize::Medium64K => 64 << 10,
+            PageSize::Huge2M => 2 << 20,
+        }
+    }
+
+    /// Short human-readable name (`4K` / `64K` / `2M`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            PageSize::Small4K => "4K",
+            PageSize::Medium64K => "64K",
+            PageSize::Huge2M => "2M",
+        }
+    }
+
+    /// Parses a page-size name as the CLI accepts it.
+    pub fn parse(s: &str) -> Option<PageSize> {
+        match s.to_ascii_lowercase().as_str() {
+            "4k" | "4kib" | "small" => Some(PageSize::Small4K),
+            "64k" | "64kib" => Some(PageSize::Medium64K),
+            "2m" | "2mib" | "huge" => Some(PageSize::Huge2M),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PageSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where first-class allocations land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Pages are homed on the first CPU-local node (the CPU faults them
+    /// in), so GPU accesses from a node without GPU affinity go remote.
+    FirstTouchCpu,
+    /// Pages are striped round-robin across every node; each agent sees
+    /// the node-count-weighted fraction of remote accesses.
+    Interleave,
+}
+
+/// TLB-pressure model: a reach (entries × page size) and a per-fill
+/// walk cost once the footprint spills past it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Entries in the unified last-level TLB.
+    pub entries: u64,
+    /// Cost of one table walk charged per LLC-line fill that misses the
+    /// TLB.
+    pub miss_cost: Picos,
+}
+
+impl TlbConfig {
+    /// Bytes the TLB can map without walking, at `page` granularity.
+    pub const fn reach(&self, page: PageSize) -> u64 {
+        self.entries * page.bytes()
+    }
+
+    /// Expected TLB miss rate for a uniformly-touched footprint.
+    ///
+    /// Zero while the footprint fits in reach; beyond it the resident
+    /// fraction `reach / footprint` still hits and the rest walks.
+    /// Larger pages grow reach, so the rate is non-increasing in page
+    /// size for any fixed footprint.
+    pub fn miss_rate(&self, page: PageSize, footprint_bytes: u64) -> f64 {
+        let reach = self.reach(page);
+        if footprint_bytes <= reach || footprint_bytes == 0 {
+            0.0
+        } else {
+            1.0 - reach as f64 / footprint_bytes as f64
+        }
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        // 512-entry unified L2 TLB: 2 MiB of reach with 4K pages, 1 GiB
+        // with 2M pages.
+        TlbConfig {
+            entries: 512,
+            miss_cost: Picos::from_nanos(250),
+        }
+    }
+}
+
+/// The fabric between NUMA nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Extra latency a remote (non-affine) access pays on top of the
+    /// node's own access latency.
+    pub extra_latency: Picos,
+    /// Peak bandwidth of the inter-node link.
+    pub bandwidth: Bandwidth,
+}
+
+impl Default for Interconnect {
+    fn default() -> Self {
+        Interconnect {
+            extra_latency: Picos::ZERO,
+            bandwidth: Bandwidth::gib_per_sec(64),
+        }
+    }
+}
+
+/// One NUMA memory node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumaNode {
+    /// Human-readable name (`lpddr`, `hbm`, `cpu-ddr`, ...).
+    pub name: String,
+    /// Peak bandwidth out of this node.
+    pub bandwidth: Bandwidth,
+    /// Idle access latency into this node.
+    pub latency: Picos,
+    /// Capacity of the node.
+    pub capacity: ByteSize,
+    /// The CPU cluster sits on this node (no fabric hop).
+    pub cpu_local: bool,
+    /// The GPU sits on this node (no fabric hop).
+    pub gpu_local: bool,
+}
+
+impl NumaNode {
+    /// True when `agent` reaches this node without a fabric hop.
+    pub fn local_to(&self, agent: MemAgent) -> bool {
+        match agent {
+            MemAgent::Cpu => self.cpu_local,
+            MemAgent::Gpu => self.gpu_local,
+        }
+    }
+}
+
+/// A complete memory-topology description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemTopology {
+    /// The memory nodes; never empty.
+    pub nodes: Vec<NumaNode>,
+    /// Page size the system allocator maps shared regions with.
+    pub page_size: PageSize,
+    /// Where shared allocations are homed.
+    pub placement: PlacementPolicy,
+    /// TLB-pressure model.
+    pub tlb: TlbConfig,
+    /// Inter-node fabric.
+    pub interconnect: Interconnect,
+    /// The CPU and GPU caches stay coherent for system allocations
+    /// without flushes or page migration (MI300A / Grace-Hopper class).
+    pub hardware_coherent: bool,
+}
+
+impl MemTopology {
+    /// A flat single-node topology reproducing the legacy DRAM
+    /// constants: one node local to both agents, no fabric hop, not
+    /// hardware-coherent. The Jetson presets use this, so their
+    /// behavior is bit-identical to the pre-topology simulator.
+    pub fn flat(bandwidth: Bandwidth, latency: Picos) -> Self {
+        MemTopology {
+            nodes: vec![NumaNode {
+                name: "dram".to_string(),
+                bandwidth,
+                latency,
+                capacity: ByteSize::gib(8),
+                cpu_local: true,
+                gpu_local: true,
+            }],
+            page_size: PageSize::Small4K,
+            placement: PlacementPolicy::FirstTouchCpu,
+            tlb: TlbConfig::default(),
+            interconnect: Interconnect::default(),
+            hardware_coherent: false,
+        }
+    }
+
+    /// Total bandwidth across every node (the flat-DRAM equivalent).
+    pub fn aggregate_bandwidth(&self) -> Bandwidth {
+        Bandwidth::bytes_per_sec(
+            self.nodes
+                .iter()
+                .map(|n| n.bandwidth.as_bytes_per_sec())
+                .sum(),
+        )
+    }
+
+    /// The latency of the home node: the first CPU-local node, falling
+    /// back to the first node. This is what the flat DRAM model uses as
+    /// its access latency.
+    pub fn base_latency(&self) -> Picos {
+        self.home_node().latency
+    }
+
+    /// Total capacity across every node.
+    pub fn total_capacity(&self) -> ByteSize {
+        self.nodes.iter().map(|n| n.capacity).sum()
+    }
+
+    /// The node first-touch allocations land on.
+    pub fn home_node(&self) -> &NumaNode {
+        self.nodes
+            .iter()
+            .find(|n| n.cpu_local)
+            .unwrap_or_else(|| &self.nodes[0])
+    }
+
+    /// Expected fraction of `agent`'s accesses that cross the fabric,
+    /// given the placement policy.
+    pub fn remote_fraction(&self, agent: MemAgent) -> f64 {
+        match self.placement {
+            PlacementPolicy::FirstTouchCpu => {
+                if self.home_node().local_to(agent) {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            PlacementPolicy::Interleave => {
+                let total = self.nodes.len();
+                if total == 0 {
+                    return 0.0;
+                }
+                let remote = self.nodes.iter().filter(|n| !n.local_to(agent)).count();
+                remote as f64 / total as f64
+            }
+        }
+    }
+
+    /// Latency `agent` sees into node `idx`: the node's own latency
+    /// plus a fabric hop when the node is not local to the agent.
+    pub fn node_access_latency(&self, agent: MemAgent, idx: usize) -> Picos {
+        let node = &self.nodes[idx];
+        if node.local_to(agent) {
+            node.latency
+        } else {
+            node.latency + self.interconnect.extra_latency
+        }
+    }
+
+    /// Expected *extra* cost of one LLC-line fill on the
+    /// hardware-coherent unified path, beyond the flat-DRAM fill the
+    /// cache hierarchy already charges: the TLB-walk expectation for
+    /// `footprint_bytes` at the configured page size, plus the expected
+    /// remote hop for `agent` under the placement policy.
+    pub fn upm_fill_extra(&self, agent: MemAgent, footprint_bytes: u64) -> Picos {
+        let walk = self
+            .tlb
+            .miss_cost
+            .scale(self.tlb.miss_rate(self.page_size, footprint_bytes));
+        let hop = self
+            .interconnect
+            .extra_latency
+            .scale(self.remote_fraction(agent));
+        walk + hop
+    }
+
+    /// Returns the topology with every bandwidth (nodes and fabric)
+    /// scaled by `factor`, mirroring DVFS on the memory controller.
+    pub fn with_bandwidth_scale(mut self, factor: f64) -> Self {
+        for node in &mut self.nodes {
+            node.bandwidth = Bandwidth::bytes_per_sec(
+                ((node.bandwidth.as_bytes_per_sec() as f64) * factor).max(1.0) as u64,
+            );
+        }
+        self.interconnect.bandwidth = Bandwidth::bytes_per_sec(
+            ((self.interconnect.bandwidth.as_bytes_per_sec() as f64) * factor).max(1.0) as u64,
+        );
+        self
+    }
+
+    /// Returns the topology remapped to `page` (what `--pages` and the
+    /// huge-page experiments toggle).
+    pub fn with_page_size(mut self, page: PageSize) -> Self {
+        self.page_size = page;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node() -> MemTopology {
+        MemTopology {
+            nodes: vec![
+                NumaNode {
+                    name: "cpu-ddr".into(),
+                    bandwidth: Bandwidth::gib_per_sec(120),
+                    latency: Picos::from_nanos(110),
+                    capacity: ByteSize::gib(64),
+                    cpu_local: true,
+                    gpu_local: false,
+                },
+                NumaNode {
+                    name: "hbm".into(),
+                    bandwidth: Bandwidth::gib_per_sec(400),
+                    latency: Picos::from_nanos(90),
+                    capacity: ByteSize::gib(96),
+                    cpu_local: false,
+                    gpu_local: true,
+                },
+            ],
+            page_size: PageSize::Small4K,
+            placement: PlacementPolicy::FirstTouchCpu,
+            tlb: TlbConfig {
+                entries: 512,
+                miss_cost: Picos::from_nanos(400),
+            },
+            interconnect: Interconnect {
+                extra_latency: Picos::from_nanos(100),
+                bandwidth: Bandwidth::gib_per_sec(450),
+            },
+            hardware_coherent: true,
+        }
+    }
+
+    #[test]
+    fn flat_topology_reproduces_constants() {
+        let t = MemTopology::flat(Bandwidth::gib_per_sec(25), Picos::from_nanos(130));
+        assert_eq!(t.aggregate_bandwidth(), Bandwidth::gib_per_sec(25));
+        assert_eq!(t.base_latency(), Picos::from_nanos(130));
+        assert!(!t.hardware_coherent);
+        assert_eq!(t.remote_fraction(MemAgent::Cpu), 0.0);
+        assert_eq!(t.remote_fraction(MemAgent::Gpu), 0.0);
+        // No remote fraction and a footprint within reach: no extra.
+        assert_eq!(t.upm_fill_extra(MemAgent::Gpu, 1 << 20), Picos::ZERO);
+    }
+
+    #[test]
+    fn first_touch_homes_on_cpu_node() {
+        let t = two_node();
+        assert_eq!(t.home_node().name, "cpu-ddr");
+        assert_eq!(t.remote_fraction(MemAgent::Cpu), 0.0);
+        assert_eq!(t.remote_fraction(MemAgent::Gpu), 1.0);
+    }
+
+    #[test]
+    fn interleave_splits_remote_fraction() {
+        let mut t = two_node();
+        t.placement = PlacementPolicy::Interleave;
+        assert_eq!(t.remote_fraction(MemAgent::Cpu), 0.5);
+        assert_eq!(t.remote_fraction(MemAgent::Gpu), 0.5);
+    }
+
+    #[test]
+    fn tlb_reach_scales_with_page_size() {
+        let tlb = TlbConfig {
+            entries: 512,
+            miss_cost: Picos::from_nanos(250),
+        };
+        assert_eq!(tlb.reach(PageSize::Small4K), 2 << 20);
+        assert_eq!(tlb.reach(PageSize::Huge2M), 1 << 30);
+        // 8 MiB footprint: 4K pages walk 75 % of fills, 2M pages never.
+        let fp = 8 << 20;
+        assert!((tlb.miss_rate(PageSize::Small4K, fp) - 0.75).abs() < 1e-9);
+        assert_eq!(tlb.miss_rate(PageSize::Huge2M, fp), 0.0);
+    }
+
+    #[test]
+    fn huge_pages_remove_fill_extra_on_big_footprints() {
+        let t = two_node();
+        let fp = 8 << 20;
+        let small = t.upm_fill_extra(MemAgent::Gpu, fp);
+        let huge = t
+            .clone()
+            .with_page_size(PageSize::Huge2M)
+            .upm_fill_extra(MemAgent::Gpu, fp);
+        assert!(small > huge, "4K {small} should exceed 2M {huge}");
+        // The 2M extra is the pure remote hop.
+        assert_eq!(huge, Picos::from_nanos(100));
+    }
+
+    #[test]
+    fn bandwidth_scale_applies_to_all_nodes() {
+        let t = two_node().with_bandwidth_scale(0.5);
+        assert_eq!(t.nodes[0].bandwidth, Bandwidth::gib_per_sec(60));
+        assert_eq!(t.nodes[1].bandwidth, Bandwidth::gib_per_sec(200));
+        assert_eq!(t.interconnect.bandwidth, Bandwidth::gib_per_sec(225));
+    }
+
+    #[test]
+    fn page_size_parse_accepts_cli_spellings() {
+        assert_eq!(PageSize::parse("4k"), Some(PageSize::Small4K));
+        assert_eq!(PageSize::parse("64K"), Some(PageSize::Medium64K));
+        assert_eq!(PageSize::parse("2m"), Some(PageSize::Huge2M));
+        assert_eq!(PageSize::parse("huge"), Some(PageSize::Huge2M));
+        assert_eq!(PageSize::parse("1g"), None);
+    }
+
+    proptest::proptest! {
+        /// Remote access to any node is never cheaper than a local
+        /// agent's access to the same node, for every generated
+        /// topology.
+        #[test]
+        fn prop_remote_latency_at_least_local(
+            lats in proptest::collection::vec(1u64..1_000, 1..5),
+            cpu_mask in proptest::collection::vec(proptest::bool::ANY, 4..5),
+            gpu_mask in proptest::collection::vec(proptest::bool::ANY, 4..5),
+            hop in 0u64..1_000,
+        ) {
+            let nodes: Vec<NumaNode> = lats
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| NumaNode {
+                    name: format!("n{i}"),
+                    bandwidth: Bandwidth::gib_per_sec(100),
+                    latency: Picos::from_nanos(l),
+                    capacity: ByteSize::gib(8),
+                    cpu_local: cpu_mask[i],
+                    gpu_local: gpu_mask[i],
+                })
+                .collect();
+            let t = MemTopology {
+                nodes,
+                interconnect: Interconnect {
+                    extra_latency: Picos::from_nanos(hop),
+                    bandwidth: Bandwidth::gib_per_sec(64),
+                },
+                ..MemTopology::flat(Bandwidth::gib_per_sec(100), Picos::from_nanos(100))
+            };
+            for idx in 0..t.nodes.len() {
+                for agent in [MemAgent::Cpu, MemAgent::Gpu] {
+                    let seen = t.node_access_latency(agent, idx);
+                    // Never below the node's own latency...
+                    proptest::prop_assert!(seen >= t.nodes[idx].latency);
+                    // ...and a remote agent never beats a local one.
+                    if !t.nodes[idx].local_to(agent) {
+                        proptest::prop_assert_eq!(
+                            seen,
+                            t.nodes[idx].latency + t.interconnect.extra_latency
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Growing the page size never increases the TLB miss rate, for
+        /// any footprint and TLB shape.
+        #[test]
+        fn prop_larger_pages_never_miss_more(
+            entries in 1u64..10_000,
+            fp in 0u64..(1u64 << 40),
+        ) {
+            let tlb = TlbConfig {
+                entries,
+                miss_cost: Picos::from_nanos(250),
+            };
+            let r4 = tlb.miss_rate(PageSize::Small4K, fp);
+            let r64 = tlb.miss_rate(PageSize::Medium64K, fp);
+            let r2m = tlb.miss_rate(PageSize::Huge2M, fp);
+            proptest::prop_assert!(r4 >= r64, "4K {r4} < 64K {r64}");
+            proptest::prop_assert!(r64 >= r2m, "64K {r64} < 2M {r2m}");
+            proptest::prop_assert!((0.0..=1.0).contains(&r4));
+            proptest::prop_assert!((0.0..=1.0).contains(&r2m));
+        }
+
+        /// On a single-node topology the placement policy is
+        /// irrelevant: remote fractions and fill extras are identical
+        /// under first-touch and interleave.
+        #[test]
+        fn prop_single_node_placement_invariance(
+            lat in 1u64..1_000,
+            bw in 1u64..1_000,
+            hop in 0u64..1_000,
+            fp in 0u64..(1u64 << 32),
+        ) {
+            let mut t = MemTopology::flat(Bandwidth::gib_per_sec(bw), Picos::from_nanos(lat));
+            t.interconnect.extra_latency = Picos::from_nanos(hop);
+            for agent in [MemAgent::Cpu, MemAgent::Gpu] {
+                t.placement = PlacementPolicy::FirstTouchCpu;
+                let ft = (t.remote_fraction(agent), t.upm_fill_extra(agent, fp));
+                t.placement = PlacementPolicy::Interleave;
+                let il = (t.remote_fraction(agent), t.upm_fill_extra(agent, fp));
+                proptest::prop_assert_eq!(ft, il);
+            }
+        }
+    }
+}

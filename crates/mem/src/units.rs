@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// # Examples
 ///
 /// ```
-/// use icomm_soc::units::Picos;
+/// use icomm_mem::units::Picos;
 ///
 /// let t = Picos::from_micros(2) + Picos::from_nanos(500);
 /// assert_eq!(t.as_nanos_f64(), 2500.0);
@@ -178,7 +178,7 @@ impl fmt::Display for Picos {
 /// # Examples
 ///
 /// ```
-/// use icomm_soc::units::Freq;
+/// use icomm_mem::units::Freq;
 ///
 /// let f = Freq::mhz(1000);
 /// assert_eq!(f.cycles_to_time(1000).as_nanos_f64(), 1000.0);
@@ -248,7 +248,7 @@ impl fmt::Display for Freq {
 /// # Examples
 ///
 /// ```
-/// use icomm_soc::units::ByteSize;
+/// use icomm_mem::units::ByteSize;
 ///
 /// assert_eq!(ByteSize::mib(2).as_u64(), 2 * 1024 * 1024);
 /// ```
@@ -326,7 +326,7 @@ impl fmt::Display for ByteSize {
 /// # Examples
 ///
 /// ```
-/// use icomm_soc::units::{Bandwidth, ByteSize};
+/// use icomm_mem::units::{Bandwidth, ByteSize};
 ///
 /// let bw = Bandwidth::gib_per_sec(1);
 /// let t = bw.transfer_time(ByteSize::gib(1));
@@ -401,7 +401,7 @@ impl fmt::Display for Bandwidth {
 /// # Examples
 ///
 /// ```
-/// use icomm_soc::units::Energy;
+/// use icomm_mem::units::Energy;
 ///
 /// let e = Energy::from_nanojoules(1_500_000_000);
 /// assert!((e.as_joules() - 1.5).abs() < 1e-12);

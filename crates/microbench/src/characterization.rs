@@ -16,6 +16,7 @@ use icomm_soc::DeviceProfile;
 use crate::mb1::{Mb1Result, PeakCacheThroughput};
 use crate::mb2::{Mb2Result, ThresholdSweep};
 use crate::mb3::{Mb3Result, OverlapProbe};
+use crate::upm::{UpmProbe, UpmResult};
 
 /// Application-independent characterization of one device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,12 +45,32 @@ pub struct DeviceCharacterization {
     /// `ZC/SC_Max_speedup`: most a fully cache-dependent app gains
     /// switching ZC→SC on this device (ratio).
     pub zc_sc_max_speedup: f64,
+    /// Whether the device backs system allocations with a hardware-
+    /// coherent fabric (UPM).
+    pub upm_supported: bool,
+    /// GPU path throughput under coherent UPM, bytes/second (0 when
+    /// unsupported).
+    pub gpu_upm_throughput: f64,
+    /// `kernel_UPM / kernel_UM` on the TLB-stressing probe at the
+    /// device's configured page size; 1.0 when unsupported. Drops
+    /// towards 1.0 under 2 MiB huge pages — the lever that moves the
+    /// UM-vs-UPM crossover.
+    pub upm_kernel_penalty: f64,
+    /// `UM/UPM_Max_speedup`: most a copy-heavy app gains switching the
+    /// migrating driver path for coherent allocation; 1.0 when
+    /// unsupported.
+    pub um_upm_max_speedup: f64,
 }
 
 impl DeviceCharacterization {
-    /// Assembles the characterization from the three micro-benchmark
+    /// Assembles the characterization from the four micro-benchmark
     /// results.
-    pub fn from_results(mb1: &Mb1Result, mb2: &Mb2Result, mb3: &Mb3Result) -> Self {
+    pub fn from_results(
+        mb1: &Mb1Result,
+        mb2: &Mb2Result,
+        mb3: &Mb3Result,
+        upm: &UpmResult,
+    ) -> Self {
         DeviceCharacterization {
             device: mb1.device.clone(),
             gpu_cache_max_throughput: mb1.max_throughput(),
@@ -60,6 +81,10 @@ impl DeviceCharacterization {
             cpu_cache_threshold_pct: mb2.cpu.threshold_pct,
             sc_zc_max_speedup: mb3.sc_zc_max_speedup(),
             zc_sc_max_speedup: mb1.zc_sc_max_speedup(),
+            upm_supported: upm.supported,
+            gpu_upm_throughput: upm.gpu_upm_throughput,
+            upm_kernel_penalty: upm.kernel_penalty(),
+            um_upm_max_speedup: upm.um_upm_max_speedup(),
         }
     }
 
@@ -87,7 +112,8 @@ pub fn characterize_device(device: &DeviceProfile) -> DeviceCharacterization {
     let mb1 = PeakCacheThroughput::new().run(device);
     let mb2 = ThresholdSweep::new().run(device);
     let mb3 = OverlapProbe::new().run(device);
-    DeviceCharacterization::from_results(&mb1, &mb2, &mb3)
+    let upm = UpmProbe::new().run(device);
+    DeviceCharacterization::from_results(&mb1, &mb2, &mb3, &upm)
 }
 
 /// Runs a trimmed micro-benchmark sweep: the same three benchmarks with a
@@ -112,7 +138,8 @@ pub fn quick_characterize_device(device: &DeviceProfile) -> DeviceCharacterizati
         ..Mb3Config::default()
     })
     .run(device);
-    DeviceCharacterization::from_results(&mb1, &mb2, &mb3)
+    let upm = UpmProbe::new().run(device);
+    DeviceCharacterization::from_results(&mb1, &mb2, &mb3, &upm)
 }
 
 #[cfg(test)]

@@ -13,6 +13,10 @@
 //!    switching a cache-independent, overlappable workload to zero copy
 //!    (`SC/ZC_Max_speedup`, Fig. 7).
 //!
+//! Plus one extension probe: [`upm::UpmProbe`] measures the coherent-UPM
+//! kernel penalty and `UM/UPM_Max_speedup` on hardware-coherent boards
+//! (unit ratios on the Jetsons, where UPM degrades to UM).
+//!
 //! [`characterize_device`] runs all three and assembles the
 //! [`DeviceCharacterization`] the decision framework consumes.
 
@@ -25,6 +29,7 @@ pub mod mb1;
 pub mod mb2;
 pub mod mb3;
 pub mod transfer;
+pub mod upm;
 
 pub use characterization::{
     characterize_device, quick_characterize_device, DeviceCharacterization,
@@ -36,3 +41,4 @@ pub use mb3::OverlapProbe;
 pub use transfer::{
     transfer_characterization, NeighborSample, TransferPolicy, TransferredCharacterization,
 };
+pub use upm::UpmProbe;

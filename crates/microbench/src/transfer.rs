@@ -164,6 +164,10 @@ pub fn transfer_characterization(
         }
     };
 
+    // UPM numbers only transfer when every contributing neighbour has a
+    // coherent fabric; a blend across mixed support would recommend a
+    // model the target may not even implement.
+    let upm_supported = used.iter().all(|(_, n)| n.characterization.upm_supported);
     let characterization = DeviceCharacterization {
         device: target_name.to_string(),
         gpu_cache_max_throughput: blend(|c| c.gpu_cache_max_throughput),
@@ -174,6 +178,22 @@ pub fn transfer_characterization(
         cpu_cache_threshold_pct: blend(|c| c.cpu_cache_threshold_pct),
         sc_zc_max_speedup: blend(|c| c.sc_zc_max_speedup),
         zc_sc_max_speedup: blend(|c| c.zc_sc_max_speedup),
+        upm_supported,
+        gpu_upm_throughput: if upm_supported {
+            blend(|c| c.gpu_upm_throughput)
+        } else {
+            0.0
+        },
+        upm_kernel_penalty: if upm_supported {
+            blend(|c| c.upm_kernel_penalty)
+        } else {
+            1.0
+        },
+        um_upm_max_speedup: if upm_supported {
+            blend(|c| c.um_upm_max_speedup)
+        } else {
+            1.0
+        },
     };
 
     Some(TransferredCharacterization {
@@ -199,6 +219,10 @@ mod tests {
             cpu_cache_threshold_pct: 50.0 * thr,
             sc_zc_max_speedup: 0.9 * thr,
             zc_sc_max_speedup: 40.0 * thr,
+            upm_supported: false,
+            gpu_upm_throughput: 0.0,
+            upm_kernel_penalty: 1.0,
+            um_upm_max_speedup: 1.0,
         }
     }
 

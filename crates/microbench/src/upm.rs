@@ -1,0 +1,220 @@
+//! **UPM probe**: hardware-coherent unified-memory characterization.
+//!
+//! Beyond the paper's three micro-benchmarks: on devices with a coherent
+//! fabric ([`DeviceProfile::supports_coherent_upm`]) the framework needs
+//! two more application-independent numbers before it can price the
+//! [`CommModelKind::CoherentUpm`] model:
+//!
+//! - the **kernel penalty** — how much slower a TLB-stressing kernel runs
+//!   under UPM than under UM at the device's configured page size. The
+//!   probe's working set (8 MiB by default) deliberately exceeds the TLB
+//!   reach at 4 KiB pages, so the penalty collapses towards 1.0 when the
+//!   device is switched to 2 MiB huge pages — this single number is what
+//!   moves the UM-vs-UPM crossover.
+//! - the **UM→UPM max speedup** — the end-to-end ratio on a copy-heavy
+//!   exchange, bounding what any application can gain by dropping the
+//!   migrating driver path for coherent system allocation.
+//!
+//! On non-coherent boards both numbers are defined as 1.0 (switching is a
+//! no-op there: the UPM model degrades to UM's software path).
+
+use serde::{Deserialize, Serialize};
+
+use icomm_models::model::{run_model, CommModelKind};
+use icomm_models::{CpuPhase, GpuPhase, Workload};
+use icomm_profile::ProfileReport;
+use icomm_soc::cache::AccessKind;
+use icomm_soc::units::{ByteSize, Picos};
+use icomm_soc::DeviceProfile;
+use icomm_trace::Pattern;
+
+/// Configuration of the UPM probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpmConfig {
+    /// Shared working set. The default (8 MiB) exceeds both the GPU LLC
+    /// and the 4 KiB-page TLB reach of the built-in coherent boards, so
+    /// the probe stresses exactly the costs UPM adds.
+    pub footprint: ByteSize,
+    /// Exchange iterations.
+    pub iterations: u32,
+}
+
+impl Default for UpmConfig {
+    fn default() -> Self {
+        UpmConfig {
+            footprint: ByteSize::mib(8),
+            iterations: 1,
+        }
+    }
+}
+
+/// Result of the UPM probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpmResult {
+    /// Board name.
+    pub device: String,
+    /// Whether the device has a coherent fabric at all.
+    pub supported: bool,
+    /// Kernel time per iteration under unified memory.
+    pub kernel_um: Picos,
+    /// Kernel time per iteration under coherent UPM.
+    pub kernel_upm: Picos,
+    /// End-to-end time under unified memory.
+    pub total_um: Picos,
+    /// End-to-end time under coherent UPM.
+    pub total_upm: Picos,
+    /// GPU LL-path throughput under UPM, bytes/second (0 when
+    /// unsupported).
+    pub gpu_upm_throughput: f64,
+}
+
+impl UpmResult {
+    /// `kernel_UPM / kernel_UM` on the TLB-stressing probe: > 1 when the
+    /// page size leaves the working set past TLB reach (or the home node
+    /// is remote to the GPU), ~1 when huge pages restore the reach. 1.0
+    /// on unsupported devices.
+    pub fn kernel_penalty(&self) -> f64 {
+        if !self.supported || self.kernel_um.is_zero() {
+            return 1.0;
+        }
+        self.kernel_upm.as_picos() as f64 / self.kernel_um.as_picos() as f64
+    }
+
+    /// `UM/UPM_Max_speedup`: most a copy-heavy application gains by
+    /// switching the migrating driver path for coherent system
+    /// allocation. 1.0 on unsupported devices.
+    pub fn um_upm_max_speedup(&self) -> f64 {
+        if !self.supported || self.total_upm.is_zero() {
+            return 1.0;
+        }
+        self.total_um.as_picos() as f64 / self.total_upm.as_picos() as f64
+    }
+}
+
+/// The UPM probe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpmProbe {
+    config: UpmConfig,
+}
+
+impl UpmProbe {
+    /// Creates the probe with default configuration.
+    pub fn new() -> Self {
+        UpmProbe {
+            config: UpmConfig::default(),
+        }
+    }
+
+    /// Creates the probe with an explicit configuration.
+    pub fn with_config(config: UpmConfig) -> Self {
+        UpmProbe { config }
+    }
+
+    /// Builds the probe workload: a full exchange (CPU writes the set,
+    /// kernel streams it back) sized past TLB reach at small pages.
+    pub fn workload(&self, device: &DeviceProfile) -> Workload {
+        let bytes = self.config.footprint.as_u64();
+        Workload::builder(format!("upm-probe/{}", device.name))
+            .bytes_to_gpu(self.config.footprint)
+            .bytes_from_gpu(ByteSize(bytes / 64))
+            .cpu(CpuPhase {
+                ops: vec![],
+                shared_accesses: Pattern::Linear {
+                    start: 0,
+                    bytes,
+                    txn_bytes: 64,
+                    kind: AccessKind::Write,
+                },
+                private_accesses: None,
+            })
+            .gpu(GpuPhase {
+                compute_work: bytes / 4,
+                shared_accesses: Pattern::Linear {
+                    start: 0,
+                    bytes,
+                    txn_bytes: 64,
+                    kind: AccessKind::Read,
+                },
+                private_accesses: None,
+            })
+            .iterations(self.config.iterations)
+            .build()
+    }
+
+    /// Runs the probe on a device.
+    pub fn run(&self, device: &DeviceProfile) -> UpmResult {
+        if !device.supports_coherent_upm() {
+            return UpmResult {
+                device: device.name.clone(),
+                supported: false,
+                kernel_um: Picos::ZERO,
+                kernel_upm: Picos::ZERO,
+                total_um: Picos::ZERO,
+                total_upm: Picos::ZERO,
+                gpu_upm_throughput: 0.0,
+            };
+        }
+        let workload = self.workload(device);
+        let um = run_model(CommModelKind::UnifiedMemory, device, &workload);
+        let upm = run_model(CommModelKind::CoherentUpm, device, &workload);
+        let profile = ProfileReport::from_run(&upm);
+        UpmResult {
+            device: device.name.clone(),
+            supported: true,
+            kernel_um: um.kernel_time_per_iteration(),
+            kernel_upm: upm.kernel_time_per_iteration(),
+            total_um: um.total_time,
+            total_upm: upm.total_time,
+            gpu_upm_throughput: profile.gpu_ll_throughput(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_soc::PageSize;
+
+    #[test]
+    fn jetsons_report_unsupported_unit_ratios() {
+        let r = UpmProbe::new().run(&DeviceProfile::jetson_tx2());
+        assert!(!r.supported);
+        assert_eq!(r.kernel_penalty(), 1.0);
+        assert_eq!(r.um_upm_max_speedup(), 1.0);
+        assert_eq!(r.gpu_upm_throughput, 0.0);
+    }
+
+    #[test]
+    fn small_pages_penalize_the_kernel() {
+        let r = UpmProbe::new().run(&DeviceProfile::mi300a_like());
+        assert!(
+            r.kernel_penalty() > 1.2,
+            "4K-page penalty {:.2} should be visible",
+            r.kernel_penalty()
+        );
+    }
+
+    #[test]
+    fn huge_pages_collapse_the_penalty() {
+        let small = UpmProbe::new().run(&DeviceProfile::mi300a_like());
+        let huge =
+            UpmProbe::new().run(&DeviceProfile::mi300a_like().with_page_size(PageSize::Huge2M));
+        assert!(
+            huge.kernel_penalty() < small.kernel_penalty(),
+            "2M penalty {:.2} not below 4K penalty {:.2}",
+            huge.kernel_penalty(),
+            small.kernel_penalty()
+        );
+        assert!(huge.kernel_penalty() < 1.1);
+    }
+
+    #[test]
+    fn copy_heavy_exchange_favours_upm_under_huge_pages() {
+        let r = UpmProbe::new().run(&DeviceProfile::mi300a_like().with_page_size(PageSize::Huge2M));
+        assert!(
+            r.um_upm_max_speedup() > 1.0,
+            "UM/UPM {:.2} should exceed 1 with migrations gone",
+            r.um_upm_max_speedup()
+        );
+    }
+}

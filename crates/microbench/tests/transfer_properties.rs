@@ -40,6 +40,10 @@ fn characterization(name: &str, threshold_pct: f64, speedup: f64) -> DeviceChara
         cpu_cache_threshold_pct: 100.0,
         sc_zc_max_speedup: speedup,
         zc_sc_max_speedup: 1.0 + speedup,
+        upm_supported: false,
+        gpu_upm_throughput: 0.0,
+        upm_kernel_penalty: 1.0,
+        um_upm_max_speedup: 1.0,
     }
 }
 

@@ -70,9 +70,19 @@ impl TenantDemand {
 
     /// Whether this tenant's model turns shared-buffer accesses into
     /// uncached channel traffic (zero copy bypasses the GPU LLC on every
-    /// board the paper measures).
+    /// board the paper measures). Exhaustive on purpose: a new model
+    /// variant must declare its cache behaviour here or fail to compile.
     pub fn bypasses_gpu_llc(&self) -> bool {
-        matches!(self.model, CommModelKind::ZeroCopy)
+        match self.model {
+            CommModelKind::ZeroCopy => true,
+            // The copy-based models and both unified flavours keep the
+            // GPU LLC in the path — coherent UPM is fully cached, its
+            // fills just cost more when the home node is remote.
+            CommModelKind::StandardCopy
+            | CommModelKind::UnifiedMemory
+            | CommModelKind::StandardCopyAsync
+            | CommModelKind::CoherentUpm => false,
+        }
     }
 }
 

@@ -18,7 +18,10 @@
 //! model consumes.
 //!
 //! Extensions beyond the paper: [`async_copy::DoubleBufferedCopy`] (SC
-//! with double buffering), [`tiled_exec`] (phase-by-phase execution of
+//! with double buffering), [`coherent_upm::CoherentUpm`] (UPM:
+//! hardware-coherent system allocation on APU-class parts — no
+//! migration, placement- and page-size-dependent fill costs),
+//! [`tiled_exec`] (phase-by-phase execution of
 //! the Fig. 4 pattern), [`stream`] (real-time frame streams with deadline
 //! accounting), [`phased`] (phased workloads plus the windowed
 //! execution harness the `icomm-adapt` online controller runs on), and
@@ -58,6 +61,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod async_copy;
+pub mod coherent_upm;
 pub mod interference;
 pub mod layout;
 pub mod model;
@@ -75,7 +79,7 @@ pub mod zero_copy;
 pub use interference::{
     co_run_interference, co_run_oracle, InterferenceConfig, TenantDemand, TenantInterference,
 };
-pub use model::{model_for, run_model, CommModel, CommModelKind};
+pub use model::{candidate_models, model_for, run_model, CommModel, CommModelKind};
 pub use phased::{
     oracle_phased, run_phased, static_phased, switch_cost, switch_cost_for_payload,
     PhasedRunReport, PhasedWorkload, StaticPolicy, WindowOutcome, WindowPolicy, WorkloadPhase,

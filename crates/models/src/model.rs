@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use icomm_soc::Soc;
 
 use crate::async_copy::DoubleBufferedCopy;
+use crate::coherent_upm::CoherentUpm;
 use crate::report::RunReport;
 use crate::standard_copy::StandardCopy;
 use crate::unified_memory::UnifiedMemory;
@@ -28,6 +29,14 @@ pub enum CommModelKind {
     /// double buffering and an asynchronous DMA, hiding the copies behind
     /// the kernel.
     StandardCopyAsync,
+    /// Extension: hardware-coherent unified memory ("UPM"), the
+    /// system-allocated model of APU-class parts (MI300A, Grace Hopper).
+    /// No page migration and no maintenance flushes — both agents cache
+    /// the shared allocation and the fabric keeps them coherent — but
+    /// every LLC-miss fill pays the topology's remote-access hop and the
+    /// expected TLB walk past reach. Only meaningful on devices whose
+    /// [`icomm_soc::DeviceProfile::supports_coherent_upm`] is true.
+    CoherentUpm,
 }
 
 impl CommModelKind {
@@ -39,11 +48,12 @@ impl CommModelKind {
     ];
 
     /// The paper's models plus this library's extensions.
-    pub const EXTENDED: [CommModelKind; 4] = [
+    pub const EXTENDED: [CommModelKind; 5] = [
         CommModelKind::StandardCopy,
         CommModelKind::UnifiedMemory,
         CommModelKind::ZeroCopy,
         CommModelKind::StandardCopyAsync,
+        CommModelKind::CoherentUpm,
     ];
 
     /// The paper's abbreviation.
@@ -53,6 +63,7 @@ impl CommModelKind {
             CommModelKind::UnifiedMemory => "UM",
             CommModelKind::ZeroCopy => "ZC",
             CommModelKind::StandardCopyAsync => "SC+",
+            CommModelKind::CoherentUpm => "UPM",
         }
     }
 }
@@ -64,6 +75,7 @@ impl fmt::Display for CommModelKind {
             CommModelKind::UnifiedMemory => "unified memory",
             CommModelKind::ZeroCopy => "zero copy",
             CommModelKind::StandardCopyAsync => "double-buffered standard copy",
+            CommModelKind::CoherentUpm => "coherent unified memory",
         };
         f.write_str(name)
     }
@@ -87,7 +99,21 @@ pub fn model_for(kind: CommModelKind) -> Box<dyn CommModel> {
         CommModelKind::UnifiedMemory => Box::new(UnifiedMemory::new()),
         CommModelKind::ZeroCopy => Box::new(ZeroCopy::new()),
         CommModelKind::StandardCopyAsync => Box::new(DoubleBufferedCopy::new()),
+        CommModelKind::CoherentUpm => Box::new(CoherentUpm::new()),
     }
+}
+
+/// The communication models worth scoring on `device`: the paper's three
+/// plus [`CommModelKind::CoherentUpm`] on hardware-coherent parts. The
+/// decision flow, `joint_assignment` and the co-run oracle all draw their
+/// candidate set from here so a coherent board is never silently priced
+/// with the Jetson-only trio.
+pub fn candidate_models(device: &icomm_soc::DeviceProfile) -> Vec<CommModelKind> {
+    let mut models = CommModelKind::ALL.to_vec();
+    if device.supports_coherent_upm() {
+        models.push(CommModelKind::CoherentUpm);
+    }
+    models
 }
 
 /// Convenience: runs `workload` on a *fresh* SoC for `device` under `kind`.
@@ -130,5 +156,29 @@ mod tests {
         for kind in CommModelKind::ALL {
             assert!(CommModelKind::EXTENDED.contains(&kind));
         }
+    }
+
+    #[test]
+    fn upm_abbrev_and_display() {
+        assert_eq!(CommModelKind::CoherentUpm.abbrev(), "UPM");
+        assert_eq!(
+            CommModelKind::CoherentUpm.to_string(),
+            "coherent unified memory"
+        );
+    }
+
+    #[test]
+    fn candidate_models_gated_on_hardware_coherence() {
+        use icomm_soc::DeviceProfile;
+        // Jetsons keep the paper's exact trio.
+        assert_eq!(
+            candidate_models(&DeviceProfile::jetson_tx2()),
+            CommModelKind::ALL.to_vec()
+        );
+        // Coherent parts add UPM as a fourth candidate.
+        let mi = candidate_models(&DeviceProfile::mi300a_like());
+        assert_eq!(mi.len(), 4);
+        assert_eq!(mi[3], CommModelKind::CoherentUpm);
+        assert!(candidate_models(&DeviceProfile::gh_like()).contains(&CommModelKind::CoherentUpm));
     }
 }

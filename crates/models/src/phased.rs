@@ -402,19 +402,22 @@ pub fn static_phased(
     synthesize(device, phased, StaticPolicy(kind).name(), &choice)
 }
 
-/// The per-phase oracle: for every phase, measures the paper's three
-/// models and keeps the fastest — clairvoyant about phase boundaries, yet
-/// still charged [`switch_cost`] at each boundary where its choice
-/// changes. The regret baseline for adaptive controllers.
+/// The per-phase oracle: for every phase, measures every candidate model
+/// for the device (the paper's three, plus coherent unified memory on
+/// hardware-coherent boards) and keeps the fastest — clairvoyant about
+/// phase boundaries, yet still charged [`switch_cost`] at each boundary
+/// where its choice changes. The regret baseline for adaptive controllers.
 pub fn oracle_phased(device: &DeviceProfile, phased: &PhasedWorkload) -> PhasedRunReport {
+    let candidates = crate::model::candidate_models(device);
     let choice: Vec<CommModelKind> = phased
         .phases
         .iter()
         .map(|phase| {
-            CommModelKind::ALL
-                .into_iter()
+            candidates
+                .iter()
+                .copied()
                 .min_by_key(|&kind| run_window(device, &phase.workload, kind).total_time)
-                .expect("three candidate models")
+                .expect("at least one candidate model")
         })
         .collect();
     synthesize(device, phased, "oracle".to_string(), &choice)

@@ -37,6 +37,10 @@ fn characterization_round_trips() {
         cpu_cache_threshold_pct: 13.3,
         sc_zc_max_speedup: 0.13,
         zc_sc_max_speedup: 75.2,
+        upm_supported: false,
+        gpu_upm_throughput: 0.0,
+        upm_kernel_penalty: 1.0,
+        um_upm_max_speedup: 1.0,
     };
     let text = to_string(&c).expect("serialize");
     let back: DeviceCharacterization = from_str(&text).expect("deserialize");

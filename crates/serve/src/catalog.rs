@@ -6,13 +6,20 @@ use icomm_models::{CommModelKind, Workload};
 use icomm_soc::DeviceProfile;
 
 /// The board names the service accepts (canonical forms).
-pub const BOARD_NAMES: [&str; 4] = ["nano", "tx2", "xavier", "orin-like"];
+pub const BOARD_NAMES: [&str; 6] = [
+    "nano",
+    "tx2",
+    "xavier",
+    "orin-like",
+    "mi300a-like",
+    "gh-like",
+];
 
 /// The application names the service accepts.
 pub const APP_NAMES: [&str; 3] = ["shwfs", "orb", "lane"];
 
 /// The communication-model names the service accepts.
-pub const MODEL_NAMES: [&str; 4] = ["sc", "um", "zc", "sc+"];
+pub const MODEL_NAMES: [&str; 5] = ["sc", "um", "zc", "sc+", "upm"];
 
 /// Resolves a board name (case-insensitive, same aliases as the CLI).
 ///
@@ -25,6 +32,8 @@ pub fn board_by_name(name: &str) -> Result<DeviceProfile, String> {
         "tx2" | "jetson-tx2" => Ok(DeviceProfile::jetson_tx2()),
         "xavier" | "agx-xavier" | "jetson-agx-xavier" => Ok(DeviceProfile::jetson_agx_xavier()),
         "orin" | "orin-like" => Ok(DeviceProfile::orin_like()),
+        "mi300a" | "mi300a-like" => Ok(DeviceProfile::mi300a_like()),
+        "gh" | "gh-like" | "grace-hopper-like" => Ok(DeviceProfile::gh_like()),
         other => Err(format!(
             "unknown board '{other}' (known: {})",
             BOARD_NAMES.join(", ")
@@ -60,6 +69,7 @@ pub fn model_by_name(name: &str) -> Result<CommModelKind, String> {
         "um" | "unified-memory" => Ok(CommModelKind::UnifiedMemory),
         "zc" | "zero-copy" => Ok(CommModelKind::ZeroCopy),
         "sc+" | "sc-async" | "double-buffered" => Ok(CommModelKind::StandardCopyAsync),
+        "upm" | "coherent-upm" | "coherent-unified-memory" => Ok(CommModelKind::CoherentUpm),
         other => Err(format!(
             "unknown model '{other}' (known: {})",
             MODEL_NAMES.join(", ")

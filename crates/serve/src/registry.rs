@@ -446,6 +446,10 @@ mod tests {
             cpu_cache_threshold_pct: 100.0,
             sc_zc_max_speedup: 1.0,
             zc_sc_max_speedup: 1.0,
+            upm_supported: false,
+            gpu_upm_throughput: 0.0,
+            upm_kernel_penalty: 1.0,
+            um_upm_max_speedup: 1.0,
         }
     }
 

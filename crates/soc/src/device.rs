@@ -14,6 +14,7 @@
 //! path is ~77× slower than the cached path on TX2 but only ~7× slower on
 //! Xavier.
 
+use icomm_mem::{Interconnect, MemTopology, NumaNode, PageSize, TlbConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheGeometry;
@@ -65,8 +66,14 @@ pub struct DeviceProfile {
     pub gpu: GpuConfig,
     /// Cache geometries.
     pub layout: CacheLayout,
-    /// DRAM controller parameters.
+    /// DRAM controller parameters (the flat single-channel view derived
+    /// from `topology`; kept as an explicit field so existing consumers
+    /// and serialized profiles stay stable).
     pub dram: DramConfig,
+    /// Memory topology: NUMA nodes, placement, page size, TLB model.
+    /// Jetson-class presets use a flat single-node topology that
+    /// reproduces `dram` exactly.
+    pub topology: MemTopology,
     /// Hierarchy latencies and level bandwidths.
     pub latencies: HierarchyLatencies,
     /// Pinned (zero-copy) allocation rules.
@@ -128,6 +135,10 @@ impl DeviceProfile {
                 gpu_llc: CacheGeometry::new(ByteSize::kib(256), 64, 16),
             },
             dram: DramConfig::new(
+                Bandwidth::bytes_per_sec(25_600_000_000),
+                Picos::from_nanos(130),
+            ),
+            topology: MemTopology::flat(
                 Bandwidth::bytes_per_sec(25_600_000_000),
                 Picos::from_nanos(130),
             ),
@@ -196,6 +207,10 @@ impl DeviceProfile {
                 Bandwidth::bytes_per_sec(58_300_000_000),
                 Picos::from_nanos(120),
             ),
+            topology: MemTopology::flat(
+                Bandwidth::bytes_per_sec(58_300_000_000),
+                Picos::from_nanos(120),
+            ),
             latencies: HierarchyLatencies {
                 cpu_l1_hit: Picos::from_nanos(2),
                 cpu_llc_hit: Picos::from_nanos(15),
@@ -259,6 +274,10 @@ impl DeviceProfile {
                 gpu_llc: CacheGeometry::new(ByteSize::kib(512), 64, 16),
             },
             dram: DramConfig::new(
+                Bandwidth::bytes_per_sec(137_000_000_000),
+                Picos::from_nanos(100),
+            ),
+            topology: MemTopology::flat(
                 Bandwidth::bytes_per_sec(137_000_000_000),
                 Picos::from_nanos(100),
             ),
@@ -335,6 +354,10 @@ impl DeviceProfile {
                 Bandwidth::bytes_per_sec(204_000_000_000),
                 Picos::from_nanos(90),
             ),
+            topology: MemTopology::flat(
+                Bandwidth::bytes_per_sec(204_000_000_000),
+                Picos::from_nanos(90),
+            ),
             latencies: HierarchyLatencies {
                 cpu_l1_hit: Picos::from_nanos(2),
                 cpu_llc_hit: Picos::from_nanos(11),
@@ -366,6 +389,210 @@ impl DeviceProfile {
         }
     }
 
+    /// An MI300A-like APU: CPU and GPU chiplets sharing one unified HBM
+    /// stack behind a hardware-coherent data fabric. System allocations
+    /// need no migration or maintenance flushes (the `CoherentUpm`
+    /// model), but large working sets at 4K pages blow past the TLB
+    /// reach and pay a table walk on most fills — huge pages recover
+    /// the difference, which is what shifts the UM-vs-UPM crossover on
+    /// this family (arXiv:2508.12743-style characterization, scaled to
+    /// this simulator's embedded-class envelope).
+    pub fn mi300a_like() -> Self {
+        let topology = MemTopology {
+            nodes: vec![NumaNode {
+                name: "hbm".to_string(),
+                bandwidth: Bandwidth::bytes_per_sec(400_000_000_000),
+                latency: Picos::from_nanos(95),
+                capacity: ByteSize::gib(128),
+                cpu_local: true,
+                gpu_local: true,
+            }],
+            page_size: PageSize::Small4K,
+            placement: icomm_mem::PlacementPolicy::FirstTouchCpu,
+            tlb: TlbConfig {
+                entries: 512,
+                miss_cost: Picos::from_nanos(500),
+            },
+            interconnect: Interconnect {
+                extra_latency: Picos::ZERO,
+                bandwidth: Bandwidth::bytes_per_sec(400_000_000_000),
+            },
+            hardware_coherent: true,
+        };
+        DeviceProfile {
+            name: "MI300A-like".to_string(),
+            cpu: CpuConfig {
+                freq: Freq::mhz(3200),
+                cores: 24,
+                cycles_int_alu: 1,
+                cycles_fp_muladd: 1,
+                cycles_fp_div: 8,
+                cycles_fp_sqrt: 10,
+                mlp: 48.0,
+                uncached_wc_depth: 8.0,
+            },
+            gpu: GpuConfig {
+                freq: Freq::mhz(2100),
+                sm_count: 24,
+                issue_per_cycle: 128,
+                mlp_cached: 384.0,
+                mlp_pinned: 192.0,
+                launch_overhead: Picos::from_micros(3),
+            },
+            layout: CacheLayout {
+                cpu_l1: CacheGeometry::new(ByteSize::kib(64), 64, 4),
+                cpu_llc: CacheGeometry::new(ByteSize::mib(4), 64, 16),
+                gpu_l1: CacheGeometry::new(ByteSize::kib(192), 64, 4),
+                gpu_llc: CacheGeometry::new(ByteSize::mib(4), 64, 16),
+            },
+            dram: DramConfig::from_topology(&topology),
+            topology,
+            latencies: HierarchyLatencies {
+                cpu_l1_hit: Picos::from_nanos(2),
+                cpu_llc_hit: Picos::from_nanos(10),
+                gpu_l1_hit: Picos::from_nanos(10),
+                gpu_llc_hit: Picos::from_nanos(45),
+                snoop_hit: Picos::from_nanos(70),
+                snoop_miss_extra: Picos::from_nanos(15),
+                uncached_cpu_extra: Picos::from_nanos(100),
+                uncached_gpu_extra: Picos::from_nanos(100),
+                cpu_llc_bandwidth: Bandwidth::bytes_per_sec(150_000_000_000),
+                gpu_llc_bandwidth: Bandwidth::bytes_per_sec(500_000_000_000),
+            },
+            zc_rules: ZcRules {
+                cpu_caches_pinned: true,
+                io_coherent: true,
+            },
+            copy_engine: CopyEngineConfig {
+                bandwidth: Bandwidth::gib_per_sec(200),
+                setup: Picos::from_micros(5),
+            },
+            um: UmConfig::default(),
+            flush_line_overhead: Picos::from_nanos(1),
+            energy: EnergyModel {
+                dram_pj_per_byte: 35,
+                cpu_busy_mw: 8_000,
+                gpu_busy_mw: 16_000,
+                copy_busy_mw: 1_500,
+            },
+        }
+    }
+
+    /// A Grace-Hopper-like superchip: the CPU sits on its own DDR node,
+    /// the GPU on an HBM node, and a cache-coherent chip-to-chip link
+    /// spans them. First-touch allocations home on the CPU node, so the
+    /// coherent-UPM path pays a fabric hop on GPU fills in addition to
+    /// any TLB walks (arXiv:2407.07850-style shape, scaled down).
+    pub fn gh_like() -> Self {
+        let topology = MemTopology {
+            nodes: vec![
+                NumaNode {
+                    name: "cpu-ddr".to_string(),
+                    bandwidth: Bandwidth::bytes_per_sec(120_000_000_000),
+                    latency: Picos::from_nanos(110),
+                    capacity: ByteSize::gib(480),
+                    cpu_local: true,
+                    gpu_local: false,
+                },
+                NumaNode {
+                    name: "gpu-hbm".to_string(),
+                    bandwidth: Bandwidth::bytes_per_sec(400_000_000_000),
+                    latency: Picos::from_nanos(90),
+                    capacity: ByteSize::gib(96),
+                    cpu_local: false,
+                    gpu_local: true,
+                },
+            ],
+            page_size: PageSize::Small4K,
+            placement: icomm_mem::PlacementPolicy::FirstTouchCpu,
+            tlb: TlbConfig {
+                entries: 512,
+                miss_cost: Picos::from_nanos(500),
+            },
+            interconnect: Interconnect {
+                extra_latency: Picos::from_nanos(100),
+                bandwidth: Bandwidth::bytes_per_sec(450_000_000_000),
+            },
+            hardware_coherent: true,
+        };
+        DeviceProfile {
+            name: "GH-like".to_string(),
+            cpu: CpuConfig {
+                freq: Freq::mhz(3000),
+                cores: 16,
+                cycles_int_alu: 1,
+                cycles_fp_muladd: 1,
+                cycles_fp_div: 8,
+                cycles_fp_sqrt: 10,
+                mlp: 48.0,
+                uncached_wc_depth: 8.0,
+            },
+            gpu: GpuConfig {
+                freq: Freq::mhz(1980),
+                sm_count: 20,
+                issue_per_cycle: 128,
+                mlp_cached: 384.0,
+                mlp_pinned: 192.0,
+                launch_overhead: Picos::from_micros(3),
+            },
+            layout: CacheLayout {
+                cpu_l1: CacheGeometry::new(ByteSize::kib(64), 64, 4),
+                cpu_llc: CacheGeometry::new(ByteSize::mib(4), 64, 16),
+                gpu_l1: CacheGeometry::new(ByteSize::kib(192), 64, 4),
+                gpu_llc: CacheGeometry::new(ByteSize::mib(4), 64, 16),
+            },
+            dram: DramConfig::from_topology(&topology),
+            topology,
+            latencies: HierarchyLatencies {
+                cpu_l1_hit: Picos::from_nanos(2),
+                cpu_llc_hit: Picos::from_nanos(10),
+                gpu_l1_hit: Picos::from_nanos(11),
+                gpu_llc_hit: Picos::from_nanos(48),
+                snoop_hit: Picos::from_nanos(75),
+                snoop_miss_extra: Picos::from_nanos(18),
+                uncached_cpu_extra: Picos::from_nanos(110),
+                uncached_gpu_extra: Picos::from_nanos(110),
+                cpu_llc_bandwidth: Bandwidth::bytes_per_sec(150_000_000_000),
+                gpu_llc_bandwidth: Bandwidth::bytes_per_sec(450_000_000_000),
+            },
+            zc_rules: ZcRules {
+                cpu_caches_pinned: true,
+                io_coherent: true,
+            },
+            copy_engine: CopyEngineConfig {
+                bandwidth: Bandwidth::gib_per_sec(150),
+                setup: Picos::from_micros(6),
+            },
+            um: UmConfig::default(),
+            flush_line_overhead: Picos::from_nanos(1),
+            energy: EnergyModel {
+                dram_pj_per_byte: 35,
+                cpu_busy_mw: 7_000,
+                gpu_busy_mw: 14_000,
+                copy_busy_mw: 1_400,
+            },
+        }
+    }
+
+    /// Whether system allocations are hardware-coherent across CPU and
+    /// GPU caches — the prerequisite for the `CoherentUpm` model.
+    pub fn supports_coherent_upm(&self) -> bool {
+        self.topology.hardware_coherent
+    }
+
+    /// Returns a variant of this profile whose shared allocations are
+    /// mapped with `page`-sized pages (TLB reach changes accordingly).
+    /// The name gains a suffix when the page size actually changes, so
+    /// characterization caches keyed by name stay distinct.
+    pub fn with_page_size(&self, page: PageSize) -> Self {
+        let mut device = self.clone();
+        if device.topology.page_size != page {
+            device.name = format!("{} @{} pages", self.name, page.name());
+            device.topology.page_size = page;
+        }
+        device
+    }
+
     /// Derives a DVFS power-mode variant: CPU and GPU clocks scaled by
     /// `cpu_scale` / `gpu_scale` and the memory subsystem (DRAM and cache
     /// array bandwidths) by `mem_scale`, the way `nvpmodel` caps a Jetson.
@@ -393,6 +620,7 @@ impl DeviceProfile {
             scale_bw(self.dram.peak_bandwidth, mem_scale),
             self.dram.access_latency,
         );
+        device.topology = self.topology.clone().with_bandwidth_scale(mem_scale);
         device.latencies.cpu_llc_bandwidth = scale_bw(self.latencies.cpu_llc_bandwidth, mem_scale);
         device.latencies.gpu_llc_bandwidth = scale_bw(self.latencies.gpu_llc_bandwidth, gpu_scale);
         device.copy_engine.bandwidth = scale_bw(self.copy_engine.bandwidth, mem_scale);
@@ -405,6 +633,20 @@ impl DeviceProfile {
             Self::jetson_nano(),
             Self::jetson_tx2(),
             Self::jetson_agx_xavier(),
+        ]
+    }
+
+    /// Every built-in profile: the paper's three boards plus the
+    /// portability presets (Orin-like) and the hardware-coherent family
+    /// (MI300A-like, GH-like).
+    pub fn extended_boards() -> Vec<DeviceProfile> {
+        vec![
+            Self::jetson_nano(),
+            Self::jetson_tx2(),
+            Self::jetson_agx_xavier(),
+            Self::orin_like(),
+            Self::mi300a_like(),
+            Self::gh_like(),
         ]
     }
 }
@@ -457,6 +699,51 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn power_scale_rejects_zero() {
         let _ = DeviceProfile::jetson_tx2().with_power_scale(0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn flat_topologies_reproduce_dram_constants() {
+        for device in DeviceProfile::extended_boards() {
+            assert_eq!(
+                DramConfig::from_topology(&device.topology),
+                device.dram,
+                "{}",
+                device.name
+            );
+        }
+    }
+
+    #[test]
+    fn only_coherent_family_supports_upm() {
+        assert!(!DeviceProfile::jetson_nano().supports_coherent_upm());
+        assert!(!DeviceProfile::jetson_tx2().supports_coherent_upm());
+        assert!(!DeviceProfile::jetson_agx_xavier().supports_coherent_upm());
+        assert!(!DeviceProfile::orin_like().supports_coherent_upm());
+        assert!(DeviceProfile::mi300a_like().supports_coherent_upm());
+        assert!(DeviceProfile::gh_like().supports_coherent_upm());
+    }
+
+    #[test]
+    fn with_page_size_renames_and_remaps() {
+        let base = DeviceProfile::mi300a_like();
+        let huge = base.with_page_size(PageSize::Huge2M);
+        assert_eq!(huge.topology.page_size, PageSize::Huge2M);
+        assert!(huge.name.contains("2M"), "{}", huge.name);
+        // Same page size: identity (name untouched).
+        let same = base.with_page_size(PageSize::Small4K);
+        assert_eq!(same, base);
+    }
+
+    #[test]
+    fn power_scale_scales_topology_bandwidth() {
+        let base = DeviceProfile::gh_like();
+        let capped = base.with_power_scale(1.0, 1.0, 0.5);
+        assert_eq!(
+            capped.topology.aggregate_bandwidth().as_bytes_per_sec(),
+            base.topology.aggregate_bandwidth().as_bytes_per_sec() / 2
+        );
+        // Latency shape is untouched.
+        assert_eq!(capped.topology.base_latency(), base.topology.base_latency());
     }
 
     #[test]

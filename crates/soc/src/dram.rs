@@ -12,6 +12,7 @@
 //! overlap executor in `icomm-models`, which knows which agents run at the
 //! same time.
 
+use icomm_mem::MemTopology;
 use serde::{Deserialize, Serialize};
 
 use crate::stats::DramStats;
@@ -42,6 +43,19 @@ impl DramConfig {
             peak_bandwidth,
             access_latency,
         }
+    }
+
+    /// Derives the flat single-channel view of a memory topology: the
+    /// aggregate bandwidth across every NUMA node and the home node's
+    /// access latency. For single-node ("flat") topologies this
+    /// reproduces the node's constants exactly, so the Jetson presets
+    /// behave bit-identically to the pre-topology simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's aggregate bandwidth is zero.
+    pub fn from_topology(topology: &MemTopology) -> Self {
+        DramConfig::new(topology.aggregate_bandwidth(), topology.base_latency())
     }
 }
 

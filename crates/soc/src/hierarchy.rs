@@ -42,6 +42,12 @@ pub enum MemSpace {
     Cached,
     /// A pinned zero-copy allocation shared between CPU and iGPU.
     Pinned,
+    /// A system-allocated, hardware-coherent unified allocation (UPM on
+    /// MI300A / Grace-Hopper-class parts): cached by both agents like
+    /// [`MemSpace::Cached`], but every LLC-line fill pays a
+    /// topology-derived extra (TLB walks past reach, remote-node hops)
+    /// configured via [`MemorySystem::set_upm_fill_extra`].
+    Upm,
 }
 
 /// Device-specific handling of pinned (zero-copy) allocations.
@@ -144,6 +150,12 @@ pub struct MemorySystem {
     zc_rules: ZcRules,
     /// Per-line CPU overhead of walking the cache during flush operations.
     flush_line_overhead: Picos,
+    /// Extra latency a CPU LLC-miss fill pays on the [`MemSpace::Upm`]
+    /// path (expected TLB walk + remote-node hop for the current
+    /// working set).
+    upm_fill_extra_cpu: Picos,
+    /// Same, for GPU fills.
+    upm_fill_extra_gpu: Picos,
 }
 
 impl MemorySystem {
@@ -164,7 +176,23 @@ impl MemorySystem {
             latencies,
             zc_rules,
             flush_line_overhead,
+            upm_fill_extra_cpu: Picos::ZERO,
+            upm_fill_extra_gpu: Picos::ZERO,
         }
+    }
+
+    /// Configures the per-fill extra charged on [`MemSpace::Upm`]
+    /// accesses that miss the LLC. The SoC layer derives the values from
+    /// the device's memory topology and the workload's shared footprint;
+    /// both default to zero (a flat topology within TLB reach).
+    pub fn set_upm_fill_extra(&mut self, cpu: Picos, gpu: Picos) {
+        self.upm_fill_extra_cpu = cpu;
+        self.upm_fill_extra_gpu = gpu;
+    }
+
+    /// The configured per-fill UPM extras `(cpu, gpu)`.
+    pub fn upm_fill_extra(&self) -> (Picos, Picos) {
+        (self.upm_fill_extra_cpu, self.upm_fill_extra_gpu)
     }
 
     /// The zero-copy rules in force.
@@ -225,11 +253,24 @@ impl MemorySystem {
         bytes: u32,
     ) -> AccessCost {
         match (agent, space) {
-            (Agent::Cpu, MemSpace::Cached) => self.cached_access(Agent::Cpu, addr, kind, bytes),
-            (Agent::Gpu, MemSpace::Cached) => self.cached_access(Agent::Gpu, addr, kind, bytes),
+            (Agent::Cpu, MemSpace::Cached) => {
+                self.cached_access(Agent::Cpu, addr, kind, bytes, Picos::ZERO)
+            }
+            (Agent::Gpu, MemSpace::Cached) => {
+                self.cached_access(Agent::Gpu, addr, kind, bytes, Picos::ZERO)
+            }
+            // Hardware-coherent unified allocations are fully cacheable
+            // by both agents; the topology-derived per-fill extra covers
+            // TLB walks and remote-node hops.
+            (Agent::Cpu, MemSpace::Upm) => {
+                self.cached_access(Agent::Cpu, addr, kind, bytes, self.upm_fill_extra_cpu)
+            }
+            (Agent::Gpu, MemSpace::Upm) => {
+                self.cached_access(Agent::Gpu, addr, kind, bytes, self.upm_fill_extra_gpu)
+            }
             (Agent::Cpu, MemSpace::Pinned) => {
                 if self.zc_rules.cpu_caches_pinned {
-                    self.cached_access(Agent::Cpu, addr, kind, bytes)
+                    self.cached_access(Agent::Cpu, addr, kind, bytes, Picos::ZERO)
                 } else {
                     self.uncached_access(addr, kind, bytes, self.latencies.uncached_cpu_extra)
                 }
@@ -263,6 +304,7 @@ impl MemorySystem {
         addr: u64,
         kind: AccessKind,
         bytes: u32,
+        fill_extra: Picos,
     ) -> AccessCost {
         let (l1_hit, llc_hit) = match agent {
             Agent::Cpu => (self.latencies.cpu_l1_hit, self.latencies.cpu_llc_hit),
@@ -275,13 +317,16 @@ impl MemorySystem {
         let end = addr as u128 + bytes as u128;
         let mut line_addr = start & !(line_bytes - 1);
         while (line_addr as u128) < end {
-            let cost = self.cached_line_access(agent, line_addr, kind, l1_hit, llc_hit, line_bytes);
+            let cost = self.cached_line_access(
+                agent, line_addr, kind, l1_hit, llc_hit, line_bytes, fill_extra,
+            );
             total.accumulate(cost);
             line_addr += line_bytes;
         }
         total
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn cached_line_access(
         &mut self,
         agent: Agent,
@@ -290,6 +335,7 @@ impl MemorySystem {
         l1_hit: Picos,
         llc_hit: Picos,
         line_bytes: u64,
+        fill_extra: Picos,
     ) -> AccessCost {
         let llc_occ_line = self.llc_occ(agent, line_bytes);
         let (l1, llc) = match agent {
@@ -337,7 +383,7 @@ impl MemorySystem {
         };
         if llc_missed {
             let fill = self.dram.read(ByteSize(line_bytes));
-            cost.latency = llc_hit + fill.latency;
+            cost.latency = llc_hit + fill.latency + fill_extra;
             cost.dram_occupancy += fill.occupancy;
             cost.dram_bytes += line_bytes;
         }
@@ -645,6 +691,32 @@ mod tests {
             m.access(Agent::Cpu, MemSpace::Cached, i * 64, AccessKind::Write, 4);
         }
         assert!(m.dram().stats().bytes_written > 0);
+    }
+
+    #[test]
+    fn upm_without_extras_matches_cached() {
+        let mut a = system(NO_ZC_CACHE);
+        let mut b = system(NO_ZC_CACHE);
+        let ca = a.access(Agent::Gpu, MemSpace::Cached, 0x2000, AccessKind::Read, 64);
+        let cb = b.access(Agent::Gpu, MemSpace::Upm, 0x2000, AccessKind::Read, 64);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn upm_fill_extra_charged_only_on_llc_miss() {
+        let mut m = system(NO_ZC_CACHE);
+        m.set_upm_fill_extra(Picos::from_nanos(40), Picos::from_nanos(400));
+        let mut plain = system(NO_ZC_CACHE);
+        let miss = m.access(Agent::Gpu, MemSpace::Upm, 0x3000, AccessKind::Read, 4);
+        let base = plain.access(Agent::Gpu, MemSpace::Cached, 0x3000, AccessKind::Read, 4);
+        assert_eq!(miss.latency, base.latency + Picos::from_nanos(400));
+        // A hit on the now-resident line pays no extra at all.
+        let hit = m.access(Agent::Gpu, MemSpace::Upm, 0x3000, AccessKind::Read, 4);
+        assert_eq!(hit.latency, Picos::from_nanos(2));
+        // The CPU pays its own (smaller) extra.
+        let cpu = m.access(Agent::Cpu, MemSpace::Upm, 0x9000, AccessKind::Read, 4);
+        let cpu_base = plain.access(Agent::Cpu, MemSpace::Cached, 0x9000, AccessKind::Read, 4);
+        assert_eq!(cpu.latency, cpu_base.latency + Picos::from_nanos(40));
     }
 
     #[test]

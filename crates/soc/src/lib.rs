@@ -54,7 +54,11 @@ pub mod hierarchy;
 pub mod request;
 pub mod soc;
 pub mod stats;
-pub mod units;
+
+pub use icomm_mem::units;
 
 pub use device::DeviceProfile;
+pub use icomm_mem::topology::{
+    Interconnect, MemAgent, MemTopology, NumaNode, PageSize, PlacementPolicy, TlbConfig,
+};
 pub use soc::Soc;

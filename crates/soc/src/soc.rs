@@ -159,6 +159,24 @@ impl Soc {
         self.reset_stats();
     }
 
+    /// Configures the hardware-coherent unified-memory (UPM) path for a
+    /// shared working set of `footprint` bytes: derives the per-fill
+    /// extras (expected TLB walk past reach plus remote-node hop) from
+    /// the device's memory topology and installs them in the hierarchy.
+    /// On flat in-reach topologies this is a no-op (extras stay zero).
+    pub fn configure_upm(&mut self, footprint: ByteSize) {
+        use icomm_mem::MemAgent;
+        let topology = &self.profile.topology;
+        let cpu = topology.upm_fill_extra(MemAgent::Cpu, footprint.as_u64());
+        let gpu = topology.upm_fill_extra(MemAgent::Gpu, footprint.as_u64());
+        self.mem.set_upm_fill_extra(cpu, gpu);
+    }
+
+    /// Clears the UPM per-fill extras (back to the flat default).
+    pub fn clear_upm(&mut self) {
+        self.mem.set_upm_fill_extra(Picos::ZERO, Picos::ZERO);
+    }
+
     /// Adds extra CPU busy time (used by models for driver overheads such
     /// as page-fault servicing).
     pub fn charge_cpu_overhead(&mut self, time: Picos) {

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Refreshes the committed benchmark baselines: runs the criterion fleet
-# and sched benchmarks, then captures the deterministic headline numbers
-# into BENCH_fleet.json (p50/p99 serve latency, fleet throughput,
-# warm-start and transfer hit rates) and BENCH_sched.json (deadline-miss
-# rates and slowdowns per policy on the contended TX2 mix). The captures
-# use fixed seeds, so the JSON is reproducible and diffs in it are real
-# behavior changes, not noise.
+# Refreshes the committed benchmark baselines: runs the criterion fleet,
+# sched, and mem benchmarks, then captures the deterministic headline
+# numbers into BENCH_fleet.json (p50/p99 serve latency, fleet throughput,
+# warm-start and transfer hit rates), BENCH_sched.json (deadline-miss
+# rates and slowdowns per policy on the contended TX2 mix), and
+# BENCH_mem.json (the UM-vs-UPM page-size crossover on the coherent
+# boards). The captures use fixed seeds, so the JSON is reproducible and
+# diffs in it are real behavior changes, not noise.
 #
 # Usage: ./scripts/bench_snapshot.sh [--skip-criterion]
 set -euo pipefail
@@ -25,6 +26,8 @@ if [[ "$SKIP_CRITERION" -eq 0 ]]; then
     cargo bench -p icomm-bench --bench fleet_scaling
     echo "==> cargo bench -p icomm-bench --bench sched_scaling"
     cargo bench -p icomm-bench --bench sched_scaling
+    echo "==> cargo bench -p icomm-bench --bench mem_topology"
+    cargo bench -p icomm-bench --bench mem_topology
 fi
 
 echo "==> capturing BENCH_fleet.json (seed 7, 256 devices, nano,tx2,xavier)"
@@ -90,3 +93,36 @@ print(json.dumps(baseline, indent=2))
 EOF
 
 echo "baseline written to BENCH_sched.json"
+
+echo "==> capturing BENCH_mem.json (UM-vs-UPM crossover, coherent boards x page sizes)"
+MI_4K="$(target/release/icomm tune mi300a-like orb --current um --pages 4k --json)"
+MI_2M="$(target/release/icomm tune mi300a-like orb --current um --pages 2m --json)"
+GH_4K="$(target/release/icomm tune gh-like orb --current um --pages 4k --json)"
+GH_2M="$(target/release/icomm tune gh-like orb --current um --pages 2m --json)"
+python3 - "$MI_4K" "$MI_2M" "$GH_4K" "$GH_2M" <<'EOF'
+import json
+import sys
+
+def summarize(raw):
+    report = json.loads(raw)
+    rec = report["recommendation"]
+    speedup = rec.get("estimated_speedup")
+    return {
+        "recommended": rec["recommended"],
+        "estimated_speedup": round(speedup["estimated"], 3) if speedup else None,
+        "actual_speedup": round(report["actual_speedup"], 3),
+    }
+
+baseline = {
+    "source": "icomm tune {mi300a-like,gh-like} orb --current um --pages {4k,2m} --json",
+    "note": "deterministic virtual-time numbers; regenerate with scripts/bench_snapshot.sh",
+    "mi300a_like": {"pages_4k": summarize(sys.argv[1]), "pages_2m": summarize(sys.argv[2])},
+    "gh_like": {"pages_4k": summarize(sys.argv[3]), "pages_2m": summarize(sys.argv[4])},
+}
+with open("BENCH_mem.json", "w") as f:
+    json.dump(baseline, f, indent=2)
+    f.write("\n")
+print(json.dumps(baseline, indent=2))
+EOF
+
+echo "baseline written to BENCH_mem.json"

@@ -82,4 +82,31 @@ for policy in fifo deadline; do
     echo "    policy '$policy': completed, replay byte-identical, deadline report emitted"
 done
 
+echo "==> mem smoke (page-size crossover + replay determinism)"
+# The memory-topology lever must actually move the verdict: the same
+# workload on the same coherent board keeps UM at 4K pages and switches
+# to coherent UPM at 2M pages, and each invocation must replay
+# byte-identically.
+MEM_TMP="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP" "$SCHED_TMP" "$MEM_TMP"' EXIT
+for pages in 4k 2m; do
+    "$ICOMM" tune mi300a-like orb --current um --pages "$pages" --json \
+        >"$MEM_TMP/mem-$pages-a.json"
+    "$ICOMM" tune mi300a-like orb --current um --pages "$pages" --json \
+        >"$MEM_TMP/mem-$pages-b.json"
+    cmp "$MEM_TMP/mem-$pages-a.json" "$MEM_TMP/mem-$pages-b.json" || {
+        echo "mem tune replay diverged for --pages $pages" >&2
+        exit 1
+    }
+done
+grep -q '"recommended":"UnifiedMemory"' "$MEM_TMP/mem-4k-a.json" || {
+    echo "mem smoke: 4K pages no longer keep UM on mi300a-like" >&2
+    exit 1
+}
+grep -q '"recommended":"CoherentUpm"' "$MEM_TMP/mem-2m-a.json" || {
+    echo "mem smoke: 2M pages no longer flip UM to UPM on mi300a-like" >&2
+    exit 1
+}
+echo "    pages 4k -> keep UM, pages 2m -> coherent UPM, replays byte-identical"
+
 echo "CI gate passed."

@@ -3,7 +3,7 @@
 
 use icomm::microbench::mb2::{Mb2Config, ThresholdSweep};
 use icomm::microbench::mb3::{Mb3Config, OverlapProbe};
-use icomm::microbench::{DeviceCharacterization, PeakCacheThroughput};
+use icomm::microbench::{DeviceCharacterization, PeakCacheThroughput, UpmProbe};
 use icomm::soc::DeviceProfile;
 
 /// A trimmed device characterization: same pipeline as
@@ -21,5 +21,6 @@ pub fn quick_characterization(device: &DeviceProfile) -> DeviceCharacterization 
         ..Mb3Config::default()
     })
     .run(device);
-    DeviceCharacterization::from_results(&mb1, &mb2, &mb3)
+    let upm = UpmProbe::new().run(device);
+    DeviceCharacterization::from_results(&mb1, &mb2, &mb3, &upm)
 }

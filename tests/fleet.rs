@@ -72,6 +72,35 @@ fn thousand_devices_warm_start_and_bounded_regret() {
 }
 
 #[test]
+fn coherent_boards_mix_into_the_fleet_without_breaking_the_gates() {
+    // The hardware-coherent presets ride the same registry, transfer,
+    // and admission stack as the Jetsons: mixing them into the
+    // population keeps every acceptance gate green, and the federated
+    // transfer path never hands a coherent device a characterization
+    // that silently disables (or invents) UPM support.
+    let out = run_fleet(&FleetConfig {
+        boards: "nano,tx2,xavier,mi300a-like,gh-like".to_string(),
+        devices: 400,
+        ..thousand_device_config()
+    })
+    .unwrap();
+    let r = &out.report;
+    assert_eq!(r.served + r.shed_queue + r.shed_rate, r.requests);
+    assert!(
+        r.warm_start_pct >= 90.0,
+        "warm start {:.1}% with coherent boards mixed in",
+        r.warm_start_pct
+    );
+    assert!(
+        r.mean_regret_pct <= 10.0,
+        "mean transfer regret {:.2}% with coherent boards mixed in (worst {:.2}%)",
+        r.mean_regret_pct,
+        r.max_regret_pct
+    );
+    assert!(r.passed(), "mixed-board fleet gate failed:\n{r}");
+}
+
+#[test]
 fn same_seed_replays_byte_identically_different_seed_does_not() {
     let serialize = |seed: u64| {
         let out = run_fleet(&FleetConfig {

@@ -8,7 +8,7 @@ mod common;
 use icomm::apps::{OrbApp, ShwfsApp};
 use icomm::core::{CacheZone, Tuner};
 use icomm::models::CommModelKind;
-use icomm::soc::DeviceProfile;
+use icomm::soc::{DeviceProfile, PageSize};
 
 use common::quick_characterization;
 
@@ -108,6 +108,75 @@ fn orb_xavier_keeps_zero_copy_in_zone2() {
         "{}",
         v.recommendation.rationale
     );
+}
+
+#[test]
+fn huge_pages_flip_um_to_upm_on_coherent_boards() {
+    // The memory-topology headline: on the hardware-coherent boards the
+    // ONLY thing that changes between the two runs is the page size the
+    // shared allocation is mapped with. With 4K pages the shared
+    // footprint overflows the TLB reach, the coherent fills pay the walk
+    // penalty, and UM (which migrates pages next to the kernel) stays
+    // the right call. With 2M pages the TLB covers the footprint and the
+    // framework flips the same workload to coherent UPM — and the
+    // ground-truth run confirms the flip wins.
+    for make in [DeviceProfile::mi300a_like, DeviceProfile::gh_like] {
+        let small = tuner(make().with_page_size(PageSize::Small4K));
+        let huge = tuner(make().with_page_size(PageSize::Huge2M));
+        for workload in [shwfs(), orb()] {
+            let v4k = small.validate(&workload, CommModelKind::UnifiedMemory);
+            assert_eq!(
+                v4k.recommendation.recommended,
+                CommModelKind::UnifiedMemory,
+                "{} @4K {}: {}",
+                make().name,
+                workload.name,
+                v4k.recommendation.rationale
+            );
+            let v2m = huge.validate(&workload, CommModelKind::UnifiedMemory);
+            assert_eq!(
+                v2m.recommendation.recommended,
+                CommModelKind::CoherentUpm,
+                "{} @2M {}: {}",
+                make().name,
+                workload.name,
+                v2m.recommendation.rationale
+            );
+            assert!(
+                v2m.recommendation_sound(0.05),
+                "{} @2M {}: UPM flip should win in ground truth, got {:.2}x",
+                make().name,
+                workload.name,
+                v2m.actual_speedup
+            );
+        }
+    }
+}
+
+#[test]
+fn upm_never_recommended_on_the_paper_boards() {
+    // The Jetsons have no coherent fabric: the UPM refinement must be
+    // inert there no matter the current model or page size.
+    for device in DeviceProfile::all_boards() {
+        let t = tuner(device.clone());
+        for workload in [shwfs(), orb()] {
+            for current in [
+                CommModelKind::StandardCopy,
+                CommModelKind::UnifiedMemory,
+                CommModelKind::ZeroCopy,
+            ] {
+                let v = t.validate(&workload, current);
+                assert_ne!(
+                    v.recommendation.recommended,
+                    CommModelKind::CoherentUpm,
+                    "{}: {} from {}",
+                    device.name,
+                    workload.name,
+                    current.abbrev()
+                );
+            }
+        }
+    }
 }
 
 #[test]

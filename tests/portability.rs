@@ -1,13 +1,14 @@
 //! Framework portability: the same micro-benchmarks and decision flow
-//! work unchanged on a board the paper never saw (the hypothetical
-//! Orin-class preset), and the verdicts track the device's architecture.
+//! work unchanged on boards the paper never saw (the hypothetical
+//! Orin-class preset and the hardware-coherent MI300A/GH-class presets),
+//! and the verdicts track each device's architecture.
 
 mod common;
 
 use icomm::apps::{LaneApp, OrbApp, ShwfsApp};
 use icomm::core::Tuner;
 use icomm::models::CommModelKind;
-use icomm::soc::DeviceProfile;
+use icomm::soc::{DeviceProfile, PageSize};
 
 use common::quick_characterization;
 
@@ -98,6 +99,107 @@ fn orin_like_orb_keeps_zero_copy() {
         v.recommendation.rationale
     );
     assert!(v.recommendation_sound(0.05));
+}
+
+#[test]
+fn coherent_board_characterizations_are_sane() {
+    for device in [DeviceProfile::mi300a_like(), DeviceProfile::gh_like()] {
+        let c = quick_characterization(&device);
+        assert!(c.upm_supported, "{}", device.name);
+        assert!(c.gpu_upm_throughput > 0.0, "{}", device.name);
+        // At the default 4K pages the probe footprint overflows the TLB
+        // reach: the coherent path pays a real walk penalty and UM keeps
+        // its migration advantage.
+        assert!(
+            c.upm_kernel_penalty > 1.0,
+            "{}: penalty {:.3}",
+            device.name,
+            c.upm_kernel_penalty
+        );
+        assert!(
+            c.um_upm_max_speedup < 1.0,
+            "{}: bound {:.3}",
+            device.name,
+            c.um_upm_max_speedup
+        );
+        // Jetson-class boards never report the coherent extension.
+        let nano = quick_characterization(&DeviceProfile::jetson_nano());
+        assert!(!nano.upm_supported);
+        assert_eq!(nano.upm_kernel_penalty, 1.0);
+        assert_eq!(nano.um_upm_max_speedup, 1.0);
+    }
+}
+
+#[test]
+fn huge_pages_invert_the_um_upm_probe_verdict() {
+    // The characterization itself — not just the decision flow — must
+    // move with the page size: 2M pages collapse the TLB penalty and
+    // push the UM/UPM bound past break-even on both coherent boards.
+    for make in [DeviceProfile::mi300a_like, DeviceProfile::gh_like] {
+        let small = quick_characterization(&make().with_page_size(PageSize::Small4K));
+        let huge = quick_characterization(&make().with_page_size(PageSize::Huge2M));
+        assert!(
+            huge.upm_kernel_penalty < small.upm_kernel_penalty,
+            "{}: 2M penalty {:.3} !< 4K penalty {:.3}",
+            make().name,
+            huge.upm_kernel_penalty,
+            small.upm_kernel_penalty
+        );
+        assert!(
+            small.um_upm_max_speedup < 1.0 && huge.um_upm_max_speedup > 1.0,
+            "{}: bound 4K {:.3} -> 2M {:.3} should cross 1.0",
+            make().name,
+            small.um_upm_max_speedup,
+            huge.um_upm_max_speedup
+        );
+    }
+}
+
+#[test]
+fn coherent_board_verdicts_are_sound_across_the_matrix() {
+    // The full decision flow stays truthful on the new boards: whatever
+    // it recommends — including coherent UPM — never loses to the
+    // current model in the ground-truth run.
+    for device in [DeviceProfile::mi300a_like(), DeviceProfile::gh_like()] {
+        let t = Tuner::with_characterization(device.clone(), quick_characterization(&device));
+        for workload in [
+            ShwfsApp {
+                iterations: 2,
+                ..ShwfsApp::default()
+            }
+            .workload(),
+            OrbApp {
+                matching_reads: 300_000,
+                iterations: 1,
+                ..OrbApp::default()
+            }
+            .workload(),
+            LaneApp {
+                iterations: 2,
+                ..LaneApp::default()
+            }
+            .workload(),
+        ] {
+            for current in [
+                CommModelKind::StandardCopy,
+                CommModelKind::UnifiedMemory,
+                CommModelKind::ZeroCopy,
+                CommModelKind::CoherentUpm,
+            ] {
+                let v = t.validate(&workload, current);
+                assert!(
+                    v.recommendation_sound(0.05),
+                    "{}: {} from {} -> {} lost {:.2}x ({})",
+                    device.name,
+                    workload.name,
+                    current.abbrev(),
+                    v.recommendation.recommended.abbrev(),
+                    v.actual_speedup,
+                    v.recommendation.rationale
+                );
+            }
+        }
+    }
 }
 
 #[test]

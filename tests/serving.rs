@@ -12,16 +12,18 @@ use icomm::models::CommModelKind;
 use icomm::serve::{Registry, Server, ServiceConfig, TuneRequest, TuneResponse, TuningService};
 use icomm::soc::DeviceProfile;
 
-const BOARD_NAMES: [&str; 4] = ["nano", "tx2", "xavier", "orin-like"];
+const BOARD_NAMES: [&str; 6] = [
+    "nano",
+    "tx2",
+    "xavier",
+    "orin-like",
+    "mi300a-like",
+    "gh-like",
+];
 const APP_NAMES: [&str; 3] = ["shwfs", "orb", "lane"];
 
 fn all_profiles() -> Vec<DeviceProfile> {
-    vec![
-        DeviceProfile::jetson_nano(),
-        DeviceProfile::jetson_tx2(),
-        DeviceProfile::jetson_agx_xavier(),
-        DeviceProfile::orin_like(),
-    ]
+    DeviceProfile::extended_boards()
 }
 
 fn profile_by_cli_name(name: &str) -> DeviceProfile {
@@ -30,6 +32,8 @@ fn profile_by_cli_name(name: &str) -> DeviceProfile {
         "tx2" => DeviceProfile::jetson_tx2(),
         "xavier" => DeviceProfile::jetson_agx_xavier(),
         "orin-like" => DeviceProfile::orin_like(),
+        "mi300a-like" => DeviceProfile::mi300a_like(),
+        "gh-like" => DeviceProfile::gh_like(),
         other => unreachable!("not a test board: {other}"),
     }
 }
@@ -117,18 +121,19 @@ fn contended_registry_characterizes_each_device_exactly_once() {
     }
 }
 
-/// Acceptance criterion: a batch of 100+ requests over all four profiles
-/// completes with exactly four characterization runs, a >= 96 % cache hit
+/// Acceptance criterion: a batch of 200+ requests over every profile
+/// (the Jetsons plus the hardware-coherent presets) completes with
+/// exactly one characterization run per board, a >= 96 % cache hit
 /// rate, and recommendations identical to the sequential tuner.
 #[test]
-fn large_batch_over_four_boards_characterizes_four_times() {
-    const REQUESTS: u64 = 104;
+fn large_batch_over_all_boards_characterizes_each_once() {
+    const REQUESTS: u64 = 204;
     let service = quick_service(4);
     let requests: Vec<TuneRequest> = (0..REQUESTS)
         .map(|i| {
             TuneRequest::new(
                 i,
-                BOARD_NAMES[(i % BOARD_NAMES.len() as u64) as usize],
+                BOARD_NAMES[((i / APP_NAMES.len() as u64) % BOARD_NAMES.len() as u64) as usize],
                 APP_NAMES[(i % APP_NAMES.len() as u64) as usize],
             )
         })
@@ -143,7 +148,8 @@ fn large_batch_over_four_boards_characterizes_four_times() {
 
     let snapshot = service.metrics();
     assert_eq!(
-        snapshot.characterizations, 4,
+        snapshot.characterizations,
+        BOARD_NAMES.len() as u64,
         "one characterization per device profile"
     );
     assert!(
@@ -168,7 +174,7 @@ fn large_batch_over_four_boards_characterizes_four_times() {
                 .zip(&requests)
                 .find(|(_, req)| req.board == board && req.app == app)
                 .map(|(resp, _)| resp)
-                .expect("every pair appears in 104 round-robin requests");
+                .expect("every pair appears in the round-robin requests");
             assert_eq!(
                 response.recommended.as_deref(),
                 Some(rec.recommended.abbrev()),
