@@ -6,8 +6,13 @@
 //! the (cheap) profile + recommend flow per request, so throughput is
 //! bounded by the worker pool rather than the micro-benchmark sweeps.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use icomm_serve::{ServiceConfig, TuneRequest, TuningService};
+use icomm_net::{warmup, BinaryClient, BinaryServer, WireMode};
+use icomm_serve::{Server, ServiceConfig, TuneRequest, TuneResponse, TuningService};
 
 const BOARDS: [&str; 6] = [
     "nano",
@@ -73,6 +78,70 @@ fn bench(c: &mut Criterion) {
     });
 
     service.shutdown().unwrap();
+
+    bench_tcp_planes(c);
+}
+
+/// One warm round trip over real TCP on each serving plane: the
+/// thread-per-connection line-JSON listener versus the event-driven
+/// `icommwire v1` binary listener (whose shards answer repeat decisions
+/// from the shard-local cache without an engine hop).
+fn bench_tcp_planes(c: &mut Criterion) {
+    let service = Arc::new(TuningService::start(ServiceConfig::quick().with_workers(4)));
+    let json_server = Server::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let binary_server = BinaryServer::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    warmup(json_server.local_addr(), WireMode::Json).unwrap();
+    warmup(binary_server.local_addr(), WireMode::Binary).unwrap();
+
+    let mut group = c.benchmark_group("serve_tcp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+
+    let stream = TcpStream::connect(json_server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    group.bench_function("json_roundtrip_warm", |b| {
+        b.iter(|| {
+            let request = TuneRequest::new(1, "xavier", "shwfs");
+            let line = icomm_persist::to_string(&request).unwrap();
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            let response: TuneResponse = icomm_persist::from_str(reply.trim()).unwrap();
+            assert!(response.ok);
+        })
+    });
+
+    let mut client = BinaryClient::connect(binary_server.local_addr()).unwrap();
+    group.bench_function("binary_roundtrip_warm", |b| {
+        b.iter(|| {
+            let response = client
+                .tune(&TuneRequest::new(1, "xavier", "shwfs"))
+                .unwrap();
+            assert!(response.ok);
+        })
+    });
+
+    let batch = 16u64;
+    group.throughput(Throughput::Elements(batch));
+    group.bench_function("binary_batch_16_roundtrip_warm", |b| {
+        b.iter(|| {
+            let requests: Vec<TuneRequest> = (0..batch)
+                .map(|i| TuneRequest::new(i, "xavier", "shwfs"))
+                .collect();
+            let responses = client.tune_batch(&requests).unwrap();
+            assert!(responses.iter().all(|r| r.ok));
+        })
+    });
+    group.finish();
+
+    drop(reader);
+    drop(writer);
+    drop(client);
+    json_server.stop();
+    binary_server.stop();
+    Arc::try_unwrap(service).unwrap().shutdown().unwrap();
 }
 
 criterion_group! {

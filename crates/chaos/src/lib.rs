@@ -25,7 +25,9 @@
 //! - [`snapshot`]: seeded corruption of framed persist snapshots,
 //!   asserting the verifier rejects every real mutation.
 //! - [`tcp`]: hostile clients (garbage, oversized lines, mid-request
-//!   stalls) for the TCP server's integration tests.
+//!   stalls) for the TCP server's integration tests, plus `binary_*`
+//!   attacks (unframeable garbage, hostile advertised lengths,
+//!   truncated frames, CRC bit-flips) for the `icomm-net` listener.
 //! - [`harness`]: [`run_chaos`] / [`chaos_matrix`] — one campaign, one
 //!   deterministic [`ChaosReport`] with regret inflation, quarantine and
 //!   SC-fallback counts.

@@ -7,10 +7,21 @@
 //! Used by the integration tests; the timing-dependent parts are kept
 //! out of [`ChaosReport`](crate::ChaosReport), which stays byte-identical
 //! per seed.
+//!
+//! The `binary_*` family aims the same hostility at the `icomm-net`
+//! binary listener: garbage that never frames, frame headers advertising
+//! absurd lengths, valid frames cut off mid-body, and frames whose CRC
+//! trailer has been bit-flipped. The binary server must count each
+//! rejection in the serve fault counters and refuse service without
+//! wedging the shard.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+use icomm_net::wire::{encode_tune_request, frame_bytes, Opcode};
+use icomm_net::{BinaryClient, ClientError};
+use icomm_serve::TuneRequest;
 
 use crate::rng::ChaosRng;
 
@@ -94,4 +105,129 @@ pub fn stall_mid_request(addr: SocketAddr, give_up: Duration) -> std::io::Result
         Ok(_) => Ok(false),  // server answered half a request?!
         Err(_) => Ok(false), // our own timeout: server wedged
     }
+}
+
+/// What the binary server did about one hostile connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryDefense {
+    /// The server sent an explicit `Error` frame.
+    ErrorFrame,
+    /// The server closed the connection without a reply.
+    Disconnected,
+    /// The server answered with a normal (non-error) reply — wrong for
+    /// a hostile payload.
+    Served,
+    /// The server neither replied nor hung up before our timeout —
+    /// a wedged shard.
+    Wedged,
+}
+
+/// Writes `bytes` to a fresh connection against the binary listener
+/// and classifies the server's defense.
+///
+/// # Errors
+///
+/// Propagates connect failures; everything after connect is part of
+/// the classification.
+pub fn binary_probe(addr: SocketAddr, bytes: &[u8]) -> std::io::Result<BinaryDefense> {
+    let mut client = match BinaryClient::connect_timeout(addr, Duration::from_secs(5)) {
+        Ok(c) => c,
+        Err(ClientError::Io(e)) => return Err(e),
+        Err(_) => return Ok(BinaryDefense::Wedged),
+    };
+    if client.send_raw(bytes).is_err() {
+        // The server already slammed the door mid-write.
+        return Ok(BinaryDefense::Disconnected);
+    }
+    match client.read_frame() {
+        Ok(frame) if frame.opcode == Opcode::Error => Ok(BinaryDefense::ErrorFrame),
+        Ok(_) => Ok(BinaryDefense::Served),
+        Err(ClientError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Ok(BinaryDefense::Disconnected)
+        }
+        Err(ClientError::Io(e))
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Ok(BinaryDefense::Wedged)
+        }
+        // A garbled reply still proves the server engaged the error
+        // path rather than serving the hostile frame.
+        Err(_) => Ok(BinaryDefense::Disconnected),
+    }
+}
+
+/// Sends seeded random bytes that (almost surely) never form a valid
+/// frame. The decoder should fail the length bound, the version check,
+/// or the CRC and answer with an `Error` frame or a disconnect.
+///
+/// # Errors
+///
+/// Propagates connect failures.
+pub fn binary_garbage(addr: SocketAddr, seed: u64, len: usize) -> std::io::Result<BinaryDefense> {
+    let mut rng = ChaosRng::new(seed);
+    let mut junk = Vec::with_capacity(len);
+    for _ in 0..len {
+        junk.push(rng.next_u64() as u8);
+    }
+    binary_probe(addr, &junk)
+}
+
+/// Sends a frame header advertising `advertised_len` bytes (far past
+/// the server's frame cap). A hardened decoder rejects the length
+/// *before* buffering a body, so this must be refused immediately —
+/// not after the server tries to allocate gigabytes.
+///
+/// # Errors
+///
+/// Propagates connect failures.
+pub fn binary_oversized(addr: SocketAddr, advertised_len: u32) -> std::io::Result<BinaryDefense> {
+    let mut bytes = Vec::with_capacity(16);
+    bytes.extend_from_slice(&advertised_len.to_le_bytes());
+    // A few body bytes so the server sees the header plus a taste of
+    // the (never-completed) payload.
+    bytes.extend_from_slice(&[1, 1, 0, 0, 0, 0, 0, 0]);
+    binary_probe(addr, &bytes)
+}
+
+/// Sends the first `keep` bytes of a valid tune frame and then goes
+/// silent, holding the socket open. The server's mid-frame read
+/// deadline must eventually disconnect us. Returns true if it did.
+///
+/// # Errors
+///
+/// Propagates connect/configure failures.
+pub fn binary_truncated(addr: SocketAddr, keep: usize, give_up: Duration) -> std::io::Result<bool> {
+    let request = TuneRequest::new(1, "tx2", "orb");
+    let frame = frame_bytes(Opcode::Tune, &encode_tune_request(&request));
+    let keep = keep.min(frame.len().saturating_sub(1)).max(1);
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(give_up))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(&frame[..keep])?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut sink = [0u8; 64];
+    match reader.read(&mut sink) {
+        Ok(0) => Ok(true),   // server hit its read deadline: defended
+        Ok(_) => Ok(false),  // server answered a partial frame?!
+        Err(_) => Ok(false), // our own timeout: server wedged
+    }
+}
+
+/// Builds a valid tune frame, flips one bit in its CRC trailer, and
+/// sends it. The decoder must detect the corruption and refuse.
+///
+/// # Errors
+///
+/// Propagates connect failures.
+pub fn binary_corrupt_crc(addr: SocketAddr, seed: u64) -> std::io::Result<BinaryDefense> {
+    let mut rng = ChaosRng::new(seed);
+    let request = TuneRequest::new(rng.next_u64(), "nano", "shwfs");
+    let mut frame = frame_bytes(Opcode::Tune, &encode_tune_request(&request));
+    let trailer_start = frame.len() - 4;
+    let byte = trailer_start + rng.index(4);
+    let bit = 1u8 << rng.index(8);
+    frame[byte] ^= bit;
+    binary_probe(addr, &frame)
 }

@@ -82,11 +82,15 @@ pub enum Command {
     },
     /// `icomm experiments` — regenerate every table/figure of the paper.
     Experiments,
-    /// `icomm serve [--addr <ip:port>] [--workers N] [--registry <file>]
-    /// [--full] [--stats]` — run the tuning service over TCP.
+    /// `icomm serve [--addr <ip:port>] [--wire json|binary] [--workers N]
+    /// [--registry <file>] [--full] [--stats]` — run the tuning service
+    /// over TCP.
     Serve {
         /// Listen address.
         addr: String,
+        /// Wire protocol: `json` (line-delimited, thread per connection)
+        /// or `binary` (`icommwire v1` frames on the event-driven plane).
+        wire: String,
         /// Worker-pool size.
         workers: usize,
         /// Registry snapshot file for warm starts and shutdown persistence.
@@ -95,6 +99,26 @@ pub enum Command {
         full: bool,
         /// Print service metrics periodically.
         stats: bool,
+    },
+    /// `icomm servebench [--requests N] [--conns N] [--workers N]
+    /// [--batch N] [--hostile] [--json]` — run the JSON and binary
+    /// serving planes side by side over one shared service and report
+    /// throughput, tail latency, decision parity, and (with `--hostile`)
+    /// hostile-client survival.
+    Servebench {
+        /// Requests per plane.
+        requests: usize,
+        /// Concurrent load-generator connections.
+        conns: usize,
+        /// Worker-pool size (shared service).
+        workers: usize,
+        /// Requests per binary `Batch` frame.
+        batch: usize,
+        /// Also fire the hostile binary clients and report the fault
+        /// counters.
+        hostile: bool,
+        /// Print the report as JSON.
+        json: bool,
     },
     /// `icomm batch [<file>] [--workers N] [--registry <file>] [--full]
     /// [--stats]` — serve a batch of line-JSON requests from a file (or
@@ -132,6 +156,8 @@ pub enum Command {
         seed: u64,
         /// Tenants co-hosted per served device (1 = single-tenant).
         tenants: usize,
+        /// Wire protocol the live-fire stage drives (`json` / `binary`).
+        wire: String,
         /// Print the deterministic fleet report as JSON.
         json: bool,
     },
@@ -438,6 +464,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         "experiments" => Ok(Command::Experiments),
         "serve" => {
             let mut addr = "127.0.0.1:7311".to_string();
+            let mut wire = "json".to_string();
             let mut options = ServiceOptions::default();
             while let Some(flag) = it.next() {
                 if flag == "--addr" {
@@ -445,16 +472,73 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                         .next()
                         .ok_or_else(|| ParseArgsError("--addr needs an ip:port".into()))?
                         .clone();
+                } else if flag == "--wire" {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ParseArgsError("--wire needs json|binary".into()))?;
+                    wire = match value.to_ascii_lowercase().as_str() {
+                        "json" | "binary" => value.to_ascii_lowercase(),
+                        other => {
+                            return Err(ParseArgsError(format!(
+                                "unknown wire protocol '{other}' (json|binary)"
+                            )))
+                        }
+                    };
                 } else {
                     options.accept(flag, &mut it)?;
                 }
             }
             Ok(Command::Serve {
                 addr,
+                wire,
                 workers: options.workers,
                 registry: options.registry,
                 full: options.full,
                 stats: options.stats,
+            })
+        }
+        "servebench" => {
+            let mut requests = 2_000usize;
+            let mut conns = 8usize;
+            let mut workers = 4usize;
+            let mut batch = 16usize;
+            let mut hostile = false;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--requests" | "--conns" | "--workers" | "--batch" => {
+                        let value = it.next().ok_or_else(|| {
+                            ParseArgsError(format!("{flag} needs a positive count"))
+                        })?;
+                        let parsed =
+                            value
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or_else(|| {
+                                    ParseArgsError(format!(
+                                        "{flag} needs a positive count, got '{value}'"
+                                    ))
+                                })?;
+                        match flag.as_str() {
+                            "--requests" => requests = parsed,
+                            "--conns" => conns = parsed,
+                            "--workers" => workers = parsed,
+                            _ => batch = parsed,
+                        }
+                    }
+                    "--hostile" => hostile = true,
+                    "--json" => json = true,
+                    other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Servebench {
+                requests,
+                conns,
+                workers,
+                batch,
+                hostile,
+                json,
             })
         }
         "batch" => {
@@ -496,6 +580,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let mut rate = 400.0f64;
             let mut seed = 7u64;
             let mut tenants = 1usize;
+            let mut wire = "json".to_string();
             let mut json = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -563,6 +648,19 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                                 ))
                             })?;
                     }
+                    "--wire" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--wire needs json|binary".into()))?;
+                        match value.to_ascii_lowercase().as_str() {
+                            "json" | "binary" => wire = value.to_ascii_lowercase(),
+                            other => {
+                                return Err(ParseArgsError(format!(
+                                    "unknown wire protocol '{other}' (json|binary)"
+                                )))
+                            }
+                        }
+                    }
                     "--json" => json = true,
                     other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
                 }
@@ -574,6 +672,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 rate,
                 seed,
                 tenants,
+                wire,
                 json,
             })
         }
@@ -743,12 +842,15 @@ USAGE:
                         [--windows N] [--json]
     icomm compare <board> <app>
     icomm experiments
-    icomm serve [--addr <ip:port>] [--workers N] [--registry <file>]
-                [--full] [--stats]
+    icomm serve [--addr <ip:port>] [--wire json|binary] [--workers N]
+                [--registry <file>] [--full] [--stats]
+    icomm servebench [--requests N] [--conns N] [--workers N]
+                [--batch N] [--hostile] [--json]
     icomm batch [<file>] [--workers N] [--registry <file>]
                 [--full] [--stats]
     icomm fleet <board-mix> [--devices N] [--arrival poisson|burst]
-                [--rate R] [--seed S] [--tenants N] [--json]
+                [--rate R] [--seed S] [--tenants N]
+                [--wire json|binary] [--json]
     icomm sched <board> [--mix <name>] [--policy fifo|deadline]
                 [--seed N] [--windows N] [--json]
     icomm help
@@ -781,12 +883,19 @@ none, noise, loss, corrupt, hostile, full — optionally tuned with
 knob=value overrides, e.g. `--plan loss,drop_prob=0.4`. One campaign per
 `--seed`; identical seeds produce byte-identical reports.
 
-`serve` runs the tuning service over TCP (one JSON request per line, one
-JSON response per line; default 127.0.0.1:7311). `batch` answers a file
-(or stdin) of line-JSON requests in one shot. Both memoize device
-characterizations in a shared registry; `--registry <file>` persists it
-across runs, `--full` trades latency for the full-resolution sweep, and
-`--stats` reports cache hit rate, queue depth, and latency histograms.
+`serve` runs the tuning service over TCP (default 127.0.0.1:7311).
+`--wire json` (the default) speaks one JSON request per line with a
+thread per connection; `--wire binary` runs the event-driven
+`icommwire v1` plane — length-prefixed CRC-checked frames, per-core
+shard event loops, batched submission into the worker pool. `batch`
+answers a file (or stdin) of line-JSON requests in one shot. All modes
+memoize device characterizations in a shared registry; `--registry
+<file>` persists it across runs, `--full` trades latency for the
+full-resolution sweep, and `--stats` reports cache hit rate, queue
+depth, and latency histograms. `servebench` races the two planes over
+one shared service and reports requests/sec, p50/p99, and decision
+parity (`--hostile` also fires malformed-frame clients and reports the
+fault counters).
 
 `fleet` synthesizes a clustered device population over the board mix
 (firmware clusters plus per-unit clock drift), replays a seeded open-loop
@@ -1047,6 +1156,7 @@ mod tests {
             c,
             Command::Serve {
                 addr: "127.0.0.1:7311".into(),
+                wire: "json".into(),
                 workers: 4,
                 registry: None,
                 full: false,
@@ -1057,6 +1167,8 @@ mod tests {
             "serve",
             "--addr",
             "0.0.0.0:9000",
+            "--wire",
+            "binary",
             "--workers",
             "8",
             "--registry",
@@ -1069,6 +1181,7 @@ mod tests {
             c,
             Command::Serve {
                 addr: "0.0.0.0:9000".into(),
+                wire: "binary".into(),
                 workers: 8,
                 registry: Some("reg.json".into()),
                 full: true,
@@ -1082,6 +1195,60 @@ mod tests {
         assert!(parse(&v(&["serve", "--workers", "0"])).is_err());
         assert!(parse(&v(&["serve", "--workers", "many"])).is_err());
         assert!(parse(&v(&["serve", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_unknown_wire_protocols() {
+        assert!(parse(&v(&["serve", "--wire"])).is_err());
+        assert!(parse(&v(&["serve", "--wire", "carrier-pigeon"])).is_err());
+    }
+
+    #[test]
+    fn servebench_parses_defaults_and_flags() {
+        let c = parse(&v(&["servebench"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Servebench {
+                requests: 2_000,
+                conns: 8,
+                workers: 4,
+                batch: 16,
+                hostile: false,
+                json: false,
+            }
+        );
+        let c = parse(&v(&[
+            "servebench",
+            "--requests",
+            "500",
+            "--conns",
+            "4",
+            "--workers",
+            "2",
+            "--batch",
+            "32",
+            "--hostile",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Servebench {
+                requests: 500,
+                conns: 4,
+                workers: 2,
+                batch: 32,
+                hostile: true,
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn servebench_rejects_bad_counts() {
+        assert!(parse(&v(&["servebench", "--requests", "0"])).is_err());
+        assert!(parse(&v(&["servebench", "--batch", "lots"])).is_err());
+        assert!(parse(&v(&["servebench", "--wat"])).is_err());
     }
 
     #[test]
@@ -1112,6 +1279,7 @@ mod tests {
                 rate: 400.0,
                 seed: 7,
                 tenants: 1,
+                wire: "json".into(),
                 json: false,
             }
         );
@@ -1128,6 +1296,8 @@ mod tests {
             "9",
             "--tenants",
             "3",
+            "--wire",
+            "binary",
             "--json",
         ]))
         .unwrap();
@@ -1140,6 +1310,7 @@ mod tests {
                 rate: 800.0,
                 seed: 9,
                 tenants: 3,
+                wire: "binary".into(),
                 json: true,
             }
         );

@@ -1,8 +1,9 @@
 //! Command implementations for the `icomm` CLI.
 
 use std::fmt::Write as _;
-use std::io::BufRead;
+use std::io::{BufRead, Write as _};
 use std::sync::Arc;
+use std::time::Duration;
 
 use icomm_adapt::{evaluate, ControllerConfig};
 use icomm_apps::{LaneApp, OrbApp, ShwfsApp};
@@ -11,7 +12,10 @@ use icomm_bench::{ablation, ExperimentReport};
 use icomm_core::Tuner;
 use icomm_microbench::{characterize_device, quick_characterize_device, DeviceCharacterization};
 use icomm_models::{run_model, CommModelKind, PhasedWorkload, Workload};
-use icomm_serve::{Server, ServiceConfig, TuneRequest, TuneResponse, TuningService};
+use icomm_net::{run_load, warmup, BinaryClient, BinaryServer, LoadReport, NetConfig, WireMode};
+use icomm_serve::{
+    AdmissionConfig, Server, ServiceConfig, TuneRequest, TuneResponse, TuningService,
+};
 use icomm_soc::{DeviceProfile, PageSize};
 
 use crate::args::{board_by_name, Command, APP_NAMES, BOARD_NAMES, HELP};
@@ -112,11 +116,20 @@ pub fn execute(command: &Command) -> Result<String, String> {
         Command::Experiments => run_experiments(),
         Command::Serve {
             addr,
+            wire,
             workers,
             registry,
             full,
             stats,
-        } => serve(addr, *workers, registry.as_deref(), *full, *stats),
+        } => serve(addr, wire, *workers, registry.as_deref(), *full, *stats),
+        Command::Servebench {
+            requests,
+            conns,
+            workers,
+            batch,
+            hostile,
+            json,
+        } => servebench(*requests, *conns, *workers, *batch, *hostile, *json),
         Command::Batch {
             file,
             workers,
@@ -137,8 +150,9 @@ pub fn execute(command: &Command) -> Result<String, String> {
             rate,
             seed,
             tenants,
+            wire,
             json,
-        } => fleet(mix, *devices, arrival, *rate, *seed, *tenants, *json),
+        } => fleet(mix, *devices, arrival, *rate, *seed, *tenants, wire, *json),
         Command::Sched {
             board,
             mix,
@@ -437,32 +451,268 @@ fn service_config(workers: usize, registry: Option<&str>, full: bool) -> Service
 /// `icomm serve`: run the TCP tuning service until the process is killed.
 fn serve(
     addr: &str,
+    wire: &str,
     workers: usize,
     registry: Option<&str>,
     full: bool,
     stats: bool,
 ) -> Result<String, String> {
+    let mode = WireMode::parse(wire)?;
     let service = Arc::new(TuningService::start(service_config(
         workers, registry, full,
     )));
     let warm = service.registry().len();
-    let server =
-        Server::start(service, addr).map_err(|err| format!("cannot listen on {addr}: {err}"))?;
-    println!(
-        "icomm-serve listening on {} ({workers} workers, {} sweep, {} warm registry entries)",
-        server.local_addr(),
-        if full { "full" } else { "quick" },
-        warm,
-    );
-    println!("one JSON request per line, e.g.:");
-    let nc_addr = addr.replacen(':', " ", 1);
-    println!("  echo '{{\"id\": 1, \"board\": \"xavier\", \"app\": \"shwfs\"}}' | nc {nc_addr}");
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(30));
-        if stats {
-            eprintln!("{}", server.service().metrics());
+    match mode {
+        WireMode::Json => {
+            let server = Server::start(service, addr)
+                .map_err(|err| format!("cannot listen on {addr}: {err}"))?;
+            println!(
+                "icomm-serve listening on {} (line JSON, {workers} workers, {} sweep, {} warm registry entries)",
+                server.local_addr(),
+                if full { "full" } else { "quick" },
+                warm,
+            );
+            println!("one JSON request per line, e.g.:");
+            let nc_addr = addr.replacen(':', " ", 1);
+            println!(
+                "  echo '{{\"id\": 1, \"board\": \"xavier\", \"app\": \"shwfs\"}}' | nc {nc_addr}"
+            );
+            loop {
+                std::thread::sleep(Duration::from_secs(30));
+                if stats {
+                    eprintln!("{}", server.service().metrics());
+                }
+            }
+        }
+        WireMode::Binary => {
+            let server = BinaryServer::start(service, addr)
+                .map_err(|err| format!("cannot listen on {addr}: {err}"))?;
+            println!(
+                "icomm-serve listening on {} (icommwire v1 binary, {workers} workers, {} sweep, {} warm registry entries)",
+                server.local_addr(),
+                if full { "full" } else { "quick" },
+                warm,
+            );
+            println!(
+                "frames: [u32 len][u8 ver=1][u8 op][body][u32 crc32]; drive it with `icomm servebench` or icomm-net's BinaryClient"
+            );
+            loop {
+                std::thread::sleep(Duration::from_secs(30));
+                if stats {
+                    eprintln!("{}", server.service().metrics());
+                }
+            }
         }
     }
+}
+
+/// Sends the same tuning requests down the JSON and the binary plane and
+/// counts decision payloads that differ. Transport fields (latency,
+/// cache provenance) are excluded by [`TuneResponse::decision_payload`],
+/// so a cached binary answer still has to match the JSON plane byte for
+/// byte.
+fn parity_check(
+    json_addr: std::net::SocketAddr,
+    binary_addr: std::net::SocketAddr,
+) -> Result<(u64, u64), String> {
+    let cases: [(&str, &str, Option<&str>); 5] = [
+        ("nano", "shwfs", None),
+        ("tx2", "orb", Some("SC")),
+        ("xavier", "lane", None),
+        ("nano", "lane", Some("UM")),
+        ("tx2", "shwfs", None),
+    ];
+    let mut binary = BinaryClient::connect(binary_addr)
+        .map_err(|err| format!("parity client cannot reach the binary plane: {err}"))?;
+    let stream = std::net::TcpStream::connect(json_addr)
+        .map_err(|err| format!("parity client cannot reach the JSON plane: {err}"))?;
+    let mut reader = std::io::BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|err| format!("parity client cannot clone its stream: {err}"))?,
+    );
+    let mut writer = stream;
+    let mut mismatches = 0u64;
+    for (id, (board, app, current)) in cases.iter().enumerate() {
+        let mut request = TuneRequest::new(id as u64, board, app);
+        if let Some(model) = current {
+            request = request.with_current(model);
+        }
+        let line = icomm_persist::to_string(&request)
+            .map_err(|err| format!("parity request failed to serialize: {err}"))?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|err| format!("parity request failed to send: {err}"))?;
+        let mut reply = String::new();
+        reader
+            .read_line(&mut reply)
+            .map_err(|err| format!("parity response failed to arrive: {err}"))?;
+        let json_response: TuneResponse = icomm_persist::from_str(reply.trim())
+            .map_err(|err| format!("parity response failed to parse: {err:?}"))?;
+        let binary_response = binary
+            .tune(&request)
+            .map_err(|err| format!("parity request failed on the binary plane: {err}"))?;
+        if json_response.decision_payload() != binary_response.decision_payload() {
+            mismatches += 1;
+        }
+    }
+    Ok((cases.len() as u64, mismatches))
+}
+
+/// `icomm servebench`: run both serving planes over one shared service
+/// and report throughput, tail latency, decision parity, and (with
+/// `--hostile`) binary-listener survival under malformed traffic.
+fn servebench(
+    requests: usize,
+    conns: usize,
+    workers: usize,
+    batch: usize,
+    hostile: bool,
+    json: bool,
+) -> Result<String, String> {
+    let service = Arc::new(TuningService::start(
+        ServiceConfig::quick()
+            .with_workers(workers)
+            .with_admission(AdmissionConfig::unlimited()),
+    ));
+    let json_server = Server::start(Arc::clone(&service), "127.0.0.1:0")
+        .map_err(|err| format!("servebench cannot bind the JSON listener: {err}"))?;
+    // The short read deadline keeps the hostile truncation probe quick;
+    // it never fires for well-formed load because only connections with
+    // a stalled partial frame are reaped.
+    let binary_server = BinaryServer::start_with(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        NetConfig::default().with_read_deadline(Some(Duration::from_millis(1_500))),
+    )
+    .map_err(|err| format!("servebench cannot bind the binary listener: {err}"))?;
+    let json_addr = json_server.local_addr();
+    let binary_addr = binary_server.local_addr();
+
+    // First-touch characterizations would otherwise be billed to
+    // whichever plane runs first; warm every board x app pair on both.
+    warmup(json_addr, WireMode::Json)?;
+    warmup(binary_addr, WireMode::Binary)?;
+
+    let (parity_checked, parity_mismatches) = parity_check(json_addr, binary_addr)?;
+
+    let per_conn = requests.div_ceil(conns.max(1)).max(1);
+    let json_report = run_load(json_addr, WireMode::Json, conns, per_conn, 1);
+    let binary_report = run_load(binary_addr, WireMode::Binary, conns, per_conn, batch);
+
+    let mut hostile_probes = 0u64;
+    let mut hostile_defended = 0u64;
+    if hostile {
+        use icomm_chaos::tcp::{
+            binary_corrupt_crc, binary_garbage, binary_oversized, binary_truncated, BinaryDefense,
+        };
+        let mut note = |outcome: std::io::Result<BinaryDefense>| {
+            hostile_probes += 1;
+            if matches!(
+                outcome,
+                Ok(BinaryDefense::ErrorFrame | BinaryDefense::Disconnected)
+            ) {
+                hostile_defended += 1;
+            }
+        };
+        for seed in 0..3u64 {
+            note(binary_garbage(binary_addr, seed, 64 + seed as usize * 57));
+        }
+        note(binary_oversized(binary_addr, 1 << 30));
+        note(binary_corrupt_crc(binary_addr, 9));
+        hostile_probes += 1;
+        if binary_truncated(binary_addr, 6, Duration::from_secs(5)).unwrap_or(false) {
+            hostile_defended += 1;
+        }
+    }
+
+    let snapshot = service.metrics();
+    json_server.stop();
+    binary_server.stop();
+    Arc::try_unwrap(service)
+        .map_err(|_| "servebench listeners still hold service references".to_string())?
+        .shutdown()?;
+
+    let speedup = if json_report.rps > 0.0 {
+        binary_report.rps / json_report.rps
+    } else {
+        0.0
+    };
+
+    if json {
+        return Ok(format!(
+            concat!(
+                "{{\"requests_per_plane\":{},\"conns\":{},\"workers\":{},\"batch\":{},",
+                "\"json_rps\":{:.1},\"json_p50_us\":{},\"json_p99_us\":{},\"json_failed\":{},",
+                "\"binary_rps\":{:.1},\"binary_p50_us\":{},\"binary_p99_us\":{},\"binary_failed\":{},",
+                "\"speedup\":{:.2},\"parity_checked\":{},\"parity_mismatches\":{},",
+                "\"decision_cache_hits\":{},\"batches_submitted\":{},\"batched_requests\":{},",
+                "\"frame_faults\":{},\"hostile_probes\":{},\"hostile_defended\":{}}}\n"
+            ),
+            json_report.sent,
+            conns,
+            workers,
+            batch,
+            json_report.rps,
+            json_report.p50_us,
+            json_report.p99_us,
+            json_report.failed,
+            binary_report.rps,
+            binary_report.p50_us,
+            binary_report.p99_us,
+            binary_report.failed,
+            speedup,
+            parity_checked,
+            parity_mismatches,
+            snapshot.decision_cache_hits,
+            snapshot.batches_submitted,
+            snapshot.batched_requests,
+            snapshot.frame_faults(),
+            hostile_probes,
+            hostile_defended,
+        ));
+    }
+
+    let plane_line = |report: &LoadReport| {
+        format!(
+            "  {:<7} {:>10.1} rps   p50 {:>7} us   p99 {:>7} us   {}/{} ok",
+            report.mode.as_str(),
+            report.rps,
+            report.p50_us,
+            report.p99_us,
+            report.ok,
+            report.sent,
+        )
+    };
+    let mut out = format!(
+        "servebench: {} requests per plane, {conns} conns, {workers} workers, batch {batch}\n",
+        json_report.sent,
+    );
+    out.push_str(&plane_line(&json_report));
+    out.push('\n');
+    out.push_str(&plane_line(&binary_report));
+    out.push('\n');
+    let _ = writeln!(out, "  speedup {speedup:.2}x (binary vs json)");
+    let _ = writeln!(
+        out,
+        "  parity  {}/{} decision payloads identical",
+        parity_checked - parity_mismatches,
+        parity_checked,
+    );
+    let _ = writeln!(
+        out,
+        "  engine  {} batches ({} requests batched), {} decision cache hits",
+        snapshot.batches_submitted, snapshot.batched_requests, snapshot.decision_cache_hits,
+    );
+    if hostile {
+        let _ = writeln!(
+            out,
+            "  hostile {hostile_defended}/{hostile_probes} probes defended, {} frame faults counted",
+            snapshot.frame_faults(),
+        );
+    }
+    Ok(out)
 }
 
 /// `icomm batch`: answer a file (or stdin) of line-JSON requests.
@@ -528,6 +778,7 @@ fn batch_text(service: &TuningService, text: &str, stats: bool) -> Result<String
 /// `icomm fleet`: simulate a clustered device fleet against the tuning
 /// stack and report warm-start rate, tail latency, shedding, and
 /// transfer regret.
+#[allow(clippy::too_many_arguments)]
 fn fleet(
     mix: &str,
     devices: usize,
@@ -535,6 +786,7 @@ fn fleet(
     rate: f64,
     seed: u64,
     tenants: usize,
+    wire: &str,
     json: bool,
 ) -> Result<String, String> {
     let process = icomm_fleet::ArrivalProcess::parse(arrival)?;
@@ -548,6 +800,7 @@ fn fleet(
         },
         seed,
         tenants_per_device: tenants,
+        livefire_wire: WireMode::parse(wire)?,
         ..icomm_fleet::FleetConfig::default()
     };
     let out = icomm_fleet::run_fleet(&config)?;
@@ -785,15 +1038,17 @@ mod tests {
 
     #[test]
     fn fleet_json_is_deterministic_and_parses() {
-        let run = || fleet("nano,tx2", 48, "poisson", 400.0, 7, 1, true).unwrap();
+        let run = || fleet("nano,tx2", 48, "poisson", 400.0, 7, 1, "json", true).unwrap();
         let a = run();
         assert_eq!(a, run(), "same-seed fleet JSON not byte-identical");
         let report: icomm_fleet::FleetReport = icomm_persist::from_str(a.trim()).unwrap();
         assert_eq!(report.devices, 48);
         assert_eq!(report.seed, 7);
         assert_eq!(report.livefire_failed, 0);
-        // Human rendering carries the wall-clock side channel instead.
-        let text = fleet("nano", 24, "burst", 600.0, 3, 2, false).unwrap();
+        // Human rendering carries the wall-clock side channel instead;
+        // drive the live-fire stage over the binary plane here so the
+        // CLI path through `--wire binary` is covered too.
+        let text = fleet("nano", 24, "burst", 600.0, 3, 2, "binary", false).unwrap();
         assert!(text.contains("verdict"), "{text}");
         assert!(text.contains("livefire wall-clock"), "{text}");
     }
@@ -811,6 +1066,25 @@ mod tests {
         let text = sched("tx2", "duo", "fifo", 7, 2, false).unwrap();
         assert!(text.contains("--- joint assignment ---"), "{text}");
         assert!(text.contains("deadlines"), "{text}");
+    }
+
+    #[test]
+    fn servebench_json_reports_parity_and_speedup() {
+        let out = servebench(24, 3, 2, 4, false, true).unwrap();
+        assert!(out.contains("\"parity_mismatches\":0"), "{out}");
+        assert!(out.contains("\"json_failed\":0"), "{out}");
+        assert!(out.contains("\"binary_failed\":0"), "{out}");
+        assert!(out.contains("\"speedup\":"), "{out}");
+        assert!(out.contains("\"decision_cache_hits\":"), "{out}");
+    }
+
+    #[test]
+    fn servebench_hostile_text_counts_defenses() {
+        let out = servebench(6, 2, 2, 3, true, false).unwrap();
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("5/5 decision payloads identical"), "{out}");
+        assert!(out.contains("hostile 6/6 probes defended"), "{out}");
+        assert!(!out.contains("0 frame faults"), "{out}");
     }
 
     #[test]

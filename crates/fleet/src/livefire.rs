@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use icomm_microbench::TransferPolicy;
+use icomm_net::{BinaryClient, BinaryServer, WireMode};
 use icomm_serve::{
     AdmissionConfig, Server, ServiceConfig, TuneRequest, TuneResponse, TuningService,
 };
@@ -38,21 +39,44 @@ pub(crate) struct LivefireOutcome {
 }
 
 /// Runs `requests` requests against a fresh in-process server from
-/// `threads` concurrent TCP clients and tears everything down.
+/// `threads` concurrent TCP clients and tears everything down. `wire`
+/// selects the serving plane: the line-JSON thread-per-connection
+/// listener, or the `icomm-net` binary event loop.
 ///
 /// Admission is unlimited here on purpose: the stage asserts the stack
 /// serves every request, while shedding behavior is validated
 /// deterministically in the simulation.
-pub(crate) fn run_livefire(requests: usize, threads: usize) -> Result<LivefireOutcome, String> {
+pub(crate) fn run_livefire(
+    requests: usize,
+    threads: usize,
+    wire: WireMode,
+) -> Result<LivefireOutcome, String> {
     let service = Arc::new(TuningService::start(
         ServiceConfig::quick()
             .with_workers(4)
             .with_admission(AdmissionConfig::unlimited())
             .with_transfer(TransferPolicy::default()),
     ));
-    let server = Server::start(service, "127.0.0.1:0")
-        .map_err(|e| format!("livefire stage could not bind a local socket: {e}"))?;
-    let addr = server.local_addr();
+    // One teardown path for both planes: hold a reference here, stop the
+    // listener, then unwrap and shut the service down.
+    enum Listener {
+        Json(Server),
+        Binary(BinaryServer),
+    }
+    let listener = match wire {
+        WireMode::Json => Listener::Json(
+            Server::start(Arc::clone(&service), "127.0.0.1:0")
+                .map_err(|e| format!("livefire stage could not bind a local socket: {e}"))?,
+        ),
+        WireMode::Binary => Listener::Binary(
+            BinaryServer::start(Arc::clone(&service), "127.0.0.1:0")
+                .map_err(|e| format!("livefire stage could not bind a local socket: {e}"))?,
+        ),
+    };
+    let addr = match &listener {
+        Listener::Json(server) => server.local_addr(),
+        Listener::Binary(server) => server.local_addr(),
+    };
 
     let threads = threads.max(1).min(requests.max(1));
     let start = Instant::now();
@@ -63,7 +87,10 @@ pub(crate) fn run_livefire(requests: usize, threads: usize) -> Result<LivefireOu
         let share: Vec<u64> = (0..requests as u64)
             .filter(|id| *id as usize % threads == t)
             .collect();
-        handles.push(std::thread::spawn(move || client_thread(addr, &share)));
+        handles.push(std::thread::spawn(move || match wire {
+            WireMode::Json => client_thread(addr, &share),
+            WireMode::Binary => binary_client_thread(addr, &share),
+        }));
     }
 
     let mut sent = 0u64;
@@ -79,7 +106,12 @@ pub(crate) fn run_livefire(requests: usize, threads: usize) -> Result<LivefireOu
     }
     let wall_duration_us = start.elapsed().as_micros() as u64;
 
-    let service = server.stop();
+    match listener {
+        Listener::Json(server) => {
+            server.stop();
+        }
+        Listener::Binary(server) => server.stop(),
+    }
     Arc::try_unwrap(service)
         .map_err(|_| "livefire server still holds service references".to_string())?
         .shutdown()?;
@@ -166,13 +198,42 @@ fn client_thread(addr: std::net::SocketAddr, ids: &[u64]) -> Result<ClientOutcom
     Ok(outcome)
 }
 
+/// One binary client connection: the same request stream as
+/// [`client_thread`], carried as `icommwire v1` tune frames.
+fn binary_client_thread(addr: std::net::SocketAddr, ids: &[u64]) -> Result<ClientOutcome, String> {
+    let mut client = BinaryClient::connect(addr)
+        .map_err(|e| format!("livefire binary client could not connect: {e}"))?;
+    let mut outcome = ClientOutcome {
+        sent: 0,
+        ok: 0,
+        latencies_us: Vec::with_capacity(ids.len()),
+    };
+    for &id in ids {
+        let board = BOARDS[id as usize % BOARDS.len()];
+        let app = APPS[(id as usize / BOARDS.len()) % APPS.len()];
+        let request = TuneRequest::new(id, board, app);
+        let begin = Instant::now();
+        outcome.sent += 1;
+        let response = client
+            .tune(&request)
+            .map_err(|e| format!("livefire binary request {id} failed: {e}"))?;
+        outcome
+            .latencies_us
+            .push(begin.elapsed().as_micros() as u64);
+        if response.ok && response.id == id {
+            outcome.ok += 1;
+        }
+    }
+    Ok(outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn livefire_round_trips_every_request() {
-        let outcome = run_livefire(24, 3).unwrap();
+        let outcome = run_livefire(24, 3, WireMode::Json).unwrap();
         assert_eq!(outcome.sent, 24);
         assert_eq!(outcome.ok, 24);
         assert_eq!(outcome.failed, 0);
@@ -181,8 +242,17 @@ mod tests {
     }
 
     #[test]
+    fn livefire_binary_round_trips_every_request() {
+        let outcome = run_livefire(24, 3, WireMode::Binary).unwrap();
+        assert_eq!(outcome.sent, 24);
+        assert_eq!(outcome.ok, 24);
+        assert_eq!(outcome.failed, 0);
+        assert!(outcome.stats.wall_throughput_rps > 0.0);
+    }
+
+    #[test]
     fn single_thread_single_request_works() {
-        let outcome = run_livefire(1, 1).unwrap();
+        let outcome = run_livefire(1, 1, WireMode::Json).unwrap();
         assert_eq!((outcome.sent, outcome.ok, outcome.failed), (1, 1, 0));
     }
 }

@@ -71,6 +71,9 @@ pub struct FleetConfig {
     pub regret_samples: usize,
     /// Whether to run the live-fire TCP stage after the simulation.
     pub livefire: bool,
+    /// Serving plane the live-fire stage drives: the line-JSON
+    /// compatibility listener or the `icomm-net` binary event loop.
+    pub livefire_wire: icomm_net::WireMode,
     /// Tenants co-hosted per served device. `1` (the default) keeps the
     /// fleet single-tenant; `2`–`4` turn on the multi-tenant stage: every
     /// served device schedules the co-run mix of that size under the
@@ -102,6 +105,7 @@ impl Default for FleetConfig {
             slo_us: 50_000,
             regret_samples: 16,
             livefire: true,
+            livefire_wire: icomm_net::WireMode::Json,
             tenants_per_device: 1,
             tenant_mix: "auto".to_string(),
         }
@@ -428,7 +432,8 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
     };
 
     let (livefire_counts, livefire_stats) = if config.livefire {
-        let outcome = crate::livefire::run_livefire(config.devices.min(192), 4)?;
+        let outcome =
+            crate::livefire::run_livefire(config.devices.min(192), 4, config.livefire_wire)?;
         (
             (outcome.sent, outcome.ok, outcome.failed),
             Some(outcome.stats),

@@ -1,0 +1,221 @@
+//! Blocking binary-wire client.
+//!
+//! [`BinaryClient`] speaks `icommwire v1` over one TCP connection:
+//! write a request frame, read frames until the matching reply
+//! arrives. It is deliberately synchronous — the client side of this
+//! workload (CLI, tests, load generators) wants simple call/return
+//! semantics; concurrency comes from running many clients.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use icomm_microbench::DeviceCharacterization;
+use icomm_serve::{StatsReport, TuneRequest, TuneResponse};
+
+use crate::wire::{
+    decode_batch_response, decode_error, decode_tune_response, encode_batch_request,
+    encode_characterize_request, encode_tune_request, frame_bytes, Frame, FrameDecoder, Opcode,
+    WireError,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, EOF mid-reply).
+    Io(std::io::Error),
+    /// The server's bytes did not decode as `icommwire v1`.
+    Wire(WireError),
+    /// The server replied with an explicit `Error` frame.
+    Server(String),
+    /// The server replied with a frame that makes no sense here (wrong
+    /// opcode, undecodable JSON payload, ...).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One blocking connection to a [`crate::BinaryServer`].
+#[derive(Debug)]
+pub struct BinaryClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl BinaryClient {
+    /// Connects with TCP_NODELAY set (the protocol is request/response
+    /// with small frames; Nagle only adds latency).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> Result<BinaryClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(BinaryClient {
+            stream,
+            decoder: FrameDecoder::with_default_limit(),
+        })
+    }
+
+    /// Connects with a read timeout, so tests never hang on a lost
+    /// reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_timeout(
+        addr: SocketAddr,
+        read_timeout: Duration,
+    ) -> Result<BinaryClient, ClientError> {
+        let client = Self::connect(addr)?;
+        client.stream.set_read_timeout(Some(read_timeout))?;
+        Ok(client)
+    }
+
+    /// Sends one tune request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, wire-format violations, or an
+    /// `Error` frame from the server.
+    pub fn tune(&mut self, request: &TuneRequest) -> Result<TuneResponse, ClientError> {
+        let frame = frame_bytes(Opcode::Tune, &encode_tune_request(request));
+        self.stream.write_all(&frame)?;
+        let reply = self.read_frame()?;
+        match reply.opcode {
+            Opcode::TuneReply => Ok(decode_tune_response(&reply.body)?),
+            other => Err(self.unexpected(other, &reply.body)),
+        }
+    }
+
+    /// Sends a batch of tune requests as one frame and waits for the
+    /// single batched reply (responses in request order).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, wire-format violations, or an
+    /// `Error` frame from the server.
+    pub fn tune_batch(
+        &mut self,
+        requests: &[TuneRequest],
+    ) -> Result<Vec<TuneResponse>, ClientError> {
+        let frame = frame_bytes(Opcode::Batch, &encode_batch_request(requests));
+        self.stream.write_all(&frame)?;
+        let reply = self.read_frame()?;
+        match reply.opcode {
+            Opcode::BatchReply => Ok(decode_batch_response(&reply.body)?),
+            other => Err(self.unexpected(other, &reply.body)),
+        }
+    }
+
+    /// Fetches the service's stats report.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, wire-format violations, or an
+    /// undecodable stats payload.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        let frame = frame_bytes(Opcode::Stats, &[]);
+        self.stream.write_all(&frame)?;
+        let reply = self.read_frame()?;
+        match reply.opcode {
+            Opcode::StatsReply => {
+                let json = std::str::from_utf8(&reply.body)
+                    .map_err(|_| ClientError::Protocol("stats payload not UTF-8".to_string()))?;
+                icomm_persist::from_str(json)
+                    .map_err(|e| ClientError::Protocol(format!("stats payload: {e:?}")))
+            }
+            other => Err(self.unexpected(other, &reply.body)),
+        }
+    }
+
+    /// Asks the server to characterize a board by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, wire-format violations, an unknown
+    /// board, or an undecodable characterization payload.
+    pub fn characterize(&mut self, board: &str) -> Result<DeviceCharacterization, ClientError> {
+        let frame = frame_bytes(Opcode::Characterize, &encode_characterize_request(board));
+        self.stream.write_all(&frame)?;
+        let reply = self.read_frame()?;
+        match reply.opcode {
+            Opcode::CharacterizeReply => {
+                let json = std::str::from_utf8(&reply.body).map_err(|_| {
+                    ClientError::Protocol("characterization payload not UTF-8".to_string())
+                })?;
+                icomm_persist::from_str(json)
+                    .map_err(|e| ClientError::Protocol(format!("characterization payload: {e:?}")))
+            }
+            other => Err(self.unexpected(other, &reply.body)),
+        }
+    }
+
+    /// Writes raw bytes to the socket — the hostile-client hook used
+    /// by the chaos harness to inject malformed frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Reads frames until one complete frame is available.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, EOF mid-frame, or wire violations.
+    pub fn read_frame(&mut self) -> Result<Frame, ClientError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return Ok(frame);
+            }
+            let mut buf = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.decoder.extend(&buf[..n]);
+        }
+    }
+
+    fn unexpected(&self, opcode: Opcode, body: &[u8]) -> ClientError {
+        if opcode == Opcode::Error {
+            match decode_error(body) {
+                Ok(message) => ClientError::Server(message),
+                Err(e) => ClientError::Wire(e),
+            }
+        } else {
+            ClientError::Protocol(format!("unexpected reply opcode {opcode:?}"))
+        }
+    }
+}

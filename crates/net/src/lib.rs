@@ -1,0 +1,48 @@
+//! icomm-net — event-driven batched binary serving plane.
+//!
+//! The line-JSON server in `icomm-serve` burns a thread per
+//! connection and a syscall-heavy text protocol per request. This
+//! crate replaces that data plane for production-scale deployments
+//! while keeping the JSON listener as a compatibility endpoint:
+//!
+//! * [`sys`] / [`reactor`] — a minimal level-triggered epoll reactor
+//!   over nonblocking `std::net` sockets, built on direct `extern
+//!   "C"` bindings (the workspace is offline; no `libc`/`mio`/`tokio`
+//!   available).
+//! * [`wire`] — `icommwire v1`: compact length-prefixed binary frames
+//!   with a CRC32 trailer, reusing the snapshot CRC from
+//!   `icomm-persist`.
+//! * [`shard`] — shared-nothing per-core event loops that drain ready
+//!   sockets into request batches and submit each sweep to the
+//!   [`icomm_serve::TuningService`] worker pool in a single hop.
+//! * [`server`] — the acceptor + shard assembly, with a global
+//!   connection cap enforced before a socket reaches a shard.
+//! * [`client`] / [`loadgen`] — a blocking wire client and a
+//!   closed-loop load generator that drives both planes with the same
+//!   workload for apples-to-apples comparison.
+//!
+//! Backpressure is inherited, not reinvented: engine-bound requests
+//! flow through the same admission controller as the JSON plane, so a
+//! saturated service sheds with `overloaded` responses on both wires.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod loadgen;
+pub mod reactor;
+pub mod server;
+pub mod shard;
+pub mod sys;
+pub mod wire;
+
+pub use client::{BinaryClient, ClientError};
+pub use loadgen::{run_load, warmup, LoadReport, WireMode};
+pub use reactor::{Event, Interest, Reactor, Waker};
+pub use server::{BinaryServer, NetConfig};
+pub use shard::{Shard, ShardConfig};
+pub use wire::{
+    decode_batch_request, decode_batch_response, decode_tune_request, decode_tune_response,
+    encode_batch_request, encode_batch_response, encode_frame, encode_tune_request,
+    encode_tune_response, frame_bytes, Frame, FrameDecoder, Opcode, WireError,
+};

@@ -1,0 +1,317 @@
+//! Closed-loop load generator for both serving planes.
+//!
+//! Drives either the line-JSON listener or the binary listener with
+//! the same synthetic tune workload, so the two planes can be compared
+//! on equal terms: same request mix, same connection count, same
+//! closed-loop discipline. Per-request latencies feed p50/p99 in the
+//! report; throughput is total completed requests over wall time.
+//!
+//! The JSON plane has no batching primitive, so `batch > 1` only
+//! changes the binary plane (one `Batch` frame per round trip); the
+//! JSON client always issues one request per round trip. That
+//! asymmetry is the experiment, not a bug — it is exactly the protocol
+//! difference the binary plane exists to exploit.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use icomm_serve::{TuneRequest, TuneResponse};
+
+use crate::client::BinaryClient;
+
+/// Which serving plane to drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireMode {
+    /// Line-delimited JSON against the compatibility listener.
+    Json,
+    /// `icommwire v1` frames against the binary listener.
+    Binary,
+}
+
+impl WireMode {
+    /// Parses a `--wire` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for anything but `json` / `binary`.
+    pub fn parse(s: &str) -> Result<WireMode, String> {
+        match s {
+            "json" => Ok(WireMode::Json),
+            "binary" => Ok(WireMode::Binary),
+            other => Err(format!(
+                "unknown wire mode '{other}' (expected json|binary)"
+            )),
+        }
+    }
+
+    /// The flag spelling for this mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WireMode::Json => "json",
+            WireMode::Binary => "binary",
+        }
+    }
+}
+
+/// Boards the synthetic workload rotates through.
+pub const LOAD_BOARDS: [&str; 3] = ["nano", "tx2", "xavier"];
+/// Apps the synthetic workload rotates through.
+pub const LOAD_APPS: [&str; 3] = ["shwfs", "lane", "orb"];
+
+/// The i-th synthetic request of a connection's stream.
+pub fn load_request(conn: usize, i: usize) -> TuneRequest {
+    let board = LOAD_BOARDS[(conn + i) % LOAD_BOARDS.len()];
+    let app = LOAD_APPS[i % LOAD_APPS.len()];
+    TuneRequest::new(i as u64, board, app)
+}
+
+/// Outcome of one [`run_load`] invocation.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Plane that was driven.
+    pub mode: WireMode,
+    /// Concurrent connections (one thread each).
+    pub conns: usize,
+    /// Batch size used on the binary plane.
+    pub batch: usize,
+    /// Requests sent.
+    pub sent: u64,
+    /// Successful responses (`ok` or an explicit decision either way).
+    pub ok: u64,
+    /// Transport failures and server errors.
+    pub failed: u64,
+    /// Wall time for the whole run.
+    pub elapsed: Duration,
+    /// Completed requests per second of wall time.
+    pub rps: f64,
+    /// Median per-round-trip latency, microseconds (per request for
+    /// JSON; per batch divided by batch size for binary).
+    pub p50_us: u64,
+    /// Tail per-round-trip latency, microseconds.
+    pub p99_us: u64,
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives `conns` closed-loop connections, each issuing
+/// `requests_per_conn` requests, and reports aggregate throughput and
+/// latency. `batch` groups requests into `Batch` frames on the binary
+/// plane (use 1 for strict request/response symmetry with JSON).
+pub fn run_load(
+    addr: SocketAddr,
+    mode: WireMode,
+    conns: usize,
+    requests_per_conn: usize,
+    batch: usize,
+) -> LoadReport {
+    let conns = conns.max(1);
+    let batch = batch.max(1);
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(conns);
+    for conn in 0..conns {
+        handles.push(std::thread::spawn(move || match mode {
+            WireMode::Json => drive_json(addr, conn, requests_per_conn),
+            WireMode::Binary => drive_binary(addr, conn, requests_per_conn, batch),
+        }));
+    }
+    let mut sent = 0u64;
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for handle in handles {
+        match handle.join() {
+            Ok(outcome) => {
+                sent += outcome.sent;
+                ok += outcome.ok;
+                failed += outcome.failed;
+                latencies.extend(outcome.latencies_us);
+            }
+            Err(_) => failed += requests_per_conn as u64,
+        }
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    LoadReport {
+        mode,
+        conns,
+        batch,
+        sent,
+        ok,
+        failed,
+        elapsed,
+        rps: ok as f64 / secs,
+        p50_us: quantile(&latencies, 0.50),
+        p99_us: quantile(&latencies, 0.99),
+    }
+}
+
+/// Warms the service through `mode` so characterization cost is paid
+/// before measurement: one request per (board, app) combination.
+pub fn warmup(addr: SocketAddr, mode: WireMode) -> Result<(), String> {
+    match mode {
+        WireMode::Json => {
+            let stream = TcpStream::connect(addr).map_err(|e| format!("warmup connect: {e}"))?;
+            let mut reader = BufReader::new(
+                stream
+                    .try_clone()
+                    .map_err(|e| format!("warmup clone: {e}"))?,
+            );
+            let mut writer = stream;
+            for (i, board) in LOAD_BOARDS.iter().enumerate() {
+                for (j, app) in LOAD_APPS.iter().enumerate() {
+                    let request = TuneRequest::new((i * LOAD_APPS.len() + j) as u64, board, app);
+                    let json = icomm_persist::to_string(&request)
+                        .map_err(|e| format!("warmup encode: {e:?}"))?;
+                    writeln!(writer, "{json}").map_err(|e| format!("warmup write: {e}"))?;
+                    let mut line = String::new();
+                    reader
+                        .read_line(&mut line)
+                        .map_err(|e| format!("warmup read: {e}"))?;
+                }
+            }
+            Ok(())
+        }
+        WireMode::Binary => {
+            let mut client =
+                BinaryClient::connect(addr).map_err(|e| format!("warmup connect: {e}"))?;
+            for (i, board) in LOAD_BOARDS.iter().enumerate() {
+                for (j, app) in LOAD_APPS.iter().enumerate() {
+                    let request = TuneRequest::new((i * LOAD_APPS.len() + j) as u64, board, app);
+                    client
+                        .tune(&request)
+                        .map_err(|e| format!("warmup tune: {e}"))?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+struct ConnOutcome {
+    sent: u64,
+    ok: u64,
+    failed: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn drive_json(addr: SocketAddr, conn: usize, requests: usize) -> ConnOutcome {
+    let mut outcome = ConnOutcome {
+        sent: 0,
+        ok: 0,
+        failed: 0,
+        latencies_us: Vec::with_capacity(requests),
+    };
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => {
+            outcome.failed = requests as u64;
+            return outcome;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => {
+            outcome.failed = requests as u64;
+            return outcome;
+        }
+    };
+    let mut reader = BufReader::new(reader);
+    let mut writer = stream;
+    for i in 0..requests {
+        let request = load_request(conn, i);
+        let json = match icomm_persist::to_string(&request) {
+            Ok(json) => json,
+            Err(_) => {
+                outcome.failed += 1;
+                continue;
+            }
+        };
+        let started = Instant::now();
+        outcome.sent += 1;
+        if writeln!(writer, "{json}").is_err() {
+            outcome.failed += 1;
+            break;
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                outcome.failed += 1;
+                break;
+            }
+            Ok(_) => {}
+        }
+        match icomm_persist::from_str::<TuneResponse>(line.trim_end()) {
+            Ok(_) => {
+                outcome.ok += 1;
+                outcome
+                    .latencies_us
+                    .push(started.elapsed().as_micros() as u64);
+            }
+            Err(_) => outcome.failed += 1,
+        }
+    }
+    outcome
+}
+
+fn drive_binary(addr: SocketAddr, conn: usize, requests: usize, batch: usize) -> ConnOutcome {
+    let mut outcome = ConnOutcome {
+        sent: 0,
+        ok: 0,
+        failed: 0,
+        latencies_us: Vec::with_capacity(requests / batch + 1),
+    };
+    let mut client = match BinaryClient::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            outcome.failed = requests as u64;
+            return outcome;
+        }
+    };
+    let mut issued = 0usize;
+    while issued < requests {
+        let n = batch.min(requests - issued);
+        let group: Vec<TuneRequest> = (0..n).map(|k| load_request(conn, issued + k)).collect();
+        outcome.sent += n as u64;
+        let started = Instant::now();
+        if n == 1 {
+            match client.tune(&group[0]) {
+                Ok(_) => {
+                    outcome.ok += 1;
+                    outcome
+                        .latencies_us
+                        .push(started.elapsed().as_micros() as u64);
+                }
+                Err(_) => {
+                    outcome.failed += 1;
+                    break;
+                }
+            }
+        } else {
+            match client.tune_batch(&group) {
+                Ok(responses) => {
+                    outcome.ok += responses.len() as u64;
+                    if responses.len() < n {
+                        outcome.failed += (n - responses.len()) as u64;
+                    }
+                    let per_request = started.elapsed().as_micros() as u64 / n as u64;
+                    outcome.latencies_us.push(per_request);
+                }
+                Err(_) => {
+                    outcome.failed += n as u64;
+                    break;
+                }
+            }
+        }
+        issued += n;
+    }
+    outcome
+}

@@ -1,0 +1,284 @@
+//! The binary TCP listener: acceptor thread + shard event loops.
+//!
+//! [`BinaryServer`] binds a listener, spins up `shards` event-loop
+//! threads (one reactor each), and runs an acceptor thread that deals
+//! new connections to shards round-robin. The acceptor enforces the
+//! global connection cap *before* a connection reaches a shard: an
+//! over-cap client gets a single `Error` frame and an immediate close,
+//! so a saturated server degrades with explicit refusals instead of
+//! accept-queue timeouts.
+//!
+//! The JSON line server ([`icomm_serve::Server`]) stays available as a
+//! compatibility listener; both planes can serve the same
+//! [`TuningService`] simultaneously, which is how the parity and
+//! throughput harnesses compare them.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use icomm_serve::TuningService;
+
+use crate::reactor::{Reactor, Waker};
+use crate::shard::{Shard, ShardConfig};
+use crate::wire::{encode_error, frame_bytes, Opcode};
+
+/// Configuration for the binary serving plane.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Number of shard event loops. Defaults to available parallelism.
+    pub shards: usize,
+    /// Global cap on concurrently open connections across all shards.
+    pub max_connections: usize,
+    /// Largest frame a client may send, in bytes.
+    pub max_frame_bytes: u32,
+    /// Mid-frame stall deadline (see [`ShardConfig::read_deadline`]).
+    pub read_deadline: Option<Duration>,
+    /// Enable the shard-local decision cache.
+    pub decision_cache: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            max_connections: 16_384,
+            max_frame_bytes: crate::wire::DEFAULT_MAX_FRAME_LEN,
+            read_deadline: Some(Duration::from_secs(30)),
+            decision_cache: true,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Sets the shard count (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the global connection cap.
+    pub fn with_max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap;
+        self
+    }
+
+    /// Sets the mid-frame stall deadline (`None` disables it).
+    pub fn with_read_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.read_deadline = deadline;
+        self
+    }
+
+    /// Enables or disables the shard-local decision cache.
+    pub fn with_decision_cache(mut self, enabled: bool) -> Self {
+        self.decision_cache = enabled;
+        self
+    }
+}
+
+/// Running binary server: acceptor + shard threads over a shared
+/// [`TuningService`].
+pub struct BinaryServer {
+    service: Arc<TuningService>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    wakers: Vec<Waker>,
+    acceptor: Option<JoinHandle<()>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    open_conns: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for BinaryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BinaryServer")
+            .field("local_addr", &self.local_addr)
+            .field("shards", &self.shard_handles.len())
+            .field("open_conns", &self.open_conns.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl BinaryServer {
+    /// Starts with default [`NetConfig`] on `addr` (port 0 picks a free
+    /// port; see [`BinaryServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the listener cannot bind or a reactor
+    /// cannot be created.
+    pub fn start(service: Arc<TuningService>, addr: &str) -> Result<BinaryServer, String> {
+        Self::start_with(service, addr, NetConfig::default())
+    }
+
+    /// Starts the acceptor and shard threads with an explicit config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the listener cannot bind or a reactor
+    /// cannot be created.
+    pub fn start_with(
+        service: Arc<TuningService>,
+        addr: &str,
+        config: NetConfig,
+    ) -> Result<BinaryServer, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let open_conns = Arc::new(AtomicUsize::new(0));
+        let shard_config = ShardConfig {
+            max_frame_bytes: config.max_frame_bytes,
+            read_deadline: config.read_deadline,
+            decision_cache: config.decision_cache,
+        };
+
+        let mut wakers = Vec::new();
+        let mut senders: Vec<Sender<TcpStream>> = Vec::new();
+        let mut shard_handles = Vec::new();
+        for shard_id in 0..config.shards.max(1) {
+            let reactor = Reactor::new().map_err(|e| format!("reactor: {e}"))?;
+            wakers.push(reactor.waker());
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            let shard = Shard::new(
+                Arc::clone(&service),
+                reactor,
+                rx,
+                Arc::clone(&shutdown),
+                Arc::clone(&open_conns),
+                shard_config.clone(),
+            );
+            let handle = std::thread::Builder::new()
+                .name(format!("icomm-net-shard-{shard_id}"))
+                .spawn(move || shard.run())
+                .map_err(|e| format!("spawn shard: {e}"))?;
+            shard_handles.push(handle);
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let open_conns = Arc::clone(&open_conns);
+            let wakers = wakers.clone();
+            let metrics = Arc::clone(service.metrics_handle());
+            let max_connections = config.max_connections;
+            std::thread::Builder::new()
+                .name("icomm-net-accept".to_string())
+                .spawn(move || {
+                    accept_loop(
+                        listener,
+                        senders,
+                        wakers,
+                        shutdown,
+                        open_conns,
+                        metrics,
+                        max_connections,
+                    )
+                })
+                .map_err(|e| format!("spawn acceptor: {e}"))?
+        };
+
+        Ok(BinaryServer {
+            service,
+            local_addr,
+            shutdown,
+            wakers,
+            acceptor: Some(acceptor),
+            shard_handles,
+            open_conns,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service this listener fronts.
+    pub fn service(&self) -> &Arc<TuningService> {
+        &self.service
+    }
+
+    /// Connections currently open across all shards.
+    pub fn open_connections(&self) -> usize {
+        self.open_conns.load(Ordering::Relaxed)
+    }
+
+    /// Stops the acceptor and every shard, dropping open connections.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the acceptor with a throwaway connection; the flag is
+        // checked before the connection would be served.
+        let _ = TcpStream::connect(self.local_addr);
+        for waker in &self.wakers {
+            let _ = waker.wake();
+        }
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.shard_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accepts connections, enforcing the global cap, and deals them to
+/// shards round-robin.
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    senders: Vec<Sender<TcpStream>>,
+    wakers: Vec<Waker>,
+    shutdown: Arc<AtomicBool>,
+    open_conns: Arc<AtomicUsize>,
+    metrics: Arc<icomm_serve::Metrics>,
+    max_connections: usize,
+) {
+    let mut next_shard = 0usize;
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        metrics.conn_accepted.fetch_add(1, Ordering::Relaxed);
+        if open_conns.load(Ordering::Acquire) >= max_connections {
+            metrics.conn_rejected.fetch_add(1, Ordering::Relaxed);
+            refuse(stream);
+            continue;
+        }
+        open_conns.fetch_add(1, Ordering::AcqRel);
+        let shard = next_shard % senders.len();
+        next_shard = next_shard.wrapping_add(1);
+        if senders[shard].send(stream).is_err() {
+            // Shard is gone (shutdown race); release the slot.
+            open_conns.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        let _ = wakers[shard].wake();
+    }
+}
+
+/// Tells an over-cap client why it is being dropped. Best-effort and
+/// blocking is fine: the frame is one small write on a fresh socket.
+fn refuse(mut stream: TcpStream) {
+    let frame = frame_bytes(
+        Opcode::Error,
+        &encode_error("server at connection capacity"),
+    );
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.write_all(&frame);
+}

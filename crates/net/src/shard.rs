@@ -1,0 +1,738 @@
+//! Shared-nothing shard event loops.
+//!
+//! Each shard owns one [`Reactor`], a private connection table, and a
+//! private decision cache — no locks are shared between shards on the
+//! request path (the ROADMAP's "shared-nothing per-core shards"). An
+//! acceptor thread hands new connections to shards round-robin over a
+//! channel; from then on every byte of that connection is handled by
+//! exactly one thread.
+//!
+//! The request path is batched: one reactor sweep drains every ready
+//! socket, decodes all complete frames, serves what it can from the
+//! shard-local decision cache, and submits the remainder to the
+//! [`TuningService`] worker pool as a **single** batch — one
+//! channel/condvar round-trip per sweep instead of one per request.
+//! Responses are queued per-connection and flushed with vectored
+//! writes.
+//!
+//! Client-visible ids are free-form and may collide across
+//! connections, so the shard remaps every engine-bound request to a
+//! synthetic id (its index in the sweep batch) and restores the
+//! original id before encoding the reply.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::Receiver;
+use icomm_serve::{StatsReport, TuneRequest, TuneResponse, TuningService};
+
+use crate::reactor::{Event, Interest, Reactor};
+use crate::wire::{
+    decode_batch_request, decode_characterize_request, decode_tune_request, encode_error,
+    encode_frame, frame_bytes, FrameDecoder, Opcode, WireError,
+};
+
+/// Per-shard tunables, derived from the server's `NetConfig`.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Largest frame a client may send, in bytes.
+    pub max_frame_bytes: u32,
+    /// How long a connection may stall mid-frame before it is dropped.
+    /// `None` disables the deadline (idle connections with no partial
+    /// frame are never reaped either way).
+    pub read_deadline: Option<Duration>,
+    /// Serve repeat `(board, app, current)` decisions from a
+    /// shard-local cache without touching the worker pool.
+    pub decision_cache: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            max_frame_bytes: crate::wire::DEFAULT_MAX_FRAME_LEN,
+            read_deadline: Some(Duration::from_secs(30)),
+            decision_cache: true,
+        }
+    }
+}
+
+/// Upper bound on cached decisions per shard before the cache resets.
+const DECISION_CACHE_CAP: usize = 4096;
+
+/// How long one reactor sweep blocks when no work arrives, in ms. Also
+/// bounds how late a deadline expiry can be observed.
+const SWEEP_TIMEOUT_MS: i32 = 100;
+
+/// Decision-cache key: the request coordinates that determine a
+/// decision. Keyed on the *request*'s `current` — the engine fills a
+/// default into the response, so keying on the response would never
+/// match a follow-up request.
+type CacheKey = (String, String, Option<String>);
+
+/// Where an engine-bound request came from, so its response can be
+/// routed back with the original client id, plus the cache key the
+/// response should be stored under.
+struct Origin {
+    target: Target,
+    key: Option<CacheKey>,
+}
+
+/// Reply routing for one engine-bound request.
+enum Target {
+    /// A lone `Tune` frame: reply with one `TuneReply`.
+    Single { token: u64, orig_id: u64 },
+    /// Slot `slot` of batch-group `group`: reply lands inside that
+    /// group's `BatchReply` once every slot is filled.
+    Group {
+        group: usize,
+        slot: usize,
+        orig_id: u64,
+    },
+}
+
+/// One in-flight `Batch` frame: the connection it came from and a slot
+/// per request, filled by cache hits and engine responses alike.
+struct Group {
+    token: u64,
+    slots: Vec<Option<TuneResponse>>,
+}
+
+/// Per-connection state owned by exactly one shard.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded reply frames not yet fully written.
+    outbox: VecDeque<Vec<u8>>,
+    /// Bytes of `outbox.front()` already written.
+    front_written: usize,
+    /// Whether the reactor registration currently includes EPOLLOUT.
+    wants_write: bool,
+    /// Last moment bytes arrived; drives the mid-frame stall deadline.
+    last_read: Instant,
+    /// Close once the outbox drains (fatal frame error already queued).
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn queue(&mut self, frame: Vec<u8>) {
+        self.outbox.push_back(frame);
+    }
+}
+
+/// What to do with a connection after handling one of its events.
+enum ConnFate {
+    Keep,
+    /// Close and count nothing further (clean EOF or queued-error close).
+    Close,
+}
+
+/// A shard: one event loop thread's worth of state.
+pub struct Shard {
+    service: Arc<TuningService>,
+    reactor: Reactor,
+    incoming: Receiver<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    open_conns: Arc<AtomicUsize>,
+    config: ShardConfig,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    decision_cache: HashMap<(String, String, Option<String>), TuneResponse>,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("conns", &self.conns.len())
+            .field("cached_decisions", &self.decision_cache.len())
+            .finish()
+    }
+}
+
+impl Shard {
+    /// Builds a shard around an existing reactor (whose waker the
+    /// acceptor already holds).
+    pub fn new(
+        service: Arc<TuningService>,
+        reactor: Reactor,
+        incoming: Receiver<TcpStream>,
+        shutdown: Arc<AtomicBool>,
+        open_conns: Arc<AtomicUsize>,
+        config: ShardConfig,
+    ) -> Self {
+        Shard {
+            service,
+            reactor,
+            incoming,
+            shutdown,
+            open_conns,
+            config,
+            conns: HashMap::new(),
+            next_token: 1,
+            decision_cache: HashMap::new(),
+        }
+    }
+
+    /// Runs the event loop until the shutdown flag is set. Consumes the
+    /// shard; all connections are dropped on exit.
+    pub fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        while !self.shutdown.load(Ordering::Acquire) {
+            if self.reactor.wait(&mut events, SWEEP_TIMEOUT_MS).is_err() {
+                break;
+            }
+            self.adopt_incoming();
+
+            // Sweep-wide accumulators: engine-bound requests with
+            // synthetic ids, their origins, and open batch groups.
+            let mut pending: Vec<TuneRequest> = Vec::new();
+            let mut origins: Vec<Origin> = Vec::new();
+            let mut groups: Vec<Group> = Vec::new();
+
+            let drained: Vec<Event> = std::mem::take(&mut events);
+            for event in drained {
+                let fate = self.handle_event(&event, &mut pending, &mut origins, &mut groups);
+                if matches!(fate, ConnFate::Close) {
+                    self.close(event.token);
+                }
+            }
+
+            self.dispatch(pending, origins, &mut groups);
+            self.deliver_groups(groups);
+            self.flush_all();
+            self.sweep_deadlines();
+        }
+        // Drop every connection eagerly so the open-connection count
+        // the acceptor checks is accurate during shutdown.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close(token);
+        }
+    }
+
+    /// Registers connections the acceptor queued on our channel.
+    fn adopt_incoming(&mut self) {
+        while let Ok(stream) = self.incoming.try_recv() {
+            if stream.set_nonblocking(true).is_err() {
+                self.conn_error();
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .reactor
+                .register(&stream, token, Interest::READ)
+                .is_err()
+            {
+                self.conn_error();
+                continue;
+            }
+            self.conns.insert(
+                token,
+                Conn {
+                    stream,
+                    decoder: FrameDecoder::new(self.config.max_frame_bytes),
+                    outbox: VecDeque::new(),
+                    front_written: 0,
+                    wants_write: false,
+                    last_read: Instant::now(),
+                    close_after_flush: false,
+                },
+            );
+        }
+    }
+
+    /// An accepted connection failed before serving anything.
+    fn conn_error(&self) {
+        let metrics = self.service.metrics_handle();
+        metrics.conn_errors.fetch_add(1, Ordering::Relaxed);
+        self.open_conns.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn handle_event(
+        &mut self,
+        event: &Event,
+        pending: &mut Vec<TuneRequest>,
+        origins: &mut Vec<Origin>,
+        groups: &mut Vec<Group>,
+    ) -> ConnFate {
+        if !self.conns.contains_key(&event.token) {
+            return ConnFate::Keep;
+        }
+        if event.readable || event.hangup {
+            match self.read_ready(event.token, pending, origins, groups) {
+                ConnFate::Close => return ConnFate::Close,
+                ConnFate::Keep => {}
+            }
+        }
+        // Writable readiness is consumed by the sweep-wide flush pass.
+        ConnFate::Keep
+    }
+
+    /// Reads everything available on a connection, decoding and
+    /// processing every complete frame.
+    fn read_ready(
+        &mut self,
+        token: u64,
+        pending: &mut Vec<TuneRequest>,
+        origins: &mut Vec<Origin>,
+        groups: &mut Vec<Group>,
+    ) -> ConnFate {
+        let mut buf = [0u8; 16 * 1024];
+        let mut saw_eof = false;
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return ConnFate::Keep,
+            };
+            // Framing already failed: ignore whatever else the peer
+            // sends and let the queued error frame flush.
+            if conn.close_after_flush {
+                return ConnFate::Keep;
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.last_read = Instant::now();
+                    conn.decoder.extend(&buf[..n]);
+                    if let ConnFate::Close = self.drain_frames(token, pending, origins, groups) {
+                        return ConnFate::Close;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.service
+                        .metrics_handle()
+                        .conn_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    return ConnFate::Close;
+                }
+            }
+        }
+        if saw_eof {
+            if let Some(conn) = self.conns.get(&token) {
+                if conn.decoder.has_partial() {
+                    // The peer walked away mid-frame.
+                    self.service
+                        .metrics_handle()
+                        .frame_truncated
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return ConnFate::Close;
+        }
+        ConnFate::Keep
+    }
+
+    /// Decodes and serves every complete frame buffered on `token`.
+    fn drain_frames(
+        &mut self,
+        token: u64,
+        pending: &mut Vec<TuneRequest>,
+        origins: &mut Vec<Origin>,
+        groups: &mut Vec<Group>,
+    ) -> ConnFate {
+        loop {
+            let frame = {
+                let conn = match self.conns.get_mut(&token) {
+                    Some(c) => c,
+                    None => return ConnFate::Keep,
+                };
+                match conn.decoder.next_frame() {
+                    Ok(Some(frame)) => frame,
+                    Ok(None) => return ConnFate::Keep,
+                    Err(err) => {
+                        // Framing is unrecoverable: we can no longer
+                        // find the next frame boundary. Count, reply,
+                        // close once the error frame flushes.
+                        self.count_wire_error(&err);
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.queue(frame_bytes(Opcode::Error, &encode_error(&err.to_string())));
+                            conn.close_after_flush = true;
+                        }
+                        return ConnFate::Keep;
+                    }
+                }
+            };
+            self.serve_frame(token, frame.opcode, &frame.body, pending, origins, groups);
+        }
+    }
+
+    fn count_wire_error(&self, err: &WireError) {
+        let metrics = self.service.metrics_handle();
+        match err {
+            WireError::Oversized { .. } => metrics.frame_oversized.fetch_add(1, Ordering::Relaxed),
+            WireError::BadCrc { .. } => metrics.frame_crc_errors.fetch_add(1, Ordering::Relaxed),
+            _ => metrics.frame_malformed.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Serves one well-framed request.
+    fn serve_frame(
+        &mut self,
+        token: u64,
+        opcode: Opcode,
+        body: &[u8],
+        pending: &mut Vec<TuneRequest>,
+        origins: &mut Vec<Origin>,
+        groups: &mut Vec<Group>,
+    ) {
+        match opcode {
+            Opcode::Tune => match decode_tune_request(body) {
+                Ok(request) => {
+                    self.route_request(request, None, token, pending, origins, groups);
+                }
+                Err(err) => self.reply_body_error(token, &err),
+            },
+            Opcode::Batch => match decode_batch_request(body) {
+                Ok(requests) => {
+                    if requests.is_empty() {
+                        self.queue_frame(
+                            token,
+                            frame_bytes(
+                                Opcode::BatchReply,
+                                &crate::wire::encode_batch_response(&[]),
+                            ),
+                        );
+                        return;
+                    }
+                    let group = groups.len();
+                    groups.push(Group {
+                        token,
+                        slots: vec![None; requests.len()],
+                    });
+                    for (slot, request) in requests.into_iter().enumerate() {
+                        self.route_request(
+                            request,
+                            Some((group, slot)),
+                            token,
+                            pending,
+                            origins,
+                            groups,
+                        );
+                    }
+                }
+                Err(err) => self.reply_body_error(token, &err),
+            },
+            Opcode::Stats => {
+                let report = StatsReport::from_snapshot(&self.service.metrics());
+                let frame = match icomm_persist::to_string(&report) {
+                    Ok(json) => frame_bytes(Opcode::StatsReply, json.as_bytes()),
+                    Err(e) => frame_bytes(
+                        Opcode::Error,
+                        &encode_error(&format!("stats serialization failed: {e:?}")),
+                    ),
+                };
+                self.queue_frame(token, frame);
+            }
+            Opcode::Characterize => match decode_characterize_request(body) {
+                Ok(board) => {
+                    let frame = match self.service.characterize_board(&board) {
+                        Ok(characterization) => {
+                            match icomm_persist::to_string(characterization.as_ref()) {
+                                Ok(json) => frame_bytes(Opcode::CharacterizeReply, json.as_bytes()),
+                                Err(e) => frame_bytes(
+                                    Opcode::Error,
+                                    &encode_error(&format!(
+                                        "characterization serialization failed: {e:?}"
+                                    )),
+                                ),
+                            }
+                        }
+                        Err(message) => frame_bytes(Opcode::Error, &encode_error(&message)),
+                    };
+                    self.queue_frame(token, frame);
+                }
+                Err(err) => self.reply_body_error(token, &err),
+            },
+            // Reply opcodes (and Error) only flow server→client; a
+            // client sending one is confused or hostile.
+            Opcode::TuneReply
+            | Opcode::StatsReply
+            | Opcode::CharacterizeReply
+            | Opcode::BatchReply
+            | Opcode::Error => {
+                self.service
+                    .metrics_handle()
+                    .frame_malformed
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.queue(frame_bytes(
+                        Opcode::Error,
+                        &encode_error("unexpected reply opcode from client"),
+                    ));
+                    conn.close_after_flush = true;
+                }
+            }
+        }
+    }
+
+    /// A structurally valid frame with an undecodable body: reply with
+    /// an error but keep the connection (frame boundaries are intact).
+    fn reply_body_error(&mut self, token: u64, err: &WireError) {
+        self.service
+            .metrics_handle()
+            .frame_malformed
+            .fetch_add(1, Ordering::Relaxed);
+        self.queue_frame(
+            token,
+            frame_bytes(Opcode::Error, &encode_error(&err.to_string())),
+        );
+    }
+
+    fn queue_frame(&mut self, token: u64, frame: Vec<u8>) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.queue(frame);
+        }
+    }
+
+    /// Routes one tune request: decision cache first, engine batch
+    /// otherwise. `slot` is `Some((group, slot))` for batch members.
+    fn route_request(
+        &mut self,
+        request: TuneRequest,
+        slot: Option<(usize, usize)>,
+        token: u64,
+        pending: &mut Vec<TuneRequest>,
+        origins: &mut Vec<Origin>,
+        groups: &mut [Group],
+    ) {
+        let key: Option<CacheKey> = if self.config.decision_cache {
+            Some((
+                request.board.clone(),
+                request.app.clone(),
+                request.current.clone(),
+            ))
+        } else {
+            None
+        };
+        if let Some(cached) = key.as_ref().and_then(|k| self.decision_cache.get(k)) {
+            let started = Instant::now();
+            let mut response = cached.clone();
+            response.id = request.id;
+            let metrics = self.service.metrics_handle();
+            metrics.requests.fetch_add(1, Ordering::Relaxed);
+            metrics.completed.fetch_add(1, Ordering::Relaxed);
+            metrics.decision_cache_hits.fetch_add(1, Ordering::Relaxed);
+            metrics
+                .total_latency
+                .record(started.elapsed().as_micros() as u64);
+            match slot {
+                None => {
+                    let body = crate::wire::encode_tune_response(&response);
+                    self.queue_frame(token, frame_bytes(Opcode::TuneReply, &body));
+                }
+                Some((group, slot)) => {
+                    groups[group].slots[slot] = Some(response);
+                }
+            }
+            return;
+        }
+        let orig_id = request.id;
+        let mut remapped = request;
+        remapped.id = pending.len() as u64;
+        pending.push(remapped);
+        origins.push(Origin {
+            target: match slot {
+                None => Target::Single { token, orig_id },
+                Some((group, slot)) => Target::Group {
+                    group,
+                    slot,
+                    orig_id,
+                },
+            },
+            key,
+        });
+    }
+
+    /// Submits the sweep's engine-bound requests as one batch and
+    /// routes the responses back to their origins.
+    fn dispatch(&mut self, pending: Vec<TuneRequest>, origins: Vec<Origin>, groups: &mut [Group]) {
+        if pending.is_empty() {
+            return;
+        }
+        let metrics = self.service.metrics_handle();
+        metrics.batches_submitted.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .batched_requests
+            .fetch_add(pending.len() as u64, Ordering::Relaxed);
+        let responses = self.service.submit_batch(pending).wait();
+        for mut response in responses {
+            let index = response.id as usize;
+            let origin = match origins.get(index) {
+                Some(origin) => origin,
+                // An engine response with an id we never issued would
+                // be an engine bug; drop rather than misroute.
+                None => continue,
+            };
+            if response.ok && response.overloaded.is_none() {
+                if let Some(key) = &origin.key {
+                    if self.decision_cache.len() >= DECISION_CACHE_CAP {
+                        self.decision_cache.clear();
+                    }
+                    self.decision_cache.insert(key.clone(), response.clone());
+                }
+            }
+            match origin.target {
+                Target::Single { token, orig_id } => {
+                    response.id = orig_id;
+                    let body = crate::wire::encode_tune_response(&response);
+                    self.queue_frame(token, frame_bytes(Opcode::TuneReply, &body));
+                }
+                Target::Group {
+                    group,
+                    slot,
+                    orig_id,
+                } => {
+                    response.id = orig_id;
+                    groups[group].slots[slot] = Some(response);
+                }
+            }
+        }
+    }
+
+    /// Encodes one `BatchReply` per completed group. Every group
+    /// completes within its sweep (the engine round-trip is
+    /// synchronous), so unfilled slots mean a lost engine response —
+    /// surfaced as an explicit failure rather than a hang.
+    fn deliver_groups(&mut self, groups: Vec<Group>) {
+        for group in groups {
+            let responses: Vec<TuneResponse> = group
+                .slots
+                .into_iter()
+                .enumerate()
+                .map(|(slot, response)| {
+                    response.unwrap_or_else(|| {
+                        TuneResponse::failure(
+                            slot as u64,
+                            "engine returned no response for batch slot".to_string(),
+                        )
+                    })
+                })
+                .collect();
+            let body = crate::wire::encode_batch_response(&responses);
+            let mut frame = Vec::with_capacity(body.len() + 10);
+            encode_frame(Opcode::BatchReply, &body, &mut frame);
+            self.queue_frame(group.token, frame);
+        }
+    }
+
+    /// Flushes every connection with queued output; closes the ones
+    /// that finished flushing a fatal error, adjusts EPOLLOUT interest
+    /// for the rest.
+    fn flush_all(&mut self) {
+        let tokens: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.outbox.is_empty() || c.close_after_flush)
+            .map(|(t, _)| *t)
+            .collect();
+        for token in tokens {
+            match self.flush_conn(token) {
+                ConnFate::Close => self.close(token),
+                ConnFate::Keep => {}
+            }
+        }
+    }
+
+    /// Writes as much queued output as the socket accepts, vectored.
+    fn flush_conn(&mut self, token: u64) -> ConnFate {
+        let conn = match self.conns.get_mut(&token) {
+            Some(c) => c,
+            None => return ConnFate::Keep,
+        };
+        while !conn.outbox.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(conn.outbox.len().min(64));
+            for (i, frame) in conn.outbox.iter().take(64).enumerate() {
+                let start = if i == 0 { conn.front_written } else { 0 };
+                slices.push(IoSlice::new(&frame[start..]));
+            }
+            match conn.stream.write_vectored(&slices) {
+                Ok(0) => {
+                    self.service
+                        .metrics_handle()
+                        .conn_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    return ConnFate::Close;
+                }
+                Ok(mut n) => {
+                    while n > 0 {
+                        let front_left = conn.outbox[0].len() - conn.front_written;
+                        if n >= front_left {
+                            n -= front_left;
+                            conn.outbox.pop_front();
+                            conn.front_written = 0;
+                        } else {
+                            conn.front_written += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.service
+                        .metrics_handle()
+                        .conn_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    return ConnFate::Close;
+                }
+            }
+        }
+        if conn.outbox.is_empty() {
+            if conn.close_after_flush {
+                return ConnFate::Close;
+            }
+            if conn.wants_write {
+                conn.wants_write = false;
+                let _ = self.reactor.reregister(&conn.stream, token, Interest::READ);
+            }
+        } else if !conn.wants_write {
+            conn.wants_write = true;
+            let _ = self
+                .reactor
+                .reregister(&conn.stream, token, Interest::READ_WRITE);
+        }
+        ConnFate::Keep
+    }
+
+    /// Drops connections stalled mid-frame past the read deadline.
+    /// Idle connections with no partial frame are left alone — cheap
+    /// keep-alive is the point of an event-driven server.
+    fn sweep_deadlines(&mut self) {
+        let deadline = match self.config.read_deadline {
+            Some(d) => d,
+            None => return,
+        };
+        let now = Instant::now();
+        let stalled: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.decoder.has_partial() && now.duration_since(c.last_read) > deadline)
+            .map(|(t, _)| *t)
+            .collect();
+        for token in stalled {
+            self.service
+                .metrics_handle()
+                .read_timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            self.close(token);
+        }
+    }
+
+    /// Deregisters and drops a connection, releasing its capacity slot.
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.reactor.deregister(&conn.stream);
+            self.open_conns.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}

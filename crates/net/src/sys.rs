@@ -1,0 +1,213 @@
+//! Minimal `extern "C"` bindings for the Linux epoll and eventfd
+//! syscall surface.
+//!
+//! The workspace is fully vendored and offline, so the usual `libc`
+//! crate is unavailable. Instead of pulling in a dependency for six
+//! functions, this module declares exactly the symbols the reactor
+//! needs and nothing else. All wrappers translate `-1` returns into
+//! [`std::io::Error::last_os_error`] so callers deal in ordinary
+//! `io::Result`s.
+//!
+//! Safety notes:
+//!
+//! * `epoll_event` is `#[repr(C, packed)]` on x86-64 (matching the
+//!   kernel ABI, which packs the struct on that architecture). Fields
+//!   are only ever read by copy — never by reference — to avoid
+//!   unaligned-reference UB.
+//! * File descriptors handed to these wrappers are owned by the
+//!   caller; nothing here closes an fd implicitly.
+
+use std::io;
+
+/// Raw file descriptor alias, kept local so the crate does not need
+/// `std::os::fd` trait plumbing in its public API.
+pub type RawFd = i32;
+
+/// Readable event flag (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable event flag (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition flag (`EPOLLERR`).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up flag (`EPOLLHUP`).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down the writing half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// `epoll_ctl` op: register a new fd.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// `epoll_ctl` op: deregister an fd.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// `epoll_ctl` op: change the interest set of a registered fd.
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// `epoll_create1` flag: close-on-exec.
+pub const EPOLL_CLOEXEC: i32 = 0x80000;
+/// `eventfd` flag: close-on-exec.
+pub const EFD_CLOEXEC: i32 = 0x80000;
+/// `eventfd` flag: nonblocking reads/writes.
+pub const EFD_NONBLOCK: i32 = 0x800;
+
+/// Kernel ABI layout of `struct epoll_event`.
+///
+/// x86-64 packs this struct (a historical quirk of the 32/64-bit
+/// compat layer); other architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy, Debug)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-chosen token returned verbatim with each event.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// Zeroed event, used to size the `epoll_wait` output buffer.
+    pub const fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Create a new epoll instance with close-on-exec set.
+pub fn sys_epoll_create() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved; the kernel validates the flag.
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// Add, modify, or delete `fd` in the epoll interest set.
+///
+/// `op` is one of [`EPOLL_CTL_ADD`], [`EPOLL_CTL_MOD`],
+/// [`EPOLL_CTL_DEL`]; for DEL the event payload is ignored.
+pub fn sys_epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    // SAFETY: `ev` is a valid, live epoll_event for the duration of
+    // the call; the kernel copies it before returning.
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) })?;
+    Ok(())
+}
+
+/// Wait for readiness events, filling `events` and returning how many
+/// entries were written. `timeout_ms < 0` blocks indefinitely.
+pub fn sys_epoll_wait(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    let max = events.len().min(i32::MAX as usize) as i32;
+    // SAFETY: `events` points at `max` writable epoll_event slots.
+    let n = cvt(unsafe { epoll_wait(epfd, events.as_mut_ptr(), max, timeout_ms) })?;
+    Ok(n as usize)
+}
+
+/// Create a nonblocking close-on-exec eventfd for cross-thread wakeups.
+pub fn sys_eventfd() -> io::Result<RawFd> {
+    // SAFETY: no pointers involved.
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Post one wakeup to an eventfd (adds 1 to its counter).
+pub fn sys_eventfd_write(fd: RawFd) -> io::Result<()> {
+    let one: u64 = 1;
+    // SAFETY: writes exactly 8 bytes from a live stack variable, the
+    // size the eventfd ABI requires.
+    let n = unsafe { write(fd, (&one as *const u64).cast::<u8>(), 8) };
+    if n < 0 {
+        let err = io::Error::last_os_error();
+        // A full eventfd counter still counts as "woken".
+        if err.kind() == io::ErrorKind::WouldBlock {
+            return Ok(());
+        }
+        return Err(err);
+    }
+    Ok(())
+}
+
+/// Drain an eventfd's counter so it can signal again. Nonblocking: a
+/// would-block (nothing pending) is not an error.
+pub fn sys_eventfd_drain(fd: RawFd) {
+    let mut buf = [0u8; 8];
+    // SAFETY: reads at most 8 bytes into a live 8-byte buffer.
+    let _ = unsafe { read(fd, buf.as_mut_ptr(), 8) };
+}
+
+/// Close a raw fd created by this module.
+pub fn sys_close(fd: RawFd) {
+    // SAFETY: the caller owns `fd`; double-closes are the caller's
+    // responsibility and this crate closes each fd exactly once.
+    let _ = unsafe { close(fd) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_create_and_close() {
+        let fd = sys_epoll_create().expect("epoll_create1");
+        assert!(fd >= 0);
+        sys_close(fd);
+    }
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        let ep = sys_epoll_create().expect("epoll_create1");
+        let ev = sys_eventfd().expect("eventfd");
+        sys_epoll_ctl(ep, EPOLL_CTL_ADD, ev, EPOLLIN, 7).expect("ctl add");
+
+        // Nothing pending: a zero-timeout wait sees no events.
+        let mut events = vec![EpollEvent::zeroed(); 4];
+        let n = sys_epoll_wait(ep, &mut events, 0).expect("wait");
+        assert_eq!(n, 0);
+
+        sys_eventfd_write(ev).expect("eventfd write");
+        let n = sys_epoll_wait(ep, &mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        let token = events[0].data;
+        assert_eq!(token, 7);
+
+        // Drain resets the counter; the next zero-timeout wait is idle
+        // again (level-triggered semantics).
+        sys_eventfd_drain(ev);
+        let n = sys_epoll_wait(ep, &mut events, 0).expect("wait");
+        assert_eq!(n, 0);
+
+        sys_close(ev);
+        sys_close(ep);
+    }
+
+    #[test]
+    fn ctl_del_removes_interest() {
+        let ep = sys_epoll_create().expect("epoll_create1");
+        let ev = sys_eventfd().expect("eventfd");
+        sys_epoll_ctl(ep, EPOLL_CTL_ADD, ev, EPOLLIN, 1).expect("ctl add");
+        sys_eventfd_write(ev).expect("write");
+        sys_epoll_ctl(ep, EPOLL_CTL_DEL, ev, 0, 0).expect("ctl del");
+        let mut events = vec![EpollEvent::zeroed(); 4];
+        let n = sys_epoll_wait(ep, &mut events, 0).expect("wait");
+        assert_eq!(n, 0);
+        sys_close(ev);
+        sys_close(ep);
+    }
+}

@@ -53,5 +53,5 @@ pub mod value;
 
 pub use de::{from_str, from_value, DeserializeJsonError};
 pub use ser::{to_string, SerializeJsonError};
-pub use snapshot::{read_verified, write_atomic, SnapshotError};
+pub use snapshot::{crc32, read_verified, write_atomic, SnapshotError};
 pub use value::{parse, Number, ParseJsonError, Value};

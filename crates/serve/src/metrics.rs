@@ -158,6 +158,27 @@ pub struct Metrics {
     /// Requests shed with an explicit overload response because the
     /// token bucket was empty.
     pub shed_rate: AtomicU64,
+    /// Binary frames rejected for a CRC32 trailer mismatch.
+    pub frame_crc_errors: AtomicU64,
+    /// Binary frames rejected for a length field beyond the frame bound.
+    pub frame_oversized: AtomicU64,
+    /// Binary frames rejected for a bad version, unknown opcode, or an
+    /// undecodable body.
+    pub frame_malformed: AtomicU64,
+    /// Connections closed with a partial frame still buffered (client
+    /// hung up or stalled mid-frame past the read deadline).
+    pub frame_truncated: AtomicU64,
+    /// Requests answered from a shard-local decision cache without
+    /// touching the job engine.
+    pub decision_cache_hits: AtomicU64,
+    /// Request batches the event-driven shards submitted to the engine
+    /// (each batch is one worker-pool hop for many requests).
+    pub batches_submitted: AtomicU64,
+    /// Requests carried by those batches.
+    pub batched_requests: AtomicU64,
+    /// Connections dropped on a transport-setup error (stream clone,
+    /// nonblocking/timeout configuration, handler spawn).
+    pub conn_errors: AtomicU64,
 }
 
 impl Metrics {
@@ -191,6 +212,14 @@ impl Metrics {
             transfer_fallbacks: AtomicU64::new(0),
             shed_queue: AtomicU64::new(0),
             shed_rate: AtomicU64::new(0),
+            frame_crc_errors: AtomicU64::new(0),
+            frame_oversized: AtomicU64::new(0),
+            frame_malformed: AtomicU64::new(0),
+            frame_truncated: AtomicU64::new(0),
+            decision_cache_hits: AtomicU64::new(0),
+            batches_submitted: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            conn_errors: AtomicU64::new(0),
         }
     }
 
@@ -237,6 +266,14 @@ impl Metrics {
             transfer_fallbacks: self.transfer_fallbacks.load(Ordering::Relaxed),
             shed_queue: self.shed_queue.load(Ordering::Relaxed),
             shed_rate: self.shed_rate.load(Ordering::Relaxed),
+            frame_crc_errors: self.frame_crc_errors.load(Ordering::Relaxed),
+            frame_oversized: self.frame_oversized.load(Ordering::Relaxed),
+            frame_malformed: self.frame_malformed.load(Ordering::Relaxed),
+            frame_truncated: self.frame_truncated.load(Ordering::Relaxed),
+            decision_cache_hits: self.decision_cache_hits.load(Ordering::Relaxed),
+            batches_submitted: self.batches_submitted.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            conn_errors: self.conn_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -298,6 +335,22 @@ pub struct MetricsSnapshot {
     pub shed_queue: u64,
     /// Requests shed on rate-limit pressure.
     pub shed_rate: u64,
+    /// Binary frames rejected on a CRC32 mismatch.
+    pub frame_crc_errors: u64,
+    /// Binary frames rejected on an oversized length field.
+    pub frame_oversized: u64,
+    /// Binary frames rejected as malformed (version/opcode/body).
+    pub frame_malformed: u64,
+    /// Connections closed mid-frame (truncation or stall).
+    pub frame_truncated: u64,
+    /// Requests answered from a shard-local decision cache.
+    pub decision_cache_hits: u64,
+    /// Request batches submitted by the event-driven shards.
+    pub batches_submitted: u64,
+    /// Requests carried by those batches.
+    pub batched_requests: u64,
+    /// Connections dropped on transport-setup errors.
+    pub conn_errors: u64,
 }
 
 impl MetricsSnapshot {
@@ -319,6 +372,14 @@ impl MetricsSnapshot {
             + self.oversized_lines
             + self.malformed_requests
             + self.snapshot_corruptions
+            + self.frame_faults()
+            + self.conn_errors
+    }
+
+    /// Sum of the binary-wire fault counters: frames rejected for CRC,
+    /// length, or format violations, plus mid-frame truncations.
+    pub fn frame_faults(&self) -> u64 {
+        self.frame_crc_errors + self.frame_oversized + self.frame_malformed + self.frame_truncated
     }
 
     /// Mean regret vs the oracle across adaptation runs, percent.
@@ -427,13 +488,27 @@ impl fmt::Display for MetricsSnapshot {
         if self.conn_accepted > 0 || self.fault_total() > 0 {
             writeln!(
                 f,
-                "transport         {:>8} conns  ({} rejected, {} read timeouts, {} oversized, {} malformed, {} corrupt snapshots)",
+                "transport         {:>8} conns  ({} rejected, {} read timeouts, {} oversized, {} malformed, {} corrupt snapshots, {} conn errors)",
                 self.conn_accepted,
                 self.conn_rejected,
                 self.read_timeouts,
                 self.oversized_lines,
                 self.malformed_requests,
-                self.snapshot_corruptions
+                self.snapshot_corruptions,
+                self.conn_errors
+            )?;
+        }
+        if self.batches_submitted > 0 || self.decision_cache_hits > 0 || self.frame_faults() > 0 {
+            writeln!(
+                f,
+                "wire              {:>8} batches  ({} batched requests, {} decision-cache hits, {} crc, {} oversized, {} malformed, {} truncated frames)",
+                self.batches_submitted,
+                self.batched_requests,
+                self.decision_cache_hits,
+                self.frame_crc_errors,
+                self.frame_oversized,
+                self.frame_malformed,
+                self.frame_truncated
             )?;
         }
         Ok(())
@@ -536,6 +611,29 @@ mod tests {
         assert!(text.contains("transfer"));
         assert!(text.contains("warm start 95.0%"));
         assert!(text.contains("3 on queue pressure, 1 on rate limit"));
+    }
+
+    #[test]
+    fn wire_counters_accumulate_and_render() {
+        let m = Metrics::new();
+        assert!(!m.snapshot().to_string().contains("wire"));
+        m.batches_submitted.fetch_add(2, Ordering::Relaxed);
+        m.batched_requests.fetch_add(96, Ordering::Relaxed);
+        m.decision_cache_hits.fetch_add(80, Ordering::Relaxed);
+        m.frame_crc_errors.fetch_add(1, Ordering::Relaxed);
+        m.frame_oversized.fetch_add(2, Ordering::Relaxed);
+        m.frame_malformed.fetch_add(3, Ordering::Relaxed);
+        m.frame_truncated.fetch_add(4, Ordering::Relaxed);
+        m.conn_errors.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.frame_faults(), 10);
+        assert_eq!(s.fault_total(), 11);
+        let text = s.to_string();
+        assert!(text.contains("wire"));
+        assert!(text.contains("96 batched requests"));
+        assert!(text.contains("80 decision-cache hits"));
+        assert!(text.contains("1 crc"));
+        assert!(text.contains("4 truncated frames"));
     }
 
     #[test]

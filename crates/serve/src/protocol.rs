@@ -124,6 +124,33 @@ impl TuneResponse {
         self.overloaded.is_some()
     }
 
+    /// Canonical rendering of the *decision* carried by this response —
+    /// the fields that must be identical no matter which transport
+    /// (line-JSON or binary `icommwire`) served the request. Transport-
+    /// and timing-dependent fields (`latency_us`, `cache_hit`) are
+    /// excluded on purpose: the JSON/binary parity gate compares these
+    /// strings byte for byte.
+    pub fn decision_payload(&self) -> String {
+        fn opt(value: &Option<String>) -> &str {
+            value.as_deref().unwrap_or("-")
+        }
+        format!(
+            "ok={} error={} board={} app={} current={} recommended={} switch={} speedup={} rationale={} overloaded={}",
+            self.ok,
+            opt(&self.error),
+            opt(&self.board),
+            opt(&self.app),
+            opt(&self.current),
+            opt(&self.recommended),
+            self.switch_suggested
+                .map_or("-".to_string(), |s| s.to_string()),
+            self.estimated_speedup
+                .map_or("-".to_string(), |s| format!("{s:.6}")),
+            opt(&self.rationale),
+            opt(&self.overloaded),
+        )
+    }
+
     /// Builds a success response from a tuning outcome.
     pub fn success(
         id: u64,
@@ -217,6 +244,22 @@ pub struct StatsReport {
     pub malformed_requests: u64,
     /// Corrupt registry snapshots discarded on load.
     pub snapshot_corruptions: u64,
+    /// Binary frames rejected on a CRC32 mismatch.
+    pub frame_crc_errors: u64,
+    /// Binary frames rejected on an oversized length field.
+    pub frame_oversized: u64,
+    /// Binary frames rejected as malformed (version/opcode/body).
+    pub frame_malformed: u64,
+    /// Connections closed mid-frame (truncation or stall).
+    pub frame_truncated: u64,
+    /// Requests answered from a shard-local decision cache.
+    pub decision_cache_hits: u64,
+    /// Request batches submitted by the event-driven shards.
+    pub batches_submitted: u64,
+    /// Requests carried by those batches.
+    pub batched_requests: u64,
+    /// Connections dropped on transport-setup errors.
+    pub conn_errors: u64,
 }
 
 impl StatsReport {
@@ -248,6 +291,14 @@ impl StatsReport {
             oversized_lines: s.oversized_lines,
             malformed_requests: s.malformed_requests,
             snapshot_corruptions: s.snapshot_corruptions,
+            frame_crc_errors: s.frame_crc_errors,
+            frame_oversized: s.frame_oversized,
+            frame_malformed: s.frame_malformed,
+            frame_truncated: s.frame_truncated,
+            decision_cache_hits: s.decision_cache_hits,
+            batches_submitted: s.batches_submitted,
+            batched_requests: s.batched_requests,
+            conn_errors: s.conn_errors,
         }
     }
 }
@@ -302,6 +353,21 @@ mod tests {
         let line = icomm_persist::to_string(&req).unwrap();
         let back: TuneRequest = icomm_persist::from_str(&line).unwrap();
         assert_eq!(back.class.as_deref(), Some("bulk"));
+    }
+
+    #[test]
+    fn decision_payload_ignores_transport_fields() {
+        let mut a = TuneResponse::failure(1, "unknown board 'pi5'".to_string());
+        let mut b = a.clone();
+        a.latency_us = Some(120);
+        b.latency_us = Some(7_000);
+        a.cache_hit = Some(true);
+        b.cache_hit = Some(false);
+        b.id = 99;
+        assert_eq!(a.decision_payload(), b.decision_payload());
+        // But a change to the decision itself shows up.
+        b.error = Some("unknown board 'pi6'".to_string());
+        assert_ne!(a.decision_payload(), b.decision_payload());
     }
 
     #[test]

@@ -196,6 +196,9 @@ fn accept_one(
         return;
     }
     let Ok(peer) = stream.try_clone() else {
+        // Cannot keep a stop-handle for this connection: drop it rather
+        // than leak an uncloseable handler thread.
+        metrics.conn_errors.fetch_add(1, Ordering::Relaxed);
         return;
     };
     let service = service.clone();
@@ -209,7 +212,10 @@ fn accept_one(
             open.push((peer, handle));
         }
         // Thread exhaustion: drop the connection, keep serving others.
-        Err(_) => drop(peer),
+        Err(_) => {
+            metrics.conn_errors.fetch_add(1, Ordering::Relaxed);
+            drop(peer);
+        }
     }
 }
 
@@ -276,9 +282,11 @@ fn read_bounded_line(reader: &mut BufReader<TcpStream>, max_bytes: usize) -> Lin
 fn handle_connection(stream: TcpStream, service: &TuningService, config: &ServerConfig) {
     let metrics = service.metrics_handle().clone();
     if stream.set_read_timeout(config.read_timeout).is_err() {
+        metrics.conn_errors.fetch_add(1, Ordering::Relaxed);
         return;
     }
     let Ok(read_half) = stream.try_clone() else {
+        metrics.conn_errors.fetch_add(1, Ordering::Relaxed);
         return;
     };
     let mut reader = BufReader::new(read_half);

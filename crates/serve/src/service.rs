@@ -169,6 +169,12 @@ pub struct TuningService {
     /// Epoch for admission-control timestamps: the token bucket sees
     /// microseconds since service start.
     started: Instant,
+    /// The miss-path characterizer, kept so out-of-band callers (the
+    /// binary `characterize` opcode) resolve through the same strategy
+    /// and single-flight registry as tune requests.
+    characterizer: CharacterizerFn,
+    /// Federated-transfer policy for those same out-of-band lookups.
+    transfer: Option<TransferPolicy>,
 }
 
 impl fmt::Debug for TuningService {
@@ -218,6 +224,8 @@ impl TuningService {
             registry_path: config.registry_path,
             admission: config.admission.map(AdmissionController::new),
             started: Instant::now(),
+            characterizer: config.characterizer,
+            transfer: config.transfer,
         }
     }
 
@@ -240,6 +248,45 @@ impl TuningService {
     /// harness) that record events on behalf of the service.
     pub fn metrics_handle(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// Resolves the characterization for a board name through the same
+    /// registry / transfer / characterizer path a tune request takes,
+    /// with the same metric accounting. Backs the binary `characterize`
+    /// opcode; embedded callers can use it to inspect what the service
+    /// would decide from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown board name.
+    pub fn characterize_board(
+        &self,
+        board: &str,
+    ) -> Result<Arc<icomm_microbench::DeviceCharacterization>, String> {
+        let device = catalog::board_by_name(board)?;
+        let (characterization, lookup) =
+            self.registry
+                .get_or_characterize_with(&device, |device| match &self.transfer {
+                    Some(policy) => characterize_or_transfer(
+                        device,
+                        &self.registry,
+                        &self.metrics,
+                        &self.characterizer,
+                        policy,
+                    ),
+                    None => {
+                        self.metrics
+                            .characterizations
+                            .fetch_add(1, Ordering::Relaxed);
+                        ((self.characterizer)(device), None)
+                    }
+                });
+        if lookup.served_from_cache() {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(characterization)
     }
 
     /// Serves one request synchronously (through the worker pool).
@@ -321,6 +368,8 @@ impl TuningService {
             registry_path,
             admission: _,
             started: _,
+            characterizer: _,
+            transfer: _,
         } = self;
         engine.shutdown();
         if let Some(path) = registry_path {
@@ -606,6 +655,20 @@ mod tests {
         assert_eq!(snapshot.characterizations, 2);
         assert_eq!(snapshot.transfer_hits, 0);
         assert_eq!(snapshot.transfer_fallbacks, 1);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn characterize_board_shares_the_registry() {
+        let service = quick_service();
+        let c = service.characterize_board("tx2").expect("characterize");
+        assert_eq!(c.device, "Jetson TX2");
+        // A tune request for the same board is a registry hit.
+        let response = service.handle(TuneRequest::new(1, "tx2", "orb"));
+        assert_eq!(response.cache_hit, Some(true));
+        let snapshot = service.metrics();
+        assert_eq!(snapshot.characterizations, 1);
+        assert!(service.characterize_board("pi5").is_err());
         service.shutdown().unwrap();
     }
 

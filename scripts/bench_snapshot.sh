@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Refreshes the committed benchmark baselines: runs the criterion fleet,
-# sched, and mem benchmarks, then captures the deterministic headline
-# numbers into BENCH_fleet.json (p50/p99 serve latency, fleet throughput,
+# sched, mem, and serve benchmarks, then captures the headline numbers
+# into BENCH_fleet.json (p50/p99 serve latency, fleet throughput,
 # warm-start and transfer hit rates), BENCH_sched.json (deadline-miss
-# rates and slowdowns per policy on the contended TX2 mix), and
+# rates and slowdowns per policy on the contended TX2 mix),
 # BENCH_mem.json (the UM-vs-UPM page-size crossover on the coherent
-# boards). The captures use fixed seeds, so the JSON is reproducible and
-# diffs in it are real behavior changes, not noise.
+# boards), and BENCH_serve.json (JSON-vs-binary serving-plane throughput
+# and decision parity). The fleet/sched/mem captures use fixed seeds, so
+# that JSON is reproducible and diffs in it are real behavior changes;
+# the serve capture is wall-clock and the headline there is the *ratio*
+# (binary vs JSON), which is stable even when absolute rps is not.
 #
 # Usage: ./scripts/bench_snapshot.sh [--skip-criterion]
 set -euo pipefail
@@ -28,6 +31,8 @@ if [[ "$SKIP_CRITERION" -eq 0 ]]; then
     cargo bench -p icomm-bench --bench sched_scaling
     echo "==> cargo bench -p icomm-bench --bench mem_topology"
     cargo bench -p icomm-bench --bench mem_topology
+    echo "==> cargo bench -p icomm-bench --bench serve_throughput"
+    cargo bench -p icomm-bench --bench serve_throughput
 fi
 
 echo "==> capturing BENCH_fleet.json (seed 7, 256 devices, nano,tx2,xavier)"
@@ -126,3 +131,46 @@ print(json.dumps(baseline, indent=2))
 EOF
 
 echo "baseline written to BENCH_mem.json"
+
+echo "==> capturing BENCH_serve.json (both planes, 2000 requests each, 8 conns, batch 16)"
+SERVE="$(target/release/icomm servebench --requests 2000 --conns 8 --workers 4 --batch 16 --json)"
+python3 - "$SERVE" <<'EOF'
+import json
+import sys
+
+report = json.loads(sys.argv[1])
+if report["parity_mismatches"] != 0:
+    sys.exit(f"serving planes disagree on {report['parity_mismatches']} decision payloads")
+if report["json_failed"] != 0 or report["binary_failed"] != 0:
+    sys.exit("servebench dropped requests; baseline not captured")
+baseline = {
+    "source": "icomm servebench --requests 2000 --conns 8 --workers 4 --batch 16 --json",
+    "note": "wall-clock serving-plane comparison; the stable headline is the binary-vs-JSON speedup ratio, not absolute rps; regenerate with scripts/bench_snapshot.sh",
+    "requests_per_plane": report["requests_per_plane"],
+    "conns": report["conns"],
+    "workers": report["workers"],
+    "batch": report["batch"],
+    "json_rps": round(report["json_rps"], 1),
+    "json_p50_us": report["json_p50_us"],
+    "json_p99_us": report["json_p99_us"],
+    "binary_rps": round(report["binary_rps"], 1),
+    "binary_p50_us": report["binary_p50_us"],
+    "binary_p99_us": report["binary_p99_us"],
+    "speedup": round(report["speedup"], 2),
+    "parity_checked": report["parity_checked"],
+    "parity_mismatches": report["parity_mismatches"],
+    "decision_cache_hits": report["decision_cache_hits"],
+    "batches_submitted": report["batches_submitted"],
+}
+if baseline["speedup"] < 10.0:
+    print(
+        f"WARNING: binary plane only {baseline['speedup']}x over JSON (target >= 10x)",
+        file=sys.stderr,
+    )
+with open("BENCH_serve.json", "w") as f:
+    json.dump(baseline, f, indent=2)
+    f.write("\n")
+print(json.dumps(baseline, indent=2))
+EOF
+
+echo "baseline written to BENCH_serve.json"

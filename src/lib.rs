@@ -57,6 +57,7 @@ pub use icomm_core as core;
 pub use icomm_fleet as fleet;
 pub use icomm_microbench as microbench;
 pub use icomm_models as models;
+pub use icomm_net as net;
 pub use icomm_persist as persist;
 pub use icomm_profile as profile;
 pub use icomm_sched as sched;
