@@ -41,6 +41,18 @@ pub struct FaultPlan {
     pub stall_prob: f64,
     /// Length of a stall, in windows.
     pub stall_windows: u32,
+    /// Fleet: probability a device crashed before arriving and lost its
+    /// local snapshot — its registry entry is evicted, so it re-joins
+    /// the fleet as a stranger (cold cache, fresh characterization or
+    /// transfer).
+    pub churn_prob: f64,
+    /// Fleet: probability an arriving device's cluster has a poisoned
+    /// characterization planted next to it in the registry — an
+    /// adversarial transfer source the robust aggregation must absorb.
+    pub poison_prob: f64,
+    /// Fleet: shard panics injected into the live-fire serving slice
+    /// (requires the binary wire, whose shard plane is supervised).
+    pub shard_panics: u32,
 }
 
 impl Default for FaultPlan {
@@ -64,6 +76,9 @@ impl FaultPlan {
             saturate_prob: 0.0,
             stall_prob: 0.0,
             stall_windows: 4,
+            churn_prob: 0.0,
+            poison_prob: 0.0,
+            shard_panics: 0,
         }
     }
 
@@ -114,6 +129,7 @@ impl FaultPlan {
             stall_prob: 0.08,
             stall_windows: 6,
             outlier_alpha: 1.2,
+            ..FaultPlan::none()
         }
     }
 
@@ -131,6 +147,7 @@ impl FaultPlan {
             stall_prob: 0.02,
             stall_windows: 4,
             outlier_alpha: 1.5,
+            ..FaultPlan::none()
         }
     }
 
@@ -197,6 +214,13 @@ impl FaultPlan {
                         .parse::<u32>()
                         .map_err(|_| format!("knob '{key}' needs a count, got '{value}'"))?;
                 }
+                "churn_prob" => plan.churn_prob = parse_f64()?,
+                "poison_prob" => plan.poison_prob = parse_f64()?,
+                "shard_panics" => {
+                    plan.shard_panics = value
+                        .parse::<u32>()
+                        .map_err(|_| format!("knob '{key}' needs a count, got '{value}'"))?;
+                }
                 other => return Err(format!("unknown fault knob '{other}'")),
             }
         }
@@ -220,6 +244,8 @@ impl FaultPlan {
             ("inf_prob", self.inf_prob),
             ("saturate_prob", self.saturate_prob),
             ("stall_prob", self.stall_prob),
+            ("churn_prob", self.churn_prob),
+            ("poison_prob", self.poison_prob),
         ] {
             if !p.is_finite() || !(0.0..=1.0).contains(&p) {
                 return Err(format!("{name} {p} outside [0, 1]"));
@@ -256,7 +282,17 @@ impl fmt::Display for FaultPlan {
             self.saturate_prob * 100.0,
             self.stall_prob * 100.0,
             self.stall_windows,
-        )
+        )?;
+        if self.churn_prob > 0.0 || self.poison_prob > 0.0 || self.shard_panics > 0 {
+            write!(
+                f,
+                ", churn {:.0}%, poison {:.0}%, shard panics {}",
+                self.churn_prob * 100.0,
+                self.poison_prob * 100.0,
+                self.shard_panics,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -295,6 +331,23 @@ mod tests {
         assert!(err.contains("outside [0, 1]"), "{err}");
         let err = FaultPlan::parse("full,drop_prob").expect_err("bare knob rejected");
         assert!(err.contains("knob=value"), "{err}");
+    }
+
+    #[test]
+    fn fleet_knobs_parse_and_validate() {
+        let plan = FaultPlan::parse("none,churn_prob=0.1,poison_prob=0.2,shard_panics=3")
+            .expect("fleet spec parses");
+        assert_eq!(plan.churn_prob, 0.1);
+        assert_eq!(plan.poison_prob, 0.2);
+        assert_eq!(plan.shard_panics, 3);
+        assert!(!plan.is_none());
+        let shown = plan.to_string();
+        assert!(shown.contains("churn 10%"), "{shown}");
+
+        let err = FaultPlan::parse("none,churn_prob=1.5").expect_err("out-of-range rejected");
+        assert!(err.contains("outside [0, 1]"), "{err}");
+        // Fault-free plans keep the compact rendering.
+        assert!(!FaultPlan::none().to_string().contains("churn"));
     }
 
     #[test]

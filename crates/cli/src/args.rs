@@ -53,9 +53,12 @@ pub enum Command {
         characterization: Option<String>,
     },
     /// `icomm chaos <board> [--app <name>] [--plan <spec>] [--seed N]...
-    /// [--windows N] [--json]` — run a deterministic fault-injection
-    /// campaign over the adaptation stack and report survival, regret
-    /// inflation, and safe-fallback activations.
+    /// [--windows N] [--fleet] [--json]` — run a deterministic
+    /// fault-injection campaign over the adaptation stack and report
+    /// survival, regret inflation, and safe-fallback activations; with
+    /// `--fleet`, run the plan's fleet-scale knobs (churn, registry
+    /// poisoning, shard panics) through a full fleet campaign per seed
+    /// instead.
     Chaos {
         /// Board name.
         board: String,
@@ -69,6 +72,10 @@ pub enum Command {
         seeds: Vec<u64>,
         /// Windows per phase.
         windows: u32,
+        /// Run the fleet-scale campaign (churn / poisoning / shard
+        /// panics against the serving stack) instead of the
+        /// single-device adaptation campaign.
+        fleet: bool,
         /// Print the full reports as JSON.
         json: bool,
     },
@@ -136,13 +143,14 @@ pub enum Command {
         stats: bool,
     },
     /// `icomm fleet <board-mix> [--devices N] [--arrival poisson|burst]
-    /// [--rate R] [--seed S] [--tenants N] [--json]` — simulate a
-    /// clustered device fleet hammering the tuning service (admission
-    /// control, federated characterization transfer) and report
-    /// warm-start rate, tail latency, shed counts, and transfer regret;
-    /// with `--tenants 2..4` every served device also co-schedules a
-    /// tenant mix of that size off its registry-resolved
-    /// characterization.
+    /// [--rate R] [--seed S] [--tenants N] [--wire json|binary]
+    /// [--faults <spec>] [--json]` — simulate a clustered device fleet
+    /// hammering the tuning service (admission control, federated
+    /// characterization transfer) and report warm-start rate, tail
+    /// latency, shed counts, and transfer regret; with `--tenants 2..4`
+    /// every served device also co-schedules a tenant mix of that size
+    /// off its registry-resolved characterization; `--faults` injects
+    /// the plan's churn / poisoning / shard-panic knobs into the run.
     Fleet {
         /// Comma-separated board mix (`nano,tx2,xavier`).
         mix: String,
@@ -158,6 +166,9 @@ pub enum Command {
         tenants: usize,
         /// Wire protocol the live-fire stage drives (`json` / `binary`).
         wire: String,
+        /// Fault-plan spec for the fleet knobs, e.g.
+        /// `none,churn_prob=0.1,poison_prob=0.1,shard_panics=2`.
+        faults: String,
         /// Print the deterministic fleet report as JSON.
         json: bool,
     },
@@ -392,6 +403,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let mut plan = "full".to_string();
             let mut seeds = Vec::new();
             let mut windows = 8u32;
+            let mut fleet = false;
             let mut json = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -431,6 +443,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                                     ))
                                 })?;
                     }
+                    "--fleet" => fleet = true,
                     "--json" => json = true,
                     other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
                 }
@@ -444,6 +457,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 plan,
                 seeds,
                 windows,
+                fleet,
                 json,
             })
         }
@@ -581,6 +595,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let mut seed = 7u64;
             let mut tenants = 1usize;
             let mut wire = "json".to_string();
+            let mut faults = "none".to_string();
             let mut json = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -661,6 +676,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                             }
                         }
                     }
+                    "--faults" => {
+                        let value = it.next().ok_or_else(|| {
+                            ParseArgsError("--faults needs a fault-plan spec".into())
+                        })?;
+                        // Fail fast on a bad spec; the run re-parses it.
+                        icomm_chaos::FaultPlan::parse(value).map_err(ParseArgsError)?;
+                        faults = value.clone();
+                    }
                     "--json" => json = true,
                     other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
                 }
@@ -673,6 +696,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 seed,
                 tenants,
                 wire,
+                faults,
                 json,
             })
         }
@@ -839,7 +863,7 @@ USAGE:
     icomm adapt <board> [--app <name>] [--windows N] [--stats] [--json]
                         [--characterization <file>]
     icomm chaos <board> [--app <name>] [--plan <spec>] [--seed N]...
-                        [--windows N] [--json]
+                        [--windows N] [--fleet] [--json]
     icomm compare <board> <app>
     icomm experiments
     icomm serve [--addr <ip:port>] [--wire json|binary] [--workers N]
@@ -850,7 +874,7 @@ USAGE:
                 [--full] [--stats]
     icomm fleet <board-mix> [--devices N] [--arrival poisson|burst]
                 [--rate R] [--seed S] [--tenants N]
-                [--wire json|binary] [--json]
+                [--wire json|binary] [--faults <spec>] [--json]
     icomm sched <board> [--mix <name>] [--policy fifo|deadline]
                 [--seed N] [--windows N] [--json]
     icomm help
@@ -881,7 +905,12 @@ stalls, snapshot corruption) and reports survival, regret inflation vs
 the fault-free run, and safe fallbacks to SC. Plans are a preset name —
 none, noise, loss, corrupt, hostile, full — optionally tuned with
 knob=value overrides, e.g. `--plan loss,drop_prob=0.4`. One campaign per
-`--seed`; identical seeds produce byte-identical reports.
+`--seed`; identical seeds produce byte-identical reports. With `--fleet`
+the campaign instead drives the plan's fleet-scale knobs — `churn_prob`
+(crash-and-rejoin eviction), `poison_prob` (adversarial registry
+uploads), `shard_panics` (live-fire shard crashes) — through a full
+fleet run per seed on the supervised binary plane and reports survival
+through the fleet pass gate.
 
 `serve` runs the tuning service over TCP (default 127.0.0.1:7311).
 `--wire json` (the default) speaks one JSON request per line with a
@@ -905,9 +934,14 @@ server in-process. It reports warm-start rate, p50/p95/p99 latency, SLO
 attainment, shed counts, and the decision regret of transferred vs full
 characterizations. With `--tenants 2..4` every served device also
 co-schedules a tenant mix of that size off its registry-resolved
-characterization and the report gains per-tenant SLO attainment. The
-same seed replays byte-identically (`--json` prints only the
-deterministic report).
+characterization and the report gains per-tenant SLO attainment.
+`--faults` injects the fleet-scale chaos knobs into the run —
+`churn_prob` evicts devices' registry state before their lookup,
+`poison_prob` plants adversarial characterizations the Byzantine-robust
+transfer path must quarantine, and `shard_panics` crashes live-fire
+shard event loops mid-frame (requires `--wire binary`, whose supervised
+plane restarts them). The same seed replays byte-identically, faults
+included (`--json` prints only the deterministic report).
 
 `sched` co-schedules a named tenant mix — duo, trio, quad, contended —
 on one board. Communication models are assigned jointly (every
@@ -1108,6 +1142,7 @@ mod tests {
                 plan: "full".into(),
                 seeds: vec![42],
                 windows: 8,
+                fleet: false,
                 json: false,
             }
         );
@@ -1124,6 +1159,7 @@ mod tests {
             "2",
             "--windows",
             "10",
+            "--fleet",
             "--json",
         ]))
         .unwrap();
@@ -1135,6 +1171,7 @@ mod tests {
                 plan: "loss,drop_prob=0.4".into(),
                 seeds: vec![1, 2],
                 windows: 10,
+                fleet: true,
                 json: true,
             }
         );
@@ -1280,6 +1317,7 @@ mod tests {
                 seed: 7,
                 tenants: 1,
                 wire: "json".into(),
+                faults: "none".into(),
                 json: false,
             }
         );
@@ -1298,6 +1336,8 @@ mod tests {
             "3",
             "--wire",
             "binary",
+            "--faults",
+            "none,churn_prob=0.1,poison_prob=0.1,shard_panics=2",
             "--json",
         ]))
         .unwrap();
@@ -1311,6 +1351,7 @@ mod tests {
                 seed: 9,
                 tenants: 3,
                 wire: "binary".into(),
+                faults: "none,churn_prob=0.1,poison_prob=0.1,shard_panics=2".into(),
                 json: true,
             }
         );
@@ -1326,6 +1367,9 @@ mod tests {
         assert!(parse(&v(&["fleet", "nano", "--seed", "many"])).is_err());
         assert!(parse(&v(&["fleet", "nano", "--tenants", "0"])).is_err());
         assert!(parse(&v(&["fleet", "nano", "--tenants", "5"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--faults"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--faults", "none,churn_prob=1.5"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--faults", "gremlins"])).is_err());
         assert!(parse(&v(&["fleet", "nano", "--wat"])).is_err());
     }
 

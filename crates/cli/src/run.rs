@@ -110,8 +110,9 @@ pub fn execute(command: &Command) -> Result<String, String> {
             plan,
             seeds,
             windows,
+            fleet,
             json,
-        } => chaos(board, app, plan, seeds, *windows, *json),
+        } => chaos(board, app, plan, seeds, *windows, *fleet, *json),
         Command::Compare { board, app } => compare(board, app),
         Command::Experiments => run_experiments(),
         Command::Serve {
@@ -151,8 +152,11 @@ pub fn execute(command: &Command) -> Result<String, String> {
             seed,
             tenants,
             wire,
+            faults,
             json,
-        } => fleet(mix, *devices, arrival, *rate, *seed, *tenants, wire, *json),
+        } => fleet(
+            mix, *devices, arrival, *rate, *seed, *tenants, wire, faults, *json,
+        ),
         Command::Sched {
             board,
             mix,
@@ -343,16 +347,21 @@ fn adapt(
 
 /// `icomm chaos`: replay a seeded fault-injection campaign and report
 /// survival, regret inflation, and safe-fallback activations.
+#[allow(clippy::too_many_arguments)]
 fn chaos(
     board: &str,
     app: &str,
     plan_spec: &str,
     seeds: &[u64],
     windows: u32,
+    fleet: bool,
     json: bool,
 ) -> Result<String, String> {
     let device = require_board(board)?;
     let plan = icomm_chaos::FaultPlan::parse(plan_spec)?;
+    if fleet {
+        return chaos_fleet(board, &plan, seeds, json);
+    }
     let phased = phased_workload_by_name(app, windows)?;
     let characterization = quick_characterize_device(&device);
     let reports = icomm_chaos::chaos_matrix(&device, &characterization, &phased, &plan, seeds);
@@ -372,6 +381,44 @@ fn chaos(
         Ok(out)
     } else {
         Err(format!("chaos campaign FAILED\n\n{out}"))
+    }
+}
+
+/// `icomm chaos --fleet`: drive the plan's fleet-scale knobs (churn,
+/// registry poisoning, shard panics) through a full fleet campaign per
+/// seed. The live-fire slice always runs on the supervised binary plane
+/// so injected shard panics have a supervisor to recover them.
+fn chaos_fleet(
+    board: &str,
+    plan: &icomm_chaos::FaultPlan,
+    seeds: &[u64],
+    json: bool,
+) -> Result<String, String> {
+    let mut reports = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let config = icomm_fleet::FleetConfig {
+            boards: board.to_string(),
+            seed,
+            livefire_wire: WireMode::Binary,
+            faults: plan.clone(),
+            ..icomm_fleet::FleetConfig::default()
+        };
+        reports.push(icomm_fleet::run_fleet(&config)?.report);
+    }
+    if json {
+        let mut out = icomm_persist::to_string(&reports)
+            .map_err(|err| format!("cannot serialize fleet reports: {err}"))?;
+        out.push('\n');
+        return Ok(out);
+    }
+    let mut out = String::new();
+    for report in &reports {
+        let _ = writeln!(out, "{report}\n");
+    }
+    if reports.iter().all(icomm_fleet::FleetReport::passed) {
+        Ok(out)
+    } else {
+        Err(format!("fleet chaos campaign FAILED\n\n{out}"))
     }
 }
 
@@ -787,6 +834,7 @@ fn fleet(
     seed: u64,
     tenants: usize,
     wire: &str,
+    faults: &str,
     json: bool,
 ) -> Result<String, String> {
     let process = icomm_fleet::ArrivalProcess::parse(arrival)?;
@@ -801,6 +849,7 @@ fn fleet(
         seed,
         tenants_per_device: tenants,
         livefire_wire: WireMode::parse(wire)?,
+        faults: icomm_chaos::FaultPlan::parse(faults)?,
         ..icomm_fleet::FleetConfig::default()
     };
     let out = icomm_fleet::run_fleet(&config)?;
@@ -998,7 +1047,7 @@ mod tests {
 
     #[test]
     fn chaos_reports_survival_and_replays_identically() {
-        let run = || chaos("tx2", "shwfs", "hostile", &[7], 6, false).unwrap();
+        let run = || chaos("tx2", "shwfs", "hostile", &[7], 6, false, false).unwrap();
         let out = run();
         for needle in [
             "chaos campaign",
@@ -1014,7 +1063,7 @@ mod tests {
 
     #[test]
     fn chaos_json_round_trips() {
-        let out = chaos("tx2", "shwfs", "noise", &[1, 2], 4, true).unwrap();
+        let out = chaos("tx2", "shwfs", "noise", &[1, 2], 4, false, true).unwrap();
         let reports: Vec<icomm_chaos::ChaosReport> = icomm_persist::from_str(out.trim()).unwrap();
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(icomm_chaos::ChaosReport::passed));
@@ -1022,7 +1071,7 @@ mod tests {
 
     #[test]
     fn chaos_rejects_bad_plans() {
-        let err = chaos("tx2", "shwfs", "mayhem", &[1], 4, false).unwrap_err();
+        let err = chaos("tx2", "shwfs", "mayhem", &[1], 4, false, false).unwrap_err();
         assert!(err.contains("unknown fault preset"), "{err}");
     }
 
@@ -1038,7 +1087,7 @@ mod tests {
 
     #[test]
     fn fleet_json_is_deterministic_and_parses() {
-        let run = || fleet("nano,tx2", 48, "poisson", 400.0, 7, 1, "json", true).unwrap();
+        let run = || fleet("nano,tx2", 48, "poisson", 400.0, 7, 1, "json", "none", true).unwrap();
         let a = run();
         assert_eq!(a, run(), "same-seed fleet JSON not byte-identical");
         let report: icomm_fleet::FleetReport = icomm_persist::from_str(a.trim()).unwrap();
@@ -1048,9 +1097,39 @@ mod tests {
         // Human rendering carries the wall-clock side channel instead;
         // drive the live-fire stage over the binary plane here so the
         // CLI path through `--wire binary` is covered too.
-        let text = fleet("nano", 24, "burst", 600.0, 3, 2, "binary", false).unwrap();
+        let text = fleet("nano", 24, "burst", 600.0, 3, 2, "binary", "none", false).unwrap();
         assert!(text.contains("verdict"), "{text}");
         assert!(text.contains("livefire wall-clock"), "{text}");
+    }
+
+    #[test]
+    fn fleet_faults_inject_and_replay() {
+        let spec = "none,churn_prob=0.2,poison_prob=0.2";
+        let run = || fleet("nano,tx2", 64, "poisson", 400.0, 11, 1, "json", spec, true).unwrap();
+        let a = run();
+        assert_eq!(a, run(), "same-seed faulted fleet JSON not byte-identical");
+        let report: icomm_fleet::FleetReport = icomm_persist::from_str(a.trim()).unwrap();
+        assert!(report.churn_events > 0, "churn never fired");
+        assert!(report.poisoned_sources > 0, "poisoning never fired");
+        assert!(
+            report.quarantined_sources > 0,
+            "robust transfer caught no poisoned sources"
+        );
+    }
+
+    #[test]
+    fn chaos_fleet_campaign_survives_and_round_trips() {
+        let plan =
+            icomm_chaos::FaultPlan::parse("none,churn_prob=0.05,poison_prob=0.05,shard_panics=1")
+                .unwrap();
+        let out = chaos_fleet("nano", &plan, &[7], true).unwrap();
+        let reports: Vec<icomm_fleet::FleetReport> = icomm_persist::from_str(out.trim()).unwrap();
+        assert_eq!(reports.len(), 1);
+        let report = &reports[0];
+        assert!(report.passed(), "fleet chaos campaign failed: {report}");
+        assert!(report.churn_events + report.poisoned_sources > 0);
+        assert_eq!(report.livefire_shard_restarts, 1);
+        assert_eq!(report.livefire_failed, 0);
     }
 
     #[test]

@@ -34,10 +34,11 @@
 //!     livefire: false,
 //!     ..FleetConfig::default()
 //! };
-//! let out = run_fleet(&config).unwrap();
+//! let out = run_fleet(&config)?;
 //! let r = &out.report;
 //! assert_eq!(r.served + r.shed_queue + r.shed_rate, r.requests);
 //! assert!(r.latency_p50_us <= r.latency_p99_us);
+//! # Ok::<(), String>(())
 //! ```
 
 #![warn(missing_docs)]

@@ -14,10 +14,11 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use icomm_microbench::TransferPolicy;
-use icomm_net::{BinaryClient, BinaryServer, WireMode};
+use icomm_net::{BinaryServer, NetConfig, PanicPlan, ResilienceConfig, ResilientClient, WireMode};
+use icomm_resilience::{RestartPolicy, RetryPolicy};
 use icomm_serve::{
     AdmissionConfig, Server, ServiceConfig, TuneRequest, TuneResponse, TuningService,
 };
@@ -35,6 +36,7 @@ pub(crate) struct LivefireOutcome {
     pub sent: u64,
     pub ok: u64,
     pub failed: u64,
+    pub shard_restarts: u64,
     pub stats: LivefireStats,
 }
 
@@ -43,6 +45,13 @@ pub(crate) struct LivefireOutcome {
 /// selects the serving plane: the line-JSON thread-per-connection
 /// listener, or the `icomm-net` binary event loop.
 ///
+/// `shard_panics > 0` arms the binary plane's deterministic panic
+/// injector: panics fire mid-frame at fixed intervals, the shard
+/// supervisor restarts each crashed event loop, and the resilient
+/// clients retry over fresh connections — so the stage still answers
+/// every request. Requires the binary wire (the JSON listener has no
+/// supervisor).
+///
 /// Admission is unlimited here on purpose: the stage asserts the stack
 /// serves every request, while shedding behavior is validated
 /// deterministically in the simulation.
@@ -50,7 +59,13 @@ pub(crate) fn run_livefire(
     requests: usize,
     threads: usize,
     wire: WireMode,
+    shard_panics: u32,
 ) -> Result<LivefireOutcome, String> {
+    if shard_panics > 0 && wire != WireMode::Binary {
+        return Err("shard panic injection requires the binary serving plane: \
+             the line-JSON listener has no shard supervisor"
+            .to_string());
+    }
     let service = Arc::new(TuningService::start(
         ServiceConfig::quick()
             .with_workers(4)
@@ -68,10 +83,28 @@ pub(crate) fn run_livefire(
             Server::start(Arc::clone(&service), "127.0.0.1:0")
                 .map_err(|e| format!("livefire stage could not bind a local socket: {e}"))?,
         ),
-        WireMode::Binary => Listener::Binary(
-            BinaryServer::start(Arc::clone(&service), "127.0.0.1:0")
-                .map_err(|e| format!("livefire stage could not bind a local socket: {e}"))?,
-        ),
+        WireMode::Binary => {
+            let mut net_config = NetConfig::default();
+            if shard_panics > 0 {
+                // Panics spread across the run so each one lands while
+                // requests are still in flight; the restart budget
+                // covers every injected panic with slack.
+                net_config = net_config
+                    .with_restart(RestartPolicy {
+                        max_restarts: shard_panics.max(4),
+                        base_backoff: Duration::from_millis(2),
+                        max_backoff: Duration::from_millis(50),
+                    })
+                    .with_panic_plan(PanicPlan {
+                        after_frames: (requests as u64 / (u64::from(shard_panics) + 1)).max(4),
+                        panics: shard_panics,
+                    });
+            }
+            Listener::Binary(
+                BinaryServer::start_with(Arc::clone(&service), "127.0.0.1:0", net_config)
+                    .map_err(|e| format!("livefire stage could not bind a local socket: {e}"))?,
+            )
+        }
     };
     let addr = match &listener {
         Listener::Json(server) => server.local_addr(),
@@ -106,12 +139,17 @@ pub(crate) fn run_livefire(
     }
     let wall_duration_us = start.elapsed().as_micros() as u64;
 
-    match listener {
+    let shard_restarts = match listener {
         Listener::Json(server) => {
             server.stop();
+            0
         }
-        Listener::Binary(server) => server.stop(),
-    }
+        Listener::Binary(server) => {
+            let restarts = server.health().restarts_total;
+            server.stop();
+            restarts
+        }
+    };
     Arc::try_unwrap(service)
         .map_err(|_| "livefire server still holds service references".to_string())?
         .shutdown()?;
@@ -133,6 +171,7 @@ pub(crate) fn run_livefire(
         sent,
         ok,
         failed: sent - ok,
+        shard_restarts,
         stats: LivefireStats {
             wall_p50_us: pick(0.50),
             wall_p95_us: pick(0.95),
@@ -199,10 +238,21 @@ fn client_thread(addr: std::net::SocketAddr, ids: &[u64]) -> Result<ClientOutcom
 }
 
 /// One binary client connection: the same request stream as
-/// [`client_thread`], carried as `icommwire v1` tune frames.
+/// [`client_thread`], carried as `icommwire v1` tune frames through the
+/// resilient client, so a shard panic mid-frame costs a retry on a
+/// fresh connection rather than a lost response.
 fn binary_client_thread(addr: std::net::SocketAddr, ids: &[u64]) -> Result<ClientOutcome, String> {
-    let mut client = BinaryClient::connect(addr)
-        .map_err(|e| format!("livefire binary client could not connect: {e}"))?;
+    let config = ResilienceConfig {
+        retry: RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(50),
+            deadline: Duration::from_secs(20),
+            ..RetryPolicy::default()
+        },
+        ..ResilienceConfig::default()
+    };
+    let mut client = ResilientClient::with_config(addr, config);
     let mut outcome = ClientOutcome {
         sent: 0,
         ok: 0,
@@ -233,26 +283,46 @@ mod tests {
 
     #[test]
     fn livefire_round_trips_every_request() {
-        let outcome = run_livefire(24, 3, WireMode::Json).unwrap();
+        let outcome = run_livefire(24, 3, WireMode::Json, 0).unwrap();
         assert_eq!(outcome.sent, 24);
         assert_eq!(outcome.ok, 24);
         assert_eq!(outcome.failed, 0);
+        assert_eq!(outcome.shard_restarts, 0);
         assert!(outcome.stats.wall_p50_us <= outcome.stats.wall_p99_us);
         assert!(outcome.stats.wall_throughput_rps > 0.0);
     }
 
     #[test]
     fn livefire_binary_round_trips_every_request() {
-        let outcome = run_livefire(24, 3, WireMode::Binary).unwrap();
+        let outcome = run_livefire(24, 3, WireMode::Binary, 0).unwrap();
         assert_eq!(outcome.sent, 24);
         assert_eq!(outcome.ok, 24);
         assert_eq!(outcome.failed, 0);
+        assert_eq!(outcome.shard_restarts, 0);
         assert!(outcome.stats.wall_throughput_rps > 0.0);
     }
 
     #[test]
     fn single_thread_single_request_works() {
-        let outcome = run_livefire(1, 1, WireMode::Json).unwrap();
+        let outcome = run_livefire(1, 1, WireMode::Json, 0).unwrap();
         assert_eq!((outcome.sent, outcome.ok, outcome.failed), (1, 1, 0));
+    }
+
+    #[test]
+    fn injected_shard_panics_lose_no_responses() {
+        let outcome = run_livefire(96, 4, WireMode::Binary, 2).unwrap();
+        assert_eq!(outcome.sent, 96);
+        assert_eq!(outcome.ok, 96, "resilient clients must retry past panics");
+        assert_eq!(outcome.failed, 0);
+        assert_eq!(
+            outcome.shard_restarts, 2,
+            "the supervisor restarts each injected panic"
+        );
+    }
+
+    #[test]
+    fn shard_panics_need_the_binary_wire() {
+        let err = run_livefire(8, 2, WireMode::Json, 1).unwrap_err();
+        assert!(err.contains("binary"), "error: {err}");
     }
 }

@@ -87,12 +87,24 @@ pub struct FleetReport {
     /// Served devices whose joint model assignment flipped at least one
     /// tenant away from its solo-best communication model.
     pub corun_flips: u64,
+    /// Injected churn events: devices whose registry state was evicted
+    /// before their lookup (crash-and-rejoin).
+    pub churn_events: u64,
+    /// Injected poisoning events: adversarial characterizations planted
+    /// in the registry by compromised devices.
+    pub poisoned_sources: u64,
+    /// Sources on the registry quarantine list when the run ended —
+    /// poisoned entries the robust transfer path caught and attributed.
+    pub quarantined_sources: u64,
     /// Requests sent during the live-fire TCP stage (0 when skipped).
     pub livefire_sent: u64,
     /// Live-fire requests answered `ok`.
     pub livefire_ok: u64,
     /// Live-fire requests answered with an error or lost.
     pub livefire_failed: u64,
+    /// Shard event loops the live-fire server's supervisor restarted
+    /// after injected panics (0 unless the fault plan injects panics).
+    pub livefire_shard_restarts: u64,
 }
 
 impl FleetReport {
@@ -158,11 +170,21 @@ impl fmt::Display for FleetReport {
                 self.corun_flips
             )?;
         }
+        if self.churn_events + self.poisoned_sources + self.quarantined_sources > 0 {
+            writeln!(
+                f,
+                "faults       {} churn evictions  {} poisoned uploads  {} sources quarantined",
+                self.churn_events, self.poisoned_sources, self.quarantined_sources
+            )?;
+        }
         if self.livefire_sent > 0 {
             writeln!(
                 f,
-                "livefire     {} sent  {} ok  {} failed",
-                self.livefire_sent, self.livefire_ok, self.livefire_failed
+                "livefire     {} sent  {} ok  {} failed  {} shard restarts",
+                self.livefire_sent,
+                self.livefire_ok,
+                self.livefire_failed,
+                self.livefire_shard_restarts
             )?;
         }
         write!(
@@ -257,9 +279,13 @@ mod tests {
             corun_slo_attainment_pct: 97.0,
             corun_mean_slowdown: 1.21,
             corun_flips: 12,
+            churn_events: 9,
+            poisoned_sources: 5,
+            quarantined_sources: 3,
             livefire_sent: 64,
             livefire_ok: 64,
             livefire_failed: 0,
+            livefire_shard_restarts: 2,
         }
     }
 
@@ -296,8 +322,15 @@ mod tests {
         assert!(text.contains("verdict      PASS"));
         assert!(text.contains("livefire     64 sent"));
         assert!(text.contains("co-run       2 tenants/device"));
+        assert!(text.contains("faults       9 churn evictions"));
+        assert!(text.contains("2 shard restarts"));
         let mut single = sample();
         single.corun_tenants = 0;
         assert!(!single.to_string().contains("co-run"));
+        let mut calm = sample();
+        calm.churn_events = 0;
+        calm.poisoned_sources = 0;
+        calm.quarantined_sources = 0;
+        assert!(!calm.to_string().contains("faults"));
     }
 }

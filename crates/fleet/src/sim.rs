@@ -20,10 +20,10 @@ use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use icomm_chaos::ChaosRng;
+use icomm_chaos::{ChaosRng, FaultPlan};
 use icomm_core::recommend_for_device;
 use icomm_microbench::{
-    fingerprint_features, quick_characterize_device, transfer_characterization,
+    fingerprint_features, quick_characterize_device, robust_transfer_characterization,
     DeviceCharacterization, TransferPolicy,
 };
 use icomm_models::run_model;
@@ -84,6 +84,12 @@ pub struct FleetConfig {
     /// Named co-run mix for the multi-tenant stage, or `"auto"` to pick
     /// by `tenants_per_device` (2 → `duo`, 3 → `contended`, 4 → `quad`).
     pub tenant_mix: String,
+    /// Fleet-scale fault plan: `churn_prob` evicts a device's registry
+    /// state before its lookup (crash-and-rejoin), `poison_prob` makes a
+    /// served device upload an adversarial characterization under a
+    /// near-identical identity, and `shard_panics` injects panics into
+    /// the live-fire binary serving plane.
+    pub faults: FaultPlan,
 }
 
 impl Default for FleetConfig {
@@ -108,7 +114,37 @@ impl Default for FleetConfig {
             livefire_wire: icomm_net::WireMode::Json,
             tenants_per_device: 1,
             tenant_mix: "auto".to_string(),
+            faults: FaultPlan::none(),
         }
+    }
+}
+
+/// Salt decorrelating the fault-injection draws from the population and
+/// arrival draws, so turning faults on never reshuffles who arrives
+/// when.
+const FAULT_STREAM_SALT: u64 = 0xFA17_5EED_0B5E_55ED;
+
+/// Builds the adversarial characterization a compromised device uploads.
+/// Even-numbered poison events violate board physics outright (caught by
+/// the plausibility screen and quarantined at the source); odd-numbered
+/// ones lie an order of magnitude while staying inside physical bounds
+/// (caught by the consensus screen once an honest majority exists).
+fn poison_characterization(name: &str, event: u64) -> DeviceCharacterization {
+    let implausible = event.is_multiple_of(2);
+    DeviceCharacterization {
+        device: name.to_string(),
+        gpu_cache_max_throughput: if implausible { -5.0e9 } else { 9.0e12 },
+        gpu_zc_throughput: 9.0e12,
+        gpu_um_throughput: 9.0e12,
+        gpu_cache_threshold_pct: 99.0,
+        gpu_cache_zone2_pct: Some(99.5),
+        cpu_cache_threshold_pct: 99.0,
+        sc_zc_max_speedup: 900.0,
+        zc_sc_max_speedup: 900.0,
+        upm_supported: false,
+        gpu_upm_throughput: 0.0,
+        upm_kernel_penalty: 1.0,
+        um_upm_max_speedup: 1.0,
     }
 }
 
@@ -183,8 +219,27 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
     if config.devices == 0 {
         return Err("fleet population must have at least one device".to_string());
     }
+    config.faults.validate()?;
+    if config.faults.shard_panics > 0 {
+        if !config.livefire {
+            return Err(
+                "shard_panics requires the live-fire stage (set livefire=true)".to_string(),
+            );
+        }
+        if config.livefire_wire != icomm_net::WireMode::Binary {
+            return Err(
+                "shard_panics requires the binary serving plane (--wire binary): \
+                 the line-JSON listener has no shard supervisor to restart"
+                    .to_string(),
+            );
+        }
+    }
     let mix = BoardMix::parse(&config.boards)?;
     let mut rng = ChaosRng::new(config.seed);
+    // Separate stream for fault draws: a fault-free plan consumes no
+    // draws from it, and enabling faults never perturbs the population
+    // or arrival schedule.
+    let mut fault_rng = ChaosRng::new(config.seed ^ FAULT_STREAM_SALT);
     let population = synthesize_population(&mix, config.devices, &config.population, &mut rng);
     let arrivals = crate::arrival::generate_arrivals(config.devices, &config.arrival, &mut rng);
 
@@ -197,6 +252,8 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
     let mut served = 0u64;
     let mut shed_queue = 0u64;
     let mut shed_rate = 0u64;
+    let mut churn_events = 0u64;
+    let mut poisoned_sources = 0u64;
     let mut cache_hits = 0u64;
     let mut transfer_hits = 0u64;
     let mut transfer_fallbacks = 0u64;
@@ -240,17 +297,28 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
         }
 
         let device = &population[arrival.device_index];
+        // Device churn: the device crashed, lost local state, and
+        // re-joins the fleet as a stranger — its registry entry (and any
+        // quarantine verdict against it) evaporates before the lookup.
+        if fault_rng.chance(config.faults.churn_prob) && registry.remove(&device.profile) {
+            churn_events += 1;
+        }
         let class_flag = Cell::new(LookupClass::Hit);
         let (characterization, lookup) =
             registry.get_or_characterize_with(&device.profile, |profile| {
                 let features = fingerprint_features(profile);
                 let neighbors = registry.measured_neighbors();
-                match transfer_characterization(
+                let had_neighbors = !neighbors.is_empty();
+                let outcome = robust_transfer_characterization(
                     &profile.name,
                     &features,
                     &neighbors,
                     &config.transfer,
-                ) {
+                );
+                for source in &outcome.rejected_sources {
+                    registry.quarantine_source(*source);
+                }
+                match outcome.transferred {
                     Some(t) => {
                         class_flag.set(LookupClass::Transfer);
                         let meta = EntryMeta {
@@ -260,10 +328,10 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
                         (t.characterization, Some(meta))
                     }
                     None => {
-                        class_flag.set(if neighbors.is_empty() {
-                            LookupClass::FullFresh
-                        } else {
+                        class_flag.set(if had_neighbors {
                             LookupClass::FullFallback
+                        } else {
+                            LookupClass::FullFresh
                         });
                         (
                             quick_characterize_device(profile),
@@ -297,6 +365,23 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
                 COST_FULL_US
             }
         };
+
+        // Characterization poisoning: with probability `poison_prob` the
+        // served device is compromised and uploads an adversarial
+        // characterization under a near-identical (Sybil) identity — a
+        // fresh key sitting well inside the transfer horizon of its
+        // cluster, marked measured so it enters neighbor aggregation.
+        if fault_rng.chance(config.faults.poison_prob) {
+            let scale = 1.0015 + 0.0005 * (poisoned_sources % 4) as f64;
+            let sybil = device.profile.with_power_scale(scale, scale, scale);
+            let features = fingerprint_features(&sybil);
+            registry.insert_with_meta(
+                &sybil,
+                poison_characterization(&sybil.name, poisoned_sources),
+                EntryMeta::measured(features),
+            );
+            poisoned_sources += 1;
+        }
 
         if let Some(mix_name) = &tenant_mix_name {
             let key = (device.board.clone(), device.cluster);
@@ -431,15 +516,20 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
         corun_slowdown_sum / corun_jobs as f64
     };
 
-    let (livefire_counts, livefire_stats) = if config.livefire {
-        let outcome =
-            crate::livefire::run_livefire(config.devices.min(192), 4, config.livefire_wire)?;
+    let (livefire_counts, livefire_stats, livefire_shard_restarts) = if config.livefire {
+        let outcome = crate::livefire::run_livefire(
+            config.devices.min(192),
+            4,
+            config.livefire_wire,
+            config.faults.shard_panics,
+        )?;
         (
             (outcome.sent, outcome.ok, outcome.failed),
             Some(outcome.stats),
+            outcome.shard_restarts,
         )
     } else {
-        ((0, 0, 0), None)
+        ((0, 0, 0), None, 0)
     };
 
     let report = FleetReport {
@@ -475,9 +565,13 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
         corun_slo_attainment_pct,
         corun_mean_slowdown,
         corun_flips,
+        churn_events,
+        poisoned_sources,
+        quarantined_sources: registry.quarantined_sources().len() as u64,
         livefire_sent: livefire_counts.0,
         livefire_ok: livefire_counts.1,
         livefire_failed: livefire_counts.2,
+        livefire_shard_restarts,
     };
     Ok(FleetRunOutput {
         report,
@@ -594,6 +688,133 @@ mod tests {
             let err = run_fleet(&config).expect_err("tenant count out of range");
             assert!(err.contains("tenants_per_device"), "error: {err}");
         }
+    }
+
+    #[test]
+    fn faulted_simulation_replays_byte_identically() {
+        let config = FleetConfig {
+            faults: FaultPlan {
+                churn_prob: 0.2,
+                poison_prob: 0.25,
+                ..FaultPlan::none()
+            },
+            ..small_config()
+        };
+        let run = || {
+            let out = run_fleet(&config).unwrap();
+            icomm_persist::to_string(&out.report).unwrap()
+        };
+        let first = run();
+        assert_eq!(first, run());
+        let report: FleetReport = icomm_persist::from_str(&first).unwrap();
+        assert!(report.churn_events > 0, "churn draws must fire at 20%");
+        assert!(report.poisoned_sources > 0, "poison draws must fire at 25%");
+        assert!(
+            report.quarantined_sources > 0,
+            "implausible poisons must be caught and attributed"
+        );
+    }
+
+    #[test]
+    fn poisoned_fleet_holds_decisions_and_quarantines_sources() {
+        let baseline = run_fleet(&small_config()).unwrap().report;
+        let poisoned = run_fleet(&FleetConfig {
+            faults: FaultPlan {
+                poison_prob: 0.25,
+                ..FaultPlan::none()
+            },
+            ..small_config()
+        })
+        .unwrap()
+        .report;
+        assert!(poisoned.poisoned_sources > 0);
+        assert!(poisoned.quarantined_sources > 0);
+        // Each plausible poison costs at most one fail-safe decline into
+        // measurement before the neighborhood majority quarantines it;
+        // at 96 devices that overhead is proportionally heavy (it
+        // amortizes to a few points at fleet scale), so the bound here
+        // is looser than the fleet gate.
+        assert!(
+            poisoned.warm_start_pct >= 75.0,
+            "warm start {:.1}% under poisoning",
+            poisoned.warm_start_pct
+        );
+        // The robust aggregation keeps transferred decisions identical
+        // to the unpoisoned fleet: zero regret inflation.
+        assert!(
+            poisoned.mean_regret_pct <= baseline.mean_regret_pct,
+            "regret inflated: {:.2}% vs baseline {:.2}%",
+            poisoned.mean_regret_pct,
+            baseline.mean_regret_pct
+        );
+        assert_eq!(poisoned.regret_disagreements, 0);
+    }
+
+    #[test]
+    fn churn_forces_relookups_without_losing_requests() {
+        let baseline = run_fleet(&small_config()).unwrap().report;
+        let churned = run_fleet(&FleetConfig {
+            faults: FaultPlan {
+                churn_prob: 0.5,
+                ..FaultPlan::none()
+            },
+            ..small_config()
+        })
+        .unwrap()
+        .report;
+        assert!(churned.churn_events > 0);
+        assert_eq!(
+            churned.served + churned.shed_queue + churned.shed_rate,
+            churned.requests
+        );
+        assert!(
+            churned.cache_hits < baseline.cache_hits,
+            "evictions must cost cache hits ({} vs {})",
+            churned.cache_hits,
+            baseline.cache_hits
+        );
+    }
+
+    #[test]
+    fn livefire_survives_injected_shard_panics() {
+        let config = FleetConfig {
+            devices: 96,
+            regret_samples: 0,
+            livefire: true,
+            livefire_wire: icomm_net::WireMode::Binary,
+            faults: FaultPlan {
+                shard_panics: 2,
+                ..FaultPlan::none()
+            },
+            ..FleetConfig::default()
+        };
+        let out = run_fleet(&config).unwrap();
+        let r = out.report;
+        assert_eq!(r.livefire_sent, 96);
+        assert_eq!(r.livefire_failed, 0, "no response may be lost to a panic");
+        assert_eq!(r.livefire_shard_restarts, 2);
+        assert!(r.passed(), "report:\n{r}");
+    }
+
+    #[test]
+    fn shard_panics_demand_a_supervised_plane() {
+        let json_wire = FleetConfig {
+            faults: FaultPlan {
+                shard_panics: 1,
+                ..FaultPlan::none()
+            },
+            ..FleetConfig::default()
+        };
+        let err = run_fleet(&json_wire).unwrap_err();
+        assert!(err.contains("binary"), "error: {err}");
+
+        let no_livefire = FleetConfig {
+            livefire: false,
+            livefire_wire: icomm_net::WireMode::Binary,
+            ..json_wire
+        };
+        let err = run_fleet(&no_livefire).unwrap_err();
+        assert!(err.contains("live-fire"), "error: {err}");
     }
 
     #[test]

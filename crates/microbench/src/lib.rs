@@ -39,6 +39,7 @@ pub use mb1::PeakCacheThroughput;
 pub use mb2::ThresholdSweep;
 pub use mb3::OverlapProbe;
 pub use transfer::{
-    transfer_characterization, NeighborSample, TransferPolicy, TransferredCharacterization,
+    check_plausible, robust_transfer_characterization, transfer_characterization, NeighborSample,
+    RobustTransferOutcome, TransferPolicy, TransferredCharacterization,
 };
 pub use upm::UpmProbe;

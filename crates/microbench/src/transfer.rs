@@ -56,6 +56,10 @@ impl Default for TransferPolicy {
 /// One measured registry entry offered as an interpolation source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NeighborSample {
+    /// Registry key of the device that contributed this sample, so a
+    /// source caught lying about board physics can be quarantined at
+    /// its origin. `0` for anonymous samples (tests, ad-hoc callers).
+    pub source: u64,
     /// Feature vector of the measured device
     /// ([`fingerprint_features`] output).
     ///
@@ -204,6 +208,363 @@ pub fn transfer_characterization(
     })
 }
 
+/// Checks a characterization against board physics — the screen a
+/// fleet applies before letting a peer's measurement influence a
+/// transfer. Every bound is generous (an order of magnitude past any
+/// embedded SoC in the registry) so an honest outlier never fails; a
+/// fabricated entry with NaN throughputs, thresholds past 100 %, or
+/// UPM numbers on a board that disclaims the fabric does.
+///
+/// # Errors
+///
+/// Returns a description of the first implausible field.
+pub fn check_plausible(c: &DeviceCharacterization) -> Result<(), String> {
+    // No embedded memory fabric moves 10 TB/s; nothing moves <= 0.
+    const MAX_THROUGHPUT: f64 = 1e13;
+    for (name, value) in [
+        ("gpu_cache_max_throughput", c.gpu_cache_max_throughput),
+        ("gpu_zc_throughput", c.gpu_zc_throughput),
+        ("gpu_um_throughput", c.gpu_um_throughput),
+    ] {
+        if !value.is_finite() || value <= 0.0 || value > MAX_THROUGHPUT {
+            return Err(format!("{name} {value} is not a plausible bandwidth"));
+        }
+    }
+    for (name, value) in [
+        ("gpu_cache_threshold_pct", c.gpu_cache_threshold_pct),
+        ("cpu_cache_threshold_pct", c.cpu_cache_threshold_pct),
+    ] {
+        if !value.is_finite() || !(0.0..=100.0).contains(&value) {
+            return Err(format!("{name} {value} outside [0, 100]"));
+        }
+    }
+    if let Some(zone2) = c.gpu_cache_zone2_pct {
+        if !zone2.is_finite() || !(0.0..=100.0).contains(&zone2) {
+            return Err(format!("gpu_cache_zone2_pct {zone2} outside [0, 100]"));
+        }
+    }
+    // Fig. 2 speedups on these boards top out near 50x; 10^4 is the
+    // "no physical copy path is that asymmetric" line.
+    const MAX_SPEEDUP: f64 = 1e4;
+    for (name, value) in [
+        ("sc_zc_max_speedup", c.sc_zc_max_speedup),
+        ("zc_sc_max_speedup", c.zc_sc_max_speedup),
+    ] {
+        if !value.is_finite() || value <= 0.0 || value > MAX_SPEEDUP {
+            return Err(format!("{name} {value} is not a plausible speedup"));
+        }
+    }
+    if c.upm_supported {
+        if !c.gpu_upm_throughput.is_finite()
+            || c.gpu_upm_throughput <= 0.0
+            || c.gpu_upm_throughput > MAX_THROUGHPUT
+        {
+            return Err(format!(
+                "gpu_upm_throughput {} claimed on a UPM board is not a plausible bandwidth",
+                c.gpu_upm_throughput
+            ));
+        }
+        if !c.upm_kernel_penalty.is_finite()
+            || c.upm_kernel_penalty <= 0.0
+            || c.upm_kernel_penalty > 100.0
+        {
+            return Err(format!(
+                "upm_kernel_penalty {} outside (0, 100]",
+                c.upm_kernel_penalty
+            ));
+        }
+        if !c.um_upm_max_speedup.is_finite()
+            || c.um_upm_max_speedup <= 0.0
+            || c.um_upm_max_speedup > MAX_SPEEDUP
+        {
+            return Err(format!(
+                "um_upm_max_speedup {} is not a plausible speedup",
+                c.um_upm_max_speedup
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// What [`robust_transfer_characterization`] concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustTransferOutcome {
+    /// The aggregated characterization, when a viable honest-majority
+    /// neighborhood existed. `None` means "measure for real".
+    pub transferred: Option<TransferredCharacterization>,
+    /// Sources whose characterizations failed the board-physics screen
+    /// ([`check_plausible`]) — candidates for registry quarantine.
+    /// Sorted, deduplicated.
+    pub rejected_sources: Vec<u64>,
+    /// Plausible in-horizon neighbors the aggregate was computed over.
+    pub considered: usize,
+}
+
+/// Byzantine-robust variant of [`transfer_characterization`]: tolerates
+/// up to `f` poisoned sources among `2f + 1` viable neighbors without
+/// any transferred field leaving the honest neighbors' range.
+///
+/// Four changes buy the breakdown point:
+///
+/// - **Plausibility screening**: sources whose values violate board
+///   physics ([`check_plausible`]) are dropped up front and reported in
+///   [`RobustTransferOutcome::rejected_sources`] so the caller can
+///   quarantine them at the registry.
+/// - **Horizon membership instead of k-nearest**: every plausible
+///   neighbor within the *absolute* distance horizon at which a
+///   neighbor could still clear the policy's confidence floor
+///   participates, all with equal weight. Faking proximity (a poisoned
+///   entry claiming distance ~0) gains nothing — membership is binary,
+///   so an attacker cannot crowd honest neighbors out of the aggregate
+///   the way it can out of a k-nearest selection.
+/// - **Consensus screening**: a source whose ratio-scale fields sit an
+///   order of magnitude from the neighborhood median is lying within
+///   physical bounds. With a consistent strict majority the outliers
+///   are ejected and reported for quarantine; a two-sample neighborhood
+///   that disagrees with itself has no majority to arbitrate, so it
+///   declines outright and the caller measures for real.
+/// - **Per-field medians instead of distance-weighted means**: with an
+///   honest majority, every aggregated field — and the confidence,
+///   which derives from the median distance — is bounded by honest
+///   values. The zone-2 bound and UPM support are decided by majority
+///   vote, with medians over the supporting neighbors.
+///
+/// A poisoned *majority* can still steer the result — `f >= n/2` is
+/// unwinnable without external ground truth — and an attacker faking
+/// *large* distances can only push the median distance up, which lowers
+/// confidence and fails safe into real measurement.
+pub fn robust_transfer_characterization(
+    target_name: &str,
+    target_features: &[f64],
+    neighbors: &[NeighborSample],
+    policy: &TransferPolicy,
+) -> RobustTransferOutcome {
+    let mut rejected_sources: Vec<u64> = Vec::new();
+    let mut viable: Vec<(f64, &NeighborSample)> = Vec::new();
+
+    // The farthest a lone neighbor could sit and still clear the
+    // confidence floor: exp(-d / scale) >= floor  <=>  d <= scale * ln(1/floor).
+    let scale = policy.distance_scale.max(1e-12);
+    let horizon = if policy.confidence_floor >= 1.0 {
+        0.0
+    } else if policy.confidence_floor <= 0.0 {
+        f64::INFINITY
+    } else {
+        scale * (1.0 / policy.confidence_floor).ln()
+    };
+
+    for neighbor in neighbors {
+        let distance = feature_distance(target_features, &neighbor.features);
+        if !distance.is_finite() {
+            // Mismatched feature schema: unusable, but not malicious.
+            continue;
+        }
+        if let Err(_reason) = check_plausible(&neighbor.characterization) {
+            if neighbor.source != 0 {
+                rejected_sources.push(neighbor.source);
+            }
+            continue;
+        }
+        if distance <= horizon {
+            viable.push((distance, neighbor));
+        }
+    }
+    rejected_sources.sort_unstable();
+    rejected_sources.dedup();
+
+    if viable.is_empty() || policy.k == 0 {
+        return RobustTransferOutcome {
+            transferred: None,
+            rejected_sources,
+            considered: 0,
+        };
+    }
+    viable.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    // Consensus screen. In-horizon neighbors are firmware siblings of
+    // one SKU, so their true values differ by a few percent; a sample an
+    // order of magnitude off the neighborhood median on any ratio-scale
+    // field is adversarial, not drifted.
+    if viable.len() == 2 {
+        let a = consensus_fields(&viable[0].1.characterization);
+        let b = consensus_fields(&viable[1].1.characterization);
+        if !consensus_agree(&a, &b) {
+            // Two samples that wildly disagree: no majority to say which
+            // is lying, so blame nobody and measure for real.
+            return RobustTransferOutcome {
+                transferred: None,
+                rejected_sources,
+                considered: 2,
+            };
+        }
+    } else if viable.len() >= 3 {
+        let vectors: Vec<[f64; 5]> = viable
+            .iter()
+            .map(|(_, n)| consensus_fields(&n.characterization))
+            .collect();
+        let mut reference = [0.0f64; 5];
+        for (i, slot) in reference.iter_mut().enumerate() {
+            let column: Vec<f64> = vectors.iter().map(|v| v[i]).collect();
+            *slot = median_of(&column);
+        }
+        let consistent: Vec<bool> = vectors
+            .iter()
+            .map(|v| consensus_agree(v, &reference))
+            .collect();
+        let agree_count = consistent.iter().filter(|ok| **ok).count();
+        if agree_count < viable.len() {
+            if agree_count * 2 > viable.len() {
+                for ((_, n), ok) in viable.iter().zip(&consistent) {
+                    if !ok && n.source != 0 {
+                        rejected_sources.push(n.source);
+                    }
+                }
+                rejected_sources.sort_unstable();
+                rejected_sources.dedup();
+                let mut keep = consistent.iter();
+                viable.retain(|_| *keep.next().unwrap_or(&true));
+            } else {
+                // The disagreeing side is at least half the neighborhood:
+                // nothing trustworthy to aggregate, nobody to blame.
+                let considered = viable.len();
+                return RobustTransferOutcome {
+                    transferred: None,
+                    rejected_sources,
+                    considered,
+                };
+            }
+        }
+    }
+
+    let distances: Vec<f64> = viable.iter().map(|(d, _)| *d).collect();
+    let median_distance = median_of(&distances);
+    let confidence = (-median_distance / scale).exp();
+    if confidence < policy.confidence_floor {
+        return RobustTransferOutcome {
+            transferred: None,
+            rejected_sources,
+            considered: viable.len(),
+        };
+    }
+
+    let aggregate = |field: fn(&DeviceCharacterization) -> f64| -> f64 {
+        let values: Vec<f64> = viable
+            .iter()
+            .map(|(_, n)| field(&n.characterization))
+            .collect();
+        median_of(&values)
+    };
+
+    // Zone 2 transfers when a strict majority observed one; the bound
+    // itself is the median over the observers, so up to f poisoned
+    // observers cannot move it outside the honest observers' range.
+    let zone2 = {
+        let observed: Vec<f64> = viable
+            .iter()
+            .filter_map(|(_, n)| n.characterization.gpu_cache_zone2_pct)
+            .collect();
+        if observed.len() * 2 > viable.len() {
+            Some(median_of(&observed))
+        } else {
+            None
+        }
+    };
+
+    // UPM support by strict majority vote; the UPM numbers are medians
+    // over the supporters only (non-supporters carry placeholders).
+    let supporters: Vec<&NeighborSample> = viable
+        .iter()
+        .filter(|(_, n)| n.characterization.upm_supported)
+        .map(|(_, n)| *n)
+        .collect();
+    let upm_supported = supporters.len() * 2 > viable.len();
+    let upm_field = |field: fn(&DeviceCharacterization) -> f64, fallback: f64| -> f64 {
+        if upm_supported {
+            let values: Vec<f64> = supporters
+                .iter()
+                .map(|n| field(&n.characterization))
+                .collect();
+            median_of(&values)
+        } else {
+            fallback
+        }
+    };
+
+    let characterization = DeviceCharacterization {
+        device: target_name.to_string(),
+        gpu_cache_max_throughput: aggregate(|c| c.gpu_cache_max_throughput),
+        gpu_zc_throughput: aggregate(|c| c.gpu_zc_throughput),
+        gpu_um_throughput: aggregate(|c| c.gpu_um_throughput),
+        gpu_cache_threshold_pct: aggregate(|c| c.gpu_cache_threshold_pct),
+        gpu_cache_zone2_pct: zone2,
+        cpu_cache_threshold_pct: aggregate(|c| c.cpu_cache_threshold_pct),
+        sc_zc_max_speedup: aggregate(|c| c.sc_zc_max_speedup),
+        zc_sc_max_speedup: aggregate(|c| c.zc_sc_max_speedup),
+        upm_supported,
+        gpu_upm_throughput: upm_field(|c| c.gpu_upm_throughput, 0.0),
+        upm_kernel_penalty: upm_field(|c| c.upm_kernel_penalty, 1.0),
+        um_upm_max_speedup: upm_field(|c| c.um_upm_max_speedup, 1.0),
+    };
+
+    let considered = viable.len();
+    RobustTransferOutcome {
+        transferred: Some(TransferredCharacterization {
+            characterization,
+            confidence,
+            nearest_distance: distances[0],
+            neighbors_used: considered,
+        }),
+        rejected_sources,
+        considered,
+    }
+}
+
+/// Median of a non-empty slice: the middle element for odd lengths,
+/// the mean of the two middles for even. With at most `f` adversarial
+/// values among `2f + 1`, the result is bounded by the honest min/max.
+fn median_of(values: &[f64]) -> f64 {
+    debug_assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Ratio tolerance of the consensus screen. Honest same-cluster firmware
+/// drift moves ratio-scale fields by a few percent; 4x keeps an order of
+/// safety margin past any DVFS cap while still catching
+/// order-of-magnitude lies.
+const CONSENSUS_RATIO_LIMIT: f64 = 4.0;
+
+/// The ratio-scale fields the consensus screen compares. All are
+/// guaranteed positive by [`check_plausible`], so ratios are well
+/// defined. Threshold percentages are excluded: [`check_plausible`]
+/// already bounds them to [0, 100] and the medians bound them further.
+/// UPM fields are excluded because mixed-support neighborhoods carry
+/// placeholders there.
+fn consensus_fields(c: &DeviceCharacterization) -> [f64; 5] {
+    [
+        c.gpu_cache_max_throughput,
+        c.gpu_zc_throughput,
+        c.gpu_um_throughput,
+        c.sc_zc_max_speedup,
+        c.zc_sc_max_speedup,
+    ]
+}
+
+/// Whether two consensus vectors agree within
+/// [`CONSENSUS_RATIO_LIMIT`] on every field.
+fn consensus_agree(a: &[f64; 5], b: &[f64; 5]) -> bool {
+    a.iter().zip(b).all(|(x, y)| {
+        let (lo, hi) = if x <= y { (*x, *y) } else { (*y, *x) };
+        hi <= lo * CONSENSUS_RATIO_LIMIT
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,8 +589,16 @@ mod tests {
 
     fn sample(features: Vec<f64>, thr: f64, zone2: Option<f64>) -> NeighborSample {
         NeighborSample {
+            source: 0,
             features,
             characterization: chr("n", thr, zone2),
+        }
+    }
+
+    fn sourced(source: u64, features: Vec<f64>, thr: f64, zone2: Option<f64>) -> NeighborSample {
+        NeighborSample {
+            source,
+            ..sample(features, thr, zone2)
         }
     }
 
@@ -323,5 +692,181 @@ mod tests {
             transfer_characterization("t", &[1.0], &neighbors, &TransferPolicy::default())
                 .is_none()
         );
+    }
+
+    #[test]
+    fn plausibility_screen_accepts_real_boards() {
+        // Thresholds scale with `thr`, so stay within [0, 100].
+        for thr in [0.5, 1.0, 1.3] {
+            check_plausible(&chr("ok", thr, Some(30.0))).expect("honest board rejected");
+        }
+    }
+
+    #[test]
+    fn plausibility_screen_rejects_fabricated_physics() {
+        let mut nan_throughput = chr("bad", 1.0, None);
+        nan_throughput.gpu_zc_throughput = f64::NAN;
+        assert!(check_plausible(&nan_throughput).is_err());
+
+        let mut wild_threshold = chr("bad", 1.0, None);
+        wild_threshold.gpu_cache_threshold_pct = 250.0;
+        assert!(check_plausible(&wild_threshold).is_err());
+
+        let mut negative_speedup = chr("bad", 1.0, None);
+        negative_speedup.zc_sc_max_speedup = -3.0;
+        assert!(check_plausible(&negative_speedup).is_err());
+
+        let mut ghost_upm = chr("bad", 1.0, None);
+        ghost_upm.upm_supported = true; // ...with zero UPM bandwidth
+        assert!(check_plausible(&ghost_upm).is_err());
+    }
+
+    #[test]
+    fn robust_transfer_screens_and_reports_implausible_sources() {
+        let f = vec![1.0, 2.0];
+        let mut poisoned = sourced(66, f.clone(), 1.0, None);
+        poisoned.characterization.gpu_cache_max_throughput = f64::INFINITY;
+        let neighbors = [
+            sourced(1, f.clone(), 1.0, None),
+            sourced(2, f.clone(), 1.02, None),
+            poisoned,
+        ];
+        let outcome =
+            robust_transfer_characterization("t", &f, &neighbors, &TransferPolicy::default());
+        assert_eq!(outcome.rejected_sources, vec![66]);
+        assert_eq!(outcome.considered, 2);
+        let t = outcome.transferred.expect("honest pair transfers");
+        // The poisoned bandwidth never leaks into the aggregate.
+        assert!(t.characterization.gpu_cache_max_throughput.is_finite());
+    }
+
+    #[test]
+    fn faked_proximity_cannot_crowd_out_honest_neighbors() {
+        // Two poisoned sources claim an exact feature match (distance
+        // zero) with plausible-but-extreme values; three honest
+        // variants sit at realistic drift. k-nearest would interpolate
+        // from the liars; the robust path's median stays honest.
+        let target = vec![1.0, 1.0];
+        let neighbors = [
+            sourced(10, vec![1.003, 1.003], 1.00, None),
+            sourced(11, vec![1.004, 1.004], 1.05, None),
+            sourced(12, vec![1.005, 1.005], 0.95, None),
+            sourced(90, target.clone(), 2.0, None), // liar: 2x everything, still plausible
+            sourced(91, target.clone(), 2.0, None),
+        ];
+        let outcome =
+            robust_transfer_characterization("t", &target, &neighbors, &TransferPolicy::default());
+        assert!(outcome.rejected_sources.is_empty(), "liars are plausible");
+        let t = outcome.transferred.expect("majority-honest transfers");
+        assert_eq!(t.neighbors_used, 5);
+        let c = &t.characterization;
+        assert!(
+            c.gpu_cache_threshold_pct >= 3.0 * 0.95 && c.gpu_cache_threshold_pct <= 3.0 * 1.05,
+            "median left the honest range: {}",
+            c.gpu_cache_threshold_pct
+        );
+    }
+
+    #[test]
+    fn faked_large_distance_fails_safe_into_measurement() {
+        // A majority faking hugeness can only lower confidence: the
+        // caller measures for real instead of trusting a bad blend.
+        let target = vec![1.0];
+        let neighbors = [
+            sourced(1, vec![1.001], 1.0, None),
+            sourced(90, vec![9.0], 1.0, None),
+            sourced(91, vec![9.0], 1.0, None),
+        ];
+        let outcome =
+            robust_transfer_characterization("t", &target, &neighbors, &TransferPolicy::default());
+        // The fakers fall outside the confidence horizon entirely, so
+        // only the honest neighbor participates.
+        assert_eq!(outcome.considered, 1);
+        assert!(outcome.transferred.is_some());
+    }
+
+    #[test]
+    fn robust_empty_and_all_rejected_neighborhoods_decline() {
+        let policy = TransferPolicy::default();
+        let empty = robust_transfer_characterization("t", &[1.0], &[], &policy);
+        assert!(empty.transferred.is_none());
+        assert_eq!(empty.considered, 0);
+
+        let mut bad = sourced(7, vec![1.0], 1.0, None);
+        bad.characterization.cpu_cache_threshold_pct = f64::NAN;
+        let all_bad = robust_transfer_characterization("t", &[1.0], &[bad], &policy);
+        assert!(all_bad.transferred.is_none());
+        assert_eq!(all_bad.rejected_sources, vec![7]);
+    }
+
+    #[test]
+    fn consensus_majority_ejects_and_attributes_gross_liars() {
+        // Two sources lie an order of magnitude while staying inside
+        // board physics; the honest strict majority ejects them and the
+        // caller learns whom to quarantine.
+        let target = vec![1.0, 1.0];
+        let liar = |source| {
+            let mut n = sourced(source, target.clone(), 1.0, None);
+            n.characterization.gpu_cache_max_throughput = 9e12;
+            n.characterization.sc_zc_max_speedup = 900.0;
+            n
+        };
+        let neighbors = [
+            sourced(1, vec![1.002, 1.002], 1.00, None),
+            sourced(2, vec![1.003, 1.003], 1.04, None),
+            sourced(3, vec![1.004, 1.004], 0.96, None),
+            liar(90),
+            liar(91),
+        ];
+        let outcome =
+            robust_transfer_characterization("t", &target, &neighbors, &TransferPolicy::default());
+        assert_eq!(outcome.rejected_sources, vec![90, 91]);
+        let t = outcome.transferred.expect("honest majority transfers");
+        assert_eq!(t.neighbors_used, 3);
+        assert!(t.characterization.gpu_cache_max_throughput < 2e11);
+        assert!(t.characterization.sc_zc_max_speedup < 1.0);
+    }
+
+    #[test]
+    fn split_pair_declines_instead_of_averaging() {
+        // One honest sample, one order-of-magnitude liar: a median over
+        // two is a mean, so the only safe answer is "measure for real".
+        // Nobody is blamed — there is no majority to say which one lied.
+        let target = vec![1.0];
+        let mut liar = sourced(90, vec![1.001], 1.0, None);
+        liar.characterization.gpu_zc_throughput = 8e12;
+        let neighbors = [sourced(1, vec![1.002], 1.0, None), liar];
+        let outcome =
+            robust_transfer_characterization("t", &target, &neighbors, &TransferPolicy::default());
+        assert!(outcome.transferred.is_none());
+        assert!(outcome.rejected_sources.is_empty());
+        assert_eq!(outcome.considered, 2);
+    }
+
+    #[test]
+    fn robust_zone2_and_upm_follow_the_majority() {
+        let f = vec![1.0];
+        let mut upm = sourced(1, vec![1.001], 1.0, Some(30.0));
+        upm.characterization.upm_supported = true;
+        upm.characterization.gpu_upm_throughput = 30e9;
+        upm.characterization.upm_kernel_penalty = 1.3;
+        upm.characterization.um_upm_max_speedup = 1.4;
+        let mut upm2 = upm.clone();
+        upm2.source = 2;
+        upm2.characterization.gpu_upm_throughput = 34e9;
+        let plain = sourced(3, vec![1.002], 1.0, None);
+
+        let outcome = robust_transfer_characterization(
+            "t",
+            &f,
+            &[upm, upm2, plain],
+            &TransferPolicy::default(),
+        );
+        let t = outcome.transferred.expect("transfers");
+        // 2 of 3 support UPM and observed zone 2: both majorities win,
+        // and the numbers are medians over the supporters.
+        assert!(t.characterization.upm_supported);
+        assert!((t.characterization.gpu_upm_throughput - 32e9).abs() < 1e6);
+        assert_eq!(t.characterization.gpu_cache_zone2_pct, Some(30.0));
     }
 }

@@ -9,8 +9,8 @@
 use proptest::prelude::*;
 
 use icomm_microbench::{
-    feature_distance, fingerprint_features, transfer_characterization, DeviceCharacterization,
-    NeighborSample, TransferPolicy,
+    feature_distance, fingerprint_features, robust_transfer_characterization,
+    transfer_characterization, DeviceCharacterization, NeighborSample, TransferPolicy,
 };
 use icomm_soc::DeviceProfile;
 
@@ -25,6 +25,32 @@ fn device_strategy() -> impl Strategy<Value = DeviceProfile> {
         };
         base.with_power_scale(cpu, gpu, mem)
     })
+}
+
+/// A characterization that clears [`icomm_microbench::check_plausible`]
+/// while every tunable field is attacker-chosen — the strongest lie a
+/// poisoned source can tell without tripping the physics screen.
+fn plausible_poison(
+    name: &str,
+    threshold_pct: f64,
+    speedup: f64,
+    throughput: f64,
+) -> DeviceCharacterization {
+    DeviceCharacterization {
+        device: name.to_string(),
+        gpu_cache_max_throughput: throughput,
+        gpu_zc_throughput: throughput / 4.0,
+        gpu_um_throughput: throughput / 3.0,
+        gpu_cache_threshold_pct: threshold_pct,
+        gpu_cache_zone2_pct: Some((threshold_pct * 2.0).min(100.0)),
+        cpu_cache_threshold_pct: 100.0,
+        sc_zc_max_speedup: speedup,
+        zc_sc_max_speedup: speedup,
+        upm_supported: false,
+        gpu_upm_throughput: 0.0,
+        upm_kernel_penalty: 1.0,
+        um_upm_max_speedup: 1.0,
+    }
 }
 
 /// A synthetic characterization with thresholds drawn from a bounded
@@ -109,9 +135,9 @@ proptest! {
         let features = fingerprint_features(&device);
         let near = fingerprint_features(&device.with_power_scale(drift, drift, drift));
         let neighbors = vec![
-            NeighborSample { features: features.clone(), characterization: characterization("n1", t1, s1) },
-            NeighborSample { features: near.clone(), characterization: characterization("n2", t2, s2) },
-            NeighborSample { features: near, characterization: characterization("n3", t3, s3) },
+            NeighborSample { source: 1, features: features.clone(), characterization: characterization("n1", t1, s1) },
+            NeighborSample { source: 2, features: near.clone(), characterization: characterization("n2", t2, s2) },
+            NeighborSample { source: 3, features: near, characterization: characterization("n3", t3, s3) },
         ];
         let target = fingerprint_features(&device);
         let Some(t) = transfer_characterization("target", &target, &neighbors, &TransferPolicy::default()) else {
@@ -136,6 +162,7 @@ proptest! {
         growth in 1.005f64..1.02,
     ) {
         let neighbor = NeighborSample {
+            source: 1,
             features: fingerprint_features(&device),
             characterization: characterization("anchor", 20.0, 1.5),
         };
@@ -159,5 +186,139 @@ proptest! {
             // one transfers.
             (None, Some(_)) => prop_assert!(false, "near declined but far transferred"),
         }
+    }
+
+    /// Breakdown point: `f` attacker-chosen (but physically plausible)
+    /// sources among `2f + 1` viable neighbors can never pull a
+    /// transferred field outside the honest neighbors' envelope. The
+    /// honest samples sit in the few-percent band real firmware
+    /// siblings of one SKU exhibit; the poisons claim the target's
+    /// exact fingerprint (sybil proximity) and arbitrary values.
+    #[test]
+    fn poisoned_minority_cannot_leave_the_honest_envelope(
+        device in device_strategy(),
+        f in 1usize..4,
+        honest_t in prop::collection::vec(20.0f64..25.0, 4..5),
+        honest_s in prop::collection::vec(1.5f64..1.875, 4..5),
+        poison_t in prop::collection::vec(0.0f64..100.0, 3..4),
+        poison_s in prop::collection::vec(0.01f64..9.9e3, 3..4),
+        poison_bw in prop::collection::vec(1.0f64..9.9e12, 3..4),
+    ) {
+        let target = fingerprint_features(&device);
+        let mut neighbors = Vec::new();
+        for i in 0..=f {
+            let drift = 1.0 + 0.001 * (i as f64 + 1.0);
+            neighbors.push(NeighborSample {
+                source: 1 + i as u64,
+                features: fingerprint_features(&device.with_power_scale(drift, drift, drift)),
+                characterization: characterization("honest", honest_t[i], honest_s[i]),
+            });
+        }
+        for i in 0..f {
+            neighbors.push(NeighborSample {
+                source: 100 + i as u64,
+                features: target.clone(),
+                characterization: plausible_poison(
+                    "poison", poison_t[i], poison_s[i], poison_bw[i],
+                ),
+            });
+        }
+        let outcome = robust_transfer_characterization(
+            "target", &target, &neighbors, &TransferPolicy::default(),
+        );
+        // An in-horizon honest majority always exists, so the robust
+        // path must transfer rather than fall back to measurement.
+        let t = outcome.transferred.expect("honest majority must transfer");
+        let (tlo, thi) = honest_t[..=f].iter().fold((f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), v| (lo.min(*v), hi.max(*v)));
+        let got = t.characterization.gpu_cache_threshold_pct;
+        prop_assert!(got >= tlo - 1e-9 && got <= thi + 1e-9, "{got} outside [{tlo}, {thi}]");
+        let (slo, shi) = honest_s[..=f].iter().fold((f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), v| (lo.min(*v), hi.max(*v)));
+        let sgot = t.characterization.sc_zc_max_speedup;
+        prop_assert!(sgot >= slo - 1e-9 && sgot <= shi + 1e-9, "{sgot} outside [{slo}, {shi}]");
+        let bgot = t.characterization.gpu_cache_max_throughput;
+        let (blo, bhi) = (40e9 * slo, 40e9 * shi);
+        prop_assert!(bgot >= blo - 1e-3 && bgot <= bhi + 1e-3, "{bgot} outside [{blo}, {bhi}]");
+    }
+
+    /// The robust aggregate is a function of the neighbor *set*, not the
+    /// neighbor *order*: every screen and every median is
+    /// order-invariant, so any permutation of the same samples must
+    /// produce the identical outcome, attribution included.
+    #[test]
+    fn robust_aggregation_is_permutation_invariant(
+        device in device_strategy(),
+        rotate in 0usize..5,
+        reverse in any::<bool>(),
+        t in prop::collection::vec(20.0f64..25.0, 3..4),
+        s in prop::collection::vec(1.5f64..1.875, 3..4),
+    ) {
+        let target = fingerprint_features(&device);
+        let mut neighbors = Vec::new();
+        for i in 0..3 {
+            let drift = 1.0 + 0.001 * (i as f64 + 1.0);
+            neighbors.push(NeighborSample {
+                source: 1 + i as u64,
+                features: fingerprint_features(&device.with_power_scale(drift, drift, drift)),
+                characterization: characterization("honest", t[i], s[i]),
+            });
+        }
+        // One liar the consensus screen must eject, one the physics
+        // screen must reject — both end up attributed either way.
+        neighbors.push(NeighborSample {
+            source: 90,
+            features: target.clone(),
+            characterization: plausible_poison("liar", 99.0, 900.0, 9e12),
+        });
+        let mut implausible = characterization("forged", 20.0, 1.5);
+        implausible.gpu_cache_max_throughput = -5e9;
+        neighbors.push(NeighborSample {
+            source: 91,
+            features: target.clone(),
+            characterization: implausible,
+        });
+
+        let policy = TransferPolicy::default();
+        let baseline = robust_transfer_characterization("target", &target, &neighbors, &policy);
+        prop_assert_eq!(&baseline.rejected_sources, &vec![90, 91]);
+
+        let mut shuffled = neighbors.clone();
+        let len = shuffled.len();
+        shuffled.rotate_left(rotate % len);
+        if reverse {
+            shuffled.reverse();
+        }
+        let permuted = robust_transfer_characterization("target", &target, &shuffled, &policy);
+        prop_assert_eq!(baseline, permuted);
+    }
+
+    /// With unanimous honest neighbors the robust path and the plain
+    /// k-NN path agree exactly: robustness costs nothing when nobody is
+    /// lying.
+    #[test]
+    fn unanimous_honest_neighbors_match_plain_knn(
+        device in device_strategy(),
+        // The helper reports zone 2 at 3x the threshold; stay under the
+        // 100 % plausibility bound so the physics screen has no say.
+        t in 5.0f64..33.0,
+        s in 0.5f64..3.0,
+        n in 1usize..4,
+    ) {
+        let target = fingerprint_features(&device);
+        let neighbors: Vec<NeighborSample> = (0..n)
+            .map(|i| NeighborSample {
+                source: 1 + i as u64,
+                features: target.clone(),
+                characterization: characterization("sibling", t, s),
+            })
+            .collect();
+        let policy = TransferPolicy::default();
+        let plain = transfer_characterization("target", &target, &neighbors, &policy)
+            .expect("exact-match neighbors must transfer");
+        let robust = robust_transfer_characterization("target", &target, &neighbors, &policy);
+        prop_assert!(robust.rejected_sources.is_empty());
+        prop_assert_eq!(robust.considered, n);
+        prop_assert_eq!(robust.transferred, Some(plain));
     }
 }

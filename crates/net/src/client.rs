@@ -153,6 +153,28 @@ impl BinaryClient {
         }
     }
 
+    /// Fetches the server's supervision-tree health report: per-shard
+    /// liveness, restart counts, and open connections.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, wire-format violations, or an
+    /// undecodable health payload.
+    pub fn health(&mut self) -> Result<crate::HealthReport, ClientError> {
+        let frame = frame_bytes(Opcode::Health, &[]);
+        self.stream.write_all(&frame)?;
+        let reply = self.read_frame()?;
+        match reply.opcode {
+            Opcode::HealthReply => {
+                let json = std::str::from_utf8(&reply.body)
+                    .map_err(|_| ClientError::Protocol("health payload not UTF-8".to_string()))?;
+                icomm_persist::from_str(json)
+                    .map_err(|e| ClientError::Protocol(format!("health payload: {e:?}")))
+            }
+            other => Err(self.unexpected(other, &reply.body)),
+        }
+    }
+
     /// Asks the server to characterize a board by name.
     ///
     /// # Errors

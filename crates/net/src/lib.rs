@@ -31,16 +31,20 @@
 pub mod client;
 pub mod loadgen;
 pub mod reactor;
+pub mod resilient;
 pub mod server;
 pub mod shard;
+pub mod supervise;
 pub mod sys;
 pub mod wire;
 
 pub use client::{BinaryClient, ClientError};
 pub use loadgen::{run_load, warmup, LoadReport, WireMode};
 pub use reactor::{Event, Interest, Reactor, Waker};
+pub use resilient::{ResilienceConfig, ResilienceCounters, ResilientClient};
 pub use server::{BinaryServer, NetConfig};
-pub use shard::{Shard, ShardConfig};
+pub use shard::{Shard, ShardConfig, ShardSupervision};
+pub use supervise::{HealthBoard, HealthReport, PanicInjector, PanicPlan, ShardHealth};
 pub use wire::{
     decode_batch_request, decode_batch_response, decode_tune_request, decode_tune_response,
     encode_batch_request, encode_batch_response, encode_frame, encode_tune_request,

@@ -1,4 +1,4 @@
-//! The binary TCP listener: acceptor thread + shard event loops.
+//! The binary TCP listener: acceptor thread + supervised shard loops.
 //!
 //! [`BinaryServer`] binds a listener, spins up `shards` event-loop
 //! threads (one reactor each), and runs an acceptor thread that deals
@@ -8,6 +8,16 @@
 //! so a saturated server degrades with explicit refusals instead of
 //! accept-queue timeouts.
 //!
+//! Every shard thread is a **supervisor**: the event loop runs under
+//! `catch_unwind`, and a panic tears down only that shard's
+//! connections (their sockets close with a clean EOF) while the
+//! supervisor reconciles the global connection count, waits out an
+//! exponential backoff, builds a fresh [`Reactor`], and restarts the
+//! loop — up to the [`icomm_resilience::RestartPolicy`] budget. The
+//! acceptor reads the shared [`HealthBoard`] and routes new
+//! connections around dead shards; clients observe the supervision
+//! tree through the `Health` opcode.
+//!
 //! The JSON line server ([`icomm_serve::Server`]) stays available as a
 //! compatibility listener; both planes can serve the same
 //! [`TuningService`] simultaneously, which is how the parity and
@@ -15,17 +25,41 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use icomm_resilience::{RestartPolicy, Supervisor};
 use icomm_serve::TuningService;
 
 use crate::reactor::{Reactor, Waker};
-use crate::shard::{Shard, ShardConfig};
+use crate::shard::{Shard, ShardConfig, ShardSupervision};
+use crate::supervise::{HealthBoard, HealthReport, PanicInjector, PanicPlan};
 use crate::wire::{encode_error, frame_bytes, Opcode};
+
+/// A shard's current waker, swapped by the supervisor on every restart
+/// (each restart builds a fresh reactor with a fresh eventfd). Writers
+/// recover a poisoned lock: the slot only ever holds a cloneable
+/// handle, never partially-updated state.
+type WakerSlot = Arc<Mutex<Waker>>;
+
+fn set_waker(slot: &WakerSlot, waker: Waker) {
+    match slot.lock() {
+        Ok(mut guard) => *guard = waker,
+        Err(poisoned) => *poisoned.into_inner() = waker,
+    }
+}
+
+fn wake_slot(slot: &WakerSlot) {
+    let waker = match slot.lock() {
+        Ok(guard) => guard.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    };
+    let _ = waker.wake();
+}
 
 /// Configuration for the binary serving plane.
 #[derive(Clone, Debug)]
@@ -40,6 +74,11 @@ pub struct NetConfig {
     pub read_deadline: Option<Duration>,
     /// Enable the shard-local decision cache.
     pub decision_cache: bool,
+    /// Restart budget and backoff for crashed shard event loops.
+    pub restart: RestartPolicy,
+    /// Chaos hook: inject deterministic shard panics (see
+    /// [`PanicPlan`]). `None` in production.
+    pub panic_plan: Option<PanicPlan>,
 }
 
 impl Default for NetConfig {
@@ -52,6 +91,8 @@ impl Default for NetConfig {
             max_frame_bytes: crate::wire::DEFAULT_MAX_FRAME_LEN,
             read_deadline: Some(Duration::from_secs(30)),
             decision_cache: true,
+            restart: RestartPolicy::default(),
+            panic_plan: None,
         }
     }
 }
@@ -80,6 +121,18 @@ impl NetConfig {
         self.decision_cache = enabled;
         self
     }
+
+    /// Sets the shard restart budget and backoff.
+    pub fn with_restart(mut self, restart: RestartPolicy) -> Self {
+        self.restart = restart;
+        self
+    }
+
+    /// Arms deterministic shard-panic injection (chaos testing only).
+    pub fn with_panic_plan(mut self, plan: PanicPlan) -> Self {
+        self.panic_plan = Some(plan);
+        self
+    }
 }
 
 /// Running binary server: acceptor + shard threads over a shared
@@ -88,10 +141,12 @@ pub struct BinaryServer {
     service: Arc<TuningService>,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    wakers: Vec<Waker>,
+    wakers: Vec<WakerSlot>,
     acceptor: Option<JoinHandle<()>>,
     shard_handles: Vec<JoinHandle<()>>,
     open_conns: Arc<AtomicUsize>,
+    health: Arc<HealthBoard>,
+    injector: Option<Arc<PanicInjector>>,
 }
 
 impl std::fmt::Debug for BinaryServer {
@@ -138,26 +193,42 @@ impl BinaryServer {
             read_deadline: config.read_deadline,
             decision_cache: config.decision_cache,
         };
+        let shards = config.shards.max(1);
+        let health = Arc::new(HealthBoard::new(shards));
+        let injector = config
+            .panic_plan
+            .map(|plan| Arc::new(PanicInjector::new(plan)));
 
-        let mut wakers = Vec::new();
+        let mut wakers: Vec<WakerSlot> = Vec::new();
         let mut senders: Vec<Sender<TcpStream>> = Vec::new();
         let mut shard_handles = Vec::new();
-        for shard_id in 0..config.shards.max(1) {
+        for shard_id in 0..shards {
+            // The first reactor is built on the caller's thread so a
+            // resource failure surfaces as a start error; restarts
+            // build their own inside the supervisor.
             let reactor = Reactor::new().map_err(|e| format!("reactor: {e}"))?;
-            wakers.push(reactor.waker());
+            let waker_slot: WakerSlot = Arc::new(Mutex::new(reactor.waker()));
+            wakers.push(Arc::clone(&waker_slot));
+            // Marked alive before the acceptor exists, so an early
+            // connection is never refused by a not-yet-started shard.
+            health.cell(shard_id).set_alive(true);
             let (tx, rx) = unbounded();
             senders.push(tx);
-            let shard = Shard::new(
-                Arc::clone(&service),
-                reactor,
-                rx,
-                Arc::clone(&shutdown),
-                Arc::clone(&open_conns),
-                shard_config.clone(),
-            );
+            let supervised = SupervisedShard {
+                shard_id,
+                service: Arc::clone(&service),
+                incoming: rx,
+                shutdown: Arc::clone(&shutdown),
+                open_conns: Arc::clone(&open_conns),
+                config: shard_config.clone(),
+                health: Arc::clone(&health),
+                injector: injector.clone(),
+                waker_slot,
+                restart: config.restart.clone(),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("icomm-net-shard-{shard_id}"))
-                .spawn(move || shard.run())
+                .spawn(move || supervised.run(reactor))
                 .map_err(|e| format!("spawn shard: {e}"))?;
             shard_handles.push(handle);
         }
@@ -167,19 +238,21 @@ impl BinaryServer {
             let open_conns = Arc::clone(&open_conns);
             let wakers = wakers.clone();
             let metrics = Arc::clone(service.metrics_handle());
+            let health = Arc::clone(&health);
             let max_connections = config.max_connections;
             std::thread::Builder::new()
                 .name("icomm-net-accept".to_string())
                 .spawn(move || {
-                    accept_loop(
+                    accept_loop(AcceptLoop {
                         listener,
                         senders,
                         wakers,
                         shutdown,
                         open_conns,
                         metrics,
+                        health,
                         max_connections,
-                    )
+                    })
                 })
                 .map_err(|e| format!("spawn acceptor: {e}"))?
         };
@@ -192,6 +265,8 @@ impl BinaryServer {
             acceptor: Some(acceptor),
             shard_handles,
             open_conns,
+            health,
+            injector,
         })
     }
 
@@ -210,14 +285,25 @@ impl BinaryServer {
         self.open_conns.load(Ordering::Relaxed)
     }
 
+    /// Point-in-time supervision-tree health (what the `Health` opcode
+    /// reports on the wire).
+    pub fn health(&self) -> HealthReport {
+        self.health.report()
+    }
+
+    /// Injected panics fired so far (0 without a [`PanicPlan`]).
+    pub fn injected_panics(&self) -> u64 {
+        self.injector.as_ref().map_or(0, |i| i.fired())
+    }
+
     /// Stops the acceptor and every shard, dropping open connections.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::Release);
         // Unblock the acceptor with a throwaway connection; the flag is
         // checked before the connection would be served.
         let _ = TcpStream::connect(self.local_addr);
-        for waker in &self.wakers {
-            let _ = waker.wake();
+        for slot in &self.wakers {
+            wake_slot(slot);
         }
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
@@ -228,18 +314,125 @@ impl BinaryServer {
     }
 }
 
-/// Accepts connections, enforcing the global cap, and deals them to
-/// shards round-robin.
-#[allow(clippy::too_many_arguments)]
-fn accept_loop(
+/// Everything one supervised shard thread owns.
+struct SupervisedShard {
+    shard_id: usize,
+    service: Arc<TuningService>,
+    incoming: Receiver<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    open_conns: Arc<AtomicUsize>,
+    config: ShardConfig,
+    health: Arc<HealthBoard>,
+    injector: Option<Arc<PanicInjector>>,
+    waker_slot: WakerSlot,
+    restart: RestartPolicy,
+}
+
+impl SupervisedShard {
+    /// The supervisor loop: run the event loop under `catch_unwind`;
+    /// on panic, reconcile orphaned connections, back off, build a
+    /// fresh reactor, and go again — until the restart budget runs out
+    /// or shutdown is requested. Connections queued on the incoming
+    /// channel survive restarts (the receiver is cloned per attempt).
+    fn run(self, first_reactor: Reactor) {
+        let metrics = Arc::clone(self.service.metrics_handle());
+        let mut supervisor = Supervisor::new(self.restart.clone());
+        let mut reactor = Some(first_reactor);
+        loop {
+            let r = match reactor.take() {
+                Some(r) => r,
+                None => match Reactor::new() {
+                    Ok(r) => r,
+                    // Out of fds or similar: the shard stays dark, the
+                    // acceptor routes around it via the health board.
+                    Err(_) => {
+                        metrics.conn_errors.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                },
+            };
+            set_waker(&self.waker_slot, r.waker());
+            let cell = self.health.cell(self.shard_id);
+            cell.set_alive(true);
+            let shard = Shard::new(
+                Arc::clone(&self.service),
+                r,
+                self.incoming.clone(),
+                Arc::clone(&self.shutdown),
+                Arc::clone(&self.open_conns),
+                self.config.clone(),
+                ShardSupervision {
+                    health: Arc::clone(&self.health),
+                    shard_id: self.shard_id,
+                    injector: self.injector.clone(),
+                },
+            );
+            let outcome = catch_unwind(AssertUnwindSafe(move || shard.run()));
+            cell.set_alive(false);
+            match outcome {
+                // Clean exit: shutdown was requested.
+                Ok(()) => break,
+                Err(_) => {
+                    metrics.shard_panics.fetch_add(1, Ordering::Relaxed);
+                    // The panicked loop never ran `close` for its
+                    // connections; their sockets dropped with the loop
+                    // (clean EOF client-side). Give their capacity
+                    // slots back and count the orphans.
+                    let orphaned = cell.take_orphans();
+                    if orphaned > 0 {
+                        self.open_conns.fetch_sub(orphaned, Ordering::AcqRel);
+                        metrics
+                            .conns_orphaned
+                            .fetch_add(orphaned as u64, Ordering::Relaxed);
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match supervisor.on_crash() {
+                        Some(backoff) => {
+                            std::thread::sleep(backoff);
+                            if self.shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                            metrics.shard_restarts.fetch_add(1, Ordering::Relaxed);
+                            cell.record_restart();
+                        }
+                        // Budget exhausted: the shard stays down.
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// State the acceptor thread owns.
+struct AcceptLoop {
     listener: TcpListener,
     senders: Vec<Sender<TcpStream>>,
-    wakers: Vec<Waker>,
+    wakers: Vec<WakerSlot>,
     shutdown: Arc<AtomicBool>,
     open_conns: Arc<AtomicUsize>,
     metrics: Arc<icomm_serve::Metrics>,
+    health: Arc<HealthBoard>,
     max_connections: usize,
-) {
+}
+
+/// Accepts connections, enforcing the global cap, and deals them to
+/// *live* shards round-robin. A shard mid-restart (or past its restart
+/// budget) is skipped; with every shard down, clients get an explicit
+/// refusal frame instead of a connection that never answers.
+fn accept_loop(state: AcceptLoop) {
+    let AcceptLoop {
+        listener,
+        senders,
+        wakers,
+        shutdown,
+        open_conns,
+        metrics,
+        health,
+        max_connections,
+    } = state;
     let mut next_shard = 0usize;
     loop {
         let (stream, _) = match listener.accept() {
@@ -257,28 +450,35 @@ fn accept_loop(
         metrics.conn_accepted.fetch_add(1, Ordering::Relaxed);
         if open_conns.load(Ordering::Acquire) >= max_connections {
             metrics.conn_rejected.fetch_add(1, Ordering::Relaxed);
-            refuse(stream);
+            refuse(stream, "server at connection capacity");
             continue;
         }
-        open_conns.fetch_add(1, Ordering::AcqRel);
-        let shard = next_shard % senders.len();
+        // Prefer the round-robin target but route around dead shards.
+        let start = next_shard;
         next_shard = next_shard.wrapping_add(1);
+        let shard = (0..senders.len())
+            .map(|probe| (start + probe) % senders.len())
+            .find(|s| health.cell(*s).is_alive());
+        let Some(shard) = shard else {
+            // Every shard is down (all mid-restart or out of budget).
+            metrics.conn_rejected.fetch_add(1, Ordering::Relaxed);
+            refuse(stream, "no shard event loops available");
+            continue;
+        };
+        open_conns.fetch_add(1, Ordering::AcqRel);
         if senders[shard].send(stream).is_err() {
             // Shard is gone (shutdown race); release the slot.
             open_conns.fetch_sub(1, Ordering::AcqRel);
             return;
         }
-        let _ = wakers[shard].wake();
+        wake_slot(&wakers[shard]);
     }
 }
 
-/// Tells an over-cap client why it is being dropped. Best-effort and
+/// Tells a refused client why it is being dropped. Best-effort and
 /// blocking is fine: the frame is one small write on a fresh socket.
-fn refuse(mut stream: TcpStream) {
-    let frame = frame_bytes(
-        Opcode::Error,
-        &encode_error("server at connection capacity"),
-    );
+fn refuse(mut stream: TcpStream, reason: &str) {
+    let frame = frame_bytes(Opcode::Error, &encode_error(reason));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let _ = stream.write_all(&frame);
 }

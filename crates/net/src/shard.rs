@@ -31,10 +31,35 @@ use crossbeam::channel::Receiver;
 use icomm_serve::{StatsReport, TuneRequest, TuneResponse, TuningService};
 
 use crate::reactor::{Event, Interest, Reactor};
+use crate::supervise::{HealthBoard, PanicInjector};
 use crate::wire::{
     decode_batch_request, decode_characterize_request, decode_tune_request, encode_error,
     encode_frame, frame_bytes, FrameDecoder, Opcode, WireError,
 };
+
+/// The shard's link to its supervision tree: the shared health board,
+/// this shard's id on it, and the optional chaos panic injector.
+#[derive(Debug)]
+pub struct ShardSupervision {
+    /// Shared per-shard liveness/restart/connection board.
+    pub health: Arc<HealthBoard>,
+    /// This shard's index on the board.
+    pub shard_id: usize,
+    /// Deterministic panic injector (chaos testing only).
+    pub injector: Option<Arc<PanicInjector>>,
+}
+
+impl ShardSupervision {
+    /// A standalone supervision context (own board, no injector) for
+    /// tests and single-shard embedding.
+    pub fn standalone() -> Self {
+        ShardSupervision {
+            health: Arc::new(HealthBoard::new(1)),
+            shard_id: 0,
+            injector: None,
+        }
+    }
+}
 
 /// Per-shard tunables, derived from the server's `NetConfig`.
 #[derive(Clone, Debug)]
@@ -138,6 +163,7 @@ pub struct Shard {
     shutdown: Arc<AtomicBool>,
     open_conns: Arc<AtomicUsize>,
     config: ShardConfig,
+    supervision: ShardSupervision,
     conns: HashMap<u64, Conn>,
     next_token: u64,
     decision_cache: HashMap<(String, String, Option<String>), TuneResponse>,
@@ -162,6 +188,7 @@ impl Shard {
         shutdown: Arc<AtomicBool>,
         open_conns: Arc<AtomicUsize>,
         config: ShardConfig,
+        supervision: ShardSupervision,
     ) -> Self {
         Shard {
             service,
@@ -170,6 +197,7 @@ impl Shard {
             shutdown,
             open_conns,
             config,
+            supervision,
             conns: HashMap::new(),
             next_token: 1,
             decision_cache: HashMap::new(),
@@ -243,6 +271,13 @@ impl Shard {
                     close_after_flush: false,
                 },
             );
+            // Mirror the adoption on the health board: if this loop
+            // panics, the supervisor reads the per-shard count to
+            // reconcile the global one.
+            self.supervision
+                .health
+                .cell(self.supervision.shard_id)
+                .conn_adopted();
         }
     }
 
@@ -385,6 +420,12 @@ impl Shard {
         origins: &mut Vec<Origin>,
         groups: &mut Vec<Group>,
     ) {
+        // Chaos hook: a deterministic frame countdown may panic this
+        // shard here, before any reply is queued — the supervisor
+        // catches it, the client sees a clean EOF and retries.
+        if let Some(injector) = &self.supervision.injector {
+            injector.check();
+        }
         match opcode {
             Opcode::Tune => match decode_tune_request(body) {
                 Ok(request) => {
@@ -433,6 +474,17 @@ impl Shard {
                 };
                 self.queue_frame(token, frame);
             }
+            Opcode::Health => {
+                let report = self.supervision.health.report();
+                let frame = match icomm_persist::to_string(&report) {
+                    Ok(json) => frame_bytes(Opcode::HealthReply, json.as_bytes()),
+                    Err(e) => frame_bytes(
+                        Opcode::Error,
+                        &encode_error(&format!("health serialization failed: {e:?}")),
+                    ),
+                };
+                self.queue_frame(token, frame);
+            }
             Opcode::Characterize => match decode_characterize_request(body) {
                 Ok(board) => {
                     let frame = match self.service.characterize_board(&board) {
@@ -459,6 +511,7 @@ impl Shard {
             | Opcode::StatsReply
             | Opcode::CharacterizeReply
             | Opcode::BatchReply
+            | Opcode::HealthReply
             | Opcode::Error => {
                 self.service
                     .metrics_handle()
@@ -733,6 +786,10 @@ impl Shard {
         if let Some(conn) = self.conns.remove(&token) {
             self.reactor.deregister(&conn.stream);
             self.open_conns.fetch_sub(1, Ordering::AcqRel);
+            self.supervision
+                .health
+                .cell(self.supervision.shard_id)
+                .conn_closed();
         }
     }
 }

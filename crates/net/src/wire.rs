@@ -54,6 +54,8 @@ pub enum Opcode {
     /// `u32` count + that many [`TuneRequest`] bodies; answered by one
     /// [`Opcode::BatchReply`] carrying every response.
     Batch = 0x04,
+    /// Empty body; answered by [`Opcode::HealthReply`].
+    Health = 0x05,
     /// One [`TuneResponse`] body.
     TuneReply = 0x81,
     /// JSON [`icomm_serve::StatsReport`] payload.
@@ -62,6 +64,9 @@ pub enum Opcode {
     CharacterizeReply = 0x83,
     /// `u32` count + that many [`TuneResponse`] bodies.
     BatchReply = 0x84,
+    /// JSON [`crate::HealthReport`] payload: per-shard liveness and
+    /// restart counts from the supervision tree.
+    HealthReply = 0x85,
     /// UTF-8 message body: the transport could not serve the frame
     /// (malformed body, unknown board, connection capacity, ...).
     Error = 0xE0,
@@ -75,25 +80,29 @@ impl Opcode {
             0x02 => Some(Opcode::Stats),
             0x03 => Some(Opcode::Characterize),
             0x04 => Some(Opcode::Batch),
+            0x05 => Some(Opcode::Health),
             0x81 => Some(Opcode::TuneReply),
             0x82 => Some(Opcode::StatsReply),
             0x83 => Some(Opcode::CharacterizeReply),
             0x84 => Some(Opcode::BatchReply),
+            0x85 => Some(Opcode::HealthReply),
             0xE0 => Some(Opcode::Error),
             _ => None,
         }
     }
 
     /// All opcodes, for exhaustive codec tests.
-    pub const ALL: [Opcode; 9] = [
+    pub const ALL: [Opcode; 11] = [
         Opcode::Tune,
         Opcode::Stats,
         Opcode::Characterize,
         Opcode::Batch,
+        Opcode::Health,
         Opcode::TuneReply,
         Opcode::StatsReply,
         Opcode::CharacterizeReply,
         Opcode::BatchReply,
+        Opcode::HealthReply,
         Opcode::Error,
     ];
 }

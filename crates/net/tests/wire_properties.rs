@@ -115,16 +115,18 @@ proptest! {
         payload in prop::collection::vec(any::<u8>(), 0..64),
         salt in any::<u64>(),
     ) {
-        // One representative body per opcode, exercising all nine.
+        // One representative body per opcode, exercising all eleven.
         let bodies: Vec<(Opcode, Vec<u8>)> = vec![
             (Opcode::Tune, encode_tune_request(&request)),
             (Opcode::Stats, Vec::new()),
             (Opcode::Characterize, icomm_net::wire::encode_characterize_request("tx2")),
             (Opcode::Batch, encode_batch_request(std::slice::from_ref(&request))),
+            (Opcode::Health, Vec::new()),
             (Opcode::TuneReply, encode_tune_response(&response)),
             (Opcode::StatsReply, payload.clone()),
             (Opcode::CharacterizeReply, payload.clone()),
             (Opcode::BatchReply, encode_batch_response(std::slice::from_ref(&response))),
+            (Opcode::HealthReply, payload.clone()),
             (Opcode::Error, encode_error(&message)),
         ];
         prop_assert_eq!(bodies.len(), Opcode::ALL.len());

@@ -1,0 +1,437 @@
+//! Supervision and recovery primitives for the icomm serving fleet.
+//!
+//! Three small, dependency-free building blocks shared by the shard
+//! plane, the binary client, and the fleet simulator:
+//!
+//! - [`RestartPolicy`] / [`Supervisor`] — a bounded restart budget with
+//!   exponential backoff, used by the net server to resurrect crashed
+//!   shard event loops without ever entering a hot crash loop.
+//! - [`RetryPolicy`] — deadline-bounded client retries with
+//!   deterministically jittered exponential backoff. The jitter stream
+//!   is a pure function of `(seed, attempt)`, so replaying a seeded run
+//!   reproduces the exact same delay schedule.
+//! - [`CircuitBreaker`] — a per-endpoint closed → open → half-open
+//!   breaker driven by consecutive failures and an explicit caller
+//!   clock (`now_us`), which keeps every transition unit-testable
+//!   without sleeping.
+//!
+//! All types here are plain data driven by the caller: no threads, no
+//! global clocks, no I/O. The policy decisions (when to restart, how
+//! long to wait, whether to admit a call) stay deterministic and the
+//! side effects stay in the owning layer.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::Duration;
+
+/// SplitMix64 — a tiny, high-quality bit mixer used to derive
+/// deterministic retry jitter from `(seed, attempt)` without dragging
+/// in an RNG dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Restart budget for a supervised component (a shard event loop, a
+/// job-engine worker).
+///
+/// The supervisor grants at most `max_restarts` resurrections over the
+/// component's lifetime, sleeping `base_backoff * 2^n` (capped at
+/// `max_backoff`) before the n-th restart so a deterministic crasher
+/// degrades into a slow, bounded retry rather than a hot loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Maximum number of restarts before the component is declared
+    /// dead and its supervisor gives up.
+    pub max_restarts: u32,
+    /// Backoff before the first restart; doubles on every subsequent
+    /// crash.
+    pub base_backoff: Duration,
+    /// Upper bound on the per-restart backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// Backoff to apply before restart number `restart` (0-based).
+    pub fn backoff_for(&self, restart: u32) -> Duration {
+        let factor = 1u64 << restart.min(20);
+        let raw = self
+            .base_backoff
+            .saturating_mul(factor.min(u32::MAX as u64) as u32);
+        raw.min(self.max_backoff)
+    }
+}
+
+/// Tracks restart consumption against a [`RestartPolicy`].
+///
+/// One `Supervisor` per supervised component; the owning thread calls
+/// [`Supervisor::on_crash`] after each panic and either sleeps the
+/// returned backoff and restarts, or gives up when the budget is
+/// exhausted.
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    policy: RestartPolicy,
+    restarts: u32,
+}
+
+impl Supervisor {
+    /// New supervisor with a full restart budget.
+    pub fn new(policy: RestartPolicy) -> Self {
+        Supervisor {
+            policy,
+            restarts: 0,
+        }
+    }
+
+    /// Restarts consumed so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// Record a crash. Returns the backoff to sleep before restarting,
+    /// or `None` when the restart budget is exhausted and the
+    /// component should stay down.
+    pub fn on_crash(&mut self) -> Option<Duration> {
+        if self.restarts >= self.policy.max_restarts {
+            return None;
+        }
+        let backoff = self.policy.backoff_for(self.restarts);
+        self.restarts += 1;
+        Some(backoff)
+    }
+}
+
+/// Deadline-bounded retry schedule with deterministic jitter.
+///
+/// `backoff_for(attempt)` yields `base_delay * 2^attempt` capped at
+/// `max_delay`, scaled by a jitter fraction in `[0.5, 1.0)` derived
+/// purely from `(jitter_seed, attempt)` — so two runs with the same
+/// seed produce byte-identical delay schedules, and a fleet of clients
+/// seeded differently decorrelates its retry storms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Upper bound on a single inter-attempt delay.
+    pub max_delay: Duration,
+    /// Overall deadline across all attempts, including backoff sleeps.
+    pub deadline: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(250),
+            deadline: Duration::from_secs(5),
+            jitter_seed: 0x0001_c077,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Jittered backoff to sleep after attempt number `attempt`
+    /// (0-based) fails.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u64 << attempt.min(20);
+        let raw = self
+            .base_delay
+            .saturating_mul(factor.min(u32::MAX as u64) as u32)
+            .min(self.max_delay);
+        // Jitter fraction in [0.5, 1.0): full-jitter halves thundering
+        // herds while keeping a meaningful floor on the wait.
+        let bits = splitmix64(self.jitter_seed ^ u64::from(attempt));
+        let frac = 0.5 + (bits >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        raw.mul_f64(frac)
+    }
+}
+
+/// Breaker tuning knobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting probes.
+    pub cooldown: Duration,
+    /// Successful probes required in half-open before closing again.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 8,
+            cooldown: Duration::from_millis(250),
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// Breaker state, exposed for observability and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow freely; consecutive failures are counted.
+    Closed,
+    /// Calls are rejected until the cooldown elapses.
+    Open,
+    /// A limited number of probe calls are admitted; all must succeed
+    /// to close the breaker, any failure re-opens it.
+    HalfOpen,
+}
+
+/// Per-endpoint circuit breaker: closed → open → half-open.
+///
+/// Driven entirely by an explicit microsecond clock supplied by the
+/// caller, so state transitions are deterministic under test and the
+/// breaker itself never reads wall time.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_us: u64,
+    probes_issued: u32,
+    probe_successes: u32,
+    /// Times the breaker transitioned closed/half-open → open.
+    trips: u64,
+    /// Calls rejected while open.
+    rejections: u64,
+}
+
+impl CircuitBreaker {
+    /// New breaker in the closed state.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at_us: 0,
+            probes_issued: 0,
+            probe_successes: 0,
+            trips: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Current state (after applying any cooldown expiry at `now_us`).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Calls rejected while the breaker was open.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Whether a call may proceed at `now_us`. In the open state this
+    /// transitions to half-open once the cooldown has elapsed; in
+    /// half-open it admits up to `half_open_probes` calls.
+    pub fn allow(&mut self, now_us: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let cooldown_us = self.config.cooldown.as_micros() as u64;
+                if now_us.saturating_sub(self.opened_at_us) >= cooldown_us {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_issued = 1;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    self.rejections += 1;
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_issued < self.config.half_open_probes {
+                    self.probes_issued += 1;
+                    true
+                } else {
+                    self.rejections += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful call finishing at `now_us`.
+    pub fn record_success(&mut self, _now_us: u64) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.config.half_open_probes {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                }
+            }
+            // A straggler success landing after the trip: ignore.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failed (errored or `overloaded`) call at `now_us`.
+    pub fn record_failure(&mut self, now_us: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip(now_us);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(now_us),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now_us: u64) {
+        self.state = BreakerState::Open;
+        self.opened_at_us = now_us;
+        self.consecutive_failures = 0;
+        self.probes_issued = 0;
+        self.probe_successes = 0;
+        self.trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_backoff_doubles_and_caps() {
+        let policy = RestartPolicy {
+            max_restarts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+        };
+        assert_eq!(policy.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff_for(2), Duration::from_millis(40));
+        assert_eq!(policy.backoff_for(5), Duration::from_millis(100));
+        assert_eq!(policy.backoff_for(31), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn supervisor_exhausts_budget() {
+        let mut sup = Supervisor::new(RestartPolicy {
+            max_restarts: 2,
+            ..RestartPolicy::default()
+        });
+        assert!(sup.on_crash().is_some());
+        assert!(sup.on_crash().is_some());
+        assert_eq!(sup.restarts(), 2);
+        assert!(sup.on_crash().is_none());
+        assert_eq!(sup.restarts(), 2);
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..6 {
+            let a = policy.backoff_for(attempt);
+            let b = policy.backoff_for(attempt);
+            assert_eq!(a, b, "same (seed, attempt) must give same delay");
+            let raw = policy
+                .base_delay
+                .saturating_mul(1 << attempt.min(20))
+                .min(policy.max_delay);
+            assert!(
+                a >= raw.mul_f64(0.5) && a < raw,
+                "jitter in [0.5, 1.0) of raw"
+            );
+        }
+        let other = RetryPolicy {
+            jitter_seed: 99,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(
+            other.backoff_for(3),
+            policy.backoff_for(3),
+            "different seeds should decorrelate"
+        );
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+            half_open_probes: 2,
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(0);
+        b.record_failure(1);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A success resets the consecutive count.
+        b.record_success(2);
+        b.record_failure(3);
+        b.record_failure(4);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(5);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allow(6));
+        assert_eq!(b.rejections(), 1);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_cycle() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(1),
+            half_open_probes: 2,
+        });
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Before the cooldown: rejected. After: half-open probes.
+        assert!(!b.allow(500));
+        assert!(b.allow(1_000));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(1_001));
+        assert!(!b.allow(1_002), "probe budget spent");
+        b.record_success(1_003);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success(1_004);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_half_open_failure_reopens() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(1),
+            half_open_probes: 1,
+        });
+        b.record_failure(0);
+        assert!(b.allow(2_000));
+        b.record_failure(2_001);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(!b.allow(2_002), "cooldown restarts from the re-trip");
+        assert!(b.allow(4_000));
+    }
+}

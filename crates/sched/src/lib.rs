@@ -27,8 +27,9 @@
 //! let mut config = SchedConfig::new(DeviceProfile::jetson_tx2());
 //! config.mix = "duo".to_string();
 //! config.jobs_per_tenant = 2;
-//! let out = run_sched(&config).unwrap();
+//! let out = run_sched(&config)?;
 //! assert_eq!(out.report.total_jobs(), 4);
+//! # Ok::<(), String>(())
 //! ```
 
 #![warn(missing_docs)]

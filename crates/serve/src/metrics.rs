@@ -179,6 +179,19 @@ pub struct Metrics {
     /// Connections dropped on a transport-setup error (stream clone,
     /// nonblocking/timeout configuration, handler spawn).
     pub conn_errors: AtomicU64,
+    /// Shard event loops resurrected by the supervisor after a panic.
+    pub shard_restarts: AtomicU64,
+    /// Shard event-loop panics caught by the supervisor (restarted or
+    /// not — a panic past the restart budget still counts here).
+    pub shard_panics: AtomicU64,
+    /// Connections that died with a shard: their sockets closed with a
+    /// clean EOF when the event loop panicked, before any goodbye frame
+    /// could be written.
+    pub conns_orphaned: AtomicU64,
+    /// Characterization sources quarantined by the Byzantine-robust
+    /// transfer path after failing the board-physics plausibility
+    /// screen.
+    pub transfer_quarantined: AtomicU64,
 }
 
 impl Metrics {
@@ -220,6 +233,10 @@ impl Metrics {
             batches_submitted: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             conn_errors: AtomicU64::new(0),
+            shard_restarts: AtomicU64::new(0),
+            shard_panics: AtomicU64::new(0),
+            conns_orphaned: AtomicU64::new(0),
+            transfer_quarantined: AtomicU64::new(0),
         }
     }
 
@@ -274,6 +291,10 @@ impl Metrics {
             batches_submitted: self.batches_submitted.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             conn_errors: self.conn_errors.load(Ordering::Relaxed),
+            shard_restarts: self.shard_restarts.load(Ordering::Relaxed),
+            shard_panics: self.shard_panics.load(Ordering::Relaxed),
+            conns_orphaned: self.conns_orphaned.load(Ordering::Relaxed),
+            transfer_quarantined: self.transfer_quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -351,6 +372,14 @@ pub struct MetricsSnapshot {
     pub batched_requests: u64,
     /// Connections dropped on transport-setup errors.
     pub conn_errors: u64,
+    /// Shard event loops restarted by the supervisor.
+    pub shard_restarts: u64,
+    /// Shard event-loop panics caught by the supervisor.
+    pub shard_panics: u64,
+    /// Connections orphaned by a shard panic (clean EOF, no reply).
+    pub conns_orphaned: u64,
+    /// Characterization sources quarantined as implausible.
+    pub transfer_quarantined: u64,
 }
 
 impl MetricsSnapshot {
@@ -511,6 +540,16 @@ impl fmt::Display for MetricsSnapshot {
                 self.frame_truncated
             )?;
         }
+        if self.shard_panics > 0 || self.conns_orphaned > 0 || self.transfer_quarantined > 0 {
+            writeln!(
+                f,
+                "resilience        {:>8} shard panics  ({} restarts, {} conns orphaned, {} sources quarantined)",
+                self.shard_panics,
+                self.shard_restarts,
+                self.conns_orphaned,
+                self.transfer_quarantined
+            )?;
+        }
         Ok(())
     }
 }
@@ -634,6 +673,26 @@ mod tests {
         assert!(text.contains("80 decision-cache hits"));
         assert!(text.contains("1 crc"));
         assert!(text.contains("4 truncated frames"));
+    }
+
+    #[test]
+    fn resilience_counters_accumulate_and_render() {
+        let m = Metrics::new();
+        assert!(!m.snapshot().to_string().contains("resilience"));
+        m.shard_panics.fetch_add(2, Ordering::Relaxed);
+        m.shard_restarts.fetch_add(2, Ordering::Relaxed);
+        m.conns_orphaned.fetch_add(3, Ordering::Relaxed);
+        m.transfer_quarantined.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.shard_panics, 2);
+        assert_eq!(s.shard_restarts, 2);
+        assert_eq!(s.conns_orphaned, 3);
+        assert_eq!(s.transfer_quarantined, 1);
+        let text = s.to_string();
+        assert!(text.contains("resilience"));
+        assert!(text.contains("2 restarts"));
+        assert!(text.contains("3 conns orphaned"));
+        assert!(text.contains("1 sources quarantined"));
     }
 
     #[test]

@@ -260,6 +260,14 @@ pub struct StatsReport {
     pub batched_requests: u64,
     /// Connections dropped on transport-setup errors.
     pub conn_errors: u64,
+    /// Shard event loops restarted by the supervisor.
+    pub shard_restarts: u64,
+    /// Shard event-loop panics caught by the supervisor.
+    pub shard_panics: u64,
+    /// Connections orphaned by a shard panic (clean EOF, no reply).
+    pub conns_orphaned: u64,
+    /// Characterization sources quarantined as implausible.
+    pub transfer_quarantined: u64,
 }
 
 impl StatsReport {
@@ -299,6 +307,10 @@ impl StatsReport {
             batches_submitted: s.batches_submitted,
             batched_requests: s.batched_requests,
             conn_errors: s.conn_errors,
+            shard_restarts: s.shard_restarts,
+            shard_panics: s.shard_panics,
+            conns_orphaned: s.conns_orphaned,
+            transfer_quarantined: s.transfer_quarantined,
         }
     }
 }

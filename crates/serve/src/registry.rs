@@ -116,6 +116,11 @@ impl Drop for InflightClaim<'_> {
 pub struct Registry {
     shards: Vec<Shard>,
     runs: AtomicU64,
+    /// Device keys whose characterizations failed the board-physics
+    /// plausibility screen during a robust transfer. Quarantined
+    /// entries stay cached (they may still serve their own device) but
+    /// are never offered as transfer neighbors again.
+    quarantined: RwLock<HashSet<u64>>,
 }
 
 impl std::fmt::Debug for Registry {
@@ -141,7 +146,39 @@ impl Registry {
         Registry {
             shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
             runs: AtomicU64::new(0),
+            quarantined: RwLock::new(HashSet::new()),
         }
+    }
+
+    /// Marks a characterization source as poisoned: it is dropped from
+    /// [`Registry::measured_neighbors`] from now on (its cache entry
+    /// survives — the device can still serve itself). Returns `true`
+    /// the first time the key is quarantined.
+    pub fn quarantine_source(&self, key: u64) -> bool {
+        self.quarantined.write().insert(key)
+    }
+
+    /// Whether `key` is on the quarantine list.
+    pub fn is_quarantined(&self, key: u64) -> bool {
+        self.quarantined.read().contains(&key)
+    }
+
+    /// The quarantine list, sorted for deterministic reporting.
+    pub fn quarantined_sources(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.quarantined.read().iter().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Evicts `device`'s entry (cache, meta, quarantine) — the churn
+    /// path: a device that crashed and lost local state re-joins the
+    /// fleet as a stranger. Returns whether an entry existed.
+    pub fn remove(&self, device: &DeviceProfile) -> bool {
+        let key = fingerprint(device);
+        let shard = self.shard_for(key);
+        shard.meta.write().remove(&key.0);
+        self.quarantined.write().remove(&key.0);
+        shard.cache.write().remove(&key.0).is_some()
     }
 
     fn shard_for(&self, key: DeviceKey) -> &Shard {
@@ -223,12 +260,14 @@ impl Registry {
         for shard in &self.shards {
             let meta = shard.meta.read();
             let cache = shard.cache.read();
+            let quarantined = self.quarantined.read();
             for (key, m) in meta.iter() {
-                if m.confidence >= 1.0 {
+                if m.confidence >= 1.0 && !quarantined.contains(key) {
                     if let Some(c) = cache.get(key) {
                         keyed.push((
                             *key,
                             NeighborSample {
+                                source: *key,
                                 features: m.features.clone(),
                                 characterization: (**c).clone(),
                             },
@@ -339,11 +378,35 @@ impl Registry {
             })
             .collect();
         entries.sort_by_key(|e| e.key);
-        RegistrySnapshot { entries }
+        let quarantined = {
+            let mut keys: Vec<DeviceKey> = self
+                .quarantined
+                .read()
+                .iter()
+                .map(|k| DeviceKey(*k))
+                .collect();
+            keys.sort();
+            // `None` when unused keeps the snapshot bytes identical to
+            // the pre-quarantine format.
+            if keys.is_empty() {
+                None
+            } else {
+                Some(keys)
+            }
+        };
+        RegistrySnapshot {
+            entries,
+            quarantined,
+        }
     }
 
-    /// Merges a snapshot into the registry (existing entries win).
+    /// Merges a snapshot into the registry (existing entries win; the
+    /// quarantine lists union).
     pub fn load_snapshot(&self, snapshot: RegistrySnapshot) {
+        if let Some(quarantined) = snapshot.quarantined {
+            let mut set = self.quarantined.write();
+            set.extend(quarantined.into_iter().map(|k| k.0));
+        }
         for entry in snapshot.entries {
             let shard = self.shard_for(entry.key);
             let mut cache = shard.cache.write();
@@ -428,6 +491,9 @@ pub struct RegistryEntry {
 pub struct RegistrySnapshot {
     /// All cached entries, sorted by key.
     pub entries: Vec<RegistryEntry>,
+    /// Quarantined source keys, sorted; `None` (and absent from older
+    /// snapshots, which still load) when nothing is quarantined.
+    pub quarantined: Option<Vec<DeviceKey>>,
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@ use std::time::Instant;
 use icomm_core::recommend_for_device;
 use icomm_microbench::{
     characterize_device, fingerprint_features, quick_characterize_device,
-    transfer_characterization, DeviceCharacterization, TransferPolicy,
+    robust_transfer_characterization, DeviceCharacterization, TransferPolicy,
 };
 use icomm_models::CommModelKind;
 use icomm_soc::DeviceProfile;
@@ -384,6 +384,12 @@ impl TuningService {
 /// returned meta carries the transfer confidence (`< 1`) or marks the
 /// entry as measured (`1.0`), which controls whether it may serve as a
 /// future neighbor.
+///
+/// Interpolation runs through the Byzantine-robust path
+/// ([`robust_transfer_characterization`]): sources whose values violate
+/// board physics are quarantined at the registry on the spot, and up to
+/// f of 2f + 1 plausible-but-lying neighbors cannot move any
+/// transferred field outside the honest range.
 fn characterize_or_transfer(
     device: &DeviceProfile,
     registry: &Registry,
@@ -393,9 +399,14 @@ fn characterize_or_transfer(
 ) -> (DeviceCharacterization, Option<EntryMeta>) {
     let features = fingerprint_features(device);
     let neighbors = registry.measured_neighbors();
-    if let Some(transferred) =
-        transfer_characterization(&device.name, &features, &neighbors, policy)
-    {
+    let had_neighbors = !neighbors.is_empty();
+    let outcome = robust_transfer_characterization(&device.name, &features, &neighbors, policy);
+    for source in &outcome.rejected_sources {
+        if registry.quarantine_source(*source) {
+            metrics.transfer_quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if let Some(transferred) = outcome.transferred {
         metrics.transfer_hits.fetch_add(1, Ordering::Relaxed);
         let meta = EntryMeta {
             features,
@@ -403,7 +414,7 @@ fn characterize_or_transfer(
         };
         return (transferred.characterization, Some(meta));
     }
-    if !neighbors.is_empty() {
+    if had_neighbors {
         metrics.transfer_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
     metrics.characterizations.fetch_add(1, Ordering::Relaxed);

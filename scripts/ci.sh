@@ -141,4 +141,50 @@ if grep -q '"frame_faults":0,' "$NET_TMP/net.json"; then
 fi
 echo "    both planes clean, decisions byte-identical, 6/6 hostile probes defended"
 
+echo "==> resilience smoke (fleet chaos: churn + poisoning + shard panics)"
+# A 1000-device fleet with 10 % churn, 10 % registry poisoning, and two
+# injected shard panics on the supervised binary plane must survive:
+# warm start >= 95 %, zero decision-regret disagreements, zero lost
+# live-fire responses, both panicked shards restarted, at least one
+# poison quarantined, and a same-seed rerun byte-identical. Gate on the
+# JSON fields, not stderr — injected shard panics legitimately print
+# backtraces there.
+RES_TMP="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP" "$SCHED_TMP" "$MEM_TMP" "$NET_TMP" "$RES_TMP"' EXIT
+RES_FAULTS="none,churn_prob=0.1,poison_prob=0.1,shard_panics=2"
+for seed in 42 43; do
+    "$ICOMM" fleet nano,tx2,xavier --devices 1000 --seed "$seed" \
+        --wire binary --faults "$RES_FAULTS" --json \
+        >"$RES_TMP/res-$seed-a.json" 2>/dev/null
+    "$ICOMM" fleet nano,tx2,xavier --devices 1000 --seed "$seed" \
+        --wire binary --faults "$RES_FAULTS" --json \
+        >"$RES_TMP/res-$seed-b.json" 2>/dev/null
+    cmp "$RES_TMP/res-$seed-a.json" "$RES_TMP/res-$seed-b.json" || {
+        echo "resilience replay diverged for seed $seed" >&2
+        exit 1
+    }
+    grep -Eq '"livefire_failed":0[,}]' "$RES_TMP/res-$seed-a.json" || {
+        echo "resilience smoke: lost live-fire responses (seed $seed)" >&2
+        exit 1
+    }
+    grep -Eq '"livefire_shard_restarts":2[,}]' "$RES_TMP/res-$seed-a.json" || {
+        echo "resilience smoke: supervisor did not restart both panicked shards (seed $seed)" >&2
+        exit 1
+    }
+    grep -Eq '"regret_disagreements":0[,}]' "$RES_TMP/res-$seed-a.json" || {
+        echo "resilience smoke: poisoning induced decision regret (seed $seed)" >&2
+        exit 1
+    }
+    if grep -Eq '"quarantined_sources":0[,}]' "$RES_TMP/res-$seed-a.json"; then
+        echo "resilience smoke: no poisoned sources quarantined (seed $seed)" >&2
+        exit 1
+    fi
+    warm="$(grep -o '"warm_start_pct":[0-9.]*' "$RES_TMP/res-$seed-a.json" | cut -d: -f2)"
+    awk -v w="$warm" 'BEGIN { exit !(w >= 95.0) }' || {
+        echo "resilience smoke: warm start $warm% < 95% under chaos (seed $seed)" >&2
+        exit 1
+    }
+    echo "    seed $seed: warm $warm%, 0 regret, 0 lost, 2 restarts, poisons quarantined, replay byte-identical"
+done
+
 echo "CI gate passed."

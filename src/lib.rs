@@ -60,6 +60,7 @@ pub use icomm_models as models;
 pub use icomm_net as net;
 pub use icomm_persist as persist;
 pub use icomm_profile as profile;
+pub use icomm_resilience as resilience;
 pub use icomm_sched as sched;
 pub use icomm_serve as serve;
 pub use icomm_soc as soc;
