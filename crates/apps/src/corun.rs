@@ -18,6 +18,10 @@
 //! - [`contended`] — a deadline-tight lane pipeline beside a
 //!   relocalizing ORB burst that floods the DRAM channel: the mix the
 //!   FIFO baseline misses deadlines on and bandwidth budgeting rescues.
+//! - [`pressure`] — the contention axis rotated from bandwidth to
+//!   *capacity*: HD variants of lane and ORB whose double buffers do
+//!   not fit a tight memory budget together — admission has to demote
+//!   them toward single-copy models to admit the whole mix.
 
 use icomm_models::{CommModelKind, Workload};
 
@@ -28,7 +32,7 @@ use crate::{LaneApp, OrbApp, ShwfsApp};
 pub const MAX_TENANTS_PER_MIX: usize = 4;
 
 /// The named mixes, in escalating contention order.
-pub const MIX_NAMES: [&str; 4] = ["duo", "trio", "quad", "contended"];
+pub const MIX_NAMES: [&str; 5] = ["duo", "trio", "quad", "contended", "pressure"];
 
 /// One tenant of a co-run mix: a workload plus its real-time contract.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,6 +165,44 @@ pub fn contended() -> Vec<TenantSpec> {
     ]
 }
 
+/// The memory-heavy mix: HD lane detection and a high-resolution ORB
+/// front-end beside the stock SH-WFS loop. Per-frame buffers in the
+/// megabytes make the *sum of footprints* the binding constraint long
+/// before the DRAM channel saturates — under a tight `--mem-cap` the
+/// double-buffered optima do not fit together, and admission only
+/// succeeds by demoting the HD tenants toward single-copy models.
+pub fn pressure() -> Vec<TenantSpec> {
+    let mut lane_hd = LaneApp::default();
+    lane_hd.road.width = 1280;
+    lane_hd.road.height = 720;
+    let mut orb_hd = OrbApp::default();
+    orb_hd.scene.width = 1280;
+    orb_hd.scene.height = 960;
+    vec![
+        spec(
+            "lane-hd",
+            lane_hd.workload(),
+            CommModelKind::StandardCopy,
+            2.8,
+            0,
+        ),
+        spec(
+            "orb-hd",
+            orb_hd.workload(),
+            CommModelKind::StandardCopy,
+            3.0,
+            1,
+        ),
+        spec(
+            "shwfs",
+            ShwfsApp::default().workload(),
+            CommModelKind::StandardCopy,
+            3.0,
+            2,
+        ),
+    ]
+}
+
 /// Resolves a mix by name.
 ///
 /// # Errors
@@ -172,6 +214,7 @@ pub fn mix_by_name(name: &str) -> Result<Vec<TenantSpec>, String> {
         "trio" => Ok(trio()),
         "quad" => Ok(quad()),
         "contended" => Ok(contended()),
+        "pressure" => Ok(pressure()),
         other => Err(format!(
             "unknown mix '{other}' (expected one of: {})",
             MIX_NAMES.join(", ")
@@ -227,5 +270,23 @@ mod tests {
     fn mixes_are_deterministic() {
         assert_eq!(contended(), contended());
         assert_eq!(quad(), quad());
+        assert_eq!(pressure(), pressure());
+    }
+
+    #[test]
+    fn pressure_mix_is_memory_heavy() {
+        let hd: u64 = pressure()
+            .iter()
+            .map(|t| t.workload.bytes_exchanged().as_u64())
+            .sum();
+        let baseline: u64 = contended()
+            .iter()
+            .map(|t| t.workload.bytes_exchanged().as_u64())
+            .sum();
+        assert!(
+            hd > 3 * baseline,
+            "pressure moves {hd} bytes vs contended's {baseline}: the HD \
+             frames should dominate"
+        );
     }
 }

@@ -1,0 +1,82 @@
+//! Footprint-assignment benchmark: what the memory cap costs the
+//! joint solver at N = 4..8 tenants on a TX2.
+//!
+//! The uncapped solver enumerates 3^N model combinations; the capped
+//! solver prices every combination's summed residency on top and
+//! rejects the ones that bust the budget. The cap is chosen one byte
+//! under each mix's unconstrained optimum, so it always binds — the
+//! measured gap is the full price of cap-aware search, not a no-op
+//! fast path. Footprints and chosen models are printed alongside so
+//! baseline diffs show *which* assignments moved, not just how fast.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icomm_apps::corun::{contended, pressure};
+use icomm_core::{joint_assignment, joint_assignment_capped, CorunTenant};
+use icomm_microbench::quick_characterize_device;
+use icomm_soc::units::ByteSize;
+use icomm_soc::DeviceProfile;
+
+/// First `n` tenants from the memory-heavy pool: the pressure trio,
+/// then the contended trio, then HD repeats — enough distinct
+/// workloads to exercise MAX_TENANTS without duplicate names.
+fn tenant_pool(n: usize) -> Vec<CorunTenant> {
+    let specs: Vec<_> = pressure().into_iter().chain(contended()).collect();
+    (0..n)
+        .map(|i| {
+            let s = &specs[i % specs.len()];
+            CorunTenant {
+                name: if i < specs.len() {
+                    s.name.clone()
+                } else {
+                    format!("{}-{}", s.name, i / specs.len() + 1)
+                },
+                workload: s.workload.clone(),
+                current: s.current,
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceProfile::jetson_tx2();
+    let characterization = quick_characterize_device(&device);
+    let mut group = c.benchmark_group("footprint_assignment");
+    group.sample_size(10);
+    for n in 4..=8usize {
+        let tenants = tenant_pool(n);
+        let open = joint_assignment(&device, &characterization, &tenants)
+            .expect("uncapped assignment succeeds");
+        let cap = ByteSize(open.footprint.as_u64() - 1);
+        let capped = joint_assignment_capped(&device, &characterization, &tenants, Some(cap))
+            .expect("capped assignment succeeds");
+        println!(
+            "footprint n={n}: open {} ({:?}), cap {} -> {} ({:?})",
+            icomm_footprint::human_bytes(open.footprint.as_u64()),
+            open.models(),
+            icomm_footprint::human_bytes(cap.as_u64()),
+            icomm_footprint::human_bytes(capped.footprint.as_u64()),
+            capped.models(),
+        );
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(&format!("uncapped_{n}"), |b| {
+            b.iter(|| {
+                joint_assignment(&device, &characterization, &tenants)
+                    .expect("uncapped assignment succeeds")
+            })
+        });
+        group.bench_function(&format!("capped_{n}"), |b| {
+            b.iter(|| {
+                joint_assignment_capped(&device, &characterization, &tenants, Some(cap))
+                    .expect("capped assignment succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

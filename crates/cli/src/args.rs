@@ -169,6 +169,9 @@ pub enum Command {
         /// Fault-plan spec for the fleet knobs, e.g.
         /// `none,churn_prob=0.1,poison_prob=0.1,shard_panics=2`.
         faults: String,
+        /// Per-device memory cap in bytes for the multi-tenant stage
+        /// (`None` = each board's stock DRAM budget).
+        mem_cap: Option<u64>,
         /// Print the deterministic fleet report as JSON.
         json: bool,
     },
@@ -181,7 +184,8 @@ pub enum Command {
     Sched {
         /// Board name.
         board: String,
-        /// Tenant-mix name (`duo`, `trio`, `quad`, `contended`).
+        /// Tenant-mix name (`duo`, `trio`, `quad`, `contended`,
+        /// `pressure`).
         mix: String,
         /// Scheduling policy (`fifo` / `deadline`).
         policy: String,
@@ -189,6 +193,9 @@ pub enum Command {
         seed: u64,
         /// Jobs each tenant releases.
         windows: u32,
+        /// Memory cap admission runs under, bytes (`None` = the board's
+        /// stock DRAM budget).
+        mem_cap: Option<u64>,
         /// Print the deterministic scheduler report as JSON.
         json: bool,
     },
@@ -596,6 +603,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let mut tenants = 1usize;
             let mut wire = "json".to_string();
             let mut faults = "none".to_string();
+            let mut mem_cap = None;
             let mut json = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -684,6 +692,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                         icomm_chaos::FaultPlan::parse(value).map_err(ParseArgsError)?;
                         faults = value.clone();
                     }
+                    "--mem-cap" => {
+                        let value = it.next().ok_or_else(|| {
+                            ParseArgsError("--mem-cap needs a size (e.g. 6m, 512k, 2g)".into())
+                        })?;
+                        let cap = icomm_footprint::parse_cap(value)
+                            .map_err(|e| ParseArgsError(format!("--mem-cap: {e}")))?;
+                        mem_cap = Some(cap.as_u64());
+                    }
                     "--json" => json = true,
                     other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
                 }
@@ -697,6 +713,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 tenants,
                 wire,
                 faults,
+                mem_cap,
                 json,
             })
         }
@@ -709,6 +726,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let mut policy = "deadline".to_string();
             let mut seed = 42u64;
             let mut windows = 8u32;
+            let mut mem_cap = None;
             let mut json = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -756,6 +774,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                                     ))
                                 })?;
                     }
+                    "--mem-cap" => {
+                        let value = it.next().ok_or_else(|| {
+                            ParseArgsError("--mem-cap needs a size (e.g. 6m, 512k, 2g)".into())
+                        })?;
+                        let cap = icomm_footprint::parse_cap(value)
+                            .map_err(|e| ParseArgsError(format!("--mem-cap: {e}")))?;
+                        mem_cap = Some(cap.as_u64());
+                    }
                     "--json" => json = true,
                     other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
                 }
@@ -766,6 +792,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 policy,
                 seed,
                 windows,
+                mem_cap,
                 json,
             })
         }
@@ -874,9 +901,10 @@ USAGE:
                 [--full] [--stats]
     icomm fleet <board-mix> [--devices N] [--arrival poisson|burst]
                 [--rate R] [--seed S] [--tenants N]
-                [--wire json|binary] [--faults <spec>] [--json]
+                [--wire json|binary] [--faults <spec>]
+                [--mem-cap SIZE] [--json]
     icomm sched <board> [--mix <name>] [--policy fifo|deadline]
-                [--seed N] [--windows N] [--json]
+                [--seed N] [--windows N] [--mem-cap SIZE] [--json]
     icomm help
 
 BOARDS:  nano, tx2, xavier, orin-like   (discrete-pool iGPU boards)
@@ -943,15 +971,24 @@ shard event loops mid-frame (requires `--wire binary`, whose supervised
 plane restarts them). The same seed replays byte-identically, faults
 included (`--json` prints only the deterministic report).
 
-`sched` co-schedules a named tenant mix — duo, trio, quad, contended —
-on one board. Communication models are assigned jointly (every
-combination scored under the cross-tenant interference model, so a
-zero-copy neighbour's channel pressure can flip a tenant off its solo
+`sched` co-schedules a named tenant mix — duo, trio, quad, contended,
+pressure — on one board. Communication models are assigned jointly
+(every combination scored under the cross-tenant interference model, so
+a zero-copy neighbour's channel pressure can flip a tenant off its solo
 best), then the periodic schedule runs in virtual time under `--policy`:
 `fifo` (release order, no regulation) or `deadline` (EDF slots plus a
 MemGuard-style per-tenant bandwidth budget). Reports per-tenant
 deadline-miss rate, slowdown vs solo, and throttle counts; identical
 seeds replay byte-identically.
+
+`--mem-cap SIZE` (sizes like `6m`, `512k`, `2g`; both `sched` and
+`fleet` take it) bounds the summed memory footprint of the admitted mix:
+the joint assignment re-solves under the cap (demoting tenants toward
+cheaper-footprint models when the double-buffered optima do not fit),
+and if even full demotion cannot fit, admission evicts
+largest-footprint tenants first and reports the spill. Uncapped runs
+admit against the board's stock DRAM budget, which the paper-scale
+mixes never approach.
 ";
 
 #[cfg(test)]
@@ -1318,6 +1355,7 @@ mod tests {
                 tenants: 1,
                 wire: "json".into(),
                 faults: "none".into(),
+                mem_cap: None,
                 json: false,
             }
         );
@@ -1338,6 +1376,8 @@ mod tests {
             "binary",
             "--faults",
             "none,churn_prob=0.1,poison_prob=0.1,shard_panics=2",
+            "--mem-cap",
+            "6m",
             "--json",
         ]))
         .unwrap();
@@ -1352,6 +1392,7 @@ mod tests {
                 tenants: 3,
                 wire: "binary".into(),
                 faults: "none,churn_prob=0.1,poison_prob=0.1,shard_panics=2".into(),
+                mem_cap: Some(6 << 20),
                 json: true,
             }
         );
@@ -1370,6 +1411,8 @@ mod tests {
         assert!(parse(&v(&["fleet", "nano", "--faults"])).is_err());
         assert!(parse(&v(&["fleet", "nano", "--faults", "none,churn_prob=1.5"])).is_err());
         assert!(parse(&v(&["fleet", "nano", "--faults", "gremlins"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--mem-cap"])).is_err());
+        assert!(parse(&v(&["fleet", "nano", "--mem-cap", "lots"])).is_err());
         assert!(parse(&v(&["fleet", "nano", "--wat"])).is_err());
     }
 
@@ -1384,6 +1427,7 @@ mod tests {
                 policy: "deadline".into(),
                 seed: 42,
                 windows: 8,
+                mem_cap: None,
                 json: false,
             }
         );
@@ -1398,6 +1442,8 @@ mod tests {
             "9",
             "--windows",
             "4",
+            "--mem-cap",
+            "512k",
             "--json",
         ]))
         .unwrap();
@@ -1409,6 +1455,7 @@ mod tests {
                 policy: "fifo".into(),
                 seed: 9,
                 windows: 4,
+                mem_cap: Some(512 << 10),
                 json: true,
             }
         );
@@ -1425,6 +1472,7 @@ mod tests {
         assert!(parse(&v(&["sched", "tx2", "--policy", "lottery"])).is_err());
         assert!(parse(&v(&["sched", "tx2", "--windows", "0"])).is_err());
         assert!(parse(&v(&["sched", "tx2", "--seed", "many"])).is_err());
+        assert!(parse(&v(&["sched", "tx2", "--mem-cap", "-6m"])).is_err());
         assert!(parse(&v(&["sched", "tx2", "--wat"])).is_err());
     }
 

@@ -16,6 +16,7 @@ use icomm_net::{run_load, warmup, BinaryClient, BinaryServer, LoadReport, NetCon
 use icomm_serve::{
     AdmissionConfig, Server, ServiceConfig, TuneRequest, TuneResponse, TuningService,
 };
+use icomm_soc::units::ByteSize;
 use icomm_soc::{DeviceProfile, PageSize};
 
 use crate::args::{board_by_name, Command, APP_NAMES, BOARD_NAMES, HELP};
@@ -153,9 +154,10 @@ pub fn execute(command: &Command) -> Result<String, String> {
             tenants,
             wire,
             faults,
+            mem_cap,
             json,
         } => fleet(
-            mix, *devices, arrival, *rate, *seed, *tenants, wire, faults, *json,
+            mix, *devices, arrival, *rate, *seed, *tenants, wire, faults, *mem_cap, *json,
         ),
         Command::Sched {
             board,
@@ -163,8 +165,9 @@ pub fn execute(command: &Command) -> Result<String, String> {
             policy,
             seed,
             windows,
+            mem_cap,
             json,
-        } => sched(board, mix, policy, *seed, *windows, *json),
+        } => sched(board, mix, policy, *seed, *windows, *mem_cap, *json),
     }
 }
 
@@ -439,15 +442,17 @@ fn compare(board: &str, app: &str) -> Result<String, String> {
         } else {
             format!("{:+6.0}%", run.speedup_vs_percent(&sc))
         };
+        let footprint = icomm_footprint::model_footprint(kind, &workload, &device);
         let _ = writeln!(
             out,
-            "  {:>3}: {:>10.2} us (cpu {:>9.2}, kernel {:>9.2}, copies {:>8.2}) {delta} vs SC, {:>6.2} mJ",
+            "  {:>3}: {:>10.2} us (cpu {:>9.2}, kernel {:>9.2}, copies {:>8.2}) {delta} vs SC, {:>6.2} mJ, {:>10} resident",
             kind.abbrev(),
             run.time_per_iteration().as_micros_f64(),
             run.cpu_time_per_iteration().as_micros_f64(),
             run.kernel_time_per_iteration().as_micros_f64(),
             run.copy_time_per_iteration().as_micros_f64(),
             run.energy.as_joules() * 1e3 / run.iterations as f64,
+            icomm_footprint::human_bytes(footprint.as_u64()),
         );
     }
     Ok(out)
@@ -835,6 +840,7 @@ fn fleet(
     tenants: usize,
     wire: &str,
     faults: &str,
+    mem_cap: Option<u64>,
     json: bool,
 ) -> Result<String, String> {
     let process = icomm_fleet::ArrivalProcess::parse(arrival)?;
@@ -850,6 +856,7 @@ fn fleet(
         tenants_per_device: tenants,
         livefire_wire: WireMode::parse(wire)?,
         faults: icomm_chaos::FaultPlan::parse(faults)?,
+        mem_cap: mem_cap.map(ByteSize),
         ..icomm_fleet::FleetConfig::default()
     };
     let out = icomm_fleet::run_fleet(&config)?;
@@ -876,6 +883,7 @@ fn sched(
     policy: &str,
     seed: u64,
     windows: u32,
+    mem_cap: Option<u64>,
     json: bool,
 ) -> Result<String, String> {
     let device = require_board(board)?;
@@ -884,6 +892,7 @@ fn sched(
     config.policy = icomm_sched::PolicyKind::parse(policy)?;
     config.seed = seed;
     config.jobs_per_tenant = windows;
+    config.mem_cap = mem_cap.map(ByteSize);
     let out = icomm_sched::run_sched(&config)?;
     if json {
         let mut text = icomm_persist::to_string(&out.report)
@@ -896,11 +905,12 @@ fn sched(
     for t in &out.assignment.tenants {
         let _ = writeln!(
             text,
-            "  {:<12} joint {}  solo-best {}  recommended {}  co-run slowdown {:.3}x{}",
+            "  {:<12} joint {}  solo-best {}  recommended {}  footprint {}  co-run slowdown {:.3}x{}",
             t.name,
             t.joint.abbrev(),
             t.solo_best.abbrev(),
             t.solo_recommended.abbrev(),
+            icomm_footprint::human_bytes(t.footprint.as_u64()),
             t.slowdown,
             if t.flipped { "  [flipped]" } else { "" },
         );
@@ -1087,7 +1097,12 @@ mod tests {
 
     #[test]
     fn fleet_json_is_deterministic_and_parses() {
-        let run = || fleet("nano,tx2", 48, "poisson", 400.0, 7, 1, "json", "none", true).unwrap();
+        let run = || {
+            fleet(
+                "nano,tx2", 48, "poisson", 400.0, 7, 1, "json", "none", None, true,
+            )
+            .unwrap()
+        };
         let a = run();
         assert_eq!(a, run(), "same-seed fleet JSON not byte-identical");
         let report: icomm_fleet::FleetReport = icomm_persist::from_str(a.trim()).unwrap();
@@ -1097,7 +1112,10 @@ mod tests {
         // Human rendering carries the wall-clock side channel instead;
         // drive the live-fire stage over the binary plane here so the
         // CLI path through `--wire binary` is covered too.
-        let text = fleet("nano", 24, "burst", 600.0, 3, 2, "binary", "none", false).unwrap();
+        let text = fleet(
+            "nano", 24, "burst", 600.0, 3, 2, "binary", "none", None, false,
+        )
+        .unwrap();
         assert!(text.contains("verdict"), "{text}");
         assert!(text.contains("livefire wall-clock"), "{text}");
     }
@@ -1105,7 +1123,12 @@ mod tests {
     #[test]
     fn fleet_faults_inject_and_replay() {
         let spec = "none,churn_prob=0.2,poison_prob=0.2";
-        let run = || fleet("nano,tx2", 64, "poisson", 400.0, 11, 1, "json", spec, true).unwrap();
+        let run = || {
+            fleet(
+                "nano,tx2", 64, "poisson", 400.0, 11, 1, "json", spec, None, true,
+            )
+            .unwrap()
+        };
         let a = run();
         assert_eq!(a, run(), "same-seed faulted fleet JSON not byte-identical");
         let report: icomm_fleet::FleetReport = icomm_persist::from_str(a.trim()).unwrap();
@@ -1134,7 +1157,7 @@ mod tests {
 
     #[test]
     fn sched_json_is_deterministic_and_parses() {
-        let run = || sched("tx2", "contended", "deadline", 42, 4, true).unwrap();
+        let run = || sched("tx2", "contended", "deadline", 42, 4, None, true).unwrap();
         let a = run();
         assert_eq!(a, run(), "same-seed sched JSON not byte-identical");
         let report: icomm_sched::SchedReport = icomm_persist::from_str(a.trim()).unwrap();
@@ -1142,7 +1165,8 @@ mod tests {
         assert_eq!(report.mix, "contended");
         assert_eq!(report.policy, "deadline");
         // Human rendering carries the joint-assignment detail instead.
-        let text = sched("tx2", "duo", "fifo", 7, 2, false).unwrap();
+        let text = sched("tx2", "duo", "fifo", 7, 2, None, false).unwrap();
+        assert!(text.contains("footprint"), "{text}");
         assert!(text.contains("--- joint assignment ---"), "{text}");
         assert!(text.contains("deadlines"), "{text}");
     }

@@ -16,20 +16,23 @@
 
 use serde::{Deserialize, Serialize};
 
+use icomm_footprint::{human_bytes, model_footprint};
 use icomm_microbench::DeviceCharacterization;
 use icomm_models::interference::{
     co_run_interference, co_run_oracle, InterferenceConfig, TenantDemand,
 };
 use icomm_models::{candidate_models, run_model, CommModelKind, Workload};
-use icomm_soc::units::{Bandwidth, Picos};
+use icomm_soc::units::{Bandwidth, ByteSize, Picos};
 use icomm_soc::DeviceProfile;
 
 use crate::tuner::recommend_for_device;
 
 /// The scheduler enumerates every model combination (`M^N` for `M`
-/// candidate models — 3 on the Jetsons, 4 on hardware-coherent parts), so
-/// mixes are capped where the paper's co-location scenarios live.
-pub const MAX_TENANTS: usize = 4;
+/// candidate models — 3 on the Jetsons, 4 on hardware-coherent parts).
+/// The paper's co-location scenarios stop at four tenants; the cap sits
+/// at eight so budget studies can over-subscribe a board while the
+/// enumeration stays in the tens of thousands of closed-form scores.
+pub const MAX_TENANTS: usize = 8;
 
 /// One tenant of a co-run mix.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +65,10 @@ pub struct TenantAssignment {
     pub slowdown: f64,
     /// Whether co-location flipped the choice away from the solo best.
     pub flipped: bool,
+    /// Peak resident bytes the joint model keeps on the board
+    /// (closed-form [`icomm_footprint`] pricing at the device's page
+    /// size).
+    pub footprint: ByteSize,
 }
 
 /// A jointly optimized model assignment for a tenant mix.
@@ -78,6 +85,10 @@ pub struct JointAssignment {
     pub greedy_total: Picos,
     /// Whether any tenant's choice flipped relative to its solo best.
     pub any_flip: bool,
+    /// Summed footprint of the joint assignment.
+    pub footprint: ByteSize,
+    /// The memory cap the assignment was solved under, if any.
+    pub mem_cap: Option<ByteSize>,
 }
 
 impl JointAssignment {
@@ -157,10 +168,71 @@ fn candidate_demands(
         .collect())
 }
 
+/// Solo footprint of every tenant under every candidate model, indexed
+/// like [`candidate_demands`]: `footprints[i][k]` is tenant `i` priced
+/// under `candidate_models(device)[k]` at the device's page size.
+fn candidate_footprints(device: &DeviceProfile, tenants: &[CorunTenant]) -> Vec<Vec<u64>> {
+    let models = candidate_models(device);
+    tenants
+        .iter()
+        .map(|t| {
+            models
+                .iter()
+                .map(|&kind| model_footprint(kind, &t.workload, device).as_u64())
+                .collect()
+        })
+        .collect()
+}
+
+/// Rejects mixes that cannot fit under `cap` no matter which models are
+/// picked: a single tenant whose *cheapest* model is over the cap, or a
+/// mix whose per-tenant minima already sum past it. After this check the
+/// capped enumeration always has at least one feasible combination.
+fn check_cap_feasible(
+    device: &DeviceProfile,
+    tenants: &[CorunTenant],
+    footprints: &[Vec<u64>],
+    cap: u64,
+) -> Result<(), String> {
+    let mut min_sum = 0u64;
+    for (tenant, fps) in tenants.iter().zip(footprints) {
+        let cheapest = fps.iter().copied().min().unwrap_or(0);
+        if cheapest > cap {
+            return Err(format!(
+                "tenant '{}' does not fit the {} memory cap on {} under any model \
+                 (cheapest footprint is {})",
+                tenant.name,
+                human_bytes(cap),
+                device.name,
+                human_bytes(cheapest)
+            ));
+        }
+        min_sum += cheapest;
+    }
+    if min_sum > cap {
+        return Err(format!(
+            "mix does not fit the {} memory cap on {}: the cheapest model combination \
+             still needs {}",
+            human_bytes(cap),
+            device.name,
+            human_bytes(min_sum)
+        ));
+    }
+    Ok(())
+}
+
 /// Iterates every model combination in lexicographic candidate order,
 /// calling `score` with the per-tenant demand slice; returns the first
 /// combination attaining the minimum score (deterministic tie-break).
-fn argmin_combo<F>(candidates: &[Vec<TenantDemand>], mut score: F) -> Vec<usize>
+/// With a cap, combinations whose summed footprint exceeds it are
+/// skipped — per-tenant infeasible models fall out with them, since a
+/// single over-cap footprint already puts every sum containing it over.
+fn argmin_combo<F>(
+    candidates: &[Vec<TenantDemand>],
+    footprints: &[Vec<u64>],
+    cap: Option<u64>,
+    mut score: F,
+) -> Vec<usize>
 where
     F: FnMut(&[TenantDemand]) -> u64,
 {
@@ -174,6 +246,16 @@ where
         for _ in 0..n {
             picks.push(rest % base);
             rest /= base;
+        }
+        if let Some(cap) = cap {
+            let total: u64 = picks
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| footprints[i][k])
+                .sum();
+            if total > cap {
+                continue;
+            }
         }
         let demands: Vec<TenantDemand> = picks
             .iter()
@@ -207,7 +289,34 @@ pub fn joint_assignment(
     characterization: &DeviceCharacterization,
     tenants: &[CorunTenant],
 ) -> Result<JointAssignment, String> {
+    joint_assignment_capped(device, characterization, tenants, None)
+}
+
+/// [`joint_assignment`] under a memory budget: minimize the combined
+/// co-run wall *subject to* the summed [`icomm_footprint`] residency of
+/// the chosen models staying within `mem_cap`. With `None` the solver
+/// is exactly the uncapped one. The per-app greedy baseline is also
+/// budget-aware per tenant (a greedy tuner would still prune models
+/// that don't fit alone) but blind to the shared sum — that gap is the
+/// point of solving jointly.
+///
+/// # Errors
+///
+/// Rejects empty mixes, mixes beyond [`MAX_TENANTS`], single tenants
+/// whose cheapest model exceeds the cap, and mixes whose cheapest
+/// combination does.
+pub fn joint_assignment_capped(
+    device: &DeviceProfile,
+    characterization: &DeviceCharacterization,
+    tenants: &[CorunTenant],
+    mem_cap: Option<ByteSize>,
+) -> Result<JointAssignment, String> {
     let candidates = candidate_demands(device, tenants)?;
+    let footprints = candidate_footprints(device, tenants);
+    let cap = mem_cap.map(|c| c.as_u64());
+    if let Some(cap) = cap {
+        check_cap_feasible(device, tenants, &footprints, cap)?;
+    }
     let models = candidate_models(device);
     let config = InterferenceConfig::for_device(device);
     let total_wall = |demands: &[TenantDemand]| -> u64 {
@@ -216,14 +325,17 @@ pub fn joint_assignment(
             .map(|t| t.wall_co.as_picos())
             .sum()
     };
-    let joint_picks = argmin_combo(&candidates, total_wall);
+    let joint_picks = argmin_combo(&candidates, &footprints, cap, total_wall);
 
-    // Per-app greedy: each tenant keeps its measured solo best.
+    // Per-app greedy: each tenant keeps its measured solo best among
+    // the models that fit the cap on their own.
     let greedy_picks: Vec<usize> = candidates
         .iter()
-        .map(|c| {
+        .enumerate()
+        .map(|(i, c)| {
             c.iter()
                 .enumerate()
+                .filter(|&(k, _)| cap.is_none_or(|cap| footprints[i][k] <= cap))
                 .min_by_key(|(_, d)| d.wall_solo.as_picos())
                 .map(|(k, _)| k)
                 .unwrap_or(0)
@@ -265,16 +377,20 @@ pub fn joint_assignment(
                 wall_co: joint_outcome[i].wall_co,
                 slowdown: joint_outcome[i].slowdown,
                 flipped: joint != solo_best,
+                footprint: ByteSize(footprints[i][joint_picks[i]]),
             }
         })
         .collect();
     let any_flip = verdicts.iter().any(|v| v.flipped);
+    let footprint = ByteSize(verdicts.iter().map(|v| v.footprint.as_u64()).sum());
     Ok(JointAssignment {
         device: device.name.clone(),
         tenants: verdicts,
         joint_total,
         greedy_total,
         any_flip,
+        footprint,
+        mem_cap,
     })
 }
 
@@ -289,10 +405,31 @@ pub fn oracle_assignment(
     device: &DeviceProfile,
     tenants: &[CorunTenant],
 ) -> Result<Vec<CommModelKind>, String> {
+    oracle_assignment_capped(device, tenants, None)
+}
+
+/// [`oracle_assignment`] under a memory budget: the same brute-force
+/// enumeration, restricted to combinations whose summed footprint fits
+/// `mem_cap` — the ground truth the capped closed-form choice is
+/// validated against in `tests/footprint.rs`.
+///
+/// # Errors
+///
+/// Rejects the same mixes as [`joint_assignment_capped`].
+pub fn oracle_assignment_capped(
+    device: &DeviceProfile,
+    tenants: &[CorunTenant],
+    mem_cap: Option<ByteSize>,
+) -> Result<Vec<CommModelKind>, String> {
     let candidates = candidate_demands(device, tenants)?;
+    let footprints = candidate_footprints(device, tenants);
+    let cap = mem_cap.map(|c| c.as_u64());
+    if let Some(cap) = cap {
+        check_cap_feasible(device, tenants, &footprints, cap)?;
+    }
     let models = candidate_models(device);
     let config = InterferenceConfig::for_device(device);
-    let picks = argmin_combo(&candidates, |demands| {
+    let picks = argmin_combo(&candidates, &footprints, cap, |demands| {
         co_run_oracle(demands, &config)
             .iter()
             .map(|w| w.as_picos())
@@ -437,8 +574,51 @@ mod tests {
         let device = DeviceProfile::jetson_tx2();
         let chr = quick_characterize_device(&device);
         assert!(joint_assignment(&device, &chr, &[]).is_err());
-        let too_many: Vec<CorunTenant> = (0..5).map(|i| streaming(&format!("t{i}"))).collect();
+        let too_many: Vec<CorunTenant> = (0..9).map(|i| streaming(&format!("t{i}"))).collect();
         assert!(joint_assignment(&device, &chr, &too_many).is_err());
         assert!(oracle_assignment(&device, &too_many).is_err());
+    }
+
+    #[test]
+    fn a_tight_cap_reshapes_the_assignment() {
+        let device = DeviceProfile::jetson_tx2();
+        let chr = quick_characterize_device(&device);
+        let mix = vec![streaming("a"), streaming("b"), cache_hungry("c")];
+        let open = joint_assignment(&device, &chr, &mix).expect("uncapped");
+        assert!(open.mem_cap.is_none());
+        assert!(open.footprint.as_u64() > 0);
+        // The cheapest combination (all tenants on their smallest
+        // model) always fits one byte under the uncapped choice.
+        let cap = ByteSize(open.footprint.as_u64() - 1);
+        let capped =
+            joint_assignment_capped(&device, &chr, &mix, Some(cap)).expect("capped assignment");
+        assert_ne!(capped.models(), open.models(), "cap must force a shift");
+        assert!(capped.footprint <= cap, "capped sum respects the budget");
+        assert_eq!(capped.mem_cap, Some(cap));
+        assert!(
+            capped.joint_total >= open.joint_total,
+            "a constraint can only cost wall time"
+        );
+        let replay =
+            joint_assignment_capped(&device, &chr, &mix, Some(cap)).expect("capped assignment");
+        assert_eq!(capped, replay);
+    }
+
+    #[test]
+    fn impossible_caps_are_refused_with_names() {
+        let device = DeviceProfile::jetson_tx2();
+        let chr = quick_characterize_device(&device);
+        let mix = vec![streaming("tiny"), cache_hungry("hot")];
+        let err = joint_assignment_capped(&device, &chr, &mix, Some(ByteSize(4096))).unwrap_err();
+        assert!(err.contains("'tiny'"), "{err}");
+        // Big enough for each tenant alone, too small for both.
+        let both = ByteSize::mib(1).as_u64() + ByteSize::kib(256).as_u64();
+        let err =
+            joint_assignment_capped(&device, &chr, &mix, Some(ByteSize(both - 1))).unwrap_err();
+        assert!(err.contains("cheapest model combination"), "{err}");
+        assert!(
+            oracle_assignment_capped(&device, &mix, Some(ByteSize(4096))).is_err(),
+            "oracle enforces the same feasibility rules"
+        );
     }
 }

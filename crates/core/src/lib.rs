@@ -35,8 +35,8 @@ pub mod tuner;
 pub mod usage;
 
 pub use corun::{
-    joint_assignment, oracle_assignment, tenant_demand, CorunTenant, JointAssignment,
-    TenantAssignment,
+    joint_assignment, joint_assignment_capped, oracle_assignment, oracle_assignment_capped,
+    tenant_demand, CorunTenant, JointAssignment, TenantAssignment,
 };
 pub use decision::{recommend, CacheZone, Recommendation};
 pub use speedup::{sc_to_zc, zc_to_sc, SpeedupEstimate};

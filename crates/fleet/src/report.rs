@@ -87,6 +87,20 @@ pub struct FleetReport {
     /// Served devices whose joint model assignment flipped at least one
     /// tenant away from its solo-best communication model.
     pub corun_flips: u64,
+    /// Per-device memory cap the multi-tenant stage admitted under
+    /// (0 = each board's stock DRAM budget).
+    pub mem_cap_bytes: u64,
+    /// Tenant instances the cap pushed onto a cheaper-footprint model
+    /// than the unconstrained optimum, summed over served devices.
+    pub corun_demotions: u64,
+    /// Tenant instances admission refused outright, summed over served
+    /// devices.
+    pub corun_evictions: u64,
+    /// Footprint bytes turned away with evicted tenants, summed over
+    /// served devices.
+    pub corun_spilled_bytes: u64,
+    /// Largest admitted per-device footprint seen in the run.
+    pub corun_footprint_peak_bytes: u64,
     /// Injected churn events: devices whose registry state was evicted
     /// before their lookup (crash-and-rejoin).
     pub churn_events: u64,
@@ -169,6 +183,21 @@ impl fmt::Display for FleetReport {
                 self.corun_mean_slowdown,
                 self.corun_flips
             )?;
+            if self.mem_cap_bytes > 0 || self.corun_evictions > 0 {
+                writeln!(
+                    f,
+                    "memory       cap {} per device  peak footprint {}  {} demotions  {} evictions (spilled {})",
+                    if self.mem_cap_bytes > 0 {
+                        icomm_footprint::human_bytes(self.mem_cap_bytes)
+                    } else {
+                        "stock".to_string()
+                    },
+                    icomm_footprint::human_bytes(self.corun_footprint_peak_bytes),
+                    self.corun_demotions,
+                    self.corun_evictions,
+                    icomm_footprint::human_bytes(self.corun_spilled_bytes)
+                )?;
+            }
         }
         if self.churn_events + self.poisoned_sources + self.quarantined_sources > 0 {
             writeln!(
@@ -279,6 +308,11 @@ mod tests {
             corun_slo_attainment_pct: 97.0,
             corun_mean_slowdown: 1.21,
             corun_flips: 12,
+            mem_cap_bytes: 6 << 20,
+            corun_demotions: 24,
+            corun_evictions: 2,
+            corun_spilled_bytes: 9 << 20,
+            corun_footprint_peak_bytes: 5 << 20,
             churn_events: 9,
             poisoned_sources: 5,
             quarantined_sources: 3,

@@ -31,6 +31,7 @@ use icomm_sched::{run_sched_with, PolicyKind, SchedConfig, SchedReport};
 use icomm_serve::catalog;
 use icomm_serve::registry::EntryMeta;
 use icomm_serve::{AdmissionConfig, AdmissionController, AdmissionDecision, Registry, ShedReason};
+use icomm_soc::units::ByteSize;
 use icomm_soc::DeviceProfile;
 
 use crate::arrival::ArrivalConfig;
@@ -84,6 +85,11 @@ pub struct FleetConfig {
     /// Named co-run mix for the multi-tenant stage, or `"auto"` to pick
     /// by `tenants_per_device` (2 → `duo`, 3 → `contended`, 4 → `quad`).
     pub tenant_mix: String,
+    /// Explicit per-device memory cap the multi-tenant stage admits
+    /// under (`None` = each board's stock DRAM budget, which the
+    /// paper-scale mixes never approach). Only meaningful when
+    /// `tenants_per_device > 1`.
+    pub mem_cap: Option<ByteSize>,
     /// Fleet-scale fault plan: `churn_prob` evicts a device's registry
     /// state before its lookup (crash-and-rejoin), `poison_prob` makes a
     /// served device upload an adversarial characterization under a
@@ -114,6 +120,7 @@ impl Default for FleetConfig {
             livefire_wire: icomm_net::WireMode::Json,
             tenants_per_device: 1,
             tenant_mix: "auto".to_string(),
+            mem_cap: None,
             faults: FaultPlan::none(),
         }
     }
@@ -278,6 +285,10 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
     let mut corun_slo_ok = 0u64;
     let mut corun_slowdown_sum = 0.0f64;
     let mut corun_flips = 0u64;
+    let mut corun_demotions = 0u64;
+    let mut corun_evictions = 0u64;
+    let mut corun_spilled_bytes = 0u64;
+    let mut corun_footprint_peak = 0u64;
 
     for arrival in &arrivals {
         let now = arrival.at_us;
@@ -393,6 +404,7 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
                 // keeping the whole stage a function of the fleet seed.
                 sched.seed = config.seed ^ ((device.cluster as u64) << 8);
                 sched.jobs_per_tenant = 4;
+                sched.mem_cap = config.mem_cap;
                 let out = run_sched_with(&sched, &characterization)?;
                 sched_memo.insert(key.clone(), out.report);
             }
@@ -401,6 +413,10 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
             if corun.any_flip {
                 corun_flips += 1;
             }
+            corun_demotions += u64::from(corun.demotions);
+            corun_evictions += u64::from(corun.evictions);
+            corun_spilled_bytes += corun.spilled_bytes;
+            corun_footprint_peak = corun_footprint_peak.max(corun.footprint_bytes);
             for tenant in &corun.tenants {
                 corun_jobs += u64::from(tenant.jobs);
                 corun_missed += u64::from(tenant.missed);
@@ -565,6 +581,11 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
         corun_slo_attainment_pct,
         corun_mean_slowdown,
         corun_flips,
+        mem_cap_bytes: config.mem_cap.map_or(0, |c| c.as_u64()),
+        corun_demotions,
+        corun_evictions,
+        corun_spilled_bytes,
+        corun_footprint_peak_bytes: corun_footprint_peak,
         churn_events,
         poisoned_sources,
         quarantined_sources: registry.quarantined_sources().len() as u64,
@@ -676,6 +697,49 @@ mod tests {
         assert_eq!(r.served, solo.report.served);
         assert_eq!(r.warm_start_pct, solo.report.warm_start_pct);
         assert_eq!(solo.report.corun_tenants, 0);
+    }
+
+    #[test]
+    fn a_fleet_wide_memory_cap_is_accounted_per_device() {
+        let capped_config = FleetConfig {
+            devices: 36,
+            tenants_per_device: 3,
+            tenant_mix: "pressure".to_string(),
+            mem_cap: Some(ByteSize(6 << 20)),
+            ..small_config()
+        };
+        let capped = run_fleet(&capped_config).expect("capped fleet runs").report;
+        assert_eq!(capped.mem_cap_bytes, 6 << 20);
+        // The HD mix does not fit 6 MiB under double-buffered optima, so
+        // every served device's schedule demotes at least one tenant.
+        assert!(capped.corun_demotions >= capped.served, "{capped:?}");
+        assert_eq!(capped.corun_evictions, 0);
+        assert_eq!(capped.corun_spilled_bytes, 0);
+        assert!(capped.corun_footprint_peak_bytes > 0);
+        assert!(capped.corun_footprint_peak_bytes <= 6 << 20);
+
+        // Same fleet uncapped: stock budgets never bind, nothing demotes,
+        // and the single-tenant pipeline metrics are untouched.
+        let open = run_fleet(&FleetConfig {
+            mem_cap: None,
+            ..capped_config.clone()
+        })
+        .expect("uncapped fleet runs")
+        .report;
+        assert_eq!(open.mem_cap_bytes, 0);
+        assert_eq!(open.corun_demotions, 0);
+        assert!(open.corun_footprint_peak_bytes > capped.corun_footprint_peak_bytes);
+        assert_eq!(open.served, capped.served);
+        assert_eq!(open.warm_start_pct, capped.warm_start_pct);
+
+        // Capped runs replay byte-identically like every other mode.
+        let replay = run_fleet(&capped_config)
+            .expect("capped replay runs")
+            .report;
+        assert_eq!(
+            icomm_persist::to_string(&capped).unwrap(),
+            icomm_persist::to_string(&replay).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Per-board memory budgets and the charge/release ledger.
+//!
+//! A [`MemBudget`] is the capacity side of the perf-under-a-cap
+//! problem: stock presets derive it from the device's memory topology
+//! (the sum of its NUMA node capacities — one flat LPDDR node on the
+//! Jetsons, HBM stacks or DDR+HBM pairs on the coherent parts), and the
+//! CLI can override it with an explicit `--mem-cap`. A [`BudgetLedger`]
+//! then does the admission bookkeeping: tenants charge their footprint
+//! on admit, release it on exit, and the ledger tracks in-use bytes,
+//! the high-water mark, and the remaining headroom. Charges that would
+//! overflow the budget are rejected atomically — the ledger never goes
+//! over capacity and, being unsigned with per-tenant records, never
+//! goes negative.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use icomm_soc::units::ByteSize;
+use icomm_soc::DeviceProfile;
+
+/// Why a budget operation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FootprintError {
+    /// A charge would push the ledger past its capacity.
+    OverBudget {
+        /// Tenant whose charge was refused.
+        tenant: String,
+        /// Bytes the tenant asked for.
+        requested: ByteSize,
+        /// Bytes already charged when the request arrived.
+        in_use: ByteSize,
+        /// The ledger's capacity.
+        capacity: ByteSize,
+    },
+}
+
+impl fmt::Display for FootprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FootprintError::OverBudget {
+                tenant,
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "tenant '{tenant}' requested {requested} with {in_use} of {capacity} in use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FootprintError {}
+
+/// The memory capacity one board offers its tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemBudget {
+    /// Total bytes the budget covers.
+    pub capacity: ByteSize,
+}
+
+impl MemBudget {
+    /// Stock preset: the board's full DRAM capacity, summed over its
+    /// NUMA nodes (8 GiB flat LPDDR on the Jetson presets, 128 GiB HBM
+    /// on MI300A-class, 480 GiB DDR + 96 GiB HBM on Grace-Hopper-class).
+    pub fn for_device(device: &DeviceProfile) -> Self {
+        MemBudget {
+            capacity: device.topology.total_capacity(),
+        }
+    }
+
+    /// An explicit override, e.g. from `--mem-cap`.
+    pub fn with_cap(capacity: ByteSize) -> Self {
+        MemBudget { capacity }
+    }
+
+    /// Whether a footprint fits the budget outright.
+    pub fn fits(&self, bytes: ByteSize) -> bool {
+        bytes <= self.capacity
+    }
+
+    /// A fresh ledger over this budget.
+    pub fn ledger(&self) -> BudgetLedger {
+        BudgetLedger::new(self.capacity)
+    }
+}
+
+/// Charge/release bookkeeping over one [`MemBudget`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetLedger {
+    capacity: u64,
+    charges: BTreeMap<String, u64>,
+    in_use: u64,
+    peak: u64,
+}
+
+impl BudgetLedger {
+    /// An empty ledger with `capacity` bytes available.
+    pub fn new(capacity: ByteSize) -> Self {
+        BudgetLedger {
+            capacity: capacity.as_u64(),
+            charges: BTreeMap::new(),
+            in_use: 0,
+            peak: 0,
+        }
+    }
+
+    /// Charges `bytes` to `tenant`, accumulating over prior charges.
+    ///
+    /// # Errors
+    ///
+    /// Refuses (without recording anything) when the charge would push
+    /// in-use bytes past capacity.
+    pub fn charge(&mut self, tenant: &str, bytes: ByteSize) -> Result<(), FootprintError> {
+        let requested = bytes.as_u64();
+        if self.in_use.saturating_add(requested) > self.capacity {
+            return Err(FootprintError::OverBudget {
+                tenant: tenant.to_string(),
+                requested: bytes,
+                in_use: ByteSize(self.in_use),
+                capacity: ByteSize(self.capacity),
+            });
+        }
+        *self.charges.entry(tenant.to_string()).or_insert(0) += requested;
+        self.in_use += requested;
+        self.peak = self.peak.max(self.in_use);
+        Ok(())
+    }
+
+    /// Releases everything `tenant` has charged; returns the released
+    /// bytes (zero for unknown tenants — release is idempotent).
+    pub fn release(&mut self, tenant: &str) -> ByteSize {
+        let freed = self.charges.remove(tenant).unwrap_or(0);
+        self.in_use -= freed;
+        ByteSize(freed)
+    }
+
+    /// Bytes currently charged to `tenant`.
+    pub fn charged(&self, tenant: &str) -> ByteSize {
+        ByteSize(self.charges.get(tenant).copied().unwrap_or(0))
+    }
+
+    /// Bytes currently charged across all tenants.
+    pub fn in_use(&self) -> ByteSize {
+        ByteSize(self.in_use)
+    }
+
+    /// High-water mark of in-use bytes over the ledger's lifetime.
+    pub fn peak(&self) -> ByteSize {
+        ByteSize(self.peak)
+    }
+
+    /// Bytes still available before the next charge is refused.
+    pub fn headroom(&self) -> ByteSize {
+        ByteSize(self.capacity - self.in_use)
+    }
+
+    /// The ledger's capacity.
+    pub fn capacity(&self) -> ByteSize {
+        ByteSize(self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_presets_follow_the_topology() {
+        let jetson = MemBudget::for_device(&DeviceProfile::jetson_tx2());
+        assert_eq!(jetson.capacity, ByteSize::gib(8));
+        let apu = MemBudget::for_device(&DeviceProfile::mi300a_like());
+        assert_eq!(apu.capacity, ByteSize::gib(128));
+        let gh = MemBudget::for_device(&DeviceProfile::gh_like());
+        assert_eq!(gh.capacity, ByteSize::gib(480 + 96));
+    }
+
+    #[test]
+    fn ledger_charges_release_and_track_the_peak() {
+        let mut ledger = MemBudget::with_cap(ByteSize::mib(10)).ledger();
+        ledger.charge("a", ByteSize::mib(4)).unwrap();
+        ledger.charge("b", ByteSize::mib(5)).unwrap();
+        assert_eq!(ledger.in_use(), ByteSize::mib(9));
+        assert_eq!(ledger.headroom(), ByteSize::mib(1));
+        assert_eq!(ledger.release("a"), ByteSize::mib(4));
+        assert_eq!(ledger.in_use(), ByteSize::mib(5));
+        ledger.charge("c", ByteSize::mib(2)).unwrap();
+        assert_eq!(ledger.peak(), ByteSize::mib(9), "peak survives releases");
+        assert_eq!(ledger.release("ghost"), ByteSize(0));
+    }
+
+    #[test]
+    fn over_budget_charges_are_refused_atomically() {
+        let mut ledger = MemBudget::with_cap(ByteSize::mib(8)).ledger();
+        ledger.charge("a", ByteSize::mib(6)).unwrap();
+        let err = ledger.charge("b", ByteSize::mib(3)).unwrap_err();
+        assert!(err.to_string().contains("'b'"), "{err}");
+        assert_eq!(ledger.in_use(), ByteSize::mib(6), "nothing was recorded");
+        assert_eq!(ledger.charged("b"), ByteSize(0));
+        ledger.charge("b", ByteSize::mib(2)).unwrap();
+        assert_eq!(ledger.headroom(), ByteSize(0));
+    }
+}

@@ -1,0 +1,191 @@
+//! # icomm-footprint — memory-footprint models and per-board budgets
+//!
+//! The decision framework in `icomm-core` picks communication models by
+//! latency; on embedded boards the binding resource is often *memory*.
+//! SC keeps a host+device double buffer, UM duplicates pages while
+//! migration is in flight, ZC pins host memory for the lifetime of the
+//! application, and coherent UPM's residency follows the placement
+//! policy. This crate prices all of that in closed form so every
+//! tuning and admission decision can solve perf-under-a-memory-cap:
+//!
+//! - [`FootprintModel`] — peak resident bytes per [`CommModelKind`],
+//!   with a [`FootprintBreakdown`] splitting resident / transient /
+//!   pinned and home- / remote-node shares.
+//! - [`MemBudget`] — per-board capacity, stock presets derived from the
+//!   device's NUMA-node sizes and overridable from the CLI.
+//! - [`BudgetLedger`] — charge/release bookkeeping with peak tracking
+//!   and headroom, refusing over-budget charges atomically.
+//!
+//! `icomm-core` consumes these to prune infeasible models and cap
+//! combined footprints in `joint_assignment`, `icomm-sched` to demote
+//! or evict over-budget tenants at admission, and `icomm-fleet` to
+//! account budgets per device.
+//!
+//! # Example
+//!
+//! ```
+//! use icomm_footprint::{model_footprint, MemBudget};
+//! use icomm_models::workload::{GpuPhase, Workload};
+//! use icomm_models::CommModelKind;
+//! use icomm_soc::cache::AccessKind;
+//! use icomm_soc::units::ByteSize;
+//! use icomm_soc::DeviceProfile;
+//! use icomm_trace::Pattern;
+//!
+//! let device = DeviceProfile::jetson_tx2();
+//! let frame = Workload::builder("frame")
+//!     .bytes_to_gpu(ByteSize::mib(2))
+//!     .gpu(GpuPhase {
+//!         compute_work: 1 << 16,
+//!         shared_accesses: Pattern::Linear {
+//!             start: 0,
+//!             bytes: 2 << 20,
+//!             txn_bytes: 64,
+//!             kind: AccessKind::Read,
+//!         },
+//!         private_accesses: None,
+//!     })
+//!     .build();
+//!
+//! let sc = model_footprint(CommModelKind::StandardCopy, &frame, &device);
+//! let zc = model_footprint(CommModelKind::ZeroCopy, &frame, &device);
+//! assert!(zc < sc, "zero-copy never allocates the device copy");
+//!
+//! let mut ledger = MemBudget::for_device(&device).ledger();
+//! ledger.charge("frame", sc)?;
+//! assert!(ledger.headroom() < ledger.capacity());
+//! # Ok::<(), icomm_footprint::FootprintError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod model;
+
+pub use budget::{BudgetLedger, FootprintError, MemBudget};
+pub use model::{
+    model_footprint, round_to_pages, shared_bytes, FootprintBreakdown, FootprintModel,
+};
+
+use icomm_mem::units::ByteSize;
+use icomm_models::CommModelKind;
+
+/// Parses a human byte-size cap: a bare integer is bytes, and a `k`,
+/// `m`, or `g` suffix (optionally `kb`/`kib` etc., case-insensitive)
+/// scales by binary units — `16m` is 16 MiB.
+///
+/// # Errors
+///
+/// Returns a descriptive message for empty input, unknown suffixes, or
+/// sizes that overflow `u64`.
+pub fn parse_cap(input: &str) -> Result<ByteSize, String> {
+    let trimmed = input.trim().to_ascii_lowercase();
+    let digits_end = trimmed
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(trimmed.len());
+    let (digits, suffix) = trimmed.split_at(digits_end);
+    let value: u64 = digits
+        .parse()
+        .map_err(|_| format!("invalid memory cap '{input}': expected digits then k/m/g"))?;
+    let shift = match suffix {
+        "" | "b" => 0,
+        "k" | "kb" | "kib" => 10,
+        "m" | "mb" | "mib" => 20,
+        "g" | "gb" | "gib" => 30,
+        other => {
+            return Err(format!(
+                "invalid memory cap '{input}': unknown suffix '{other}' (use k, m or g)"
+            ))
+        }
+    };
+    value
+        .checked_mul(1u64 << shift)
+        .map(ByteSize)
+        .ok_or_else(|| format!("memory cap '{input}' overflows"))
+}
+
+/// Formats a byte count the way the CLI prints footprints: two decimals
+/// in the largest binary unit that keeps the number ≥ 1.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [(&str, u64); 4] = [
+        ("GiB", 1 << 30),
+        ("MiB", 1 << 20),
+        ("KiB", 1 << 10),
+        ("B", 1),
+    ];
+    for (name, scale) in UNITS {
+        if bytes >= scale {
+            return format!("{:.2} {name}", bytes as f64 / scale as f64);
+        }
+    }
+    "0 B".to_string()
+}
+
+/// The cheapest-footprint model among `models` for `app` on `device`,
+/// with its footprint — the demotion target admission control reaches
+/// for when a mix does not fit its budget.
+pub fn cheapest_model(
+    models: &[CommModelKind],
+    app: &icomm_models::Workload,
+    device: &icomm_soc::DeviceProfile,
+) -> Option<(CommModelKind, ByteSize)> {
+    models
+        .iter()
+        .map(|&kind| (kind, model_footprint(kind, app, device)))
+        .min_by_key(|&(_, bytes)| bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_parse_in_binary_units() {
+        assert_eq!(parse_cap("4096"), Ok(ByteSize(4096)));
+        assert_eq!(parse_cap("64k"), Ok(ByteSize::kib(64)));
+        assert_eq!(parse_cap("16M"), Ok(ByteSize::mib(16)));
+        assert_eq!(parse_cap("2GiB"), Ok(ByteSize::gib(2)));
+        assert_eq!(parse_cap(" 8m "), Ok(ByteSize::mib(8)));
+    }
+
+    #[test]
+    fn bad_caps_are_described() {
+        assert!(parse_cap("").unwrap_err().contains("expected digits"));
+        assert!(parse_cap("12q").unwrap_err().contains("unknown suffix"));
+        assert!(parse_cap("m").unwrap_err().contains("expected digits"));
+        assert!(parse_cap("99999999999999999999g").is_err());
+    }
+
+    #[test]
+    fn human_bytes_picks_the_unit() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(512), "512.00 B");
+        assert_eq!(human_bytes(1 << 20), "1.00 MiB");
+        assert_eq!(human_bytes(3 << 29), "1.50 GiB");
+    }
+
+    #[test]
+    fn cheapest_model_is_zero_copy_on_jetsons() {
+        use icomm_models::workload::GpuPhase;
+        use icomm_soc::cache::AccessKind;
+        use icomm_trace::Pattern;
+        let device = icomm_soc::DeviceProfile::jetson_tx2();
+        let w = icomm_models::Workload::builder("w")
+            .bytes_to_gpu(ByteSize::mib(1))
+            .gpu(GpuPhase {
+                compute_work: 1 << 12,
+                shared_accesses: Pattern::Linear {
+                    start: 0,
+                    bytes: 1 << 20,
+                    txn_bytes: 64,
+                    kind: AccessKind::Read,
+                },
+                private_accesses: None,
+            })
+            .build();
+        let (kind, bytes) =
+            cheapest_model(&icomm_models::candidate_models(&device), &w, &device).unwrap();
+        assert_eq!(kind, CommModelKind::ZeroCopy);
+        assert_eq!(bytes, ByteSize::mib(1));
+    }
+}

@@ -1,0 +1,274 @@
+//! Closed-form memory-footprint models, one per [`CommModelKind`].
+//!
+//! A communication model's *latency* is what `icomm-models` simulates;
+//! its *footprint* is what this module prices: how many DRAM bytes the
+//! model keeps resident while the application runs. The five schemes
+//! differ structurally, not just by a constant:
+//!
+//! - **SC** keeps the shared buffer twice — a host staging copy and the
+//!   device-partition copy the kernel reads — so it pays a full double
+//!   buffer.
+//! - **SC+** (double-buffered async copy) adds a pinned staging ring of
+//!   one copy-engine chunk on top of SC so transfers overlap compute.
+//! - **UM** holds one resident managed allocation, but migration is not
+//!   free in space: pages in flight exist on both sides until the driver
+//!   reclaims the stale copy, and the migration engine stages one chunk
+//!   (page-rounded) of in-flight data. At peak that is a second full
+//!   copy plus the chunk — UM is the *largest* footprint, the classic
+//!   capacity/convenience trade.
+//! - **ZC** pins one host allocation forever and maps it into the GPU;
+//!   no device copy ever exists, so it is the smallest footprint (the
+//!   price is paid in latency, not bytes).
+//! - **UPM** (hardware-coherent system allocation) also keeps a single
+//!   copy, but *where* it lives depends on the topology's placement
+//!   policy — the breakdown splits the residency into home-node and
+//!   remote-node shares using the same
+//!   [`remote_fraction`](MemTopology::remote_fraction) the latency model
+//!   uses.
+//!
+//! All terms are rounded up to the page size, so footprints are
+//! monotone non-decreasing in both payload size and page size — the
+//! property tests in `tests/properties.rs` pin this down.
+
+use serde::{Deserialize, Serialize};
+
+use icomm_mem::{MemAgent, MemTopology, PageSize};
+use icomm_models::{CommModelKind, Workload};
+use icomm_soc::units::ByteSize;
+use icomm_soc::DeviceProfile;
+
+/// Rounds `bytes` up to a whole number of pages.
+pub fn round_to_pages(bytes: u64, pages: PageSize) -> u64 {
+    let page = pages.bytes();
+    bytes.div_ceil(page) * page
+}
+
+/// The shared working set a workload keeps live: the communicated
+/// payload or the larger of the CPU/GPU access footprints over the
+/// shared buffer, whichever is biggest (a kernel that walks more of the
+/// buffer than one transfer moves still has to keep it allocated).
+pub fn shared_bytes(workload: &Workload) -> u64 {
+    workload
+        .bytes_exchanged()
+        .as_u64()
+        .max(workload.cpu.shared_accesses.footprint_bytes())
+        .max(workload.gpu.shared_accesses.footprint_bytes())
+}
+
+/// Where a model's resident bytes sit, split by mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FootprintBreakdown {
+    /// The model being priced.
+    pub kind: CommModelKind,
+    /// Steady-state resident bytes (buffers that exist for the whole
+    /// run).
+    pub resident: ByteSize,
+    /// Peak transient bytes (migration duplication, staging rings) that
+    /// exist only while transfers are in flight but must still fit.
+    pub transient: ByteSize,
+    /// Bytes pinned (unswappable) for the lifetime of the application.
+    pub pinned: ByteSize,
+    /// Share of the residency charged to the topology's home node.
+    pub home: ByteSize,
+    /// Share of the residency placed on remote nodes (placement-policy
+    /// dependent; zero on flat single-node boards).
+    pub remote: ByteSize,
+}
+
+impl FootprintBreakdown {
+    /// Total bytes the budget must cover: resident plus peak transient.
+    pub fn total(&self) -> ByteSize {
+        self.resident + self.transient
+    }
+}
+
+/// The closed-form footprint model for one communication scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FootprintModel {
+    /// The communication model being priced.
+    pub kind: CommModelKind,
+}
+
+impl FootprintModel {
+    /// Footprint model for `kind`.
+    pub fn new(kind: CommModelKind) -> Self {
+        FootprintModel { kind }
+    }
+
+    /// Peak DRAM bytes `app` keeps resident on `device` under this
+    /// model, with allocations rounded to `pages`.
+    pub fn bytes(&self, app: &Workload, device: &DeviceProfile, pages: PageSize) -> ByteSize {
+        self.breakdown(app, device, pages).total()
+    }
+
+    /// The full residency breakdown behind [`FootprintModel::bytes`].
+    pub fn breakdown(
+        &self,
+        app: &Workload,
+        device: &DeviceProfile,
+        pages: PageSize,
+    ) -> FootprintBreakdown {
+        let base = round_to_pages(shared_bytes(app), pages);
+        // Copy engines and the UM migration engine stage one chunk of
+        // in-flight data; a chunk can never be larger than the buffer
+        // itself, and on huge pages it can never be smaller than one
+        // page.
+        let chunk = |floor_page: bool| -> u64 {
+            let raw = if floor_page {
+                device.um.migration_chunk_bytes.max(pages.bytes())
+            } else {
+                device.um.migration_chunk_bytes
+            };
+            round_to_pages(raw.min(shared_bytes(app).max(1)), pages).min(base)
+        };
+        let (resident, transient, pinned) = match self.kind {
+            // Host staging buffer + device partition copy.
+            CommModelKind::StandardCopy => (2 * base, 0, 0),
+            // SC plus a pinned staging ring of one copy chunk so the
+            // next transfer overlaps the current kernel.
+            CommModelKind::StandardCopyAsync => {
+                let ring = chunk(false);
+                (2 * base + ring, 0, ring)
+            }
+            // One managed allocation resident, a second full copy at
+            // peak while migrated pages await reclaim, plus the staged
+            // in-flight chunk (page-granular, so huge pages migrate in
+            // bigger units).
+            CommModelKind::UnifiedMemory => (base, base + chunk(true), 0),
+            // One pinned host allocation, mapped — never copied.
+            CommModelKind::ZeroCopy => (base, 0, base),
+            // One hardware-coherent system allocation; placement decides
+            // the node split below, not the total.
+            CommModelKind::CoherentUpm => (base, 0, 0),
+        };
+        let (home, remote) = placement_split(&device.topology, self.kind, resident);
+        FootprintBreakdown {
+            kind: self.kind,
+            resident: ByteSize(resident),
+            transient: ByteSize(transient),
+            pinned: ByteSize(pinned),
+            home: ByteSize(home),
+            remote: ByteSize(remote),
+        }
+    }
+}
+
+/// Splits `resident` bytes into home-node and remote shares. Only UPM
+/// residency follows the placement policy (its single allocation lands
+/// wherever the policy homes it); every other model allocates
+/// explicitly, so its bytes stay on the home node.
+fn placement_split(topology: &MemTopology, kind: CommModelKind, resident: u64) -> (u64, u64) {
+    if kind != CommModelKind::CoherentUpm {
+        return (resident, 0);
+    }
+    let remote_fraction = topology.remote_fraction(MemAgent::Gpu).clamp(0.0, 1.0);
+    let remote = ((resident as f64) * remote_fraction).round() as u64;
+    (resident - remote.min(resident), remote.min(resident))
+}
+
+/// Convenience: peak footprint of `kind` for `app` on `device` at the
+/// device topology's configured page size.
+pub fn model_footprint(kind: CommModelKind, app: &Workload, device: &DeviceProfile) -> ByteSize {
+    FootprintModel::new(kind).bytes(app, device, device.topology.page_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icomm_models::workload::GpuPhase;
+    use icomm_soc::cache::AccessKind;
+    use icomm_trace::Pattern;
+
+    fn streaming(bytes: u64) -> Workload {
+        Workload::builder("stream")
+            .bytes_to_gpu(ByteSize(bytes))
+            .gpu(GpuPhase {
+                compute_work: 1 << 14,
+                shared_accesses: Pattern::Linear {
+                    start: 0,
+                    bytes,
+                    txn_bytes: 64,
+                    kind: AccessKind::Read,
+                },
+                private_accesses: None,
+            })
+            .build()
+    }
+
+    #[test]
+    fn the_physics_ordering_holds() {
+        let device = DeviceProfile::jetson_tx2();
+        let w = streaming(1 << 20);
+        let fp = |kind| model_footprint(kind, &w, &device).as_u64();
+        let zc = fp(CommModelKind::ZeroCopy);
+        let sc = fp(CommModelKind::StandardCopy);
+        let sca = fp(CommModelKind::StandardCopyAsync);
+        let um = fp(CommModelKind::UnifiedMemory);
+        assert!(zc < sc, "ZC {zc} must undercut SC {sc}: no device copy");
+        assert!(sc < sca, "SC+ {sca} adds a staging ring over SC {sc}");
+        assert!(sca <= um, "UM {um} peaks above SC+ {sca}: reclaim lag");
+        assert_eq!(zc, sc / 2, "SC is exactly a double buffer");
+    }
+
+    #[test]
+    fn zero_copy_pins_everything_and_upm_pins_nothing() {
+        let device = DeviceProfile::jetson_agx_xavier();
+        let w = streaming(1 << 20);
+        let zc =
+            FootprintModel::new(CommModelKind::ZeroCopy).breakdown(&w, &device, PageSize::Small4K);
+        assert_eq!(zc.pinned, zc.resident);
+        let upm = FootprintModel::new(CommModelKind::CoherentUpm).breakdown(
+            &w,
+            &device,
+            PageSize::Small4K,
+        );
+        assert_eq!(upm.pinned, ByteSize(0));
+        assert_eq!(upm.total(), zc.total(), "both keep a single copy");
+    }
+
+    #[test]
+    fn page_rounding_charges_the_slack() {
+        let device = DeviceProfile::jetson_nano();
+        let w = streaming((1 << 20) + 1); // one byte past a 2M page
+        let small = FootprintModel::new(CommModelKind::ZeroCopy)
+            .bytes(&w, &device, PageSize::Small4K)
+            .as_u64();
+        let huge = FootprintModel::new(CommModelKind::ZeroCopy)
+            .bytes(&w, &device, PageSize::Huge2M)
+            .as_u64();
+        assert_eq!(small, (1 << 20) + 4096);
+        assert_eq!(huge, 2 << 20);
+        assert!(huge > small);
+    }
+
+    #[test]
+    fn upm_residency_follows_placement() {
+        let gh = DeviceProfile::gh_like();
+        let w = streaming(1 << 20);
+        let upm = FootprintModel::new(CommModelKind::CoherentUpm).breakdown(
+            &w,
+            &gh,
+            gh.topology.page_size,
+        );
+        // First-touch on Grace-Hopper homes the allocation on the CPU
+        // DDR node: every byte is remote to the GPU.
+        assert_eq!(upm.remote, upm.resident);
+        let flat = DeviceProfile::jetson_tx2();
+        let upm_flat = FootprintModel::new(CommModelKind::CoherentUpm).breakdown(
+            &w,
+            &flat,
+            flat.topology.page_size,
+        );
+        assert_eq!(upm_flat.remote, ByteSize(0));
+        assert_eq!(upm_flat.home, upm_flat.resident);
+    }
+
+    #[test]
+    fn empty_payload_costs_nothing() {
+        let device = DeviceProfile::jetson_tx2();
+        let w = streaming(0);
+        for &kind in CommModelKind::EXTENDED.iter() {
+            assert_eq!(model_footprint(kind, &w, &device), ByteSize(0), "{kind}");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests pinning down the footprint physics and the budget
+//! ledger's accounting invariants.
+//!
+//! The closed-form models make hard promises the decision layer leans
+//! on: footprints are monotone in payload and page size, the
+//! single-copy models undercut the double-buffered ones, the ledger
+//! can never go negative, and cap-feasibility is antitone in the cap.
+//! Randomized payloads and charge/release interleavings probe all of
+//! them.
+
+use proptest::prelude::*;
+
+use icomm_footprint::{cheapest_model, model_footprint, round_to_pages, FootprintModel, MemBudget};
+use icomm_mem::PageSize;
+use icomm_models::workload::GpuPhase;
+use icomm_models::{CommModelKind, Workload};
+use icomm_soc::cache::AccessKind;
+use icomm_soc::units::ByteSize;
+use icomm_soc::DeviceProfile;
+use icomm_trace::Pattern;
+
+fn streaming(bytes: u64) -> Workload {
+    Workload::builder("prop")
+        .bytes_to_gpu(ByteSize(bytes))
+        .gpu(GpuPhase {
+            compute_work: 1 << 12,
+            shared_accesses: Pattern::Linear {
+                start: 0,
+                bytes,
+                txn_bytes: 64,
+                kind: AccessKind::Read,
+            },
+            private_accesses: None,
+        })
+        .build()
+}
+
+fn boards() -> Vec<DeviceProfile> {
+    vec![
+        DeviceProfile::jetson_nano(),
+        DeviceProfile::jetson_tx2(),
+        DeviceProfile::jetson_agx_xavier(),
+        DeviceProfile::gh_like(),
+    ]
+}
+
+proptest! {
+    /// A bigger payload never shrinks any model's footprint.
+    #[test]
+    fn footprint_is_monotone_in_payload(
+        small in 1u64..(1 << 22),
+        grow in 0u64..(1 << 22),
+    ) {
+        let big = small + grow;
+        for device in boards() {
+            for &kind in CommModelKind::EXTENDED.iter() {
+                let lo = model_footprint(kind, &streaming(small), &device);
+                let hi = model_footprint(kind, &streaming(big), &device);
+                prop_assert!(
+                    lo <= hi,
+                    "{kind} on {}: payload {small} -> {} but {big} -> {}",
+                    device.name, lo, hi
+                );
+            }
+        }
+    }
+
+    /// Bigger pages never shrink a footprint — rounding slack only
+    /// grows with the page, for every model (the UM/UPM migration and
+    /// placement paths included).
+    #[test]
+    fn footprint_is_monotone_in_page_size(bytes in 1u64..(1 << 23)) {
+        let w = streaming(bytes);
+        for device in boards() {
+            for &kind in CommModelKind::EXTENDED.iter() {
+                let model = FootprintModel::new(kind);
+                let p4k = model.bytes(&w, &device, PageSize::Small4K);
+                let p64k = model.bytes(&w, &device, PageSize::Medium64K);
+                let p2m = model.bytes(&w, &device, PageSize::Huge2M);
+                prop_assert!(
+                    p4k <= p64k && p64k <= p2m,
+                    "{kind} on {}: 4K {} / 64K {} / 2M {}",
+                    device.name, p4k, p64k, p2m
+                );
+            }
+        }
+    }
+
+    /// The physics ordering: a single mapped copy (ZC) never costs more
+    /// than a double buffer (SC), which never costs more than managed
+    /// memory at migration peak (UM).
+    #[test]
+    fn zero_copy_undercuts_copy_undercuts_managed(bytes in 0u64..(1 << 23)) {
+        let w = streaming(bytes);
+        for device in boards() {
+            let zc = model_footprint(CommModelKind::ZeroCopy, &w, &device);
+            let sc = model_footprint(CommModelKind::StandardCopy, &w, &device);
+            let um = model_footprint(CommModelKind::UnifiedMemory, &w, &device);
+            prop_assert!(
+                zc <= sc && sc <= um,
+                "on {}: ZC {} / SC {} / UM {}",
+                device.name, zc, sc, um
+            );
+        }
+    }
+
+    /// Whatever interleaving of charges and releases the ledger sees,
+    /// `in_use` never exceeds capacity or the sum of live charges, and
+    /// the peak/headroom pair stays consistent.
+    #[test]
+    fn ledger_accounting_never_goes_negative(
+        ops in prop::collection::vec((0usize..6, 1u64..(1 << 20)), 1..40),
+    ) {
+        let budget = MemBudget::with_cap(ByteSize(4 << 20));
+        let mut ledger = budget.ledger();
+        let names = ["a", "b", "c", "d", "e", "f"];
+        for (who, bytes) in ops {
+            let name = names[who];
+            if bytes % 3 == 0 {
+                ledger.release(name);
+            } else {
+                // Over-budget charges are refused atomically; either way
+                // the invariants below must hold.
+                let _ = ledger.charge(name, ByteSize(bytes));
+            }
+            let live: u64 = names
+                .iter()
+                .map(|n| ledger.charged(n).as_u64())
+                .sum();
+            prop_assert_eq!(ledger.in_use().as_u64(), live);
+            prop_assert!(ledger.in_use() <= ledger.capacity());
+            prop_assert!(ledger.peak() >= ledger.in_use());
+            prop_assert_eq!(
+                ledger.headroom().as_u64(),
+                ledger.capacity().as_u64() - ledger.in_use().as_u64()
+            );
+        }
+        for name in names {
+            ledger.release(name);
+        }
+        prop_assert_eq!(ledger.in_use(), ByteSize(0));
+    }
+
+    /// Feasibility is antitone in the cap: a mix that fits a tight cap
+    /// fits every looser one (checked through the cheapest model, which
+    /// is what admission's eviction loop prices).
+    #[test]
+    fn feasibility_is_antitone_in_the_cap(
+        bytes in 1u64..(1 << 22),
+        cap in 1u64..(1 << 24),
+        slack in 0u64..(1 << 24),
+    ) {
+        let device = DeviceProfile::jetson_tx2();
+        let w = streaming(bytes);
+        let models = [
+            CommModelKind::StandardCopy,
+            CommModelKind::UnifiedMemory,
+            CommModelKind::ZeroCopy,
+        ];
+        let (_, cheapest) = cheapest_model(&models, &w, &device).expect("non-empty model set");
+        let tight = MemBudget::with_cap(ByteSize(cap));
+        let loose = MemBudget::with_cap(ByteSize(cap + slack));
+        if tight.fits(cheapest) {
+            prop_assert!(loose.fits(cheapest));
+        }
+        if !loose.fits(cheapest) {
+            prop_assert!(!tight.fits(cheapest));
+        }
+    }
+
+    /// Page rounding itself is sane: the rounded size is >= the input,
+    /// page-aligned, and less than one page larger.
+    #[test]
+    fn rounding_stays_within_one_page(bytes in 0u64..(1 << 24)) {
+        for page in [PageSize::Small4K, PageSize::Medium64K, PageSize::Huge2M] {
+            let rounded = round_to_pages(bytes, page);
+            prop_assert!(rounded >= bytes);
+            prop_assert_eq!(rounded % page.bytes(), 0);
+            prop_assert!(rounded < bytes + page.bytes());
+        }
+    }
+}

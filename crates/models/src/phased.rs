@@ -417,7 +417,9 @@ pub fn oracle_phased(device: &DeviceProfile, phased: &PhasedWorkload) -> PhasedR
                 .iter()
                 .copied()
                 .min_by_key(|&kind| run_window(device, &phase.workload, kind).total_time)
-                .expect("at least one candidate model")
+                // `candidate_models` always returns at least the paper's
+                // three models; fall back to SC rather than panic.
+                .unwrap_or(CommModelKind::StandardCopy)
         })
         .collect();
     synthesize(device, phased, "oracle".to_string(), &choice)

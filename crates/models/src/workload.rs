@@ -175,17 +175,35 @@ impl WorkloadBuilder {
     /// # Panics
     ///
     /// Panics if no GPU phase was provided (a CPU-only program has no
-    /// CPU-iGPU communication to tune).
+    /// CPU-iGPU communication to tune). Use [`Self::try_build`] to get
+    /// the error instead.
     pub fn build(self) -> Workload {
-        Workload {
+        self.try_build().unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Finalizes the workload, returning an error instead of panicking
+    /// when the builder is incomplete.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message when no GPU phase was provided.
+    pub fn try_build(self) -> Result<Workload, String> {
+        let gpu = self.gpu.ok_or_else(|| {
+            format!(
+                "workload '{}' has no GPU phase — a CPU-only program has \
+                 no CPU-iGPU communication to tune",
+                self.name
+            )
+        })?;
+        Ok(Workload {
             name: self.name,
             bytes_to_gpu: self.bytes_to_gpu,
             bytes_from_gpu: self.bytes_from_gpu,
             cpu: self.cpu,
-            gpu: self.gpu.expect("workload requires a GPU phase"),
+            gpu,
             overlappable: self.overlappable,
             iterations: self.iterations,
-        }
+        })
     }
 }
 
@@ -248,6 +266,14 @@ mod tests {
     #[should_panic(expected = "at least one iteration")]
     fn builder_rejects_zero_iterations() {
         let _ = Workload::builder("t").iterations(0);
+    }
+
+    #[test]
+    fn try_build_names_the_incomplete_workload() {
+        let err = Workload::builder("headless").try_build().unwrap_err();
+        assert!(err.contains("'headless'"), "{err}");
+        assert!(err.contains("GPU phase"), "{err}");
+        assert!(Workload::builder("ok").gpu(gpu_phase()).try_build().is_ok());
     }
 
     #[test]

@@ -41,9 +41,14 @@ pub mod report;
 
 use icomm_apps::mix_by_name;
 use icomm_chaos::ChaosRng;
-use icomm_core::{joint_assignment, tenant_demand, CorunTenant, JointAssignment};
+use icomm_core::{
+    joint_assignment, joint_assignment_capped, tenant_demand, CorunTenant, JointAssignment,
+};
+use icomm_footprint::{cheapest_model, human_bytes, MemBudget};
 use icomm_microbench::{quick_characterize_device, DeviceCharacterization};
+use icomm_models::candidate_models;
 use icomm_models::interference::{co_run_interference, InterferenceConfig, TenantDemand};
+use icomm_soc::units::ByteSize;
 use icomm_soc::DeviceProfile;
 
 use engine::{run_engine, EngineConfig, TenantParams};
@@ -72,12 +77,16 @@ pub struct SchedConfig {
     /// Budget replenish window as a fraction of the shortest tenant
     /// period, `(0, 1]`.
     pub window_fraction: f64,
+    /// Explicit memory cap for admission. `None` admits against the
+    /// board's stock [`MemBudget`] (its full DRAM capacity, which the
+    /// paper-scale mixes never approach — admission is then a no-op).
+    pub mem_cap: Option<ByteSize>,
 }
 
 impl SchedConfig {
     /// Defaults: the `contended` mix under the deadline policy, seed 42,
     /// 8 jobs per tenant, 2 slots, 90 % budgeted channel, quarter-period
-    /// replenish windows.
+    /// replenish windows, no explicit memory cap.
     pub fn new(device: DeviceProfile) -> Self {
         SchedConfig {
             device,
@@ -88,6 +97,7 @@ impl SchedConfig {
             slots: 2,
             budget_fraction: 0.9,
             window_fraction: 0.25,
+            mem_cap: None,
         }
     }
 }
@@ -136,8 +146,8 @@ pub fn run_sched_with(
             config.window_fraction
         ));
     }
-    let specs = mix_by_name(&config.mix)?;
-    let tenants: Vec<CorunTenant> = specs
+    let mut specs = mix_by_name(&config.mix)?;
+    let mut tenants: Vec<CorunTenant> = specs
         .iter()
         .map(|s| CorunTenant {
             name: s.name.clone(),
@@ -145,7 +155,74 @@ pub fn run_sched_with(
             current: s.current,
         })
         .collect();
-    let assignment = joint_assignment(&config.device, characterization, &tenants)?;
+
+    // Admission under the memory budget. First evict — largest
+    // cheapest-footprint tenant spills first — until even the cheapest
+    // model combination fits; then let the capped solver demote the
+    // survivors toward cheaper-footprint models where the optimum no
+    // longer fits. Both steps are deterministic (first-found maxima,
+    // lexicographic enumeration), so capped reports replay byte-for-byte.
+    let budget = match config.mem_cap {
+        Some(cap) => MemBudget::with_cap(cap),
+        None => MemBudget::for_device(&config.device),
+    };
+    let cap = budget.capacity;
+    let models = candidate_models(&config.device);
+    let mut evictions = 0u32;
+    let mut spilled_bytes = 0u64;
+    loop {
+        if tenants.is_empty() {
+            return Err(format!(
+                "no tenant of mix '{}' fits the {} memory budget on {}",
+                config.mix,
+                human_bytes(cap.as_u64()),
+                config.device.name
+            ));
+        }
+        let cheapest: Vec<u64> = tenants
+            .iter()
+            .map(|t| {
+                cheapest_model(&models, &t.workload, &config.device)
+                    .map_or(0, |(_, bytes)| bytes.as_u64())
+            })
+            .collect();
+        if cheapest.iter().sum::<u64>() <= cap.as_u64() {
+            break;
+        }
+        let victim = cheapest
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+            .map_or(0, |(i, _)| i);
+        spilled_bytes += cheapest[victim];
+        evictions += 1;
+        specs.remove(victim);
+        tenants.remove(victim);
+    }
+
+    let uncapped = joint_assignment(&config.device, characterization, &tenants)?;
+    let (assignment, demotions) = if uncapped.footprint <= cap {
+        (uncapped, 0u32)
+    } else {
+        let capped =
+            joint_assignment_capped(&config.device, characterization, &tenants, Some(cap))?;
+        let demotions = capped
+            .tenants
+            .iter()
+            .zip(&uncapped.tenants)
+            .filter(|(c, u)| c.footprint < u.footprint)
+            .count() as u32;
+        (capped, demotions)
+    };
+
+    // Charge the admitted mix to the ledger; headroom and the peak feed
+    // the report's budget accounting.
+    let mut ledger = budget.ledger();
+    for verdict in &assignment.tenants {
+        ledger
+            .charge(&verdict.name, verdict.footprint)
+            .map_err(|e| e.to_string())?;
+    }
 
     // Demands under the joint models feed the engine's progress rates.
     let demands: Vec<TenantDemand> = specs
@@ -209,6 +286,7 @@ pub fn run_sched_with(
                 mean_slowdown: report::q_slow(s.slowdown_sum / s.jobs.max(1) as f64),
                 max_slowdown: report::q_slow(s.slowdown_max),
                 throttles: s.throttles,
+                footprint_bytes: verdict.footprint.as_u64(),
             }
         })
         .collect();
@@ -229,6 +307,12 @@ pub fn run_sched_with(
         any_flip: assignment.any_flip,
         joint_total_us: assignment.joint_total.as_picos() / 1_000_000,
         greedy_total_us: assignment.greedy_total.as_picos() / 1_000_000,
+        mem_cap_bytes: config.mem_cap.map_or(0, |c| c.as_u64()),
+        footprint_bytes: ledger.peak().as_u64(),
+        headroom_bytes: ledger.headroom().as_u64(),
+        demotions,
+        evictions,
+        spilled_bytes,
     };
     Ok(SchedRunOutput { report, assignment })
 }
@@ -283,6 +367,56 @@ mod tests {
             assert_eq!(a.model, b.model);
             assert_eq!(a.jobs, b.jobs);
         }
+    }
+
+    #[test]
+    fn a_memory_cap_demotes_then_evicts_then_refuses() {
+        let characterization = quick_characterize_device(&DeviceProfile::jetson_tx2());
+        let mut config = quick_config("pressure", PolicyKind::DeadlineBudget);
+
+        let open = run_sched_with(&config, &characterization).expect("uncapped");
+        assert_eq!(open.report.demotions, 0);
+        assert_eq!(open.report.evictions, 0);
+        assert!(open.report.footprint_bytes > ByteSize::mib(6).as_u64());
+
+        // Tight enough to forbid the double-buffered optimum, loose
+        // enough that single-copy models still fit: demotion, no loss.
+        config.mem_cap = Some(ByteSize::mib(6));
+        let demoted = run_sched_with(&config, &characterization).expect("demoted");
+        assert_eq!(demoted.report.tenants.len(), open.report.tenants.len());
+        assert!(demoted.report.demotions > 0, "{:?}", demoted.report);
+        assert_eq!(demoted.report.evictions, 0);
+        assert!(demoted.report.footprint_bytes <= ByteSize::mib(6).as_u64());
+        assert!(demoted.report.mem_cap_bytes == ByteSize::mib(6).as_u64());
+
+        // Below the sum of the cheapest models: the largest tenant
+        // spills, the rest are admitted (demoted as needed).
+        config.mem_cap = Some(ByteSize::mib(4));
+        let evicted = run_sched_with(&config, &characterization).expect("evicted");
+        assert_eq!(evicted.report.evictions, 1);
+        assert!(evicted.report.spilled_bytes > 0);
+        assert_eq!(evicted.report.tenants.len(), open.report.tenants.len() - 1);
+        assert!(
+            !evicted.report.tenants.iter().any(|t| t.name == "orb-hd"),
+            "the largest-footprint tenant goes first"
+        );
+
+        // No tenant fits at all: admission refuses the mix.
+        config.mem_cap = Some(ByteSize::kib(256));
+        let err = run_sched_with(&config, &characterization).unwrap_err();
+        assert!(err.contains("memory budget"), "{err}");
+    }
+
+    #[test]
+    fn capped_runs_replay_byte_identically() {
+        let characterization = quick_characterize_device(&DeviceProfile::jetson_tx2());
+        let mut config = quick_config("pressure", PolicyKind::DeadlineBudget);
+        config.mem_cap = Some(ByteSize::mib(6));
+        let first = run_sched_with(&config, &characterization).expect("first");
+        let second = run_sched_with(&config, &characterization).expect("second");
+        let a = icomm_persist::to_string(&first.report).expect("serialize first");
+        let b = icomm_persist::to_string(&second.report).expect("serialize second");
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub struct TenantSummary {
     pub max_slowdown: f64,
     /// Times the bandwidth budget throttled the tenant.
     pub throttles: u64,
+    /// Peak resident bytes the tenant's assigned model keeps on the
+    /// board (closed-form `icomm-footprint` pricing).
+    pub footprint_bytes: u64,
 }
 
 /// Deterministic results of one scheduler run.
@@ -68,6 +71,21 @@ pub struct SchedReport {
     pub joint_total_us: u64,
     /// Predicted combined co-run wall under per-app greedy choices, µs.
     pub greedy_total_us: u64,
+    /// Explicit memory cap admission ran under (0 = the board's stock
+    /// budget, which the paper-scale mixes never approach).
+    pub mem_cap_bytes: u64,
+    /// Summed footprint of the admitted assignment (the ledger's peak).
+    pub footprint_bytes: u64,
+    /// Budget bytes left once the admitted mix is charged.
+    pub headroom_bytes: u64,
+    /// Tenants the cap pushed onto a cheaper-footprint model than the
+    /// unconstrained optimum would pick.
+    pub demotions: u32,
+    /// Tenants admission refused outright (largest cheapest-footprint
+    /// first) because even full demotion could not fit the mix.
+    pub evictions: u32,
+    /// Footprint bytes turned away with the evicted tenants.
+    pub spilled_bytes: u64,
 }
 
 impl SchedReport {
@@ -113,12 +131,27 @@ impl fmt::Display for SchedReport {
             "slowdown     mean {:.3}x  (makespan {} us)",
             self.mean_slowdown, self.makespan_us
         )?;
-        write!(
+        writeln!(
             f,
             "assignment   joint {} us vs greedy {} us  (flip: {})",
             self.joint_total_us,
             self.greedy_total_us,
             if self.any_flip { "yes" } else { "no" }
+        )?;
+        let cap = if self.mem_cap_bytes > 0 {
+            icomm_footprint::human_bytes(self.mem_cap_bytes)
+        } else {
+            "stock budget".to_string()
+        };
+        write!(
+            f,
+            "memory       footprint {} under {} (headroom {})  demoted {}  evicted {} (spilled {})",
+            icomm_footprint::human_bytes(self.footprint_bytes),
+            cap,
+            icomm_footprint::human_bytes(self.headroom_bytes),
+            self.demotions,
+            self.evictions,
+            icomm_footprint::human_bytes(self.spilled_bytes),
         )
     }
 }
@@ -158,6 +191,7 @@ mod tests {
                     mean_slowdown: 1.21,
                     max_slowdown: 1.44,
                     throttles: 0,
+                    footprint_bytes: 2 << 20,
                 },
                 TenantSummary {
                     name: "orb-reloc".to_string(),
@@ -171,6 +205,7 @@ mod tests {
                     mean_slowdown: 1.35,
                     max_slowdown: 1.61,
                     throttles: 5,
+                    footprint_bytes: 6 << 20,
                 },
             ],
             deadline_miss_pct: 6.25,
@@ -179,6 +214,12 @@ mod tests {
             any_flip: true,
             joint_total_us: 4451,
             greedy_total_us: 4726,
+            mem_cap_bytes: 16 << 20,
+            footprint_bytes: 8 << 20,
+            headroom_bytes: 8 << 20,
+            demotions: 1,
+            evictions: 1,
+            spilled_bytes: 4 << 20,
         }
     }
 
@@ -204,6 +245,22 @@ mod tests {
         assert!(text.contains("1 missed / 16 jobs"), "{text}");
         assert!(text.contains("flip: yes"), "{text}");
         assert!(text.contains("throttles 5"), "{text}");
+        assert!(
+            text.contains("footprint 8.00 MiB under 16.00 MiB"),
+            "{text}"
+        );
+        assert!(
+            text.contains("demoted 1  evicted 1 (spilled 4.00 MiB)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn uncapped_reports_show_the_stock_budget() {
+        let mut report = sample();
+        report.mem_cap_bytes = 0;
+        let text = report.to_string();
+        assert!(text.contains("under stock budget"), "{text}");
     }
 
     #[test]

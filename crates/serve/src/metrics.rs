@@ -192,6 +192,12 @@ pub struct Metrics {
     /// transfer path after failing the board-physics plausibility
     /// screen.
     pub transfer_quarantined: AtomicU64,
+    /// Recommendations whose memory footprint was priced by the
+    /// closed-form `icomm-footprint` model.
+    pub footprint_evaluations: AtomicU64,
+    /// Summed footprint bytes of the recommended models, over all
+    /// priced recommendations.
+    pub footprint_bytes_total: AtomicU64,
 }
 
 impl Metrics {
@@ -237,6 +243,8 @@ impl Metrics {
             shard_panics: AtomicU64::new(0),
             conns_orphaned: AtomicU64::new(0),
             transfer_quarantined: AtomicU64::new(0),
+            footprint_evaluations: AtomicU64::new(0),
+            footprint_bytes_total: AtomicU64::new(0),
         }
     }
 
@@ -295,6 +303,8 @@ impl Metrics {
             shard_panics: self.shard_panics.load(Ordering::Relaxed),
             conns_orphaned: self.conns_orphaned.load(Ordering::Relaxed),
             transfer_quarantined: self.transfer_quarantined.load(Ordering::Relaxed),
+            footprint_evaluations: self.footprint_evaluations.load(Ordering::Relaxed),
+            footprint_bytes_total: self.footprint_bytes_total.load(Ordering::Relaxed),
         }
     }
 }
@@ -380,6 +390,10 @@ pub struct MetricsSnapshot {
     pub conns_orphaned: u64,
     /// Characterization sources quarantined as implausible.
     pub transfer_quarantined: u64,
+    /// Recommendations priced by the closed-form footprint model.
+    pub footprint_evaluations: u64,
+    /// Summed footprint bytes over those recommendations.
+    pub footprint_bytes_total: u64,
 }
 
 impl MetricsSnapshot {
@@ -447,6 +461,14 @@ impl MetricsSnapshot {
     /// Total requests shed by admission control.
     pub fn shed_total(&self) -> u64 {
         self.shed_queue + self.shed_rate
+    }
+
+    /// Mean footprint of a recommended model, bytes; 0 before any
+    /// recommendation was priced.
+    pub fn mean_footprint_bytes(&self) -> u64 {
+        self.footprint_bytes_total
+            .checked_div(self.footprint_evaluations)
+            .unwrap_or(0)
     }
 }
 
@@ -538,6 +560,14 @@ impl fmt::Display for MetricsSnapshot {
                 self.frame_oversized,
                 self.frame_malformed,
                 self.frame_truncated
+            )?;
+        }
+        if self.footprint_evaluations > 0 {
+            writeln!(
+                f,
+                "footprint         {:>8} priced  (mean {} per recommendation)",
+                self.footprint_evaluations,
+                icomm_footprint::human_bytes(self.mean_footprint_bytes())
             )?;
         }
         if self.shard_panics > 0 || self.conns_orphaned > 0 || self.transfer_quarantined > 0 {

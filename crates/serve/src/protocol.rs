@@ -268,6 +268,10 @@ pub struct StatsReport {
     pub conns_orphaned: u64,
     /// Characterization sources quarantined as implausible.
     pub transfer_quarantined: u64,
+    /// Recommendations priced by the closed-form footprint model.
+    pub footprint_evaluations: u64,
+    /// Summed footprint bytes over those recommendations.
+    pub footprint_bytes_total: u64,
 }
 
 impl StatsReport {
@@ -311,6 +315,8 @@ impl StatsReport {
             shard_panics: s.shard_panics,
             conns_orphaned: s.conns_orphaned,
             transfer_quarantined: s.transfer_quarantined,
+            footprint_evaluations: s.footprint_evaluations,
+            footprint_bytes_total: s.footprint_bytes_total,
         }
     }
 }

@@ -478,6 +478,17 @@ fn handle_request(
         .recommend_latency
         .record(recommend_started.elapsed().as_micros() as u64);
 
+    // Price the recommended model's memory footprint so operators can
+    // see what a tuning decision costs in resident bytes, not just time.
+    let footprint =
+        icomm_footprint::model_footprint(outcome.recommendation.recommended, &workload, &device);
+    metrics
+        .footprint_evaluations
+        .fetch_add(1, Ordering::Relaxed);
+    metrics
+        .footprint_bytes_total
+        .fetch_add(footprint.as_u64(), Ordering::Relaxed);
+
     metrics.completed.fetch_add(1, Ordering::Relaxed);
     let latency_us = started.elapsed().as_micros() as u64;
     metrics.total_latency.record(latency_us);

@@ -5,8 +5,10 @@
 # warm-start and transfer hit rates), BENCH_sched.json (deadline-miss
 # rates and slowdowns per policy on the contended TX2 mix),
 # BENCH_mem.json (the UM-vs-UPM page-size crossover on the coherent
-# boards), and BENCH_serve.json (JSON-vs-binary serving-plane throughput
-# and decision parity). The fleet/sched/mem captures use fixed seeds, so
+# boards), BENCH_footprint.json (what a binding memory cap costs the
+# pressure mix on a TX2: demotions, resident bytes, co-run wall), and
+# BENCH_serve.json (JSON-vs-binary serving-plane throughput and
+# decision parity). The fleet/sched/mem/footprint captures use fixed seeds, so
 # that JSON is reproducible and diffs in it are real behavior changes;
 # the serve capture is wall-clock and the headline there is the *ratio*
 # (binary vs JSON), which is stable even when absolute rps is not.
@@ -31,6 +33,8 @@ if [[ "$SKIP_CRITERION" -eq 0 ]]; then
     cargo bench -p icomm-bench --bench sched_scaling
     echo "==> cargo bench -p icomm-bench --bench mem_topology"
     cargo bench -p icomm-bench --bench mem_topology
+    echo "==> cargo bench -p icomm-bench --bench footprint_assignment"
+    cargo bench -p icomm-bench --bench footprint_assignment
     echo "==> cargo bench -p icomm-bench --bench serve_throughput"
     cargo bench -p icomm-bench --bench serve_throughput
 fi
@@ -98,6 +102,45 @@ print(json.dumps(baseline, indent=2))
 EOF
 
 echo "baseline written to BENCH_sched.json"
+
+echo "==> capturing BENCH_footprint.json (seed 42, pressure mix on tx2, stock vs 6 MiB cap)"
+OPEN="$(target/release/icomm sched tx2 --mix pressure --seed 42 --json)"
+CAPPED="$(target/release/icomm sched tx2 --mix pressure --seed 42 --mem-cap 6m --json)"
+python3 - "$OPEN" "$CAPPED" <<'EOF'
+import json
+import sys
+
+open_report = json.loads(sys.argv[1])
+capped = json.loads(sys.argv[2])
+def summarize(report):
+    return {
+        "footprint_bytes": report["footprint_bytes"],
+        "joint_total_us": report["joint_total_us"],
+        "greedy_total_us": report["greedy_total_us"],
+        "demotions": report["demotions"],
+        "evictions": report["evictions"],
+        "models": {t["name"]: t["model"] for t in report["tenants"]},
+    }
+baseline = {
+    "source": "icomm sched tx2 --mix pressure --seed 42 [--mem-cap 6m] --json",
+    "note": "deterministic virtual-time numbers; regenerate with scripts/bench_snapshot.sh",
+    "board": open_report["board"],
+    "mix": open_report["mix"],
+    "seed": open_report["seed"],
+    "mem_cap_bytes": capped["mem_cap_bytes"],
+    "headroom_bytes": capped["headroom_bytes"],
+    "uncapped": summarize(open_report),
+    "capped": summarize(capped),
+}
+if capped["demotions"] == 0:
+    sys.exit("the 6 MiB cap no longer binds on the pressure mix; baseline not captured")
+with open("BENCH_footprint.json", "w") as f:
+    json.dump(baseline, f, indent=2)
+    f.write("\n")
+print(json.dumps(baseline, indent=2))
+EOF
+
+echo "baseline written to BENCH_footprint.json"
 
 echo "==> capturing BENCH_mem.json (UM-vs-UPM crossover, coherent boards x page sizes)"
 MI_4K="$(target/release/icomm tune mi300a-like orb --current um --pages 4k --json)"

@@ -82,13 +82,54 @@ for policy in fifo deadline; do
     echo "    policy '$policy': completed, replay byte-identical, deadline report emitted"
 done
 
+echo "==> footprint smoke (cap-driven demotion + capped fleet accounting)"
+# The memory cap — and nothing else — must reshape admission: the same
+# board/mix/seed runs clean uncapped and demotes under a 6 MiB cap, each
+# invocation replays byte-identically, and a capped 150-device
+# multi-tenant fleet must report per-device budget accounting.
+FP_TMP="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP" "$SCHED_TMP" "$FP_TMP"' EXIT
+"$ICOMM" sched tx2 --mix pressure --seed 42 --json >"$FP_TMP/open-a.json"
+"$ICOMM" sched tx2 --mix pressure --seed 42 --json >"$FP_TMP/open-b.json"
+cmp "$FP_TMP/open-a.json" "$FP_TMP/open-b.json" || {
+    echo "footprint smoke: uncapped sched replay diverged" >&2
+    exit 1
+}
+"$ICOMM" sched tx2 --mix pressure --seed 42 --mem-cap 6m --json \
+    >"$FP_TMP/capped-a.json"
+"$ICOMM" sched tx2 --mix pressure --seed 42 --mem-cap 6m --json \
+    >"$FP_TMP/capped-b.json"
+cmp "$FP_TMP/capped-a.json" "$FP_TMP/capped-b.json" || {
+    echo "footprint smoke: capped sched replay diverged" >&2
+    exit 1
+}
+grep -q '"demotions":0' "$FP_TMP/open-a.json" || {
+    echo "footprint smoke: the stock budget demoted a paper-scale mix" >&2
+    exit 1
+}
+grep -Eq '"demotions":[1-9]' "$FP_TMP/capped-a.json" || {
+    echo "footprint smoke: a 6 MiB cap no longer demotes the pressure mix" >&2
+    exit 1
+}
+"$ICOMM" fleet nano,tx2,xavier --devices 150 --seed 7 --tenants 2 \
+    --mem-cap 6m --json >"$FP_TMP/fleet-capped.json"
+grep -q '"mem_cap_bytes":6291456' "$FP_TMP/fleet-capped.json" || {
+    echo "footprint smoke: capped fleet run lost its budget accounting" >&2
+    exit 1
+}
+grep -q '"corun_footprint_peak_bytes":' "$FP_TMP/fleet-capped.json" || {
+    echo "footprint smoke: capped fleet run reports no footprint peak" >&2
+    exit 1
+}
+echo "    uncapped clean, 6m cap demotes, capped 150-device fleet accounted, replays byte-identical"
+
 echo "==> mem smoke (page-size crossover + replay determinism)"
 # The memory-topology lever must actually move the verdict: the same
 # workload on the same coherent board keeps UM at 4K pages and switches
 # to coherent UPM at 2M pages, and each invocation must replay
 # byte-identically.
 MEM_TMP="$(mktemp -d)"
-trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP" "$SCHED_TMP" "$MEM_TMP"' EXIT
+trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP" "$SCHED_TMP" "$FP_TMP" "$MEM_TMP"' EXIT
 for pages in 4k 2m; do
     "$ICOMM" tune mi300a-like orb --current um --pages "$pages" --json \
         >"$MEM_TMP/mem-$pages-a.json"
@@ -116,7 +157,7 @@ echo "==> net smoke (binary round-trip, JSON/binary parity, hostile survival)"
 # binary probes (garbage, oversized, truncated, CRC-corrupt) must be
 # refused with the faults showing up in the serve counters.
 NET_TMP="$(mktemp -d)"
-trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP" "$SCHED_TMP" "$MEM_TMP" "$NET_TMP"' EXIT
+trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP" "$SCHED_TMP" "$FP_TMP" "$MEM_TMP" "$NET_TMP"' EXIT
 "$ICOMM" servebench --requests 60 --conns 4 --workers 2 --batch 8 \
     --hostile --json >"$NET_TMP/net.json"
 grep -q '"json_failed":0,' "$NET_TMP/net.json" || {
@@ -150,7 +191,7 @@ echo "==> resilience smoke (fleet chaos: churn + poisoning + shard panics)"
 # JSON fields, not stderr — injected shard panics legitimately print
 # backtraces there.
 RES_TMP="$(mktemp -d)"
-trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP" "$SCHED_TMP" "$MEM_TMP" "$NET_TMP" "$RES_TMP"' EXIT
+trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP" "$SCHED_TMP" "$FP_TMP" "$MEM_TMP" "$NET_TMP" "$RES_TMP"' EXIT
 RES_FAULTS="none,churn_prob=0.1,poison_prob=0.1,shard_panics=2"
 for seed in 42 43; do
     "$ICOMM" fleet nano,tx2,xavier --devices 1000 --seed "$seed" \

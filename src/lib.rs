@@ -22,6 +22,7 @@
 //! | [`models`] | `icomm-models` | SC / UM / ZC + the tiled zero-copy pattern |
 //! | [`profile`] | `icomm-profile` | profiler emulation |
 //! | [`microbench`] | `icomm-microbench` | the paper's three micro-benchmarks |
+//! | [`footprint`] | `icomm-footprint` | memory-footprint models, per-board budgets, charge/release ledger |
 //! | [`core`] | `icomm-core` | performance model (Eqns. 1–4) + decision flow (Fig. 2) |
 //! | [`apps`] | `icomm-apps` | Shack–Hartmann, ORB and lane-detection case studies |
 //! | [`persist`] | `icomm-persist` | JSON persistence for characterizations and reports |
@@ -55,6 +56,7 @@ pub use icomm_apps as apps;
 pub use icomm_chaos as chaos;
 pub use icomm_core as core;
 pub use icomm_fleet as fleet;
+pub use icomm_footprint as footprint;
 pub use icomm_microbench as microbench;
 pub use icomm_models as models;
 pub use icomm_net as net;

@@ -1,0 +1,170 @@
+//! Tier-1 acceptance tests for the memory-footprint subsystem: a
+//! memory cap — and nothing else — must be able to flip the joint
+//! model assignment, the capped closed-form assignment must agree with
+//! the capped brute-force oracle on every board × mix, and scheduler
+//! admission must walk the demote → evict → refuse ladder
+//! deterministically.
+
+use icomm::apps::{mix_by_name, MIX_NAMES};
+use icomm::core::{
+    joint_assignment, joint_assignment_capped, oracle_assignment_capped, CorunTenant,
+};
+use icomm::footprint::{cheapest_model, model_footprint};
+use icomm::microbench::quick_characterize_device;
+use icomm::models::candidate_models;
+use icomm::sched::{run_sched_with, PolicyKind, SchedConfig};
+use icomm::serve::catalog::{board_by_name, BOARD_NAMES};
+use icomm::soc::units::ByteSize;
+
+fn tenants_of(mix: &str) -> Vec<CorunTenant> {
+    mix_by_name(mix)
+        .expect("named mix resolves")
+        .into_iter()
+        .map(|s| CorunTenant {
+            name: s.name,
+            workload: s.workload,
+            current: s.current,
+        })
+        .collect()
+}
+
+#[test]
+fn a_memory_cap_alone_flips_the_assignment() {
+    // Identical board, mix, and characterization — the only thing that
+    // changes between the two solves is the cap.
+    let device = board_by_name("tx2").expect("tx2 resolves");
+    let characterization = quick_characterize_device(&device);
+    let tenants = tenants_of("pressure");
+
+    let open = joint_assignment(&device, &characterization, &tenants)
+        .expect("uncapped assignment succeeds");
+    let cap = ByteSize(open.footprint.as_u64() - 1);
+    let capped = joint_assignment_capped(&device, &characterization, &tenants, Some(cap))
+        .expect("capped assignment succeeds");
+
+    assert_ne!(
+        open.models(),
+        capped.models(),
+        "shaving one byte off the uncapped footprint must force a cheaper model"
+    );
+    assert!(
+        capped.footprint <= cap,
+        "capped assignment footprint {} exceeds the cap {}",
+        capped.footprint,
+        cap
+    );
+    // Perf-under-a-cap: the constrained optimum can only be slower.
+    assert!(
+        capped.joint_total.as_picos() >= open.joint_total.as_picos(),
+        "capped co-run wall beat the unconstrained optimum"
+    );
+}
+
+#[test]
+fn capped_joint_assignment_matches_the_capped_oracle_everywhere() {
+    for board in BOARD_NAMES {
+        let device = board_by_name(board).expect("catalog board resolves");
+        let characterization = quick_characterize_device(&device);
+        let models = candidate_models(&device);
+        for mix in MIX_NAMES {
+            let tenants = tenants_of(mix);
+            let open = joint_assignment(&device, &characterization, &tenants)
+                .expect("uncapped assignment succeeds");
+            // The tightest cap that can still admit every tenant is the
+            // sum of per-tenant cheapest footprints; when the uncapped
+            // optimum already sits there, no cap can bind — skip.
+            let floor: u64 = tenants
+                .iter()
+                .map(|t| {
+                    cheapest_model(&models, &t.workload, &device)
+                        .expect("non-empty candidate set")
+                        .1
+                        .as_u64()
+                })
+                .sum();
+            if open.footprint.as_u64() <= floor {
+                continue;
+            }
+            let cap = Some(ByteSize(open.footprint.as_u64() - 1));
+            let joint = joint_assignment_capped(&device, &characterization, &tenants, cap)
+                .expect("capped assignment succeeds");
+            let oracle = oracle_assignment_capped(&device, &tenants, cap).expect("capped oracle");
+            assert_eq!(
+                joint.models(),
+                oracle,
+                "{board}/{mix}: capped joint assignment disagrees with the capped oracle"
+            );
+            assert!(
+                joint.footprint.as_u64() < open.footprint.as_u64(),
+                "{board}/{mix}: the binding cap did not shrink the footprint"
+            );
+        }
+    }
+}
+
+#[test]
+fn admission_demotes_then_evicts_then_refuses() {
+    let device = board_by_name("tx2").expect("tx2 resolves");
+    let characterization = quick_characterize_device(&device);
+    let run = |cap: Option<u64>| {
+        let mut config = SchedConfig::new(device.clone());
+        config.mix = "pressure".to_string();
+        config.policy = PolicyKind::DeadlineBudget;
+        config.seed = 42;
+        config.jobs_per_tenant = 4;
+        config.mem_cap = cap.map(ByteSize);
+        run_sched_with(&config, &characterization)
+    };
+
+    // Uncapped: the stock budget never binds at paper scale.
+    let open = run(None).expect("uncapped run").report;
+    assert_eq!(open.demotions, 0);
+    assert_eq!(open.evictions, 0);
+
+    // 6 MiB: the mix fits only after demoting HD tenants off their
+    // double-buffered optima.
+    let demoted = run(Some(6 << 20)).expect("demoted run").report;
+    assert!(demoted.demotions > 0, "{demoted}");
+    assert_eq!(demoted.evictions, 0);
+    assert!(demoted.footprint_bytes <= 6 << 20);
+    assert!(demoted.footprint_bytes < open.footprint_bytes);
+
+    // 4 MiB: even full demotion cannot fit three tenants; the largest
+    // cheapest-footprint tenant is turned away and its bytes reported.
+    let evicted = run(Some(4 << 20)).expect("evicting run").report;
+    assert_eq!(evicted.evictions, 1, "{evicted}");
+    assert!(evicted.spilled_bytes > 0);
+    assert_eq!(evicted.tenants.len(), 2);
+    assert!(evicted.tenants.iter().all(|t| t.name != "orb-hd"));
+
+    // 256 KiB: nothing fits; admission refuses with the budget named.
+    let err = run(Some(256 << 10)).expect_err("refusal");
+    assert!(err.contains("memory budget"), "{err}");
+
+    // The whole ladder replays byte-identically per seed.
+    let replay = run(Some(6 << 20)).expect("replay run").report;
+    assert_eq!(
+        icomm::persist::to_string(&demoted).unwrap(),
+        icomm::persist::to_string(&replay).unwrap()
+    );
+}
+
+#[test]
+fn footprint_pricing_is_consistent_between_layers() {
+    // The footprint the sched report carries per tenant must be exactly
+    // what the closed-form model prices for the assigned kind — no
+    // layer re-derives its own numbers.
+    let device = board_by_name("tx2").expect("tx2 resolves");
+    let characterization = quick_characterize_device(&device);
+    let tenants = tenants_of("pressure");
+    let open = joint_assignment(&device, &characterization, &tenants)
+        .expect("uncapped assignment succeeds");
+    let mut sum = 0u64;
+    for (spec, verdict) in tenants.iter().zip(&open.tenants) {
+        assert_eq!(spec.name, verdict.name, "tenant order preserved");
+        let expected = model_footprint(verdict.joint, &spec.workload, &device);
+        assert_eq!(verdict.footprint, expected, "{}", verdict.name);
+        sum += expected.as_u64();
+    }
+    assert_eq!(open.footprint.as_u64(), sum);
+}
