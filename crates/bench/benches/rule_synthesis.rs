@@ -1,0 +1,74 @@
+//! Rule-synthesis benchmark: what distilling the oracle sweep costs,
+//! and what serving decisions from the rules saves.
+//!
+//! Setup sweeps a TX2 through the full default context set once — that
+//! is the expensive brute-force oracle labeling. The benchmarks then
+//! measure (a) the synthesis core (bottom-up enumeration plus greedy
+//! cover) over the prepared table and (b) answering a quad-mix decision
+//! from the synthesized rules versus re-running the `M^N` oracle sweep
+//! the rules replace. The learned rule count and validation counters
+//! are printed alongside so baseline diffs show behavior changes, not
+//! just timing drift.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icomm_core::oracle_assignment;
+use icomm_synth::{
+    context_tenants, enumerate_classes, select_cover, stock_board, synthesize, RuleDecider,
+    SynthConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let config = SynthConfig {
+        boards: vec!["tx2".to_string()],
+        ..SynthConfig::default()
+    };
+    let out = synthesize(&config).expect("tx2 synthesis runs");
+    let features: Vec<Vec<f64>> = out
+        .table
+        .samples
+        .iter()
+        .map(|s| s.features.clone())
+        .collect();
+    let labels: Vec<_> = out.table.samples.iter().map(|s| s.label).collect();
+    let boards: Vec<String> = out.table.samples.iter().map(|s| s.board.clone()).collect();
+    println!(
+        "rule_synthesis: {} samples -> {} rules, {} uncovered, {} disagreements",
+        out.ruleset.samples,
+        out.ruleset.rules.len(),
+        out.ruleset.uncovered,
+        out.ruleset.disagreements,
+    );
+
+    let mut group = c.benchmark_group("rule_synthesis");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(features.len() as u64));
+    group.bench_function("enumerate_and_cover_tx2", |b| {
+        b.iter(|| {
+            let enumeration = enumerate_classes(&features, config.max_size, config.seed);
+            select_cover(&enumeration, &labels, &boards)
+        })
+    });
+
+    let decider = RuleDecider::new(out.ruleset.clone());
+    let device = stock_board("tx2").expect("tx2 resolves");
+    let tenants = context_tenants("quad").expect("quad mix resolves");
+    group.throughput(Throughput::Elements(tenants.len() as u64));
+    group.bench_function("decide_quad_from_rules", |b| {
+        b.iter(|| {
+            decider
+                .decide("tx2", "quad", None)
+                .expect("in-scope decision succeeds")
+        })
+    });
+    group.bench_function("decide_quad_from_oracle_sweep", |b| {
+        b.iter(|| oracle_assignment(&device, &tenants).expect("oracle succeeds"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

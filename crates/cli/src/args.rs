@@ -199,6 +199,26 @@ pub enum Command {
         /// Print the deterministic scheduler report as JSON.
         json: bool,
     },
+    /// `icomm synth <board|all> [--mix <name>]... [--max-size N]
+    /// [--seed N] [--save <file>] [--json]` — sweep the deterministic
+    /// simulators, synthesize algebraic decision rules from the sweep,
+    /// validate them against the brute-force oracle, and report the
+    /// rule set, its verified scope, and the compression ratio.
+    Synth {
+        /// Board name, or `all` for every stock board.
+        board: String,
+        /// Sweep contexts (`solo:<app>`, `duo`, `trio`, `quad`,
+        /// `contended`, `pressure`); empty runs the full default sweep.
+        mixes: Vec<String>,
+        /// Largest predicate term size to enumerate.
+        max_size: u32,
+        /// Enumeration-order seed (same seed → byte-identical rules).
+        seed: u64,
+        /// Write the CRC-framed rule-set snapshot here.
+        save: Option<String>,
+        /// Print the deterministic synthesis report as JSON.
+        json: bool,
+    },
     /// `icomm help` / no arguments.
     Help,
 }
@@ -796,6 +816,77 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 json,
             })
         }
+        "synth" => {
+            let board = it
+                .next()
+                .ok_or_else(|| ParseArgsError("synth needs a board name (or 'all')".into()))?;
+            if board != "all" {
+                ensure_board(board)?;
+            }
+            let mut mixes = Vec::new();
+            let mut max_size = 3u32;
+            let mut seed = 42u64;
+            let mut save = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--mix" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--mix needs a mix name".into()))?
+                            .to_ascii_lowercase();
+                        if !icomm_synth::SWEEP_MIX_NAMES.contains(&value.as_str()) {
+                            return Err(ParseArgsError(format!(
+                                "unknown sweep mix '{value}' (known: {})",
+                                icomm_synth::SWEEP_MIX_NAMES.join(", ")
+                            )));
+                        }
+                        mixes.push(value);
+                    }
+                    "--max-size" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--max-size needs a size".into()))?;
+                        // Term growth is combinatorial; 4 is already past
+                        // the point of diminishing returns on this table.
+                        max_size = value
+                            .parse::<u32>()
+                            .ok()
+                            .filter(|n| (1..=4).contains(n))
+                            .ok_or_else(|| {
+                                ParseArgsError(format!(
+                                    "--max-size needs a size between 1 and 4, got '{value}'"
+                                ))
+                            })?;
+                    }
+                    "--seed" => {
+                        let value = it
+                            .next()
+                            .ok_or_else(|| ParseArgsError("--seed needs a number".into()))?;
+                        seed = value.parse::<u64>().map_err(|_| {
+                            ParseArgsError(format!("--seed needs a number, got '{value}'"))
+                        })?;
+                    }
+                    "--save" => {
+                        save = Some(
+                            it.next()
+                                .ok_or_else(|| ParseArgsError("--save needs a file path".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--json" => json = true,
+                    other => return Err(ParseArgsError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Synth {
+                board: board.clone(),
+                mixes,
+                max_size,
+                seed,
+                save,
+                json,
+            })
+        }
         other => Err(ParseArgsError(format!(
             "unknown command '{other}' (try `icomm help`)"
         ))),
@@ -905,6 +996,8 @@ USAGE:
                 [--mem-cap SIZE] [--json]
     icomm sched <board> [--mix <name>] [--policy fifo|deadline]
                 [--seed N] [--windows N] [--mem-cap SIZE] [--json]
+    icomm synth <board|all> [--mix <name>]... [--max-size N] [--seed N]
+                [--save <file>] [--json]
     icomm help
 
 BOARDS:  nano, tx2, xavier, orin-like   (discrete-pool iGPU boards)
@@ -980,6 +1073,20 @@ best), then the periodic schedule runs in virtual time under `--policy`:
 MemGuard-style per-tenant bandwidth budget). Reports per-tenant
 deadline-miss rate, slowdown vs solo, and throttle counts; identical
 seeds replay byte-identically.
+
+`synth` distills the brute-force decision stack into a handful of
+human-readable algebraic rules: it sweeps the deterministic simulators
+over the chosen boards and tenant mixes (`--mix` repeats; the default
+sweep runs every solo app, every named co-run mix, and a memory-capped
+`pressure` context), labels every tenant with the brute-force oracle's
+model choice, enumerates guard predicates bottom-up by term size over
+the characterization/workload feature grammar (observational
+equivalence collapses candidates that behave identically on the
+sweep), and greedily selects the fewest sound rules that cover every
+sample. The rule set is re-validated rule-for-rule against the oracle —
+contexts with any disagreement are excluded from its verified scope —
+and `--save` writes it as a CRC-framed snapshot that `fleet` can serve
+warm starts from. Same seed, same rules, byte for byte.
 
 `--mem-cap SIZE` (sizes like `6m`, `512k`, `2g`; both `sched` and
 `fleet` take it) bounds the summed memory footprint of the admitted mix:
@@ -1474,6 +1581,61 @@ mod tests {
         assert!(parse(&v(&["sched", "tx2", "--seed", "many"])).is_err());
         assert!(parse(&v(&["sched", "tx2", "--mem-cap", "-6m"])).is_err());
         assert!(parse(&v(&["sched", "tx2", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn synth_parses_defaults_and_flags() {
+        let c = parse(&v(&["synth", "all"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Synth {
+                board: "all".into(),
+                mixes: vec![],
+                max_size: 3,
+                seed: 42,
+                save: None,
+                json: false,
+            }
+        );
+        let c = parse(&v(&[
+            "synth",
+            "tx2",
+            "--mix",
+            "solo:shwfs",
+            "--mix",
+            "duo",
+            "--max-size",
+            "2",
+            "--seed",
+            "9",
+            "--save",
+            "rules.snap",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Synth {
+                board: "tx2".into(),
+                mixes: vec!["solo:shwfs".into(), "duo".into()],
+                max_size: 2,
+                seed: 9,
+                save: Some("rules.snap".into()),
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn synth_rejects_bad_inputs() {
+        assert!(parse(&v(&["synth"])).is_err());
+        assert!(parse(&v(&["synth", "pi5"])).is_err());
+        assert!(parse(&v(&["synth", "tx2", "--mix", "solo:quake"])).is_err());
+        assert!(parse(&v(&["synth", "tx2", "--max-size", "0"])).is_err());
+        assert!(parse(&v(&["synth", "tx2", "--max-size", "9"])).is_err());
+        assert!(parse(&v(&["synth", "tx2", "--seed", "many"])).is_err());
+        assert!(parse(&v(&["synth", "tx2", "--save"])).is_err());
+        assert!(parse(&v(&["synth", "tx2", "--wat"])).is_err());
     }
 
     #[test]

@@ -168,6 +168,14 @@ pub fn execute(command: &Command) -> Result<String, String> {
             mem_cap,
             json,
         } => sched(board, mix, policy, *seed, *windows, *mem_cap, *json),
+        Command::Synth {
+            board,
+            mixes,
+            max_size,
+            seed,
+            save,
+            json,
+        } => synth(board, mixes, *max_size, *seed, save.as_deref(), *json),
     }
 }
 
@@ -875,6 +883,160 @@ fn fleet(
     Ok(text)
 }
 
+/// Maps a CLI board name (with its aliases) onto the canonical name the
+/// synth sweep and rule-set scope keys use.
+fn canonical_synth_board(name: &str) -> Result<String, String> {
+    let device = require_board(name)?;
+    icomm_synth::BOARD_NAMES
+        .iter()
+        .find(|b| icomm_synth::stock_board(b).is_some_and(|d| d.name == device.name))
+        .map(|b| (*b).to_string())
+        .ok_or_else(|| format!("board '{name}' has no synthesis sweep profile"))
+}
+
+/// `icomm synth`: sweep the simulators, synthesize algebraic decision
+/// rules, validate them against the brute-force oracle, and report the
+/// rule set with its verified scope and compression ratio.
+fn synth(
+    board: &str,
+    mixes: &[String],
+    max_size: u32,
+    seed: u64,
+    save: Option<&str>,
+    json: bool,
+) -> Result<String, String> {
+    let mut config = icomm_synth::SynthConfig {
+        max_size,
+        seed,
+        ..icomm_synth::SynthConfig::default()
+    };
+    if board != "all" {
+        config.boards = vec![canonical_synth_board(board)?];
+    }
+    if !mixes.is_empty() {
+        config.mixes = mixes.to_vec();
+        config.capped_pressure = mixes.iter().any(|m| m == "pressure");
+    }
+    let out = icomm_synth::synthesize(&config)?;
+    let sweep_bytes = out.table.persisted_bytes()?;
+    let ruleset_bytes = out.ruleset.persisted_bytes()?;
+    let compression = sweep_bytes as f64 / ruleset_bytes as f64;
+    if let Some(path) = save {
+        out.ruleset.save(std::path::Path::new(path))?;
+    }
+    let ruleset = &out.ruleset;
+    if json {
+        // Assembled by hand so the report stays byte-identical per
+        // (config): no maps, no wall clock, fixed field order.
+        let quote_list = |items: &[String]| -> String {
+            items
+                .iter()
+                .map(|s| format!("\"{s}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let rules = ruleset
+            .rules
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"pred\":\"{}\",\"model\":\"{}\",\"support\":{},\"boards\":[{}]}}",
+                    r.pred,
+                    r.model.abbrev(),
+                    r.support,
+                    quote_list(&r.boards),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        return Ok(format!(
+            concat!(
+                "{{\"boards\":[{}],\"seed\":{},\"max_size\":{},\"samples\":{},",
+                "\"rule_count\":{},\"uncovered\":{},\"disagreements\":{},",
+                "\"scope_contexts\":{},\"skipped_contexts\":{},",
+                "\"sweep_bytes\":{},\"ruleset_bytes\":{},\"compression\":{:.2},",
+                "\"rules\":[{}]}}\n"
+            ),
+            quote_list(&ruleset.boards),
+            ruleset.seed,
+            ruleset.max_size,
+            ruleset.samples,
+            ruleset.rules.len(),
+            ruleset.uncovered,
+            ruleset.disagreements,
+            ruleset.scope.len(),
+            out.table.skipped_contexts.len(),
+            sweep_bytes,
+            ruleset_bytes,
+            compression,
+            rules,
+        ));
+    }
+    let mut text = format!(
+        "rule synthesis over {} board(s), seed {seed}, max term size {max_size}:\n",
+        ruleset.boards.len(),
+    );
+    let _ = writeln!(
+        text,
+        "  sweep        {} samples across {} contexts ({} cap-infeasible contexts skipped)",
+        ruleset.samples,
+        ruleset.scope.len() as u64 + count_unverified_contexts(&out),
+        out.table.skipped_contexts.len(),
+    );
+    let _ = writeln!(
+        text,
+        "  enumeration  {} atoms, {} candidate predicates, {} equivalence classes ({} sound)",
+        out.atoms_enumerated, out.preds_enumerated, out.classes, out.sound_candidates,
+    );
+    let _ = writeln!(
+        text,
+        "  cover        {} rules selected, {} samples uncovered",
+        ruleset.rules.len(),
+        ruleset.uncovered,
+    );
+    let _ = writeln!(
+        text,
+        "  validation   {} oracle disagreements, {} contexts in verified scope",
+        ruleset.disagreements,
+        ruleset.scope.len(),
+    );
+    let _ = writeln!(
+        text,
+        "  compression  {sweep_bytes} B sweep -> {ruleset_bytes} B rules ({compression:.2}x)",
+    );
+    let _ = writeln!(text, "rules (first match wins):");
+    for (index, rule) in ruleset.rules.iter().enumerate() {
+        let _ = writeln!(
+            text,
+            "  {:>2}. {}  =>  {:<4} [support {}, boards {}]",
+            index + 1,
+            rule.pred,
+            rule.model.abbrev(),
+            rule.support,
+            rule.boards.join(","),
+        );
+    }
+    if let Some(path) = save {
+        let _ = writeln!(text, "saved rule set to {path}");
+    }
+    Ok(text)
+}
+
+/// Contexts the sweep produced but validation left out of scope.
+fn count_unverified_contexts(out: &icomm_synth::SynthOutput) -> u64 {
+    let mut keys: Vec<String> = out
+        .table
+        .samples
+        .iter()
+        .map(|s| icomm_synth::RuleSet::scope_key(&s.board, &s.mix, s.mem_cap_bytes))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    keys.iter()
+        .filter(|k| !out.ruleset.scope.contains(k))
+        .count() as u64
+}
+
 /// `icomm sched`: co-schedule a named tenant mix on one board and report
 /// deadline misses, slowdown vs solo, and bandwidth throttles.
 fn sched(
@@ -1188,6 +1350,21 @@ mod tests {
         assert!(out.contains("5/5 decision payloads identical"), "{out}");
         assert!(out.contains("hostile 6/6 probes defended"), "{out}");
         assert!(!out.contains("0 frame faults"), "{out}");
+    }
+
+    #[test]
+    fn synth_json_is_deterministic_and_validates_cleanly() {
+        let mixes = vec!["solo:shwfs".to_string(), "duo".to_string()];
+        let run = || synth("jetson-tx2", &mixes, 2, 42, None, true).unwrap();
+        let a = run();
+        assert_eq!(a, run(), "same-seed synth JSON not byte-identical");
+        // The alias normalizes to the canonical sweep board name.
+        assert!(a.contains("\"boards\":[\"tx2\"]"), "{a}");
+        assert!(a.contains("\"disagreements\":0"), "{a}");
+        assert!(!a.contains("\"rule_count\":0"), "{a}");
+        let text = synth("tx2", &mixes, 2, 42, None, false).unwrap();
+        assert!(text.contains("rules (first match wins):"), "{text}");
+        assert!(text.contains("0 oracle disagreements"), "{text}");
     }
 
     #[test]

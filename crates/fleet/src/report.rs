@@ -40,10 +40,13 @@ pub struct FleetReport {
     pub transfer_hits: u64,
     /// Transfer attempts that fell below the confidence floor.
     pub transfer_fallbacks: u64,
+    /// Characterizations answered from a synthesized rule set
+    /// (rules-first warm start; 0 when the fleet ships no rules).
+    pub rules_hits: u64,
     /// Full micro-benchmark characterization runs.
     pub full_characterizations: u64,
     /// Warm-start rate, percent: lookups served without a full run
-    /// (cache + transfer) over all served lookups.
+    /// (cache + transfer + rules) over all served lookups.
     pub warm_start_pct: f64,
     /// Transfer hit rate, percent, over transfer attempts.
     pub transfer_hit_pct: f64,
@@ -147,10 +150,11 @@ impl fmt::Display for FleetReport {
         )?;
         writeln!(
             f,
-            "warm start   {:.1}%  ({} cache hits, {} transferred, {} fallbacks, {} full runs)",
+            "warm start   {:.1}%  ({} cache hits, {} transferred, {} rules, {} fallbacks, {} full runs)",
             self.warm_start_pct,
             self.cache_hits,
             self.transfer_hits,
+            self.rules_hits,
             self.transfer_fallbacks,
             self.full_characterizations
         )?;
@@ -288,6 +292,7 @@ mod tests {
             cache_hits: 50,
             transfer_hits: 40,
             transfer_fallbacks: 8,
+            rules_hits: 0,
             full_characterizations: 8,
             warm_start_pct: 91.8,
             transfer_hit_pct: 83.3,

@@ -19,6 +19,7 @@
 use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use icomm_chaos::{ChaosRng, FaultPlan};
 use icomm_core::recommend_for_device;
@@ -33,6 +34,7 @@ use icomm_serve::registry::EntryMeta;
 use icomm_serve::{AdmissionConfig, AdmissionController, AdmissionDecision, Registry, ShedReason};
 use icomm_soc::units::ByteSize;
 use icomm_soc::DeviceProfile;
+use icomm_synth::RuleSet;
 
 use crate::arrival::ArrivalConfig;
 use crate::population::{synthesize_population, BoardMix, PopulationConfig};
@@ -43,6 +45,10 @@ const COST_HIT_US: u64 = 180;
 /// Virtual service cost of a federated transfer (neighbor search +
 /// interpolation + decision flow).
 const COST_TRANSFER_US: u64 = 600;
+/// Virtual service cost of a rules-first warm start (first-match rule
+/// evaluation over the transferred rule set — cheaper than a k-NN
+/// interpolation, pricier than an exact cache hit).
+const COST_RULES_US: u64 = 240;
 /// Virtual service cost of a full quick micro-benchmark sweep.
 const COST_FULL_US: u64 = 24_000;
 
@@ -90,6 +96,13 @@ pub struct FleetConfig {
     /// paper-scale mixes never approach). Only meaningful when
     /// `tenants_per_device > 1`.
     pub mem_cap: Option<ByteSize>,
+    /// Synthesized rule set shipped to the fleet ahead of time
+    /// (`icomm-synth`). When present, a registry miss on a board whose
+    /// every named mix the rule set verified is answered **rules-first**
+    /// — the transferred characterization plus rule-backed provenance —
+    /// before k-NN transfer or a full sweep is even attempted. `None`
+    /// (the default) leaves the pipeline exactly as before.
+    pub rules: Option<Arc<RuleSet>>,
     /// Fleet-scale fault plan: `churn_prob` evicts a device's registry
     /// state before its lookup (crash-and-rejoin), `poison_prob` makes a
     /// served device upload an adversarial characterization under a
@@ -121,6 +134,7 @@ impl Default for FleetConfig {
             tenants_per_device: 1,
             tenant_mix: "auto".to_string(),
             mem_cap: None,
+            rules: None,
             faults: FaultPlan::none(),
         }
     }
@@ -181,6 +195,7 @@ fn corun_mix(config: &FleetConfig) -> Result<Option<String>, String> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LookupClass {
     Hit,
+    Rules,
     Transfer,
     FullFresh,
     FullFallback,
@@ -263,6 +278,7 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
     let mut poisoned_sources = 0u64;
     let mut cache_hits = 0u64;
     let mut transfer_hits = 0u64;
+    let mut rules_hits = 0u64;
     let mut transfer_fallbacks = 0u64;
     let mut full_runs = 0u64;
     let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
@@ -318,6 +334,16 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
         let (characterization, lookup) =
             registry.get_or_characterize_with(&device.profile, |profile| {
                 let features = fingerprint_features(profile);
+                // Rules-first: a shipped rule set that verified every
+                // named mix on this board answers the miss outright —
+                // no neighbor search, no sweep. Confidence stays below
+                // measured so the entry never seeds k-NN transfers.
+                if let Some(rules) = &config.rules {
+                    if let Some((chr, confidence)) = rules.warm_start(&device.board) {
+                        class_flag.set(LookupClass::Rules);
+                        return (chr.clone(), Some(EntryMeta::rules(features, confidence)));
+                    }
+                }
                 let neighbors = registry.measured_neighbors();
                 let had_neighbors = !neighbors.is_empty();
                 let outcome = robust_transfer_characterization(
@@ -360,6 +386,14 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
             LookupClass::Hit => {
                 cache_hits += 1;
                 COST_HIT_US
+            }
+            LookupClass::Rules => {
+                rules_hits += 1;
+                // Rules-served devices join the regret spot-check pool:
+                // a bad rule set must show up as decision regret, not
+                // hide behind the warm-start number.
+                transferred.push((arrival.device_index, arrival.app));
+                COST_RULES_US
             }
             LookupClass::Transfer => {
                 transfer_hits += 1;
@@ -493,12 +527,15 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
         regret_sum_pct / regret_samples as f64
     };
 
-    let lookups =
-        cache_hits + transfer_hits + transfer_fallbacks + (full_runs - transfer_fallbacks);
+    let lookups = cache_hits
+        + transfer_hits
+        + rules_hits
+        + transfer_fallbacks
+        + (full_runs - transfer_fallbacks);
     let warm_start_pct = if lookups == 0 {
         0.0
     } else {
-        (cache_hits + transfer_hits) as f64 / lookups as f64 * 100.0
+        (cache_hits + transfer_hits + rules_hits) as f64 / lookups as f64 * 100.0
     };
     let transfer_attempts = transfer_hits + transfer_fallbacks;
     let transfer_hit_pct = if transfer_attempts == 0 {
@@ -561,6 +598,7 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRunOutput, String> {
         cache_hits,
         transfer_hits,
         transfer_fallbacks,
+        rules_hits,
         full_characterizations: full_runs,
         warm_start_pct,
         transfer_hit_pct,
@@ -643,6 +681,52 @@ mod tests {
             r.mean_regret_pct <= 10.0,
             "regret {:.2}%",
             r.mean_regret_pct
+        );
+    }
+
+    #[test]
+    fn a_shipped_ruleset_answers_misses_rules_first() {
+        let synth_config = icomm_synth::SynthConfig {
+            boards: vec!["nano".to_string(), "tx2".to_string(), "xavier".to_string()],
+            mixes: icomm_apps::MIX_NAMES
+                .iter()
+                .map(|m| m.to_string())
+                .collect(),
+            capped_pressure: false,
+            ..icomm_synth::SynthConfig::default()
+        };
+        let ruleset = icomm_synth::synthesize(&synth_config)
+            .expect("synthesis runs")
+            .ruleset;
+        for board in ["nano", "tx2", "xavier"] {
+            assert!(
+                ruleset.warm_start(board).is_some(),
+                "{board} must be fully verified for rules-first warm start"
+            );
+        }
+        let config = FleetConfig {
+            rules: Some(Arc::new(ruleset)),
+            ..small_config()
+        };
+        let out = run_fleet(&config).expect("rules-first fleet runs");
+        let r = out.report;
+        assert!(r.rules_hits > 0, "misses must be answered from rules");
+        assert_eq!(
+            r.full_characterizations, 0,
+            "no device may pay a full sweep when rules cover every board"
+        );
+        assert_eq!(r.transfer_hits, 0, "rules pre-empt k-NN transfer");
+        assert!(r.warm_start_pct >= 90.0, "warm {:.1}%", r.warm_start_pct);
+        assert!(
+            r.mean_regret_pct <= 10.0,
+            "regret {:.2}%",
+            r.mean_regret_pct
+        );
+        // Rules-served fleets replay byte-identically like every mode.
+        let replay = run_fleet(&config).expect("replay runs").report;
+        assert_eq!(
+            icomm_persist::to_string(&r).unwrap(),
+            icomm_persist::to_string(&replay).unwrap()
         );
     }
 

@@ -58,6 +58,17 @@ impl EntryMeta {
             confidence: 1.0,
         }
     }
+
+    /// Meta for an entry backed by a synthesized rule set rather than
+    /// measurements. Confidence is clamped strictly below `1.0` so
+    /// rules-backed entries are never offered as measured interpolation
+    /// sources by [`Registry::measured_neighbors`].
+    pub fn rules(features: Vec<f64>, confidence: f64) -> Self {
+        EntryMeta {
+            features,
+            confidence: confidence.min(0.999),
+        }
+    }
 }
 
 /// How a [`Registry::get_or_characterize`] call was satisfied.

@@ -1,0 +1,218 @@
+//! Greedy minimal-cover selection over sound equivalence classes.
+//!
+//! Every equivalence class whose matching samples all carry the same
+//! oracle label is a *sound* rule candidate: "when this predicate
+//! holds, pick that model". The selector greedily picks the candidate
+//! covering the most still-uncovered samples (ties: smaller term, then
+//! earlier discovery), until no candidate gains anything. Because every
+//! selected rule is sound on the whole table, two selected rules can
+//! only overlap on samples where they agree — first-match evaluation
+//! order is therefore irrelevant to correctness.
+
+use icomm_models::CommModelKind;
+use serde::{Deserialize, Serialize};
+
+use crate::grammar::{Enumeration, Pred};
+
+/// One synthesized decision rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The guard predicate over the feature space.
+    pub pred: Pred,
+    /// Model the rule assigns when the guard holds.
+    pub model: CommModelKind,
+    /// Training samples the rule matched (all carried `model`).
+    pub support: u32,
+    /// Boards contributing supporting samples, sorted and deduplicated.
+    pub boards: Vec<String>,
+}
+
+/// Result of cover selection over one training table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cover {
+    /// Selected rules, in greedy pick order.
+    pub rules: Vec<Rule>,
+    /// Per-sample coverage flags, parallel to the training table.
+    pub covered: Vec<bool>,
+    /// Sound candidates considered (classes with a uniform label).
+    pub sound_candidates: usize,
+}
+
+impl Cover {
+    /// Number of training samples no selected rule matches.
+    pub fn uncovered(&self) -> usize {
+        self.covered.iter().filter(|c| !**c).count()
+    }
+}
+
+fn bit(fp: &[u64], i: usize) -> bool {
+    fp[i / 64] >> (i % 64) & 1 == 1
+}
+
+/// Selects a greedy minimal cover of `labels` from the enumeration's
+/// equivalence classes.
+///
+/// `labels` and `boards` run parallel to the sample table the
+/// enumeration was built over. A class is a candidate iff it matches at
+/// least one sample and every sample it matches carries the same label;
+/// the greedy loop then maximizes newly covered samples per pick.
+///
+/// # Panics
+///
+/// Panics if `labels` and `boards` disagree in length (caller bug).
+pub fn select_cover(
+    enumeration: &Enumeration,
+    labels: &[CommModelKind],
+    boards: &[String],
+) -> Cover {
+    assert_eq!(labels.len(), boards.len(), "parallel table columns");
+    let n = labels.len();
+
+    // Sound candidates: (class index, uniform label).
+    let mut candidates: Vec<(usize, CommModelKind)> = Vec::new();
+    'class: for (ci, class) in enumeration.classes.iter().enumerate() {
+        if class.support == 0 {
+            continue;
+        }
+        let mut label = None;
+        for (i, l) in labels.iter().enumerate() {
+            if !bit(&class.fingerprint, i) {
+                continue;
+            }
+            match label {
+                None => label = Some(*l),
+                Some(seen) if seen == *l => {}
+                Some(_) => continue 'class,
+            }
+        }
+        if let Some(l) = label {
+            candidates.push((ci, l));
+        }
+    }
+
+    let mut covered = vec![false; n];
+    let mut rules = Vec::new();
+    loop {
+        let mut best: Option<(usize, usize, CommModelKind)> = None; // (gain, class, label)
+        for &(ci, label) in &candidates {
+            let class = &enumeration.classes[ci];
+            let gain = (0..n)
+                .filter(|&i| bit(&class.fingerprint, i) && !covered[i])
+                .count();
+            if gain == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bg, bc, _)) => {
+                    let (bsize, csize) = (
+                        enumeration.classes[bc].representative.size(),
+                        class.representative.size(),
+                    );
+                    gain > bg || (gain == bg && (csize < bsize || (csize == bsize && ci < bc)))
+                }
+            };
+            if better {
+                best = Some((gain, ci, label));
+            }
+        }
+        let Some((_, ci, label)) = best else { break };
+        let class = &enumeration.classes[ci];
+        let mut rule_boards: Vec<String> = Vec::new();
+        let mut support = 0u32;
+        for i in 0..n {
+            if bit(&class.fingerprint, i) {
+                covered[i] = true;
+                support += 1;
+                rule_boards.push(boards[i].clone());
+            }
+        }
+        rule_boards.sort_unstable();
+        rule_boards.dedup();
+        rules.push(Rule {
+            pred: class.representative.clone(),
+            model: label,
+            support,
+            boards: rule_boards,
+        });
+    }
+
+    Cover {
+        rules,
+        covered,
+        sound_candidates: candidates.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::enumerate_classes;
+
+    /// Two clusters split on feature 0: below 1.5 → StandardCopy,
+    /// above → ZeroCopy.
+    fn split_table() -> (Vec<Vec<f64>>, Vec<CommModelKind>, Vec<String>) {
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        let mut boards = Vec::new();
+        for i in 0..6 {
+            let mut v = vec![0.0; crate::feature::FEATURE_COUNT];
+            v[0] = f64::from(i);
+            samples.push(v);
+            labels.push(if i < 2 {
+                CommModelKind::StandardCopy
+            } else {
+                CommModelKind::ZeroCopy
+            });
+            boards.push(if i % 2 == 0 { "tx2" } else { "nano" }.to_string());
+        }
+        (samples, labels, boards)
+    }
+
+    #[test]
+    fn cover_is_sound_and_complete_on_separable_data() {
+        let (samples, labels, boards) = split_table();
+        let e = enumerate_classes(&samples, 2, 42);
+        let cover = select_cover(&e, &labels, &boards);
+        assert_eq!(cover.uncovered(), 0, "separable table must be covered");
+        // Soundness: every rule agrees with the label of everything it matches.
+        for rule in &cover.rules {
+            for (i, sample) in samples.iter().enumerate() {
+                if rule.pred.eval(sample) {
+                    assert_eq!(rule.model, labels[i], "rule {} mismatches", rule.pred);
+                }
+            }
+            assert!(rule.support > 0);
+            assert!(!rule.boards.is_empty());
+        }
+    }
+
+    #[test]
+    fn overlapping_sound_rules_always_agree() {
+        let (samples, labels, boards) = split_table();
+        let e = enumerate_classes(&samples, 2, 9);
+        let cover = select_cover(&e, &labels, &boards);
+        for sample in &samples {
+            let picks: Vec<CommModelKind> = cover
+                .rules
+                .iter()
+                .filter(|r| r.pred.eval(sample))
+                .map(|r| r.model)
+                .collect();
+            assert!(picks.windows(2).all(|w| w[0] == w[1]), "conflicting rules");
+        }
+    }
+
+    #[test]
+    fn rule_boards_are_sorted_and_deduped() {
+        let (samples, labels, boards) = split_table();
+        let e = enumerate_classes(&samples, 2, 42);
+        let cover = select_cover(&e, &labels, &boards);
+        for rule in &cover.rules {
+            let mut sorted = rule.boards.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted, rule.boards);
+        }
+    }
+}

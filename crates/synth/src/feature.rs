@@ -1,0 +1,268 @@
+//! The feature space the term grammar ranges over.
+//!
+//! Every sweep sample — one tenant inside one `(board, mix, cap)`
+//! context — is projected onto a fixed vector of characterization and
+//! workload features. The grammar in [`crate::grammar`] builds
+//! predicates over these features; the decider in [`crate::decider`]
+//! recomputes the same vector at query time, so a rule learned from the
+//! sweep evaluates identically when it answers a live query.
+//!
+//! Features split into three groups:
+//!
+//! - **workload** (payload, copy/kernel ratio, reuse): functions of the
+//!   tenant's workload and the device profile, computed from one cheap
+//!   solo standard-copy run — never from the `M^N` oracle sweep.
+//! - **characterization** (cache thresholds, max speedups, the UPM
+//!   kernel penalty): read straight off the board's
+//!   [`DeviceCharacterization`].
+//! - **context** (interference pressure, cap pressure): what the
+//!   co-tenants and the memory budget do to this tenant.
+
+use icomm_core::{copy_time_estimate, tenant_demand, CorunTenant};
+use icomm_footprint::model_footprint;
+use icomm_microbench::DeviceCharacterization;
+use icomm_models::{run_model, CommModelKind};
+use icomm_soc::units::ByteSize;
+use icomm_soc::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// Number of features in the fixed vector.
+pub const FEATURE_COUNT: usize = 12;
+
+/// One axis of the feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Feature {
+    /// Bytes the workload exchanges with the GPU, in MiB.
+    PayloadMib,
+    /// Estimated copy time over kernel time under standard copy — the
+    /// paper's headline predictor for when copies dominate.
+    CopyKernelRatio,
+    /// Bytes the GPU touches over bytes exchanged: >1 means the kernel
+    /// revisits data and caches can pay off.
+    Reuse,
+    /// GPU cache-usage threshold of the board, percent.
+    GpuCacheThresholdPct,
+    /// Zone-2 GPU threshold when the board exposes one (100 when not).
+    GpuCacheZone2Pct,
+    /// CPU cache-usage threshold of the board, percent.
+    CpuCacheThresholdPct,
+    /// Board's measured SC→ZC maximum speedup.
+    ScZcMaxSpeedup,
+    /// Board's measured ZC→SC maximum speedup.
+    ZcScMaxSpeedup,
+    /// 1 when the board supports hardware-coherent UPM, else 0.
+    UpmSupported,
+    /// Kernel slowdown of running over coherent UPM (1 = free).
+    UpmKernelPenalty,
+    /// Sum over co-tenants of their solo DRAM-channel utilization under
+    /// their current models — how crowded the channel is before this
+    /// tenant runs.
+    InterferencePressure,
+    /// Summed current-model footprint of the whole mix over the memory
+    /// cap (0 when uncapped) — how hard the budget binds.
+    CapPressure,
+}
+
+impl Feature {
+    /// Every feature, in the canonical vector order.
+    pub const ALL: [Feature; FEATURE_COUNT] = [
+        Feature::PayloadMib,
+        Feature::CopyKernelRatio,
+        Feature::Reuse,
+        Feature::GpuCacheThresholdPct,
+        Feature::GpuCacheZone2Pct,
+        Feature::CpuCacheThresholdPct,
+        Feature::ScZcMaxSpeedup,
+        Feature::ZcScMaxSpeedup,
+        Feature::UpmSupported,
+        Feature::UpmKernelPenalty,
+        Feature::InterferencePressure,
+        Feature::CapPressure,
+    ];
+
+    /// Position of this feature in the canonical vector.
+    pub fn index(self) -> usize {
+        match self {
+            Feature::PayloadMib => 0,
+            Feature::CopyKernelRatio => 1,
+            Feature::Reuse => 2,
+            Feature::GpuCacheThresholdPct => 3,
+            Feature::GpuCacheZone2Pct => 4,
+            Feature::CpuCacheThresholdPct => 5,
+            Feature::ScZcMaxSpeedup => 6,
+            Feature::ZcScMaxSpeedup => 7,
+            Feature::UpmSupported => 8,
+            Feature::UpmKernelPenalty => 9,
+            Feature::InterferencePressure => 10,
+            Feature::CapPressure => 11,
+        }
+    }
+
+    /// Snake-case name used in rule pretty-printing.
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::PayloadMib => "payload_mib",
+            Feature::CopyKernelRatio => "copy_kernel_ratio",
+            Feature::Reuse => "reuse",
+            Feature::GpuCacheThresholdPct => "gpu_cache_threshold_pct",
+            Feature::GpuCacheZone2Pct => "gpu_cache_zone2_pct",
+            Feature::CpuCacheThresholdPct => "cpu_cache_threshold_pct",
+            Feature::ScZcMaxSpeedup => "sc_zc_max_speedup",
+            Feature::ZcScMaxSpeedup => "zc_sc_max_speedup",
+            Feature::UpmSupported => "upm_supported",
+            Feature::UpmKernelPenalty => "upm_kernel_penalty",
+            Feature::InterferencePressure => "interference_pressure",
+            Feature::CapPressure => "cap_pressure",
+        }
+    }
+}
+
+/// One sample's projection onto the feature space.
+pub type FeatureVec = [f64; FEATURE_COUNT];
+
+/// The per-tenant simulator probes the feature vector is built from:
+/// the solo DRAM-channel utilization under the tenant's current model
+/// (what co-tenants see as interference pressure) and the solo
+/// standard-copy kernel time (the copy/kernel ratio's denominator).
+/// A tenant already running standard copy needs a single run for both.
+fn tenant_probe(device: &DeviceProfile, tenant: &CorunTenant) -> (f64, f64) {
+    let sc = run_model(CommModelKind::StandardCopy, device, &tenant.workload);
+    let kernel_picos = sc.kernel_time.as_picos().max(1) as f64;
+    let ratio = if tenant.current == CommModelKind::StandardCopy {
+        // Same numbers tenant_demand would read off the same run.
+        let wall = sc.total_time.as_picos().max(1) as f64;
+        sc.counters.dram.busy_time.as_picos() as f64 / wall
+    } else {
+        let demand = tenant_demand(device, &tenant.name, &tenant.workload, tenant.current);
+        let wall = demand.wall_solo.as_picos().max(1) as f64;
+        demand.dram_busy_solo.as_picos() as f64 / wall
+    };
+    (ratio, kernel_picos)
+}
+
+/// Summed current-model footprint of the mix over the cap (0 uncapped).
+fn mix_cap_pressure(device: &DeviceProfile, tenants: &[CorunTenant], cap: Option<ByteSize>) -> f64 {
+    cap.map_or(0.0, |c| {
+        let total: u64 = tenants
+            .iter()
+            .map(|t| model_footprint(t.current, &t.workload, device).as_u64())
+            .sum();
+        total as f64 / c.as_u64().max(1) as f64
+    })
+}
+
+fn assemble(
+    device: &DeviceProfile,
+    characterization: &DeviceCharacterization,
+    tenants: &[CorunTenant],
+    idx: usize,
+    probes: &[(f64, f64)],
+    cap_pressure: f64,
+) -> FeatureVec {
+    let tenant = &tenants[idx];
+    let kernel_picos = probes[idx].1;
+    let copy_picos = copy_time_estimate(device, &tenant.workload).as_picos() as f64;
+    let payload_bytes = tenant.workload.bytes_exchanged().as_u64();
+    let accessed_bytes = tenant.workload.gpu.shared_accesses.bytes();
+
+    let mut pressure = 0.0;
+    for (j, (ratio, _)) in probes.iter().enumerate() {
+        if j == idx {
+            continue;
+        }
+        pressure += ratio;
+    }
+
+    let mut v = [0.0; FEATURE_COUNT];
+    v[Feature::PayloadMib.index()] = payload_bytes as f64 / (1u64 << 20) as f64;
+    v[Feature::CopyKernelRatio.index()] = copy_picos / kernel_picos;
+    v[Feature::Reuse.index()] = accessed_bytes as f64 / payload_bytes.max(1) as f64;
+    v[Feature::GpuCacheThresholdPct.index()] = characterization.gpu_cache_threshold_pct;
+    v[Feature::GpuCacheZone2Pct.index()] = characterization.gpu_cache_zone2_pct.unwrap_or(100.0);
+    v[Feature::CpuCacheThresholdPct.index()] = characterization.cpu_cache_threshold_pct;
+    v[Feature::ScZcMaxSpeedup.index()] = characterization.sc_zc_max_speedup;
+    v[Feature::ZcScMaxSpeedup.index()] = characterization.zc_sc_max_speedup;
+    v[Feature::UpmSupported.index()] = f64::from(characterization.upm_supported);
+    v[Feature::UpmKernelPenalty.index()] = characterization.upm_kernel_penalty;
+    v[Feature::InterferencePressure.index()] = pressure;
+    v[Feature::CapPressure.index()] = cap_pressure;
+    v
+}
+
+/// Computes the feature vector of every tenant of a mix on `device`
+/// under `cap`, running each per-tenant simulator probe exactly once.
+///
+/// This is the query-path entry point: an N-tenant mix costs N demand
+/// probes plus N solo standard-copy runs, where per-tenant
+/// [`tenant_features`] calls would repeat the demand probes N times
+/// over. Deterministic, and sample-for-sample identical to
+/// [`tenant_features`] — the sweep trains and the decider answers on
+/// the same numbers.
+pub fn mix_features(
+    device: &DeviceProfile,
+    characterization: &DeviceCharacterization,
+    tenants: &[CorunTenant],
+    cap: Option<ByteSize>,
+) -> Vec<FeatureVec> {
+    let probes: Vec<(f64, f64)> = tenants.iter().map(|t| tenant_probe(device, t)).collect();
+    let cap_pressure = mix_cap_pressure(device, tenants, cap);
+    (0..tenants.len())
+        .map(|idx| {
+            assemble(
+                device,
+                characterization,
+                tenants,
+                idx,
+                &probes,
+                cap_pressure,
+            )
+        })
+        .collect()
+}
+
+/// Computes the feature vector of tenant `idx` inside its mix on
+/// `device` under `cap`.
+///
+/// Deterministic: every term is a closed-form function of the device
+/// profile, the characterization, and one solo simulator run — no
+/// randomness, no wall clock. When vectors for the whole mix are
+/// needed, [`mix_features`] computes the shared per-tenant probes once
+/// instead of once per queried index.
+pub fn tenant_features(
+    device: &DeviceProfile,
+    characterization: &DeviceCharacterization,
+    tenants: &[CorunTenant],
+    idx: usize,
+    cap: Option<ByteSize>,
+) -> FeatureVec {
+    let probes: Vec<(f64, f64)> = tenants.iter().map(|t| tenant_probe(device, t)).collect();
+    let cap_pressure = mix_cap_pressure(device, tenants, cap);
+    assemble(
+        device,
+        characterization,
+        tenants,
+        idx,
+        &probes,
+        cap_pressure,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_matches_index() {
+        for (i, f) in Feature::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Feature::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FEATURE_COUNT);
+    }
+}

@@ -1,0 +1,358 @@
+//! The typed term grammar and its bottom-up, observational-equivalence
+//! enumeration.
+//!
+//! Following the Ruler/enumo recipe, candidate predicates are grown by
+//! term size: size-1 candidates are atomic comparisons (a feature
+//! against a data-derived threshold, or a feature against a scaled
+//! feature), size-`k` candidates conjoin a size-`k−1` survivor with a
+//! size-1 survivor. After every growth step candidates are evaluated
+//! against the whole sample table and merged into **equivalence
+//! classes** by their truth-vector fingerprint: two predicates that
+//! agree on every sample are observationally equal, and only the first
+//! (smallest) representative of each class survives into the next
+//! level. The classes form a partition of everything enumerated — a
+//! property the crate's proptests pin down.
+
+use icomm_chaos::ChaosRng;
+use serde::{Deserialize, Serialize};
+
+use crate::feature::Feature;
+
+/// Cap on data-derived thresholds kept per feature.
+const MAX_THRESHOLDS_PER_FEATURE: usize = 12;
+/// Scales tried for feature-vs-feature atoms.
+const PAIR_SCALES: [f64; 3] = [0.5, 1.0, 2.0];
+/// Hard cap on surviving equivalence classes: past this the enumeration
+/// stops growing (the greedy cover only ever consumes a few dozen).
+const MAX_CLASSES: usize = 24_576;
+
+/// An atomic comparison over the feature space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Atom {
+    /// `feature <= threshold`.
+    Le(Feature, f64),
+    /// `feature > threshold`.
+    Gt(Feature, f64),
+    /// `lhs <= scale * rhs`.
+    LeScaled(Feature, f64, Feature),
+    /// `lhs > scale * rhs`.
+    GtScaled(Feature, f64, Feature),
+}
+
+impl Atom {
+    /// Evaluates the atom against one feature vector.
+    ///
+    /// Comparisons with NaN are `false` for both directions — a
+    /// non-finite feature never satisfies a rule, so malformed inputs
+    /// fall through to the sweep instead of matching something.
+    pub fn eval(&self, v: &[f64]) -> bool {
+        match *self {
+            Atom::Le(f, t) => v[f.index()] <= t,
+            Atom::Gt(f, t) => v[f.index()] > t,
+            Atom::LeScaled(a, s, b) => v[a.index()] <= s * v[b.index()],
+            Atom::GtScaled(a, s, b) => v[a.index()] > s * v[b.index()],
+        }
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Atom::Le(a, t) => write!(f, "{} <= {t:.4}", a.name()),
+            Atom::Gt(a, t) => write!(f, "{} > {t:.4}", a.name()),
+            Atom::LeScaled(a, s, b) => write!(f, "{} <= {s:.2}*{}", a.name(), b.name()),
+            Atom::GtScaled(a, s, b) => write!(f, "{} > {s:.2}*{}", a.name(), b.name()),
+        }
+    }
+}
+
+/// A conjunction of atoms; the term size is the number of atoms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pred {
+    /// The conjuncts, in enumeration order.
+    pub atoms: Vec<Atom>,
+}
+
+impl Pred {
+    /// Term size: number of atomic comparisons.
+    pub fn size(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Evaluates the conjunction against one feature vector.
+    pub fn eval(&self, v: &[f64]) -> bool {
+        self.atoms.iter().all(|a| a.eval(v))
+    }
+}
+
+impl std::fmt::Display for Pred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.atoms.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str("  &&  ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Truth vector of a predicate over the sample table, packed 64 samples
+/// per word.
+pub type Fingerprint = Vec<u64>;
+
+fn fingerprint_of(pred: &Pred, samples: &[Vec<f64>]) -> Fingerprint {
+    let mut bits = vec![0u64; samples.len().div_ceil(64)];
+    for (i, sample) in samples.iter().enumerate() {
+        if pred.eval(sample) {
+            bits[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    bits
+}
+
+/// One observational-equivalence class of enumerated predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivClass {
+    /// Smallest (first-enumerated) predicate of the class.
+    pub representative: Pred,
+    /// Packed truth vector over the sample table.
+    pub fingerprint: Fingerprint,
+    /// How many enumerated predicates collapsed into this class.
+    pub members: u64,
+    /// Samples the class matches (population count of the fingerprint).
+    pub support: u32,
+}
+
+/// Everything the bottom-up enumeration produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Enumeration {
+    /// Surviving equivalence classes, in discovery order.
+    pub classes: Vec<EquivClass>,
+    /// Size-1 candidates enumerated (atoms after the seed shuffle).
+    pub atoms_enumerated: u64,
+    /// Total candidates enumerated across all sizes.
+    pub preds_enumerated: u64,
+    /// Largest term size reached.
+    pub max_size: u32,
+}
+
+/// Data-derived thresholds for one feature: midpoints between adjacent
+/// distinct sample values, downsampled evenly to the per-feature cap.
+fn thresholds(samples: &[Vec<f64>], feature: Feature) -> Vec<f64> {
+    let mut values: Vec<f64> = samples
+        .iter()
+        .map(|s| s[feature.index()])
+        .filter(|v| v.is_finite())
+        .collect();
+    values.sort_by(f64::total_cmp);
+    values.dedup();
+    let mids: Vec<f64> = values.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+    if mids.len() <= MAX_THRESHOLDS_PER_FEATURE {
+        return mids;
+    }
+    // Evenly spaced subsample, deterministic.
+    (0..MAX_THRESHOLDS_PER_FEATURE)
+        .map(|i| mids[i * mids.len() / MAX_THRESHOLDS_PER_FEATURE])
+        .collect()
+}
+
+/// Generates the atomic candidate pool over the sample table.
+fn atom_pool(samples: &[Vec<f64>]) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    for feature in Feature::ALL {
+        for t in thresholds(samples, feature) {
+            atoms.push(Atom::Le(feature, t));
+            atoms.push(Atom::Gt(feature, t));
+        }
+    }
+    for a in Feature::ALL {
+        for b in Feature::ALL {
+            if a == b {
+                continue;
+            }
+            for scale in PAIR_SCALES {
+                atoms.push(Atom::LeScaled(a, scale, b));
+                atoms.push(Atom::GtScaled(a, scale, b));
+            }
+        }
+    }
+    atoms
+}
+
+/// Enumerates predicates bottom-up by term size over `samples`,
+/// collapsing them into observational-equivalence classes.
+///
+/// The `seed` shuffles the atomic candidate order (and with it which
+/// member of each class becomes the representative and how greedy
+/// tie-breaks later fall); the same seed always reproduces the same
+/// classes in the same order.
+pub fn enumerate_classes(samples: &[Vec<f64>], max_size: u32, seed: u64) -> Enumeration {
+    let mut atoms = atom_pool(samples);
+    let mut rng = ChaosRng::new(seed);
+    // Fisher–Yates, deterministic per seed.
+    for i in (1..atoms.len()).rev() {
+        let j = rng.index(i + 1);
+        atoms.swap(i, j);
+    }
+
+    let mut classes: Vec<EquivClass> = Vec::new();
+    let mut index: std::collections::HashMap<Fingerprint, usize> = std::collections::HashMap::new();
+    let mut preds_enumerated = 0u64;
+    let mut reached = 0u32;
+
+    let insert = |pred: Pred,
+                  fp: Fingerprint,
+                  classes: &mut Vec<EquivClass>,
+                  index: &mut std::collections::HashMap<Fingerprint, usize>| {
+        if let Some(&at) = index.get(&fp) {
+            classes[at].members += 1;
+            false
+        } else {
+            let support = fp.iter().map(|w| w.count_ones()).sum();
+            index.insert(fp.clone(), classes.len());
+            classes.push(EquivClass {
+                representative: pred,
+                fingerprint: fp,
+                members: 1,
+                support,
+            });
+            true
+        }
+    };
+
+    // Size 1: the shuffled atom pool.
+    for atom in &atoms {
+        let pred = Pred {
+            atoms: vec![atom.clone()],
+        };
+        let fp = fingerprint_of(&pred, samples);
+        preds_enumerated += 1;
+        insert(pred, fp, &mut classes, &mut index);
+    }
+    reached = reached.max(1);
+    let size1_end = classes.len();
+
+    // Sizes 2..=max_size: conjoin a previous-level survivor with a
+    // size-1 survivor. Fingerprints compose by AND, so no re-evaluation
+    // of the sample table is needed.
+    let mut level_start = 0usize;
+    let mut level_end = size1_end;
+    for size in 2..=max_size {
+        if classes.len() >= MAX_CLASSES {
+            break;
+        }
+        let next_start = classes.len();
+        'grow: for left in level_start..level_end {
+            for right in 0..size1_end {
+                if classes.len() >= MAX_CLASSES {
+                    break 'grow;
+                }
+                let fp: Fingerprint = classes[left]
+                    .fingerprint
+                    .iter()
+                    .zip(&classes[right].fingerprint)
+                    .map(|(a, b)| a & b)
+                    .collect();
+                preds_enumerated += 1;
+                if index.contains_key(&fp) {
+                    if let Some(&at) = index.get(&fp) {
+                        classes[at].members += 1;
+                    }
+                    continue;
+                }
+                let mut atoms = classes[left].representative.atoms.clone();
+                atoms.extend(classes[right].representative.atoms.iter().cloned());
+                insert(Pred { atoms }, fp, &mut classes, &mut index);
+            }
+        }
+        reached = size;
+        level_start = next_start;
+        level_end = classes.len();
+        if level_start == level_end {
+            break; // no new behavior at this size; larger terms cannot help
+        }
+    }
+
+    Enumeration {
+        atoms_enumerated: atoms.len() as u64,
+        preds_enumerated,
+        max_size: reached,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_samples() -> Vec<Vec<f64>> {
+        // Three samples differing only in the first two features.
+        (0..3)
+            .map(|i| {
+                let mut v = vec![0.0; crate::feature::FEATURE_COUNT];
+                v[0] = f64::from(i);
+                v[1] = f64::from(2 - i);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn atoms_evaluate_the_documented_comparisons() {
+        let mut v = vec![0.0; crate::feature::FEATURE_COUNT];
+        v[Feature::PayloadMib.index()] = 2.0;
+        v[Feature::Reuse.index()] = 3.0;
+        assert!(Atom::Le(Feature::PayloadMib, 2.0).eval(&v));
+        assert!(!Atom::Gt(Feature::PayloadMib, 2.0).eval(&v));
+        assert!(Atom::LeScaled(Feature::PayloadMib, 1.0, Feature::Reuse).eval(&v));
+        assert!(Atom::GtScaled(Feature::Reuse, 1.0, Feature::PayloadMib).eval(&v));
+    }
+
+    #[test]
+    fn nan_features_never_match() {
+        let mut v = vec![f64::NAN; crate::feature::FEATURE_COUNT];
+        v[1] = 1.0;
+        assert!(!Atom::Le(Feature::PayloadMib, 1.0).eval(&v));
+        assert!(!Atom::Gt(Feature::PayloadMib, 0.0).eval(&v));
+        assert!(!Atom::LeScaled(Feature::PayloadMib, 1.0, Feature::Reuse).eval(&v));
+    }
+
+    #[test]
+    fn classes_partition_the_enumerated_candidates() {
+        let samples = toy_samples();
+        let e = enumerate_classes(&samples, 2, 42);
+        let members: u64 = e.classes.iter().map(|c| c.members).sum();
+        assert_eq!(
+            members, e.preds_enumerated,
+            "every candidate lands in a class"
+        );
+        // Fingerprints are pairwise distinct.
+        let mut fps: Vec<&Fingerprint> = e.classes.iter().map(|c| &c.fingerprint).collect();
+        let before = fps.len();
+        fps.sort();
+        fps.dedup();
+        assert_eq!(fps.len(), before, "class fingerprints must be unique");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_classes() {
+        let samples = toy_samples();
+        let a = enumerate_classes(&samples, 3, 7);
+        let b = enumerate_classes(&samples, 3, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn support_counts_match_fingerprint_popcount() {
+        let samples = toy_samples();
+        let e = enumerate_classes(&samples, 2, 1);
+        for class in &e.classes {
+            let pop: u32 = class.fingerprint.iter().map(|w| w.count_ones()).sum();
+            assert_eq!(class.support, pop);
+        }
+    }
+}

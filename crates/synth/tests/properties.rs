@@ -1,0 +1,181 @@
+//! Property tests for the rule-synthesis core, run over synthetic
+//! feature tables (no simulator sweeps): seeded enumeration is
+//! deterministic, equivalence classes partition the candidate stream
+//! and their fingerprints tell the truth sample-by-sample, greedy
+//! covers are sound on the table they were trained on, and rule sets
+//! survive persistence byte-identically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use icomm_models::CommModelKind;
+use icomm_synth::{enumerate_classes, select_cover, RuleSet, FEATURE_COUNT};
+
+/// A small discrete value palette: value collisions and duplicate
+/// columns are exactly the cases observational equivalence must merge.
+const PALETTE: [f64; 5] = [-1.0, 0.0, 0.5, 1.0, 2.0];
+
+const LABELS: [CommModelKind; 3] = [
+    CommModelKind::StandardCopy,
+    CommModelKind::UnifiedMemory,
+    CommModelKind::ZeroCopy,
+];
+
+/// Largest table the strategies below generate.
+const MAX_SAMPLES: usize = 13;
+
+fn to_table(rows: Vec<Vec<usize>>) -> Vec<Vec<f64>> {
+    rows.into_iter()
+        .map(|row| row.into_iter().map(|i| PALETTE[i]).collect())
+        .collect()
+}
+
+fn to_labels(picks: &[usize], len: usize) -> Vec<CommModelKind> {
+    (0..len).map(|i| LABELS[picks[i]]).collect()
+}
+
+fn bit(fingerprint: &[u64], index: usize) -> bool {
+    fingerprint[index / 64] >> (index % 64) & 1 == 1
+}
+
+proptest! {
+    /// Same table, same seed: the full enumeration (classes,
+    /// representatives, fingerprints, counters) is reproduced exactly.
+    #[test]
+    fn enumeration_is_deterministic_per_seed(
+        rows in prop::collection::vec(
+            prop::collection::vec(0usize..PALETTE.len(), FEATURE_COUNT..FEATURE_COUNT + 1),
+            2..MAX_SAMPLES + 1,
+        ),
+        seed in 0u64..1024,
+    ) {
+        let table = to_table(rows);
+        let a = enumerate_classes(&table, 2, seed);
+        let b = enumerate_classes(&table, 2, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The classes partition the candidate stream: member counts sum to
+    /// the number of predicates enumerated, no two classes share a
+    /// fingerprint, and each fingerprint is exactly the representative's
+    /// truth vector over the table (support included).
+    #[test]
+    fn classes_partition_the_candidate_stream(
+        rows in prop::collection::vec(
+            prop::collection::vec(0usize..PALETTE.len(), FEATURE_COUNT..FEATURE_COUNT + 1),
+            2..MAX_SAMPLES + 1,
+        ),
+        seed in 0u64..1024,
+    ) {
+        let table = to_table(rows);
+        let enumeration = enumerate_classes(&table, 2, seed);
+        let members: u64 = enumeration.classes.iter().map(|c| c.members).sum();
+        prop_assert_eq!(members, enumeration.preds_enumerated);
+        for (i, a) in enumeration.classes.iter().enumerate() {
+            for b in &enumeration.classes[i + 1..] {
+                prop_assert_ne!(&a.fingerprint, &b.fingerprint, "duplicate class fingerprint");
+            }
+        }
+        for class in &enumeration.classes {
+            let mut support = 0u32;
+            for (index, sample) in table.iter().enumerate() {
+                let hit = class.representative.eval(sample);
+                prop_assert_eq!(
+                    bit(&class.fingerprint, index),
+                    hit,
+                    "fingerprint bit {} lies about `{}`",
+                    index,
+                    class.representative
+                );
+                support += u32::from(hit);
+            }
+            prop_assert_eq!(class.support, support);
+        }
+    }
+
+    /// Every selected rule is sound on its own training table: a rule
+    /// never matches a sample carrying a different oracle label, the
+    /// covered mask agrees with first-match evaluation, and
+    /// `uncovered()` counts exactly the unmatched samples.
+    #[test]
+    fn greedy_cover_is_sound_on_training_samples(
+        rows in prop::collection::vec(
+            prop::collection::vec(0usize..PALETTE.len(), FEATURE_COUNT..FEATURE_COUNT + 1),
+            2..MAX_SAMPLES + 1,
+        ),
+        picks in prop::collection::vec(0usize..LABELS.len(), MAX_SAMPLES..MAX_SAMPLES + 1),
+        seed in 0u64..1024,
+    ) {
+        let table = to_table(rows);
+        let labels = to_labels(&picks, table.len());
+        let boards = vec!["prop-board".to_string(); table.len()];
+        let enumeration = enumerate_classes(&table, 2, seed);
+        let cover = select_cover(&enumeration, &labels, &boards);
+        for rule in &cover.rules {
+            for (sample, label) in table.iter().zip(&labels) {
+                if rule.pred.eval(sample) {
+                    prop_assert_eq!(
+                        *label, rule.model,
+                        "unsound rule `{}` matched a {:?}-labeled sample",
+                        rule.pred, label
+                    );
+                }
+            }
+        }
+        let mut uncovered = 0usize;
+        for (index, sample) in table.iter().enumerate() {
+            let matched = cover.rules.iter().any(|r| r.pred.eval(sample));
+            prop_assert_eq!(cover.covered[index], matched);
+            uncovered += usize::from(!matched);
+        }
+        prop_assert_eq!(cover.uncovered(), uncovered);
+    }
+
+    /// A rule set round-trips through JSON and through the CRC-framed
+    /// snapshot file byte-identically.
+    #[test]
+    fn ruleset_persist_round_trip_is_byte_identical(
+        rows in prop::collection::vec(
+            prop::collection::vec(0usize..PALETTE.len(), FEATURE_COUNT..FEATURE_COUNT + 1),
+            2..MAX_SAMPLES + 1,
+        ),
+        picks in prop::collection::vec(0usize..LABELS.len(), MAX_SAMPLES..MAX_SAMPLES + 1),
+        seed in 0u64..1024,
+    ) {
+        let table = to_table(rows);
+        let labels = to_labels(&picks, table.len());
+        let boards = vec!["prop-board".to_string(); table.len()];
+        let enumeration = enumerate_classes(&table, 2, seed);
+        let cover = select_cover(&enumeration, &labels, &boards);
+        let ruleset = RuleSet {
+            seed,
+            max_size: 2,
+            boards: vec!["prop-board".to_string()],
+            rules: cover.rules.clone(),
+            scope: vec!["prop-board/duo".to_string()],
+            samples: table.len() as u64,
+            uncovered: cover.uncovered() as u64,
+            disagreements: 0,
+            board_characterizations: Vec::new(),
+        };
+        let json = icomm_persist::to_string(&ruleset).expect("ruleset serializes");
+        let back: RuleSet = icomm_persist::from_str(&json).expect("ruleset parses");
+        prop_assert_eq!(&back, &ruleset);
+        let again = icomm_persist::to_string(&back).expect("ruleset re-serializes");
+        prop_assert_eq!(&again, &json);
+
+        static FILE_ID: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "icomm-synth-prop-{}-{}.snap",
+            std::process::id(),
+            FILE_ID.fetch_add(1, Ordering::Relaxed),
+        ));
+        ruleset.save(&path).expect("snapshot writes");
+        let loaded = RuleSet::load(&path).expect("snapshot loads");
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(&loaded, &ruleset);
+        let reloaded = icomm_persist::to_string(&loaded).expect("loaded ruleset serializes");
+        prop_assert_eq!(reloaded, json);
+    }
+}

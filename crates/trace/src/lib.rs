@@ -33,8 +33,8 @@
 //!     times: 4,
 //! };
 //! assert_eq!(sweep.len(), 4 * (1 << 20) / 64);
-//! let first = sweep.requests(MemSpace::Cached).next().expect("sweep is non-empty");
-//! assert_eq!(first.addr, 0);
+//! let mut requests = sweep.requests(MemSpace::Cached);
+//! assert!(matches!(requests.next(), Some(first) if first.addr == 0));
 //! ```
 
 #![warn(missing_docs)]

@@ -119,7 +119,7 @@ impl PhaseSchedule {
 
     /// The phase active at `window`, or `None` past the end.
     pub fn phase_at(&self, window: u64) -> Option<&PhaseSpec> {
-        self.phase_index_at(window).map(|i| &self.phases[i])
+        self.phase_index_at(window).and_then(|i| self.phases.get(i))
     }
 
     /// Window indices where a new phase begins (excluding window 0): the

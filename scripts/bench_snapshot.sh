@@ -35,6 +35,8 @@ if [[ "$SKIP_CRITERION" -eq 0 ]]; then
     cargo bench -p icomm-bench --bench mem_topology
     echo "==> cargo bench -p icomm-bench --bench footprint_assignment"
     cargo bench -p icomm-bench --bench footprint_assignment
+    echo "==> cargo bench -p icomm-bench --bench rule_synthesis"
+    cargo bench -p icomm-bench --bench rule_synthesis
     echo "==> cargo bench -p icomm-bench --bench serve_throughput"
     cargo bench -p icomm-bench --bench serve_throughput
 fi
@@ -174,6 +176,43 @@ print(json.dumps(baseline, indent=2))
 EOF
 
 echo "baseline written to BENCH_mem.json"
+
+echo "==> capturing BENCH_synth.json (seed 42, all boards, full default sweep)"
+SYNTH="$(target/release/icomm synth all --seed 42 --json)"
+python3 - "$SYNTH" <<'EOF'
+import json
+import sys
+
+report = json.loads(sys.argv[1])
+if report["disagreements"] != 0:
+    sys.exit(f"rule set disagrees with the oracle {report['disagreements']} times; baseline not captured")
+if report["uncovered"] != 0:
+    sys.exit(f"{report['uncovered']} sweep samples uncovered; baseline not captured")
+baseline = {
+    "source": "icomm synth all --seed 42 --json",
+    "note": "deterministic synthesis numbers; regenerate with scripts/bench_snapshot.sh",
+    "boards": report["boards"],
+    "seed": report["seed"],
+    "max_size": report["max_size"],
+    "samples": report["samples"],
+    "rule_count": report["rule_count"],
+    "uncovered": report["uncovered"],
+    "disagreements": report["disagreements"],
+    "scope_contexts": report["scope_contexts"],
+    "sweep_bytes": report["sweep_bytes"],
+    "ruleset_bytes": report["ruleset_bytes"],
+    "compression": report["compression"],
+    "rules": [{"pred": r["pred"], "model": r["model"], "support": r["support"]} for r in report["rules"]],
+}
+if baseline["compression"] < 5.0:
+    sys.exit(f"compression {baseline['compression']}x under the 5x floor; baseline not captured")
+with open("BENCH_synth.json", "w") as f:
+    json.dump(baseline, f, indent=2)
+    f.write("\n")
+print(json.dumps(baseline, indent=2))
+EOF
+
+echo "baseline written to BENCH_synth.json"
 
 echo "==> capturing BENCH_serve.json (both planes, 2000 requests each, 8 conns, batch 16)"
 SERVE="$(target/release/icomm servebench --requests 2000 --conns 8 --workers 4 --batch 16 --json)"

@@ -228,4 +228,41 @@ for seed in 42 43; do
     echo "    seed $seed: warm $warm%, 0 regret, 0 lost, 2 restarts, poisons quarantined, replay byte-identical"
 done
 
+echo "==> synth smoke (rule synthesis: oracle agreement + replay determinism)"
+# Rule synthesis on two boards x two seeds must learn a non-empty rule
+# set that reproduces the brute-force oracle exactly (0 disagreements,
+# 0 uncovered samples), and a same-config rerun must replay
+# byte-identically. A restricted mix list keeps each run to seconds;
+# the full six-board sweep is gated by tests/synthesis.rs.
+SYNTH_TMP="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_TMP" "$FLEET_TMP" "$SCHED_TMP" "$FP_TMP" "$MEM_TMP" "$NET_TMP" "$RES_TMP" "$SYNTH_TMP"' EXIT
+SYNTH_MIXES="--mix solo:shwfs --mix duo --mix contended"
+for board in tx2 nano; do
+    for seed in 42 43; do
+        # shellcheck disable=SC2086
+        "$ICOMM" synth "$board" $SYNTH_MIXES --seed "$seed" --json \
+            >"$SYNTH_TMP/synth-$board-$seed-a.json"
+        # shellcheck disable=SC2086
+        "$ICOMM" synth "$board" $SYNTH_MIXES --seed "$seed" --json \
+            >"$SYNTH_TMP/synth-$board-$seed-b.json"
+        cmp "$SYNTH_TMP/synth-$board-$seed-a.json" "$SYNTH_TMP/synth-$board-$seed-b.json" || {
+            echo "synth replay diverged for $board seed $seed" >&2
+            exit 1
+        }
+        grep -Eq '"rule_count":[1-9]' "$SYNTH_TMP/synth-$board-$seed-a.json" || {
+            echo "synth smoke: empty rule set on $board (seed $seed)" >&2
+            exit 1
+        }
+        grep -Eq '"uncovered":0[,}]' "$SYNTH_TMP/synth-$board-$seed-a.json" || {
+            echo "synth smoke: uncovered sweep samples on $board (seed $seed)" >&2
+            exit 1
+        }
+        grep -Eq '"disagreements":0[,}]' "$SYNTH_TMP/synth-$board-$seed-a.json" || {
+            echo "synth smoke: rules disagree with the oracle on $board (seed $seed)" >&2
+            exit 1
+        }
+        echo "    $board seed $seed: rules learned, 0 disagreements, 0 uncovered, replay byte-identical"
+    done
+done
+
 echo "CI gate passed."

@@ -31,6 +31,7 @@
 //! | [`chaos`] | `icomm-chaos` | deterministic fault injection across the profile→adapt→serve→persist stack |
 //! | [`fleet`] | `icomm-fleet` | fleet-scale load generation, federated characterization transfer, admission-control validation |
 //! | [`sched`] | `icomm-sched` | multi-tenant co-run scheduler: joint model assignment, interference-aware virtual-time engine, bandwidth budgets |
+//! | [`synth`] | `icomm-synth` | auto-synthesized algebraic decision rules distilled from simulator sweeps |
 //!
 //! ## Quickstart
 //!
@@ -66,4 +67,5 @@ pub use icomm_resilience as resilience;
 pub use icomm_sched as sched;
 pub use icomm_serve as serve;
 pub use icomm_soc as soc;
+pub use icomm_synth as synth;
 pub use icomm_trace as trace;
